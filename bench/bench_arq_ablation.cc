@@ -1,0 +1,115 @@
+// Ablation A7 — mechanism choice within one protocol function: the paper
+// closes Fig. 9's discussion with "careful evaluation of protocol
+// functionality is needed". This bench quantifies that for the
+// retransmission function: throughput of IRQ (stop-and-wait) vs go-back-N
+// with several window sizes, over a datagram link with increasing loss.
+//
+// Expected shape: IRQ is RTT-bound regardless of loss; go-back-N scales
+// with its window until loss-triggered retransmission rounds eat the win;
+// bigger windows help on the clean link and hurt less than expected under
+// loss (the whole window retransmits, but progress per round is larger).
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "dacapo/session.h"
+
+namespace {
+
+using namespace cool;
+using dacapo::ChannelOptions;
+using dacapo::ModuleGraphSpec;
+
+ModuleGraphSpec ArqGraph(const char* mech, int window) {
+  ModuleGraphSpec spec;
+  dacapo::MechanismSpec m;
+  m.name = mech;
+  m.params["rto_us"] = 8000;
+  if (window > 0) m.params["window"] = window;
+  spec.chain.push_back(std::move(m));
+  spec.chain.push_back({dacapo::mechanisms::kCrc16, {}});
+  return spec;
+}
+
+double MeasureMbps(const ModuleGraphSpec& graph, double loss_rate,
+                   Duration duration) {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 50'000'000;
+  link.latency = milliseconds(1);
+  link.loss_rate = loss_rate;
+  sim::Network net(link, /*rng_seed=*/7);
+
+  dacapo::Acceptor acceptor(&net, {"rx", 6900});
+  if (!acceptor.Listen().ok()) return -1;
+  ChannelOptions options;
+  options.transport = ChannelOptions::Transport::kDatagram;
+  options.graph = graph;
+  options.packet_capacity = 8 * 1024;
+
+  Result<std::unique_ptr<dacapo::Session>> rx(
+      Status(InternalError("unset")));
+  std::thread accept_thread([&] {
+    rx = acceptor.Accept(dacapo::AppAModule::DeliveryMode::kCountOnly);
+  });
+  dacapo::Connector connector(&net, "tx");
+  auto tx = connector.Connect({"rx", 6900}, options);
+  accept_thread.join();
+  if (!tx.ok() || !rx.ok()) return -1;
+
+  const std::vector<std::uint8_t> payload(4096, 0x3C);
+  const TimePoint end = Now() + duration;
+  while (Now() < end) {
+    if (!(*tx)->Send(payload).ok()) break;
+  }
+  std::this_thread::sleep_for(milliseconds(200));
+  const auto stats = (*rx)->stats();
+  (*tx)->Close();
+  (*rx)->Close();
+  if (stats.packets_rx < 2) return 0;
+  const double secs = ToSeconds(stats.last_rx - stats.first_rx);
+  return secs > 0 ? static_cast<double>(stats.bytes_rx) * 8.0 / secs / 1e6
+                  : 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation A7: retransmission mechanism choice (Mbps) ===\n"
+      "link: 50 Mbit/s, 1 ms one-way, 4 KiB packets, varying datagram "
+      "loss\n\n");
+
+  struct Config {
+    const char* name;
+    cool::dacapo::ModuleGraphSpec graph;
+  };
+  const Config kConfigs[] = {
+      {"irq (w=1)", ArqGraph(cool::dacapo::mechanisms::kIrq, 0)},
+      {"go_back_n w=4", ArqGraph(cool::dacapo::mechanisms::kGoBackN, 4)},
+      {"go_back_n w=16", ArqGraph(cool::dacapo::mechanisms::kGoBackN, 16)},
+      {"go_back_n w=64", ArqGraph(cool::dacapo::mechanisms::kGoBackN, 64)},
+  };
+  const double kLossRates[] = {0.0, 0.01, 0.05, 0.10};
+
+  cool::bench::Table table(
+      {"mechanism", "loss 0%", "loss 1%", "loss 5%", "loss 10%"});
+  for (const Config& config : kConfigs) {
+    std::vector<std::string> row{config.name};
+    for (const double loss : kLossRates) {
+      row.push_back(cool::bench::Fmt(
+          "%.1f", MeasureMbps(config.graph, loss, cool::milliseconds(400))));
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\nshape check: IRQ is packet-per-RTT bound far below the link rate,\n"
+      "nearly independent of loss; moderate go-back-N windows multiply the\n"
+      "clean-link rate and degrade gracefully; an oversized window (w=64)\n"
+      "collapses under loss because every drop retransmits the whole\n"
+      "window. The right mechanism+parameters depend on the requested QoS\n"
+      "and the network — exactly what the configuration manager decides.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation A3: the Object Adapter's colocation optimization (paper §2:
+// "The Object Adapter is designed to optimize colocated scenarios, where
+// client and server runs on the same endsystem"). Compares invocation
+// latency colocated vs remote over each transport.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "orb/stub.h"
+
+namespace {
+
+using namespace cool;
+
+sim::LinkProperties TestbedLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 90'000'000;
+  link.latency = microseconds(400);
+  return link;
+}
+
+class EchoServant : public orb::Servant {
+ public:
+  std::string_view repository_id() const override {
+    return "IDL:bench/Echo:1.0";
+  }
+  orb::DispatchOutcome Dispatch(std::string_view, cdr::Decoder& args,
+                                cdr::Encoder& out) override {
+    auto s = args.GetString();
+    out.PutString(s.ok() ? *s : "");
+    return orb::DispatchOutcome::Ok();
+  }
+};
+
+bench::LatencyStats MeasureStub(orb::Stub& stub, int iterations) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iterations));
+  for (int i = -20; i < iterations; ++i) {
+    cdr::Encoder args = stub.MakeArgsEncoder();
+    args.PutString("payload-123");
+    const Stopwatch sw;
+    auto reply = stub.Invoke("echo", args.buffer().view());
+    if (!reply.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n",
+                   reply.status().ToString().c_str());
+      return {};
+    }
+    if (i >= 0) samples.push_back(ToMicros(sw.Elapsed()));
+  }
+  return bench::Summarize(std::move(samples));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation A3: colocated vs remote invocation latency ===\n\n");
+
+  constexpr int kIterations = 300;
+  cool::bench::Table table({"binding", "mean us", "p50 us", "p95 us"});
+
+  sim::Network net(TestbedLink());
+  orb::ORB server(&net, "server");
+  auto servant = std::make_shared<EchoServant>();
+
+  // Colocated: object registered in the *same* ORB the stub uses.
+  {
+    auto ref = server.RegisterServant("echo_local", servant);
+    if (!ref.ok()) return 1;
+    orb::Stub stub(&server, *ref);
+    const auto stats = MeasureStub(stub, kIterations);
+    table.AddRow({"colocated", cool::bench::Fmt("%.2f", stats.mean_us),
+                  cool::bench::Fmt("%.2f", stats.p50_us),
+                  cool::bench::Fmt("%.2f", stats.p95_us)});
+  }
+
+  // Remote over each transport.
+  orb::ORB client(&net, "client");
+  const orb::Protocol kProtocols[] = {
+      orb::Protocol::kTcp, orb::Protocol::kIpc, orb::Protocol::kDacapo};
+  std::vector<orb::ObjectRef> refs;
+  for (const auto proto : kProtocols) {
+    auto ref = server.RegisterServant(
+        "echo_" + std::string(orb::ProtocolName(proto)), servant, proto);
+    if (!ref.ok()) return 1;
+    refs.push_back(*ref);
+  }
+  if (!server.Start().ok()) return 1;
+  for (const auto& ref : refs) {
+    orb::Stub stub(&client, ref);
+    const auto stats = MeasureStub(stub, kIterations);
+    table.AddRow({std::string("remote/") +
+                      std::string(orb::ProtocolName(ref.protocol)),
+                  cool::bench::Fmt("%.2f", stats.mean_us),
+                  cool::bench::Fmt("%.2f", stats.p50_us),
+                  cool::bench::Fmt("%.2f", stats.p95_us)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nshape check: colocated skips marshalling to the wire, GIOP and\n"
+      "both network traversals — it should be orders of magnitude below\n"
+      "the remote rows, which are dominated by the 800 us RTT.\n");
+  server.Shutdown();
+  return 0;
+}

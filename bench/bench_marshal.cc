@@ -1,0 +1,113 @@
+// Ablation A1: wire-level cost of the GIOP extension — Request build and
+// parse time and message size, as a function of the number of QoS
+// parameters (0 = standard GIOP 1.0). google-benchmark micro harness.
+#include <benchmark/benchmark.h>
+
+#include "giop/message.h"
+
+namespace {
+
+using namespace cool;
+
+giop::RequestHeader MakeHeader(int qos_params) {
+  giop::RequestHeader h;
+  h.request_id = 1;
+  h.response_expected = true;
+  h.object_key = {'b', 'e', 'n', 'c', 'h'};
+  h.operation = "render_frame";
+  for (int i = 0; i < qos_params; ++i) {
+    h.qos_params.push_back(
+        qos::RequireThroughputKbps(1000 + static_cast<corba::ULong>(i), 100));
+  }
+  return h;
+}
+
+std::vector<corba::Octet> MakeArgs() {
+  cdr::Encoder enc(cdr::NativeOrder(), 0);
+  enc.PutLong(640);
+  enc.PutLong(480);
+  enc.PutString("a modest argument payload");
+  const auto view = enc.buffer().view();
+  return {view.begin(), view.end()};
+}
+
+void BM_BuildRequestGiop10(benchmark::State& state) {
+  const giop::RequestHeader header = MakeHeader(0);
+  const auto args = MakeArgs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(giop::BuildRequest(giop::kGiop10, header, args));
+  }
+}
+BENCHMARK(BM_BuildRequestGiop10);
+
+void BM_BuildRequestGiop99(benchmark::State& state) {
+  const giop::RequestHeader header =
+      MakeHeader(static_cast<int>(state.range(0)));
+  const auto args = MakeArgs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        giop::BuildRequest(giop::kGiopQos, header, args));
+  }
+  state.SetLabel("qos_params=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BuildRequestGiop99)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParseRequestGiop10(benchmark::State& state) {
+  const ByteBuffer msg =
+      giop::BuildRequest(giop::kGiop10, MakeHeader(0), MakeArgs());
+  for (auto _ : state) {
+    auto parsed = giop::ParseMessage(msg.view());
+    cdr::Decoder dec = parsed->MakeBodyDecoder();
+    benchmark::DoNotOptimize(
+        giop::ParseRequestHeader(dec, parsed->header.version));
+  }
+}
+BENCHMARK(BM_ParseRequestGiop10);
+
+void BM_ParseRequestGiop99(benchmark::State& state) {
+  const ByteBuffer msg = giop::BuildRequest(
+      giop::kGiopQos, MakeHeader(static_cast<int>(state.range(0))),
+      MakeArgs());
+  for (auto _ : state) {
+    auto parsed = giop::ParseMessage(msg.view());
+    cdr::Decoder dec = parsed->MakeBodyDecoder();
+    benchmark::DoNotOptimize(
+        giop::ParseRequestHeader(dec, parsed->header.version));
+  }
+  state.SetLabel("qos_params=" + std::to_string(state.range(0)) +
+                 " wire_bytes=" + std::to_string(msg.size()));
+}
+BENCHMARK(BM_ParseRequestGiop99)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BuildReply(benchmark::State& state) {
+  giop::ReplyHeader header;
+  header.request_id = 1;
+  cdr::Encoder body(cdr::NativeOrder(), 0);
+  body.PutString("result payload");
+  const auto view = body.buffer().view();
+  const std::vector<corba::Octet> body_bytes(view.begin(), view.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        giop::BuildReply(giop::kGiop10, header, body_bytes));
+  }
+}
+BENCHMARK(BM_BuildReply);
+
+// Size comparison printed once at exit via a pseudo-benchmark.
+void BM_WireSizes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.range(0));
+  }
+  const ByteBuffer v10 =
+      giop::BuildRequest(giop::kGiop10, MakeHeader(0), MakeArgs());
+  const ByteBuffer v99 = giop::BuildRequest(
+      giop::kGiopQos, MakeHeader(static_cast<int>(state.range(0))),
+      MakeArgs());
+  state.SetLabel("giop1.0=" + std::to_string(v10.size()) + "B giop9.9=" +
+                 std::to_string(v99.size()) + "B");
+}
+BENCHMARK(BM_WireSizes)->Arg(0)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

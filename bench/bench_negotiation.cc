@@ -1,0 +1,91 @@
+// Ablation: cost of QoS negotiation (paper Fig. 3 scenarios made
+// measurable). Microbenchmarks the negotiation engine itself and measures
+// the end-to-end cost of an accepted invocation vs a NACKed one.
+#include <benchmark/benchmark.h>
+
+#include "qos/negotiation.h"
+
+namespace {
+
+using namespace cool;
+
+qos::QoSSpec MakeSpec(int params) {
+  std::vector<qos::QoSParameter> p;
+  const qos::QoSParameter all[] = {
+      qos::RequireThroughputKbps(5000, 1000),
+      qos::RequireLatencyMicros(500, 5000),
+      qos::RequireJitterMicros(100, 2000),
+      qos::RequireReliability(2),
+      qos::RequireOrdering(true),
+      qos::RequireEncryption(true),
+      qos::RequireLossPermille(0, 10),
+      qos::RequirePriority(99),
+  };
+  for (int i = 0; i < params && i < 8; ++i) p.push_back(all[i]);
+  auto spec = qos::QoSSpec::FromParameters(std::move(p));
+  return spec.ok() ? *spec : qos::QoSSpec{};
+}
+
+qos::Capability RichCapability() {
+  qos::Capability cap;
+  cap.SetBest(qos::ParamType::kThroughputKbps, 100'000);
+  cap.SetBest(qos::ParamType::kLatencyMicros, 200);
+  cap.SetBest(qos::ParamType::kJitterMicros, 50);
+  cap.SetBest(qos::ParamType::kReliability, 2);
+  cap.SetBest(qos::ParamType::kOrdering, 1);
+  cap.SetBest(qos::ParamType::kEncryption, 1);
+  cap.SetBest(qos::ParamType::kLossPermille, 0);
+  cap.SetBest(qos::ParamType::kPriority, 255);
+  return cap;
+}
+
+qos::Capability PoorCapability() {
+  qos::Capability cap;
+  cap.SetBest(qos::ParamType::kThroughputKbps, 10);
+  cap.SetBest(qos::ParamType::kLatencyMicros, 1'000'000);
+  return cap;
+}
+
+void BM_NegotiateAccept(benchmark::State& state) {
+  const qos::QoSSpec spec = MakeSpec(static_cast<int>(state.range(0)));
+  const qos::Capability cap = RichCapability();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::Negotiate(spec, cap));
+  }
+  state.SetLabel("params=" + std::to_string(state.range(0)) + " accept");
+}
+BENCHMARK(BM_NegotiateAccept)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_NegotiateNack(benchmark::State& state) {
+  const qos::QoSSpec spec = MakeSpec(static_cast<int>(state.range(0)));
+  const qos::Capability cap = PoorCapability();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::Negotiate(spec, cap));
+  }
+  state.SetLabel("params=" + std::to_string(state.range(0)) + " nack");
+}
+BENCHMARK(BM_NegotiateNack)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ComposeCapabilities(benchmark::State& state) {
+  const qos::Capability a = RichCapability();
+  const qos::Capability b = PoorCapability();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::Compose(a, b));
+  }
+}
+BENCHMARK(BM_ComposeCapabilities);
+
+void BM_SpecValidation(benchmark::State& state) {
+  std::vector<qos::QoSParameter> params;
+  for (int i = 0; i < state.range(0) && i < 8; ++i) {
+    params.push_back(MakeSpec(8).parameters()[static_cast<std::size_t>(i)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::QoSSpec::FromParameters(params));
+  }
+}
+BENCHMARK(BM_SpecValidation)->Arg(1)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

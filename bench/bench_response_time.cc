@@ -1,0 +1,157 @@
+// Reproduction of the paper's §6 response-time comparison: "In order to
+// compare the runtime efficiency of the original GIOP implementation and
+// our extended version, we analyze the response times of remote
+// invocations in both versions. ... The results of these measurements show
+// no differences in response time for both versions."
+//
+// Four variants of the same remote invocation, all over the Da CaPo
+// transport so only the message layer differs:
+//   1. unmodified ORB            — server extension off, plain GIOP 1.0
+//   2. extended ORB, QoS unused  — extension on, no setQoSParameter call
+//                                  (wire is still byte-identical GIOP 1.0)
+//   3. extended ORB, 1 QoS param — GIOP 9.9 Request with qos_params
+//   4. extended ORB, 4 QoS params
+//
+// The variants are *interleaved* round-robin over the same wall-clock
+// window so scheduler drift hits all of them equally.
+//
+// Expected shape: (1) == (2) within noise; (3) and (4) add only the
+// microseconds of marshalling 16 bytes per parameter.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "orb/stub.h"
+
+namespace {
+
+using namespace cool;
+
+sim::LinkProperties TestbedLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 90'000'000;
+  link.latency = microseconds(400);
+  return link;
+}
+
+class PingServant : public orb::Servant {
+ public:
+  std::string_view repository_id() const override {
+    return "IDL:bench/Ping:1.0";
+  }
+  orb::DispatchOutcome Dispatch(std::string_view, cdr::Decoder& args,
+                                cdr::Encoder& out) override {
+    auto v = args.GetLong();
+    out.PutLong(v.ok() ? *v : 0);
+    return orb::DispatchOutcome::Ok();
+  }
+};
+
+struct Variant {
+  const char* name;
+  bool server_extension;
+  int qos_params;
+  std::uint16_t port_base;
+
+  std::unique_ptr<orb::ORB> server;
+  std::unique_ptr<orb::Stub> stub;
+  std::vector<double> samples_us;
+};
+
+// Performance-neutral QoS parameters: no protocol functions required, so
+// the Da CaPo graph stays identical across variants and only the GIOP
+// message layer differs.
+qos::QoSSpec NeutralSpec(int count) {
+  std::vector<qos::QoSParameter> params = {
+      qos::RequireThroughputKbps(1000, 0),
+      qos::RequireLatencyMicros(5000, 1'000'000),
+      qos::RequireLossPermille(1000, 1000),
+      qos::RequirePriority(10),
+  };
+  params.resize(static_cast<std::size_t>(count));
+  auto spec = qos::QoSSpec::FromParameters(std::move(params));
+  return spec.ok() ? *spec : qos::QoSSpec{};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Section 6: response time of remote invocations, original vs "
+      "extended GIOP ===\n"
+      "link: 90 Mbit/s, 400 us one-way (RTT floor: 800 us); variants "
+      "interleaved\n\n");
+
+  sim::Network net(TestbedLink());
+  orb::ORB client(&net, "client");
+
+  Variant variants[] = {
+      {"original GIOP 1.0 (extension off)", false, 0, 7500, {}, {}, {}},
+      {"extended ORB, QoS unused (wire = 1.0)", true, 0, 7510, {}, {}, {}},
+      {"extended ORB, 1 QoS param (wire = 9.9)", true, 1, 7520, {}, {}, {}},
+      {"extended ORB, 4 QoS params (wire = 9.9)", true, 4, 7530, {}, {}, {}},
+  };
+
+  for (Variant& v : variants) {
+    orb::ORB::Options options;
+    options.enable_qos_extension = v.server_extension;
+    options.tcp_port = v.port_base;
+    options.ipc_port = static_cast<std::uint16_t>(v.port_base + 1);
+    options.dacapo_port = static_cast<std::uint16_t>(v.port_base + 2);
+    v.server = std::make_unique<orb::ORB>(
+        &net, "server" + std::to_string(v.port_base), options);
+    auto ref = v.server->RegisterServant(
+        "ping", std::make_shared<PingServant>(), orb::Protocol::kDacapo);
+    if (!ref.ok() || !v.server->Start().ok()) {
+      std::fprintf(stderr, "setup failed for %s\n", v.name);
+      return 1;
+    }
+    v.stub = std::make_unique<orb::Stub>(&client, *ref);
+    if (v.qos_params > 0) {
+      if (Status s = v.stub->SetQoSParameter(NeutralSpec(v.qos_params));
+          !s.ok()) {
+        std::fprintf(stderr, "setQoSParameter failed for %s: %s\n", v.name,
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  constexpr int kIterations = 300;
+  constexpr int kWarmup = 20;
+  for (int i = -kWarmup; i < kIterations; ++i) {
+    for (Variant& v : variants) {
+      cool::cdr::Encoder args = v.stub->MakeArgsEncoder();
+      args.PutLong(i);
+      const cool::Stopwatch sw;
+      auto reply = v.stub->Invoke("ping", args.buffer().view());
+      const double us = cool::ToMicros(sw.Elapsed());
+      if (!reply.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", v.name,
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      if (i >= 0) v.samples_us.push_back(us);
+    }
+  }
+
+  cool::bench::Table table(
+      {"variant", "mean us", "p50 us", "p95 us", "min us"});
+  double baseline_p50 = 0;
+  for (Variant& v : variants) {
+    const auto stats = cool::bench::Summarize(std::move(v.samples_us));
+    if (baseline_p50 == 0) baseline_p50 = stats.p50_us;
+    table.AddRow({v.name, cool::bench::Fmt("%.1f", stats.mean_us),
+                  cool::bench::Fmt("%.1f", stats.p50_us),
+                  cool::bench::Fmt("%.1f", stats.p95_us),
+                  cool::bench::Fmt("%.1f", stats.min_us)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check (paper §6): all variants within noise of each other —\n"
+      "\"QoS negotiation at the message layer does not introduce\n"
+      "performance degradation\". The 9.9 rows carry 16 extra wire bytes\n"
+      "per parameter, invisible next to the ~%0.0f us round trip.\n",
+      baseline_p50);
+  for (Variant& v : variants) v.server->Shutdown();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation A6 — "controlled delay jitter": the MULTE QoS dimension the
+// paper's introduction names alongside low latency and high throughput.
+//
+// One 50 fps / 4 KiB media flow crosses a link with loss and jitter under
+// four protocol configurations. Measures receiver-side frame loss and
+// delay jitter per configuration:
+//
+//   raw            — empty graph (loss and network jitter pass through)
+//   sequencer      — ordering only (reorder fixed, loss remains)
+//   irq            — stop-and-wait ARQ (lossless, but bursty delivery)
+//   go_back_n      — windowed ARQ (lossless, smoother than IRQ)
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "stream/flow.h"
+
+namespace {
+
+using namespace cool;
+
+dacapo::ModuleGraphSpec Graph(std::initializer_list<const char*> names) {
+  dacapo::ModuleGraphSpec spec;
+  for (const char* n : names) {
+    dacapo::MechanismSpec m;
+    m.name = n;
+    if (m.name == dacapo::mechanisms::kIrq ||
+        m.name == dacapo::mechanisms::kGoBackN) {
+      m.params["rto_us"] = 6000;
+    }
+    spec.chain.push_back(std::move(m));
+  }
+  return spec;
+}
+
+struct RunResult {
+  stream::FlowStats stats;
+  std::uint64_t frames_sent = 0;
+};
+
+RunResult RunFlow(const dacapo::ModuleGraphSpec& graph, Duration duration) {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 50'000'000;
+  link.latency = milliseconds(1);
+  link.jitter = microseconds(500);
+  link.loss_rate = 0.05;
+  sim::Network net(link, /*rng_seed=*/42);
+
+  dacapo::Acceptor acceptor(&net, {"rx", 6800});
+  if (!acceptor.Listen().ok()) return {};
+  dacapo::ChannelOptions options;
+  options.transport = dacapo::ChannelOptions::Transport::kDatagram;
+  options.graph = graph;
+  options.packet_capacity = 8 * 1024;
+
+  Result<std::unique_ptr<dacapo::Session>> rx(
+      Status(InternalError("unset")));
+  std::thread accept_thread([&] { rx = acceptor.Accept(); });
+  dacapo::Connector connector(&net, "tx");
+  auto tx = connector.Connect({"rx", 6800}, options);
+  accept_thread.join();
+  if (!tx.ok() || !rx.ok()) return {};
+
+  stream::FlowSpec spec;
+  spec.frame_rate_hz = 50.0;
+  spec.frame_bytes = 4 * 1024;
+  stream::StreamSource source(tx->get(), spec);
+  stream::StreamSink sink(rx->get());
+  if (!sink.Start().ok() || !source.Start().ok()) return {};
+  std::this_thread::sleep_for(duration);
+  source.Stop();
+  std::this_thread::sleep_for(milliseconds(250));
+  sink.Stop();
+
+  RunResult result;
+  result.stats = sink.stats();
+  result.frames_sent = source.frames_sent();
+  (*tx)->Close();
+  (*rx)->Close();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation A6: controlled delay jitter per protocol "
+      "configuration ===\n"
+      "link: 50 Mbit/s, 1 ms +/- 0.5 ms jitter, 5%% datagram loss;\n"
+      "flow: 50 fps x 4 KiB frames for 2 s\n\n");
+
+  struct Config {
+    const char* name;
+    cool::dacapo::ModuleGraphSpec graph;
+  };
+  const Config kConfigs[] = {
+      {"raw (empty graph)", Graph({})},
+      {"sequencer", Graph({cool::dacapo::mechanisms::kSequencer})},
+      {"irq + crc16", Graph({cool::dacapo::mechanisms::kIrq,
+                             cool::dacapo::mechanisms::kCrc16})},
+      {"go_back_n + crc16", Graph({cool::dacapo::mechanisms::kGoBackN,
+                                   cool::dacapo::mechanisms::kCrc16})},
+  };
+
+  cool::bench::Table table({"configuration", "sent", "received", "lost",
+                            "fps", "jitter mean us", "jitter p95 us"});
+  for (const Config& config : kConfigs) {
+    const RunResult r = RunFlow(config.graph, cool::seconds(2));
+    table.AddRow({config.name, std::to_string(r.frames_sent),
+                  std::to_string(r.stats.frames_received),
+                  std::to_string(r.stats.frames_lost),
+                  cool::bench::Fmt("%.1f", r.stats.measured_fps),
+                  cool::bench::Fmt("%.0f", r.stats.mean_jitter_us),
+                  cool::bench::Fmt("%.0f", r.stats.p95_jitter_us)});
+    std::fflush(stdout);
+  }
+  table.Print();
+
+  std::printf(
+      "\nshape check: raw loses ~5%% of frames, and every loss tears a\n"
+      "frame-period-sized hole in the arrival process (high jitter);\n"
+      "the sequencer makes that worse — head-of-line blocking stalls on\n"
+      "each gap and then bursts. The ARQ graphs deliver every frame and\n"
+      "fill the holes within an RTO, giving both zero loss AND the lowest\n"
+      "delay jitter. Picking the graph per flow from its QoS spec IS the\n"
+      "paper's flexible-QoS argument.\n");
+  return 0;
+}

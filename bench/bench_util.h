@@ -1,0 +1,84 @@
+// Shared helpers for the reproduction benchmarks: latency statistics and
+// aligned table printing in the style of the paper's figures.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace cool::bench {
+
+struct LatencyStats {
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+inline LatencyStats Summarize(std::vector<double> samples_us) {
+  LatencyStats s;
+  if (samples_us.empty()) return s;
+  std::sort(samples_us.begin(), samples_us.end());
+  double sum = 0;
+  for (double v : samples_us) sum += v;
+  s.mean_us = sum / static_cast<double>(samples_us.size());
+  s.p50_us = samples_us[samples_us.size() / 2];
+  s.p95_us = samples_us[samples_us.size() * 95 / 100];
+  s.min_us = samples_us.front();
+  s.max_us = samples_us.back();
+  return s;
+}
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule.push_back(std::string(widths[c], '-'));
+    }
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+}  // namespace cool::bench

@@ -1,0 +1,101 @@
+// Quickstart: the smallest complete COOL program — a server ORB exporting
+// one object, a client ORB invoking it over the simulated network, plus
+// the one-line QoS twist the paper adds: stub.setQoSParameter().
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "orb/stub.h"
+
+using namespace cool;
+
+// A hand-written servant (what a Chic-generated skeleton would wrap).
+class GreeterServant : public orb::Servant {
+ public:
+  std::string_view repository_id() const override {
+    return "IDL:examples/Greeter:1.0";
+  }
+
+  orb::DispatchOutcome Dispatch(std::string_view operation,
+                                cdr::Decoder& args,
+                                cdr::Encoder& out) override {
+    if (operation == "greet") {
+      auto name = args.GetString();
+      if (!name.ok()) {
+        return orb::DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+      }
+      out.PutString("Hello, " + *name + "!");
+      return orb::DispatchOutcome::Ok();
+    }
+    return orb::DispatchOutcome::Fail(UnsupportedError("unknown operation"));
+  }
+};
+
+int main() {
+  // 1. A simulated network: two hosts joined by a 90 Mbit/s, 400 us link.
+  sim::LinkProperties link;
+  link.bandwidth_bps = 90'000'000;
+  link.latency = microseconds(400);
+  sim::Network net(link);
+
+  // 2. Server side: an ORB with one registered object, listening on all
+  //    three transports (TCP, IPC, Da CaPo).
+  orb::ORB server(&net, "server");
+  auto ref = server.RegisterServant("greeter",
+                                    std::make_shared<GreeterServant>());
+  if (!ref.ok() || !server.Start().ok()) {
+    std::fprintf(stderr, "server setup failed\n");
+    return 1;
+  }
+  std::printf("object reference: %s\n\n", ref->ToString().c_str());
+
+  // 3. Client side: resolve the (stringified) reference and invoke.
+  orb::ORB client(&net, "client");
+  auto parsed = orb::ObjectRef::FromString(ref->ToString());
+  orb::Stub stub(&client, *parsed);
+
+  cdr::Encoder args = stub.MakeArgsEncoder();
+  args.PutString("world");
+  auto reply = stub.Invoke("greet", args.buffer().view());
+  if (!reply.ok()) {
+    std::fprintf(stderr, "invocation failed: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  cdr::Decoder dec = reply->MakeDecoder();
+  std::printf("server said: %s\n", dec.GetString()->c_str());
+  std::printf("bound over: %s (GIOP 1.0 — no QoS requested)\n\n",
+              std::string(stub.bound_protocol()).c_str());
+
+  // 4. The paper's addition: requesting QoS. Over plain TCP this fails
+  //    before any byte is sent — TCP "does not implement setQoSParameter".
+  auto spec = qos::QoSSpec::FromParameters({qos::RequireReliability(1)});
+  const Status refused = stub.SetQoSParameter(*spec);
+  std::printf("setQoSParameter over tcp -> %s\n", refused.ToString().c_str());
+
+  // Rebinding the same object over the Da CaPo transport makes it work:
+  // the QoS maps to a configured protocol graph.
+  orb::Stub qos_stub(&client,
+                     ref->WithProtocol(orb::Protocol::kDacapo,
+                                       {"server", 7003}));
+  if (Status s = qos_stub.SetQoSParameter(*spec); !s.ok()) {
+    std::fprintf(stderr, "dacapo setQoSParameter failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  cdr::Encoder args2 = qos_stub.MakeArgsEncoder();
+  args2.PutString("QoS world");
+  auto qos_reply = qos_stub.Invoke("greet", args2.buffer().view());
+  if (!qos_reply.ok()) {
+    std::fprintf(stderr, "QoS invocation failed: %s\n",
+                 qos_reply.status().ToString().c_str());
+    return 1;
+  }
+  cdr::Decoder dec2 = qos_reply->MakeDecoder();
+  std::printf("server said: %s\n", dec2.GetString()->c_str());
+  std::printf("bound over: %s (GIOP 9.9 — Request carried qos_params)\n",
+              std::string(qos_stub.bound_protocol()).c_str());
+
+  server.Shutdown();
+  return 0;
+}

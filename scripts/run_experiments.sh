@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md: runs the full test
+# suite and every benchmark binary, teeing output next to the repo root.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "==================================================================="
+  echo ">>> $b"
+  echo "==================================================================="
+  "$b"
+done 2>&1 | tee -a bench_output.txt

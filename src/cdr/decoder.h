@@ -1,0 +1,142 @@
+// CDR decoder: the mirror of cdr::Encoder. All getters return Result so a
+// truncated or corrupt message surfaces as kProtocolError instead of UB —
+// GIOP engines turn that into a MessageError message.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "cdr/encoder.h"
+#include "cdr/types.h"
+#include "common/status.h"
+
+namespace cool::cdr {
+
+class Decoder {
+ public:
+  // `data` must stay alive while the decoder is used. `base_offset` mirrors
+  // Encoder's: octets logically preceding `data` in the message.
+  Decoder(std::span<const corba::Octet> data,
+          ByteOrder order = NativeOrder(), std::size_t base_offset = 0)
+      : data_(data), order_(order), base_offset_(base_offset) {}
+
+  ByteOrder order() const noexcept { return order_; }
+  void set_order(ByteOrder order) noexcept { order_ = order; }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool AtEnd() const noexcept { return remaining() == 0; }
+
+  Result<corba::Octet> GetOctet() {
+    if (remaining() < 1) return Underrun("octet");
+    return data_[pos_++];
+  }
+
+  Result<corba::Boolean> GetBoolean() {
+    COOL_ASSIGN_OR_RETURN(corba::Octet o, GetOctet());
+    if (o > 1) return ProtocolError("boolean octet not 0/1");
+    return o == 1;
+  }
+
+  Result<corba::Char> GetChar() {
+    COOL_ASSIGN_OR_RETURN(corba::Octet o, GetOctet());
+    return static_cast<corba::Char>(o);
+  }
+
+  Result<corba::Short> GetShort() { return GetIntegral<corba::Short>(); }
+  Result<corba::UShort> GetUShort() { return GetIntegral<corba::UShort>(); }
+  Result<corba::Long> GetLong() { return GetIntegral<corba::Long>(); }
+  Result<corba::ULong> GetULong() { return GetIntegral<corba::ULong>(); }
+  Result<corba::LongLong> GetLongLong() {
+    return GetIntegral<corba::LongLong>();
+  }
+  Result<corba::ULongLong> GetULongLong() {
+    return GetIntegral<corba::ULongLong>();
+  }
+
+  Result<corba::Float> GetFloat() {
+    COOL_ASSIGN_OR_RETURN(corba::ULong bits, GetULong());
+    corba::Float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  Result<corba::Double> GetDouble() {
+    COOL_ASSIGN_OR_RETURN(corba::ULongLong bits, GetULongLong());
+    corba::Double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  Result<corba::String> GetString() {
+    COOL_ASSIGN_OR_RETURN(corba::ULong len, GetULong());
+    if (len == 0) return Status(ProtocolError("CDR string length 0"));
+    if (remaining() < len) return Underrun("string body");
+    corba::String s(reinterpret_cast<const char*>(data_.data() + pos_),
+                    len - 1);
+    if (data_[pos_ + len - 1] != 0) {
+      return Status(ProtocolError("CDR string missing NUL"));
+    }
+    pos_ += len;
+    return s;
+  }
+
+  Result<corba::OctetSeq> GetOctetSeq() {
+    COOL_ASSIGN_OR_RETURN(corba::ULong len, GetULong());
+    if (remaining() < len) return Underrun("octet sequence body");
+    corba::OctetSeq s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                      data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return s;
+  }
+
+  Status GetRaw(std::span<corba::Octet> out) {
+    if (remaining() < out.size()) return Underrun("raw bytes");
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return Status::Ok();
+  }
+
+  Status Align(std::size_t n) {
+    const std::size_t pos = base_offset_ + pos_;
+    const std::size_t pad = (n - pos % n) % n;
+    if (remaining() < pad) return Underrun("alignment padding");
+    pos_ += pad;
+    return Status::Ok();
+  }
+
+  std::size_t offset() const noexcept { return base_offset_ + pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetIntegral() {
+    COOL_RETURN_IF_ERROR(Align(sizeof(T)));
+    if (remaining() < sizeof(T)) return Underrun("integral");
+    std::make_unsigned_t<T> u = 0;
+    if (order_ == ByteOrder::kLittleEndian) {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        u |= static_cast<std::make_unsigned_t<T>>(data_[pos_ + i]) << (8 * i);
+      }
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        u |= static_cast<std::make_unsigned_t<T>>(
+                 data_[pos_ + sizeof(T) - 1 - i])
+             << (8 * i);
+      }
+    }
+    pos_ += sizeof(T);
+    return std::bit_cast<T>(u);
+  }
+
+  Status Underrun(const char* what) const {
+    return ProtocolError(std::string("CDR underrun reading ") + what);
+  }
+
+  std::span<const corba::Octet> data_;
+  ByteOrder order_;
+  std::size_t base_offset_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cool::cdr

@@ -1,0 +1,115 @@
+// CDR (Common Data Representation) encoder, CORBA 2.0 §12. Primitives are
+// aligned to their natural size relative to the *start of the message*; the
+// encoder therefore tracks a logical offset, which GIOP seeds with the
+// 12-byte header it writes itself.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+#include "cdr/types.h"
+#include "common/byte_buffer.h"
+
+namespace cool::cdr {
+
+enum class ByteOrder : corba::Octet {
+  kBigEndian = 0,    // CDR FALSE
+  kLittleEndian = 1, // CDR TRUE
+};
+
+inline ByteOrder NativeOrder() noexcept {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittleEndian
+                                                    : ByteOrder::kBigEndian;
+}
+
+class Encoder {
+ public:
+  // `base_offset`: how many octets logically precede this encoder's output
+  // in the enclosing message (alignment is computed from the message start).
+  explicit Encoder(ByteOrder order = NativeOrder(),
+                   std::size_t base_offset = 0)
+      : order_(order), base_offset_(base_offset) {}
+
+  ByteOrder order() const noexcept { return order_; }
+
+  void PutOctet(corba::Octet v) { buf_.AppendByte(v); }
+  void PutBoolean(corba::Boolean v) { PutOctet(v ? 1 : 0); }
+  void PutChar(corba::Char v) {
+    PutOctet(static_cast<corba::Octet>(v));
+  }
+  void PutShort(corba::Short v) { PutIntegral(v); }
+  void PutUShort(corba::UShort v) { PutIntegral(v); }
+  void PutLong(corba::Long v) { PutIntegral(v); }
+  void PutULong(corba::ULong v) { PutIntegral(v); }
+  void PutLongLong(corba::LongLong v) { PutIntegral(v); }
+  void PutULongLong(corba::ULongLong v) { PutIntegral(v); }
+
+  void PutFloat(corba::Float v) {
+    corba::ULong bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    PutIntegral(bits);
+  }
+  void PutDouble(corba::Double v) {
+    corba::ULongLong bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    PutIntegral(bits);
+  }
+
+  // CDR string: ulong length including the terminating NUL, then the octets,
+  // then NUL.
+  void PutString(std::string_view s) {
+    PutULong(static_cast<corba::ULong>(s.size() + 1));
+    buf_.Append(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    buf_.AppendByte(0);
+  }
+
+  // sequence<octet>: ulong count then raw octets.
+  void PutOctetSeq(std::span<const corba::Octet> s) {
+    PutULong(static_cast<corba::ULong>(s.size()));
+    buf_.Append(s);
+  }
+
+  // Raw bytes, no count, no alignment (e.g. the 4-octet GIOP magic).
+  void PutRaw(std::span<const corba::Octet> s) { buf_.Append(s); }
+
+  // Inserts padding so the next primitive of size `n` is naturally aligned.
+  void Align(std::size_t n) {
+    const std::size_t pos = base_offset_ + buf_.size();
+    const std::size_t pad = (n - pos % n) % n;
+    buf_.AppendZeros(pad);
+  }
+
+  // Logical offset of the next octet written (message-relative).
+  std::size_t offset() const noexcept { return base_offset_ + buf_.size(); }
+
+  const ByteBuffer& buffer() const noexcept { return buf_; }
+  ByteBuffer&& TakeBuffer() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutIntegral(T v) {
+    Align(sizeof(T));
+    auto u = std::bit_cast<std::make_unsigned_t<T>>(v);
+    corba::Octet bytes[sizeof(T)];
+    if (order_ == ByteOrder::kLittleEndian) {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        bytes[i] = static_cast<corba::Octet>(u >> (8 * i));
+      }
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        bytes[sizeof(T) - 1 - i] = static_cast<corba::Octet>(u >> (8 * i));
+      }
+    }
+    buf_.Append(bytes);
+  }
+
+  ByteOrder order_;
+  std::size_t base_offset_;
+  ByteBuffer buf_;
+};
+
+}  // namespace cool::cdr

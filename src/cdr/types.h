@@ -1,0 +1,25 @@
+// CORBA primitive type aliases (CORBA 2.0 §5 / IDL-to-C++ mapping), used by
+// the CDR codec, GIOP message definitions and generated stub code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cool::corba {
+
+using Boolean = bool;
+using Char = char;
+using Octet = std::uint8_t;
+using Short = std::int16_t;
+using UShort = std::uint16_t;
+using Long = std::int32_t;
+using ULong = std::uint32_t;
+using LongLong = std::int64_t;
+using ULongLong = std::uint64_t;
+using Float = float;
+using Double = double;
+using String = std::string;
+using OctetSeq = std::vector<Octet>;
+
+}  // namespace cool::corba

@@ -1,0 +1,123 @@
+// BlockingQueue<T>: bounded multi-producer multi-consumer queue with a
+// close() protocol. This is the Da CaPo "message queue" primitive (paper
+// Fig. 6): every module owns one for data packets and one for control
+// packets, and each module's thread blocks on Pop().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace cool {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false iff the queue was closed
+  // (the item is dropped in that case).
+  //
+  // NOTE on notification discipline (here and below): condition variables
+  // are signalled while the mutex is held. Waking the waiter under the
+  // lock costs one extra context switch in the worst case, but makes it
+  // safe for a consumer to observe the item and *destroy the queue*
+  // before the producer's notify call runs — the producer finishes the
+  // notify before releasing the mutex the destructor's user must have
+  // synchronized on (found by TSan).
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false if full or closed.
+  bool TryPush(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || Full()) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed *and drained*.
+  // nullopt means "closed, nothing more will ever arrive".
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Pop with deadline; nullopt on timeout or closed+drained. Use
+  // `closed()` to distinguish if required.
+  std::optional<T> PopFor(Duration timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // After Close(): pushes fail, pops drain remaining items then return
+  // nullopt. Idempotent.
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cool

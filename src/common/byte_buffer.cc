@@ -1,0 +1,19 @@
+#include "common/byte_buffer.h"
+
+namespace cool {
+
+std::string ByteBuffer::HexDump(std::size_t max_bytes) const {
+  static const char kHex[] = "0123456789abcdef";
+  const std::size_t n = std::min(max_bytes, data_.size());
+  std::string out;
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out += (i % 8 == 0) ? "  " : " ";
+    out += kHex[data_[i] >> 4];
+    out += kHex[data_[i] & 0xf];
+  }
+  if (n < data_.size()) out += " ...";
+  return out;
+}
+
+}  // namespace cool

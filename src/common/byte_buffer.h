@@ -1,0 +1,105 @@
+// ByteBuffer: a growable octet buffer with independent read/write cursors.
+// The single backing store used by CDR marshaling, GIOP framing, transport
+// buffering (_TcpBuffer analogue) and Da CaPo packet payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cool {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data)
+      : data_(std::move(data)) {}
+  explicit ByteBuffer(std::span<const std::uint8_t> data)
+      : data_(data.begin(), data.end()) {}
+
+  static ByteBuffer FromString(std::string_view s) {
+    ByteBuffer b;
+    b.Append(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    return b;
+  }
+
+  // --- writer side -------------------------------------------------------
+  void Append(std::span<const std::uint8_t> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void AppendByte(std::uint8_t b) { data_.push_back(b); }
+  // Appends `count` zero octets (used for CDR alignment padding).
+  void AppendZeros(std::size_t count) { data_.insert(data_.end(), count, 0); }
+
+  // Write at an absolute offset (used to back-patch GIOP message_size).
+  Status WriteAt(std::size_t offset, std::span<const std::uint8_t> bytes) {
+    if (offset + bytes.size() > data_.size()) {
+      return InvalidArgumentError("WriteAt out of range");
+    }
+    std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+    return Status::Ok();
+  }
+
+  // --- reader side --------------------------------------------------------
+  std::size_t read_pos() const noexcept { return read_pos_; }
+  void set_read_pos(std::size_t pos) noexcept { read_pos_ = pos; }
+  std::size_t remaining() const noexcept { return data_.size() - read_pos_; }
+
+  // Copies `out.size()` octets from the cursor; fails without consuming if
+  // fewer remain.
+  Status Read(std::span<std::uint8_t> out) {
+    if (out.size() > remaining()) {
+      return ProtocolError("buffer underrun");
+    }
+    std::memcpy(out.data(), data_.data() + read_pos_, out.size());
+    read_pos_ += out.size();
+    return Status::Ok();
+  }
+
+  Status Skip(std::size_t count) {
+    if (count > remaining()) return ProtocolError("skip past end");
+    read_pos_ += count;
+    return Status::Ok();
+  }
+
+  // --- whole-buffer access -------------------------------------------------
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  const std::uint8_t* data() const noexcept { return data_.data(); }
+  std::uint8_t* data() noexcept { return data_.data(); }
+  std::span<const std::uint8_t> view() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  std::span<const std::uint8_t> unread() const noexcept {
+    return {data_.data() + read_pos_, remaining()};
+  }
+  void Clear() noexcept {
+    data_.clear();
+    read_pos_ = 0;
+  }
+  void Reserve(std::size_t n) { data_.reserve(n); }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_.data()),
+                       data_.size());
+  }
+
+  // Hex dump of the first `max_bytes` octets; for protocol tests and logs.
+  std::string HexDump(std::size_t max_bytes = 64) const;
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace cool

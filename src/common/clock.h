@@ -1,0 +1,60 @@
+// Time primitives shared by the simulated network, Da CaPo pacing and the
+// benchmarks. All durations are steady-clock based; wall time never appears
+// in protocol logic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace cool {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+inline TimePoint Now() noexcept { return Clock::now(); }
+
+inline double ToSeconds(Duration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+inline double ToMillis(Duration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+inline double ToMicros(Duration d) noexcept {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+// Busy-wait under ~50us (sleep granularity on most kernels is worse than
+// that), otherwise sleep. Used for link pacing in the simulated network.
+inline void PreciseSleep(Duration d) {
+  if (d <= Duration::zero()) return;
+  const TimePoint deadline = Now() + d;
+  if (d > microseconds(50)) {
+    std::this_thread::sleep_until(deadline - microseconds(30));
+  }
+  while (Now() < deadline) {
+    // spin
+  }
+}
+
+// Elapsed-time helper for measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  Duration Elapsed() const { return Now() - start_; }
+  double ElapsedSeconds() const { return ToSeconds(Elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace cool

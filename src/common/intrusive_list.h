@@ -1,0 +1,161 @@
+// Intrusive doubly-linked list: the `_dlink` / `_dlist` pair from the COOL
+// runtime class hierarchy (paper Fig. 8), used there to manage buffers and
+// communication channels. Nodes embed a DLink; the list never allocates.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace cool {
+
+// Embed a DLink member (or inherit from it) to make a type list-able.
+// A DLink knows whether it is currently on a list and unlinks itself on
+// destruction, so destroying a channel/buffer automatically deregisters it.
+class DLink {
+ public:
+  DLink() noexcept = default;
+  ~DLink() { Unlink(); }
+
+  DLink(const DLink&) = delete;
+  DLink& operator=(const DLink&) = delete;
+
+  bool linked() const noexcept { return next_ != nullptr; }
+
+  // Removes this node from whatever list holds it; no-op when unlinked.
+  void Unlink() noexcept {
+    if (!linked()) return;
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    next_ = prev_ = nullptr;
+  }
+
+ private:
+  template <typename T, DLink T::* Member>
+  friend class DList;
+
+  void InsertBetween(DLink* before, DLink* after) noexcept {
+    assert(!linked());
+    prev_ = before;
+    next_ = after;
+    before->next_ = this;
+    after->prev_ = this;
+  }
+
+  DLink* next_ = nullptr;
+  DLink* prev_ = nullptr;
+};
+
+// DList<T, &T::link>: a list threaded through T's `link` member.
+// The list does not own elements; callers manage element lifetime (elements
+// unlink themselves when destroyed).
+template <typename T, DLink T::* Member>
+class DList {
+ public:
+  DList() noexcept {
+    // Sentinel circle.
+    head_.next_ = &head_;
+    head_.prev_ = &head_;
+  }
+
+  ~DList() { Clear(); }
+
+  DList(const DList&) = delete;
+  DList& operator=(const DList&) = delete;
+
+  bool empty() const noexcept { return head_.next_ == &head_; }
+
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const DLink* p = head_.next_; p != &head_; p = p->next_) ++n;
+    return n;
+  }
+
+  void PushBack(T& item) noexcept {
+    LinkOf(item).InsertBetween(head_.prev_, &head_);
+  }
+
+  void PushFront(T& item) noexcept {
+    LinkOf(item).InsertBetween(&head_, head_.next_);
+  }
+
+  T* Front() noexcept {
+    return empty() ? nullptr : FromLink(head_.next_);
+  }
+
+  T* Back() noexcept {
+    return empty() ? nullptr : FromLink(head_.prev_);
+  }
+
+  // Pops and returns the front element, or nullptr when empty.
+  T* PopFront() noexcept {
+    if (empty()) return nullptr;
+    T* item = FromLink(head_.next_);
+    LinkOf(*item).Unlink();
+    return item;
+  }
+
+  static void Remove(T& item) noexcept { LinkOf(item).Unlink(); }
+
+  static bool IsLinked(const T& item) noexcept {
+    return (item.*Member).linked();
+  }
+
+  // Unlinks all elements (does not destroy them).
+  void Clear() noexcept {
+    while (PopFront() != nullptr) {
+    }
+  }
+
+  // Minimal forward iteration support (enough for range-for).
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    explicit iterator(DLink* node) noexcept : node_(node) {}
+    reference operator*() const noexcept { return *FromLink(node_); }
+    pointer operator->() const noexcept { return FromLink(node_); }
+    iterator& operator++() noexcept {
+      node_ = node_->next_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) noexcept {
+      return a.node_ == b.node_;
+    }
+
+   private:
+    DLink* node_;
+  };
+
+  iterator begin() noexcept { return iterator(head_.next_); }
+  iterator end() noexcept { return iterator(&head_); }
+
+ private:
+  static DLink& LinkOf(T& item) noexcept { return item.*Member; }
+
+  static T* FromLink(DLink* link) noexcept {
+    // Recover T* from the embedded member address.
+    const auto offset = MemberOffset();
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(link) - offset);
+  }
+
+  static std::ptrdiff_t MemberOffset() noexcept {
+    alignas(T) static char storage[sizeof(T)];
+    const T* probe = reinterpret_cast<const T*>(storage);
+    return reinterpret_cast<const char*>(&(probe->*Member)) -
+           reinterpret_cast<const char*>(probe);
+  }
+
+  DLink head_;
+};
+
+}  // namespace cool

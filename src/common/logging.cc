@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace cool {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, std::string_view component,
+             std::string_view msg) {
+  static TimePoint start = Now();
+  const double t_ms = ToMillis(Now() - start);
+  // One fprintf call keeps lines whole under concurrency.
+  std::fprintf(stderr, "[%10.3f] %.*s [%.*s] %.*s\n", t_ms,
+               static_cast<int>(LevelName(level).size()),
+               LevelName(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace cool

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Defaults to kWarn so tests and benchmarks stay
+// quiet; examples raise the level to narrate protocol activity.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cool {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Process-wide minimum level.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+bool LogEnabled(LogLevel level) noexcept;
+
+// Emits one formatted line to stderr (thread-safe, single write call).
+void LogLine(LogLevel level, std::string_view component, std::string_view msg);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { LogLine(level_, component_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// Usage: COOL_LOG(kInfo, "giop") << "sent Request id=" << id;
+#define COOL_LOG(level, component)                          \
+  if (!::cool::LogEnabled(::cool::LogLevel::level)) {       \
+  } else                                                    \
+    ::cool::internal::LogMessage(::cool::LogLevel::level,   \
+                                 (component))               \
+        .stream()
+
+}  // namespace cool

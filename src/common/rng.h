@@ -1,0 +1,49 @@
+// Deterministic PRNG (splitmix64 core) for loss/jitter injection in the
+// simulated network and for property-test data. Seeded explicitly so every
+// test and benchmark run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cool {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    return NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) noexcept { return NextDouble() < p_true; }
+
+  std::uint8_t NextByte() noexcept {
+    return static_cast<std::uint8_t>(NextU64() & 0xff);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cool

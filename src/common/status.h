@@ -1,0 +1,165 @@
+// Status / Result: value-based error handling for internal (non-CORBA-visible)
+// APIs. CORBA-visible failures use the cool::SystemException hierarchy in
+// src/orb/exceptions.h; everything below the ORB surface returns these types.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cool {
+
+// Broad error taxonomy shared by all substrates. Kept deliberately small:
+// callers branch on "can I retry / renegotiate / must I give up", not on
+// subsystem-specific detail (which lives in the message).
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller bug: malformed input
+  kFailedPrecondition,// object in the wrong state for this call
+  kNotFound,          // name/key/object does not exist
+  kAlreadyExists,     // duplicate registration
+  kResourceExhausted, // admission control / buffers / budget denied
+  kUnavailable,       // peer or link (transiently) down
+  kDeadlineExceeded,  // timed out
+  kCancelled,         // explicitly cancelled by the caller
+  kProtocolError,     // malformed or unexpected wire data
+  kUnsupported,       // feature not provided by this implementation
+  kInternal,          // invariant violation; indicates a bug
+};
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+// A cheap, copyable success-or-error value. An OK Status carries no message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  // "code: message" for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // messages are for humans, not dispatch
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring the taxonomy above.
+inline Status InvalidArgumentError(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status NotFoundError(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status UnavailableError(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status CancelledError(std::string msg) {
+  return {ErrorCode::kCancelled, std::move(msg)};
+}
+inline Status ProtocolError(std::string msg) {
+  return {ErrorCode::kProtocolError, std::move(msg)};
+}
+inline Status UnsupportedError(std::string msg) {
+  return {ErrorCode::kUnsupported, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+// Result<T>: either a value or a non-OK Status. Modeled after absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return SomeError(...)`
+  // both work from functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result<T> must not hold an OK Status");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Status& status() const noexcept {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // value_or: fallback for soft-failure call sites.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// RETURN_IF_ERROR: early-exit plumbing for Status-returning internals.
+#define COOL_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::cool::Status _cool_status = (expr);           \
+    if (!_cool_status.ok()) return _cool_status;    \
+  } while (false)
+
+#define COOL_CONCAT_INNER(a, b) a##b
+#define COOL_CONCAT(a, b) COOL_CONCAT_INNER(a, b)
+
+#define COOL_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  decl = std::move(tmp).value()
+
+#define COOL_ASSIGN_OR_RETURN(decl, expr) \
+  COOL_ASSIGN_OR_RETURN_IMPL(COOL_CONCAT(_cool_result_, __LINE__), decl, expr)
+
+}  // namespace cool

@@ -1,0 +1,66 @@
+#include "dacapo/checksum.h"
+
+#include <array>
+
+namespace cool::dacapo {
+
+std::uint8_t ParityByte(std::span<const std::uint8_t> data) noexcept {
+  std::uint8_t p = 0;
+  for (std::uint8_t b : data) p ^= b;
+  return p;
+}
+
+std::uint16_t Crc16(std::span<const std::uint8_t> data) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : data) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrc32Table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void XorCipher(std::span<std::uint8_t> data, std::uint64_t key) noexcept {
+  // xorshift64 keystream; one state step yields 8 keystream octets.
+  std::uint64_t state = key ^ 0x2545F4914F6CDD1DULL;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::uint64_t ks = state;
+    for (int k = 0; k < 8 && i < data.size(); ++k, ++i) {
+      data[i] ^= static_cast<std::uint8_t>(ks);
+      ks >>= 8;
+    }
+  }
+}
+
+}  // namespace cool::dacapo

@@ -1,0 +1,26 @@
+// Checksum / cipher primitives backing the error-detection and encryption
+// protocol mechanisms (paper §5.1: "the function error detection can be
+// performed by mechanisms like parity bit, CRC16, CRC32, etc.").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cool::dacapo {
+
+// Longitudinal parity over all octets (the paper's "parity bit" mechanism,
+// widened to a byte so it is wire-representable on its own).
+std::uint8_t ParityByte(std::span<const std::uint8_t> data) noexcept;
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+std::uint16_t Crc16(std::span<const std::uint8_t> data) noexcept;
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+std::uint32_t Crc32(std::span<const std::uint8_t> data) noexcept;
+
+// Symmetric keystream cipher (xorshift keystream seeded by `key`): stands in
+// for the paper's en-/decryption protocol function. In-place; applying it
+// twice with the same key restores the input.
+void XorCipher(std::span<std::uint8_t> data, std::uint64_t key) noexcept;
+
+}  // namespace cool::dacapo

@@ -1,0 +1,134 @@
+// Protocol graphs and the mechanism registry (paper §5.1): layer C is
+// decomposed into protocol *functions* (error detection, acknowledgment,
+// flow control, de-/encryption, ...); each function can be realized by
+// alternative *mechanisms* ("parity bit, CRC16, CRC32, etc."), implemented
+// as modules. "The unified module interface allows free and unconstrained
+// combination of modules to protocols."
+//
+// A ModuleGraphSpec names the concrete mechanism chain of one connection
+// (top/A-side first). It serializes to CDR for the connection-setup
+// handshake so both peers instantiate matching stacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cdr/types.h"
+#include "common/status.h"
+#include "dacapo/module.h"
+
+namespace cool::dacapo {
+
+enum class ProtocolFunction {
+  kForwarding,      // no-op (dummy)
+  kErrorDetection,  // checksums
+  kRetransmission,  // ARQ
+  kOrdering,        // sequencing
+  kEncryption,      // ciphers
+  kFlowControl,     // rate limiting
+  kFragmentation,   // segmentation and reassembly
+};
+
+std::string_view ProtocolFunctionName(ProtocolFunction f) noexcept;
+
+// One concrete mechanism choice, with its tuning parameters.
+struct MechanismSpec {
+  std::string name;
+  std::map<std::string, std::int64_t> params;
+
+  std::int64_t ParamOr(const std::string& key,
+                       std::int64_t fallback) const {
+    const auto it = params.find(key);
+    return it != params.end() ? it->second : fallback;
+  }
+
+  std::string ToString() const;
+  friend bool operator==(const MechanismSpec&, const MechanismSpec&) = default;
+};
+
+// The C-module chain of a connection, topmost (A-side) first. T and A
+// modules are chosen by the session layer, not by the graph spec.
+struct ModuleGraphSpec {
+  std::vector<MechanismSpec> chain;
+
+  std::string ToString() const;
+
+  // CDR wire form, used inside the connection-setup CONFIG message.
+  corba::OctetSeq Serialize() const;
+  static Result<ModuleGraphSpec> Deserialize(
+      std::span<const corba::Octet> bytes);
+
+  friend bool operator==(const ModuleGraphSpec&,
+                         const ModuleGraphSpec&) = default;
+};
+
+// Static properties the configuration manager's cost model needs. The CPU
+// costs are per-mechanism calibration constants (rough, order-of-magnitude;
+// the *measured* benchmarks are what the evaluation reports).
+struct MechanismProperties {
+  ProtocolFunction function = ProtocolFunction::kForwarding;
+  std::size_t header_bytes = 0;   // per-packet wire overhead
+  double per_packet_us = 0.5;     // processing cost per packet
+  double per_byte_ns = 0.0;       // processing cost per payload octet
+  int reliability_level = 0;      // 0 none, 1 detect, 2 detect+retransmit
+  bool provides_ordering = false;
+  bool provides_encryption = false;
+  // Stop-and-wait-like mechanisms bound throughput to window/RTT.
+  bool window_limited = false;
+  std::size_t window_packets = 0;  // 0 = not window limited
+};
+
+// Name -> (properties, factory). Process-global, pre-populated with the
+// built-in mechanisms; tests and extensions may register more.
+class MechanismRegistry {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<Module>>(const MechanismSpec&)>;
+
+  // The global registry with all built-in mechanisms registered.
+  static MechanismRegistry& Global();
+
+  Status Register(const std::string& name, MechanismProperties properties,
+                  Factory factory);
+
+  // nullptr when unknown.
+  const MechanismProperties* Properties(const std::string& name) const;
+
+  Result<std::unique_ptr<Module>> Create(const MechanismSpec& spec) const;
+
+  // Instantiates every C module of a graph spec, top to bottom.
+  Result<std::vector<std::unique_ptr<Module>>> CreateChain(
+      const ModuleGraphSpec& spec) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    MechanismProperties properties;
+    Factory factory;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Built-in mechanism names (the registry keys).
+namespace mechanisms {
+inline constexpr const char* kDummy = "dummy";
+inline constexpr const char* kParity = "parity";
+inline constexpr const char* kCrc16 = "crc16";
+inline constexpr const char* kCrc32 = "crc32";
+inline constexpr const char* kXorCipher = "xor_cipher";
+inline constexpr const char* kSequencer = "sequencer";
+inline constexpr const char* kIrq = "irq";
+inline constexpr const char* kGoBackN = "go_back_n";
+inline constexpr const char* kRateLimiter = "rate_limiter";
+inline constexpr const char* kFragment = "fragment";
+}  // namespace mechanisms
+
+}  // namespace cool::dacapo

@@ -1,0 +1,168 @@
+// Per-module mailbox: the pair of message queues from the paper's Fig. 6
+// (one for data, one for control), refined so that a module can exert
+// backpressure on the *down* direction (toward the network) while still
+// draining control messages and up-travelling packets (e.g. ACKs) — an ARQ
+// module that stopped reading entirely would deadlock waiting for its own
+// acknowledgements.
+//
+// Priority on pop: control > up-data > down-data. The down queue is bounded;
+// pushing into a full down queue blocks, which propagates backpressure
+// chain-upward to the sending application. Up and control are unbounded
+// (their volume is bounded by the receive window of the transport).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <variant>
+
+#include "common/clock.h"
+#include "dacapo/packet.h"
+
+namespace cool::dacapo {
+
+enum class Direction { kDown, kUp };
+
+inline Direction Opposite(Direction d) noexcept {
+  return d == Direction::kDown ? Direction::kUp : Direction::kDown;
+}
+
+// In-band control messages travelling along the chain (distinct from
+// protocol headers, which ride on packets).
+struct ControlMsg {
+  enum class Kind {
+    kError,        // unrecoverable module failure; text explains
+    kPeerClosed,   // transport saw the peer go away
+    kPause,        // reconfiguration: stop emitting data
+    kResume,       // reconfiguration finished
+    kStatsRequest, // modules append stats via ControlUp
+  };
+  Kind kind = Kind::kError;
+  std::string text;
+  std::uint64_t arg = 0;
+};
+
+struct DataItem {
+  Direction dir = Direction::kDown;
+  PacketPtr pkt;
+};
+
+class Mailbox {
+ public:
+  struct PopResult {
+    enum class Kind { kControl, kData, kTimeout, kClosed } kind;
+    // Valid for the corresponding Kind only.
+    ControlMsg control;
+    Direction control_dir = Direction::kDown;
+    DataItem data;
+  };
+
+  explicit Mailbox(std::size_t down_capacity = 64)
+      : down_capacity_(down_capacity) {}
+
+  // Control: never blocks, never dropped. (All notifications below happen
+  // under the mutex so a consumer may destroy the mailbox right after
+  // observing the item — see BlockingQueue for the rationale.)
+  void PushControl(Direction dir, ControlMsg msg) {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    control_.push_back({dir, std::move(msg)});
+    cv_.notify_all();
+  }
+
+  // Up data: never blocks (see file comment).
+  void PushUp(PacketPtr pkt) {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    up_.push_back(std::move(pkt));
+    cv_.notify_all();
+  }
+
+  // Down data: blocks while the down queue is full. Returns false when the
+  // mailbox closed while waiting (packet is dropped).
+  bool PushDown(PacketPtr pkt) {
+    std::unique_lock lock(mu_);
+    space_.wait(lock, [&] { return closed_ || down_.size() < down_capacity_; });
+    if (closed_) return false;
+    down_.push_back(std::move(pkt));
+    cv_.notify_all();
+    return true;
+  }
+
+  // Pops the highest-priority item. Down-data is only eligible when
+  // `accept_down` is true. Returns kTimeout if nothing eligible arrived
+  // within `timeout`, kClosed once closed and fully drained.
+  PopResult PopNext(bool accept_down, Duration timeout) {
+    const TimePoint deadline = Now() + timeout;
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (!control_.empty()) {
+        PopResult r;
+        r.kind = PopResult::Kind::kControl;
+        r.control_dir = control_.front().first;
+        r.control = std::move(control_.front().second);
+        control_.pop_front();
+        return r;
+      }
+      if (!up_.empty()) {
+        PopResult r;
+        r.kind = PopResult::Kind::kData;
+        r.data = DataItem{Direction::kUp, std::move(up_.front())};
+        up_.pop_front();
+        return r;
+      }
+      if (accept_down && !down_.empty()) {
+        PopResult r;
+        r.kind = PopResult::Kind::kData;
+        r.data = DataItem{Direction::kDown, std::move(down_.front())};
+        down_.pop_front();
+        space_.notify_one();
+        return r;
+      }
+      if (closed_) {
+        PopResult r;
+        r.kind = PopResult::Kind::kClosed;
+        return r;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        PopResult r;
+        r.kind = PopResult::Kind::kTimeout;
+        return r;
+      }
+    }
+  }
+
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    // Packets held in the queues return to the arena on destruction.
+    control_.clear();
+    up_.clear();
+    down_.clear();
+    cv_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t down_size() const {
+    std::lock_guard lock(mu_);
+    return down_.size();
+  }
+
+ private:
+  const std::size_t down_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable space_;
+  std::deque<std::pair<Direction, ControlMsg>> control_;
+  std::deque<PacketPtr> up_;
+  std::deque<PacketPtr> down_;
+  bool closed_ = false;
+};
+
+}  // namespace cool::dacapo

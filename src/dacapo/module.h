@@ -1,0 +1,98 @@
+// Da CaPo module interface (paper §5.1): "The Da CaPo modules are C++
+// objects inheriting a base class, the modules implement the packet
+// handling methods for data and control information." Each module runs on
+// its own thread (the re-designed multithreaded Da CaPo) and talks to its
+// neighbours exclusively through its ModulePort.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "dacapo/mailbox.h"
+#include "dacapo/packet.h"
+
+namespace cool::dacapo {
+
+// The runtime-provided view a module has of its surroundings. ForwardDown
+// may block (bounded queues, backpressure); ForwardUp never blocks.
+class ModulePort {
+ public:
+  virtual ~ModulePort() = default;
+
+  // Pass a packet to the next module toward the application (layer A).
+  virtual void ForwardUp(PacketPtr pkt) = 0;
+  // Pass a packet to the next module toward the transport (layer T).
+  virtual void ForwardDown(PacketPtr pkt) = 0;
+
+  virtual void ControlUp(ControlMsg msg) = 0;
+  virtual void ControlDown(ControlMsg msg) = 0;
+
+  // Shared packet memory of this connection.
+  virtual PacketArena& arena() = 0;
+
+  // Connection name, for logs.
+  virtual std::string_view channel_name() const = 0;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called on the module's own thread before any packet handling. The port
+  // stays valid until after OnStop returns and may be captured (the T
+  // module keeps it for its receive path).
+  virtual Status OnStart(ModulePort& port) {
+    (void)port;
+    return Status::Ok();
+  }
+
+  // Called on the module's thread after the last packet; queues are closed.
+  virtual void OnStop(ModulePort& port) { (void)port; }
+
+  // Handle one data packet travelling in direction `dir`. A transparent
+  // module forwards it onward; protocol modules transform, consume, or
+  // generate packets via the port.
+  virtual void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) = 0;
+
+  // Handle a control message travelling in `dir`. Default: pass it along.
+  virtual void HandleControl(Direction dir, ControlMsg msg, ModulePort& port) {
+    if (dir == Direction::kDown) {
+      port.ControlDown(std::move(msg));
+    } else {
+      port.ControlUp(std::move(msg));
+    }
+  }
+
+  // Backpressure hook: while false, the runtime will not hand this module
+  // down-travelling data packets (up-travelling packets and control still
+  // flow). ARQ modules use this to bound their in-flight window.
+  virtual bool ReadyForDown() const { return true; }
+
+  // If set, OnTick is invoked at least this often (retransmission timers,
+  // token refill, ...).
+  virtual std::optional<Duration> TickInterval() const { return std::nullopt; }
+  virtual void OnTick(ModulePort& port) { (void)port; }
+
+  // Monitoring hook (the paper's management component monitors the module
+  // graph): a short human-readable counter summary, e.g. "retx=3".
+  // Called from outside the module's thread — implementations must only
+  // read atomic counters here. Default: no stats.
+  virtual std::string DescribeStats() const { return ""; }
+};
+
+// Forwards a packet onward in its current travel direction.
+inline void ForwardOnward(Direction dir, PacketPtr pkt, ModulePort& port) {
+  if (dir == Direction::kDown) {
+    port.ForwardDown(std::move(pkt));
+  } else {
+    port.ForwardUp(std::move(pkt));
+  }
+}
+
+}  // namespace cool::dacapo

@@ -1,0 +1,57 @@
+#include "dacapo/packet.h"
+
+namespace cool::dacapo {
+
+void PacketReturner::operator()(Packet* p) const noexcept {
+  if (p != nullptr && arena != nullptr) arena->Return(p);
+}
+
+PacketArena::PacketArena(std::size_t packet_count,
+                         std::size_t payload_capacity)
+    : payload_capacity_(payload_capacity) {
+  all_.reserve(packet_count);
+  free_.reserve(packet_count);
+  for (std::size_t i = 0; i < packet_count; ++i) {
+    all_.push_back(std::make_unique<Packet>(payload_capacity));
+    free_.push_back(all_.back().get());
+  }
+}
+
+PacketArena::~PacketArena() = default;
+
+Result<PacketPtr> PacketArena::Allocate() {
+  std::lock_guard lock(mu_);
+  if (free_.empty()) {
+    return Status(ResourceExhaustedError("packet arena exhausted"));
+  }
+  Packet* p = free_.back();
+  free_.pop_back();
+  p->Reset();
+  p->set_created_at(Now());
+  return PacketPtr(p, PacketReturner{this});
+}
+
+Result<PacketPtr> PacketArena::Make(std::span<const std::uint8_t> payload) {
+  COOL_ASSIGN_OR_RETURN(PacketPtr p, Allocate());
+  COOL_RETURN_IF_ERROR(p->SetPayload(payload));
+  return p;
+}
+
+Result<PacketPtr> PacketArena::Clone(const Packet& src) {
+  COOL_ASSIGN_OR_RETURN(PacketPtr p, Allocate());
+  COOL_RETURN_IF_ERROR(p->SetPayload(src.Data()));
+  p->set_created_at(src.created_at());
+  return p;
+}
+
+std::size_t PacketArena::in_flight() const {
+  std::lock_guard lock(mu_);
+  return all_.size() - free_.size();
+}
+
+void PacketArena::Return(Packet* p) noexcept {
+  std::lock_guard lock(mu_);
+  free_.push_back(p);
+}
+
+}  // namespace cool::dacapo

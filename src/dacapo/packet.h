@@ -1,0 +1,159 @@
+// Da CaPo packets and the shared packet arena (paper Fig. 6: "The packets
+// are situated in shared memory accessible by Da CaPo modules"; modules
+// exchange *pointers* to packets over message queues).
+//
+// A Packet is a fixed-capacity buffer with headroom: C-modules prepend
+// their protocol headers in place on the way down (PushHeader) and strip
+// them on the way up (PopHeader), so payload bytes are written once by the
+// A-module and never copied again inside the chain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace cool::dacapo {
+
+class PacketArena;
+
+class Packet {
+ public:
+  // Headroom for stacked module headers; 16 modules x 8 bytes fits easily.
+  static constexpr std::size_t kHeadroom = 128;
+
+  explicit Packet(std::size_t payload_capacity)
+      : buf_(kHeadroom + payload_capacity),
+        data_off_(kHeadroom),
+        data_len_(0) {}
+
+  // --- payload ------------------------------------------------------------
+  // Replaces the packet content (resets any pushed headers).
+  Status SetPayload(std::span<const std::uint8_t> payload) {
+    if (payload.size() > buf_.size() - kHeadroom) {
+      return InvalidArgumentError("payload exceeds packet capacity");
+    }
+    data_off_ = kHeadroom;
+    data_len_ = payload.size();
+    std::copy(payload.begin(), payload.end(),
+              buf_.begin() + static_cast<std::ptrdiff_t>(data_off_));
+    return Status::Ok();
+  }
+
+  std::span<std::uint8_t> Data() noexcept {
+    return {buf_.data() + data_off_, data_len_};
+  }
+  std::span<const std::uint8_t> Data() const noexcept {
+    return {buf_.data() + data_off_, data_len_};
+  }
+  std::size_t size() const noexcept { return data_len_; }
+
+  // --- header stack ---------------------------------------------------------
+  Status PushHeader(std::span<const std::uint8_t> header) {
+    if (header.size() > data_off_) {
+      return ResourceExhaustedError("packet headroom exhausted");
+    }
+    data_off_ -= header.size();
+    data_len_ += header.size();
+    std::copy(header.begin(), header.end(),
+              buf_.begin() + static_cast<std::ptrdiff_t>(data_off_));
+    return Status::Ok();
+  }
+
+  // Exposes the first n octets and removes them from the packet view.
+  Result<std::span<const std::uint8_t>> PopHeader(std::size_t n) {
+    if (n > data_len_) return Status(ProtocolError("header pop underrun"));
+    std::span<const std::uint8_t> header{buf_.data() + data_off_, n};
+    data_off_ += n;
+    data_len_ -= n;
+    return header;
+  }
+
+  // Extends the packet at the tail (trailers, e.g. checksums).
+  Status PushTrailer(std::span<const std::uint8_t> trailer) {
+    if (data_off_ + data_len_ + trailer.size() > buf_.size()) {
+      return ResourceExhaustedError("packet tailroom exhausted");
+    }
+    std::copy(trailer.begin(), trailer.end(),
+              buf_.begin() +
+                  static_cast<std::ptrdiff_t>(data_off_ + data_len_));
+    data_len_ += trailer.size();
+    return Status::Ok();
+  }
+
+  Result<std::span<const std::uint8_t>> PopTrailer(std::size_t n) {
+    if (n > data_len_) return Status(ProtocolError("trailer pop underrun"));
+    data_len_ -= n;
+    return std::span<const std::uint8_t>{
+        buf_.data() + data_off_ + data_len_, n};
+  }
+
+  // --- metadata --------------------------------------------------------------
+  TimePoint created_at() const noexcept { return created_at_; }
+  void set_created_at(TimePoint t) noexcept { created_at_ = t; }
+
+  std::size_t capacity() const noexcept { return buf_.size() - kHeadroom; }
+
+ private:
+  friend class PacketArena;
+
+  void Reset() noexcept {
+    data_off_ = kHeadroom;
+    data_len_ = 0;
+    created_at_ = TimePoint{};
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t data_off_;
+  std::size_t data_len_;
+  TimePoint created_at_{};
+};
+
+// Deleter that returns packets to their arena instead of freeing them.
+struct PacketReturner {
+  PacketArena* arena = nullptr;
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketReturner>;
+
+// Pool of reusable packets ("shared memory" of the original system). The
+// arena bounds total packet memory: Allocate fails with kResourceExhausted
+// when the pool is fully in flight, which the resource manager uses as the
+// memory-admission backstop.
+class PacketArena {
+ public:
+  PacketArena(std::size_t packet_count, std::size_t payload_capacity);
+  ~PacketArena();
+
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  // Pops a packet from the free list.
+  Result<PacketPtr> Allocate();
+
+  // Allocates a packet carrying `payload`.
+  Result<PacketPtr> Make(std::span<const std::uint8_t> payload);
+
+  // Deep copy (used by ARQ modules to keep retransmission copies).
+  Result<PacketPtr> Clone(const Packet& src);
+
+  std::size_t capacity() const noexcept { return all_.size(); }
+  std::size_t in_flight() const;
+  std::size_t payload_capacity() const noexcept { return payload_capacity_; }
+
+ private:
+  friend struct PacketReturner;
+  void Return(Packet* p) noexcept;
+
+  const std::size_t payload_capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Packet>> all_;
+  std::vector<Packet*> free_;
+};
+
+}  // namespace cool::dacapo

@@ -1,0 +1,60 @@
+#include "dacapo/resource_manager.h"
+
+namespace cool::dacapo {
+
+void ResourceManager::Reservation::Release() {
+  if (mgr_ == nullptr) return;
+  mgr_->Release(bandwidth_kbps_, memory_bytes_);
+  mgr_ = nullptr;
+}
+
+Result<ResourceManager::Reservation> ResourceManager::Admit(
+    const qos::ProtocolRequirements& req, std::size_t packet_memory_bytes) {
+  const std::uint64_t bandwidth_ask = req.min_throughput_kbps;
+
+  std::lock_guard lock(mu_);
+  if (connections_ >= budget_.max_connections) {
+    return Status(ResourceExhaustedError("connection budget exhausted"));
+  }
+  if (reserved_bandwidth_kbps_ + bandwidth_ask > budget_.bandwidth_kbps) {
+    return Status(ResourceExhaustedError(
+        "bandwidth budget exhausted: " +
+        std::to_string(reserved_bandwidth_kbps_) + " + " +
+        std::to_string(bandwidth_ask) + " > " +
+        std::to_string(budget_.bandwidth_kbps) + " kbps"));
+  }
+  if (reserved_memory_bytes_ + packet_memory_bytes >
+      budget_.packet_memory_bytes) {
+    return Status(ResourceExhaustedError("packet memory budget exhausted"));
+  }
+
+  reserved_bandwidth_kbps_ += bandwidth_ask;
+  reserved_memory_bytes_ += packet_memory_bytes;
+  ++connections_;
+  return Reservation(this, bandwidth_ask, packet_memory_bytes);
+}
+
+void ResourceManager::Release(std::uint64_t bandwidth_kbps,
+                              std::size_t memory_bytes) {
+  std::lock_guard lock(mu_);
+  reserved_bandwidth_kbps_ -= bandwidth_kbps;
+  reserved_memory_bytes_ -= memory_bytes;
+  --connections_;
+}
+
+std::uint64_t ResourceManager::reserved_bandwidth_kbps() const {
+  std::lock_guard lock(mu_);
+  return reserved_bandwidth_kbps_;
+}
+
+std::size_t ResourceManager::active_connections() const {
+  std::lock_guard lock(mu_);
+  return connections_;
+}
+
+std::size_t ResourceManager::reserved_memory_bytes() const {
+  std::lock_guard lock(mu_);
+  return reserved_memory_bytes_;
+}
+
+}  // namespace cool::dacapo

@@ -1,0 +1,85 @@
+// Resource management (paper Fig. 5): admission control over the local
+// endsystem's budgets. The paper defers full OS resource reservation to
+// later work; this manager implements the admission interface Da CaPo's
+// connection setup calls — bandwidth, connection slots and packet memory —
+// so that over-subscription is refused with kResourceExhausted (which the
+// ORB maps to a QoS exception toward the client).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "qos/mapping.h"
+
+namespace cool::dacapo {
+
+class ResourceManager {
+ public:
+  struct Budget {
+    std::uint64_t bandwidth_kbps = 100'000;   // schedulable send capacity
+    std::size_t max_connections = 64;
+    std::size_t packet_memory_bytes = 256 * 1024 * 1024;
+  };
+
+  // Move-only RAII grant; releasing (destroying) it returns the resources.
+  class Reservation {
+   public:
+    Reservation() = default;
+    Reservation(Reservation&& other) noexcept { *this = std::move(other); }
+    Reservation& operator=(Reservation&& other) noexcept {
+      Release();
+      mgr_ = other.mgr_;
+      bandwidth_kbps_ = other.bandwidth_kbps_;
+      memory_bytes_ = other.memory_bytes_;
+      other.mgr_ = nullptr;
+      return *this;
+    }
+    ~Reservation() { Release(); }
+
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+
+    bool active() const noexcept { return mgr_ != nullptr; }
+    std::uint64_t bandwidth_kbps() const noexcept { return bandwidth_kbps_; }
+    std::size_t memory_bytes() const noexcept { return memory_bytes_; }
+
+    void Release();
+
+   private:
+    friend class ResourceManager;
+    Reservation(ResourceManager* mgr, std::uint64_t bandwidth_kbps,
+                std::size_t memory_bytes)
+        : mgr_(mgr),
+          bandwidth_kbps_(bandwidth_kbps),
+          memory_bytes_(memory_bytes) {}
+
+    ResourceManager* mgr_ = nullptr;
+    std::uint64_t bandwidth_kbps_ = 0;
+    std::size_t memory_bytes_ = 0;
+  };
+
+  explicit ResourceManager(Budget budget) : budget_(budget) {}
+
+  // Admits one connection with the given requirements. A requirement
+  // without a throughput floor reserves nothing bandwidth-wise (best
+  // effort) but still consumes a connection slot and packet memory.
+  Result<Reservation> Admit(const qos::ProtocolRequirements& req,
+                            std::size_t packet_memory_bytes);
+
+  std::uint64_t reserved_bandwidth_kbps() const;
+  std::size_t active_connections() const;
+  std::size_t reserved_memory_bytes() const;
+
+ private:
+  friend class Reservation;
+  void Release(std::uint64_t bandwidth_kbps, std::size_t memory_bytes);
+
+  const Budget budget_;
+  mutable std::mutex mu_;
+  std::uint64_t reserved_bandwidth_kbps_ = 0;
+  std::size_t connections_ = 0;
+  std::size_t reserved_memory_bytes_ = 0;
+};
+
+}  // namespace cool::dacapo

@@ -1,0 +1,161 @@
+#include "dacapo/runtime.h"
+
+#include "common/logging.h"
+
+namespace cool::dacapo {
+
+ModuleChain::ModuleChain(std::string name,
+                         std::vector<std::unique_ptr<Module>> modules,
+                         std::shared_ptr<PacketArena> arena)
+    : name_(std::move(name)), arena_(std::move(arena)) {
+  entries_.reserve(modules.size());
+  for (auto& m : modules) {
+    entries_.push_back(std::make_unique<Entry>(std::move(m)));
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i]->port = std::make_unique<Port>(this, i);
+  }
+}
+
+ModuleChain::~ModuleChain() { Stop(); }
+
+Status ModuleChain::Start() {
+  if (entries_.empty()) {
+    return FailedPreconditionError("empty module chain");
+  }
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("chain already started");
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i]->thread = std::jthread(
+        [this, i](std::stop_token st) { RunModule(i, st); });
+  }
+  return Status::Ok();
+}
+
+void ModuleChain::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  for (auto& e : entries_) e->mailbox.Close();
+  for (auto& e : entries_) {
+    e->thread.request_stop();
+    if (e->thread.joinable()) e->thread.join();
+  }
+}
+
+bool ModuleChain::InjectDown(PacketPtr pkt) {
+  if (entries_.empty() || stopped_.load()) return false;
+  return entries_.front()->mailbox.PushDown(std::move(pkt));
+}
+
+void ModuleChain::InjectUp(PacketPtr pkt) {
+  if (entries_.empty() || stopped_.load()) return;
+  entries_.back()->mailbox.PushUp(std::move(pkt));
+}
+
+void ModuleChain::InjectControlUp(ControlMsg msg) {
+  if (entries_.empty() || stopped_.load()) return;
+  entries_.back()->mailbox.PushControl(Direction::kUp, std::move(msg));
+}
+
+std::vector<std::string> ModuleChain::DescribeModules() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    std::string line(e->module->name());
+    const std::string stats = e->module->DescribeStats();
+    if (!stats.empty()) {
+      line += "{" + stats + "}";
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+void ModuleChain::InjectControlDown(ControlMsg msg) {
+  if (entries_.empty() || stopped_.load()) return;
+  entries_.front()->mailbox.PushControl(Direction::kDown, std::move(msg));
+}
+
+void ModuleChain::Port::ForwardUp(PacketPtr pkt) {
+  if (index_ == 0) {
+    if (chain_->up_sink_) {
+      chain_->up_sink_(std::move(pkt));
+    } else {
+      COOL_LOG(kWarn, "dacapo")
+          << chain_->name_ << ": packet forwarded past top module dropped";
+    }
+    return;
+  }
+  chain_->entries_[index_ - 1]->mailbox.PushUp(std::move(pkt));
+}
+
+void ModuleChain::Port::ForwardDown(PacketPtr pkt) {
+  if (index_ + 1 >= chain_->entries_.size()) {
+    COOL_LOG(kWarn, "dacapo")
+        << chain_->name_ << ": packet forwarded past bottom module dropped";
+    return;
+  }
+  chain_->entries_[index_ + 1]->mailbox.PushDown(std::move(pkt));
+}
+
+void ModuleChain::Port::ControlUp(ControlMsg msg) {
+  if (index_ == 0) {
+    if (chain_->control_sink_) chain_->control_sink_(std::move(msg));
+    return;
+  }
+  chain_->entries_[index_ - 1]->mailbox.PushControl(Direction::kUp,
+                                                    std::move(msg));
+}
+
+void ModuleChain::Port::ControlDown(ControlMsg msg) {
+  if (index_ + 1 >= chain_->entries_.size()) return;  // consumed at bottom
+  chain_->entries_[index_ + 1]->mailbox.PushControl(Direction::kDown,
+                                                    std::move(msg));
+}
+
+void ModuleChain::RunModule(std::size_t index, std::stop_token stop) {
+  Entry& e = *entries_[index];
+  Module& m = *e.module;
+  ModulePort& port = *e.port;
+
+  if (Status s = m.OnStart(port); !s.ok()) {
+    COOL_LOG(kError, "dacapo")
+        << name_ << "/" << m.name() << " failed to start: " << s;
+    ControlMsg err;
+    err.kind = ControlMsg::Kind::kError;
+    err.text = std::string(m.name()) + ": " + s.ToString();
+    port.ControlUp(std::move(err));
+    return;
+  }
+
+  TimePoint last_tick = Now();
+  const Duration kDefaultWait = milliseconds(50);
+
+  while (!stop.stop_requested()) {
+    const Duration tick_interval =
+        m.TickInterval().value_or(kDefaultWait);
+    auto r = e.mailbox.PopNext(m.ReadyForDown(), tick_interval);
+    switch (r.kind) {
+      case Mailbox::PopResult::Kind::kControl:
+        m.HandleControl(r.control_dir, std::move(r.control), port);
+        break;
+      case Mailbox::PopResult::Kind::kData:
+        m.HandleData(r.data.dir, std::move(r.data.pkt), port);
+        break;
+      case Mailbox::PopResult::Kind::kTimeout:
+        break;
+      case Mailbox::PopResult::Kind::kClosed:
+        m.OnStop(port);
+        return;
+    }
+    // Timer service even under continuous traffic.
+    if (m.TickInterval().has_value() &&
+        Now() - last_tick >= *m.TickInterval()) {
+      m.OnTick(port);
+      last_tick = Now();
+    }
+  }
+  m.OnStop(port);
+}
+
+}  // namespace cool::dacapo

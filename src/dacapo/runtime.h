@@ -1,0 +1,111 @@
+// Module-graph runtime: instantiates a configured chain of modules, gives
+// each its own thread and mailbox (paper §5.1: "Each module in Da CaPo is
+// executed by a single thread"), and wires neighbouring modules together.
+//
+// Chain layout is top (application / layer A side) to bottom (transport /
+// layer T side):   [0] A-module, [1..n-2] C-modules, [n-1] T-module.
+// Degenerate chains (no A, or no T during unit tests) are supported via the
+// up-sink and by injecting packets at either end.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dacapo/module.h"
+
+namespace cool::dacapo {
+
+class ModuleChain {
+ public:
+  using UpSink = std::function<void(PacketPtr)>;
+  using ControlSink = std::function<void(ControlMsg)>;
+
+  ModuleChain(std::string name, std::vector<std::unique_ptr<Module>> modules,
+              std::shared_ptr<PacketArena> arena);
+  ~ModuleChain();
+
+  ModuleChain(const ModuleChain&) = delete;
+  ModuleChain& operator=(const ModuleChain&) = delete;
+
+  // Receives packets the *top* module forwards up (unset: dropped + warn).
+  void SetUpSink(UpSink sink) { up_sink_ = std::move(sink); }
+  // Receives control messages the top module sends up (errors, notifies).
+  void SetControlSink(ControlSink sink) { control_sink_ = std::move(sink); }
+
+  // Starts one thread per module, top to bottom. OnStart failures surface
+  // through the control sink (module threads own their modules).
+  Status Start();
+
+  // Closes all mailboxes and joins all threads. Idempotent.
+  void Stop();
+
+  bool started() const noexcept { return started_.load(); }
+
+  // Application-side injection: hands a packet to the top module as
+  // down-travelling data. Blocks on backpressure; false once stopped.
+  bool InjectDown(PacketPtr pkt);
+
+  // Transport-side injection: hands a packet to the bottom module as
+  // up-travelling data (used by tests and callback-driven transports).
+  void InjectUp(PacketPtr pkt);
+  void InjectControlUp(ControlMsg msg);
+  // Sends a control message down the chain starting at the top module.
+  void InjectControlDown(ControlMsg msg);
+
+  PacketArena& arena() noexcept { return *arena_; }
+  std::shared_ptr<PacketArena> arena_ptr() const { return arena_; }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  Module& module(std::size_t i) { return *entries_[i]->module; }
+  const std::string& name() const noexcept { return name_; }
+
+  // Monitoring (paper Fig. 5 management): one "name{counters}" line per
+  // module, top to bottom. Reads only atomic module counters.
+  std::vector<std::string> DescribeModules() const;
+
+ private:
+  struct Entry;
+
+  // ModulePort implementation for the module at one chain position.
+  class Port : public ModulePort {
+   public:
+    Port(ModuleChain* chain, std::size_t index)
+        : chain_(chain), index_(index) {}
+
+    void ForwardUp(PacketPtr pkt) override;
+    void ForwardDown(PacketPtr pkt) override;
+    void ControlUp(ControlMsg msg) override;
+    void ControlDown(ControlMsg msg) override;
+    PacketArena& arena() override { return chain_->arena(); }
+    std::string_view channel_name() const override { return chain_->name_; }
+
+   private:
+    ModuleChain* chain_;
+    std::size_t index_;
+  };
+
+  struct Entry {
+    explicit Entry(std::unique_ptr<Module> m) : module(std::move(m)) {}
+    std::unique_ptr<Module> module;
+    Mailbox mailbox;
+    std::unique_ptr<Port> port;
+    std::jthread thread;
+  };
+
+  void RunModule(std::size_t index, std::stop_token stop);
+
+  const std::string name_;
+  std::shared_ptr<PacketArena> arena_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  UpSink up_sink_;
+  ControlSink control_sink_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cool::dacapo

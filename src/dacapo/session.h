@@ -1,0 +1,224 @@
+// Connection management (paper Fig. 5): establishes Da CaPo connections
+// between endsystems, negotiating the module graph over a signalling
+// channel so both peers instantiate matching protocol stacks.
+//
+// Wire protocol on the signalling stream (4-octet LE length prefix frames):
+//   CONFIG      {transport kind, module graph spec, initiator data port}
+//   CONFIG_ACK  {responder data port}
+//   CONFIG_NAK  {reason}                      -- admission/validation failed
+//   RECONF      {module graph spec, initiator data port}
+//   RECONF_ACK  {responder data port}
+//   RECONF_NAK  {reason}
+//   CLOSE       {}
+//
+// Data travels over a separate channel: a second stream connection or a
+// pair of datagram ports, owned by the T module of the local chain. A QoS
+// re-negotiation rebuilds the data plane ("changes in QoS requirements
+// have to be reflected in reconfigurations of the transport connection",
+// paper §4.2) while the signalling channel persists.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "dacapo/config_manager.h"
+#include "dacapo/graph.h"
+#include "dacapo/modules.h"
+#include "dacapo/resource_manager.h"
+#include "dacapo/runtime.h"
+#include "sim/network.h"
+
+namespace cool::dacapo {
+
+struct ChannelOptions {
+  enum class Transport { kStream, kDatagram };
+
+  Transport transport = Transport::kStream;
+  ModuleGraphSpec graph;  // C modules, top to bottom
+  AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue;
+  std::size_t arena_packets = 512;
+  std::size_t packet_capacity = 64 * 1024;
+
+  // Custom layer-A module (paper Fig. 7 alternative (ii): "message
+  // protocols are seen as ordinary Da CaPo modules"). When set, the chain
+  // is built around this module instead of an AppAModule; Send/Receive on
+  // the Session are then unavailable — the A module owns the application
+  // interface.
+  std::function<std::unique_ptr<Module>()> a_module_factory;
+};
+
+// A live Da CaPo connection endpoint. Thread-safe for concurrent Send /
+// Receive; Reconfigure must not race with Send on the same side.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Sends one application message (<= packet_capacity minus header room).
+  // Blocks under backpressure from the module graph.
+  Status Send(std::span<const std::uint8_t> payload);
+
+  // Receives one application message (kQueue delivery mode).
+  Result<std::vector<std::uint8_t>> Receive(Duration timeout);
+
+  // Measurement counters of the local A module.
+  AppAModule::Stats stats() const;
+  void ResetStats();
+
+  // Initiator-side re-negotiation: agree on a new module graph with the
+  // peer and rebuild the data plane. Traffic must be quiesced by the
+  // caller; queued but undelivered packets may be lost (the reliable
+  // mechanisms of the *new* graph do not cover the old graph's flight).
+  Status Reconfigure(const ModuleGraphSpec& new_graph);
+
+  // First unrecovered protocol error reported by the module graph, if any.
+  Status last_error() const;
+
+  ModuleGraphSpec graph() const;
+  // Largest payload one Send() accepts (callers above fragment to this).
+  std::size_t packet_capacity() const noexcept {
+    return options_.packet_capacity;
+  }
+
+  // Monitoring: per-module counter lines of the live data plane (paper
+  // Fig. 5: the management component monitors the module graph).
+  std::vector<std::string> DescribeGraph() const;
+  ChannelOptions::Transport transport() const noexcept {
+    return options_.transport;
+  }
+
+  void Close();
+
+ private:
+  friend class Connector;
+  friend class Acceptor;
+
+  struct DataPlane {
+    std::shared_ptr<PacketArena> arena;
+    std::unique_ptr<ModuleChain> chain;
+    AppAModule* a_module = nullptr;  // owned by chain
+    ModuleGraphSpec graph;
+  };
+
+  Session(sim::Network* net, std::string local_host,
+          std::unique_ptr<sim::StreamSocket> signalling,
+          ChannelOptions options, bool initiator,
+          ResourceManager::Reservation reservation);
+
+  // Builds a chain (A + C... + T) around a ready transport endpoint.
+  static Result<DataPlane> BuildPlane(
+      const ChannelOptions& options, const ModuleGraphSpec& graph,
+      std::unique_ptr<sim::StreamSocket> stream_transport,
+      std::unique_ptr<sim::DatagramPort> dgram_transport,
+      sim::Address dgram_peer, Session* owner);
+
+  void AdoptPlane(DataPlane plane);
+  void SignallingLoop(std::stop_token stop);
+  void HandleReconfRequest(std::span<const std::uint8_t> body);
+  void ReportError(Status error);
+
+  sim::Network* net_;
+  std::string local_host_;
+  std::unique_ptr<sim::StreamSocket> signalling_;
+  ChannelOptions options_;
+  const bool initiator_;
+  ResourceManager::Reservation reservation_;
+
+  mutable std::shared_mutex plane_mu_;
+  DataPlane plane_;
+
+  // Responses to our own signalling requests (RECONF_ACK/NAK frames).
+  BlockingQueue<std::vector<std::uint8_t>> responses_;
+
+  mutable std::mutex error_mu_;
+  Status error_;
+
+  std::jthread signalling_thread_;
+  std::atomic<bool> closed_{false};
+};
+
+// Active opener.
+class Connector {
+ public:
+  // `local_host` names this endsystem in the simulated network.
+  Connector(sim::Network* net, std::string local_host)
+      : net_(net), local_host_(std::move(local_host)) {}
+
+  // Connects to an Acceptor at `remote`, negotiates `options.graph`, and
+  // returns a ready session. NAK from the peer surfaces as
+  // kResourceExhausted with the peer's reason.
+  Result<std::unique_ptr<Session>> Connect(const sim::Address& remote,
+                                           ChannelOptions options);
+
+ private:
+  sim::Network* net_;
+  std::string local_host_;
+};
+
+// Passive opener with admission control.
+class Acceptor {
+ public:
+  // Admission hook: called with the requested graph before ACK; a non-OK
+  // return is sent to the initiator as a NAK. Defaults to accept-all.
+  using AdmissionHook = std::function<Status(const ModuleGraphSpec&)>;
+
+  // `resources` may be nullptr (no resource admission).
+  Acceptor(sim::Network* net, sim::Address listen_addr,
+           ResourceManager* resources = nullptr);
+
+  Status Listen();
+
+  // Serves one connection setup: blocks for a signalling connection,
+  // validates, builds the responder plane. The returned session delivers
+  // into an AppAModule with `delivery` mode.
+  Result<std::unique_ptr<Session>> Accept(
+      AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue);
+
+  void SetAdmissionHook(AdmissionHook hook) { admission_ = std::move(hook); }
+
+  // Custom layer-A module for accepted sessions (Fig. 7 alternative (ii));
+  // overrides the delivery-mode AppAModule.
+  void SetAModuleFactory(std::function<std::unique_ptr<Module>()> factory) {
+    a_module_factory_ = std::move(factory);
+  }
+
+  const sim::Address& address() const noexcept { return addr_; }
+
+  void Close();
+
+ private:
+  sim::Network* net_;
+  sim::Address addr_;
+  ResourceManager* resources_;
+  AdmissionHook admission_;
+  std::function<std::unique_ptr<Module>()> a_module_factory_;
+  std::unique_ptr<sim::Listener> listener_;
+};
+
+// Signalling frame types (exposed for protocol tests).
+namespace wire {
+inline constexpr std::uint8_t kConfig = 1;
+inline constexpr std::uint8_t kConfigAck = 2;
+inline constexpr std::uint8_t kConfigNak = 3;
+inline constexpr std::uint8_t kReconf = 4;
+inline constexpr std::uint8_t kReconfAck = 5;
+inline constexpr std::uint8_t kReconfNak = 6;
+inline constexpr std::uint8_t kClose = 7;
+
+// Frame helpers shared by Session/Connector/Acceptor (length-prefixed).
+Status SendFrame(sim::StreamSocket& socket, std::uint8_t type,
+                 std::span<const std::uint8_t> body);
+// Returns {type, body}.
+Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrame(
+    sim::StreamSocket& socket);
+}  // namespace wire
+
+}  // namespace cool::dacapo

@@ -1,0 +1,126 @@
+#include "dacapo/t_modules.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace cool::dacapo {
+
+namespace {
+
+void NotifyPeerClosed(ModulePort& port) {
+  ControlMsg msg;
+  msg.kind = ControlMsg::Kind::kPeerClosed;
+  msg.text = "transport closed";
+  port.ControlUp(std::move(msg));
+}
+
+std::array<std::uint8_t, 4> LengthPrefix(std::size_t n) {
+  return {static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n >> 8),
+          static_cast<std::uint8_t>(n >> 16),
+          static_cast<std::uint8_t>(n >> 24)};
+}
+
+}  // namespace
+
+// --- TStreamModule ----------------------------------------------------------
+
+Status TStreamModule::OnStart(ModulePort& port) {
+  rx_thread_ = std::jthread(
+      [this, &port](std::stop_token st) { RxLoop(port, st); });
+  return Status::Ok();
+}
+
+void TStreamModule::OnStop(ModulePort& port) {
+  (void)port;
+  socket_->Close();  // wakes the rx thread out of Recv
+  rx_thread_.request_stop();
+  if (rx_thread_.joinable()) rx_thread_.join();
+}
+
+void TStreamModule::HandleData(Direction dir, PacketPtr pkt,
+                               ModulePort& port) {
+  if (dir == Direction::kUp) return;  // nothing below us
+  const auto prefix = LengthPrefix(pkt->size());
+  if (Status s = socket_->Send(prefix); !s.ok()) {
+    NotifyPeerClosed(port);
+    return;
+  }
+  if (Status s = socket_->Send(pkt->Data()); !s.ok()) {
+    NotifyPeerClosed(port);
+  }
+}
+
+void TStreamModule::RxLoop(ModulePort& port, std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    std::array<std::uint8_t, 4> prefix;
+    if (!socket_->RecvExact(prefix).ok()) break;
+    const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                              static_cast<std::uint32_t>(prefix[1]) << 8 |
+                              static_cast<std::uint32_t>(prefix[2]) << 16 |
+                              static_cast<std::uint32_t>(prefix[3]) << 24;
+    if (len > port.arena().payload_capacity()) {
+      COOL_LOG(kError, "dacapo")
+          << port.channel_name() << "/t_stream: oversized frame " << len;
+      break;
+    }
+    auto pkt = port.arena().Allocate();
+    if (!pkt.ok()) {
+      // Receive buffer exhaustion: drain the frame and drop it, as a NIC
+      // with no receive descriptors would.
+      std::vector<std::uint8_t> sink(len);
+      if (!socket_->RecvExact(sink).ok()) break;
+      COOL_LOG(kWarn, "dacapo")
+          << port.channel_name() << "/t_stream: arena full, frame dropped";
+      continue;
+    }
+    // Read directly into packet memory.
+    PacketPtr p = std::move(pkt).value();
+    std::vector<std::uint8_t> body(len);
+    if (!socket_->RecvExact(body).ok()) break;
+    if (!p->SetPayload(body).ok()) continue;
+    port.ForwardUp(std::move(p));
+  }
+  if (!stop.stop_requested()) NotifyPeerClosed(port);
+}
+
+// --- TDatagramModule --------------------------------------------------------
+
+Status TDatagramModule::OnStart(ModulePort& port) {
+  rx_thread_ = std::jthread(
+      [this, &port](std::stop_token st) { RxLoop(port, st); });
+  return Status::Ok();
+}
+
+void TDatagramModule::OnStop(ModulePort& port) {
+  (void)port;
+  dgram_->Close();
+  rx_thread_.request_stop();
+  if (rx_thread_.joinable()) rx_thread_.join();
+}
+
+void TDatagramModule::HandleData(Direction dir, PacketPtr pkt,
+                                 ModulePort& port) {
+  if (dir == Direction::kUp) return;
+  if (Status s = dgram_->SendTo(peer_, pkt->Data()); !s.ok()) {
+    COOL_LOG(kWarn, "dacapo") << port.channel_name()
+                              << "/t_datagram send failed: " << s;
+  }
+}
+
+void TDatagramModule::RxLoop(ModulePort& port, std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    auto dgram = dgram_->Recv();
+    if (!dgram.has_value()) break;  // port closed
+    auto pkt = port.arena().Make(dgram->payload);
+    if (!pkt.ok()) {
+      COOL_LOG(kWarn, "dacapo")
+          << port.channel_name() << "/t_datagram: arena full, drop";
+      continue;
+    }
+    port.ForwardUp(std::move(pkt).value());
+  }
+  if (!stop.stop_requested()) NotifyPeerClosed(port);
+}
+
+}  // namespace cool::dacapo

@@ -1,0 +1,57 @@
+// Layer-T modules: the bottom of every module graph, encapsulating the
+// transport infrastructure (paper: "The T module used encapsulates TCP").
+// Two mechanisms are provided:
+//
+//  * TStreamModule   — reliable byte stream (sim "TCP"); frames packets
+//                      with a 4-octet length prefix.
+//  * TDatagramModule — unreliable datagrams (raw network / Chorus-IPC-like
+//                      service); one packet per datagram, may be lost or
+//                      reordered, which is what the ARQ C-modules exist for.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "dacapo/module.h"
+#include "sim/network.h"
+
+namespace cool::dacapo {
+
+class TStreamModule : public Module {
+ public:
+  explicit TStreamModule(std::unique_ptr<sim::StreamSocket> socket)
+      : socket_(std::move(socket)) {}
+
+  std::string_view name() const override { return "t_stream"; }
+
+  Status OnStart(ModulePort& port) override;
+  void OnStop(ModulePort& port) override;
+  void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+
+ private:
+  void RxLoop(ModulePort& port, std::stop_token stop);
+
+  std::unique_ptr<sim::StreamSocket> socket_;
+  std::jthread rx_thread_;
+};
+
+class TDatagramModule : public Module {
+ public:
+  TDatagramModule(std::unique_ptr<sim::DatagramPort> port, sim::Address peer)
+      : dgram_(std::move(port)), peer_(std::move(peer)) {}
+
+  std::string_view name() const override { return "t_datagram"; }
+
+  Status OnStart(ModulePort& port) override;
+  void OnStop(ModulePort& port) override;
+  void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+
+ private:
+  void RxLoop(ModulePort& port, std::stop_token stop);
+
+  std::unique_ptr<sim::DatagramPort> dgram_;
+  sim::Address peer_;
+  std::jthread rx_thread_;
+};
+
+}  // namespace cool::dacapo

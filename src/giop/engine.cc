@@ -1,0 +1,270 @@
+#include "giop/engine.h"
+
+#include "common/logging.h"
+
+namespace cool::giop {
+
+cdr::Decoder GiopClient::Reply::MakeResultsDecoder() const {
+  cdr::Decoder dec = message.MakeBodyDecoder();
+  // Re-parse past the reply header to the 8-aligned results; the offsets
+  // were validated when the Reply was first parsed.
+  (void)ParseReplyHeader(dec);
+  return dec;
+}
+
+ByteBuffer GiopClient::BuildRequestMessage(
+    const corba::OctetSeq& object_key, const std::string& operation,
+    std::span<const corba::Octet> args_cdr,
+    const std::vector<qos::QoSParameter>& qos_params, bool response_expected,
+    corba::ULong request_id) const {
+  RequestHeader header;
+  header.request_id = request_id;
+  header.response_expected = response_expected;
+  header.object_key = object_key;
+  header.operation = operation;
+  header.requesting_principal = options_.principal;
+  header.qos_params = qos_params;
+
+  // Version switch (paper §4.2): the version field tells the receiver
+  // whether standard GIOP or the QoS extension is used.
+  const Version version = (options_.use_qos_extension && !qos_params.empty())
+                              ? kGiopQos
+                              : kGiop10;
+  return BuildRequest(version, header, args_cdr, options_.order);
+}
+
+Result<ParsedMessage> GiopClient::NextMatchingReplyLocked(
+    corba::ULong request_id, Duration timeout) {
+  const TimePoint deadline = Now() + timeout;
+  for (;;) {
+    const Duration remaining = deadline - Now();
+    if (remaining <= Duration::zero()) {
+      return Status(DeadlineExceededError("no Reply for request " +
+                                          std::to_string(request_id)));
+    }
+    COOL_ASSIGN_OR_RETURN(ByteBuffer raw, channel_->ReceiveMessage(remaining));
+    COOL_ASSIGN_OR_RETURN(ParsedMessage msg, ParseMessage(raw.view()));
+    if (msg.header.message_type == MsgType::kMessageError) {
+      return Status(ProtocolError(
+          "peer answered MessageError (GIOP version not accepted?)"));
+    }
+    if (msg.header.message_type == MsgType::kCloseConnection) {
+      return Status(UnavailableError("peer closed the GIOP connection"));
+    }
+    if (msg.header.message_type != MsgType::kReply) {
+      return Status(ProtocolError("unexpected GIOP message: " +
+                                  std::string(MsgTypeName(
+                                      msg.header.message_type))));
+    }
+    cdr::Decoder dec = msg.MakeBodyDecoder();
+    COOL_ASSIGN_OR_RETURN(ReplyHeader reply, ParseReplyHeader(dec));
+    if (reply.request_id == request_id) return msg;
+    if (abandoned_.erase(reply.request_id) != 0) {
+      continue;  // late reply for a cancelled request: discard
+    }
+    return Status(ProtocolError("Reply for unknown request id " +
+                                std::to_string(reply.request_id)));
+  }
+}
+
+Result<GiopClient::Reply> GiopClient::Invoke(
+    const corba::OctetSeq& object_key, const std::string& operation,
+    std::span<const corba::Octet> args_cdr,
+    const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
+  std::lock_guard lock(mu_);
+  const corba::ULong id = next_request_id_++;
+  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
+                                             qos_params, true, id);
+  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
+  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed,
+                        NextMatchingReplyLocked(id, timeout));
+  Reply reply;
+  cdr::Decoder dec = parsed.MakeBodyDecoder();
+  COOL_ASSIGN_OR_RETURN(reply.header, ParseReplyHeader(dec));
+  reply.message = std::move(parsed);
+  reply.results_offset_ = dec.offset();
+  return reply;
+}
+
+Status GiopClient::InvokeOneway(
+    const corba::OctetSeq& object_key, const std::string& operation,
+    std::span<const corba::Octet> args_cdr,
+    const std::vector<qos::QoSParameter>& qos_params) {
+  std::lock_guard lock(mu_);
+  const corba::ULong id = next_request_id_++;
+  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
+                                             qos_params, false, id);
+  return channel_->SendMessage(msg.view());
+}
+
+Result<corba::ULong> GiopClient::InvokeDeferred(
+    const corba::OctetSeq& object_key, const std::string& operation,
+    std::span<const corba::Octet> args_cdr,
+    const std::vector<qos::QoSParameter>& qos_params) {
+  std::lock_guard lock(mu_);
+  const corba::ULong id = next_request_id_++;
+  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
+                                             qos_params, true, id);
+  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
+  return id;
+}
+
+Result<GiopClient::Reply> GiopClient::PollReply(corba::ULong request_id,
+                                                Duration timeout) {
+  std::lock_guard lock(mu_);
+  if (abandoned_.contains(request_id)) {
+    abandoned_.erase(request_id);
+    return Status(CancelledError("request was cancelled"));
+  }
+  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed,
+                        NextMatchingReplyLocked(request_id, timeout));
+  Reply reply;
+  cdr::Decoder dec = parsed.MakeBodyDecoder();
+  COOL_ASSIGN_OR_RETURN(reply.header, ParseReplyHeader(dec));
+  reply.message = std::move(parsed);
+  reply.results_offset_ = dec.offset();
+  return reply;
+}
+
+Status GiopClient::Cancel(corba::ULong request_id) {
+  std::lock_guard lock(mu_);
+  CancelRequestHeader header{request_id};
+  const ByteBuffer msg =
+      BuildCancelRequest(kGiop10, header, options_.order);
+  abandoned_.insert(request_id);
+  return channel_->SendMessage(msg.view());
+}
+
+Result<LocateStatus> GiopClient::Locate(const corba::OctetSeq& object_key,
+                                        Duration timeout) {
+  std::lock_guard lock(mu_);
+  const corba::ULong id = next_request_id_++;
+  LocateRequestHeader header;
+  header.request_id = id;
+  header.object_key = object_key;
+  const ByteBuffer msg = BuildLocateRequest(kGiop10, header, options_.order);
+  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
+
+  COOL_ASSIGN_OR_RETURN(ByteBuffer raw, channel_->ReceiveMessage(timeout));
+  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed, ParseMessage(raw.view()));
+  if (parsed.header.message_type != MsgType::kLocateReply) {
+    return Status(ProtocolError("expected LocateReply"));
+  }
+  cdr::Decoder dec = parsed.MakeBodyDecoder();
+  COOL_ASSIGN_OR_RETURN(LocateReplyHeader reply, ParseLocateReplyHeader(dec));
+  if (reply.request_id != id) {
+    return Status(ProtocolError("LocateReply id mismatch"));
+  }
+  return reply.locate_status;
+}
+
+Status GiopClient::SendClose() {
+  std::lock_guard lock(mu_);
+  const ByteBuffer msg = BuildCloseConnection(kGiop10, options_.order);
+  return channel_->SendMessage(msg.view());
+}
+
+// --- GiopServer ---------------------------------------------------------------
+
+Status GiopServer::HandleRequest(const ParsedMessage& msg) {
+  cdr::Decoder dec = msg.MakeBodyDecoder();
+  auto header = ParseRequestHeader(dec, msg.header.version);
+  if (!header.ok()) {
+    (void)channel_->SendMessage(
+        BuildMessageError(kGiop10, options_.order).view());
+    return header.status();
+  }
+  if (cancelled_.erase(header->request_id) != 0) {
+    // Cancelled before we started processing: GIOP allows dropping it.
+    return Status::Ok();
+  }
+
+  DispatchResult result = dispatcher_(*header, dec);
+  ++requests_served_;
+  if (!header->response_expected) return Status::Ok();
+
+  ReplyHeader reply;
+  reply.request_id = header->request_id;
+  reply.reply_status = result.status;
+  // The Reply answers in the Request's GIOP version (a 9.9 conversation
+  // stays 9.9; Reply's format is identical in both).
+  const ByteBuffer out = BuildReply(msg.header.version, reply,
+                                    result.body.view(), options_.order);
+  return channel_->SendMessage(out.view());
+}
+
+Status GiopServer::ServeOne(Duration timeout) {
+  auto raw = channel_->ReceiveMessage(timeout);
+  if (!raw.ok()) return raw.status();
+
+  auto parsed = ParseMessage(raw->view());
+  if (!parsed.ok()) {
+    (void)channel_->SendMessage(
+        BuildMessageError(kGiop10, options_.order).view());
+    return parsed.status();
+  }
+  const MessageHeader& h = parsed->header;
+
+  // Version gate (paper §4.2, backwards compatibility): an unmodified GIOP
+  // implementation rejects the 9.9 extension with MessageError.
+  const bool version_ok =
+      h.version == kGiop10 ||
+      (h.version == kGiopQos && options_.accept_qos_extension);
+  if (!version_ok) {
+    COOL_LOG(kInfo, "giop") << "rejecting GIOP version "
+                            << h.version.ToString();
+    (void)channel_->SendMessage(
+        BuildMessageError(kGiop10, options_.order).view());
+    return Status::Ok();  // connection survives, per GIOP
+  }
+
+  switch (h.message_type) {
+    case MsgType::kRequest:
+      return HandleRequest(*parsed);
+    case MsgType::kCancelRequest: {
+      cdr::Decoder dec = parsed->MakeBodyDecoder();
+      COOL_ASSIGN_OR_RETURN(CancelRequestHeader cancel,
+                            ParseCancelRequestHeader(dec));
+      cancelled_.insert(cancel.request_id);
+      return Status::Ok();
+    }
+    case MsgType::kLocateRequest: {
+      cdr::Decoder dec = parsed->MakeBodyDecoder();
+      COOL_ASSIGN_OR_RETURN(LocateRequestHeader locate,
+                            ParseLocateRequestHeader(dec));
+      LocateReplyHeader reply;
+      reply.request_id = locate.request_id;
+      const bool here = locator_ ? locator_(locate.object_key) : false;
+      reply.locate_status =
+          here ? LocateStatus::kObjectHere : LocateStatus::kUnknownObject;
+      return channel_->SendMessage(
+          BuildLocateReply(h.version, reply, options_.order).view());
+    }
+    case MsgType::kCloseConnection:
+      return CancelledError("peer closed connection");
+    case MsgType::kMessageError:
+      return ProtocolError("peer reported MessageError");
+    case MsgType::kReply:
+    case MsgType::kLocateReply:
+      (void)channel_->SendMessage(
+          BuildMessageError(kGiop10, options_.order).view());
+      return ProtocolError("client-role message received by server");
+  }
+  return InternalError("unreachable GIOP message type");
+}
+
+Status GiopServer::Serve() {
+  for (;;) {
+    Status s = ServeOne(seconds(3600));
+    if (s.ok()) continue;
+    if (s.code() == ErrorCode::kProtocolError) {
+      // Protocol damage is reported but the connection soldiers on, as
+      // GIOP prescribes after MessageError.
+      COOL_LOG(kWarn, "giop") << "protocol error on connection: " << s;
+      continue;
+    }
+    return s;
+  }
+}
+
+}  // namespace cool::giop

@@ -1,0 +1,173 @@
+// GIOP protocol engines: the client and server halves of the message layer,
+// running over one generic-transport channel each. The engines own request
+// ids, reply matching, version selection (1.0 vs the 9.9 QoS extension) and
+// backwards compatibility (a server with the extension disabled answers 9.9
+// Requests with MessageError, as an unmodified COOL would).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+
+#include "giop/message.h"
+#include "transport/com_channel.h"
+
+namespace cool::giop {
+
+class GiopClient {
+ public:
+  struct Options {
+    // Speak GIOP 9.9 for requests that carry QoS parameters. Requests
+    // without QoS always use standard GIOP 1.0 (paper §4.1: "Never call
+    // setQoSParameter: no QoS support is required and standard GIOP can be
+    // used").
+    bool use_qos_extension = true;
+    cdr::ByteOrder order = cdr::NativeOrder();
+    corba::OctetSeq principal;
+  };
+
+  // The channel must outlive the engine.
+  GiopClient(transport::ComChannel* channel, Options options)
+      : channel_(channel), options_(options) {}
+
+  // A received Reply, with accessors to decode its result body.
+  struct Reply {
+    ReplyHeader header;
+    ParsedMessage message;
+    cdr::Decoder MakeResultsDecoder() const;
+
+    // The reply body (results / exception) as raw octets, and its offset
+    // within the whole GIOP message (always 8-aligned), for callers that
+    // re-home the bytes into their own decoder.
+    std::span<const corba::Octet> ResultsBytes() const {
+      return std::span<const corba::Octet>(message.body)
+          .subspan(results_offset_ - kHeaderSize);
+    }
+    std::size_t ResultsMessageOffset() const { return results_offset_; }
+
+   private:
+    friend class GiopClient;
+    std::size_t results_offset_ = 0;
+  };
+
+  // Synchronous two-way invocation. `args_cdr` must be encoded with an
+  // 8-aligned base offset (use MakeArgsEncoder). Carries `qos_params` in an
+  // extended 9.9 Request when non-empty.
+  Result<Reply> Invoke(const corba::OctetSeq& object_key,
+                       const std::string& operation,
+                       std::span<const corba::Octet> args_cdr,
+                       const std::vector<qos::QoSParameter>& qos_params,
+                       Duration timeout = seconds(10));
+
+  // One-way (response_expected = false); returns after handing the Request
+  // to the transport.
+  Status InvokeOneway(const corba::OctetSeq& object_key,
+                      const std::string& operation,
+                      std::span<const corba::Octet> args_cdr,
+                      const std::vector<qos::QoSParameter>& qos_params);
+
+  // Deferred-synchronous: sends the Request and returns its id; collect the
+  // Reply later with PollReply (or abandon it with Cancel).
+  Result<corba::ULong> InvokeDeferred(
+      const corba::OctetSeq& object_key, const std::string& operation,
+      std::span<const corba::Octet> args_cdr,
+      const std::vector<qos::QoSParameter>& qos_params);
+  Result<Reply> PollReply(corba::ULong request_id,
+                          Duration timeout = seconds(10));
+
+  // Sends CancelRequest and locally abandons the id: a late Reply for it is
+  // discarded by the matching loop.
+  Status Cancel(corba::ULong request_id);
+
+  // GIOP object location probe.
+  Result<LocateStatus> Locate(const corba::OctetSeq& object_key,
+                              Duration timeout = seconds(10));
+
+  // Sends CloseConnection (client-initiated shutdown is non-standard in
+  // GIOP 1.0 but COOL uses it to tear down idle bindings).
+  Status SendClose();
+
+  // Argument encoder whose alignment matches the spliced position inside
+  // the Request message (8-aligned).
+  cdr::Encoder MakeArgsEncoder() const {
+    return cdr::Encoder(options_.order, 0);
+  }
+
+  corba::ULong last_request_id() const { return next_request_id_ - 1; }
+
+ private:
+  Result<ParsedMessage> NextMatchingReplyLocked(corba::ULong request_id,
+                                                Duration timeout);
+  ByteBuffer BuildRequestMessage(
+      const corba::OctetSeq& object_key, const std::string& operation,
+      std::span<const corba::Octet> args_cdr,
+      const std::vector<qos::QoSParameter>& qos_params,
+      bool response_expected, corba::ULong request_id) const;
+
+  transport::ComChannel* channel_;
+  Options options_;
+  std::mutex mu_;
+  corba::ULong next_request_id_ = 1;
+  std::unordered_set<corba::ULong> abandoned_;
+};
+
+class GiopServer {
+ public:
+  struct Options {
+    // When false the server is an unmodified GIOP 1.0 implementation: a
+    // 9.9 Request is answered with MessageError.
+    bool accept_qos_extension = true;
+    cdr::ByteOrder order = cdr::NativeOrder();
+  };
+
+  // What the upcall produced; body must be encoded with MakeBodyEncoder.
+  struct DispatchResult {
+    ReplyStatus status = ReplyStatus::kNoException;
+    ByteBuffer body;
+  };
+
+  // Upcall into the object adapter. The decoder is positioned at the
+  // operation arguments.
+  using Dispatcher =
+      std::function<DispatchResult(const RequestHeader&, cdr::Decoder&)>;
+  // Object-existence probe for LocateRequest.
+  using Locator = std::function<bool(const corba::OctetSeq&)>;
+
+  GiopServer(transport::ComChannel* channel, Dispatcher dispatcher,
+             Options options)
+      : channel_(channel),
+        dispatcher_(std::move(dispatcher)),
+        options_(options) {}
+
+  void SetLocator(Locator locator) { locator_ = std::move(locator); }
+
+  // Handles exactly one incoming message. Returns:
+  //  * OK            — message handled, connection still open
+  //  * kCancelled    — peer sent CloseConnection (clean end)
+  //  * kUnavailable  — transport gone
+  //  * other         — protocol violation (a MessageError was sent back
+  //                    when possible)
+  Status ServeOne(Duration timeout = seconds(30));
+
+  // Loop until the connection ends; returns the terminating status
+  // (kCancelled for a clean CloseConnection).
+  Status Serve();
+
+  cdr::Encoder MakeBodyEncoder() const {
+    return cdr::Encoder(options_.order, 0);
+  }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  Status HandleRequest(const ParsedMessage& msg);
+
+  transport::ComChannel* channel_;
+  Dispatcher dispatcher_;
+  Options options_;
+  Locator locator_;
+  std::unordered_set<corba::ULong> cancelled_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace cool::giop

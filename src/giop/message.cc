@@ -1,0 +1,246 @@
+#include "giop/message.h"
+
+namespace cool::giop {
+
+std::string_view MsgTypeName(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kRequest: return "Request";
+    case MsgType::kReply: return "Reply";
+    case MsgType::kCancelRequest: return "CancelRequest";
+    case MsgType::kLocateRequest: return "LocateRequest";
+    case MsgType::kLocateReply: return "LocateReply";
+    case MsgType::kCloseConnection: return "CloseConnection";
+    case MsgType::kMessageError: return "MessageError";
+  }
+  return "Unknown";
+}
+
+bool IsKnownVersion(Version v) noexcept {
+  return v == kGiop10 || v == kGiopQos;
+}
+
+namespace {
+
+// Writes the 12-octet GIOP header with a placeholder size, returning the
+// offset of message_size for back-patching.
+void PutHeader(cdr::Encoder& enc, Version version, MsgType type) {
+  enc.PutRaw(kMagic);
+  enc.PutOctet(version.major);
+  enc.PutOctet(version.minor);
+  enc.PutBoolean(enc.order() == cdr::ByteOrder::kLittleEndian);
+  enc.PutOctet(static_cast<corba::Octet>(type));
+  enc.PutULong(0);  // message_size, patched below
+}
+
+ByteBuffer Finish(cdr::Encoder&& enc) {
+  ByteBuffer buf = std::move(enc).TakeBuffer();
+  const corba::ULong size = static_cast<corba::ULong>(buf.size() - kHeaderSize);
+  corba::Octet bytes[4];
+  if (buf.data()[6] != 0) {  // byte_order octet: 1 == little-endian
+    bytes[0] = static_cast<corba::Octet>(size);
+    bytes[1] = static_cast<corba::Octet>(size >> 8);
+    bytes[2] = static_cast<corba::Octet>(size >> 16);
+    bytes[3] = static_cast<corba::Octet>(size >> 24);
+  } else {
+    bytes[3] = static_cast<corba::Octet>(size);
+    bytes[2] = static_cast<corba::Octet>(size >> 8);
+    bytes[1] = static_cast<corba::Octet>(size >> 16);
+    bytes[0] = static_cast<corba::Octet>(size >> 24);
+  }
+  (void)buf.WriteAt(8, bytes);
+  return buf;
+}
+
+void PutServiceContextList(cdr::Encoder& enc, const ServiceContextList& list) {
+  enc.PutULong(static_cast<corba::ULong>(list.size()));
+  for (const ServiceContext& sc : list) {
+    enc.PutULong(sc.context_id);
+    enc.PutOctetSeq(sc.context_data);
+  }
+}
+
+Result<ServiceContextList> GetServiceContextList(cdr::Decoder& dec) {
+  COOL_ASSIGN_OR_RETURN(corba::ULong count, dec.GetULong());
+  if (count > dec.remaining() / 8) {
+    return Status(ProtocolError("service context count exceeds message"));
+  }
+  ServiceContextList list;
+  list.reserve(count);
+  for (corba::ULong i = 0; i < count; ++i) {
+    ServiceContext sc;
+    COOL_ASSIGN_OR_RETURN(sc.context_id, dec.GetULong());
+    COOL_ASSIGN_OR_RETURN(sc.context_data, dec.GetOctetSeq());
+    list.push_back(std::move(sc));
+  }
+  return list;
+}
+
+}  // namespace
+
+ByteBuffer BuildRequest(Version version, const RequestHeader& header,
+                        std::span<const corba::Octet> args_cdr,
+                        cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kRequest);
+  PutServiceContextList(enc, header.service_context);
+  enc.PutULong(header.request_id);
+  enc.PutBoolean(header.response_expected);
+  enc.PutOctetSeq(header.object_key);
+  enc.PutString(header.operation);
+  enc.PutOctetSeq(header.requesting_principal);
+  if (version == kGiopQos) {
+    // The extension field (paper Fig. 2-ii): present iff version 9.9.
+    qos::EncodeQoSParameterSeq(enc, header.qos_params);
+  }
+  // Operation arguments follow the request header, 8-aligned as the
+  // argument encoder assumed (see Engine: args are encoded with base offset
+  // rounded to 8 so alignment is preserved after splicing).
+  enc.Align(8);
+  enc.PutRaw(args_cdr);
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildReply(Version version, const ReplyHeader& header,
+                      std::span<const corba::Octet> body_cdr,
+                      cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kReply);
+  PutServiceContextList(enc, header.service_context);
+  enc.PutULong(header.request_id);
+  enc.PutULong(static_cast<corba::ULong>(header.reply_status));
+  enc.Align(8);
+  enc.PutRaw(body_cdr);
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildCancelRequest(Version version,
+                              const CancelRequestHeader& header,
+                              cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kCancelRequest);
+  enc.PutULong(header.request_id);
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildLocateRequest(Version version,
+                              const LocateRequestHeader& header,
+                              cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kLocateRequest);
+  enc.PutULong(header.request_id);
+  enc.PutOctetSeq(header.object_key);
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildLocateReply(Version version, const LocateReplyHeader& header,
+                            cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kLocateReply);
+  enc.PutULong(header.request_id);
+  enc.PutULong(static_cast<corba::ULong>(header.locate_status));
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildCloseConnection(Version version, cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kCloseConnection);
+  return Finish(std::move(enc));
+}
+
+ByteBuffer BuildMessageError(Version version, cdr::ByteOrder order) {
+  cdr::Encoder enc(order);
+  PutHeader(enc, version, MsgType::kMessageError);
+  return Finish(std::move(enc));
+}
+
+Result<MessageHeader> ParseHeader(std::span<const corba::Octet> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status(ProtocolError("GIOP header truncated"));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (bytes[i] != kMagic[i]) {
+      return Status(ProtocolError("bad GIOP magic"));
+    }
+  }
+  MessageHeader h;
+  h.version = Version{bytes[4], bytes[5]};
+  if (bytes[6] > 1) {
+    return Status(ProtocolError("bad GIOP byte_order flag"));
+  }
+  h.byte_order = bytes[6] == 1 ? cdr::ByteOrder::kLittleEndian
+                               : cdr::ByteOrder::kBigEndian;
+  if (bytes[7] > static_cast<corba::Octet>(MsgType::kMessageError)) {
+    return Status(ProtocolError("unknown GIOP message type"));
+  }
+  h.message_type = static_cast<MsgType>(bytes[7]);
+  cdr::Decoder dec(bytes.subspan(8, 4), h.byte_order, 8);
+  COOL_ASSIGN_OR_RETURN(h.message_size, dec.GetULong());
+  return h;
+}
+
+Result<ParsedMessage> ParseMessage(std::span<const corba::Octet> bytes) {
+  COOL_ASSIGN_OR_RETURN(MessageHeader header, ParseHeader(bytes));
+  if (bytes.size() != kHeaderSize + header.message_size) {
+    return Status(ProtocolError(
+        "GIOP message_size does not match delivered message"));
+  }
+  ParsedMessage msg;
+  msg.header = header;
+  msg.body.assign(bytes.begin() + kHeaderSize, bytes.end());
+  return msg;
+}
+
+Result<RequestHeader> ParseRequestHeader(cdr::Decoder& dec, Version version) {
+  RequestHeader h;
+  COOL_ASSIGN_OR_RETURN(h.service_context, GetServiceContextList(dec));
+  COOL_ASSIGN_OR_RETURN(h.request_id, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(h.response_expected, dec.GetBoolean());
+  COOL_ASSIGN_OR_RETURN(h.object_key, dec.GetOctetSeq());
+  COOL_ASSIGN_OR_RETURN(h.operation, dec.GetString());
+  COOL_ASSIGN_OR_RETURN(h.requesting_principal, dec.GetOctetSeq());
+  if (version == kGiopQos) {
+    COOL_ASSIGN_OR_RETURN(h.qos_params, qos::DecodeQoSParameterSeq(dec));
+  }
+  // Skip padding so the decoder sits at the 8-aligned argument body.
+  COOL_RETURN_IF_ERROR(dec.Align(8));
+  return h;
+}
+
+Result<ReplyHeader> ParseReplyHeader(cdr::Decoder& dec) {
+  ReplyHeader h;
+  COOL_ASSIGN_OR_RETURN(h.service_context, GetServiceContextList(dec));
+  COOL_ASSIGN_OR_RETURN(h.request_id, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(corba::ULong status, dec.GetULong());
+  if (status > static_cast<corba::ULong>(ReplyStatus::kLocationForward)) {
+    return Status(ProtocolError("bad reply_status"));
+  }
+  h.reply_status = static_cast<ReplyStatus>(status);
+  COOL_RETURN_IF_ERROR(dec.Align(8));
+  return h;
+}
+
+Result<CancelRequestHeader> ParseCancelRequestHeader(cdr::Decoder& dec) {
+  CancelRequestHeader h;
+  COOL_ASSIGN_OR_RETURN(h.request_id, dec.GetULong());
+  return h;
+}
+
+Result<LocateRequestHeader> ParseLocateRequestHeader(cdr::Decoder& dec) {
+  LocateRequestHeader h;
+  COOL_ASSIGN_OR_RETURN(h.request_id, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(h.object_key, dec.GetOctetSeq());
+  return h;
+}
+
+Result<LocateReplyHeader> ParseLocateReplyHeader(cdr::Decoder& dec) {
+  LocateReplyHeader h;
+  COOL_ASSIGN_OR_RETURN(h.request_id, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(corba::ULong status, dec.GetULong());
+  if (status > static_cast<corba::ULong>(LocateStatus::kObjectForward)) {
+    return Status(ProtocolError("bad locate_status"));
+  }
+  h.locate_status = static_cast<LocateStatus>(status);
+  return h;
+}
+
+}  // namespace cool::giop

@@ -1,0 +1,110 @@
+// Abstract syntax tree for the Chic IDL subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cool::idl {
+
+struct Type {
+  enum class Kind {
+    kVoid,
+    kBoolean,
+    kOctet,
+    kChar,
+    kShort,
+    kUShort,
+    kLong,
+    kULong,
+    kLongLong,
+    kULongLong,
+    kFloat,
+    kDouble,
+    kString,
+    kSequence,  // element in `element`
+    kNamed,     // struct or enum reference in `name`
+  };
+
+  Kind kind = Kind::kVoid;
+  std::string name;                 // kNamed only
+  std::shared_ptr<Type> element;    // kSequence only
+
+  bool IsVoid() const noexcept { return kind == Kind::kVoid; }
+  std::string ToIdlString() const;
+};
+
+struct StructField {
+  Type type;
+  std::string name;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<StructField> fields;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+};
+
+struct ExceptionDef {
+  std::string name;
+  std::vector<StructField> fields;
+};
+
+enum class ParamDir { kIn, kOut, kInOut };
+
+struct Param {
+  ParamDir dir = ParamDir::kIn;
+  Type type;
+  std::string name;
+};
+
+struct Operation {
+  bool oneway = false;
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<std::string> raises;  // exception names
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<Operation> operations;
+};
+
+struct TypedefDef {
+  Type type;
+  std::string name;
+};
+
+struct ConstDef {
+  Type type;          // integral kinds only
+  std::string name;
+  std::string value;  // decimal literal text
+};
+
+struct ModuleDef {
+  std::string name;
+  std::vector<StructDef> structs;
+  std::vector<EnumDef> enums;
+  std::vector<ExceptionDef> exceptions;
+  std::vector<InterfaceDef> interfaces;
+  std::vector<TypedefDef> typedefs;
+  std::vector<ConstDef> consts;
+
+  // Source order of the definitions above, so the code generator can emit
+  // them with every name defined before use (the parser enforces
+  // define-before-use, so source order is always safe).
+  enum class DefKind { kStruct, kEnum, kException, kInterface, kTypedef,
+                       kConst };
+  std::vector<std::pair<DefKind, std::size_t>> order;
+};
+
+struct IdlFile {
+  std::vector<ModuleDef> modules;
+};
+
+}  // namespace cool::idl

@@ -1,0 +1,77 @@
+// chic — the COOL IDL compiler (reproduction). Reads an IDL file and emits
+// a C++ header with CDR codecs, QoS-aware stubs and skeletons.
+//
+//   chic input.idl [-o output.h]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "idl/codegen.h"
+
+namespace {
+
+std::string GuardNameFrom(const std::string& path) {
+  std::string base = path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  for (char& c : base) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return base.empty() ? "generated" : base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: chic input.idl [-o output.h]\n";
+      return 0;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::cerr << "chic: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::cerr << "chic: no input file (try --help)\n";
+    return 2;
+  }
+  if (output.empty()) {
+    output = GuardNameFrom(input) + ".h";
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "chic: cannot open " << input << "\n";
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  cool::idl::CodegenOptions options;
+  options.guard_name = GuardNameFrom(input);
+  auto generated = cool::idl::CompileIdl(source.str(), options);
+  if (!generated.ok()) {
+    std::cerr << "chic: " << generated.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::ofstream out(output);
+  if (!out) {
+    std::cerr << "chic: cannot write " << output << "\n";
+    return 1;
+  }
+  out << *generated;
+  std::cout << "chic: wrote " << output << "\n";
+  return 0;
+}

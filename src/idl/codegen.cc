@@ -1,0 +1,461 @@
+#include "idl/codegen.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "idl/parser.h"
+
+namespace cool::idl {
+
+namespace {
+
+// Small emitter with indentation bookkeeping.
+class Emitter {
+ public:
+  void Line(const std::string& text = "") {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+    out_ << text << "\n";
+  }
+  void Open(const std::string& text) {
+    Line(text);
+    ++indent_;
+  }
+  void Close(const std::string& text = "}") {
+    --indent_;
+    Line(text);
+  }
+  std::string TakeText() { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+// Names of enum types in the current module: enums map to C++ enum class
+// and pass by value like primitives.
+using EnumNames = std::set<std::string>;
+
+bool IsPrimitive(const Type& t) {
+  switch (t.kind) {
+    case Type::Kind::kSequence:
+    case Type::Kind::kNamed:
+    case Type::Kind::kVoid:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Pass by value for arithmetic types and enums, by const& otherwise.
+bool PassByValue(const Type& t, const EnumNames& enums) {
+  if (t.kind == Type::Kind::kNamed) return enums.contains(t.name);
+  return IsPrimitive(t) && t.kind != Type::Kind::kString;
+}
+
+std::string InParamType(const Type& t, const EnumNames& enums) {
+  return PassByValue(t, enums) ? CppTypeName(t)
+                               : "const " + CppTypeName(t) + "&";
+}
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+std::string RepositoryId(const std::string& module_name,
+                         const std::string& def_name) {
+  return "IDL:" + module_name + "/" + def_name + ":1.0";
+}
+
+std::string CppTypeName(const Type& type) {
+  switch (type.kind) {
+    case Type::Kind::kVoid: return "void";
+    case Type::Kind::kBoolean: return "::cool::corba::Boolean";
+    case Type::Kind::kOctet: return "::cool::corba::Octet";
+    case Type::Kind::kChar: return "::cool::corba::Char";
+    case Type::Kind::kShort: return "::cool::corba::Short";
+    case Type::Kind::kUShort: return "::cool::corba::UShort";
+    case Type::Kind::kLong: return "::cool::corba::Long";
+    case Type::Kind::kULong: return "::cool::corba::ULong";
+    case Type::Kind::kLongLong: return "::cool::corba::LongLong";
+    case Type::Kind::kULongLong: return "::cool::corba::ULongLong";
+    case Type::Kind::kFloat: return "::cool::corba::Float";
+    case Type::Kind::kDouble: return "::cool::corba::Double";
+    case Type::Kind::kString: return "::cool::corba::String";
+    case Type::Kind::kSequence:
+      return "std::vector<" + CppTypeName(*type.element) + ">";
+    case Type::Kind::kNamed:
+      return type.name;
+  }
+  return "/*bad type*/void";
+}
+
+namespace {
+
+void EmitFieldsCodec(Emitter& e, const std::string& type_name,
+                     const std::vector<StructField>& fields) {
+  e.Open("inline void Encode(::cool::cdr::Encoder& _e, const " + type_name +
+         "& _v) {");
+  for (const StructField& f : fields) {
+    e.Line("Encode(_e, _v." + f.name + ");");
+  }
+  e.Close();
+  e.Open("inline ::cool::Status Decode(::cool::cdr::Decoder& _d, " +
+         type_name + "& _v) {");
+  for (const StructField& f : fields) {
+    e.Line("COOL_RETURN_IF_ERROR(Decode(_d, _v." + f.name + "));");
+  }
+  e.Line("return ::cool::Status::Ok();");
+  e.Close();
+  e.Line();
+}
+
+void EmitStruct(Emitter& e, const StructDef& def) {
+  e.Open("struct " + def.name + " {");
+  for (const StructField& f : def.fields) {
+    e.Line(CppTypeName(f.type) + " " + f.name + "{};");
+  }
+  e.Line("friend bool operator==(const " + def.name + "&, const " +
+         def.name + "&) = default;");
+  e.Close("};");
+  EmitFieldsCodec(e, def.name, def.fields);
+}
+
+void EmitEnum(Emitter& e, const EnumDef& def) {
+  e.Open("enum class " + def.name + " : ::cool::corba::ULong {");
+  for (std::size_t i = 0; i < def.enumerators.size(); ++i) {
+    e.Line(def.enumerators[i] + " = " + std::to_string(i) + ",");
+  }
+  e.Close("};");
+  e.Open("inline void Encode(::cool::cdr::Encoder& _e, " + def.name +
+         " _v) {");
+  e.Line("_e.PutULong(static_cast<::cool::corba::ULong>(_v));");
+  e.Close();
+  e.Open("inline ::cool::Status Decode(::cool::cdr::Decoder& _d, " +
+         def.name + "& _v) {");
+  e.Line("::cool::corba::ULong _raw{};");
+  e.Line("COOL_ASSIGN_OR_RETURN(_raw, _d.GetULong());");
+  e.Open("if (_raw >= " + std::to_string(def.enumerators.size()) + ") {");
+  e.Line("return ::cool::ProtocolError(\"enum " + def.name +
+         " value out of range\");");
+  e.Close();
+  e.Line("_v = static_cast<" + def.name + ">(_raw);");
+  e.Line("return ::cool::Status::Ok();");
+  e.Close();
+  e.Line();
+}
+
+void EmitException(Emitter& e, const std::string& module_name,
+                   const ExceptionDef& def) {
+  e.Open("struct " + def.name + " {");
+  e.Line("static constexpr const char* kRepoId = \"" +
+         RepositoryId(module_name, def.name) + "\";");
+  for (const StructField& f : def.fields) {
+    e.Line(CppTypeName(f.type) + " " + f.name + "{};");
+  }
+  e.Line("friend bool operator==(const " + def.name + "&, const " +
+         def.name + "&) = default;");
+  e.Close("};");
+  EmitFieldsCodec(e, def.name, def.fields);
+}
+
+std::string StubMethodSignature(const Operation& op, const EnumNames& enums) {
+  std::ostringstream sig;
+  if (op.return_type.IsVoid()) {
+    sig << "::cool::Status";
+  } else {
+    sig << "::cool::Result<" << CppTypeName(op.return_type) << ">";
+  }
+  sig << " " << op.name << "(";
+  bool first = true;
+  for (const Param& p : op.params) {
+    if (!first) sig << ", ";
+    first = false;
+    if (p.dir == ParamDir::kIn) {
+      sig << InParamType(p.type, enums) << " " << p.name;
+    } else {
+      sig << CppTypeName(p.type) << "* " << p.name;
+    }
+  }
+  sig << ")";
+  return sig.str();
+}
+
+void EmitStubMethod(Emitter& e, const Operation& op,
+                    const EnumNames& enums) {
+  e.Open(StubMethodSignature(op, enums) + " {");
+  e.Line("auto _enc = MakeArgsEncoder();");
+  for (const Param& p : op.params) {
+    if (p.dir == ParamDir::kIn) {
+      e.Line("Encode(_enc, " + p.name + ");");
+    } else if (p.dir == ParamDir::kInOut) {
+      e.Line("Encode(_enc, *" + p.name + ");");
+    }
+  }
+  if (op.oneway) {
+    e.Line("return InvokeOneway(\"" + op.name +
+           "\", _enc.buffer().view());");
+    e.Close();
+    e.Line();
+    return;
+  }
+  e.Line("COOL_ASSIGN_OR_RETURN(auto _reply, Invoke(\"" + op.name +
+         "\", _enc.buffer().view()));");
+  e.Line("auto _dec = _reply.MakeDecoder();");
+  e.Open(
+      "if (_reply.status == ::cool::giop::ReplyStatus::kUserException) {");
+  e.Line("return ::cool::Status(::cool::idl::rt::DecodeUserException(_dec));");
+  e.Close();
+  if (!op.return_type.IsVoid()) {
+    e.Line(CppTypeName(op.return_type) + " _ret{};");
+    e.Line("COOL_RETURN_IF_ERROR(Decode(_dec, _ret));");
+  }
+  for (const Param& p : op.params) {
+    if (p.dir != ParamDir::kIn) {
+      e.Line("COOL_RETURN_IF_ERROR(Decode(_dec, *" + p.name + "));");
+    }
+  }
+  if (op.return_type.IsVoid()) {
+    e.Line("return ::cool::Status::Ok();");
+  } else {
+    e.Line("return _ret;");
+  }
+  e.Close();
+  e.Line();
+}
+
+void EmitStub(Emitter& e, const std::string& module_name,
+              const InterfaceDef& def, const EnumNames& enums) {
+  e.Line("// Client stub for interface " + def.name +
+         ". Inherits setQoSParameter()");
+  e.Line("// from cool::orb::Stub — the QoS hook Chic generates into every "
+         "stub.");
+  e.Open("class " + def.name + "Stub : public ::cool::orb::Stub {");
+  e.Line(" public:");
+  e.Line("using ::cool::orb::Stub::Stub;");
+  e.Line("static constexpr const char* kRepoId = \"" +
+         RepositoryId(module_name, def.name) + "\";");
+  e.Line();
+  for (const Operation& op : def.operations) {
+    EmitStubMethod(e, op, enums);
+  }
+  e.Close("};");
+  e.Line();
+}
+
+std::string SkeletonMethodSignature(const Operation& op, const EnumNames& enums) {
+  std::ostringstream sig;
+  if (op.return_type.IsVoid()) {
+    sig << "::cool::Status";
+  } else {
+    sig << "::cool::Result<" << CppTypeName(op.return_type) << ">";
+  }
+  sig << " " << op.name << "(";
+  bool first = true;
+  for (const Param& p : op.params) {
+    if (!first) sig << ", ";
+    first = false;
+    if (p.dir == ParamDir::kIn) {
+      sig << InParamType(p.type, enums) << " " << p.name;
+    } else {
+      sig << CppTypeName(p.type) << "& " << p.name;
+    }
+  }
+  sig << ")";
+  return sig.str();
+}
+
+void EmitSkeletonDispatchArm(Emitter& e, const Operation& op) {
+  e.Open("if (_op == \"" + op.name + "\") {");
+  for (const Param& p : op.params) {
+    e.Line(CppTypeName(p.type) + " " + p.name + "{};");
+  }
+  for (const Param& p : op.params) {
+    if (p.dir != ParamDir::kOut) {
+      e.Open("if (auto _s = Decode(_args, " + p.name + "); !_s.ok()) {");
+      e.Line("return ::cool::orb::DispatchOutcome::Fail(");
+      e.Line("    ::cool::InvalidArgumentError(_s.message()));");
+      e.Close();
+    }
+  }
+  std::ostringstream call;
+  call << "auto _r = " << op.name << "(";
+  bool first = true;
+  for (const Param& p : op.params) {
+    if (!first) call << ", ";
+    first = false;
+    call << p.name;
+  }
+  call << ");";
+  e.Line(call.str());
+  e.Open("if (_pending_exception) {");
+  e.Line("(*_pending_exception)(_out);");
+  e.Line("_pending_exception.reset();");
+  e.Line("return ::cool::orb::DispatchOutcome::UserException();");
+  e.Close();
+  if (op.return_type.IsVoid()) {
+    e.Line("if (!_r.ok()) return ::cool::orb::DispatchOutcome::Fail(_r);");
+  } else {
+    e.Line(
+        "if (!_r.ok()) return "
+        "::cool::orb::DispatchOutcome::Fail(_r.status());");
+    e.Line("Encode(_out, *_r);");
+  }
+  for (const Param& p : op.params) {
+    if (p.dir != ParamDir::kIn) {
+      e.Line("Encode(_out, " + p.name + ");");
+    }
+  }
+  e.Line("return ::cool::orb::DispatchOutcome::Ok();");
+  e.Close();
+}
+
+void EmitSkeleton(Emitter& e, const std::string& module_name,
+                  const InterfaceDef& def,
+                  const std::vector<ExceptionDef>& exceptions,
+                  const EnumNames& enums) {
+  // Exceptions this interface can raise (union over operations).
+  std::vector<std::string> raised;
+  for (const Operation& op : def.operations) {
+    for (const std::string& name : op.raises) {
+      if (std::find(raised.begin(), raised.end(), name) == raised.end()) {
+        raised.push_back(name);
+      }
+    }
+  }
+  (void)exceptions;
+
+  e.Line("// Server skeleton for interface " + def.name +
+         ": unmarshals requests,");
+  e.Line("// upcalls the object implementation, marshals results (paper "
+         "§2).");
+  e.Open("class " + def.name + "Skeleton : public ::cool::orb::Servant {");
+  e.Line(" public:");
+  e.Open("std::string_view repository_id() const override {");
+  e.Line("return \"" + RepositoryId(module_name, def.name) + "\";");
+  e.Close();
+  e.Line();
+  e.Open(
+      "::cool::orb::DispatchOutcome Dispatch(std::string_view _op, "
+      "::cool::cdr::Decoder& _args, ::cool::cdr::Encoder& _out) override {");
+  for (const Operation& op : def.operations) {
+    EmitSkeletonDispatchArm(e, op);
+  }
+  e.Line("return ::cool::orb::DispatchOutcome::Fail(");
+  e.Line("    ::cool::UnsupportedError(\"unknown operation '\" + "
+         "std::string(_op) + \"' on " +
+         def.name + "\"));");
+  e.Close();
+  e.Line();
+  e.Line(" protected:");
+  e.Line("// Object implementation API (override in the servant class).");
+  for (const Operation& op : def.operations) {
+    e.Line("virtual " + SkeletonMethodSignature(op, enums) + " = 0;");
+  }
+  if (!raised.empty()) {
+    e.Line();
+    e.Line("// Raise helpers: call before returning from an operation to "
+           "turn the");
+    e.Line("// reply into a USER_EXCEPTION.");
+    for (const std::string& name : raised) {
+      e.Open("void RaiseException(const " + name + "& _ex) {");
+      e.Open("_pending_exception = [_ex](::cool::cdr::Encoder& _enc) {");
+      e.Line("_enc.PutString(" + name + "::kRepoId);");
+      e.Line("Encode(_enc, _ex);");
+      e.Close("};");
+      e.Close();
+    }
+  }
+  e.Line();
+  e.Line(" private:");
+  e.Line(
+      "std::optional<std::function<void(::cool::cdr::Encoder&)>> "
+      "_pending_exception;");
+  e.Close("};");
+  e.Line();
+}
+
+}  // namespace
+
+Result<std::string> GenerateHeader(const IdlFile& file,
+                                   const CodegenOptions& options) {
+  Emitter e;
+  const std::string guard = "COOL_IDL_GEN_" + Upper(options.guard_name) + "_H";
+  e.Line("// Generated by chic (COOL IDL compiler reproduction). Do not "
+         "edit.");
+  e.Line("#ifndef " + guard);
+  e.Line("#define " + guard);
+  e.Line();
+  e.Line("#include <functional>");
+  e.Line("#include <optional>");
+  e.Line("#include <string>");
+  e.Line("#include <vector>");
+  e.Line();
+  e.Line("#include \"idl/runtime.h\"");
+  e.Line("#include \"orb/servant.h\"");
+  e.Line("#include \"orb/stub.h\"");
+  e.Line();
+
+  for (const ModuleDef& module : file.modules) {
+    e.Open("namespace " + module.name + " {");
+    e.Line();
+    e.Line("using ::cool::idl::rt::Encode;");
+    e.Line("using ::cool::idl::rt::Decode;");
+    e.Line("namespace corba = ::cool::corba;");
+    e.Line();
+    EnumNames enums;
+    for (const EnumDef& def : module.enums) enums.insert(def.name);
+    // Emit in source order: the parser enforces define-before-use, so this
+    // keeps every generated name declared before its first use.
+    using DefKind = ModuleDef::DefKind;
+    for (const auto& [kind, index] : module.order) {
+      switch (kind) {
+        case DefKind::kEnum:
+          EmitEnum(e, module.enums[index]);
+          break;
+        case DefKind::kStruct:
+          EmitStruct(e, module.structs[index]);
+          break;
+        case DefKind::kException:
+          EmitException(e, module.name, module.exceptions[index]);
+          break;
+        case DefKind::kTypedef: {
+          const TypedefDef& def = module.typedefs[index];
+          e.Line("using " + def.name + " = " + CppTypeName(def.type) + ";");
+          e.Line();
+          break;
+        }
+        case DefKind::kConst: {
+          const ConstDef& def = module.consts[index];
+          e.Line("inline constexpr " + CppTypeName(def.type) + " " +
+                 def.name + " = " + def.value + ";");
+          e.Line();
+          break;
+        }
+        case DefKind::kInterface:
+          EmitStub(e, module.name, module.interfaces[index], enums);
+          EmitSkeleton(e, module.name, module.interfaces[index],
+                       module.exceptions, enums);
+          break;
+      }
+    }
+    e.Close("}  // namespace " + module.name);
+    e.Line();
+  }
+  e.Line("#endif  // " + guard);
+  return e.TakeText();
+}
+
+Result<std::string> CompileIdl(std::string_view source,
+                               const CodegenOptions& options) {
+  COOL_ASSIGN_OR_RETURN(IdlFile file, Parse(source));
+  return GenerateHeader(file, options);
+}
+
+}  // namespace cool::idl

@@ -1,0 +1,39 @@
+// C++ code generator — the back end of our Chic reproduction. Takes a
+// parsed IDL file and emits one self-contained header with:
+//   * C++ types + CDR Encode/Decode for structs, enums and exceptions,
+//   * a <Interface>Stub class per interface (client side), inheriting
+//     cool::orb::Stub — and therefore carrying the paper's
+//     setQoSParameter method in every generated stub, exactly the template
+//     modification described in §4.1,
+//   * a <Interface>Skeleton class per interface (server side), inheriting
+//     cool::orb::Servant, that unmarshals requests, upcalls the object
+//     implementation, and marshals results (paper §2).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "idl/ast.h"
+
+namespace cool::idl {
+
+struct CodegenOptions {
+  // Basename used for the include guard, e.g. "image" -> COOL_IDL_IMAGE_H.
+  std::string guard_name = "generated";
+};
+
+Result<std::string> GenerateHeader(const IdlFile& file,
+                                   const CodegenOptions& options = {});
+
+// Convenience: parse + generate in one step (what the chic tool runs).
+Result<std::string> CompileIdl(std::string_view source,
+                               const CodegenOptions& options = {});
+
+// The repository id Chic assigns: "IDL:<module>/<name>:1.0".
+std::string RepositoryId(const std::string& module_name,
+                         const std::string& def_name);
+
+// IDL type -> C++ type spelling (exposed for tests).
+std::string CppTypeName(const Type& type);
+
+}  // namespace cool::idl

@@ -1,0 +1,142 @@
+#include "idl/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace cool::idl {
+
+std::string_view TokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntegerLiteral: return "integer";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kScope: return "'::'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kEof: return "end of file";
+  }
+  return "?";
+}
+
+bool IsIdlKeyword(std::string_view word) noexcept {
+  static constexpr std::array kKeywords = {
+      "module",    "interface", "struct",   "enum",     "exception",
+      "oneway",    "raises",    "in",       "out",      "inout",
+      "void",      "boolean",   "octet",    "char",     "short",
+      "long",      "unsigned",  "float",    "double",   "string",
+      "sequence",  "readonly",  "attribute", "typedef", "const",
+  };
+  for (std::string_view kw : kKeywords) {
+    if (kw == word) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto error = [&](const std::string& what) {
+    return Status(InvalidArgumentError("IDL lex error at line " +
+                                       std::to_string(line) + ": " + what));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor-ish lines are skipped whole.
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) return error("unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) !=
+                           0 ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.text = std::string(source.substr(start, i - start));
+      t.kind = IsIdlKeyword(t.text) ? TokenKind::kKeyword
+                                    : TokenKind::kIdentifier;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = i;
+      while (i < n &&
+             std::isdigit(static_cast<unsigned char>(source[i])) != 0) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIntegerLiteral,
+           std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+
+    TokenKind kind;
+    std::string text(1, c);
+    switch (c) {
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '<': kind = TokenKind::kLAngle; break;
+      case '>': kind = TokenKind::kRAngle; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '=': kind = TokenKind::kEquals; break;
+      case ':':
+        if (i + 1 < n && source[i + 1] == ':') {
+          kind = TokenKind::kScope;
+          text = "::";
+          ++i;
+        } else {
+          kind = TokenKind::kColon;
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({kind, std::move(text), line});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace cool::idl

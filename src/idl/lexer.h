@@ -1,0 +1,53 @@
+// Lexer for the IDL subset accepted by our Chic reproduction (the paper's
+// modified COOL IDL compiler). Supports the tokens needed for modules,
+// structs, enums, exceptions and interfaces with in/out/inout parameters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cool::idl {
+
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,
+  kIntegerLiteral,
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kLAngle,     // <
+  kRAngle,     // >
+  kComma,      // ,
+  kSemicolon,  // ;
+  kColon,      // :
+  kScope,      // ::
+  kEquals,     // =
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+
+  bool Is(TokenKind k) const noexcept { return kind == k; }
+  bool IsKeyword(std::string_view kw) const noexcept {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+// True for the reserved words of our subset ("module", "interface",
+// "struct", "enum", "exception", "oneway", "raises", type names, ...).
+bool IsIdlKeyword(std::string_view word) noexcept;
+
+// Tokenizes `source`. Handles // and /* */ comments and #pragma/#include
+// lines (skipped). Fails with kInvalidArgument on stray characters.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace cool::idl

@@ -1,0 +1,451 @@
+#include "idl/parser.h"
+
+#include <set>
+
+namespace cool::idl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<IdlFile> ParseFile() {
+    IdlFile file;
+    while (!Peek().Is(TokenKind::kEof)) {
+      COOL_ASSIGN_OR_RETURN(ModuleDef module, ParseModule());
+      file.modules.push_back(std::move(module));
+    }
+    if (file.modules.empty()) {
+      return Error("IDL file defines no module");
+    }
+    return file;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("IDL parse error at line " +
+                                std::to_string(Peek().line) + ": " + what);
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Peek().Is(kind)) {
+      return Error("expected " + std::string(TokenKindName(kind)) +
+                   ", found '" + Peek().text + "'");
+    }
+    Take();
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Error("expected '" + std::string(kw) + "', found '" +
+                   Peek().text + "'");
+    }
+    Take();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Status(Error("expected identifier, found '" + Peek().text + "'"));
+    }
+    return Take().text;
+  }
+
+  bool DefinedType(const std::string& name) const {
+    return defined_types_.contains(name);
+  }
+
+  Result<Type> ParseType() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kIdentifier)) {
+      if (!DefinedType(t.text)) {
+        return Status(Error("unknown type '" + t.text + "'"));
+      }
+      Type type;
+      type.kind = Type::Kind::kNamed;
+      type.name = Take().text;
+      return type;
+    }
+    if (!t.Is(TokenKind::kKeyword)) {
+      return Status(Error("expected a type, found '" + t.text + "'"));
+    }
+    Type type;
+    const std::string kw = Take().text;
+    if (kw == "void") {
+      type.kind = Type::Kind::kVoid;
+    } else if (kw == "boolean") {
+      type.kind = Type::Kind::kBoolean;
+    } else if (kw == "octet") {
+      type.kind = Type::Kind::kOctet;
+    } else if (kw == "char") {
+      type.kind = Type::Kind::kChar;
+    } else if (kw == "short") {
+      type.kind = Type::Kind::kShort;
+    } else if (kw == "float") {
+      type.kind = Type::Kind::kFloat;
+    } else if (kw == "double") {
+      type.kind = Type::Kind::kDouble;
+    } else if (kw == "string") {
+      type.kind = Type::Kind::kString;
+    } else if (kw == "long") {
+      if (Peek().IsKeyword("long")) {
+        Take();
+        type.kind = Type::Kind::kLongLong;
+      } else {
+        type.kind = Type::Kind::kLong;
+      }
+    } else if (kw == "unsigned") {
+      if (Peek().IsKeyword("short")) {
+        Take();
+        type.kind = Type::Kind::kUShort;
+      } else if (Peek().IsKeyword("long")) {
+        Take();
+        if (Peek().IsKeyword("long")) {
+          Take();
+          type.kind = Type::Kind::kULongLong;
+        } else {
+          type.kind = Type::Kind::kULong;
+        }
+      } else {
+        return Status(Error("expected 'short' or 'long' after 'unsigned'"));
+      }
+    } else if (kw == "sequence") {
+      COOL_RETURN_IF_ERROR(Expect(TokenKind::kLAngle));
+      COOL_ASSIGN_OR_RETURN(Type element, ParseType());
+      if (element.IsVoid()) {
+        return Status(Error("sequence of void is not a type"));
+      }
+      COOL_RETURN_IF_ERROR(Expect(TokenKind::kRAngle));
+      type.kind = Type::Kind::kSequence;
+      type.element = std::make_shared<Type>(std::move(element));
+    } else {
+      return Status(Error("'" + kw + "' does not start a type"));
+    }
+    return type;
+  }
+
+  Result<std::vector<StructField>> ParseFieldList() {
+    std::vector<StructField> fields;
+    std::set<std::string> seen;
+    while (!Peek().Is(TokenKind::kRBrace)) {
+      StructField field;
+      COOL_ASSIGN_OR_RETURN(field.type, ParseType());
+      if (field.type.IsVoid()) {
+        return Status(Error("field of type void"));
+      }
+      COOL_ASSIGN_OR_RETURN(field.name, ExpectIdentifier());
+      if (!seen.insert(field.name).second) {
+        return Status(Error("duplicate field '" + field.name + "'"));
+      }
+      COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      fields.push_back(std::move(field));
+    }
+    return fields;
+  }
+
+  Result<StructDef> ParseStruct() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("struct"));
+    StructDef def;
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(DefineType(def.name));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    COOL_ASSIGN_OR_RETURN(def.fields, ParseFieldList());
+    if (def.fields.empty()) {
+      return Status(Error("struct '" + def.name + "' has no fields"));
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<EnumDef> ParseEnum() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("enum"));
+    EnumDef def;
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(DefineType(def.name));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    std::set<std::string> seen;
+    for (;;) {
+      COOL_ASSIGN_OR_RETURN(std::string enumerator, ExpectIdentifier());
+      if (!seen.insert(enumerator).second) {
+        return Status(Error("duplicate enumerator '" + enumerator + "'"));
+      }
+      def.enumerators.push_back(std::move(enumerator));
+      if (Peek().Is(TokenKind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<ExceptionDef> ParseException() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("exception"));
+    ExceptionDef def;
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    if (!defined_exceptions_.insert(def.name).second ||
+        DefinedType(def.name)) {
+      return Status(Error("duplicate name '" + def.name + "'"));
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    COOL_ASSIGN_OR_RETURN(def.fields, ParseFieldList());
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<Operation> ParseOperation() {
+    Operation op;
+    if (Peek().IsKeyword("oneway")) {
+      Take();
+      op.oneway = true;
+    }
+    COOL_ASSIGN_OR_RETURN(op.return_type, ParseType());
+    COOL_ASSIGN_OR_RETURN(op.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::set<std::string> seen;
+    while (!Peek().Is(TokenKind::kRParen)) {
+      Param param;
+      if (Peek().IsKeyword("in")) {
+        Take();
+        param.dir = ParamDir::kIn;
+      } else if (Peek().IsKeyword("out")) {
+        Take();
+        param.dir = ParamDir::kOut;
+      } else if (Peek().IsKeyword("inout")) {
+        Take();
+        param.dir = ParamDir::kInOut;
+      } else {
+        return Status(Error("expected parameter direction in/out/inout"));
+      }
+      COOL_ASSIGN_OR_RETURN(param.type, ParseType());
+      if (param.type.IsVoid()) {
+        return Status(Error("parameter of type void"));
+      }
+      COOL_ASSIGN_OR_RETURN(param.name, ExpectIdentifier());
+      if (!seen.insert(param.name).second) {
+        return Status(Error("duplicate parameter '" + param.name + "'"));
+      }
+      op.params.push_back(std::move(param));
+      if (Peek().Is(TokenKind::kComma)) Take();
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (Peek().IsKeyword("raises")) {
+      Take();
+      COOL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      for (;;) {
+        COOL_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+        if (!defined_exceptions_.contains(name)) {
+          return Status(Error("raises names unknown exception '" + name +
+                              "'"));
+        }
+        op.raises.push_back(std::move(name));
+        if (Peek().Is(TokenKind::kComma)) {
+          Take();
+          continue;
+        }
+        break;
+      }
+      COOL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+
+    if (op.oneway) {
+      if (!op.return_type.IsVoid()) {
+        return Status(Error("oneway operation must return void"));
+      }
+      if (!op.raises.empty()) {
+        return Status(Error("oneway operation cannot raise exceptions"));
+      }
+      for (const Param& p : op.params) {
+        if (p.dir != ParamDir::kIn) {
+          return Status(Error("oneway operation allows in-parameters only"));
+        }
+      }
+    }
+    return op;
+  }
+
+  // Attributes desugar to operations per the CORBA C++ mapping:
+  //   attribute T x;           ->  T _get_x();  void _set_x(in T value);
+  //   readonly attribute T x;  ->  T _get_x();
+  Status ParseAttribute(InterfaceDef& def, std::set<std::string>& seen) {
+    bool readonly = false;
+    if (Peek().IsKeyword("readonly")) {
+      Take();
+      readonly = true;
+    }
+    COOL_RETURN_IF_ERROR(ExpectKeyword("attribute"));
+    Type type;
+    COOL_ASSIGN_OR_RETURN(type, ParseType());
+    if (type.IsVoid()) return Error("attribute of type void");
+    std::string name;
+    COOL_ASSIGN_OR_RETURN(name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+
+    Operation getter;
+    getter.return_type = type;
+    getter.name = "_get_" + name;
+    if (!seen.insert(getter.name).second) {
+      return Error("duplicate attribute '" + name + "'");
+    }
+    def.operations.push_back(std::move(getter));
+    if (!readonly) {
+      Operation setter;
+      setter.return_type.kind = Type::Kind::kVoid;
+      setter.name = "_set_" + name;
+      Param value;
+      value.dir = ParamDir::kIn;
+      value.type = type;
+      value.name = "value";
+      setter.params.push_back(std::move(value));
+      if (!seen.insert(setter.name).second) {
+        return Error("duplicate attribute '" + name + "'");
+      }
+      def.operations.push_back(std::move(setter));
+    }
+    return Status::Ok();
+  }
+
+  Result<InterfaceDef> ParseInterface() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("interface"));
+    InterfaceDef def;
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(DefineType(def.name));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    std::set<std::string> seen;
+    while (!Peek().Is(TokenKind::kRBrace)) {
+      if (Peek().IsKeyword("readonly") || Peek().IsKeyword("attribute")) {
+        COOL_RETURN_IF_ERROR(ParseAttribute(def, seen));
+        continue;
+      }
+      COOL_ASSIGN_OR_RETURN(Operation op, ParseOperation());
+      if (!seen.insert(op.name).second) {
+        return Status(Error("duplicate operation '" + op.name + "'"));
+      }
+      def.operations.push_back(std::move(op));
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<TypedefDef> ParseTypedef() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("typedef"));
+    TypedefDef def;
+    COOL_ASSIGN_OR_RETURN(def.type, ParseType());
+    if (def.type.IsVoid()) return Status(Error("typedef of void"));
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(DefineType(def.name));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<ConstDef> ParseConst() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("const"));
+    ConstDef def;
+    COOL_ASSIGN_OR_RETURN(def.type, ParseType());
+    switch (def.type.kind) {
+      case Type::Kind::kShort:
+      case Type::Kind::kUShort:
+      case Type::Kind::kLong:
+      case Type::Kind::kULong:
+      case Type::Kind::kLongLong:
+      case Type::Kind::kULongLong:
+      case Type::Kind::kOctet:
+        break;
+      default:
+        return Status(Error("const supports integral types only"));
+    }
+    COOL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(DefineType(def.name));  // occupies the name space
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kEquals));
+    if (!Peek().Is(TokenKind::kIntegerLiteral)) {
+      return Status(Error("expected integer literal after '='"));
+    }
+    def.value = Take().text;
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return def;
+  }
+
+  Result<ModuleDef> ParseModule() {
+    COOL_RETURN_IF_ERROR(ExpectKeyword("module"));
+    ModuleDef module;
+    COOL_ASSIGN_OR_RETURN(module.name, ExpectIdentifier());
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    using DefKind = ModuleDef::DefKind;
+    while (!Peek().Is(TokenKind::kRBrace)) {
+      if (Peek().IsKeyword("struct")) {
+        COOL_ASSIGN_OR_RETURN(StructDef def, ParseStruct());
+        module.order.emplace_back(DefKind::kStruct, module.structs.size());
+        module.structs.push_back(std::move(def));
+      } else if (Peek().IsKeyword("enum")) {
+        COOL_ASSIGN_OR_RETURN(EnumDef def, ParseEnum());
+        module.order.emplace_back(DefKind::kEnum, module.enums.size());
+        module.enums.push_back(std::move(def));
+      } else if (Peek().IsKeyword("exception")) {
+        COOL_ASSIGN_OR_RETURN(ExceptionDef def, ParseException());
+        module.order.emplace_back(DefKind::kException,
+                                  module.exceptions.size());
+        module.exceptions.push_back(std::move(def));
+      } else if (Peek().IsKeyword("interface")) {
+        COOL_ASSIGN_OR_RETURN(InterfaceDef def, ParseInterface());
+        module.order.emplace_back(DefKind::kInterface,
+                                  module.interfaces.size());
+        module.interfaces.push_back(std::move(def));
+      } else if (Peek().IsKeyword("typedef")) {
+        COOL_ASSIGN_OR_RETURN(TypedefDef def, ParseTypedef());
+        module.order.emplace_back(DefKind::kTypedef,
+                                  module.typedefs.size());
+        module.typedefs.push_back(std::move(def));
+      } else if (Peek().IsKeyword("const")) {
+        COOL_ASSIGN_OR_RETURN(ConstDef def, ParseConst());
+        module.order.emplace_back(DefKind::kConst, module.consts.size());
+        module.consts.push_back(std::move(def));
+      } else {
+        return Status(Error(
+            "expected struct/enum/exception/interface/typedef/const, "
+            "found '" +
+            Peek().text + "'"));
+      }
+    }
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    COOL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return module;
+  }
+
+  Status DefineType(const std::string& name) {
+    if (defined_exceptions_.contains(name) ||
+        !defined_types_.insert(name).second) {
+      return InvalidArgumentError("IDL parse error: duplicate name '" +
+                                  name + "'");
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::set<std::string> defined_types_;
+  std::set<std::string> defined_exceptions_;
+};
+
+}  // namespace
+
+Result<IdlFile> Parse(std::string_view source) {
+  COOL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseFile();
+}
+
+}  // namespace cool::idl

@@ -1,0 +1,28 @@
+// Recursive-descent parser + semantic checks for the Chic IDL subset:
+//
+//   file        := module*
+//   module      := "module" ID "{" definition* "}" ";"
+//   definition  := struct | enum | exception | interface
+//   struct      := "struct" ID "{" (type ID ";")* "}" ";"
+//   enum        := "enum" ID "{" ID ("," ID)* "}" ";"
+//   exception   := "exception" ID "{" (type ID ";")* "}" ";"
+//   interface   := "interface" ID "{" operation* "}" ";"
+//   operation   := ["oneway"] type ID "(" params ")" ["raises" "(" IDs ")"] ";"
+//   params      := [param ("," param)*]
+//   param       := ("in"|"out"|"inout") type ID
+//   type        := base types | "sequence" "<" type ">" | ID
+//
+// Semantic rules enforced: unique names per scope, named types defined
+// before use, oneway operations return void with in-params only and no
+// raises clause, raises names refer to exceptions.
+#pragma once
+
+#include "common/status.h"
+#include "idl/ast.h"
+#include "idl/lexer.h"
+
+namespace cool::idl {
+
+Result<IdlFile> Parse(std::string_view source);
+
+}  // namespace cool::idl

@@ -1,0 +1,120 @@
+// Runtime support for Chic-generated code. Generated stubs/skeletons call
+// these overloads for marshalling; user-defined IDL structs get their own
+// Encode/Decode overloads generated next to them and found via ADL.
+#pragma once
+
+#include <vector>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+#include "cdr/types.h"
+#include "common/status.h"
+
+namespace cool::idl::rt {
+
+// --- primitive encoders -----------------------------------------------------
+inline void Encode(cdr::Encoder& e, corba::Boolean v) { e.PutBoolean(v); }
+inline void Encode(cdr::Encoder& e, corba::Char v) { e.PutChar(v); }
+inline void Encode(cdr::Encoder& e, corba::Octet v) { e.PutOctet(v); }
+inline void Encode(cdr::Encoder& e, corba::Short v) { e.PutShort(v); }
+inline void Encode(cdr::Encoder& e, corba::UShort v) { e.PutUShort(v); }
+inline void Encode(cdr::Encoder& e, corba::Long v) { e.PutLong(v); }
+inline void Encode(cdr::Encoder& e, corba::ULong v) { e.PutULong(v); }
+inline void Encode(cdr::Encoder& e, corba::LongLong v) { e.PutLongLong(v); }
+inline void Encode(cdr::Encoder& e, corba::ULongLong v) {
+  e.PutULongLong(v);
+}
+inline void Encode(cdr::Encoder& e, corba::Float v) { e.PutFloat(v); }
+inline void Encode(cdr::Encoder& e, corba::Double v) { e.PutDouble(v); }
+inline void Encode(cdr::Encoder& e, const corba::String& v) {
+  e.PutString(v);
+}
+
+// --- primitive decoders -----------------------------------------------------
+inline Status Decode(cdr::Decoder& d, corba::Boolean& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetBoolean());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Char& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetChar());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Octet& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetOctet());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Short& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetShort());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::UShort& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetUShort());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Long& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetLong());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::ULong& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetULong());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::LongLong& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetLongLong());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::ULongLong& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetULongLong());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Float& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetFloat());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::Double& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetDouble());
+  return Status::Ok();
+}
+inline Status Decode(cdr::Decoder& d, corba::String& v) {
+  COOL_ASSIGN_OR_RETURN(v, d.GetString());
+  return Status::Ok();
+}
+
+// --- sequences ----------------------------------------------------------------
+template <typename T>
+void Encode(cdr::Encoder& e, const std::vector<T>& v) {
+  e.PutULong(static_cast<corba::ULong>(v.size()));
+  for (const T& item : v) Encode(e, item);
+}
+
+template <typename T>
+Status Decode(cdr::Decoder& d, std::vector<T>& v) {
+  corba::ULong count = 0;
+  COOL_ASSIGN_OR_RETURN(count, d.GetULong());
+  if (count > d.remaining()) {  // every element costs >= 1 octet
+    return ProtocolError("sequence count exceeds message size");
+  }
+  v.clear();
+  v.reserve(count);
+  for (corba::ULong i = 0; i < count; ++i) {
+    T item{};
+    COOL_RETURN_IF_ERROR(Decode(d, item));
+    v.push_back(std::move(item));
+  }
+  return Status::Ok();
+}
+
+// --- user exceptions -----------------------------------------------------------
+// A USER_EXCEPTION reply body starts with the exception repository id.
+// Generated stubs call this to surface the exception as a Status (the
+// exception name is in the message; fields are interface-specific and can
+// be re-decoded by callers that know the type).
+inline Status DecodeUserException(cdr::Decoder& d) {
+  auto repo_id = d.GetString();
+  if (!repo_id.ok()) {
+    return ProtocolError("unreadable user exception body");
+  }
+  return FailedPreconditionError("user exception " + *repo_id);
+}
+
+}  // namespace cool::idl::rt

@@ -1,0 +1,72 @@
+#include "orb/exceptions.h"
+
+namespace cool::orb {
+
+void SystemException::Encode(cdr::Encoder& enc) const {
+  enc.PutString(repo_id);
+  enc.PutULong(minor);
+  enc.PutULong(static_cast<corba::ULong>(completed));
+}
+
+Result<SystemException> SystemException::Decode(cdr::Decoder& dec) {
+  SystemException ex;
+  COOL_ASSIGN_OR_RETURN(ex.repo_id, dec.GetString());
+  COOL_ASSIGN_OR_RETURN(ex.minor, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(corba::ULong completed, dec.GetULong());
+  if (completed > static_cast<corba::ULong>(CompletionStatus::kMaybe)) {
+    return Status(ProtocolError("bad completion status"));
+  }
+  ex.completed = static_cast<CompletionStatus>(completed);
+  return ex;
+}
+
+Status SystemException::ToStatus() const {
+  const std::string msg = "system exception " + repo_id + " (minor " +
+                          std::to_string(minor) + ")";
+  if (repo_id == sysex::kNoResources) return ResourceExhaustedError(msg);
+  if (repo_id == sysex::kObjectNotExist) return NotFoundError(msg);
+  if (repo_id == sysex::kBadParam) return InvalidArgumentError(msg);
+  if (repo_id == sysex::kBadOperation) return UnsupportedError(msg);
+  if (repo_id == sysex::kNoImplement) return UnsupportedError(msg);
+  if (repo_id == sysex::kCommFailure) return UnavailableError(msg);
+  if (repo_id == sysex::kTransient) return UnavailableError(msg);
+  if (repo_id == sysex::kTimeout) return DeadlineExceededError(msg);
+  return InternalError(msg);
+}
+
+SystemException SystemException::FromStatus(const Status& status,
+                                            CompletionStatus completed) {
+  SystemException ex;
+  ex.completed = completed;
+  switch (status.code()) {
+    case ErrorCode::kResourceExhausted:
+      ex.repo_id = sysex::kNoResources;
+      break;
+    case ErrorCode::kNotFound:
+      ex.repo_id = sysex::kObjectNotExist;
+      break;
+    case ErrorCode::kInvalidArgument:
+      ex.repo_id = sysex::kBadParam;
+      break;
+    case ErrorCode::kUnsupported:
+      ex.repo_id = sysex::kBadOperation;
+      break;
+    case ErrorCode::kUnavailable:
+      ex.repo_id = sysex::kCommFailure;
+      break;
+    case ErrorCode::kDeadlineExceeded:
+      ex.repo_id = sysex::kTimeout;
+      break;
+    default:
+      ex.repo_id = sysex::kUnknown;
+      break;
+  }
+  return ex;
+}
+
+std::string SystemException::ToString() const {
+  return repo_id + "{minor=" + std::to_string(minor) + ", completed=" +
+         std::to_string(static_cast<corba::ULong>(completed)) + "}";
+}
+
+}  // namespace cool::orb

@@ -1,0 +1,66 @@
+// CORBA system exceptions — the "standard CORBA exception mechanism" the
+// paper uses for the QoS NACK (Fig. 3-i). On the wire a SYSTEM_EXCEPTION
+// Reply body is: repository id string, minor code ulong, completion status
+// ulong (CORBA 2.0 §12.4.2).
+//
+// Internally exceptions are carried as Status values; the repository id
+// maps bijectively onto our ErrorCode taxonomy so client code can branch
+// with plain status checks (kResourceExhausted == NO_RESOURCES == QoS NACK).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+#include "common/status.h"
+
+namespace cool::orb {
+
+enum class CompletionStatus : corba::ULong {
+  kYes = 0,
+  kNo = 1,
+  kMaybe = 2,
+};
+
+// Repository ids of the system exceptions this ORB raises.
+namespace sysex {
+inline constexpr std::string_view kUnknown = "IDL:omg.org/CORBA/UNKNOWN:1.0";
+inline constexpr std::string_view kBadParam =
+    "IDL:omg.org/CORBA/BAD_PARAM:1.0";
+// The QoS NACK: "it sends a negative acknowledgement (NACK) to the client
+// with the standard CORBA exception mechanism".
+inline constexpr std::string_view kNoResources =
+    "IDL:omg.org/CORBA/NO_RESOURCES:1.0";
+inline constexpr std::string_view kCommFailure =
+    "IDL:omg.org/CORBA/COMM_FAILURE:1.0";
+inline constexpr std::string_view kObjectNotExist =
+    "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0";
+inline constexpr std::string_view kBadOperation =
+    "IDL:omg.org/CORBA/BAD_OPERATION:1.0";
+inline constexpr std::string_view kNoImplement =
+    "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0";
+inline constexpr std::string_view kTimeout =
+    "IDL:omg.org/CORBA/TIMEOUT:1.0";
+inline constexpr std::string_view kTransient =
+    "IDL:omg.org/CORBA/TRANSIENT:1.0";
+}  // namespace sysex
+
+struct SystemException {
+  std::string repo_id{sysex::kUnknown};
+  corba::ULong minor = 0;
+  CompletionStatus completed = CompletionStatus::kNo;
+
+  void Encode(cdr::Encoder& enc) const;
+  static Result<SystemException> Decode(cdr::Decoder& dec);
+
+  // Status <-> exception mapping (see file comment).
+  Status ToStatus() const;
+  static SystemException FromStatus(const Status& status,
+                                    CompletionStatus completed =
+                                        CompletionStatus::kNo);
+
+  std::string ToString() const;
+};
+
+}  // namespace cool::orb

@@ -1,0 +1,166 @@
+#include "orb/naming.h"
+
+#include <algorithm>
+
+namespace cool::orb {
+
+DispatchOutcome NamingServant::Dispatch(std::string_view operation,
+                                        cdr::Decoder& args,
+                                        cdr::Encoder& out) {
+  if (operation == "bind" || operation == "rebind") {
+    auto name = args.GetString();
+    auto ior = args.GetString();
+    if (!name.ok() || !ior.ok()) {
+      return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+    }
+    const Status s = operation == "bind" ? Bind(*name, *ior)
+                                         : Rebind(*name, *ior);
+    if (!s.ok()) return DispatchOutcome::Fail(s);
+    return DispatchOutcome::Ok();
+  }
+  if (operation == "resolve") {
+    auto name = args.GetString();
+    if (!name.ok()) {
+      return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+    }
+    auto ior = Resolve(*name);
+    if (!ior.ok()) return DispatchOutcome::Fail(ior.status());
+    out.PutString(*ior);
+    return DispatchOutcome::Ok();
+  }
+  if (operation == "unbind") {
+    auto name = args.GetString();
+    if (!name.ok()) {
+      return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+    }
+    if (Status s = Unbind(*name); !s.ok()) return DispatchOutcome::Fail(s);
+    return DispatchOutcome::Ok();
+  }
+  if (operation == "list") {
+    const std::vector<std::string> names = List();
+    out.PutULong(static_cast<corba::ULong>(names.size()));
+    for (const std::string& n : names) out.PutString(n);
+    return DispatchOutcome::Ok();
+  }
+  return DispatchOutcome::Fail(
+      UnsupportedError("unknown operation on NamingContext"));
+}
+
+Status NamingServant::Bind(const std::string& name, const std::string& ior) {
+  if (name.empty()) return InvalidArgumentError("empty name");
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = bindings_.try_emplace(name, ior);
+  (void)it;
+  if (!inserted) return AlreadyExistsError("name already bound: " + name);
+  return Status::Ok();
+}
+
+Status NamingServant::Rebind(const std::string& name,
+                             const std::string& ior) {
+  if (name.empty()) return InvalidArgumentError("empty name");
+  std::lock_guard lock(mu_);
+  bindings_[name] = ior;
+  return Status::Ok();
+}
+
+Result<std::string> NamingServant::Resolve(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    return Status(NotFoundError("no binding for name: " + name));
+  }
+  return it->second;
+}
+
+Status NamingServant::Unbind(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (bindings_.erase(name) == 0) {
+    return NotFoundError("no binding for name: " + name);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> NamingServant::List() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, ior] : bindings_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+// --- NamingClient ----------------------------------------------------------------
+
+namespace {
+
+ObjectRef NamingRef(const sim::Address& endpoint, Protocol protocol) {
+  ObjectRef ref;
+  ref.protocol = protocol;
+  ref.endpoint = endpoint;
+  ref.object_key.assign(NamingServant::kObjectName.begin(),
+                        NamingServant::kObjectName.end());
+  ref.repository_id = "IDL:cool/NamingContext:1.0";
+  return ref;
+}
+
+}  // namespace
+
+NamingClient::NamingClient(ORB* orb, const sim::Address& naming_endpoint,
+                           Protocol protocol)
+    : stub_(orb, NamingRef(naming_endpoint, protocol)) {}
+
+Status NamingClient::Bind(const std::string& name, const ObjectRef& ref) {
+  cdr::Encoder args = stub_.MakeArgsEncoder();
+  args.PutString(name);
+  args.PutString(ref.ToString());
+  COOL_ASSIGN_OR_RETURN(auto reply,
+                        stub_.Invoke("bind", args.buffer().view()));
+  (void)reply;
+  return Status::Ok();
+}
+
+Status NamingClient::Rebind(const std::string& name, const ObjectRef& ref) {
+  cdr::Encoder args = stub_.MakeArgsEncoder();
+  args.PutString(name);
+  args.PutString(ref.ToString());
+  COOL_ASSIGN_OR_RETURN(auto reply,
+                        stub_.Invoke("rebind", args.buffer().view()));
+  (void)reply;
+  return Status::Ok();
+}
+
+Result<ObjectRef> NamingClient::Resolve(const std::string& name) {
+  cdr::Encoder args = stub_.MakeArgsEncoder();
+  args.PutString(name);
+  COOL_ASSIGN_OR_RETURN(auto reply,
+                        stub_.Invoke("resolve", args.buffer().view()));
+  cdr::Decoder dec = reply.MakeDecoder();
+  COOL_ASSIGN_OR_RETURN(corba::String ior, dec.GetString());
+  return ObjectRef::FromString(ior);
+}
+
+Status NamingClient::Unbind(const std::string& name) {
+  cdr::Encoder args = stub_.MakeArgsEncoder();
+  args.PutString(name);
+  COOL_ASSIGN_OR_RETURN(auto reply,
+                        stub_.Invoke("unbind", args.buffer().view()));
+  (void)reply;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> NamingClient::List() {
+  COOL_ASSIGN_OR_RETURN(auto reply, stub_.Invoke("list", {}));
+  cdr::Decoder dec = reply.MakeDecoder();
+  COOL_ASSIGN_OR_RETURN(corba::ULong count, dec.GetULong());
+  if (count > dec.remaining()) {
+    return Status(ProtocolError("implausible name count"));
+  }
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (corba::ULong i = 0; i < count; ++i) {
+    COOL_ASSIGN_OR_RETURN(corba::String name, dec.GetString());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace cool::orb

@@ -1,0 +1,66 @@
+// A minimal CORBA-Naming-style service: a well-known servant that maps
+// names to stringified object references, so clients can bootstrap from a
+// single reference instead of out-of-band IOR exchange. The service is an
+// ordinary servant — its own invocations run through the full (QoS-capable)
+// ORB path.
+//
+// Operations (all raise standard system exceptions on failure):
+//   bind(name string, ior string)      — kAlreadyExists if taken
+//   rebind(name string, ior string)    — bind-or-replace
+//   resolve(name string) -> ior string — kNotFound if absent
+//   unbind(name string)                — kNotFound if absent
+//   list() -> sequence<string>         — bound names, sorted
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "orb/object_ref.h"
+#include "orb/servant.h"
+#include "orb/stub.h"
+
+namespace cool::orb {
+
+class NamingServant : public Servant {
+ public:
+  static constexpr std::string_view kObjectName = "NameService";
+
+  std::string_view repository_id() const override {
+    return "IDL:cool/NamingContext:1.0";
+  }
+
+  DispatchOutcome Dispatch(std::string_view operation, cdr::Decoder& args,
+                           cdr::Encoder& out) override;
+
+  // Local (server-side) API; the remote operations call through these.
+  Status Bind(const std::string& name, const std::string& ior);
+  Status Rebind(const std::string& name, const std::string& ior);
+  Result<std::string> Resolve(const std::string& name) const;
+  Status Unbind(const std::string& name);
+  std::vector<std::string> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> bindings_;
+};
+
+// Client-side convenience wrapper around a stub bound to a NamingServant.
+class NamingClient {
+ public:
+  // The naming service of `orb_ref_host` over the given transport; the
+  // service is conventionally registered under NamingServant::kObjectName.
+  NamingClient(ORB* orb, const sim::Address& naming_endpoint,
+               Protocol protocol = Protocol::kTcp);
+
+  Status Bind(const std::string& name, const ObjectRef& ref);
+  Status Rebind(const std::string& name, const ObjectRef& ref);
+  Result<ObjectRef> Resolve(const std::string& name);
+  Status Unbind(const std::string& name);
+  Result<std::vector<std::string>> List();
+
+ private:
+  Stub stub_;
+};
+
+}  // namespace cool::orb

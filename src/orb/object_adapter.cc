@@ -1,0 +1,123 @@
+#include "orb/object_adapter.h"
+
+#include "common/logging.h"
+
+namespace cool::orb {
+
+Result<corba::OctetSeq> ObjectAdapter::Activate(
+    const std::string& name, std::shared_ptr<Servant> servant) {
+  if (name.empty()) {
+    return Status(InvalidArgumentError("empty object name"));
+  }
+  if (servant == nullptr) {
+    return Status(InvalidArgumentError("null servant"));
+  }
+  corba::OctetSeq key(name.begin(), name.end());
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = servants_.try_emplace(key, std::move(servant));
+  (void)it;
+  if (!inserted) {
+    return Status(AlreadyExistsError("object already active: " + name));
+  }
+  return key;
+}
+
+Status ObjectAdapter::Deactivate(const corba::OctetSeq& object_key) {
+  std::lock_guard lock(mu_);
+  if (servants_.erase(object_key) == 0) {
+    return NotFoundError("no active object for key");
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<Servant> ObjectAdapter::Find(
+    const corba::OctetSeq& object_key) const {
+  std::lock_guard lock(mu_);
+  const auto it = servants_.find(object_key);
+  return it != servants_.end() ? it->second : nullptr;
+}
+
+bool ObjectAdapter::Exists(const corba::OctetSeq& object_key) const {
+  return Find(object_key) != nullptr;
+}
+
+std::size_t ObjectAdapter::active_count() const {
+  std::lock_guard lock(mu_);
+  return servants_.size();
+}
+
+std::uint64_t ObjectAdapter::qos_nacks() const {
+  std::lock_guard lock(mu_);
+  return qos_nacks_;
+}
+
+giop::GiopServer::DispatchResult ObjectAdapter::MakeSystemException(
+    const Status& status, cdr::ByteOrder order) {
+  giop::GiopServer::DispatchResult result;
+  result.status = giop::ReplyStatus::kSystemException;
+  cdr::Encoder enc(order, 0);
+  SystemException::FromStatus(status).Encode(enc);
+  result.body = std::move(enc).TakeBuffer();
+  return result;
+}
+
+giop::GiopServer::DispatchResult ObjectAdapter::Dispatch(
+    const giop::RequestHeader& header, cdr::Decoder& args,
+    cdr::ByteOrder order) {
+  return DispatchImpl(header.object_key, header.operation, header.qos_params,
+                      args, order);
+}
+
+giop::GiopServer::DispatchResult ObjectAdapter::DispatchLocal(
+    const corba::OctetSeq& object_key, std::string_view operation,
+    const std::vector<qos::QoSParameter>& qos_params, cdr::Decoder& args,
+    cdr::ByteOrder order) {
+  return DispatchImpl(object_key, operation, qos_params, args, order);
+}
+
+giop::GiopServer::DispatchResult ObjectAdapter::DispatchImpl(
+    const corba::OctetSeq& object_key, std::string_view operation,
+    const std::vector<qos::QoSParameter>& qos_params, cdr::Decoder& args,
+    cdr::ByteOrder order) {
+  std::shared_ptr<Servant> servant = Find(object_key);
+  if (servant == nullptr) {
+    return MakeSystemException(
+        NotFoundError("no active object for request key"), order);
+  }
+
+  // Bilateral QoS negotiation (paper Fig. 3): evaluate qos_params against
+  // the object implementation before performing the operation.
+  if (!qos_params.empty()) {
+    auto spec = qos::QoSSpec::FromParameters(qos_params);
+    if (!spec.ok()) {
+      return MakeSystemException(spec.status(), order);
+    }
+    const qos::NegotiationResult negotiated = servant->NegotiateQoS(*spec);
+    if (!negotiated.accepted) {
+      {
+        std::lock_guard lock(mu_);
+        ++qos_nacks_;
+      }
+      COOL_LOG(kInfo, "orb") << "QoS NACK for '" << operation
+                             << "': " << negotiated.RejectionReason();
+      return MakeSystemException(
+          ResourceExhaustedError("requested QoS not supported: " +
+                                 negotiated.RejectionReason()),
+          order);
+    }
+  }
+
+  cdr::Encoder out(order, 0);
+  const DispatchOutcome outcome = servant->Dispatch(operation, args, out);
+  if (!outcome.error.ok()) {
+    return MakeSystemException(outcome.error, order);
+  }
+  giop::GiopServer::DispatchResult result;
+  result.status = outcome.kind == DispatchOutcome::Kind::kUserException
+                      ? giop::ReplyStatus::kUserException
+                      : giop::ReplyStatus::kNoException;
+  result.body = std::move(out).TakeBuffer();
+  return result;
+}
+
+}  // namespace cool::orb

@@ -1,0 +1,120 @@
+#include "orb/object_ref.h"
+
+#include <charconv>
+
+namespace cool::orb {
+
+namespace {
+
+constexpr std::string_view kScheme = "cool-ior:";
+
+std::string HexEncode(const corba::OctetSeq& bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (corba::Octet b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+Result<corba::OctetSeq> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status(InvalidArgumentError("odd-length hex object key"));
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  corba::OctetSeq out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status(InvalidArgumentError("bad hex digit in object key"));
+    }
+    out.push_back(static_cast<corba::Octet>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view ProtocolName(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kIpc: return "ipc";
+    case Protocol::kDacapo: return "dacapo";
+  }
+  return "unknown";
+}
+
+Result<Protocol> ProtocolFromName(std::string_view name) {
+  if (name == "tcp") return Protocol::kTcp;
+  if (name == "ipc") return Protocol::kIpc;
+  if (name == "dacapo") return Protocol::kDacapo;
+  return Status(InvalidArgumentError("unknown transport protocol: " +
+                                     std::string(name)));
+}
+
+std::string ObjectRef::ToString() const {
+  std::string out(kScheme);
+  out += ProtocolName(protocol);
+  out += "@";
+  out += endpoint.host;
+  out += ":";
+  out += std::to_string(endpoint.port);
+  out += "/";
+  out += HexEncode(object_key);
+  out += "?type=";
+  out += repository_id;
+  return out;
+}
+
+Result<ObjectRef> ObjectRef::FromString(const std::string& ior) {
+  std::string_view s(ior);
+  if (!s.starts_with(kScheme)) {
+    return Status(InvalidArgumentError("not a cool-ior reference"));
+  }
+  s.remove_prefix(kScheme.size());
+
+  const std::size_t at = s.find('@');
+  if (at == std::string_view::npos) {
+    return Status(InvalidArgumentError("missing '@' in reference"));
+  }
+  ObjectRef ref;
+  COOL_ASSIGN_OR_RETURN(ref.protocol, ProtocolFromName(s.substr(0, at)));
+  s.remove_prefix(at + 1);
+
+  const std::size_t colon = s.find(':');
+  const std::size_t slash = s.find('/');
+  if (colon == std::string_view::npos || slash == std::string_view::npos ||
+      colon > slash) {
+    return Status(InvalidArgumentError("malformed endpoint in reference"));
+  }
+  ref.endpoint.host = std::string(s.substr(0, colon));
+  const std::string_view port_sv = s.substr(colon + 1, slash - colon - 1);
+  unsigned port_val = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_sv.data(), port_sv.data() + port_sv.size(), port_val);
+  if (ec != std::errc() || ptr != port_sv.data() + port_sv.size() ||
+      port_val > 65535) {
+    return Status(InvalidArgumentError("bad port in reference"));
+  }
+  ref.endpoint.port = static_cast<std::uint16_t>(port_val);
+  s.remove_prefix(slash + 1);
+
+  const std::size_t query = s.find("?type=");
+  if (query == std::string_view::npos) {
+    return Status(InvalidArgumentError("missing ?type= in reference"));
+  }
+  COOL_ASSIGN_OR_RETURN(ref.object_key, HexDecode(s.substr(0, query)));
+  ref.repository_id = std::string(s.substr(query + 6));
+  return ref;
+}
+
+}  // namespace cool::orb

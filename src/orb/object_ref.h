@@ -1,0 +1,42 @@
+// Object references: which object, on which endsystem, over which
+// transport. The stringified form plays the role of COOL's stringified IOR
+// ("generation and interpretation of object references" is an Object
+// Adapter service, paper §2):
+//
+//   cool-ior:<protocol>@<host>:<port>/<hex-object-key>?type=<repository-id>
+#pragma once
+
+#include <string>
+
+#include "cdr/types.h"
+#include "common/status.h"
+#include "sim/address.h"
+
+namespace cool::orb {
+
+enum class Protocol { kTcp, kIpc, kDacapo };
+
+std::string_view ProtocolName(Protocol p) noexcept;
+Result<Protocol> ProtocolFromName(std::string_view name);
+
+struct ObjectRef {
+  Protocol protocol = Protocol::kTcp;
+  sim::Address endpoint;          // the transport manager's listen address
+  corba::OctetSeq object_key;     // adapter-scoped object identity
+  std::string repository_id;      // interface type id
+
+  std::string ToString() const;   // the stringified IOR
+  static Result<ObjectRef> FromString(const std::string& ior);
+
+  // Same object, reachable over a different transport endpoint.
+  ObjectRef WithProtocol(Protocol p, sim::Address ep) const {
+    ObjectRef copy = *this;
+    copy.protocol = p;
+    copy.endpoint = std::move(ep);
+    return copy;
+  }
+
+  friend bool operator==(const ObjectRef&, const ObjectRef&) = default;
+};
+
+}  // namespace cool::orb

@@ -1,0 +1,175 @@
+#include "orb/orb.h"
+
+#include "common/logging.h"
+
+namespace cool::orb {
+
+ORB::ORB(sim::Network* net, std::string host)
+    : ORB(net, std::move(host), Options{}) {}
+
+ORB::ORB(sim::Network* net, std::string host, Options options)
+    : net_(net),
+      host_(std::move(host)),
+      options_(std::move(options)),
+      tcp_(net, sim::Address{host_, options_.tcp_port}),
+      ipc_(net, sim::Address{host_, options_.ipc_port}),
+      dacapo_(net, sim::Address{host_, options_.dacapo_port},
+              options_.estimate, options_.resources) {}
+
+ORB::~ORB() { Shutdown(); }
+
+Result<ObjectRef> ORB::RegisterServant(const std::string& name,
+                                       std::shared_ptr<Servant> servant,
+                                       Protocol preferred) {
+  const std::string repo_id(servant->repository_id());
+  COOL_ASSIGN_OR_RETURN(corba::OctetSeq key,
+                        adapter_.Activate(name, std::move(servant)));
+  ObjectRef ref;
+  ref.protocol = preferred;
+  switch (preferred) {
+    case Protocol::kTcp:
+      ref.endpoint = sim::Address{host_, options_.tcp_port};
+      break;
+    case Protocol::kIpc:
+      ref.endpoint = sim::Address{host_, options_.ipc_port};
+      break;
+    case Protocol::kDacapo:
+      ref.endpoint = sim::Address{host_, options_.dacapo_port};
+      break;
+  }
+  ref.object_key = std::move(key);
+  ref.repository_id = repo_id;
+  return ref;
+}
+
+Status ORB::Start() {
+  if (running_.exchange(true)) {
+    return FailedPreconditionError("ORB already running");
+  }
+  COOL_RETURN_IF_ERROR(tcp_.Listen());
+  COOL_RETURN_IF_ERROR(ipc_.Listen());
+  COOL_RETURN_IF_ERROR(dacapo_.Listen());
+
+  for (transport::ComManager* mgr :
+       {static_cast<transport::ComManager*>(&tcp_),
+        static_cast<transport::ComManager*>(&ipc_),
+        static_cast<transport::ComManager*>(&dacapo_)}) {
+    accept_threads_.emplace_back(
+        [this, mgr](std::stop_token st) { AcceptLoop(mgr, st); });
+  }
+  COOL_LOG(kInfo, "orb") << host_ << ": ORB running (tcp:"
+                         << options_.tcp_port << " ipc:" << options_.ipc_port
+                         << " dacapo:" << options_.dacapo_port << ")";
+  return Status::Ok();
+}
+
+void ORB::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+
+  tcp_.Close();
+  ipc_.Close();
+  dacapo_.Close();
+  for (auto& t : accept_threads_) {
+    t.request_stop();
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+
+  std::unordered_map<std::uint64_t, std::jthread> connections;
+  {
+    std::lock_guard lock(conn_mu_);
+    for (auto& [id, channel] : live_channels_) channel->Close();
+    connections.swap(connection_threads_);
+  }
+  for (auto& [id, t] : connections) {
+    if (t.joinable()) t.join();
+  }
+  running_ = false;
+}
+
+void ORB::AcceptLoop(transport::ComManager* manager, std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    auto channel = manager->AcceptChannel();
+    if (!channel.ok()) return;  // manager closed
+
+    // Reap threads of connections that have since ended, outside the lock
+    // (join must not run under conn_mu_ — ServeConnection takes it last).
+    std::vector<std::jthread> reaped;
+    {
+      std::lock_guard lock(conn_mu_);
+      if (shutdown_.load()) return;
+      for (const std::uint64_t id : finished_connections_) {
+        const auto it = connection_threads_.find(id);
+        if (it != connection_threads_.end()) {
+          reaped.push_back(std::move(it->second));
+          connection_threads_.erase(it);
+        }
+      }
+      finished_connections_.clear();
+    }
+    for (auto& t : reaped) {
+      if (t.joinable()) t.join();
+    }
+
+    std::lock_guard lock(conn_mu_);
+    if (shutdown_.load()) return;
+    ++connections_accepted_;
+    const std::uint64_t id = next_conn_id_++;
+    auto owned = std::move(channel).value();
+    connection_threads_.emplace(
+        id, std::jthread([this, id, ch = std::move(owned)](
+                             std::stop_token) mutable {
+          ServeConnection(id, std::move(ch));
+        }));
+  }
+}
+
+void ORB::ServeConnection(std::uint64_t id,
+                          std::unique_ptr<transport::ComChannel> channel) {
+  {
+    std::lock_guard lock(conn_mu_);
+    live_channels_[id] = channel.get();
+  }
+
+  giop::GiopServer::Options server_options;
+  server_options.accept_qos_extension = options_.enable_qos_extension;
+  giop::GiopServer server(
+      channel.get(),
+      [this](const giop::RequestHeader& header, cdr::Decoder& args) {
+        return adapter_.Dispatch(header, args, cdr::NativeOrder());
+      },
+      server_options);
+  server.SetLocator(
+      [this](const corba::OctetSeq& key) { return adapter_.Exists(key); });
+
+  const Status end = server.Serve();
+  COOL_LOG(kDebug, "orb") << host_ << ": connection ended: " << end;
+
+  std::lock_guard lock(conn_mu_);
+  live_channels_.erase(id);
+  finished_connections_.push_back(id);
+}
+
+Result<std::unique_ptr<transport::ComChannel>> ORB::OpenChannel(
+    const ObjectRef& ref, const qos::QoSSpec& qos) {
+  switch (ref.protocol) {
+    case Protocol::kTcp:
+      return tcp_.OpenChannel(ref.endpoint, qos);
+    case Protocol::kIpc:
+      return ipc_.OpenChannel(ref.endpoint, qos);
+    case Protocol::kDacapo:
+      return dacapo_.OpenChannel(ref.endpoint, qos);
+  }
+  return Status(InternalError("unknown protocol"));
+}
+
+bool ORB::IsLocal(const ObjectRef& ref) const {
+  return ref.endpoint.host == host_ && adapter_.Exists(ref.object_key);
+}
+
+std::uint64_t ORB::connections_accepted() const {
+  std::lock_guard lock(conn_mu_);
+  return connections_accepted_;
+}
+
+}  // namespace cool::orb

@@ -1,0 +1,113 @@
+// The ORB core: ties the object adapter, the GIOP message layer and the
+// three transports (TCP, IPC, Da CaPo) together on one endsystem, exactly
+// the component stack of the paper's Fig. 1:
+//
+//     Client | Object Impl.
+//     Stubs  | Skeletons
+//          Object Adapter            (client AND server side — colocation)
+//     Generic Message Protocol Layer (GIOP 1.0 / GIOP 9.9 QoS extension)
+//     Generic Transport Protocol Layer
+//     TCP/IP | Chorus IPC | Da CaPo
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dacapo/config_manager.h"
+#include "dacapo/resource_manager.h"
+#include "orb/object_adapter.h"
+#include "orb/object_ref.h"
+#include "transport/dacapo_channel.h"
+#include "transport/ipc_channel.h"
+#include "transport/tcp_channel.h"
+
+namespace cool::orb {
+
+class ORB {
+ public:
+  struct Options {
+    // Server side accepts GIOP 9.9; client side emits it for QoS-bearing
+    // invocations. Off = unmodified COOL (for the response-time baseline
+    // and backwards-compatibility tests).
+    bool enable_qos_extension = true;
+    // What the local Da CaPo believes about the network (fed to the
+    // configuration manager and the transport capability).
+    dacapo::NetworkEstimate estimate{};
+    std::uint16_t tcp_port = 7001;
+    std::uint16_t ipc_port = 7002;
+    std::uint16_t dacapo_port = 7003;
+    corba::OctetSeq principal{};
+    // Optional server-side resource admission for Da CaPo connections.
+    dacapo::ResourceManager* resources = nullptr;
+  };
+
+  ORB(sim::Network* net, std::string host);
+  ORB(sim::Network* net, std::string host, Options options);
+  ~ORB();
+
+  ORB(const ORB&) = delete;
+  ORB& operator=(const ORB&) = delete;
+
+  const std::string& host() const noexcept { return host_; }
+  const Options& options() const noexcept { return options_; }
+  ObjectAdapter& adapter() noexcept { return adapter_; }
+  sim::Network* network() noexcept { return net_; }
+
+  // --- server side ---------------------------------------------------------
+  // Activates `servant` and returns a reference clients can bind to over
+  // `preferred` transport.
+  Result<ObjectRef> RegisterServant(const std::string& name,
+                                    std::shared_ptr<Servant> servant,
+                                    Protocol preferred = Protocol::kTcp);
+
+  // Starts listening + accepting on all three transports.
+  Status Start();
+  void Shutdown();
+  bool running() const noexcept { return running_; }
+
+  // --- client-side plumbing (used by Stub) -----------------------------------
+  // Opens a transport channel toward `ref` with unilateral QoS negotiation
+  // (non-empty `qos` over a QoS-less transport fails before any byte is
+  // sent, paper §4.3).
+  Result<std::unique_ptr<transport::ComChannel>> OpenChannel(
+      const ObjectRef& ref, const qos::QoSSpec& qos);
+
+  // Colocation check: true when `ref` names an object active in this
+  // ORB's adapter on this endsystem.
+  bool IsLocal(const ObjectRef& ref) const;
+
+  std::uint64_t connections_accepted() const;
+
+ private:
+  void AcceptLoop(transport::ComManager* manager, std::stop_token stop);
+  void ServeConnection(std::uint64_t id,
+                       std::unique_ptr<transport::ComChannel> channel);
+
+  sim::Network* net_;
+  std::string host_;
+  Options options_;
+  ObjectAdapter adapter_;
+
+  transport::TcpComManager tcp_;
+  transport::IpcComManager ipc_;
+  transport::DacapoComManager dacapo_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> accept_threads_;
+
+  mutable std::mutex conn_mu_;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, transport::ComChannel*> live_channels_;
+  std::unordered_map<std::uint64_t, std::jthread> connection_threads_;
+  // Connections whose serve loop ended; their threads are joined and
+  // reaped by the next accept (long-running servers stay bounded).
+  std::vector<std::uint64_t> finished_connections_;
+  std::uint64_t connections_accepted_ = 0;
+};
+
+}  // namespace cool::orb

@@ -1,0 +1,68 @@
+// Servant: the object implementation base class. IDL skeletons (generated
+// by our Chic, src/idl) derive from it and route decoded operations to user
+// code; hand-written servants implement Dispatch directly.
+#pragma once
+
+#include <string_view>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+#include "common/status.h"
+#include "qos/negotiation.h"
+
+namespace cool::orb {
+
+// Outcome of one upcall.
+struct DispatchOutcome {
+  // kOk: results encoded; kUserException: IDL exception encoded; a non-OK
+  // status maps to a CORBA system exception toward the client.
+  enum class Kind { kOk, kUserException };
+  Kind kind = Kind::kOk;
+  Status error;  // non-OK forces SYSTEM_EXCEPTION regardless of kind
+
+  static DispatchOutcome Ok() { return {}; }
+  static DispatchOutcome UserException() {
+    DispatchOutcome o;
+    o.kind = Kind::kUserException;
+    return o;
+  }
+  static DispatchOutcome Fail(Status status) {
+    DispatchOutcome o;
+    o.error = std::move(status);
+    return o;
+  }
+};
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  virtual std::string_view repository_id() const = 0;
+
+  // Performs `operation`: decode arguments from `args`, encode results (or
+  // a user exception body) into `out`. Unknown operations should return
+  // Fail(UnsupportedError(...)), which reaches the client as BAD_OPERATION.
+  virtual DispatchOutcome Dispatch(std::string_view operation,
+                                   cdr::Decoder& args,
+                                   cdr::Encoder& out) = 0;
+
+  // Bilateral negotiation hook (paper Fig. 3): the object implementation
+  // decides whether it can serve the invocation at the requested QoS. The
+  // default accepts any request verbatim — an object that constrains QoS
+  // (e.g. a maximum image resolution) overrides this.
+  virtual qos::NegotiationResult NegotiateQoS(const qos::QoSSpec& requested) {
+    qos::NegotiationResult r;
+    r.accepted = true;
+    r.granted = requested;
+    for (const qos::QoSParameter& p : requested.parameters()) {
+      qos::ParameterOutcome o;
+      o.requested = p;
+      o.granted = static_cast<corba::Long>(p.request_value);
+      o.accepted = true;
+      r.outcomes.push_back(o);
+    }
+    return r;
+  }
+};
+
+}  // namespace cool::orb

@@ -1,0 +1,91 @@
+#include "qos/mapping.h"
+
+#include <sstream>
+
+namespace cool::qos {
+
+std::string ProtocolRequirements::ToString() const {
+  std::ostringstream os;
+  os << "Requirements{functions=[";
+  bool first = true;
+  auto add = [&](bool on, const char* name) {
+    if (!on) return;
+    if (!first) os << ",";
+    first = false;
+    os << name;
+  };
+  add(need_error_detection, "error_detection");
+  add(need_retransmission, "retransmission");
+  add(need_ordering, "ordering");
+  add(need_encryption, "encryption");
+  os << "]";
+  if (min_throughput_kbps != 0) os << ", thr>=" << min_throughput_kbps << "kbps";
+  if (max_latency_us != std::numeric_limits<corba::ULong>::max()) {
+    os << ", lat<=" << max_latency_us << "us";
+  }
+  if (max_jitter_us != std::numeric_limits<corba::ULong>::max()) {
+    os << ", jit<=" << max_jitter_us << "us";
+  }
+  if (max_loss_permille != std::numeric_limits<corba::ULong>::max()) {
+    os << ", loss<=" << max_loss_permille << "pm";
+  }
+  if (priority != 0) os << ", prio=" << priority;
+  os << "}";
+  return os.str();
+}
+
+ProtocolRequirements MapToProtocolRequirements(const QoSSpec& spec) {
+  ProtocolRequirements req;
+
+  if (const QoSParameter* p = spec.Find(ParamType::kReliability)) {
+    // Floor of acceptability: the client tolerates down to min_value.
+    const corba::Long floor =
+        p->min_value == kUnbounded ? 0 : p->min_value;
+    const corba::Long effective =
+        std::max(floor, static_cast<corba::Long>(0));
+    // Instantiate what the *request* asks for; admission only needs the
+    // floor, but the graph is configured toward the requested level.
+    const auto target =
+        std::max<corba::Long>(effective,
+                              static_cast<corba::Long>(p->request_value));
+    req.need_error_detection = target >= 1;
+    req.need_retransmission = target >= 2;
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kOrdering)) {
+    req.need_ordering = p->request_value >= 1;
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kEncryption)) {
+    req.need_encryption = p->request_value >= 1;
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kThroughputKbps)) {
+    // Admission floor: min acceptable throughput, else the request itself.
+    req.min_throughput_kbps =
+        p->min_value == kUnbounded
+            ? p->request_value
+            : static_cast<corba::ULong>(p->min_value);
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kLatencyMicros)) {
+    req.max_latency_us =
+        p->max_value == kUnbounded
+            ? p->request_value
+            : static_cast<corba::ULong>(p->max_value);
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kJitterMicros)) {
+    req.max_jitter_us =
+        p->max_value == kUnbounded
+            ? p->request_value
+            : static_cast<corba::ULong>(p->max_value);
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kLossPermille)) {
+    req.max_loss_permille =
+        p->max_value == kUnbounded
+            ? p->request_value
+            : static_cast<corba::ULong>(p->max_value);
+  }
+  if (const QoSParameter* p = spec.Find(ParamType::kPriority)) {
+    req.priority = p->request_value;
+  }
+  return req;
+}
+
+}  // namespace cool::qos

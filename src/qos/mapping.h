@@ -1,0 +1,54 @@
+// QoS -> protocol-requirement mapping (paper §4.3: "Within Da CaPo, these
+// QoS parameters are mapped to a particular protocol configuration, network
+// resources, and operating system resources").
+//
+// The mapping reduces an application-level QoSSpec to (a) the set of
+// protocol *functions* the layer-C graph must contain and (b) numeric
+// performance constraints the configuration manager's cost model and the
+// resource manager's admission test consume.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "qos/qos.h"
+
+namespace cool::qos {
+
+struct ProtocolRequirements {
+  // Protocol functions to instantiate in the module graph.
+  bool need_error_detection = false;   // reliability >= 1
+  bool need_retransmission = false;    // reliability >= 2
+  bool need_ordering = false;          // ordering == 1
+  bool need_encryption = false;        // encryption == 1
+
+  // Performance constraints. 0 on throughput means "no minimum";
+  // max() on bounds means "no bound".
+  corba::ULong min_throughput_kbps = 0;
+  corba::ULong max_latency_us = std::numeric_limits<corba::ULong>::max();
+  corba::ULong max_jitter_us = std::numeric_limits<corba::ULong>::max();
+  corba::ULong max_loss_permille =
+      std::numeric_limits<corba::ULong>::max();
+  corba::ULong priority = 0;
+
+  bool HasPerformanceConstraints() const noexcept {
+    return min_throughput_kbps != 0 ||
+           max_latency_us != std::numeric_limits<corba::ULong>::max() ||
+           max_jitter_us != std::numeric_limits<corba::ULong>::max();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ProtocolRequirements&,
+                         const ProtocolRequirements&) = default;
+};
+
+// Derives requirements from the *granted* (or requested) spec. For range
+// parameters the floor of acceptability is used for admission (min_value on
+// higher-is-better, max_value on lower-is-better): a configuration is
+// admissible as long as it can keep the connection within the acceptable
+// range, even if it cannot hit request_value exactly.
+ProtocolRequirements MapToProtocolRequirements(const QoSSpec& spec);
+
+}  // namespace cool::qos

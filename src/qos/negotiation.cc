@@ -1,0 +1,165 @@
+#include "qos/negotiation.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace cool::qos {
+
+namespace {
+
+// Default "best" when a dimension is absent from the capability map.
+corba::Long DefaultBest(ParamType type) noexcept {
+  return DirectionOf(type) == Direction::kHigherIsBetter
+             ? 0  // feature unavailable / zero rate
+             : std::numeric_limits<corba::Long>::max();  // no bound at all
+}
+
+}  // namespace
+
+Capability& Capability::SetBest(ParamType type, corba::Long best_value) {
+  best_[type] = best_value;
+  return *this;
+}
+
+bool Capability::Has(ParamType type) const noexcept {
+  return best_.contains(type);
+}
+
+corba::Long Capability::BestFor(ParamType type) const noexcept {
+  const auto it = best_.find(type);
+  return it != best_.end() ? it->second : DefaultBest(type);
+}
+
+Capability Capability::BestEffortOnly() {
+  return Capability(UnknownPolicy::kReject);
+}
+
+std::string Capability::ToString() const {
+  std::ostringstream os;
+  os << "Capability{";
+  bool first = true;
+  for (const auto& [type, best] : best_) {
+    if (!first) os << ", ";
+    first = false;
+    os << ParamTypeName(type) << "<=best:" << best;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string ParameterOutcome::ToString() const {
+  std::ostringstream os;
+  os << requested.ToString();
+  if (accepted) {
+    os << " -> granted " << granted;
+  } else {
+    os << " -> REJECTED (" << reason << ")";
+  }
+  return os.str();
+}
+
+std::string NegotiationResult::RejectionReason() const {
+  if (accepted) return "";
+  std::string out;
+  for (const ParameterOutcome& o : outcomes) {
+    if (o.accepted) continue;
+    if (!out.empty()) out += "; ";
+    out += o.ToString();
+  }
+  return out;
+}
+
+NegotiationResult Negotiate(const QoSSpec& requested,
+                            const Capability& capability) {
+  NegotiationResult result;
+  result.accepted = true;
+
+  for (const QoSParameter& p : requested.parameters()) {
+    ParameterOutcome outcome;
+    outcome.requested = p;
+
+    if (!IsKnownParamType(p.param_type)) {
+      if (capability.unknown_policy() == Capability::UnknownPolicy::kIgnore) {
+        outcome.accepted = true;
+        outcome.granted = static_cast<corba::Long>(p.request_value);
+        result.outcomes.push_back(outcome);
+        continue;
+      }
+      outcome.accepted = false;
+      outcome.reason = "unknown param_type";
+      result.outcomes.push_back(outcome);
+      result.accepted = false;
+      continue;
+    }
+
+    const ParamType type = p.type();
+    const corba::Long best = capability.BestFor(type);
+    const auto request = static_cast<corba::Long>(p.request_value);
+
+    corba::Long granted = 0;
+    if (DirectionOf(type) == Direction::kHigherIsBetter) {
+      granted = std::min(request, best);
+    } else {
+      granted = std::max(request, best);
+    }
+
+    outcome.granted = granted;
+    outcome.accepted = p.Accepts(granted);
+    if (!outcome.accepted) {
+      std::ostringstream os;
+      os << "capability best=" << best << " cannot meet acceptable range";
+      outcome.reason = os.str();
+      result.accepted = false;
+    }
+    result.outcomes.push_back(outcome);
+  }
+
+  if (result.accepted) {
+    for (const ParameterOutcome& o : result.outcomes) {
+      QoSParameter granted_param = o.requested;
+      granted_param.request_value = static_cast<corba::ULong>(o.granted);
+      result.granted.Set(granted_param);
+    }
+  }
+  return result;
+}
+
+Capability Compose(const Capability& a, const Capability& b) {
+  // Reject-unknown dominates: the composition is only as permissive as its
+  // strictest member.
+  const auto policy =
+      (a.unknown_policy() == Capability::UnknownPolicy::kReject ||
+       b.unknown_policy() == Capability::UnknownPolicy::kReject)
+          ? Capability::UnknownPolicy::kReject
+          : Capability::UnknownPolicy::kIgnore;
+  Capability out(policy);
+
+  static constexpr ParamType kAll[] = {
+      ParamType::kThroughputKbps, ParamType::kLatencyMicros,
+      ParamType::kJitterMicros,   ParamType::kReliability,
+      ParamType::kOrdering,       ParamType::kEncryption,
+      ParamType::kLossPermille,   ParamType::kPriority,
+  };
+  for (ParamType type : kAll) {
+    if (!a.Has(type) && !b.Has(type)) continue;
+    const corba::Long best_a = a.BestFor(type);
+    const corba::Long best_b = b.BestFor(type);
+    // Latency and jitter add along a path; every other dimension is limited
+    // by the weaker hop.
+    corba::Long combined;
+    if (type == ParamType::kLatencyMicros || type == ParamType::kJitterMicros) {
+      // Saturating add: either side may be "no bound".
+      const corba::Long kMax = std::numeric_limits<corba::Long>::max();
+      combined = (best_a >= kMax - best_b) ? kMax : best_a + best_b;
+    } else if (DirectionOf(type) == Direction::kHigherIsBetter) {
+      combined = std::min(best_a, best_b);
+    } else {
+      combined = std::max(best_a, best_b);
+    }
+    out.SetBest(type, combined);
+  }
+  return out;
+}
+
+}  // namespace cool::qos

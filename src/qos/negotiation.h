@@ -1,0 +1,92 @@
+// Bilateral QoS negotiation (paper §4.2, Fig. 3): the client sends a
+// requested QoSSpec inside the extended GIOP Request; the receiving side
+// evaluates it against a Capability and either grants a concrete value per
+// parameter (Reply path, Fig. 3-ii) or refuses (NACK via the standard CORBA
+// exception mechanism, Fig. 3-i).
+//
+// The same engine implements the *unilateral* negotiation between message
+// layer and transport layer (paper §4.3): the transport's Capability is
+// derived from link properties and Da CaPo's module library, and a failed
+// evaluation raises an exception to the caller before the Request is sent.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qos/qos.h"
+
+namespace cool::qos {
+
+// What one side can deliver, per parameter type: the *best* value it can
+// achieve in that dimension (highest throughput, lowest latency, ...).
+// Parameters absent from the map fall back to a per-direction default:
+// higher-is-better dimensions default to 0 (feature not available),
+// lower-is-better dimensions default to "unbounded badness" (no guarantee).
+class Capability {
+ public:
+  // How to treat param_types this implementation does not know.
+  enum class UnknownPolicy { kReject, kIgnore };
+
+  explicit Capability(UnknownPolicy policy = UnknownPolicy::kReject)
+      : policy_(policy) {}
+
+  Capability& SetBest(ParamType type, corba::Long best_value);
+  bool Has(ParamType type) const noexcept;
+  corba::Long BestFor(ParamType type) const noexcept;
+  UnknownPolicy unknown_policy() const noexcept { return policy_; }
+
+  // A capability that accepts anything (used by the plain-TCP channel when
+  // QoS is never requested; requesting QoS against it still fails because
+  // its map is empty and every guarantee degenerates to "none").
+  static Capability BestEffortOnly();
+
+  std::string ToString() const;
+
+ private:
+  UnknownPolicy policy_;
+  std::map<ParamType, corba::Long> best_;
+};
+
+// Per-parameter outcome of a negotiation.
+struct ParameterOutcome {
+  QoSParameter requested;
+  corba::Long granted = 0;  // meaningful only when accepted
+  bool accepted = false;
+  std::string reason;  // set when !accepted
+
+  std::string ToString() const;
+};
+
+// Whole-spec outcome. The negotiation is all-or-nothing, as in the paper:
+// the operation is aborted and an exception returned if the requested QoS
+// cannot be supported.
+struct NegotiationResult {
+  bool accepted = false;
+  QoSSpec granted;                          // when accepted
+  std::vector<ParameterOutcome> outcomes;   // always, one per requested param
+
+  // Human-readable summary of why the NACK happened (joins the failing
+  // outcomes' reasons); empty when accepted.
+  std::string RejectionReason() const;
+};
+
+// Evaluates `requested` against `capability`.
+//
+// Per parameter, with D = DirectionOf(type):
+//   D == higher-is-better: granted = min(request_value, best).
+//       accepted iff requested.Accepts(granted) — i.e. granted >= min_value.
+//   D == lower-is-better:  granted = max(request_value, best).
+//       accepted iff requested.Accepts(granted) — i.e. granted <= max_value.
+//
+// The request is accepted iff every parameter is.
+NegotiationResult Negotiate(const QoSSpec& requested,
+                            const Capability& capability);
+
+// Combines two capabilities into the capability of the serial composition
+// (e.g. transport link AND server endsystem): the weaker guarantee wins in
+// each dimension. A dimension missing on either side is missing in the
+// result unless the other side also misses it.
+Capability Compose(const Capability& a, const Capability& b);
+
+}  // namespace cool::qos

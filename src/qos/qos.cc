@@ -1,0 +1,207 @@
+#include "qos/qos.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cool::qos {
+
+Direction DirectionOf(ParamType type) noexcept {
+  switch (type) {
+    case ParamType::kThroughputKbps:
+    case ParamType::kReliability:
+    case ParamType::kOrdering:
+    case ParamType::kEncryption:
+    case ParamType::kPriority:
+      return Direction::kHigherIsBetter;
+    case ParamType::kLatencyMicros:
+    case ParamType::kJitterMicros:
+    case ParamType::kLossPermille:
+      return Direction::kLowerIsBetter;
+  }
+  return Direction::kHigherIsBetter;
+}
+
+std::string_view ParamTypeName(ParamType type) noexcept {
+  switch (type) {
+    case ParamType::kThroughputKbps: return "throughput_kbps";
+    case ParamType::kLatencyMicros: return "latency_us";
+    case ParamType::kJitterMicros: return "jitter_us";
+    case ParamType::kReliability: return "reliability";
+    case ParamType::kOrdering: return "ordering";
+    case ParamType::kEncryption: return "encryption";
+    case ParamType::kLossPermille: return "loss_permille";
+    case ParamType::kPriority: return "priority";
+  }
+  return "unknown";
+}
+
+bool IsKnownParamType(corba::ULong raw) noexcept {
+  return raw >= static_cast<corba::ULong>(ParamType::kThroughputKbps) &&
+         raw <= static_cast<corba::ULong>(ParamType::kPriority);
+}
+
+bool QoSParameter::Accepts(corba::Long value) const noexcept {
+  if (value < 0) return false;
+  if (min_value != kUnbounded && value < min_value) return false;
+  if (max_value != kUnbounded && value > max_value) return false;
+  return true;
+}
+
+std::string QoSParameter::ToString() const {
+  std::ostringstream os;
+  if (IsKnownParamType(param_type)) {
+    os << ParamTypeName(type());
+  } else {
+    os << "param#" << param_type;
+  }
+  os << "{req=" << request_value << ", min=";
+  if (min_value == kUnbounded) {
+    os << "-";
+  } else {
+    os << min_value;
+  }
+  os << ", max=";
+  if (max_value == kUnbounded) {
+    os << "-";
+  } else {
+    os << max_value;
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+QoSParameter Make(ParamType type, corba::ULong request, corba::Long min_v,
+                  corba::Long max_v) {
+  QoSParameter p;
+  p.param_type = static_cast<corba::ULong>(type);
+  p.request_value = request;
+  p.min_value = min_v;
+  p.max_value = max_v;
+  return p;
+}
+
+}  // namespace
+
+QoSParameter RequireThroughputKbps(corba::ULong request, corba::Long min_ok) {
+  return Make(ParamType::kThroughputKbps, request, min_ok, kUnbounded);
+}
+QoSParameter RequireLatencyMicros(corba::ULong request, corba::Long max_ok) {
+  return Make(ParamType::kLatencyMicros, request, kUnbounded, max_ok);
+}
+QoSParameter RequireJitterMicros(corba::ULong request, corba::Long max_ok) {
+  return Make(ParamType::kJitterMicros, request, kUnbounded, max_ok);
+}
+QoSParameter RequireReliability(corba::ULong level) {
+  return Make(ParamType::kReliability, level,
+              static_cast<corba::Long>(level), kUnbounded);
+}
+QoSParameter RequireOrdering(bool ordered) {
+  const corba::ULong v = ordered ? 1 : 0;
+  return Make(ParamType::kOrdering, v, static_cast<corba::Long>(v),
+              kUnbounded);
+}
+QoSParameter RequireEncryption(bool encrypted) {
+  const corba::ULong v = encrypted ? 1 : 0;
+  return Make(ParamType::kEncryption, v, static_cast<corba::Long>(v),
+              kUnbounded);
+}
+QoSParameter RequireLossPermille(corba::ULong request, corba::Long max_ok) {
+  return Make(ParamType::kLossPermille, request, kUnbounded, max_ok);
+}
+QoSParameter RequirePriority(corba::ULong level) {
+  return Make(ParamType::kPriority, level, kUnbounded, kUnbounded);
+}
+
+void EncodeQoSParameter(cdr::Encoder& enc, const QoSParameter& p) {
+  enc.PutULong(p.param_type);
+  enc.PutULong(p.request_value);
+  enc.PutLong(p.max_value);
+  enc.PutLong(p.min_value);
+}
+
+Result<QoSParameter> DecodeQoSParameter(cdr::Decoder& dec) {
+  QoSParameter p;
+  COOL_ASSIGN_OR_RETURN(p.param_type, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(p.request_value, dec.GetULong());
+  COOL_ASSIGN_OR_RETURN(p.max_value, dec.GetLong());
+  COOL_ASSIGN_OR_RETURN(p.min_value, dec.GetLong());
+  return p;
+}
+
+void EncodeQoSParameterSeq(cdr::Encoder& enc,
+                           const std::vector<QoSParameter>& seq) {
+  enc.PutULong(static_cast<corba::ULong>(seq.size()));
+  for (const QoSParameter& p : seq) EncodeQoSParameter(enc, p);
+}
+
+Result<std::vector<QoSParameter>> DecodeQoSParameterSeq(cdr::Decoder& dec) {
+  COOL_ASSIGN_OR_RETURN(corba::ULong count, dec.GetULong());
+  // Each parameter occupies 16 octets on the wire; a count larger than the
+  // remaining payload is a framing attack / corruption.
+  if (count > dec.remaining() / 16) {
+    return Status(ProtocolError("qos_params count exceeds message size"));
+  }
+  std::vector<QoSParameter> seq;
+  seq.reserve(count);
+  for (corba::ULong i = 0; i < count; ++i) {
+    COOL_ASSIGN_OR_RETURN(QoSParameter p, DecodeQoSParameter(dec));
+    seq.push_back(p);
+  }
+  return seq;
+}
+
+Result<QoSSpec> QoSSpec::FromParameters(std::vector<QoSParameter> params) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const QoSParameter& p = params[i];
+    for (std::size_t j = i + 1; j < params.size(); ++j) {
+      if (params[j].param_type == p.param_type) {
+        return Status(InvalidArgumentError("duplicate QoS param_type " +
+                                           std::string(ParamTypeName(p.type()))));
+      }
+    }
+    if (p.min_value != kUnbounded && p.max_value != kUnbounded &&
+        p.min_value > p.max_value) {
+      return Status(
+          InvalidArgumentError("QoS range min > max: " + p.ToString()));
+    }
+    if (!p.Accepts(static_cast<corba::Long>(p.request_value))) {
+      return Status(InvalidArgumentError(
+          "QoS request_value outside acceptable range: " + p.ToString()));
+    }
+  }
+  QoSSpec s;
+  s.params_ = std::move(params);
+  return s;
+}
+
+const QoSParameter* QoSSpec::Find(ParamType type) const noexcept {
+  const auto raw = static_cast<corba::ULong>(type);
+  for (const QoSParameter& p : params_) {
+    if (p.param_type == raw) return &p;
+  }
+  return nullptr;
+}
+
+void QoSSpec::Set(const QoSParameter& p) {
+  for (QoSParameter& existing : params_) {
+    if (existing.param_type == p.param_type) {
+      existing = p;
+      return;
+    }
+  }
+  params_.push_back(p);
+}
+
+std::string QoSSpec::ToString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += params_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace cool::qos

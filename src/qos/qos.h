@@ -1,0 +1,136 @@
+// QoS specification types. QoSParameter is the exact wire struct from the
+// paper's Figure 2-(ii):
+//
+//   struct QoSParameter {
+//     unsigned long param_type;
+//     unsigned long request_value;
+//     long max_value;
+//     long min_value;
+//   };
+//
+// The client fills an array of these and hands it to the stub via
+// setQoSParameter(); the stub propagates it through the ORB (extended GIOP
+// Request) and down to the transport (Da CaPo).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+#include "cdr/types.h"
+#include "common/status.h"
+
+namespace cool::qos {
+
+// Registry of parameter types. The paper leaves the type space open
+// ("param_type"); we define the dimensions the MULTE project names in the
+// introduction (low latency, high throughput, controlled delay jitter) plus
+// the protocol-function-shaped ones Da CaPo configures for.
+enum class ParamType : corba::ULong {
+  kThroughputKbps = 1,   // application data rate, kilobit/s
+  kLatencyMicros = 2,    // one-way latency bound, microseconds
+  kJitterMicros = 3,     // delay jitter bound, microseconds
+  kReliability = 4,      // 0 = best effort, 1 = error detection,
+                         // 2 = error detection + retransmission
+  kOrdering = 5,         // 0 = unordered, 1 = in-order delivery
+  kEncryption = 6,       // 0 = plaintext, 1 = encrypted payload
+  kLossPermille = 7,     // tolerable packet loss, permille
+  kPriority = 8,         // relative scheduling priority, 0..255
+};
+
+// For negotiation we must know which direction is "better": a server that
+// can give *more* throughput than requested is fine, one that can only give
+// *more* latency is not.
+enum class Direction {
+  kHigherIsBetter,  // throughput, reliability, ordering, encryption, priority
+  kLowerIsBetter,   // latency, jitter, loss
+};
+
+Direction DirectionOf(ParamType type) noexcept;
+std::string_view ParamTypeName(ParamType type) noexcept;
+bool IsKnownParamType(corba::ULong raw) noexcept;
+
+// Sentinel for "no bound" in min_value / max_value.
+inline constexpr corba::Long kUnbounded = -1;
+
+// Wire-exact QoS parameter (paper Fig. 2-ii).
+struct QoSParameter {
+  corba::ULong param_type = 0;
+  corba::ULong request_value = 0;
+  corba::Long max_value = kUnbounded;
+  corba::Long min_value = kUnbounded;
+
+  ParamType type() const noexcept {
+    return static_cast<ParamType>(param_type);
+  }
+
+  // True iff `value` lies inside [min_value, max_value] (unbounded ends
+  // always accept).
+  bool Accepts(corba::Long value) const noexcept;
+
+  std::string ToString() const;
+
+  friend bool operator==(const QoSParameter&, const QoSParameter&) = default;
+};
+
+// Convenience constructors used by clients (and tests) instead of filling
+// the raw struct.
+QoSParameter RequireThroughputKbps(corba::ULong request, corba::Long min_ok);
+QoSParameter RequireLatencyMicros(corba::ULong request, corba::Long max_ok);
+QoSParameter RequireJitterMicros(corba::ULong request, corba::Long max_ok);
+QoSParameter RequireReliability(corba::ULong level);
+QoSParameter RequireOrdering(bool ordered);
+QoSParameter RequireEncryption(bool encrypted);
+QoSParameter RequireLossPermille(corba::ULong request, corba::Long max_ok);
+QoSParameter RequirePriority(corba::ULong level);
+
+// CDR marshalling: four naturally-aligned 32-bit fields.
+void EncodeQoSParameter(cdr::Encoder& enc, const QoSParameter& p);
+Result<QoSParameter> DecodeQoSParameter(cdr::Decoder& dec);
+
+// The `sequence<QoSParameter> qos_params` field of the extended Request.
+void EncodeQoSParameterSeq(cdr::Encoder& enc,
+                           const std::vector<QoSParameter>& seq);
+Result<std::vector<QoSParameter>> DecodeQoSParameterSeq(cdr::Decoder& dec);
+
+// A validated set of QoS parameters, at most one per param_type. This is
+// what flows through the ORB layers.
+class QoSSpec {
+ public:
+  QoSSpec() = default;
+
+  // Rejects duplicate param_types and malformed ranges (min > max when both
+  // bounded, request outside the acceptable range).
+  static Result<QoSSpec> FromParameters(std::vector<QoSParameter> params);
+
+  // Unchecked construction for wire-decoded data the caller validates.
+  static QoSSpec Trusted(std::vector<QoSParameter> params) {
+    QoSSpec s;
+    s.params_ = std::move(params);
+    return s;
+  }
+
+  const std::vector<QoSParameter>& parameters() const noexcept {
+    return params_;
+  }
+  bool empty() const noexcept { return params_.empty(); }
+  std::size_t size() const noexcept { return params_.size(); }
+
+  const QoSParameter* Find(ParamType type) const noexcept;
+
+  // Adds or replaces the parameter of the same type.
+  void Set(const QoSParameter& p);
+
+  std::string ToString() const;
+
+  friend bool operator==(const QoSSpec&, const QoSSpec&) = default;
+
+ private:
+  std::vector<QoSParameter> params_;
+};
+
+}  // namespace cool::qos

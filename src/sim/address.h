@@ -1,0 +1,28 @@
+// Endpoint addressing for the simulated network: host name + port, the
+// in-process analogue of the testbed's IP:port endpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cool::sim {
+
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const noexcept {
+    return std::hash<std::string>{}(a.host) * 31 +
+           std::hash<std::uint16_t>{}(a.port);
+  }
+};
+
+}  // namespace cool::sim

@@ -1,0 +1,37 @@
+// Link properties of the simulated network. Defaults approximate the
+// paper's era: ~100 Mbit/s of usable rate (155 Mb/s ATM minus cell tax) and
+// sub-millisecond campus latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace cool::sim {
+
+struct LinkProperties {
+  // Serialization rate applied to every octet that crosses the link.
+  std::uint64_t bandwidth_bps = 100'000'000;
+  // One-way propagation delay.
+  Duration latency = microseconds(500);
+  // Uniform random extra delay in [0, jitter] applied per datagram
+  // (streams are FIFO and only see pacing + latency).
+  Duration jitter = Duration::zero();
+  // Probability that a *datagram* is silently dropped. Streams are
+  // reliable by construction (they model TCP above the loss).
+  double loss_rate = 0.0;
+  // Maximum datagram payload.
+  std::size_t mtu = 64 * 1024;
+
+  // Time the link is busy serializing `bytes` octets.
+  Duration SerializationDelay(std::size_t bytes) const {
+    if (bandwidth_bps == 0) return Duration::zero();
+    const double seconds = static_cast<double>(bytes) * 8.0 /
+                           static_cast<double>(bandwidth_bps);
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace cool::sim

@@ -1,0 +1,342 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cool::sim {
+
+namespace internal {
+
+Status StreamPipe::Write(std::span<const std::uint8_t> data) {
+  if (data.empty()) return Status::Ok();
+
+  // Pace: the link is busy until every previously written octet has been
+  // serialized; this write extends that horizon.
+  TimePoint send_done;
+  {
+    std::unique_lock lock(mu_);
+    if (closed_) return UnavailableError("stream closed");
+    const TimePoint start = std::max(Now(), link_free_at_);
+    send_done = start + link_.SerializationDelay(data.size());
+    link_free_at_ = send_done;
+  }
+  PreciseSleep(send_done - Now());
+
+  std::unique_lock lock(mu_);
+  writable_.wait(lock, [&] {
+    return closed_ || buffered_bytes_ < window_bytes_;
+  });
+  if (closed_) return UnavailableError("stream closed");
+
+  Chunk chunk;
+  chunk.ready = send_done + link_.latency;
+  chunk.data.assign(data.begin(), data.end());
+  buffered_bytes_ += chunk.data.size();
+  chunks_.push_back(std::move(chunk));
+  readable_.notify_one();  // under the lock: destruction-safe
+  return Status::Ok();
+}
+
+Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
+                                     std::optional<TimePoint> deadline) {
+  if (out.empty()) return std::size_t{0};
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (!chunks_.empty()) {
+      const TimePoint ready = chunks_.front().ready;
+      if (ready <= Now()) break;
+      if (deadline.has_value() && ready > *deadline) {
+        if (Now() >= *deadline) {
+          return Status(DeadlineExceededError("stream read timed out"));
+        }
+        readable_.wait_until(lock, *deadline);
+      } else {
+        readable_.wait_until(lock, ready);
+      }
+      continue;
+    }
+    if (closed_) return Status(UnavailableError("stream closed by peer"));
+    if (deadline.has_value()) {
+      if (Now() >= *deadline) {
+        return Status(DeadlineExceededError("stream read timed out"));
+      }
+      readable_.wait_until(lock, *deadline);
+    } else {
+      readable_.wait(lock);
+    }
+  }
+
+  std::size_t copied = 0;
+  while (copied < out.size() && !chunks_.empty() &&
+         chunks_.front().ready <= Now()) {
+    Chunk& chunk = chunks_.front();
+    const std::size_t take =
+        std::min(out.size() - copied, chunk.data.size() - chunk.offset);
+    std::copy_n(chunk.data.begin() + static_cast<std::ptrdiff_t>(chunk.offset),
+                take, out.begin() + static_cast<std::ptrdiff_t>(copied));
+    chunk.offset += take;
+    copied += take;
+    buffered_bytes_ -= take;
+    if (chunk.offset == chunk.data.size()) chunks_.pop_front();
+  }
+  writable_.notify_one();
+  return copied;
+}
+
+void StreamPipe::Close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void AcceptQueue::Enqueue(std::unique_ptr<StreamSocket> socket) {
+  std::lock_guard lock(mu);
+  if (closed) return;  // connection refused; peer sees closed pipes
+  pending.push_back(std::move(socket));
+  cv.notify_one();
+}
+
+Result<std::unique_ptr<StreamSocket>> AcceptQueue::Pop() {
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return closed || !pending.empty(); });
+  if (pending.empty()) return Status(UnavailableError("listener closed"));
+  auto socket = std::move(pending.front());
+  pending.pop_front();
+  return socket;
+}
+
+Result<std::unique_ptr<StreamSocket>> AcceptQueue::PopFor(Duration timeout) {
+  std::unique_lock lock(mu);
+  if (!cv.wait_for(lock, timeout,
+                   [&] { return closed || !pending.empty(); })) {
+    return Status(DeadlineExceededError("accept timed out"));
+  }
+  if (pending.empty()) return Status(UnavailableError("listener closed"));
+  auto socket = std::move(pending.front());
+  pending.pop_front();
+  return socket;
+}
+
+void AcceptQueue::Close() {
+  std::lock_guard lock(mu);
+  closed = true;
+  cv.notify_all();
+}
+
+void DatagramQueue::Deliver(TimePoint ready, Address from,
+                            std::vector<std::uint8_t> payload) {
+  std::lock_guard lock(mu);
+  if (closed) return;
+  TimedDatagram t;
+  t.ready = ready;
+  t.seq = next_seq++;
+  t.dgram = Datagram{std::move(from), std::move(payload)};
+  rx.push(std::move(t));
+  cv.notify_one();
+}
+
+std::optional<Datagram> DatagramQueue::Pop() {
+  std::unique_lock lock(mu);
+  for (;;) {
+    if (!rx.empty()) {
+      const TimePoint ready = rx.top().ready;
+      if (ready <= Now()) break;
+      cv.wait_until(lock, ready);
+      continue;
+    }
+    if (closed) return std::nullopt;
+    cv.wait(lock);
+  }
+  Datagram d = std::move(const_cast<TimedDatagram&>(rx.top()).dgram);
+  rx.pop();
+  return d;
+}
+
+std::optional<Datagram> DatagramQueue::PopFor(Duration timeout) {
+  const TimePoint deadline = Now() + timeout;
+  std::unique_lock lock(mu);
+  for (;;) {
+    if (!rx.empty() && rx.top().ready <= Now()) break;
+    const TimePoint wake =
+        rx.empty() ? deadline : std::min(deadline, rx.top().ready);
+    if (closed && rx.empty()) return std::nullopt;
+    if (Now() >= deadline) return std::nullopt;
+    cv.wait_until(lock, wake);
+    if (closed && rx.empty()) return std::nullopt;
+  }
+  Datagram d = std::move(const_cast<TimedDatagram&>(rx.top()).dgram);
+  rx.pop();
+  return d;
+}
+
+void DatagramQueue::Close() {
+  std::lock_guard lock(mu);
+  closed = true;
+  cv.notify_all();
+}
+
+}  // namespace internal
+
+Status StreamSocket::RecvExact(std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    COOL_ASSIGN_OR_RETURN(std::size_t n, Recv(out.subspan(got)));
+    got += n;
+  }
+  return Status::Ok();
+}
+
+Listener::~Listener() {
+  Close();
+  net_->Unregister(this);
+}
+
+DatagramPort::~DatagramPort() {
+  Close();
+  net_->UnregisterPort(this);
+}
+
+Status DatagramPort::SendTo(const Address& dst,
+                            std::span<const std::uint8_t> payload) {
+  const LinkProperties link = net_->LinkBetween(addr_.host, dst.host);
+  if (payload.size() > link.mtu) {
+    return InvalidArgumentError("datagram exceeds link MTU");
+  }
+
+  TimePoint send_done;
+  {
+    std::lock_guard lock(tx_mu_);
+    const TimePoint start = std::max(Now(), link_free_at_);
+    send_done = start + link.SerializationDelay(payload.size());
+    link_free_at_ = send_done;
+  }
+  PreciseSleep(send_done - Now());
+
+  return net_->RouteDatagram(
+      addr_, dst, std::vector<std::uint8_t>(payload.begin(), payload.end()),
+      send_done + link.latency);
+}
+
+void Network::SetLink(const std::string& host_a, const std::string& host_b,
+                      LinkProperties props) {
+  std::lock_guard lock(mu_);
+  links_[std::minmax(host_a, host_b)] = props;
+}
+
+LinkProperties Network::LinkBetween(const std::string& a,
+                                    const std::string& b) const {
+  if (a == b) {
+    // Loopback: no pacing (bandwidth 0 == infinite), no propagation.
+    LinkProperties loopback;
+    loopback.bandwidth_bps = 0;
+    loopback.latency = Duration::zero();
+    loopback.jitter = Duration::zero();
+    loopback.loss_rate = 0.0;
+    return loopback;
+  }
+  std::lock_guard lock(mu_);
+  const auto it = links_.find(std::minmax(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+Result<std::unique_ptr<Listener>> Network::Listen(const Address& addr) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = listeners_.try_emplace(addr);
+  if (!inserted) {
+    return Status(AlreadyExistsError("address in use: " + addr.ToString()));
+  }
+  it->second = std::make_shared<internal::AcceptQueue>();
+  return std::make_unique<Listener>(this, addr, it->second);
+}
+
+Result<std::unique_ptr<StreamSocket>> Network::Connect(
+    const std::string& local_host, const Address& remote) {
+  std::shared_ptr<internal::AcceptQueue> queue;
+  Address local;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = listeners_.find(remote);
+    if (it == listeners_.end()) {
+      return Status(
+          UnavailableError("connection refused: " + remote.ToString()));
+    }
+    queue = it->second;
+    local = Address{local_host, next_ephemeral_++};
+  }
+
+  const LinkProperties link = LinkBetween(local_host, remote.host);
+  // TCP-style handshake: one round trip before data can flow.
+  PreciseSleep(link.latency * 2);
+
+  constexpr std::size_t kWindowBytes = 4 * 1024 * 1024;
+  auto a_to_b = std::make_shared<internal::StreamPipe>(link, kWindowBytes);
+  auto b_to_a = std::make_shared<internal::StreamPipe>(link, kWindowBytes);
+
+  auto client_side =
+      std::make_unique<StreamSocket>(local, remote, a_to_b, b_to_a);
+  auto server_side =
+      std::make_unique<StreamSocket>(remote, local, b_to_a, a_to_b);
+  queue->Enqueue(std::move(server_side));
+  return client_side;
+}
+
+Result<std::unique_ptr<DatagramPort>> Network::OpenPort(const Address& addr) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = ports_.try_emplace(addr);
+  if (!inserted) {
+    return Status(AlreadyExistsError("port in use: " + addr.ToString()));
+  }
+  it->second = std::make_shared<internal::DatagramQueue>();
+  return std::make_unique<DatagramPort>(this, addr, it->second);
+}
+
+void Network::Unregister(const Listener* listener) {
+  std::lock_guard lock(mu_);
+  const auto it = listeners_.find(listener->addr_);
+  if (it != listeners_.end() && it->second == listener->queue_) {
+    listeners_.erase(it);
+  }
+}
+
+void Network::UnregisterPort(const DatagramPort* port) {
+  std::lock_guard lock(mu_);
+  const auto it = ports_.find(port->addr_);
+  if (it != ports_.end() && it->second == port->queue_) ports_.erase(it);
+}
+
+Status Network::RouteDatagram(const Address& from, const Address& dst,
+                              std::vector<std::uint8_t> payload,
+                              TimePoint earliest_arrival) {
+  const LinkProperties link = LinkBetween(from.host, dst.host);
+  std::shared_ptr<internal::DatagramQueue> queue;
+  TimePoint arrival = earliest_arrival;
+  {
+    std::lock_guard lock(mu_);
+    if (RollLossLocked(link.loss_rate)) {
+      return Status::Ok();  // silently dropped, like the real thing
+    }
+    arrival += RollJitterLocked(link.jitter);
+    const auto it = ports_.find(dst);
+    if (it == ports_.end()) {
+      return Status::Ok();  // no receiver: datagram falls on the floor
+    }
+    queue = it->second;
+  }
+  queue->Deliver(arrival, from, std::move(payload));
+  return Status::Ok();
+}
+
+bool Network::RollLossLocked(double p) {
+  return p > 0.0 && rng_.NextBool(p);
+}
+
+Duration Network::RollJitterLocked(Duration max_jitter) {
+  if (max_jitter <= Duration::zero()) return Duration::zero();
+  const double frac = rng_.NextDouble();
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(ToSeconds(max_jitter) * frac));
+}
+
+}  // namespace cool::sim

@@ -1,0 +1,294 @@
+// In-process simulated network. Replaces the paper's testbed (ATM link +
+// ChorusOS endsystems) with real threads exchanging bytes through paced,
+// delayed, optionally lossy in-memory channels:
+//
+//  * StreamSocket — reliable FIFO byte stream ("TCP"): pacing to the link
+//    bandwidth + propagation delay, no loss, no reorder.
+//  * DatagramPort — unreliable message port (raw "layer T" service and the
+//    Chorus-IPC analogue): pacing, delay, jitter (which may reorder), loss.
+//
+// All delays are real wall-clock delays, so throughput/latency measured by
+// the benchmarks is real measured behaviour of the running protocol stack,
+// not a closed-form model.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/address.h"
+#include "sim/link.h"
+
+namespace cool::sim {
+
+class Network;
+class StreamSocket;
+
+struct Datagram {
+  Address from;
+  std::vector<std::uint8_t> payload;
+};
+
+namespace internal {
+
+// One direction of a stream connection: a bounded queue of timed chunks.
+class StreamPipe {
+ public:
+  StreamPipe(LinkProperties link, std::size_t window_bytes)
+      : link_(link), window_bytes_(window_bytes) {}
+
+  // Paces the caller to the link bandwidth, then enqueues the bytes with
+  // delivery time now+latency. Blocks while the receive window is full.
+  // Fails with kUnavailable once the pipe is closed.
+  Status Write(std::span<const std::uint8_t> data);
+
+  // Blocks until at least one ready octet is available (or the pipe is
+  // closed and drained -> kUnavailable; or `deadline` passes ->
+  // kDeadlineExceeded). Returns the number of octets copied, up to
+  // out.size().
+  Result<std::size_t> Read(std::span<std::uint8_t> out,
+                           std::optional<TimePoint> deadline = std::nullopt);
+
+  void Close();
+
+ private:
+  struct Chunk {
+    TimePoint ready;
+    std::vector<std::uint8_t> data;
+    std::size_t offset = 0;
+  };
+
+  const LinkProperties link_;
+  const std::size_t window_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<Chunk> chunks_;
+  std::size_t buffered_bytes_ = 0;
+  TimePoint link_free_at_{};
+  bool closed_ = false;
+};
+
+// Shared accept queue: outlives the Listener wrapper so an in-flight
+// Connect never dereferences a destroyed listener.
+struct AcceptQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<StreamSocket>> pending;
+  bool closed = false;
+
+  void Enqueue(std::unique_ptr<StreamSocket> socket);
+  Result<std::unique_ptr<StreamSocket>> Pop();
+  Result<std::unique_ptr<StreamSocket>> PopFor(Duration timeout);
+  void Close();
+};
+
+struct TimedDatagram {
+  TimePoint ready;
+  std::uint64_t seq = 0;  // tie-break keeps delivery deterministic
+  Datagram dgram;
+  friend bool operator>(const TimedDatagram& a, const TimedDatagram& b) {
+    return a.ready != b.ready ? a.ready > b.ready : a.seq > b.seq;
+  }
+};
+
+// Shared receive queue of a datagram port (same lifetime rationale).
+struct DatagramQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<TimedDatagram, std::vector<TimedDatagram>,
+                      std::greater<>>
+      rx;
+  std::uint64_t next_seq = 0;
+  bool closed = false;
+
+  void Deliver(TimePoint ready, Address from,
+               std::vector<std::uint8_t> payload);
+  // Blocks until the earliest datagram is deliverable; nullopt when closed
+  // (Pop) or when the deadline passes first (PopFor).
+  std::optional<Datagram> Pop();
+  std::optional<Datagram> PopFor(Duration timeout);
+  void Close();
+};
+
+}  // namespace internal
+
+// Reliable bidirectional byte stream between two simulated hosts.
+class StreamSocket {
+ public:
+  StreamSocket(Address local, Address remote,
+               std::shared_ptr<internal::StreamPipe> tx,
+               std::shared_ptr<internal::StreamPipe> rx)
+      : local_(std::move(local)),
+        remote_(std::move(remote)),
+        tx_(std::move(tx)),
+        rx_(std::move(rx)) {}
+
+  ~StreamSocket() { Close(); }
+
+  StreamSocket(const StreamSocket&) = delete;
+  StreamSocket& operator=(const StreamSocket&) = delete;
+
+  Status Send(std::span<const std::uint8_t> data) { return tx_->Write(data); }
+
+  // Reads up to out.size() octets; blocks for at least one.
+  Result<std::size_t> Recv(std::span<std::uint8_t> out) {
+    return rx_->Read(out);
+  }
+
+  // As Recv, but gives up with kDeadlineExceeded after `timeout`.
+  Result<std::size_t> RecvFor(std::span<std::uint8_t> out, Duration timeout) {
+    return rx_->Read(out, Now() + timeout);
+  }
+
+  // Reads exactly out.size() octets or fails.
+  Status RecvExact(std::span<std::uint8_t> out);
+
+  // Closes both directions (peer reads drain then see kUnavailable).
+  void Close() {
+    tx_->Close();
+    rx_->Close();
+  }
+
+  const Address& local() const noexcept { return local_; }
+  const Address& remote() const noexcept { return remote_; }
+
+ private:
+  Address local_;
+  Address remote_;
+  std::shared_ptr<internal::StreamPipe> tx_;
+  std::shared_ptr<internal::StreamPipe> rx_;
+};
+
+// Passive side of stream setup.
+class Listener {
+ public:
+  Listener(Network* net, Address addr,
+           std::shared_ptr<internal::AcceptQueue> queue)
+      : net_(net), addr_(std::move(addr)), queue_(std::move(queue)) {}
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Blocks until a peer connects or the listener is closed (kUnavailable).
+  Result<std::unique_ptr<StreamSocket>> Accept() { return queue_->Pop(); }
+  Result<std::unique_ptr<StreamSocket>> AcceptFor(Duration timeout) {
+    return queue_->PopFor(timeout);
+  }
+
+  void Close() { queue_->Close(); }
+
+  const Address& address() const noexcept { return addr_; }
+
+ private:
+  friend class Network;
+
+  Network* net_;
+  Address addr_;
+  std::shared_ptr<internal::AcceptQueue> queue_;
+};
+
+// Unreliable message port.
+class DatagramPort {
+ public:
+  DatagramPort(Network* net, Address addr,
+               std::shared_ptr<internal::DatagramQueue> queue)
+      : net_(net), addr_(std::move(addr)), queue_(std::move(queue)) {}
+  ~DatagramPort();
+
+  DatagramPort(const DatagramPort&) = delete;
+  DatagramPort& operator=(const DatagramPort&) = delete;
+
+  // Paces to link bandwidth; the datagram may be dropped (loss_rate),
+  // delayed (latency + jitter) and consequently reordered.
+  Status SendTo(const Address& dst, std::span<const std::uint8_t> payload);
+
+  // Blocks until a datagram is deliverable or the port is closed.
+  std::optional<Datagram> Recv() { return queue_->Pop(); }
+  std::optional<Datagram> RecvFor(Duration timeout) {
+    return queue_->PopFor(timeout);
+  }
+
+  void Close() { queue_->Close(); }
+
+  const Address& address() const noexcept { return addr_; }
+
+ private:
+  friend class Network;
+
+  Network* net_;
+  Address addr_;
+  std::shared_ptr<internal::DatagramQueue> queue_;
+
+  std::mutex tx_mu_;
+  TimePoint link_free_at_{};
+};
+
+// The network fabric: host-pair link properties plus the registries of
+// listeners and datagram ports. Must outlive every Listener/Port/Socket
+// created through it.
+class Network {
+ public:
+  explicit Network(LinkProperties default_link = {},
+                   std::uint64_t rng_seed = 1)
+      : default_link_(default_link), rng_(rng_seed) {}
+
+  // Symmetric per-host-pair override.
+  void SetLink(const std::string& host_a, const std::string& host_b,
+               LinkProperties props);
+  LinkProperties LinkBetween(const std::string& a, const std::string& b) const;
+
+  Result<std::unique_ptr<Listener>> Listen(const Address& addr);
+
+  // Establishes a stream from `local_host` to `remote`. The handshake costs
+  // one round-trip of the link latency, as TCP connection setup would.
+  Result<std::unique_ptr<StreamSocket>> Connect(const std::string& local_host,
+                                                const Address& remote);
+
+  Result<std::unique_ptr<DatagramPort>> OpenPort(const Address& addr);
+
+ private:
+  friend class Listener;
+  friend class DatagramPort;
+
+  void Unregister(const Listener* listener);
+  void UnregisterPort(const DatagramPort* port);
+
+  // Datagram fan-in used by DatagramPort::SendTo (applies loss + jitter).
+  Status RouteDatagram(const Address& from, const Address& dst,
+                       std::vector<std::uint8_t> payload,
+                       TimePoint earliest_arrival);
+
+  bool RollLossLocked(double p);
+  Duration RollJitterLocked(Duration max_jitter);
+
+  const LinkProperties default_link_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Address, std::shared_ptr<internal::AcceptQueue>,
+                     AddressHash>
+      listeners_;
+  std::unordered_map<Address, std::shared_ptr<internal::DatagramQueue>,
+                     AddressHash>
+      ports_;
+  std::map<std::pair<std::string, std::string>, LinkProperties> links_;
+  Rng rng_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace cool::sim

@@ -1,0 +1,120 @@
+// The stream object adapter (paper §7: "A stream object adapter supporting
+// the generated stream stubs and skeletons will be developed"), as a
+// runtime building block:
+//
+//  * StreamService — a servant exporting the flow-control interface
+//      open_flow(FlowSpec)  -> flow_id, data endpoint     (NACK -> NO_RESOURCES)
+//      flow_stats(flow_id)  -> FlowStats                  (receiver-side)
+//      close_flow(flow_id)  -> void
+//    Flow QoS is negotiated bilaterally against the service's capability
+//    and admitted against an optional resource manager; accepted flows get
+//    their own Da CaPo acceptor and a measuring StreamSink.
+//
+//  * FlowConnection — the client side: calls open_flow through an ordinary
+//    ORB stub (so the control path benefits from all of the paper's
+//    machinery, including per-invocation QoS), configures a Da CaPo graph
+//    for the flow QoS, connects the data session and drives a paced
+//    StreamSource.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "dacapo/config_manager.h"
+#include "dacapo/resource_manager.h"
+#include "orb/stub.h"
+#include "stream/flow.h"
+
+namespace cool::stream {
+
+class StreamService : public orb::Servant {
+ public:
+  // `flow_capability` bounds what any single flow may request (frame rate
+  // and QoS translate into throughput etc.). `resources`, when given,
+  // additionally enforces the aggregate budget across flows.
+  StreamService(sim::Network* net, std::string host,
+                dacapo::NetworkEstimate estimate,
+                qos::Capability flow_capability,
+                dacapo::ResourceManager* resources = nullptr);
+  ~StreamService() override;
+
+  std::string_view repository_id() const override {
+    return "IDL:cool/StreamService:1.0";
+  }
+
+  orb::DispatchOutcome Dispatch(std::string_view operation,
+                                cdr::Decoder& args,
+                                cdr::Encoder& out) override;
+
+  std::size_t active_flows() const;
+  // Receiver-side stats, also reachable remotely via "flow_stats".
+  Result<FlowStats> StatsFor(corba::ULong flow_id) const;
+
+ private:
+  struct Flow {
+    FlowSpec spec;
+    std::unique_ptr<dacapo::Acceptor> acceptor;
+    std::jthread accept_thread;
+    std::unique_ptr<StreamSink> sink;  // set once the peer connects
+    dacapo::ResourceManager::Reservation reservation;
+    mutable std::mutex mu;
+  };
+
+  orb::DispatchOutcome OpenFlow(cdr::Decoder& args, cdr::Encoder& out);
+  orb::DispatchOutcome FlowStatsOp(cdr::Decoder& args, cdr::Encoder& out);
+  orb::DispatchOutcome CloseFlow(cdr::Decoder& args, cdr::Encoder& out);
+
+  sim::Network* net_;
+  std::string host_;
+  dacapo::NetworkEstimate estimate_;
+  qos::Capability flow_capability_;
+  dacapo::ResourceManager* resources_;
+
+  mutable std::mutex mu_;
+  corba::ULong next_flow_id_ = 1;
+  std::map<corba::ULong, std::shared_ptr<Flow>> flows_;
+};
+
+// Client-side handle of one open flow.
+class FlowConnection {
+ public:
+  // Negotiates `spec` with the remote StreamService (through `control`),
+  // builds the QoS-configured data session and a paced source. The source
+  // is created but not started.
+  static Result<std::unique_ptr<FlowConnection>> Open(
+      orb::Stub* control, sim::Network* net, const std::string& local_host,
+      const FlowSpec& spec, const dacapo::NetworkEstimate& estimate);
+
+  ~FlowConnection();
+
+  FlowConnection(const FlowConnection&) = delete;
+  FlowConnection& operator=(const FlowConnection&) = delete;
+
+  StreamSource& source() { return *source_; }
+  corba::ULong flow_id() const noexcept { return flow_id_; }
+  dacapo::ModuleGraphSpec data_graph() const { return session_->graph(); }
+
+  // Receiver-side statistics fetched through the control interface.
+  Result<FlowStats> RemoteStats();
+
+  // Stops the source and releases the server-side flow.
+  Status Close();
+
+ private:
+  FlowConnection(orb::Stub* control, corba::ULong flow_id,
+                 std::unique_ptr<dacapo::Session> session, FlowSpec spec)
+      : control_(control),
+        flow_id_(flow_id),
+        session_(std::move(session)),
+        source_(std::make_unique<StreamSource>(session_.get(),
+                                               std::move(spec))) {}
+
+  orb::Stub* control_;
+  corba::ULong flow_id_;
+  std::unique_ptr<dacapo::Session> session_;
+  std::unique_ptr<StreamSource> source_;
+  bool closed_ = false;
+};
+
+}  // namespace cool::stream

@@ -1,0 +1,97 @@
+#include "transport/com_channel.h"
+
+#include "common/logging.h"
+
+namespace cool::transport {
+
+ComChannel::~ComChannel() = default;
+
+void ComChannel::DrainAsync() {
+  std::vector<std::jthread> threads;
+  {
+    std::lock_guard lock(async_mu_);
+    threads.swap(notify_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Result<ByteBuffer> ComChannel::Call(std::span<const std::uint8_t> request,
+                                    Duration timeout) {
+  std::lock_guard lock(call_mu_);
+  COOL_RETURN_IF_ERROR(SendMessage(request));
+  return ReceiveMessage(timeout);
+}
+
+Status ComChannel::Send(std::span<const std::uint8_t> request) {
+  return SendMessage(request);
+}
+
+Status ComChannel::Reply(std::span<const std::uint8_t> reply) {
+  return SendMessage(reply);
+}
+
+Result<ComChannel::Deferred> ComChannel::Defer(
+    std::span<const std::uint8_t> request) {
+  std::lock_guard lock(async_mu_);
+  if (deferred_outstanding_) {
+    // One in-flight deferred conversation per channel; interleaving is the
+    // message layer's job (GIOP request_id).
+    return Status(FailedPreconditionError(
+        "channel already has a deferred request outstanding"));
+  }
+  COOL_RETURN_IF_ERROR(SendMessage(request));
+  deferred_outstanding_ = true;
+  return Deferred{next_deferred_id_++};
+}
+
+Result<ByteBuffer> ComChannel::PollDeferred(Deferred handle,
+                                            Duration timeout) {
+  {
+    std::lock_guard lock(async_mu_);
+    if (cancelled_.erase(handle.id) != 0) {
+      deferred_outstanding_ = false;
+      return Status(CancelledError("deferred request was cancelled"));
+    }
+  }
+  auto reply = ReceiveMessage(timeout);
+  if (reply.ok() ||
+      reply.status().code() != ErrorCode::kDeadlineExceeded) {
+    std::lock_guard lock(async_mu_);
+    deferred_outstanding_ = false;
+  }
+  return reply;
+}
+
+Status ComChannel::Notify(std::span<const std::uint8_t> request,
+                          ReplyCallback callback) {
+  COOL_RETURN_IF_ERROR(SendMessage(request));
+  std::lock_guard lock(async_mu_);
+  notify_threads_.emplace_back(
+      [this, cb = std::move(callback)](std::stop_token) {
+        cb(ReceiveMessage(seconds(30)));
+      });
+  return Status::Ok();
+}
+
+Status ComChannel::Cancel(Deferred handle) {
+  std::lock_guard lock(async_mu_);
+  if (!deferred_outstanding_) {
+    return FailedPreconditionError("no deferred request outstanding");
+  }
+  cancelled_.insert(handle.id);
+  return Status::Ok();
+}
+
+Status ComChannel::SetQoSParameter(const qos::QoSSpec& spec) {
+  if (spec.empty()) return Status::Ok();
+  return UnsupportedError(std::string(protocol()) +
+                          " transport does not implement setQoSParameter");
+}
+
+qos::Capability ComChannel::TransportCapability() const {
+  return qos::Capability::BestEffortOnly();
+}
+
+}  // namespace cool::transport

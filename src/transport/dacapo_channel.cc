@@ -1,0 +1,136 @@
+#include "transport/dacapo_channel.h"
+
+#include "common/logging.h"
+#include "qos/mapping.h"
+
+namespace cool::transport {
+
+DacapoComChannel::~DacapoComChannel() {
+  Close();
+  DrainAsync();
+}
+
+namespace {
+// Fragment header octet: 1 = more fragments of this message follow.
+constexpr std::uint8_t kMoreFragments = 1;
+constexpr std::uint8_t kLastFragment = 0;
+}  // namespace
+
+Status DacapoComChannel::SendMessage(std::span<const std::uint8_t> message) {
+  const std::size_t max_payload = session_->packet_capacity() - 1;
+  std::lock_guard lock(tx_mu_);
+  std::size_t offset = 0;
+  do {
+    const std::size_t n = std::min(max_payload, message.size() - offset);
+    std::vector<std::uint8_t> fragment;
+    fragment.reserve(n + 1);
+    fragment.push_back(offset + n < message.size() ? kMoreFragments
+                                                   : kLastFragment);
+    fragment.insert(fragment.end(), message.begin() + static_cast<std::ptrdiff_t>(offset),
+                    message.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    COOL_RETURN_IF_ERROR(session_->Send(fragment));
+    offset += n;
+  } while (offset < message.size());
+  return Status::Ok();
+}
+
+Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {
+  const TimePoint deadline = Now() + timeout;
+  std::lock_guard lock(rx_mu_);
+  ByteBuffer assembled;
+  for (;;) {
+    COOL_ASSIGN_OR_RETURN(std::vector<std::uint8_t> fragment,
+                          session_->Receive(deadline - Now()));
+    if (fragment.empty()) {
+      return Status(ProtocolError("empty Da CaPo fragment"));
+    }
+    const std::uint8_t flags = fragment.front();
+    if (flags > kMoreFragments) {
+      return Status(ProtocolError("bad fragment header"));
+    }
+    assembled.Append({fragment.data() + 1, fragment.size() - 1});
+    if (flags == kLastFragment) return assembled;
+  }
+}
+
+void DacapoComChannel::Close() { session_->Close(); }
+
+qos::Capability DacapoComChannel::CapabilityFor(
+    const dacapo::NetworkEstimate& est) {
+  qos::Capability cap;
+  cap.SetBest(qos::ParamType::kThroughputKbps,
+              static_cast<corba::Long>(est.bandwidth_bps / 1000));
+  cap.SetBest(qos::ParamType::kLatencyMicros,
+              static_cast<corba::Long>(est.rtt_us / 2));
+  cap.SetBest(qos::ParamType::kJitterMicros,
+              static_cast<corba::Long>(est.rtt_us / 4 + 1));
+  cap.SetBest(qos::ParamType::kReliability, 2);  // ARQ mechanisms available
+  cap.SetBest(qos::ParamType::kOrdering, 1);
+  cap.SetBest(qos::ParamType::kEncryption, 1);
+  cap.SetBest(qos::ParamType::kLossPermille, 0);  // with retransmission
+  cap.SetBest(qos::ParamType::kPriority, 255);
+  return cap;
+}
+
+qos::Capability DacapoComChannel::TransportCapability() const {
+  return CapabilityFor(estimate_);
+}
+
+qos::QoSSpec DacapoComChannel::CurrentQoS() const {
+  std::lock_guard lock(qos_mu_);
+  return current_qos_;
+}
+
+Status DacapoComChannel::SetQoSParameter(const qos::QoSSpec& spec) {
+  // Unilateral negotiation (paper §4.3): the transport either maps the QoS
+  // to a protocol configuration + resources, or refuses.
+  const qos::ProtocolRequirements req = qos::MapToProtocolRequirements(spec);
+  dacapo::ConfigurationManager config;
+  COOL_ASSIGN_OR_RETURN(dacapo::ConfiguredGraph graph,
+                        config.Configure(req, estimate_));
+
+  {
+    std::lock_guard lock(qos_mu_);
+    if (graph.spec == session_->graph()) {
+      // Same module graph satisfies the new spec: nothing to rebuild.
+      current_qos_ = spec;
+      return Status::Ok();
+    }
+  }
+  COOL_LOG(kInfo, "transport")
+      << "dacapo reconfiguration for QoS " << spec.ToString() << " -> "
+      << graph.spec.ToString();
+  COOL_RETURN_IF_ERROR(session_->Reconfigure(graph.spec));
+  std::lock_guard lock(qos_mu_);
+  current_qos_ = spec;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ComChannel>> DacapoComManager::OpenChannel(
+    const sim::Address& remote, const qos::QoSSpec& qos) {
+  dacapo::ChannelOptions options;
+  options.transport = dacapo::ChannelOptions::Transport::kStream;
+  if (!qos.empty()) {
+    const qos::ProtocolRequirements req = qos::MapToProtocolRequirements(qos);
+    dacapo::ConfigurationManager config;
+    dacapo::NetworkEstimate est = estimate_;
+    est.transport_reliable = true;  // stream T service underneath
+    COOL_ASSIGN_OR_RETURN(dacapo::ConfiguredGraph graph,
+                          config.Configure(req, est));
+    options.graph = graph.spec;
+  }
+  dacapo::Connector connector(net_, acceptor_.address().host);
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<dacapo::Session> session,
+                        connector.Connect(remote, options));
+  return std::unique_ptr<ComChannel>(std::make_unique<DacapoComChannel>(
+      std::move(session), estimate_, qos));
+}
+
+Result<std::unique_ptr<ComChannel>> DacapoComManager::AcceptChannel() {
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<dacapo::Session> session,
+                        acceptor_.Accept(dacapo::AppAModule::DeliveryMode::kQueue));
+  return std::unique_ptr<ComChannel>(std::make_unique<DacapoComChannel>(
+      std::move(session), estimate_, qos::QoSSpec{}));
+}
+
+}  // namespace cool::transport

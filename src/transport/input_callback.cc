@@ -1,0 +1,65 @@
+#include "transport/input_callback.h"
+
+namespace cool::transport {
+
+InputCallbackDispatcher::InputCallbackDispatcher() {
+  thread_ = std::jthread([this](std::stop_token st) { Run(st); });
+}
+
+InputCallbackDispatcher::~InputCallbackDispatcher() { Stop(); }
+
+InputCallbackDispatcher::Id InputCallbackDispatcher::Register(
+    Callback callback) {
+  std::lock_guard lock(mu_);
+  const Id id = next_id_++;
+  callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void InputCallbackDispatcher::Unregister(Id id) {
+  std::lock_guard lock(mu_);
+  callbacks_.erase(id);
+}
+
+Status InputCallbackDispatcher::Trigger(Id id) {
+  {
+    std::lock_guard lock(mu_);
+    if (!callbacks_.contains(id)) {
+      return NotFoundError("unknown input callback id");
+    }
+  }
+  if (!triggers_.Push(id)) {
+    return UnavailableError("dispatcher stopped");
+  }
+  return Status::Ok();
+}
+
+void InputCallbackDispatcher::Stop() {
+  // Closing the queue lets the dispatcher drain queued triggers and then
+  // exit on its own; no stop request, which would drop pending work.
+  triggers_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t InputCallbackDispatcher::registered_count() const {
+  std::lock_guard lock(mu_);
+  return callbacks_.size();
+}
+
+void InputCallbackDispatcher::Run(std::stop_token stop) {
+  (void)stop;  // lifetime is governed by the queue's close-and-drain
+  for (;;) {
+    auto id = triggers_.Pop();
+    if (!id.has_value()) return;  // closed and drained
+    Callback cb;
+    {
+      std::lock_guard lock(mu_);
+      const auto it = callbacks_.find(*id);
+      if (it == callbacks_.end()) continue;
+      cb = it->second;  // copy so Unregister during the call is safe
+    }
+    cb();
+  }
+}
+
+}  // namespace cool::transport

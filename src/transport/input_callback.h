@@ -1,0 +1,54 @@
+// COOL_InputCallback analogue (paper Fig. 8): "enables integration of
+// external events as X Events, socket I/O events and so on". External
+// sources register a callback and trigger it; a dispatcher thread runs the
+// callbacks serially, decoupling event producers from ORB internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+
+namespace cool::transport {
+
+class InputCallbackDispatcher {
+ public:
+  using Callback = std::function<void()>;
+  using Id = std::uint64_t;
+
+  InputCallbackDispatcher();
+  ~InputCallbackDispatcher();
+
+  InputCallbackDispatcher(const InputCallbackDispatcher&) = delete;
+  InputCallbackDispatcher& operator=(const InputCallbackDispatcher&) = delete;
+
+  // Registers an input callback; returns its handle.
+  Id Register(Callback callback);
+  // Removes a callback. Pending triggers for it become no-ops.
+  void Unregister(Id id);
+
+  // Signals that input is available for `id`; the dispatcher thread will
+  // invoke the callback. Returns kNotFound for unknown ids.
+  Status Trigger(Id id);
+
+  // Stops the dispatcher thread after draining queued triggers.
+  void Stop();
+
+  std::size_t registered_count() const;
+
+ private:
+  void Run(std::stop_token stop);
+
+  mutable std::mutex mu_;
+  std::unordered_map<Id, Callback> callbacks_;
+  Id next_id_ = 1;
+  BlockingQueue<Id> triggers_;
+  std::jthread thread_;
+};
+
+}  // namespace cool::transport

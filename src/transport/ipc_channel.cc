@@ -1,0 +1,120 @@
+#include "transport/ipc_channel.h"
+
+#include <array>
+#include <atomic>
+
+namespace cool::transport {
+
+namespace {
+
+// HELLO wire format: magic 'I''P''C' + kind octet + u16 LE channel port.
+constexpr std::uint8_t kHello = 1;
+constexpr std::uint8_t kHelloAck = 2;
+constexpr std::size_t kHelloSize = 6;
+
+std::uint16_t AllocIpcPort() {
+  static std::atomic<std::uint16_t> next{30000};
+  return next.fetch_add(1);
+}
+
+std::array<std::uint8_t, kHelloSize> EncodeHello(std::uint8_t kind,
+                                                 std::uint16_t port) {
+  return {'I', 'P', 'C', kind, static_cast<std::uint8_t>(port),
+          static_cast<std::uint8_t>(port >> 8)};
+}
+
+Result<std::pair<std::uint8_t, std::uint16_t>> DecodeHello(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() != kHelloSize || payload[0] != 'I' ||
+      payload[1] != 'P' || payload[2] != 'C') {
+    return Status(ProtocolError("malformed IPC HELLO"));
+  }
+  const std::uint16_t port = static_cast<std::uint16_t>(payload[4]) |
+                             static_cast<std::uint16_t>(payload[5]) << 8;
+  return std::make_pair(payload[3], port);
+}
+
+}  // namespace
+
+IpcComChannel::~IpcComChannel() {
+  Close();
+  DrainAsync();
+}
+
+Status IpcComChannel::SendMessage(std::span<const std::uint8_t> message) {
+  return port_->SendTo(peer_, message);
+}
+
+Result<ByteBuffer> IpcComChannel::ReceiveMessage(Duration timeout) {
+  for (;;) {
+    auto dgram = port_->RecvFor(timeout);
+    if (!dgram.has_value()) {
+      return Status(DeadlineExceededError("IPC receive timed out"));
+    }
+    if (dgram->from != peer_) continue;  // stray datagram: not our peer
+    return ByteBuffer(std::move(dgram->payload));
+  }
+}
+
+void IpcComChannel::Close() { port_->Close(); }
+
+Status IpcComManager::Listen() {
+  COOL_ASSIGN_OR_RETURN(hello_port_, net_->OpenPort(addr_));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ComChannel>> IpcComManager::OpenChannel(
+    const sim::Address& remote, const qos::QoSSpec& qos) {
+  if (!qos.empty()) {
+    return Status(
+        UnsupportedError("ipc transport cannot satisfy a QoS specification"));
+  }
+  const std::uint16_t local_port = AllocIpcPort();
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::DatagramPort> port,
+                        net_->OpenPort({addr_.host, local_port}));
+
+  // Chorus IPC is reliable; our HELLO still retries a few times so a
+  // mis-configured lossy link fails loudly instead of hanging.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    COOL_RETURN_IF_ERROR(
+        port->SendTo(remote, EncodeHello(kHello, local_port)));
+    auto reply = port->RecvFor(milliseconds(250));
+    if (!reply.has_value()) continue;
+    COOL_ASSIGN_OR_RETURN(auto decoded, DecodeHello(reply->payload));
+    const auto& [kind, peer_port] = decoded;
+    if (kind != kHelloAck) continue;
+    return std::unique_ptr<ComChannel>(std::make_unique<IpcComChannel>(
+        std::move(port), sim::Address{remote.host, peer_port}));
+  }
+  return Status(UnavailableError("IPC handshake failed: " +
+                                 remote.ToString() + " not answering"));
+}
+
+Result<std::unique_ptr<ComChannel>> IpcComManager::AcceptChannel() {
+  if (hello_port_ == nullptr) {
+    return Status(FailedPreconditionError("manager is not listening"));
+  }
+  for (;;) {
+    auto dgram = hello_port_->Recv();
+    if (!dgram.has_value()) {
+      return Status(UnavailableError("IPC manager closed"));
+    }
+    auto decoded = DecodeHello(dgram->payload);
+    if (!decoded.ok() || decoded->first != kHello) continue;
+
+    const std::uint16_t channel_port = AllocIpcPort();
+    COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::DatagramPort> port,
+                          net_->OpenPort({addr_.host, channel_port}));
+    const sim::Address peer{dgram->from.host, decoded->second};
+    COOL_RETURN_IF_ERROR(
+        port->SendTo(peer, EncodeHello(kHelloAck, channel_port)));
+    return std::unique_ptr<ComChannel>(
+        std::make_unique<IpcComChannel>(std::move(port), peer));
+  }
+}
+
+void IpcComManager::Close() {
+  if (hello_port_ != nullptr) hello_port_->Close();
+}
+
+}  // namespace cool::transport

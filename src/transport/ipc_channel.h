@@ -1,0 +1,57 @@
+// Chorus-IPC-like transport: message-oriented, connectionless at the wire
+// but presented as channels after a two-datagram HELLO handshake. Mirrors
+// the second transport COOL supports on ChorusOS ("The supported transport
+// layer protocols are TCP/IP and Chorus IPC"). Chorus IPC is reliable
+// kernel IPC; accordingly this transport must only be deployed on links
+// configured without loss (asserted at channel setup).
+#pragma once
+
+#include <mutex>
+
+#include "sim/network.h"
+#include "transport/com_channel.h"
+
+namespace cool::transport {
+
+class IpcComChannel : public ComChannel {
+ public:
+  IpcComChannel(std::unique_ptr<sim::DatagramPort> port, sim::Address peer)
+      : port_(std::move(port)), peer_(std::move(peer)) {}
+  ~IpcComChannel() override;
+
+  std::string_view protocol() const override { return "ipc"; }
+
+  Status SendMessage(std::span<const std::uint8_t> message) override;
+  Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
+  void Close() override;
+
+  const sim::Address& peer() const noexcept { return peer_; }
+
+ private:
+  std::unique_ptr<sim::DatagramPort> port_;
+  sim::Address peer_;
+};
+
+class IpcComManager : public ComManager {
+ public:
+  IpcComManager(sim::Network* net, sim::Address listen_addr)
+      : net_(net), addr_(std::move(listen_addr)) {}
+
+  std::string_view protocol() const override { return "ipc"; }
+
+  Status Listen();
+
+  Result<std::unique_ptr<ComChannel>> OpenChannel(
+      const sim::Address& remote, const qos::QoSSpec& qos) override;
+  Result<std::unique_ptr<ComChannel>> AcceptChannel() override;
+  void Close() override;
+
+  const sim::Address& address() const noexcept { return addr_; }
+
+ private:
+  sim::Network* net_;
+  sim::Address addr_;
+  std::unique_ptr<sim::DatagramPort> hello_port_;
+};
+
+}  // namespace cool::transport

@@ -1,0 +1,104 @@
+#include "transport/tcp_channel.h"
+
+namespace cool::transport {
+
+void TcpBuffer::Append(std::span<const std::uint8_t> bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+void TcpBuffer::Compact() {
+  if (consumed_ == 0) return;
+  data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+Result<std::optional<std::vector<std::uint8_t>>> TcpBuffer::NextMessage() {
+  if (buffered_bytes() < 4) return std::optional<std::vector<std::uint8_t>>{};
+  const std::uint8_t* p = data_.data() + consumed_;
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            static_cast<std::uint32_t>(p[1]) << 8 |
+                            static_cast<std::uint32_t>(p[2]) << 16 |
+                            static_cast<std::uint32_t>(p[3]) << 24;
+  if (len > kMaxMessage) {
+    return Status(ProtocolError("message length exceeds limit"));
+  }
+  if (buffered_bytes() < 4 + static_cast<std::size_t>(len)) {
+    return std::optional<std::vector<std::uint8_t>>{};
+  }
+  std::vector<std::uint8_t> msg(p + 4, p + 4 + len);
+  consumed_ += 4 + len;
+  // Keep the buffer from growing without bound on long-lived channels.
+  if (consumed_ > 64 * 1024) Compact();
+  return std::optional<std::vector<std::uint8_t>>{std::move(msg)};
+}
+
+TcpComChannel::~TcpComChannel() {
+  Close();
+  DrainAsync();
+}
+
+Status TcpComChannel::SendMessage(std::span<const std::uint8_t> message) {
+  const std::uint32_t len = static_cast<std::uint32_t>(message.size());
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 24)};
+  std::lock_guard lock(tx_mu_);
+  COOL_RETURN_IF_ERROR(socket_->Send(prefix));
+  return socket_->Send(message);
+}
+
+Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
+  const TimePoint deadline = Now() + timeout;
+  std::lock_guard lock(rx_mu_);
+  for (;;) {
+    COOL_ASSIGN_OR_RETURN(auto maybe_msg, rx_buffer_.NextMessage());
+    if (maybe_msg.has_value()) {
+      return ByteBuffer(std::move(*maybe_msg));
+    }
+    const Duration remaining = deadline - Now();
+    if (remaining <= Duration::zero()) {
+      return Status(DeadlineExceededError("receive timed out"));
+    }
+    std::uint8_t chunk[16 * 1024];
+    COOL_ASSIGN_OR_RETURN(std::size_t n, socket_->RecvFor(chunk, remaining));
+    rx_buffer_.Append({chunk, n});
+  }
+}
+
+void TcpComChannel::Close() { socket_->Close(); }
+
+Status TcpComManager::Listen() {
+  COOL_ASSIGN_OR_RETURN(listener_, net_->Listen(addr_));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ComChannel>> TcpComManager::OpenChannel(
+    const sim::Address& remote, const qos::QoSSpec& qos) {
+  if (!qos.empty()) {
+    // Paper §4.3: TCP does not implement setQoSParameter; a QoS-bearing
+    // binding cannot be opened over it.
+    return Status(
+        UnsupportedError("tcp transport cannot satisfy a QoS specification"));
+  }
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> socket,
+                        net_->Connect(addr_.host, remote));
+  return std::unique_ptr<ComChannel>(
+      std::make_unique<TcpComChannel>(std::move(socket)));
+}
+
+Result<std::unique_ptr<ComChannel>> TcpComManager::AcceptChannel() {
+  if (listener_ == nullptr) {
+    return Status(FailedPreconditionError("manager is not listening"));
+  }
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> socket,
+                        listener_->Accept());
+  return std::unique_ptr<ComChannel>(
+      std::make_unique<TcpComChannel>(std::move(socket)));
+}
+
+void TcpComManager::Close() {
+  if (listener_ != nullptr) listener_->Close();
+}
+
+}  // namespace cool::transport

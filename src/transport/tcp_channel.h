@@ -1,0 +1,79 @@
+// TCP transport under the generic transport layer. `TcpBuffer` is the
+// `_TcpBuffer` of the paper's Fig. 8 ("the TCP/IP implementation needs to
+// handle buffer management"): it reassembles length-prefixed messages from
+// the byte stream. Plain TCP offers no QoS — SetQoSParameter keeps the base
+// class's refusal, exactly the paper's point.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sim/network.h"
+#include "transport/com_channel.h"
+
+namespace cool::transport {
+
+class TcpBuffer {
+ public:
+  // Feeds raw stream octets into the reassembly buffer.
+  void Append(std::span<const std::uint8_t> bytes);
+
+  // Extracts the next complete message, or nullopt if more stream data is
+  // needed. Fails with kProtocolError on an implausible length prefix.
+  Result<std::optional<std::vector<std::uint8_t>>> NextMessage();
+
+  std::size_t buffered_bytes() const noexcept { return data_.size() - consumed_; }
+
+  static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
+
+ private:
+  void Compact();
+
+  std::vector<std::uint8_t> data_;
+  std::size_t consumed_ = 0;
+};
+
+class TcpComChannel : public ComChannel {
+ public:
+  explicit TcpComChannel(std::unique_ptr<sim::StreamSocket> socket)
+      : socket_(std::move(socket)) {}
+  ~TcpComChannel() override;
+
+  std::string_view protocol() const override { return "tcp"; }
+
+  Status SendMessage(std::span<const std::uint8_t> message) override;
+  Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<sim::StreamSocket> socket_;
+  std::mutex tx_mu_;
+  std::mutex rx_mu_;
+  TcpBuffer rx_buffer_;
+};
+
+class TcpComManager : public ComManager {
+ public:
+  // Passive address; Listen() must be called before AcceptChannel.
+  TcpComManager(sim::Network* net, sim::Address listen_addr)
+      : net_(net), addr_(std::move(listen_addr)) {}
+
+  std::string_view protocol() const override { return "tcp"; }
+
+  Status Listen();
+
+  Result<std::unique_ptr<ComChannel>> OpenChannel(
+      const sim::Address& remote, const qos::QoSSpec& qos) override;
+  Result<std::unique_ptr<ComChannel>> AcceptChannel() override;
+  void Close() override;
+
+  const sim::Address& address() const noexcept { return addr_; }
+
+ private:
+  sim::Network* net_;
+  sim::Address addr_;
+  std::unique_ptr<sim::Listener> listener_;
+};
+
+}  // namespace cool::transport

@@ -1,0 +1,111 @@
+// CDR alignment rules: every primitive is aligned to its natural size
+// relative to the start of the message (CORBA 2.0 §12.3). These tests pin
+// the padding bytes and the base_offset mechanism GIOP relies on.
+#include <gtest/gtest.h>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+
+namespace cool::cdr {
+namespace {
+
+TEST(CdrAlignmentTest, ShortAfterOctetPadsOneByte) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(0xFF);
+  enc.PutShort(0x0102);
+  // 1 octet + 1 pad + 2 short
+  EXPECT_EQ(enc.buffer().size(), 4u);
+  EXPECT_EQ(enc.buffer().data()[1], 0);  // padding is zeroed
+}
+
+TEST(CdrAlignmentTest, LongAfterOctetPadsThreeBytes) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(1);
+  enc.PutLong(2);
+  EXPECT_EQ(enc.buffer().size(), 8u);
+}
+
+TEST(CdrAlignmentTest, LongLongAligumentIsEight) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(1);
+  enc.PutLongLong(2);
+  EXPECT_EQ(enc.buffer().size(), 16u);  // 1 + 7 pad + 8
+}
+
+TEST(CdrAlignmentTest, AlignedValueAddsNoPadding) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(1);
+  enc.PutULong(2);
+  EXPECT_EQ(enc.buffer().size(), 8u);
+}
+
+TEST(CdrAlignmentTest, DecoderSkipsSamePadding) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(9);
+  enc.PutLong(-5);
+  enc.PutOctet(7);
+  enc.PutDouble(1.5);
+
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(*dec.GetOctet(), 9);
+  EXPECT_EQ(*dec.GetLong(), -5);
+  EXPECT_EQ(*dec.GetOctet(), 7);
+  EXPECT_EQ(*dec.GetDouble(), 1.5);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CdrAlignmentTest, BaseOffsetShiftsAlignment) {
+  // Simulates encoding a body that starts 12 octets into the message (the
+  // GIOP header): alignment is message-relative, not buffer-relative.
+  Encoder enc(ByteOrder::kLittleEndian, /*base_offset=*/12);
+  enc.PutULong(1);  // offset 12 is 4-aligned: no padding
+  EXPECT_EQ(enc.buffer().size(), 4u);
+
+  Encoder enc2(ByteOrder::kLittleEndian, /*base_offset=*/13);
+  enc2.PutULong(1);  // offset 13 -> pad 3
+  EXPECT_EQ(enc2.buffer().size(), 7u);
+
+  Decoder dec(enc2.buffer().view(), ByteOrder::kLittleEndian,
+              /*base_offset=*/13);
+  EXPECT_EQ(*dec.GetULong(), 1u);
+}
+
+TEST(CdrAlignmentTest, BaseOffsetEightForLongLong) {
+  Encoder enc(ByteOrder::kLittleEndian, /*base_offset=*/4);
+  enc.PutLongLong(7);  // offset 4 -> pad to 8
+  EXPECT_EQ(enc.buffer().size(), 12u);
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian, 4);
+  EXPECT_EQ(*dec.GetLongLong(), 7);
+}
+
+TEST(CdrAlignmentTest, ExplicitAlignMatchesEncoderAndDecoder) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(1);
+  enc.Align(8);
+  enc.PutOctet(2);
+  EXPECT_EQ(enc.buffer().size(), 9u);
+
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(*dec.GetOctet(), 1);
+  ASSERT_TRUE(dec.Align(8).ok());
+  EXPECT_EQ(*dec.GetOctet(), 2);
+}
+
+TEST(CdrAlignmentTest, OffsetTracksLogicalPosition) {
+  Encoder enc(ByteOrder::kLittleEndian, 12);
+  EXPECT_EQ(enc.offset(), 12u);
+  enc.PutULong(5);
+  EXPECT_EQ(enc.offset(), 16u);
+}
+
+TEST(CdrAlignmentTest, AlignPastEndFailsInDecoder) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(1);
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(*dec.GetOctet(), 1);
+  // At offset 1 with nothing left, aligning to 8 would need 7 pad octets.
+  EXPECT_EQ(dec.Align(8).code(), ErrorCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace cool::cdr

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cdr/decoder.h"
+#include "cdr/encoder.h"
+#include "common/rng.h"
+
+namespace cool::cdr {
+namespace {
+
+using corba::Octet;
+
+// Round-trip of every primitive, parameterized over both byte orders —
+// CDR receivers must handle either, selected by the GIOP byte_order flag.
+class CdrRoundTripTest : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(CdrRoundTripTest, Primitives) {
+  Encoder enc(GetParam());
+  enc.PutBoolean(true);
+  enc.PutBoolean(false);
+  enc.PutOctet(0xAB);
+  enc.PutChar('Z');
+  enc.PutShort(-1234);
+  enc.PutUShort(54321);
+  enc.PutLong(-123456789);
+  enc.PutULong(3456789012u);
+  enc.PutLongLong(-1234567890123456789LL);
+  enc.PutULongLong(12345678901234567890ULL);
+  enc.PutFloat(3.25f);
+  enc.PutDouble(-2.5e300);
+
+  Decoder dec(enc.buffer().view(), GetParam());
+  EXPECT_EQ(*dec.GetBoolean(), true);
+  EXPECT_EQ(*dec.GetBoolean(), false);
+  EXPECT_EQ(*dec.GetOctet(), 0xAB);
+  EXPECT_EQ(*dec.GetChar(), 'Z');
+  EXPECT_EQ(*dec.GetShort(), -1234);
+  EXPECT_EQ(*dec.GetUShort(), 54321);
+  EXPECT_EQ(*dec.GetLong(), -123456789);
+  EXPECT_EQ(*dec.GetULong(), 3456789012u);
+  EXPECT_EQ(*dec.GetLongLong(), -1234567890123456789LL);
+  EXPECT_EQ(*dec.GetULongLong(), 12345678901234567890ULL);
+  EXPECT_EQ(*dec.GetFloat(), 3.25f);
+  EXPECT_EQ(*dec.GetDouble(), -2.5e300);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST_P(CdrRoundTripTest, ExtremeValues) {
+  Encoder enc(GetParam());
+  enc.PutLong(std::numeric_limits<corba::Long>::min());
+  enc.PutLong(std::numeric_limits<corba::Long>::max());
+  enc.PutULong(std::numeric_limits<corba::ULong>::max());
+  enc.PutLongLong(std::numeric_limits<corba::LongLong>::min());
+  enc.PutDouble(std::numeric_limits<corba::Double>::infinity());
+  enc.PutFloat(-0.0f);
+
+  Decoder dec(enc.buffer().view(), GetParam());
+  EXPECT_EQ(*dec.GetLong(), std::numeric_limits<corba::Long>::min());
+  EXPECT_EQ(*dec.GetLong(), std::numeric_limits<corba::Long>::max());
+  EXPECT_EQ(*dec.GetULong(), std::numeric_limits<corba::ULong>::max());
+  EXPECT_EQ(*dec.GetLongLong(), std::numeric_limits<corba::LongLong>::min());
+  EXPECT_EQ(*dec.GetDouble(),
+            std::numeric_limits<corba::Double>::infinity());
+  const corba::Float f = *dec.GetFloat();
+  EXPECT_EQ(f, 0.0f);
+  EXPECT_TRUE(std::signbit(f));
+}
+
+TEST_P(CdrRoundTripTest, Strings) {
+  Encoder enc(GetParam());
+  enc.PutString("");
+  enc.PutString("hello world");
+  enc.PutString(std::string(1000, 'x'));
+
+  Decoder dec(enc.buffer().view(), GetParam());
+  EXPECT_EQ(*dec.GetString(), "");
+  EXPECT_EQ(*dec.GetString(), "hello world");
+  EXPECT_EQ(dec.GetString()->size(), 1000u);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST_P(CdrRoundTripTest, OctetSequences) {
+  Encoder enc(GetParam());
+  enc.PutOctetSeq(corba::OctetSeq{});
+  enc.PutOctetSeq(corba::OctetSeq{1, 2, 3});
+
+  Decoder dec(enc.buffer().view(), GetParam());
+  EXPECT_TRUE(dec.GetOctetSeq()->empty());
+  EXPECT_EQ(*dec.GetOctetSeq(), (corba::OctetSeq{1, 2, 3}));
+}
+
+TEST_P(CdrRoundTripTest, RandomizedMixedRoundTrip) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    Encoder enc(GetParam());
+    std::vector<corba::LongLong> values;
+    std::vector<int> kinds;
+    for (int i = 0; i < 20; ++i) {
+      const int kind = static_cast<int>(rng.NextBelow(4));
+      kinds.push_back(kind);
+      const auto v = static_cast<corba::LongLong>(rng.NextU64());
+      values.push_back(v);
+      switch (kind) {
+        case 0: enc.PutOctet(static_cast<Octet>(v)); break;
+        case 1: enc.PutShort(static_cast<corba::Short>(v)); break;
+        case 2: enc.PutLong(static_cast<corba::Long>(v)); break;
+        case 3: enc.PutLongLong(v); break;
+      }
+    }
+    Decoder dec(enc.buffer().view(), GetParam());
+    for (int i = 0; i < 20; ++i) {
+      switch (kinds[static_cast<std::size_t>(i)]) {
+        case 0:
+          EXPECT_EQ(*dec.GetOctet(),
+                    static_cast<Octet>(values[static_cast<std::size_t>(i)]));
+          break;
+        case 1:
+          EXPECT_EQ(*dec.GetShort(),
+                    static_cast<corba::Short>(
+                        values[static_cast<std::size_t>(i)]));
+          break;
+        case 2:
+          EXPECT_EQ(*dec.GetLong(),
+                    static_cast<corba::Long>(
+                        values[static_cast<std::size_t>(i)]));
+          break;
+        case 3:
+          EXPECT_EQ(*dec.GetLongLong(), values[static_cast<std::size_t>(i)]);
+          break;
+      }
+    }
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, CdrRoundTripTest,
+                         ::testing::Values(ByteOrder::kLittleEndian,
+                                           ByteOrder::kBigEndian),
+                         [](const auto& param_info) {
+                           return param_info.param == ByteOrder::kLittleEndian
+                                      ? "LittleEndian"
+                                      : "BigEndian";
+                         });
+
+TEST(CdrWireFormatTest, LittleEndianLayout) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(0x01020304u);
+  ASSERT_EQ(enc.buffer().size(), 4u);
+  EXPECT_EQ(enc.buffer().data()[0], 0x04);
+  EXPECT_EQ(enc.buffer().data()[3], 0x01);
+}
+
+TEST(CdrWireFormatTest, BigEndianLayout) {
+  Encoder enc(ByteOrder::kBigEndian);
+  enc.PutULong(0x01020304u);
+  ASSERT_EQ(enc.buffer().size(), 4u);
+  EXPECT_EQ(enc.buffer().data()[0], 0x01);
+  EXPECT_EQ(enc.buffer().data()[3], 0x04);
+}
+
+TEST(CdrWireFormatTest, StringIncludesNulAndLength) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutString("ab");
+  // length 3 (incl. NUL) + 'a' 'b' '\0'
+  ASSERT_EQ(enc.buffer().size(), 7u);
+  EXPECT_EQ(enc.buffer().data()[0], 3);
+  EXPECT_EQ(enc.buffer().data()[4], 'a');
+  EXPECT_EQ(enc.buffer().data()[6], 0);
+}
+
+TEST(CdrErrorTest, TruncatedIntegralFails) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(1);
+  Decoder dec(enc.buffer().view().subspan(0, 3), ByteOrder::kLittleEndian);
+  EXPECT_EQ(dec.GetULong().status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(CdrErrorTest, StringWithoutNulFails) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(3);
+  enc.PutRaw(std::array<Octet, 3>{'a', 'b', 'c'});  // no NUL
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(dec.GetString().status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(CdrErrorTest, ZeroLengthStringIsInvalidCdr) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(0);
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(dec.GetString().status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(CdrErrorTest, BooleanOutOfRangeFails) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutOctet(2);
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(dec.GetBoolean().status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(CdrErrorTest, OctetSeqLengthBeyondBufferFails) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(1000);  // claims 1000 octets, provides none
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  EXPECT_EQ(dec.GetOctetSeq().status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(CdrErrorTest, CrossEndianMismatchStillDecodesNumbers) {
+  // Writing LE and reading BE is not an error CDR can detect — the value
+  // is simply byte-swapped. This documents (and pins) that behaviour.
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(0x01020304u);
+  Decoder dec(enc.buffer().view(), ByteOrder::kBigEndian);
+  EXPECT_EQ(*dec.GetULong(), 0x04030201u);
+}
+
+}  // namespace
+}  // namespace cool::cdr

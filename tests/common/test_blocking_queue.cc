@@ -1,0 +1,117 @@
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cool {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const Stopwatch sw;
+  EXPECT_EQ(q.PopFor(milliseconds(30)), std::nullopt);
+  EXPECT_GE(sw.Elapsed(), milliseconds(25));
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenSignals) {
+  BlockingQueue<int> q;
+  q.Push(5);
+  q.Close();
+  EXPECT_FALSE(q.Push(6));  // rejected after close
+  EXPECT_EQ(q.Pop(), 5);    // drains existing
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::thread popper([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.Close();
+  popper.join();
+}
+
+TEST(BlockingQueueTest, BoundedPushBlocksUntilSpace) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+
+  std::thread pusher([&] { EXPECT_TRUE(q.Push(3)); });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_EQ(q.Pop(), 1);  // frees one slot
+  pusher.join();
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPusher) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread pusher([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.Close();
+  pusher.join();
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 250;
+  BlockingQueue<int> q(16);
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        ASSERT_TRUE(q.Push(p * kItemsEach + i));
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto item = q.Pop();
+        if (!item.has_value()) return;
+        sum += *item;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.Close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  const int total = kProducers * kItemsEach;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+TEST(BlockingQueueTest, MoveOnlyItems) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  ASSERT_TRUE(q.Push(std::make_unique<int>(11)));
+  auto item = q.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 11);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,117 @@
+#include "common/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace cool {
+namespace {
+
+TEST(ByteBufferTest, StartsEmpty) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, AppendAndRead) {
+  ByteBuffer b;
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  b.Append(data);
+  EXPECT_EQ(b.size(), 4u);
+
+  std::uint8_t out[4] = {};
+  ASSERT_TRUE(b.Read(out).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, ReadPastEndFailsWithoutConsuming) {
+  ByteBuffer b;
+  b.AppendByte(7);
+  std::uint8_t out[2];
+  EXPECT_EQ(b.Read(out).code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(b.remaining(), 1u);  // nothing consumed
+}
+
+TEST(ByteBufferTest, PartialReadsAdvanceCursor) {
+  ByteBuffer b = ByteBuffer::FromString("abcdef");
+  std::uint8_t out[2];
+  ASSERT_TRUE(b.Read(out).ok());
+  EXPECT_EQ(out[0], 'a');
+  ASSERT_TRUE(b.Read(out).ok());
+  EXPECT_EQ(out[0], 'c');
+  EXPECT_EQ(b.remaining(), 2u);
+}
+
+TEST(ByteBufferTest, SkipAndSetReadPos) {
+  ByteBuffer b = ByteBuffer::FromString("hello");
+  ASSERT_TRUE(b.Skip(3).ok());
+  EXPECT_EQ(b.remaining(), 2u);
+  b.set_read_pos(0);
+  EXPECT_EQ(b.remaining(), 5u);
+  EXPECT_EQ(b.Skip(6).code(), ErrorCode::kProtocolError);
+}
+
+TEST(ByteBufferTest, WriteAtPatchesInPlace) {
+  ByteBuffer b;
+  b.AppendZeros(8);
+  const std::uint8_t patch[] = {0xAA, 0xBB};
+  ASSERT_TRUE(b.WriteAt(3, patch).ok());
+  EXPECT_EQ(b.data()[3], 0xAA);
+  EXPECT_EQ(b.data()[4], 0xBB);
+  EXPECT_EQ(b.data()[5], 0);
+}
+
+TEST(ByteBufferTest, WriteAtOutOfRangeFails) {
+  ByteBuffer b;
+  b.AppendZeros(4);
+  const std::uint8_t patch[] = {1, 2, 3};
+  EXPECT_EQ(b.WriteAt(2, patch).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ByteBufferTest, AppendZerosWritesZeros) {
+  ByteBuffer b;
+  b.AppendByte(9);
+  b.AppendZeros(3);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.data()[1], 0);
+  EXPECT_EQ(b.data()[3], 0);
+}
+
+TEST(ByteBufferTest, RoundTripString) {
+  ByteBuffer b = ByteBuffer::FromString("cool orb");
+  EXPECT_EQ(b.ToString(), "cool orb");
+}
+
+TEST(ByteBufferTest, EqualityComparesContents) {
+  EXPECT_EQ(ByteBuffer::FromString("x"), ByteBuffer::FromString("x"));
+  EXPECT_FALSE(ByteBuffer::FromString("x") == ByteBuffer::FromString("y"));
+}
+
+TEST(ByteBufferTest, HexDumpTruncates) {
+  ByteBuffer b;
+  for (int i = 0; i < 100; ++i) b.AppendByte(0xAB);
+  const std::string dump = b.HexDump(4);
+  EXPECT_NE(dump.find("ab ab ab ab"), std::string::npos);
+  EXPECT_NE(dump.find("..."), std::string::npos);
+}
+
+TEST(ByteBufferTest, ClearResetsEverything) {
+  ByteBuffer b = ByteBuffer::FromString("data");
+  std::uint8_t out[2];
+  ASSERT_TRUE(b.Read(out).ok());
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.read_pos(), 0u);
+}
+
+TEST(ByteBufferTest, UnreadViewTracksCursor) {
+  ByteBuffer b = ByteBuffer::FromString("abcd");
+  ASSERT_TRUE(b.Skip(1).ok());
+  auto view = b.unread();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 'b');
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,55 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cool {
+namespace {
+
+TEST(ClockTest, ConversionsAreConsistent) {
+  const Duration d = milliseconds(1500);
+  EXPECT_DOUBLE_EQ(ToSeconds(d), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(d), 1500.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d), 1'500'000.0);
+}
+
+TEST(ClockTest, NowIsMonotonic) {
+  const TimePoint a = Now();
+  const TimePoint b = Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, PreciseSleepZeroAndNegativeReturnImmediately) {
+  const Stopwatch sw;
+  PreciseSleep(Duration::zero());
+  PreciseSleep(milliseconds(-5));
+  EXPECT_LT(sw.Elapsed(), milliseconds(5));
+}
+
+TEST(ClockTest, PreciseSleepShortDurationsAreAccurate) {
+  // Sub-50us sleeps busy-wait; they must not undershoot.
+  for (const auto target : {microseconds(10), microseconds(40)}) {
+    const Stopwatch sw;
+    PreciseSleep(target);
+    EXPECT_GE(sw.Elapsed(), target);
+    EXPECT_LT(sw.Elapsed(), target + milliseconds(5));
+  }
+}
+
+TEST(ClockTest, PreciseSleepLongDurationNeverUndershoots) {
+  const Duration target = milliseconds(20);
+  const Stopwatch sw;
+  PreciseSleep(target);
+  EXPECT_GE(sw.Elapsed(), target);
+}
+
+TEST(ClockTest, StopwatchResets) {
+  Stopwatch sw;
+  PreciseSleep(milliseconds(10));
+  EXPECT_GE(sw.Elapsed(), milliseconds(9));
+  sw.Reset();
+  EXPECT_LT(sw.Elapsed(), milliseconds(5));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,131 @@
+#include "common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace cool {
+namespace {
+
+struct Node {
+  explicit Node(int v) : value(v) {}
+  int value;
+  DLink link;
+};
+
+using NodeList = DList<Node, &Node::link>;
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  NodeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushBackPreservesOrder) {
+  NodeList list;
+  Node a(1), b(2), c(3);
+  list.PushBack(a);
+  list.PushBack(b);
+  list.PushBack(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Front()->value, 1);
+  EXPECT_EQ(list.Back()->value, 3);
+
+  std::vector<int> seen;
+  for (Node& n : list) seen.push_back(n.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  NodeList list;
+  Node a(1), b(2);
+  list.PushFront(a);
+  list.PushFront(b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+}
+
+TEST(IntrusiveListTest, RemoveMiddleElement) {
+  NodeList list;
+  Node a(1), b(2), c(3);
+  list.PushBack(a);
+  list.PushBack(b);
+  list.PushBack(c);
+  NodeList::Remove(b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(NodeList::IsLinked(b));
+  std::vector<int> seen;
+  for (Node& n : list) seen.push_back(n.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveListTest, DestructionUnlinksAutomatically) {
+  NodeList list;
+  Node a(1);
+  {
+    Node temp(2);
+    list.PushBack(a);
+    list.PushBack(temp);
+    EXPECT_EQ(list.size(), 2u);
+  }  // temp destroyed -> unlinked
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.Front()->value, 1);
+}
+
+TEST(IntrusiveListTest, PopFrontReturnsInOrder) {
+  NodeList list;
+  Node a(1), b(2);
+  list.PushBack(a);
+  list.PushBack(b);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront(), nullptr);
+  EXPECT_FALSE(NodeList::IsLinked(a));
+}
+
+TEST(IntrusiveListTest, UnlinkIsIdempotent) {
+  Node a(1);
+  a.link.Unlink();  // never linked: no-op
+  NodeList list;
+  list.PushBack(a);
+  NodeList::Remove(a);
+  NodeList::Remove(a);  // second remove: no-op
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, ElementCanMoveBetweenLists) {
+  NodeList list1;
+  NodeList list2;
+  Node a(1);
+  list1.PushBack(a);
+  NodeList::Remove(a);
+  list2.PushBack(a);
+  EXPECT_TRUE(list1.empty());
+  EXPECT_EQ(list2.size(), 1u);
+}
+
+TEST(IntrusiveListTest, ClearUnlinksAll) {
+  NodeList list;
+  Node a(1), b(2);
+  list.PushBack(a);
+  list.PushBack(b);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(NodeList::IsLinked(a));
+  EXPECT_FALSE(NodeList::IsLinked(b));
+}
+
+TEST(IntrusiveListTest, ListDestructionLeavesNodesValid) {
+  Node a(1);
+  {
+    NodeList list;
+    list.PushBack(a);
+  }
+  EXPECT_FALSE(NodeList::IsLinked(a));
+}
+
+}  // namespace
+}  // namespace cool

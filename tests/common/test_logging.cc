@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cool {
+namespace {
+
+// Restores the process-wide level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelGateWorks) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kTrace));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kTrace);
+  EXPECT_TRUE(LogEnabled(LogLevel::kTrace));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, MacroSkipsStreamingWhenDisabled) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  COOL_LOG(kDebug, "test") << "never built: " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  COOL_LOG(kError, "test") << "built once: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingDoesNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 5; ++i) {
+        COOL_LOG(kError, "stress") << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,76 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cool {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // roughly uniform
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++trues;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, ZeroProbabilityNeverTrue) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+  }
+}
+
+}  // namespace
+}  // namespace cool

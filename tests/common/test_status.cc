@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cool {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(NotFoundError("").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("").code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("").code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(CancelledError("").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(ProtocolError("").code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(UnsupportedError("").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreDistinct) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kProtocolError), "PROTOCOL_ERROR");
+  EXPECT_NE(ErrorCodeName(ErrorCode::kNotFound),
+            ErrorCodeName(ErrorCode::kUnavailable));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok_result(7);
+  Result<int> err_result(InternalError("x"));
+  EXPECT_EQ(ok_result.value_or(0), 7);
+  EXPECT_EQ(err_result.value_or(99), 99);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, MacroReturnsEarlyOnError) {
+  auto failing = []() -> Result<int> { return InternalError("boom"); };
+  auto wrapper = [&]() -> Result<int> {
+    COOL_ASSIGN_OR_RETURN(int v, failing());
+    return v + 1;
+  };
+  EXPECT_EQ(wrapper().status().code(), ErrorCode::kInternal);
+
+  auto succeeding = []() -> Result<int> { return 1; };
+  auto wrapper2 = [&]() -> Result<int> {
+    COOL_ASSIGN_OR_RETURN(int v, succeeding());
+    return v + 1;
+  };
+  EXPECT_EQ(*wrapper2(), 2);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto f = [](bool fail) -> Status {
+    COOL_RETURN_IF_ERROR(fail ? InternalError("x") : Status::Ok());
+    return AlreadyExistsError("reached end");
+  };
+  EXPECT_EQ(f(true).code(), ErrorCode::kInternal);
+  EXPECT_EQ(f(false).code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,155 @@
+#include "dacapo/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "dacapo/modules.h"
+
+namespace cool::dacapo {
+namespace {
+
+TEST(MechanismSpecTest, ParamOrFallsBack) {
+  MechanismSpec m;
+  m.name = "irq";
+  m.params["rto_us"] = 5000;
+  EXPECT_EQ(m.ParamOr("rto_us", 1), 5000);
+  EXPECT_EQ(m.ParamOr("missing", 42), 42);
+}
+
+TEST(MechanismSpecTest, ToStringIncludesParams) {
+  MechanismSpec m;
+  m.name = "go_back_n";
+  m.params["window"] = 8;
+  EXPECT_EQ(m.ToString(), "go_back_n(window=8)");
+}
+
+TEST(ModuleGraphSpecTest, SerializeDeserializeRoundTrip) {
+  ModuleGraphSpec spec;
+  MechanismSpec a;
+  a.name = "xor_cipher";
+  a.params["key"] = 123456789;
+  MechanismSpec b;
+  b.name = "go_back_n";
+  b.params["window"] = 16;
+  b.params["rto_us"] = 4000;
+  spec.chain = {a, b};
+
+  auto bytes = spec.Serialize();
+  auto decoded = ModuleGraphSpec::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, spec);
+}
+
+TEST(ModuleGraphSpecTest, EmptyGraphRoundTrips) {
+  ModuleGraphSpec spec;
+  auto decoded = ModuleGraphSpec::Deserialize(spec.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->chain.empty());
+}
+
+TEST(ModuleGraphSpecTest, NegativeParamsSurvive) {
+  ModuleGraphSpec spec;
+  MechanismSpec m;
+  m.name = "xor_cipher";
+  m.params["key"] = -77;
+  spec.chain = {m};
+  auto decoded = ModuleGraphSpec::Deserialize(spec.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->chain[0].params.at("key"), -77);
+}
+
+TEST(ModuleGraphSpecTest, GarbageRejected) {
+  std::vector<corba::Octet> garbage = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3};
+  EXPECT_FALSE(ModuleGraphSpec::Deserialize(garbage).ok());
+}
+
+TEST(ModuleGraphSpecTest, ToStringShowsChainOrder) {
+  ModuleGraphSpec spec;
+  spec.chain.push_back({"crc16", {}});
+  spec.chain.push_back({"irq", {}});
+  EXPECT_EQ(spec.ToString(), "[crc16 -> irq]");
+}
+
+TEST(RegistryTest, BuiltinsPresent) {
+  auto& reg = MechanismRegistry::Global();
+  for (const char* name :
+       {mechanisms::kDummy, mechanisms::kParity, mechanisms::kCrc16,
+        mechanisms::kCrc32, mechanisms::kXorCipher, mechanisms::kSequencer,
+        mechanisms::kIrq, mechanisms::kGoBackN, mechanisms::kRateLimiter}) {
+    EXPECT_NE(reg.Properties(name), nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, PropertiesReflectFunctions) {
+  auto& reg = MechanismRegistry::Global();
+  EXPECT_EQ(reg.Properties(mechanisms::kCrc32)->function,
+            ProtocolFunction::kErrorDetection);
+  EXPECT_EQ(reg.Properties(mechanisms::kIrq)->function,
+            ProtocolFunction::kRetransmission);
+  EXPECT_TRUE(reg.Properties(mechanisms::kIrq)->window_limited);
+  EXPECT_EQ(reg.Properties(mechanisms::kIrq)->window_packets, 1u);
+  EXPECT_TRUE(reg.Properties(mechanisms::kXorCipher)->provides_encryption);
+  EXPECT_TRUE(reg.Properties(mechanisms::kGoBackN)->provides_ordering);
+}
+
+TEST(RegistryTest, UnknownMechanismFails) {
+  auto& reg = MechanismRegistry::Global();
+  EXPECT_EQ(reg.Properties("teleport"), nullptr);
+  MechanismSpec m;
+  m.name = "teleport";
+  EXPECT_EQ(reg.Create(m).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(RegistryTest, CreateAppliesParams) {
+  auto& reg = MechanismRegistry::Global();
+  MechanismSpec m;
+  m.name = mechanisms::kIrq;
+  m.params["rto_us"] = 1234;
+  auto module = reg.Create(m);
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ((*module)->name(), "irq");
+  EXPECT_EQ((*module)->TickInterval(), microseconds(617));  // rto / 2
+}
+
+TEST(RegistryTest, CreateChainInstantiatesAllOrNothing) {
+  auto& reg = MechanismRegistry::Global();
+  ModuleGraphSpec good;
+  good.chain.push_back({mechanisms::kCrc16, {}});
+  good.chain.push_back({mechanisms::kSequencer, {}});
+  auto modules = reg.CreateChain(good);
+  ASSERT_TRUE(modules.ok());
+  EXPECT_EQ(modules->size(), 2u);
+
+  ModuleGraphSpec bad = good;
+  bad.chain.push_back({"bogus", {}});
+  EXPECT_FALSE(reg.CreateChain(bad).ok());
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  auto& reg = MechanismRegistry::Global();
+  const Status s = reg.Register(
+      mechanisms::kDummy, MechanismProperties{},
+      [](const MechanismSpec&) -> Result<std::unique_ptr<Module>> {
+        return Status(InternalError("unused"));
+      });
+  EXPECT_EQ(s.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, CustomMechanismRegistersAndCreates) {
+  auto& reg = MechanismRegistry::Global();
+  MechanismProperties props;
+  props.function = ProtocolFunction::kForwarding;
+  ASSERT_TRUE(reg.Register("test_custom_fwd", props,
+                           [](const MechanismSpec&)
+                               -> Result<std::unique_ptr<Module>> {
+                             return std::unique_ptr<Module>(
+                                 std::make_unique<DummyModule>());
+                           })
+                  .ok());
+  MechanismSpec m;
+  m.name = "test_custom_fwd";
+  EXPECT_TRUE(reg.Create(m).ok());
+  EXPECT_FALSE(reg.Names().empty());
+}
+
+}  // namespace
+}  // namespace cool::dacapo

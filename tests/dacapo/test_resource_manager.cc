@@ -1,0 +1,115 @@
+#include "dacapo/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::dacapo {
+namespace {
+
+ResourceManager::Budget SmallBudget() {
+  ResourceManager::Budget b;
+  b.bandwidth_kbps = 10'000;
+  b.max_connections = 2;
+  b.packet_memory_bytes = 1024;
+  return b;
+}
+
+qos::ProtocolRequirements NeedKbps(corba::ULong kbps) {
+  qos::ProtocolRequirements req;
+  req.min_throughput_kbps = kbps;
+  return req;
+}
+
+TEST(ResourceManagerTest, AdmitsWithinBudget) {
+  ResourceManager mgr(SmallBudget());
+  auto r = mgr.Admit(NeedKbps(6000), 512);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 6000u);
+  EXPECT_EQ(mgr.active_connections(), 1u);
+  EXPECT_EQ(mgr.reserved_memory_bytes(), 512u);
+}
+
+TEST(ResourceManagerTest, BandwidthOversubscriptionRefused) {
+  ResourceManager mgr(SmallBudget());
+  auto r1 = mgr.Admit(NeedKbps(6000), 0);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = mgr.Admit(NeedKbps(6000), 0);
+  EXPECT_EQ(r2.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(mgr.active_connections(), 1u);  // failed admit reserves nothing
+}
+
+TEST(ResourceManagerTest, ConnectionSlotsEnforced) {
+  ResourceManager mgr(SmallBudget());
+  auto r1 = mgr.Admit(NeedKbps(0), 0);
+  auto r2 = mgr.Admit(NeedKbps(0), 0);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(mgr.Admit(NeedKbps(0), 0).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(ResourceManagerTest, MemoryBudgetEnforced) {
+  ResourceManager mgr(SmallBudget());
+  EXPECT_EQ(mgr.Admit(NeedKbps(0), 2048).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(ResourceManagerTest, ReleaseOnDestruction) {
+  ResourceManager mgr(SmallBudget());
+  {
+    auto r = mgr.Admit(NeedKbps(8000), 100);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 8000u);
+  }
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 0u);
+  EXPECT_EQ(mgr.active_connections(), 0u);
+  EXPECT_EQ(mgr.reserved_memory_bytes(), 0u);
+  // Freed capacity is admittable again.
+  EXPECT_TRUE(mgr.Admit(NeedKbps(9000), 0).ok());
+}
+
+TEST(ResourceManagerTest, ExplicitReleaseIsIdempotent) {
+  ResourceManager mgr(SmallBudget());
+  auto r = mgr.Admit(NeedKbps(1000), 0);
+  ASSERT_TRUE(r.ok());
+  r->Release();
+  r->Release();
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 0u);
+  EXPECT_FALSE(r->active());
+}
+
+TEST(ResourceManagerTest, MoveTransfersOwnership) {
+  ResourceManager mgr(SmallBudget());
+  auto r = mgr.Admit(NeedKbps(1000), 0);
+  ASSERT_TRUE(r.ok());
+  ResourceManager::Reservation moved = std::move(r).value();
+  EXPECT_TRUE(moved.active());
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 1000u);
+  moved.Release();
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 0u);
+}
+
+TEST(ResourceManagerTest, MoveAssignReleasesPrevious) {
+  ResourceManager mgr(SmallBudget());
+  auto r1 = mgr.Admit(NeedKbps(4000), 0);
+  auto r2 = mgr.Admit(NeedKbps(5000), 0);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  *r1 = std::move(*r2);  // r1's 4000 released, now holds 5000
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 5000u);
+}
+
+TEST(ResourceManagerTest, BestEffortReservesOnlyASlot) {
+  ResourceManager mgr(SmallBudget());
+  auto r = mgr.Admit(qos::ProtocolRequirements{}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(mgr.reserved_bandwidth_kbps(), 0u);
+  EXPECT_EQ(mgr.active_connections(), 1u);
+}
+
+TEST(ResourceManagerTest, ExactBudgetBoundaryAdmits) {
+  ResourceManager mgr(SmallBudget());
+  EXPECT_TRUE(mgr.Admit(NeedKbps(10'000), 1024).ok());
+}
+
+}  // namespace
+}  // namespace cool::dacapo

@@ -1,0 +1,310 @@
+// Connection management integration: CONFIG handshake, data transfer over
+// stream and datagram transports, NAK paths, reconfiguration, teardown.
+#include "dacapo/session.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cool::dacapo {
+namespace {
+
+sim::LinkProperties QuickLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = microseconds(100);
+  return link;
+}
+
+ModuleGraphSpec GraphOf(std::initializer_list<const char*> names) {
+  ModuleGraphSpec spec;
+  for (const char* n : names) spec.chain.push_back({n, {}});
+  return spec;
+}
+
+struct Rig {
+  explicit Rig(sim::LinkProperties link = QuickLink(),
+               ResourceManager* resources = nullptr)
+      : net(link), acceptor(&net, {"server", 6000}, resources) {
+    EXPECT_TRUE(acceptor.Listen().ok());
+  }
+
+  // Runs Connect and Accept concurrently (both block on the handshake).
+  std::pair<std::unique_ptr<Session>, std::unique_ptr<Session>> Establish(
+      ChannelOptions options,
+      AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue) {
+    Result<std::unique_ptr<Session>> server_side(
+        Status(InternalError("unset")));
+    std::thread accept_thread(
+        [&] { server_side = acceptor.Accept(delivery); });
+    Connector connector(&net, "client");
+    auto client_side = connector.Connect({"server", 6000}, options);
+    accept_thread.join();
+    EXPECT_TRUE(client_side.ok()) << client_side.status();
+    EXPECT_TRUE(server_side.ok()) << server_side.status();
+    if (!client_side.ok() || !server_side.ok()) return {};
+    return {std::move(client_side).value(), std::move(server_side).value()};
+  }
+
+  sim::Network net;
+  Acceptor acceptor;
+};
+
+std::vector<std::uint8_t> Msg(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(SessionTest, EmptyGraphOverStreamDelivers) {
+  Rig rig;
+  ChannelOptions options;
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Send(Msg("hello dacapo")).ok());
+  auto got = server->Receive(seconds(2));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Msg("hello dacapo"));
+
+  // And the reverse direction.
+  ASSERT_TRUE(server->Send(Msg("yo")).ok());
+  auto back = client->Receive(seconds(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Msg("yo"));
+}
+
+TEST(SessionTest, FullGraphOverStream) {
+  Rig rig;
+  ChannelOptions options;
+  options.graph = GraphOf({mechanisms::kXorCipher, mechanisms::kSequencer,
+                           mechanisms::kCrc32});
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(server->graph(), options.graph);  // peer built a matching stack
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client->Send(Msg("msg" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto got = server->Receive(seconds(2));
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, Msg("msg" + std::to_string(i)));
+  }
+}
+
+TEST(SessionTest, DatagramTransportWithArqSurvivesLoss) {
+  sim::LinkProperties lossy = QuickLink();
+  lossy.loss_rate = 0.2;
+  Rig rig(lossy);
+  ChannelOptions options;
+  options.transport = ChannelOptions::Transport::kDatagram;
+  MechanismSpec arq;
+  arq.name = mechanisms::kGoBackN;
+  arq.params["rto_us"] = 3000;
+  options.graph.chain = {arq, {mechanisms::kCrc16, {}}};
+
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+
+  constexpr int kCount = 30;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(client->Send(Msg("p" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto got = server->Receive(seconds(10));
+    ASSERT_TRUE(got.ok()) << "at " << i << ": " << got.status();
+    EXPECT_EQ(*got, Msg("p" + std::to_string(i)));
+  }
+}
+
+TEST(SessionTest, UnknownMechanismIsNakked) {
+  Rig rig;
+  ChannelOptions options;
+  options.graph.chain.push_back({"warp_drive", {}});
+  Result<std::unique_ptr<Session>> server_side(
+      Status(InternalError("unset")));
+  std::thread accept_thread([&] {
+    server_side = rig.acceptor.Accept();
+  });
+  Connector connector(&rig.net, "client");
+  auto client_side = connector.Connect({"server", 6000}, options);
+  accept_thread.join();
+  EXPECT_EQ(client_side.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(server_side.ok());
+}
+
+TEST(SessionTest, AdmissionHookCanRefuse) {
+  Rig rig;
+  rig.acceptor.SetAdmissionHook([](const ModuleGraphSpec& spec) -> Status {
+    if (!spec.chain.empty()) {
+      return ResourceExhaustedError("server refuses configured graphs");
+    }
+    return Status::Ok();
+  });
+
+  ChannelOptions refused;
+  refused.graph = GraphOf({mechanisms::kCrc16});
+  Result<std::unique_ptr<Session>> server_side(
+      Status(InternalError("unset")));
+  std::thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
+  Connector connector(&rig.net, "client");
+  auto client_side = connector.Connect({"server", 6000}, refused);
+  accept_thread.join();
+  EXPECT_EQ(client_side.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(client_side.status().message().find("refuses"),
+            std::string::npos);
+}
+
+TEST(SessionTest, ResourceAdmissionRefusesWhenExhausted) {
+  ResourceManager::Budget budget;
+  budget.max_connections = 64;
+  budget.packet_memory_bytes = 1;  // nothing fits
+  ResourceManager resources(budget);
+  Rig rig(QuickLink(), &resources);
+
+  ChannelOptions options;
+  Result<std::unique_ptr<Session>> server_side(
+      Status(InternalError("unset")));
+  std::thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
+  Connector connector(&rig.net, "client");
+  auto client_side = connector.Connect({"server", 6000}, options);
+  accept_thread.join();
+  EXPECT_EQ(client_side.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(SessionTest, OversizedMessageRejectedLocally) {
+  Rig rig;
+  ChannelOptions options;
+  options.packet_capacity = 128;
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+  std::vector<std::uint8_t> big(256);
+  EXPECT_EQ(client->Send(big).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SessionTest, ReceiveTimesOutQuietChannel) {
+  Rig rig;
+  auto [client, server] = rig.Establish(ChannelOptions{});
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(server->Receive(milliseconds(50)).status().code(),
+            ErrorCode::kDeadlineExceeded);
+}
+
+TEST(SessionTest, StatsCountTraffic) {
+  Rig rig;
+  auto [client, server] = rig.Establish(ChannelOptions{});
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Send(Msg("abcd")).ok());
+  ASSERT_TRUE(server->Receive(seconds(2)).ok());
+  EXPECT_EQ(client->stats().packets_tx, 1u);
+  EXPECT_EQ(client->stats().bytes_tx, 4u);
+  EXPECT_EQ(server->stats().packets_rx, 1u);
+  EXPECT_EQ(server->stats().bytes_rx, 4u);
+  client->ResetStats();
+  EXPECT_EQ(client->stats().packets_tx, 0u);
+}
+
+TEST(SessionTest, ReconfigureSwapsGraphOnBothSides) {
+  Rig rig;
+  ChannelOptions options;
+  options.graph = GraphOf({mechanisms::kCrc16});
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Send(Msg("before")).ok());
+  ASSERT_TRUE(server->Receive(seconds(2)).ok());
+
+  const ModuleGraphSpec new_graph =
+      GraphOf({mechanisms::kXorCipher, mechanisms::kCrc32});
+  ASSERT_TRUE(client->Reconfigure(new_graph).ok());
+  EXPECT_EQ(client->graph(), new_graph);
+
+  // Traffic flows over the rebuilt plane (both sides must have swapped).
+  ASSERT_TRUE(client->Send(Msg("after")).ok());
+  auto got = server->Receive(seconds(2));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Msg("after"));
+  EXPECT_EQ(server->graph(), new_graph);
+}
+
+TEST(SessionTest, ReconfigureOnDatagramTransport) {
+  Rig rig;
+  ChannelOptions options;
+  options.transport = ChannelOptions::Transport::kDatagram;
+  options.graph = GraphOf({mechanisms::kGoBackN});
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+
+  const ModuleGraphSpec new_graph =
+      GraphOf({mechanisms::kGoBackN, mechanisms::kCrc32});
+  ASSERT_TRUE(client->Reconfigure(new_graph).ok());
+  ASSERT_TRUE(client->Send(Msg("post-reconf")).ok());
+  auto got = server->Receive(seconds(5));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Msg("post-reconf"));
+}
+
+TEST(SessionTest, ResponderCannotDriveReconfiguration) {
+  Rig rig;
+  auto [client, server] = rig.Establish(ChannelOptions{});
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(server->Reconfigure(GraphOf({mechanisms::kCrc16})).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, CloseUnblocksPeerReceive) {
+  Rig rig;
+  auto [client, server] = rig.Establish(ChannelOptions{});
+  ASSERT_NE(client, nullptr);
+  std::thread receiver([&] {
+    auto got = server->Receive(seconds(5));
+    EXPECT_FALSE(got.ok());
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  client->Close();
+  receiver.join();
+  // Peer learns about the close via signalling.
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(server->last_error().ok());
+}
+
+TEST(SessionTest, DescribeGraphReportsModuleStats) {
+  sim::LinkProperties lossy = QuickLink();
+  lossy.loss_rate = 0.3;
+  Rig rig(lossy);
+  ChannelOptions options;
+  options.transport = ChannelOptions::Transport::kDatagram;
+  MechanismSpec arq;
+  arq.name = mechanisms::kIrq;
+  arq.params["rto_us"] = 2000;
+  options.graph.chain = {arq};
+
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client->Send(Msg("m" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server->Receive(seconds(10)).ok());
+  }
+
+  const std::vector<std::string> lines = client->DescribeGraph();
+  // app_a, irq, t_datagram — top to bottom.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].starts_with("app_a{tx=10")) << lines[0];
+  EXPECT_TRUE(lines[1].starts_with("irq{retransmissions=")) << lines[1];
+  EXPECT_EQ(lines[2], "t_datagram");
+  // With 30% loss over 10 packets, at least one retransmission is all but
+  // certain (seeded network: deterministic).
+  EXPECT_NE(lines[1], "irq{retransmissions=0}");
+}
+
+TEST(SessionTest, SendAfterCloseFails) {
+  Rig rig;
+  auto [client, server] = rig.Establish(ChannelOptions{});
+  ASSERT_NE(client, nullptr);
+  client->Close();
+  EXPECT_FALSE(client->Send(Msg("zombie")).ok());
+}
+
+}  // namespace
+}  // namespace cool::dacapo

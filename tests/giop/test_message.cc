@@ -1,0 +1,282 @@
+// GIOP wire format: the seven standard messages, the 12-octet header, and
+// the paper's extension — version 9.9 Request carrying qos_params.
+#include "giop/message.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::giop {
+namespace {
+
+corba::OctetSeq Key(std::string_view s) { return {s.begin(), s.end()}; }
+
+RequestHeader SampleRequest() {
+  RequestHeader h;
+  h.request_id = 42;
+  h.response_expected = true;
+  h.object_key = Key("obj-1");
+  h.operation = "render";
+  h.requesting_principal = Key("user");
+  return h;
+}
+
+TEST(GiopHeaderTest, MagicAndLayout) {
+  const ByteBuffer msg = BuildCloseConnection(kGiop10);
+  ASSERT_EQ(msg.size(), kHeaderSize);  // header only
+  EXPECT_EQ(msg.data()[0], 'G');
+  EXPECT_EQ(msg.data()[1], 'I');
+  EXPECT_EQ(msg.data()[2], 'O');
+  EXPECT_EQ(msg.data()[3], 'P');
+  EXPECT_EQ(msg.data()[4], 1);  // major
+  EXPECT_EQ(msg.data()[5], 0);  // minor
+  EXPECT_EQ(msg.data()[7],
+            static_cast<corba::Octet>(MsgType::kCloseConnection));
+}
+
+TEST(GiopHeaderTest, VersionFieldDistinguishesExtension) {
+  // Paper §4.2: "We use the version field in the GIOP message header to
+  // inform the receiver ... whether standard GIOP (major 1, minor 0) or
+  // our QoS extension (major 9, minor 9) is used."
+  const ByteBuffer std_msg = BuildRequest(kGiop10, SampleRequest(), {});
+  const ByteBuffer qos_msg = BuildRequest(kGiopQos, SampleRequest(), {});
+  EXPECT_EQ(std_msg.data()[4], 1);
+  EXPECT_EQ(std_msg.data()[5], 0);
+  EXPECT_EQ(qos_msg.data()[4], 9);
+  EXPECT_EQ(qos_msg.data()[5], 9);
+}
+
+TEST(GiopHeaderTest, MessageSizeMatchesBody) {
+  const ByteBuffer msg = BuildRequest(kGiop10, SampleRequest(), {});
+  auto header = ParseHeader(msg.view());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->message_size, msg.size() - kHeaderSize);
+}
+
+TEST(GiopHeaderTest, BadMagicRejected) {
+  ByteBuffer msg = BuildCloseConnection(kGiop10);
+  msg.data()[0] = 'X';
+  EXPECT_EQ(ParseHeader(msg.view()).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(GiopHeaderTest, TruncatedHeaderRejected) {
+  const ByteBuffer msg = BuildCloseConnection(kGiop10);
+  EXPECT_EQ(ParseHeader(msg.view().subspan(0, 11)).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(GiopHeaderTest, UnknownMessageTypeRejected) {
+  ByteBuffer msg = BuildCloseConnection(kGiop10);
+  msg.data()[7] = 99;
+  EXPECT_EQ(ParseHeader(msg.view()).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(GiopHeaderTest, SizeMismatchRejectedByParseMessage) {
+  ByteBuffer msg = BuildRequest(kGiop10, SampleRequest(), {});
+  msg.AppendByte(0);  // trailing garbage
+  EXPECT_EQ(ParseMessage(msg.view()).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+class RequestRoundTripTest
+    : public ::testing::TestWithParam<cdr::ByteOrder> {};
+
+TEST_P(RequestRoundTripTest, StandardGiop) {
+  const RequestHeader request = SampleRequest();
+  cdr::Encoder args(GetParam(), 0);
+  args.PutLong(7);
+  args.PutString("argument");
+  const ByteBuffer msg =
+      BuildRequest(kGiop10, request, args.buffer().view(), GetParam());
+
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header.message_type, MsgType::kRequest);
+  EXPECT_EQ(parsed->header.version, kGiop10);
+
+  cdr::Decoder dec = parsed->MakeBodyDecoder();
+  auto header = ParseRequestHeader(dec, parsed->header.version);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->request_id, 42u);
+  EXPECT_EQ(header->operation, "render");
+  EXPECT_EQ(header->object_key, Key("obj-1"));
+  EXPECT_TRUE(header->qos_params.empty());
+
+  // Arguments decode from the same position they were spliced at.
+  EXPECT_EQ(*dec.GetLong(), 7);
+  EXPECT_EQ(*dec.GetString(), "argument");
+}
+
+TEST_P(RequestRoundTripTest, ExtendedGiopCarriesQosParams) {
+  RequestHeader request = SampleRequest();
+  request.qos_params = {qos::RequireThroughputKbps(5000, 1000),
+                        qos::RequireLatencyMicros(500, 2000)};
+  cdr::Encoder args(GetParam(), 0);
+  args.PutDouble(1.25);
+  const ByteBuffer msg =
+      BuildRequest(kGiopQos, request, args.buffer().view(), GetParam());
+
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  cdr::Decoder dec = parsed->MakeBodyDecoder();
+  auto header = ParseRequestHeader(dec, parsed->header.version);
+  ASSERT_TRUE(header.ok());
+  ASSERT_EQ(header->qos_params.size(), 2u);
+  EXPECT_EQ(header->qos_params[0], request.qos_params[0]);
+  EXPECT_EQ(header->qos_params[1], request.qos_params[1]);
+  EXPECT_EQ(*dec.GetDouble(), 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, RequestRoundTripTest,
+                         ::testing::Values(cdr::ByteOrder::kLittleEndian,
+                                           cdr::ByteOrder::kBigEndian),
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          cdr::ByteOrder::kLittleEndian
+                                      ? "LittleEndian"
+                                      : "BigEndian";
+                         });
+
+TEST(RequestWireTest, QosParamsOnlyOnWireInVersion99) {
+  // A 1.0 Request must be byte-identical whether or not the header struct
+  // holds qos_params (they are not marshalled): backwards compatibility.
+  RequestHeader with_qos = SampleRequest();
+  with_qos.qos_params = {qos::RequireReliability(2)};
+  const ByteBuffer plain = BuildRequest(kGiop10, SampleRequest(), {});
+  const ByteBuffer still_plain = BuildRequest(kGiop10, with_qos, {});
+  EXPECT_EQ(plain, still_plain);
+
+  const ByteBuffer extended = BuildRequest(kGiopQos, with_qos, {});
+  EXPECT_GT(extended.size(), plain.size());
+}
+
+TEST(RequestWireTest, ExtensionCostsExactlySeqHeaderPlusParams) {
+  // sequence<QoSParameter>: 4-octet count + 16 octets per parameter.
+  RequestHeader h = SampleRequest();
+  const ByteBuffer zero = BuildRequest(kGiopQos, h, {});
+  h.qos_params = {qos::RequireReliability(2)};
+  const ByteBuffer one = BuildRequest(kGiopQos, h, {});
+  h.qos_params.push_back(qos::RequireOrdering(true));
+  const ByteBuffer two = BuildRequest(kGiopQos, h, {});
+  EXPECT_EQ(one.size() - zero.size(), 16u);
+  EXPECT_EQ(two.size() - one.size(), 16u);
+}
+
+TEST(RequestWireTest, ServiceContextRoundTrip) {
+  RequestHeader h = SampleRequest();
+  h.service_context = {{7, {1, 2, 3}}, {9, {}}};
+  const ByteBuffer msg = BuildRequest(kGiop10, h, {});
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  cdr::Decoder dec = parsed->MakeBodyDecoder();
+  auto decoded = ParseRequestHeader(dec, kGiop10);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->service_context, h.service_context);
+}
+
+TEST(ReplyTest, RoundTripAllStatuses) {
+  for (const auto status :
+       {ReplyStatus::kNoException, ReplyStatus::kUserException,
+        ReplyStatus::kSystemException, ReplyStatus::kLocationForward}) {
+    ReplyHeader h;
+    h.request_id = 77;
+    h.reply_status = status;
+    cdr::Encoder body(cdr::NativeOrder(), 0);
+    body.PutULong(123);
+    const ByteBuffer msg = BuildReply(kGiop10, h, body.buffer().view());
+    auto parsed = ParseMessage(msg.view());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->header.message_type, MsgType::kReply);
+    cdr::Decoder dec = parsed->MakeBodyDecoder();
+    auto decoded = ParseReplyHeader(dec);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->request_id, 77u);
+    EXPECT_EQ(decoded->reply_status, status);
+    EXPECT_EQ(*dec.GetULong(), 123u);
+  }
+}
+
+TEST(CancelRequestTest, RoundTrip) {
+  const ByteBuffer msg = BuildCancelRequest(kGiop10, {55});
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header.message_type, MsgType::kCancelRequest);
+  cdr::Decoder dec = parsed->MakeBodyDecoder();
+  auto decoded = ParseCancelRequestHeader(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 55u);
+}
+
+TEST(LocateTest, RequestAndReplyRoundTrip) {
+  LocateRequestHeader req;
+  req.request_id = 3;
+  req.object_key = Key("where");
+  auto parsed = ParseMessage(BuildLocateRequest(kGiop10, req).view());
+  ASSERT_TRUE(parsed.ok());
+  cdr::Decoder dec = parsed->MakeBodyDecoder();
+  auto decoded = ParseLocateRequestHeader(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->object_key, Key("where"));
+
+  LocateReplyHeader reply;
+  reply.request_id = 3;
+  reply.locate_status = LocateStatus::kObjectHere;
+  auto parsed_reply = ParseMessage(BuildLocateReply(kGiop10, reply).view());
+  ASSERT_TRUE(parsed_reply.ok());
+  cdr::Decoder rdec = parsed_reply->MakeBodyDecoder();
+  auto rdecoded = ParseLocateReplyHeader(rdec);
+  ASSERT_TRUE(rdecoded.ok());
+  EXPECT_EQ(rdecoded->locate_status, LocateStatus::kObjectHere);
+}
+
+TEST(MessageTypeTest, AllSevenMessagesBuildAndParse) {
+  // The paper: "OMG's standard GIOP uses seven messages".
+  const ByteBuffer msgs[] = {
+      BuildRequest(kGiop10, SampleRequest(), {}),
+      BuildReply(kGiop10, {}, {}),
+      BuildCancelRequest(kGiop10, {1}),
+      BuildLocateRequest(kGiop10, {2, Key("k")}),
+      BuildLocateReply(kGiop10, {2, LocateStatus::kObjectHere}),
+      BuildCloseConnection(kGiop10),
+      BuildMessageError(kGiop10),
+  };
+  const MsgType kinds[] = {
+      MsgType::kRequest,        MsgType::kReply,
+      MsgType::kCancelRequest,  MsgType::kLocateRequest,
+      MsgType::kLocateReply,    MsgType::kCloseConnection,
+      MsgType::kMessageError,
+  };
+  for (std::size_t i = 0; i < 7; ++i) {
+    auto parsed = ParseMessage(msgs[i].view());
+    ASSERT_TRUE(parsed.ok()) << MsgTypeName(kinds[i]);
+    EXPECT_EQ(parsed->header.message_type, kinds[i]);
+  }
+}
+
+TEST(MessageTypeTest, NamesAreHumanReadable) {
+  EXPECT_EQ(MsgTypeName(MsgType::kRequest), "Request");
+  EXPECT_EQ(MsgTypeName(MsgType::kMessageError), "MessageError");
+}
+
+TEST(VersionTest, KnownVersions) {
+  EXPECT_TRUE(IsKnownVersion(kGiop10));
+  EXPECT_TRUE(IsKnownVersion(kGiopQos));
+  EXPECT_FALSE(IsKnownVersion(Version{2, 0}));
+}
+
+TEST(RequestWireTest, CorruptQosCountRejected) {
+  RequestHeader h = SampleRequest();
+  h.qos_params = {qos::RequireReliability(1)};
+  ByteBuffer msg = BuildRequest(kGiopQos, h, {});
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  // Find and corrupt the qos_params count (last 20 octets are count+param).
+  // Instead of byte surgery, truncate the body: count says 1, params gone.
+  ParsedMessage damaged = *parsed;
+  damaged.body.resize(damaged.body.size() - 8);
+  cdr::Decoder dec(damaged.body, damaged.header.byte_order, kHeaderSize);
+  EXPECT_FALSE(ParseRequestHeader(dec, kGiopQos).ok());
+}
+
+}  // namespace
+}  // namespace cool::giop

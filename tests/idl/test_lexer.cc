@@ -1,0 +1,110 @@
+#include "idl/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::idl {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto tokens = Tokenize("module interface myName _under score9");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "module");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].text, "myName");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = Tokenize("{ } ( ) < > , ; : :: =");
+  ASSERT_TRUE(tokens.ok());
+  const TokenKind expected[] = {
+      TokenKind::kLBrace, TokenKind::kRBrace,    TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kLAngle,    TokenKind::kRAngle,
+      TokenKind::kComma,  TokenKind::kSemicolon, TokenKind::kColon,
+      TokenKind::kScope,  TokenKind::kEquals,    TokenKind::kEof,
+  };
+  ASSERT_EQ(tokens->size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, ScopeIsOneToken) {
+  auto tokens = Tokenize("A::B");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // A :: B eof
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kScope);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = Tokenize("123 0");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntegerLiteral);
+  EXPECT_EQ((*tokens)[0].text, "123");
+  EXPECT_EQ((*tokens)[1].text, "0");
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = Tokenize("module // a comment\nM");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].text, "M");
+  EXPECT_EQ((*tokens)[1].line, 2);
+}
+
+TEST(LexerTest, BlockCommentsSkippedAndLinesCounted) {
+  auto tokens = Tokenize("module /* multi\nline\ncomment */ M");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].text, "M");
+  EXPECT_EQ((*tokens)[1].line, 3);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("module /* oops").ok());
+}
+
+TEST(LexerTest, PreprocessorLinesSkipped) {
+  auto tokens = Tokenize("#include <orb.idl>\nmodule M");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "module");
+}
+
+TEST(LexerTest, StrayCharacterFailsWithLineNumber) {
+  auto tokens = Tokenize("module M\n$");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = Tokenize("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(LexerTest, AllKeywordsRecognized) {
+  for (const char* kw :
+       {"module", "interface", "struct", "enum", "exception", "oneway",
+        "raises", "in", "out", "inout", "void", "boolean", "octet", "char",
+        "short", "long", "unsigned", "float", "double", "string",
+        "sequence"}) {
+    EXPECT_TRUE(IsIdlKeyword(kw)) << kw;
+  }
+  EXPECT_FALSE(IsIdlKeyword("qos"));
+  EXPECT_FALSE(IsIdlKeyword("Module"));  // case sensitive
+}
+
+}  // namespace
+}  // namespace cool::idl

@@ -1,0 +1,257 @@
+#include "idl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::idl {
+namespace {
+
+constexpr const char* kMedia = R"idl(
+module Media {
+  enum Format { GRAY8, RGB24 };
+  struct Frame {
+    long width;
+    long height;
+    Format format;
+    sequence<octet> pixels;
+  };
+  exception NotAvailable { string reason; };
+  interface Source {
+    Frame fetch(in long index) raises (NotAvailable);
+    long count();
+    oneway void prefetch(in long n);
+    void resize(in long w, inout long h, out long area);
+  };
+};
+)idl";
+
+TEST(ParserTest, ParsesFullModule) {
+  auto file = Parse(kMedia);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->modules.size(), 1u);
+  const ModuleDef& m = file->modules[0];
+  EXPECT_EQ(m.name, "Media");
+  ASSERT_EQ(m.enums.size(), 1u);
+  ASSERT_EQ(m.structs.size(), 1u);
+  ASSERT_EQ(m.exceptions.size(), 1u);
+  ASSERT_EQ(m.interfaces.size(), 1u);
+
+  const EnumDef& e = m.enums[0];
+  EXPECT_EQ(e.enumerators, (std::vector<std::string>{"GRAY8", "RGB24"}));
+
+  const StructDef& s = m.structs[0];
+  ASSERT_EQ(s.fields.size(), 4u);
+  EXPECT_EQ(s.fields[2].type.kind, Type::Kind::kNamed);
+  EXPECT_EQ(s.fields[2].type.name, "Format");
+  EXPECT_EQ(s.fields[3].type.kind, Type::Kind::kSequence);
+  EXPECT_EQ(s.fields[3].type.element->kind, Type::Kind::kOctet);
+
+  const InterfaceDef& iface = m.interfaces[0];
+  ASSERT_EQ(iface.operations.size(), 4u);
+  EXPECT_EQ(iface.operations[0].raises,
+            (std::vector<std::string>{"NotAvailable"}));
+  EXPECT_TRUE(iface.operations[2].oneway);
+  const Operation& resize = iface.operations[3];
+  EXPECT_EQ(resize.params[0].dir, ParamDir::kIn);
+  EXPECT_EQ(resize.params[1].dir, ParamDir::kInOut);
+  EXPECT_EQ(resize.params[2].dir, ParamDir::kOut);
+}
+
+TEST(ParserTest, UnsignedTypeForms) {
+  auto file = Parse(R"(module M { struct S {
+    unsigned short a;
+    unsigned long b;
+    unsigned long long c;
+    long long d;
+  }; };)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const auto& fields = file->modules[0].structs[0].fields;
+  EXPECT_EQ(fields[0].type.kind, Type::Kind::kUShort);
+  EXPECT_EQ(fields[1].type.kind, Type::Kind::kULong);
+  EXPECT_EQ(fields[2].type.kind, Type::Kind::kULongLong);
+  EXPECT_EQ(fields[3].type.kind, Type::Kind::kLongLong);
+}
+
+TEST(ParserTest, NestedSequences) {
+  auto file = Parse(
+      "module M { struct S { sequence<sequence<long>> grid; }; };");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const Type& t = file->modules[0].structs[0].fields[0].type;
+  EXPECT_EQ(t.kind, Type::Kind::kSequence);
+  EXPECT_EQ(t.element->kind, Type::Kind::kSequence);
+  EXPECT_EQ(t.element->element->kind, Type::Kind::kLong);
+}
+
+TEST(ParserTest, MultipleModules) {
+  auto file = Parse("module A { enum E { X }; }; module B { enum F { Y }; };");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->modules.size(), 2u);
+}
+
+TEST(ParserTest, UseBeforeDefinitionRejected) {
+  EXPECT_FALSE(
+      Parse("module M { struct S { Later l; }; struct Later { long x; }; };")
+          .ok());
+}
+
+TEST(ParserTest, DuplicateTypeNameRejected) {
+  EXPECT_FALSE(
+      Parse("module M { enum E { X }; struct E { long x; }; };").ok());
+}
+
+TEST(ParserTest, DuplicateFieldRejected) {
+  EXPECT_FALSE(Parse("module M { struct S { long a; long a; }; };").ok());
+}
+
+TEST(ParserTest, DuplicateOperationRejected) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { void f(); void f(); }; };").ok());
+}
+
+TEST(ParserTest, EmptyStructRejected) {
+  EXPECT_FALSE(Parse("module M { struct S { }; };").ok());
+}
+
+TEST(ParserTest, OnewayMustReturnVoid) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { oneway long f(); }; };").ok());
+}
+
+TEST(ParserTest, OnewayInParamsOnly) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { oneway void f(out long x); }; };")
+          .ok());
+}
+
+TEST(ParserTest, OnewayCannotRaise) {
+  EXPECT_FALSE(Parse(R"(module M {
+    exception E { string why; };
+    interface I { oneway void f() raises (E); };
+  };)")
+                   .ok());
+}
+
+TEST(ParserTest, RaisesUnknownExceptionRejected) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { void f() raises (Ghost); }; };").ok());
+}
+
+TEST(ParserTest, VoidParameterRejected) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { void f(in void x); }; };").ok());
+}
+
+TEST(ParserTest, MissingDirectionRejected) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { void f(long x); }; };").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto file = Parse("module M {\n  struct S {\n    bogus x;\n  };\n};");
+  ASSERT_FALSE(file.ok());
+  EXPECT_NE(file.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, EmptyFileRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("// only a comment").ok());
+}
+
+TEST(ParserTest, TypedefDefinesAUsableName) {
+  auto file = Parse(R"(module M {
+    typedef sequence<octet> Blob;
+    typedef long Handle;
+    struct S { Blob data; Handle h; };
+  };)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->modules[0].typedefs.size(), 2u);
+  EXPECT_EQ(file->modules[0].typedefs[0].name, "Blob");
+  EXPECT_EQ(file->modules[0].typedefs[0].type.kind, Type::Kind::kSequence);
+  // The struct references the typedef as a named type.
+  EXPECT_EQ(file->modules[0].structs[0].fields[0].type.kind,
+            Type::Kind::kNamed);
+  EXPECT_EQ(file->modules[0].structs[0].fields[0].type.name, "Blob");
+}
+
+TEST(ParserTest, TypedefOfVoidRejected) {
+  EXPECT_FALSE(Parse("module M { typedef void V; };").ok());
+}
+
+TEST(ParserTest, TypedefDuplicateNameRejected) {
+  EXPECT_FALSE(
+      Parse("module M { typedef long A; typedef short A; };").ok());
+}
+
+TEST(ParserTest, ConstIntegral) {
+  auto file = Parse(R"(module M {
+    const long kMax = 42;
+    const unsigned short kPort = 7001;
+  };)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->modules[0].consts.size(), 2u);
+  EXPECT_EQ(file->modules[0].consts[0].name, "kMax");
+  EXPECT_EQ(file->modules[0].consts[0].value, "42");
+  EXPECT_EQ(file->modules[0].consts[1].type.kind, Type::Kind::kUShort);
+}
+
+TEST(ParserTest, ConstNonIntegralRejected) {
+  EXPECT_FALSE(Parse("module M { const string kName = 1; };").ok());
+  EXPECT_FALSE(Parse("module M { const float kPi = 3; };").ok());
+}
+
+TEST(ParserTest, SourceOrderIsRecorded) {
+  auto file = Parse(R"(module M {
+    enum E { A };
+    typedef long T;
+    struct S { T t; };
+  };)");
+  ASSERT_TRUE(file.ok());
+  using DefKind = ModuleDef::DefKind;
+  const auto& order = file->modules[0].order;
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].first, DefKind::kEnum);
+  EXPECT_EQ(order[1].first, DefKind::kTypedef);
+  EXPECT_EQ(order[2].first, DefKind::kStruct);
+}
+
+TEST(ParserTest, AttributesDesugarToOperations) {
+  auto file = Parse(R"(module M {
+    interface I {
+      attribute long level;
+      readonly attribute string name;
+    };
+  };)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const auto& ops = file->modules[0].interfaces[0].operations;
+  ASSERT_EQ(ops.size(), 3u);  // _get_level, _set_level, _get_name
+  EXPECT_EQ(ops[0].name, "_get_level");
+  EXPECT_EQ(ops[0].return_type.kind, Type::Kind::kLong);
+  EXPECT_TRUE(ops[0].params.empty());
+  EXPECT_EQ(ops[1].name, "_set_level");
+  EXPECT_TRUE(ops[1].return_type.IsVoid());
+  ASSERT_EQ(ops[1].params.size(), 1u);
+  EXPECT_EQ(ops[1].params[0].dir, ParamDir::kIn);
+  EXPECT_EQ(ops[2].name, "_get_name");
+  EXPECT_EQ(ops[2].return_type.kind, Type::Kind::kString);
+}
+
+TEST(ParserTest, DuplicateAttributeRejected) {
+  EXPECT_FALSE(Parse(R"(module M { interface I {
+    attribute long x;
+    attribute short x;
+  }; };)")
+                   .ok());
+}
+
+TEST(ParserTest, AttributeOfVoidRejected) {
+  EXPECT_FALSE(
+      Parse("module M { interface I { attribute void v; }; };").ok());
+}
+
+TEST(ParserTest, InterfaceTypeVisibleAsName) {
+  // Interfaces register their name; a later struct can't reuse it.
+  EXPECT_FALSE(
+      Parse("module M { interface I { }; struct I { long x; }; };").ok());
+}
+
+}  // namespace
+}  // namespace cool::idl

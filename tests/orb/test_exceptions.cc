@@ -1,0 +1,86 @@
+#include "orb/exceptions.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::orb {
+namespace {
+
+TEST(SystemExceptionTest, EncodeDecodeRoundTrip) {
+  SystemException ex;
+  ex.repo_id = std::string(sysex::kNoResources);
+  ex.minor = 7;
+  ex.completed = CompletionStatus::kMaybe;
+
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian, 0);
+  ex.Encode(enc);
+  cdr::Decoder dec(enc.buffer().view(), cdr::ByteOrder::kLittleEndian, 0);
+  auto decoded = SystemException::Decode(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->repo_id, sysex::kNoResources);
+  EXPECT_EQ(decoded->minor, 7u);
+  EXPECT_EQ(decoded->completed, CompletionStatus::kMaybe);
+}
+
+TEST(SystemExceptionTest, BadCompletionStatusRejected) {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian, 0);
+  enc.PutString("IDL:x:1.0");
+  enc.PutULong(0);
+  enc.PutULong(9);  // invalid completion
+  cdr::Decoder dec(enc.buffer().view(), cdr::ByteOrder::kLittleEndian, 0);
+  EXPECT_FALSE(SystemException::Decode(dec).ok());
+}
+
+TEST(SystemExceptionTest, NoResourcesIsTheQosNack) {
+  // The paper's NACK uses the standard exception mechanism; our mapping
+  // pins NO_RESOURCES <-> kResourceExhausted in both directions.
+  const SystemException nack =
+      SystemException::FromStatus(ResourceExhaustedError("qos refused"));
+  EXPECT_EQ(nack.repo_id, sysex::kNoResources);
+  EXPECT_EQ(nack.ToStatus().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(SystemExceptionTest, StatusMappingIsConsistentBothWays) {
+  const std::pair<ErrorCode, std::string_view> cases[] = {
+      {ErrorCode::kResourceExhausted, sysex::kNoResources},
+      {ErrorCode::kNotFound, sysex::kObjectNotExist},
+      {ErrorCode::kInvalidArgument, sysex::kBadParam},
+      {ErrorCode::kUnavailable, sysex::kCommFailure},
+      {ErrorCode::kDeadlineExceeded, sysex::kTimeout},
+  };
+  for (const auto& [code, repo_id] : cases) {
+    const SystemException ex =
+        SystemException::FromStatus(Status(code, "x"));
+    EXPECT_EQ(ex.repo_id, repo_id);
+    EXPECT_EQ(ex.ToStatus().code(), code) << repo_id;
+  }
+}
+
+TEST(SystemExceptionTest, UnknownCodesFallBackToUnknown) {
+  const SystemException ex =
+      SystemException::FromStatus(InternalError("bug"));
+  EXPECT_EQ(ex.repo_id, sysex::kUnknown);
+  EXPECT_EQ(ex.ToStatus().code(), ErrorCode::kInternal);
+}
+
+TEST(SystemExceptionTest, UnsupportedMapsToBadOperation) {
+  const SystemException ex =
+      SystemException::FromStatus(UnsupportedError("no such op"));
+  EXPECT_EQ(ex.repo_id, sysex::kBadOperation);
+  EXPECT_EQ(ex.ToStatus().code(), ErrorCode::kUnsupported);
+}
+
+TEST(SystemExceptionTest, ToStringIncludesMinor) {
+  SystemException ex;
+  ex.minor = 3;
+  EXPECT_NE(ex.ToString().find("minor=3"), std::string::npos);
+}
+
+TEST(SystemExceptionTest, StatusMessageNamesTheException) {
+  SystemException ex;
+  ex.repo_id = std::string(sysex::kNoResources);
+  EXPECT_NE(ex.ToStatus().message().find("NO_RESOURCES"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cool::orb

@@ -1,0 +1,116 @@
+#include "orb/naming.h"
+
+#include <gtest/gtest.h>
+
+#include "test_servants.h"
+
+namespace cool::orb {
+namespace {
+
+using testing::CalcServant;
+
+sim::LinkProperties QuickLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = microseconds(100);
+  return link;
+}
+
+TEST(NamingServantTest, LocalBindResolveUnbind) {
+  NamingServant naming;
+  ASSERT_TRUE(naming.Bind("a", "ior-a").ok());
+  EXPECT_EQ(naming.Bind("a", "ior-b").code(), ErrorCode::kAlreadyExists);
+  auto resolved = naming.Resolve("a");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, "ior-a");
+  ASSERT_TRUE(naming.Rebind("a", "ior-b").ok());
+  EXPECT_EQ(*naming.Resolve("a"), "ior-b");
+  ASSERT_TRUE(naming.Unbind("a").ok());
+  EXPECT_EQ(naming.Unbind("a").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(naming.Resolve("a").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(NamingServantTest, EmptyNameRejected) {
+  NamingServant naming;
+  EXPECT_EQ(naming.Bind("", "ior").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(naming.Rebind("", "ior").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(NamingServantTest, ListIsSorted) {
+  NamingServant naming;
+  ASSERT_TRUE(naming.Bind("zeta", "z").ok());
+  ASSERT_TRUE(naming.Bind("alpha", "a").ok());
+  ASSERT_TRUE(naming.Bind("mid", "m").ok());
+  EXPECT_EQ(naming.List(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+class NamingEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<sim::Network>(QuickLink());
+    server_ = std::make_unique<ORB>(net_.get(), "server");
+    client_ = std::make_unique<ORB>(net_.get(), "client");
+    auto naming_ref = server_->RegisterServant(
+        std::string(NamingServant::kObjectName),
+        std::make_shared<NamingServant>());
+    ASSERT_TRUE(naming_ref.ok());
+    calc_ref_ = *server_->RegisterServant("calc",
+                                          std::make_shared<CalcServant>());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<ORB> server_;
+  std::unique_ptr<ORB> client_;
+  ObjectRef calc_ref_;
+};
+
+TEST_F(NamingEndToEndTest, BootstrapThroughNameService) {
+  // The server publishes its object...
+  NamingClient publisher(server_.get(), {"server", 7001});
+  ASSERT_TRUE(publisher.Bind("math/calc", calc_ref_).ok());
+
+  // ...and a client that only knows the naming endpoint finds + calls it.
+  NamingClient names(client_.get(), {"server", 7001});
+  auto resolved = names.Resolve("math/calc");
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(*resolved, calc_ref_);
+
+  Stub stub(client_.get(), *resolved);
+  cdr::Encoder args = stub.MakeArgsEncoder();
+  args.PutLong(4);
+  args.PutLong(5);
+  auto reply = stub.Invoke("add", args.buffer().view());
+  ASSERT_TRUE(reply.ok());
+  cdr::Decoder dec = reply->MakeDecoder();
+  EXPECT_EQ(*dec.GetLong(), 9);
+}
+
+TEST_F(NamingEndToEndTest, RemoteErrorsMapToSystemExceptions) {
+  NamingClient names(client_.get(), {"server", 7001});
+  EXPECT_EQ(names.Resolve("ghost").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(names.Bind("x", calc_ref_).ok());
+  EXPECT_EQ(names.Bind("x", calc_ref_).code(), ErrorCode::kInternal);
+  // (kAlreadyExists has no standard CORBA exception; it arrives as
+  // UNKNOWN -> kInternal. Rebind is the supported replace path.)
+  EXPECT_TRUE(names.Rebind("x", calc_ref_).ok());
+}
+
+TEST_F(NamingEndToEndTest, ListOverTheWire) {
+  NamingClient names(client_.get(), {"server", 7001});
+  ASSERT_TRUE(names.Bind("b", calc_ref_).ok());
+  ASSERT_TRUE(names.Bind("a", calc_ref_).ok());
+  auto list = names.List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(*list, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(names.Unbind("a").ok());
+  list = names.List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(*list, (std::vector<std::string>{"b"}));
+}
+
+}  // namespace
+}  // namespace cool::orb

@@ -1,0 +1,171 @@
+#include "orb/object_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "test_servants.h"
+
+namespace cool::orb {
+namespace {
+
+using testing::CalcServant;
+using testing::LimitedQoSServant;
+
+corba::OctetSeq Key(std::string_view s) { return {s.begin(), s.end()}; }
+
+// Decodes a SYSTEM_EXCEPTION dispatch result back into a Status.
+Status DecodeException(const giop::GiopServer::DispatchResult& result) {
+  EXPECT_EQ(result.status, giop::ReplyStatus::kSystemException);
+  cdr::Decoder dec(result.body.view(), cdr::NativeOrder(), 0);
+  auto ex = SystemException::Decode(dec);
+  EXPECT_TRUE(ex.ok());
+  return ex.ok() ? ex->ToStatus() : ex.status();
+}
+
+class ObjectAdapterTest : public ::testing::Test {
+ protected:
+  giop::GiopServer::DispatchResult Call(
+      std::string_view key, std::string_view op,
+      const std::function<void(cdr::Encoder&)>& encode_args = {},
+      std::vector<qos::QoSParameter> qos = {}) {
+    cdr::Encoder args(cdr::NativeOrder(), 0);
+    if (encode_args) encode_args(args);
+    cdr::Decoder dec(args.buffer().view(), cdr::NativeOrder(), 0);
+    return adapter_.DispatchLocal(Key(key), op, qos, dec,
+                                  cdr::NativeOrder());
+  }
+
+  ObjectAdapter adapter_;
+};
+
+TEST_F(ObjectAdapterTest, ActivateAndFind) {
+  auto key = adapter_.Activate("calc", std::make_shared<CalcServant>());
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(adapter_.Exists(*key));
+  EXPECT_NE(adapter_.Find(*key), nullptr);
+  EXPECT_EQ(adapter_.active_count(), 1u);
+}
+
+TEST_F(ObjectAdapterTest, DuplicateActivationRejected) {
+  ASSERT_TRUE(adapter_.Activate("x", std::make_shared<CalcServant>()).ok());
+  EXPECT_EQ(adapter_.Activate("x", std::make_shared<CalcServant>())
+                .status()
+                .code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ObjectAdapterTest, EmptyNameAndNullServantRejected) {
+  EXPECT_EQ(adapter_.Activate("", std::make_shared<CalcServant>())
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(adapter_.Activate("y", nullptr).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ObjectAdapterTest, DeactivateRemovesObject) {
+  auto key = adapter_.Activate("calc", std::make_shared<CalcServant>());
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(adapter_.Deactivate(*key).ok());
+  EXPECT_FALSE(adapter_.Exists(*key));
+  EXPECT_EQ(adapter_.Deactivate(*key).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ObjectAdapterTest, DispatchInvokesServant) {
+  ASSERT_TRUE(
+      adapter_.Activate("calc", std::make_shared<CalcServant>()).ok());
+  auto result = Call("calc", "add", [](cdr::Encoder& e) {
+    e.PutLong(2);
+    e.PutLong(40);
+  });
+  ASSERT_EQ(result.status, giop::ReplyStatus::kNoException);
+  cdr::Decoder dec(result.body.view(), cdr::NativeOrder(), 0);
+  EXPECT_EQ(*dec.GetLong(), 42);
+}
+
+TEST_F(ObjectAdapterTest, UnknownObjectYieldsObjectNotExist) {
+  auto result = Call("ghost", "add");
+  EXPECT_EQ(DecodeException(result).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ObjectAdapterTest, UnknownOperationYieldsBadOperation) {
+  ASSERT_TRUE(
+      adapter_.Activate("calc", std::make_shared<CalcServant>()).ok());
+  auto result = Call("calc", "frobnicate");
+  EXPECT_EQ(DecodeException(result).code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(ObjectAdapterTest, UserExceptionPassesThrough) {
+  ASSERT_TRUE(
+      adapter_.Activate("calc", std::make_shared<CalcServant>()).ok());
+  auto result = Call("calc", "raise_user");
+  EXPECT_EQ(result.status, giop::ReplyStatus::kUserException);
+  cdr::Decoder dec(result.body.view(), cdr::NativeOrder(), 0);
+  EXPECT_EQ(*dec.GetString(), "IDL:test/CalcError:1.0");
+}
+
+TEST_F(ObjectAdapterTest, DefaultServantAcceptsAnyQos) {
+  ASSERT_TRUE(
+      adapter_.Activate("calc", std::make_shared<CalcServant>()).ok());
+  auto result = Call(
+      "calc", "add",
+      [](cdr::Encoder& e) {
+        e.PutLong(1);
+        e.PutLong(1);
+      },
+      {qos::RequireThroughputKbps(1'000'000, 999'999)});
+  EXPECT_EQ(result.status, giop::ReplyStatus::kNoException);
+  EXPECT_EQ(adapter_.qos_nacks(), 0u);
+}
+
+TEST_F(ObjectAdapterTest, LimitedServantNacksExcessiveQos) {
+  auto servant = std::make_shared<LimitedQoSServant>(/*max_kbps=*/1000);
+  ASSERT_TRUE(adapter_.Activate("ltd", servant).ok());
+  auto result = Call(
+      "ltd", "add",
+      [](cdr::Encoder& e) {
+        e.PutLong(1);
+        e.PutLong(1);
+      },
+      {qos::RequireThroughputKbps(8000, 4000)});
+  EXPECT_EQ(DecodeException(result).code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(adapter_.qos_nacks(), 1u);
+  EXPECT_EQ(servant->negotiations(), 1);
+  // The operation itself was never performed (aborted per the paper).
+  EXPECT_EQ(servant->calls(), 0);
+}
+
+TEST_F(ObjectAdapterTest, LimitedServantAcceptsDegradableQos) {
+  auto servant = std::make_shared<LimitedQoSServant>(/*max_kbps=*/1000);
+  ASSERT_TRUE(adapter_.Activate("ltd", servant).ok());
+  auto result = Call(
+      "ltd", "add",
+      [](cdr::Encoder& e) {
+        e.PutLong(20);
+        e.PutLong(22);
+      },
+      {qos::RequireThroughputKbps(8000, 500)});  // floor 500 <= 1000
+  ASSERT_EQ(result.status, giop::ReplyStatus::kNoException);
+  cdr::Decoder dec(result.body.view(), cdr::NativeOrder(), 0);
+  EXPECT_EQ(*dec.GetLong(), 42);
+}
+
+TEST_F(ObjectAdapterTest, MalformedQosParamsRejected) {
+  ASSERT_TRUE(
+      adapter_.Activate("calc", std::make_shared<CalcServant>()).ok());
+  qos::QoSParameter inverted;
+  inverted.param_type =
+      static_cast<corba::ULong>(qos::ParamType::kThroughputKbps);
+  inverted.request_value = 15;
+  inverted.min_value = 20;
+  inverted.max_value = 10;
+  auto result = Call("calc", "add",
+                     [](cdr::Encoder& e) {
+                       e.PutLong(1);
+                       e.PutLong(1);
+                     },
+                     {inverted});
+  EXPECT_EQ(DecodeException(result).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cool::orb

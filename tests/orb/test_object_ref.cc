@@ -1,0 +1,93 @@
+#include "orb/object_ref.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::orb {
+namespace {
+
+ObjectRef Sample() {
+  ObjectRef ref;
+  ref.protocol = Protocol::kDacapo;
+  ref.endpoint = {"serverA", 7003};
+  ref.object_key = {'o', 'b', 'j', 0x01, 0xFF};
+  ref.repository_id = "IDL:Media/ImageSource:1.0";
+  return ref;
+}
+
+TEST(ObjectRefTest, StringifyParseRoundTrip) {
+  const ObjectRef ref = Sample();
+  const std::string ior = ref.ToString();
+  auto parsed = ObjectRef::FromString(ior);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, ref);
+}
+
+TEST(ObjectRefTest, StringFormIsReadable) {
+  const std::string ior = Sample().ToString();
+  EXPECT_TRUE(ior.starts_with("cool-ior:dacapo@serverA:7003/"));
+  EXPECT_NE(ior.find("?type=IDL:Media/ImageSource:1.0"), std::string::npos);
+}
+
+TEST(ObjectRefTest, AllProtocolsRoundTrip) {
+  for (const auto proto :
+       {Protocol::kTcp, Protocol::kIpc, Protocol::kDacapo}) {
+    ObjectRef ref = Sample();
+    ref.protocol = proto;
+    auto parsed = ObjectRef::FromString(ref.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->protocol, proto);
+  }
+}
+
+TEST(ObjectRefTest, EmptyKeyRoundTrips) {
+  ObjectRef ref = Sample();
+  ref.object_key.clear();
+  auto parsed = ObjectRef::FromString(ref.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->object_key.empty());
+}
+
+TEST(ObjectRefTest, RejectsForeignScheme) {
+  EXPECT_FALSE(ObjectRef::FromString("corbaloc::host:1/obj").ok());
+}
+
+TEST(ObjectRefTest, RejectsUnknownProtocol) {
+  EXPECT_FALSE(
+      ObjectRef::FromString("cool-ior:carrier-pigeon@h:1/ab?type=x").ok());
+}
+
+TEST(ObjectRefTest, RejectsBadPort) {
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp@h:99999/ab?type=x").ok());
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp@h:abc/ab?type=x").ok());
+}
+
+TEST(ObjectRefTest, RejectsBadHexKey) {
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp@h:1/xyz?type=x").ok());
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp@h:1/abc?type=x").ok());
+}
+
+TEST(ObjectRefTest, RejectsMissingParts) {
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp@h:1/ab").ok());  // no type
+  EXPECT_FALSE(ObjectRef::FromString("cool-ior:tcp-h:1/ab?type=x").ok());
+}
+
+TEST(ObjectRefTest, WithProtocolRebindsEndpoint) {
+  const ObjectRef ref = Sample();
+  const ObjectRef tcp_ref =
+      ref.WithProtocol(Protocol::kTcp, {"serverA", 7001});
+  EXPECT_EQ(tcp_ref.protocol, Protocol::kTcp);
+  EXPECT_EQ(tcp_ref.endpoint.port, 7001);
+  EXPECT_EQ(tcp_ref.object_key, ref.object_key);  // same object
+}
+
+TEST(ProtocolTest, NamesRoundTrip) {
+  for (const auto proto :
+       {Protocol::kTcp, Protocol::kIpc, Protocol::kDacapo}) {
+    auto parsed = ProtocolFromName(ProtocolName(proto));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, proto);
+  }
+}
+
+}  // namespace
+}  // namespace cool::orb

@@ -1,0 +1,260 @@
+// The paper's QoS machinery end-to-end:
+//  * setQoSParameter on the stub (per-binding and per-method, §4.1)
+//  * extended GIOP 9.9 on the wire iff QoS is in force (§4.2)
+//  * bilateral negotiation with NACK via CORBA exception (Fig. 3)
+//  * unilateral transport negotiation / rejection (§4.3)
+//  * backwards compatibility with an unmodified server
+#include <gtest/gtest.h>
+
+#include "orb/stub.h"
+#include "test_servants.h"
+
+namespace cool::orb {
+namespace {
+
+using testing::CalcServant;
+using testing::LimitedQoSServant;
+
+sim::LinkProperties QuickLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = microseconds(100);
+  return link;
+}
+
+qos::QoSSpec Spec(std::vector<qos::QoSParameter> params) {
+  auto spec = qos::QoSSpec::FromParameters(std::move(params));
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+class QosNegotiationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<sim::Network>(QuickLink());
+    ORB::Options server_options;
+    server_options.estimate.bandwidth_bps = 100'000'000;
+    server_options.estimate.rtt_us = 400;
+    server_ = std::make_unique<ORB>(net_.get(), "server", server_options);
+    client_ = std::make_unique<ORB>(net_.get(), "client");
+
+    calc_ = std::make_shared<CalcServant>();
+    limited_ = std::make_shared<LimitedQoSServant>(/*max_kbps=*/1000);
+    auto calc_ref =
+        server_->RegisterServant("calc", calc_, Protocol::kDacapo);
+    auto limited_ref =
+        server_->RegisterServant("limited", limited_, Protocol::kDacapo);
+    ASSERT_TRUE(calc_ref.ok());
+    ASSERT_TRUE(limited_ref.ok());
+    calc_ref_ = *calc_ref;
+    limited_ref_ = *limited_ref;
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  Result<corba::Long> CallAdd(Stub& stub, corba::Long a, corba::Long b) {
+    cdr::Encoder args = stub.MakeArgsEncoder();
+    args.PutLong(a);
+    args.PutLong(b);
+    COOL_ASSIGN_OR_RETURN(Stub::ReplyData reply,
+                          stub.Invoke("add", args.buffer().view()));
+    cdr::Decoder dec = reply.MakeDecoder();
+    return dec.GetLong();
+  }
+
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<ORB> server_;
+  std::unique_ptr<ORB> client_;
+  std::shared_ptr<CalcServant> calc_;
+  std::shared_ptr<LimitedQoSServant> limited_;
+  ObjectRef calc_ref_;
+  ObjectRef limited_ref_;
+};
+
+TEST_F(QosNegotiationTest, NoQosMeansPlainGiopAndNoNegotiation) {
+  // Paper §4.1: "Never call setQoSParameter: no QoS support is required
+  // and standard GIOP can be used."
+  Stub stub(client_.get(), calc_ref_);
+  auto sum = CallAdd(stub, 1, 2);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 3);
+  EXPECT_FALSE(stub.explicit_binding());
+  EXPECT_EQ(server_->adapter().qos_nacks(), 0u);
+}
+
+TEST_F(QosNegotiationTest, PerBindingQos) {
+  // Call setQoSParameter once at the start: every invocation on the
+  // binding is served at that QoS.
+  Stub stub(client_.get(), calc_ref_);
+  ASSERT_TRUE(stub.SetQoSParameter(
+                      Spec({qos::RequireThroughputKbps(5000, 1000),
+                            qos::RequireReliability(1)}))
+                  .ok());
+  EXPECT_TRUE(stub.explicit_binding());
+  for (int i = 0; i < 3; ++i) {
+    auto sum = CallAdd(stub, i, i);
+    ASSERT_TRUE(sum.ok()) << sum.status();
+  }
+  EXPECT_EQ(calc_->calls(), 3);
+}
+
+TEST_F(QosNegotiationTest, PerMethodQosChangesBetweenCalls) {
+  Stub stub(client_.get(), limited_ref_);
+  // First invocation: modest QoS -> accepted.
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(800, 400)}))
+          .ok());
+  ASSERT_TRUE(CallAdd(stub, 1, 1).ok());
+
+  // Before the next method: raise the floor beyond the object's limit.
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(8000, 4000)}))
+          .ok());
+  EXPECT_EQ(CallAdd(stub, 2, 2).status().code(),
+            ErrorCode::kResourceExhausted);
+
+  // Lower it again: service resumes.
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(500, 100)}))
+          .ok());
+  EXPECT_TRUE(CallAdd(stub, 3, 3).ok());
+  EXPECT_EQ(server_->adapter().qos_nacks(), 1u);
+}
+
+TEST_F(QosNegotiationTest, ServerNackAbortsOperation) {
+  // Fig. 3-(i): server cannot support the QoS -> NACK, operation aborted.
+  Stub stub(client_.get(), limited_ref_);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(9000, 5000)}))
+          .ok());
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(limited_->calls(), 0);  // never dispatched
+  EXPECT_GE(limited_->negotiations(), 1);
+}
+
+TEST_F(QosNegotiationTest, DegradableRequestGranted) {
+  // Fig. 3-(ii): requested 8000 but floor 500 is within the object's
+  // 1000 kbps limit -> Reply, not NACK.
+  Stub stub(client_.get(), limited_ref_);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(8000, 500)}))
+          .ok());
+  auto sum = CallAdd(stub, 40, 2);
+  ASSERT_TRUE(sum.ok()) << sum.status();
+  EXPECT_EQ(*sum, 42);
+}
+
+TEST_F(QosNegotiationTest, TcpBindingRefusesQosBeforeAnyTraffic) {
+  // Paper §4.3: TCP does not implement setQoSParameter. The client learns
+  // at specification time, before a Request is ever sent.
+  const ObjectRef tcp_ref =
+      calc_ref_.WithProtocol(Protocol::kTcp, {"server", 7001});
+  Stub stub(client_.get(), tcp_ref);
+  EXPECT_EQ(
+      stub.SetQoSParameter(Spec({qos::RequireReliability(1)})).code(),
+      ErrorCode::kUnsupported);
+  // Without QoS the TCP binding works normally.
+  ASSERT_TRUE(stub.SetQoSParameter(qos::QoSSpec{}).ok());
+  EXPECT_TRUE(CallAdd(stub, 1, 1).ok());
+}
+
+TEST_F(QosNegotiationTest, BoundTcpChannelAlsoRefusesRenegotiation) {
+  const ObjectRef tcp_ref =
+      calc_ref_.WithProtocol(Protocol::kTcp, {"server", 7001});
+  Stub stub(client_.get(), tcp_ref);
+  ASSERT_TRUE(CallAdd(stub, 1, 1).ok());  // bind first (implicit, no QoS)
+  EXPECT_EQ(
+      stub.SetQoSParameter(Spec({qos::RequireReliability(1)})).code(),
+      ErrorCode::kUnsupported);
+}
+
+TEST_F(QosNegotiationTest, TransportRejectsImpossibleQosLocally) {
+  // Unilateral negotiation: Da CaPo cannot build a graph for an absurd
+  // throughput demand; the exception is raised before contacting the peer.
+  Stub stub(client_.get(), calc_ref_);
+  ASSERT_TRUE(stub.SetQoSParameter(
+                      Spec({qos::RequireThroughputKbps(10'000'000,
+                                                       9'000'000)}))
+                  .ok());  // spec stored; binding not yet established
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(calc_->calls(), 0);
+  EXPECT_EQ(server_->adapter().qos_nacks(), 0u);  // server never involved
+}
+
+TEST_F(QosNegotiationTest, UnmodifiedServerRejectsExtendedGiop) {
+  // A server ORB with the extension disabled behaves like stock COOL:
+  // 9.9 Requests bounce with MessageError; 1.0 Requests work.
+  ORB::Options legacy;
+  legacy.enable_qos_extension = false;
+  legacy.tcp_port = 7101;
+  legacy.ipc_port = 7102;
+  legacy.dacapo_port = 7103;
+  ORB legacy_server(net_.get(), "legacy", legacy);
+  auto ref = legacy_server.RegisterServant(
+      "calc", std::make_shared<CalcServant>(), Protocol::kDacapo);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(legacy_server.Start().ok());
+
+  Stub stub(client_.get(), *ref);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireReliability(1)})).ok());
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(), ErrorCode::kProtocolError);
+
+  // Dropping the QoS spec reverts to 1.0 and the call succeeds.
+  ASSERT_TRUE(stub.SetQoSParameter(qos::QoSSpec{}).ok());
+  EXPECT_TRUE(CallAdd(stub, 1, 1).ok());
+  legacy_server.Shutdown();
+}
+
+TEST_F(QosNegotiationTest, QosAwareClientAgainstColocatedObject) {
+  // Colocation skips the transport, but the bilateral negotiation with the
+  // object implementation still happens.
+  auto local = std::make_shared<LimitedQoSServant>(/*max_kbps=*/1000);
+  auto ref = client_->RegisterServant("local_ltd", local);
+  ASSERT_TRUE(ref.ok());
+  Stub stub(client_.get(), *ref);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(9000, 5000)}))
+          .ok());
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(),
+            ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(900, 100)}))
+          .ok());
+  EXPECT_TRUE(CallAdd(stub, 1, 1).ok());
+}
+
+TEST_F(QosNegotiationTest, QosSurvivesRebinding) {
+  // The QoS belongs to the stub (the client's specification), not to the
+  // connection: after Unbind, the next invocation re-establishes the
+  // binding with the same QoS — "request connection with QoS" (Fig. 4).
+  Stub stub(client_.get(), limited_ref_);
+  ASSERT_TRUE(
+      stub.SetQoSParameter(Spec({qos::RequireThroughputKbps(9000, 5000)}))
+          .ok());
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(),
+            ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(stub.Unbind().ok());
+  // Still NACKed after rebinding: the spec persisted.
+  EXPECT_EQ(CallAdd(stub, 1, 1).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(server_->adapter().qos_nacks(), 2u);
+  EXPECT_TRUE(stub.explicit_binding());
+}
+
+TEST_F(QosNegotiationTest, DacapoGraphFollowsQosSpec) {
+  // The module graph carrying the binding reflects the negotiated QoS.
+  Stub stub(client_.get(), calc_ref_);
+  ASSERT_TRUE(stub.SetQoSParameter(
+                      Spec({qos::RequireEncryption(true),
+                            qos::RequireReliability(1)}))
+                  .ok());
+  ASSERT_TRUE(CallAdd(stub, 1, 1).ok());
+  EXPECT_EQ(stub.bound_protocol(), "dacapo");
+}
+
+}  // namespace
+}  // namespace cool::orb

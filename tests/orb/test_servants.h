@@ -1,0 +1,114 @@
+// Shared hand-written servants for the ORB test suites (the kind of code
+// Chic-generated skeletons produce; see tests/idl for generated ones).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "orb/servant.h"
+#include "qos/negotiation.h"
+
+namespace cool::orb::testing {
+
+// Operations: add(long,long)->long, echo(string)->string,
+// concat(string,long)->string, oneway_poke()->void (counts), fail()->
+// BAD_OPERATION via unknown-op path, raise_user()->USER_EXCEPTION.
+class CalcServant : public Servant {
+ public:
+  std::string_view repository_id() const override {
+    return "IDL:test/Calc:1.0";
+  }
+
+  DispatchOutcome Dispatch(std::string_view operation, cdr::Decoder& args,
+                           cdr::Encoder& out) override {
+    ++calls_;
+    if (operation == "add") {
+      auto a = args.GetLong();
+      auto b = args.GetLong();
+      if (!a.ok() || !b.ok()) {
+        return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+      }
+      out.PutLong(*a + *b);
+      return DispatchOutcome::Ok();
+    }
+    if (operation == "echo") {
+      auto s = args.GetString();
+      if (!s.ok()) {
+        return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+      }
+      out.PutString(*s);
+      return DispatchOutcome::Ok();
+    }
+    if (operation == "concat") {
+      auto s = args.GetString();
+      auto n = args.GetLong();
+      if (!s.ok() || !n.ok()) {
+        return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+      }
+      out.PutString(*s + ":" + std::to_string(*n));
+      return DispatchOutcome::Ok();
+    }
+    if (operation == "oneway_poke") {
+      ++pokes_;
+      return DispatchOutcome::Ok();
+    }
+    if (operation == "slow_echo") {
+      auto s = args.GetString();
+      if (!s.ok()) {
+        return DispatchOutcome::Fail(InvalidArgumentError("bad args"));
+      }
+      PreciseSleep(milliseconds(30));
+      out.PutString(*s);
+      return DispatchOutcome::Ok();
+    }
+    if (operation == "raise_user") {
+      out.PutString("IDL:test/CalcError:1.0");
+      out.PutLong(13);
+      return DispatchOutcome::UserException();
+    }
+    return DispatchOutcome::Fail(
+        UnsupportedError("unknown operation '" + std::string(operation) +
+                         "'"));
+  }
+
+  int calls() const { return calls_.load(); }
+  int pokes() const { return pokes_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+  std::atomic<int> pokes_{0};
+};
+
+// An object implementation with limited QoS (the paper's "maximum
+// resolution of an image" style constraint): throughput up to
+// `max_kbps`, reliability up to level 1, no encryption.
+class LimitedQoSServant : public CalcServant {
+ public:
+  explicit LimitedQoSServant(corba::Long max_kbps) : max_kbps_(max_kbps) {}
+
+  std::string_view repository_id() const override {
+    return "IDL:test/LimitedCalc:1.0";
+  }
+
+  qos::NegotiationResult NegotiateQoS(
+      const qos::QoSSpec& requested) override {
+    ++negotiations_;
+    qos::Capability capability;
+    capability.SetBest(qos::ParamType::kThroughputKbps, max_kbps_);
+    capability.SetBest(qos::ParamType::kReliability, 1);
+    capability.SetBest(qos::ParamType::kOrdering, 1);
+    capability.SetBest(qos::ParamType::kLatencyMicros, 0);
+    capability.SetBest(qos::ParamType::kJitterMicros, 0);
+    capability.SetBest(qos::ParamType::kLossPermille, 0);
+    capability.SetBest(qos::ParamType::kPriority, 255);
+    return qos::Negotiate(requested, capability);
+  }
+
+  int negotiations() const { return negotiations_.load(); }
+
+ private:
+  corba::Long max_kbps_;
+  std::atomic<int> negotiations_{0};
+};
+
+}  // namespace cool::orb::testing

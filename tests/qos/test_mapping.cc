@@ -1,0 +1,94 @@
+// QoS -> protocol-requirement mapping (paper §4.3).
+#include "qos/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::qos {
+namespace {
+
+QoSSpec Spec(std::vector<QoSParameter> params) {
+  auto spec = QoSSpec::FromParameters(std::move(params));
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+TEST(MappingTest, EmptySpecNeedsNothing) {
+  const ProtocolRequirements req = MapToProtocolRequirements(QoSSpec{});
+  EXPECT_FALSE(req.need_error_detection);
+  EXPECT_FALSE(req.need_retransmission);
+  EXPECT_FALSE(req.need_ordering);
+  EXPECT_FALSE(req.need_encryption);
+  EXPECT_EQ(req.min_throughput_kbps, 0u);
+  EXPECT_FALSE(req.HasPerformanceConstraints());
+}
+
+TEST(MappingTest, ReliabilityLevelsMapToFunctions) {
+  EXPECT_FALSE(MapToProtocolRequirements(Spec({RequireReliability(0)}))
+                   .need_error_detection);
+
+  const auto level1 = MapToProtocolRequirements(Spec({RequireReliability(1)}));
+  EXPECT_TRUE(level1.need_error_detection);
+  EXPECT_FALSE(level1.need_retransmission);
+
+  const auto level2 = MapToProtocolRequirements(Spec({RequireReliability(2)}));
+  EXPECT_TRUE(level2.need_error_detection);
+  EXPECT_TRUE(level2.need_retransmission);
+}
+
+TEST(MappingTest, OrderingAndEncryptionFlags) {
+  const auto req = MapToProtocolRequirements(
+      Spec({RequireOrdering(true), RequireEncryption(true)}));
+  EXPECT_TRUE(req.need_ordering);
+  EXPECT_TRUE(req.need_encryption);
+
+  const auto off = MapToProtocolRequirements(
+      Spec({RequireOrdering(false), RequireEncryption(false)}));
+  EXPECT_FALSE(off.need_ordering);
+  EXPECT_FALSE(off.need_encryption);
+}
+
+TEST(MappingTest, ThroughputFloorUsesMinAcceptable) {
+  // min_value bounded: admission floor is the min, not the request.
+  const auto req =
+      MapToProtocolRequirements(Spec({RequireThroughputKbps(8000, 2000)}));
+  EXPECT_EQ(req.min_throughput_kbps, 2000u);
+  EXPECT_TRUE(req.HasPerformanceConstraints());
+}
+
+TEST(MappingTest, ThroughputWithoutFloorUsesRequest) {
+  QoSParameter p;
+  p.param_type = static_cast<corba::ULong>(ParamType::kThroughputKbps);
+  p.request_value = 4000;  // both bounds unbounded
+  const auto req = MapToProtocolRequirements(QoSSpec::Trusted({p}));
+  EXPECT_EQ(req.min_throughput_kbps, 4000u);
+}
+
+TEST(MappingTest, LatencyCeilingUsesMaxAcceptable) {
+  const auto req =
+      MapToProtocolRequirements(Spec({RequireLatencyMicros(500, 2000)}));
+  EXPECT_EQ(req.max_latency_us, 2000u);
+}
+
+TEST(MappingTest, JitterAndLossCeilings) {
+  const auto req = MapToProtocolRequirements(
+      Spec({RequireJitterMicros(50, 400), RequireLossPermille(0, 5)}));
+  EXPECT_EQ(req.max_jitter_us, 400u);
+  EXPECT_EQ(req.max_loss_permille, 5u);
+}
+
+TEST(MappingTest, PriorityPassesThrough) {
+  EXPECT_EQ(MapToProtocolRequirements(Spec({RequirePriority(200)})).priority,
+            200u);
+}
+
+TEST(MappingTest, ToStringNamesRequiredFunctions) {
+  const auto req = MapToProtocolRequirements(
+      Spec({RequireReliability(2), RequireEncryption(true)}));
+  const std::string s = req.ToString();
+  EXPECT_NE(s.find("error_detection"), std::string::npos);
+  EXPECT_NE(s.find("retransmission"), std::string::npos);
+  EXPECT_NE(s.find("encryption"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cool::qos

@@ -1,0 +1,177 @@
+// Bilateral negotiation rules (paper §4.2, Fig. 3): requested range vs
+// provider capability, per direction, all-or-nothing.
+#include "qos/negotiation.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::qos {
+namespace {
+
+QoSSpec Spec(std::vector<QoSParameter> params) {
+  auto spec = QoSSpec::FromParameters(std::move(params));
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+TEST(NegotiationTest, EmptyRequestAlwaysAccepted) {
+  const NegotiationResult r = Negotiate(QoSSpec{}, Capability{});
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.granted.empty());
+}
+
+TEST(NegotiationTest, HigherIsBetterGrantsRequestWhenCapable) {
+  Capability cap;
+  cap.SetBest(ParamType::kThroughputKbps, 10000);
+  const auto r = Negotiate(Spec({RequireThroughputKbps(5000, 1000)}), cap);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.granted.Find(ParamType::kThroughputKbps)->request_value,
+            5000u);
+}
+
+TEST(NegotiationTest, HigherIsBetterDegradesToCapabilityWithinRange) {
+  Capability cap;
+  cap.SetBest(ParamType::kThroughputKbps, 3000);
+  // Requested 5000, acceptable down to 1000 -> granted 3000.
+  const auto r = Negotiate(Spec({RequireThroughputKbps(5000, 1000)}), cap);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.granted.Find(ParamType::kThroughputKbps)->request_value,
+            3000u);
+}
+
+TEST(NegotiationTest, HigherIsBetterNacksBelowFloor) {
+  Capability cap;
+  cap.SetBest(ParamType::kThroughputKbps, 500);
+  const auto r = Negotiate(Spec({RequireThroughputKbps(5000, 1000)}), cap);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.RejectionReason().find("throughput"), std::string::npos);
+}
+
+TEST(NegotiationTest, LowerIsBetterGrantsRequestWhenCapable) {
+  Capability cap;
+  cap.SetBest(ParamType::kLatencyMicros, 100);
+  const auto r = Negotiate(Spec({RequireLatencyMicros(500, 2000)}), cap);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.granted.Find(ParamType::kLatencyMicros)->request_value, 500u);
+}
+
+TEST(NegotiationTest, LowerIsBetterDegradesUpToCeiling) {
+  Capability cap;
+  cap.SetBest(ParamType::kLatencyMicros, 1500);  // can't do better than 1.5ms
+  const auto r = Negotiate(Spec({RequireLatencyMicros(500, 2000)}), cap);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.granted.Find(ParamType::kLatencyMicros)->request_value, 1500u);
+}
+
+TEST(NegotiationTest, LowerIsBetterNacksAboveCeiling) {
+  Capability cap;
+  cap.SetBest(ParamType::kLatencyMicros, 5000);
+  const auto r = Negotiate(Spec({RequireLatencyMicros(500, 2000)}), cap);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(NegotiationTest, MissingCapabilityMeansNoFeature) {
+  // Reliability absent from the capability map -> best 0 -> a request for
+  // level 2 with floor 2 is refused.
+  const auto r = Negotiate(Spec({RequireReliability(2)}), Capability{});
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(NegotiationTest, AllOrNothing) {
+  Capability cap;
+  cap.SetBest(ParamType::kThroughputKbps, 10000);
+  cap.SetBest(ParamType::kReliability, 0);  // cannot retransmit
+  const auto r = Negotiate(
+      Spec({RequireThroughputKbps(5000, 1000), RequireReliability(2)}), cap);
+  EXPECT_FALSE(r.accepted);
+  // Per-parameter outcomes still report the passing parameter as accepted.
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_TRUE(r.outcomes[0].accepted);
+  EXPECT_FALSE(r.outcomes[1].accepted);
+}
+
+TEST(NegotiationTest, UnknownParamRejectedByDefault) {
+  QoSParameter unknown;
+  unknown.param_type = 999;
+  unknown.request_value = 1;
+  const auto r =
+      Negotiate(QoSSpec::Trusted({unknown}), Capability{});
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.RejectionReason().find("unknown"), std::string::npos);
+}
+
+TEST(NegotiationTest, UnknownParamIgnoredUnderLenientPolicy) {
+  QoSParameter unknown;
+  unknown.param_type = 999;
+  unknown.request_value = 1;
+  Capability cap(Capability::UnknownPolicy::kIgnore);
+  const auto r = Negotiate(QoSSpec::Trusted({unknown}), cap);
+  EXPECT_TRUE(r.accepted);
+}
+
+// Property sweep: for every direction and capability the negotiation
+// never grants a value outside the requested acceptable range.
+class NegotiationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegotiationPropertyTest, GrantAlwaysWithinAcceptableRange) {
+  const int seed = GetParam();
+  Capability cap;
+  cap.SetBest(::cool::qos::ParamType::kThroughputKbps, (seed * 977) % 10000);
+  cap.SetBest(::cool::qos::ParamType::kLatencyMicros, (seed * 131) % 4000);
+
+  const corba::ULong thr_req = 1000 + (seed * 37) % 8000;
+  const corba::Long thr_min = static_cast<corba::Long>(thr_req / 2);
+  const corba::ULong lat_req = 100 + (seed * 53) % 1000;
+  const corba::Long lat_max = static_cast<corba::Long>(lat_req * 3);
+
+  const auto r = Negotiate(Spec({RequireThroughputKbps(thr_req, thr_min),
+                                 RequireLatencyMicros(lat_req, lat_max)}),
+                           cap);
+  if (r.accepted) {
+    const auto* thr = r.granted.Find(::cool::qos::ParamType::kThroughputKbps);
+    const auto* lat = r.granted.Find(::cool::qos::ParamType::kLatencyMicros);
+    ASSERT_NE(thr, nullptr);
+    ASSERT_NE(lat, nullptr);
+    EXPECT_GE(static_cast<corba::Long>(thr->request_value), thr_min);
+    EXPECT_LE(static_cast<corba::Long>(lat->request_value), lat_max);
+    // Granted never exceeds the request in the "better" direction.
+    EXPECT_LE(thr->request_value, thr_req);
+    EXPECT_GE(lat->request_value, lat_req);
+  } else {
+    EXPECT_FALSE(r.RejectionReason().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NegotiationPropertyTest,
+                         ::testing::Range(0, 50));
+
+TEST(ComposeTest, WeakerSideWinsPerDimension) {
+  Capability a;
+  a.SetBest(ParamType::kThroughputKbps, 10000);
+  a.SetBest(ParamType::kReliability, 2);
+  Capability b;
+  b.SetBest(ParamType::kThroughputKbps, 4000);
+  b.SetBest(ParamType::kReliability, 1);
+
+  const Capability c = Compose(a, b);
+  EXPECT_EQ(c.BestFor(ParamType::kThroughputKbps), 4000);
+  EXPECT_EQ(c.BestFor(ParamType::kReliability), 1);
+}
+
+TEST(ComposeTest, LatencyAddsAlongThePath) {
+  Capability a;
+  a.SetBest(ParamType::kLatencyMicros, 300);
+  Capability b;
+  b.SetBest(ParamType::kLatencyMicros, 200);
+  EXPECT_EQ(Compose(a, b).BestFor(ParamType::kLatencyMicros), 500);
+}
+
+TEST(ComposeTest, MissingDimensionOnOneSideDominates) {
+  Capability a;
+  a.SetBest(ParamType::kLatencyMicros, 300);
+  const Capability c = Compose(a, Capability{});
+  // b has no latency bound -> composition has effectively none.
+  EXPECT_GT(c.BestFor(ParamType::kLatencyMicros), 1000000);
+}
+
+}  // namespace
+}  // namespace cool::qos

@@ -1,0 +1,162 @@
+#include "qos/qos.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::qos {
+namespace {
+
+TEST(QoSParameterTest, WireFormatIsSixteenOctets) {
+  // The paper's struct is four 32-bit fields; naturally aligned CDR packs
+  // them into exactly 16 octets.
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  EncodeQoSParameter(enc, RequireThroughputKbps(5000, 1000));
+  EXPECT_EQ(enc.buffer().size(), 16u);
+}
+
+TEST(QoSParameterTest, RoundTrip) {
+  QoSParameter p = RequireLatencyMicros(500, 2000);
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  EncodeQoSParameter(enc, p);
+  cdr::Decoder dec(enc.buffer().view(), cdr::ByteOrder::kLittleEndian);
+  auto decoded = DecodeQoSParameter(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(QoSParameterTest, SequenceRoundTripBothOrders) {
+  std::vector<QoSParameter> params = {
+      RequireThroughputKbps(10000, 2000),
+      RequireReliability(2),
+      RequireEncryption(true),
+  };
+  for (const auto order :
+       {cdr::ByteOrder::kLittleEndian, cdr::ByteOrder::kBigEndian}) {
+    cdr::Encoder enc(order);
+    EncodeQoSParameterSeq(enc, params);
+    cdr::Decoder dec(enc.buffer().view(), order);
+    auto decoded = DecodeQoSParameterSeq(dec);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, params);
+  }
+}
+
+TEST(QoSParameterTest, SequenceCountGuard) {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.PutULong(1000000);  // absurd count, no payload
+  cdr::Decoder dec(enc.buffer().view(), cdr::ByteOrder::kLittleEndian);
+  EXPECT_EQ(DecodeQoSParameterSeq(dec).status().code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST(QoSParameterTest, AcceptsChecksBounds) {
+  QoSParameter p;
+  p.min_value = 10;
+  p.max_value = 20;
+  EXPECT_FALSE(p.Accepts(9));
+  EXPECT_TRUE(p.Accepts(10));
+  EXPECT_TRUE(p.Accepts(15));
+  EXPECT_TRUE(p.Accepts(20));
+  EXPECT_FALSE(p.Accepts(21));
+  EXPECT_FALSE(p.Accepts(-1));
+}
+
+TEST(QoSParameterTest, UnboundedEndsAcceptEverything) {
+  QoSParameter p;  // both unbounded
+  EXPECT_TRUE(p.Accepts(0));
+  EXPECT_TRUE(p.Accepts(1 << 30));
+
+  QoSParameter lower_only;
+  lower_only.min_value = 5;
+  EXPECT_FALSE(lower_only.Accepts(4));
+  EXPECT_TRUE(lower_only.Accepts(1 << 30));
+}
+
+TEST(QoSParameterTest, DirectionsMatchSemantics) {
+  EXPECT_EQ(DirectionOf(ParamType::kThroughputKbps),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionOf(ParamType::kLatencyMicros),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionOf(ParamType::kJitterMicros),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionOf(ParamType::kReliability),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionOf(ParamType::kLossPermille),
+            Direction::kLowerIsBetter);
+}
+
+TEST(QoSParameterTest, KnownTypeRange) {
+  EXPECT_FALSE(IsKnownParamType(0));
+  EXPECT_TRUE(IsKnownParamType(1));
+  EXPECT_TRUE(IsKnownParamType(8));
+  EXPECT_FALSE(IsKnownParamType(9));
+}
+
+TEST(QoSParameterTest, ToStringNamesTheParameter) {
+  EXPECT_NE(RequireThroughputKbps(100, 50).ToString().find("throughput"),
+            std::string::npos);
+  QoSParameter unknown;
+  unknown.param_type = 77;
+  EXPECT_NE(unknown.ToString().find("param#77"), std::string::npos);
+}
+
+TEST(QoSSpecTest, RejectsDuplicateTypes) {
+  auto spec = QoSSpec::FromParameters(
+      {RequireThroughputKbps(100, 50), RequireThroughputKbps(200, 100)});
+  EXPECT_EQ(spec.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(QoSSpecTest, RejectsInvertedRange) {
+  QoSParameter p;
+  p.param_type = static_cast<corba::ULong>(ParamType::kThroughputKbps);
+  p.request_value = 15;
+  p.min_value = 20;
+  p.max_value = 10;
+  EXPECT_EQ(QoSSpec::FromParameters({p}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(QoSSpecTest, RejectsRequestOutsideRange) {
+  QoSParameter p;
+  p.param_type = static_cast<corba::ULong>(ParamType::kLatencyMicros);
+  p.request_value = 100;
+  p.max_value = 50;  // request 100 > max acceptable 50
+  EXPECT_EQ(QoSSpec::FromParameters({p}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(QoSSpecTest, FindAndSet) {
+  auto spec = QoSSpec::FromParameters({RequireThroughputKbps(100, 50)});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_NE(spec->Find(ParamType::kThroughputKbps), nullptr);
+  EXPECT_EQ(spec->Find(ParamType::kLatencyMicros), nullptr);
+
+  spec->Set(RequireLatencyMicros(10, 100));
+  EXPECT_EQ(spec->size(), 2u);
+  spec->Set(RequireThroughputKbps(500, 200));  // replaces
+  EXPECT_EQ(spec->size(), 2u);
+  EXPECT_EQ(spec->Find(ParamType::kThroughputKbps)->request_value, 500u);
+}
+
+TEST(QoSSpecTest, EmptySpecBehaviour) {
+  QoSSpec spec;
+  EXPECT_TRUE(spec.empty());
+  EXPECT_EQ(spec.ToString(), "[]");
+}
+
+TEST(QoSSpecTest, ConvenienceConstructorsProduceValidSpecs) {
+  auto spec = QoSSpec::FromParameters({
+      RequireThroughputKbps(8000, 2000),
+      RequireLatencyMicros(500, 5000),
+      RequireJitterMicros(100, 1000),
+      RequireReliability(2),
+      RequireOrdering(true),
+      RequireEncryption(true),
+      RequireLossPermille(0, 10),
+      RequirePriority(128),
+  });
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->size(), 8u);
+}
+
+}  // namespace
+}  // namespace cool::qos

@@ -1,0 +1,206 @@
+// Da CaPo below the generic transport layer (paper Fig. 7 alternative (i))
+// and the unilateral QoS negotiation of §4.3.
+#include "transport/dacapo_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace cool::transport {
+namespace {
+
+sim::LinkProperties QuickLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = microseconds(100);
+  return link;
+}
+
+dacapo::NetworkEstimate Estimate() {
+  dacapo::NetworkEstimate est;
+  est.bandwidth_bps = 100'000'000;
+  est.rtt_us = 400;
+  est.transport_reliable = true;
+  return est;
+}
+
+std::vector<std::uint8_t> Msg(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+qos::QoSSpec Spec(std::vector<qos::QoSParameter> params) {
+  auto spec = qos::QoSSpec::FromParameters(std::move(params));
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+struct Rig {
+  explicit Rig(dacapo::ResourceManager* resources = nullptr)
+      : net(QuickLink()),
+        server_mgr(&net, {"server", 7200}, Estimate(), resources) {
+    EXPECT_TRUE(server_mgr.Listen().ok());
+  }
+
+  std::pair<std::unique_ptr<ComChannel>, std::unique_ptr<ComChannel>>
+  Establish(const qos::QoSSpec& spec = {}) {
+    Result<std::unique_ptr<ComChannel>> server_side(
+        Status(InternalError("unset")));
+    std::thread accept([&] { server_side = server_mgr.AcceptChannel(); });
+    DacapoComManager client_mgr(&net, {"client", 7200}, Estimate());
+    auto client_side = client_mgr.OpenChannel({"server", 7200}, spec);
+    accept.join();
+    EXPECT_TRUE(client_side.ok()) << client_side.status();
+    EXPECT_TRUE(server_side.ok()) << server_side.status();
+    if (!client_side.ok() || !server_side.ok()) return {};
+    return {std::move(client_side).value(), std::move(server_side).value()};
+  }
+
+  sim::Network net;
+  DacapoComManager server_mgr;
+};
+
+TEST(DacapoChannelTest, BestEffortRoundTrip) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->SendMessage(Msg("over dacapo")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "over dacapo");
+}
+
+TEST(DacapoChannelTest, QosAtOpenConfiguresModuleGraph) {
+  Rig rig;
+  const auto spec = Spec({qos::RequireReliability(1),
+                          qos::RequireEncryption(true)});
+  auto [client, server] = rig.Establish(spec);
+  ASSERT_NE(client, nullptr);
+
+  auto* dch = dynamic_cast<DacapoComChannel*>(client.get());
+  ASSERT_NE(dch, nullptr);
+  const dacapo::ModuleGraphSpec graph = dch->current_graph();
+  bool has_checksum = false;
+  bool has_cipher = false;
+  for (const auto& m : graph.chain) {
+    if (m.name == dacapo::mechanisms::kCrc16 ||
+        m.name == dacapo::mechanisms::kCrc32) {
+      has_checksum = true;
+    }
+    if (m.name == dacapo::mechanisms::kXorCipher) has_cipher = true;
+  }
+  EXPECT_TRUE(has_checksum);
+  EXPECT_TRUE(has_cipher);
+  EXPECT_EQ(dch->CurrentQoS(), spec);
+
+  // And it still carries traffic.
+  ASSERT_TRUE(client->SendMessage(Msg("secure")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "secure");
+}
+
+TEST(DacapoChannelTest, SetQoSParameterReconfiguresLive) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  ASSERT_NE(client, nullptr);
+  auto* dch = dynamic_cast<DacapoComChannel*>(client.get());
+  ASSERT_NE(dch, nullptr);
+  EXPECT_TRUE(dch->current_graph().chain.empty());
+
+  const auto spec = Spec({qos::RequireEncryption(true)});
+  ASSERT_TRUE(client->SetQoSParameter(spec).ok());
+  EXPECT_FALSE(dch->current_graph().chain.empty());
+
+  ASSERT_TRUE(client->SendMessage(Msg("reconfigured")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "reconfigured");
+}
+
+TEST(DacapoChannelTest, SameGraphSkipsReconfiguration) {
+  Rig rig;
+  const auto spec = Spec({qos::RequireReliability(1)});
+  auto [client, server] = rig.Establish(spec);
+  ASSERT_NE(client, nullptr);
+  auto* dch = dynamic_cast<DacapoComChannel*>(client.get());
+  const auto before = dch->current_graph();
+  // Same requirements -> same graph -> no plane rebuild.
+  ASSERT_TRUE(client->SetQoSParameter(spec).ok());
+  EXPECT_EQ(dch->current_graph(), before);
+}
+
+TEST(DacapoChannelTest, ImpossibleQosRefusedBeforeAnyTraffic) {
+  Rig rig;
+  DacapoComManager client_mgr(&rig.net, {"client", 7200}, Estimate());
+  const auto impossible =
+      Spec({qos::RequireThroughputKbps(10'000'000, 9'000'000)});
+  auto channel = client_mgr.OpenChannel({"server", 7200}, impossible);
+  EXPECT_EQ(channel.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(DacapoChannelTest, ImpossibleRenegotiationKeepsOldPlaneWorking) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  ASSERT_NE(client, nullptr);
+  const auto impossible =
+      Spec({qos::RequireLatencyMicros(1, 2)});  // sub-RTT latency
+  EXPECT_EQ(client->SetQoSParameter(impossible).code(),
+            ErrorCode::kResourceExhausted);
+  // Old plane unharmed.
+  ASSERT_TRUE(client->SendMessage(Msg("still alive")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "still alive");
+}
+
+TEST(DacapoChannelTest, CapabilityReflectsEstimate) {
+  const qos::Capability cap = DacapoComChannel::CapabilityFor(Estimate());
+  EXPECT_EQ(cap.BestFor(qos::ParamType::kThroughputKbps), 100'000);
+  EXPECT_EQ(cap.BestFor(qos::ParamType::kLatencyMicros), 200);
+  EXPECT_EQ(cap.BestFor(qos::ParamType::kReliability), 2);
+  EXPECT_EQ(cap.BestFor(qos::ParamType::kEncryption), 1);
+}
+
+TEST(DacapoChannelTest, MessagesLargerThanOnePacketAreFragmented) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  ASSERT_NE(client, nullptr);
+  // Default packet capacity is 64 KiB; send well past it.
+  std::vector<std::uint8_t> big(300 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  ASSERT_TRUE(client->SendMessage(big).ok());
+  auto got = server->ReceiveMessage(seconds(10));
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->size(), big.size());
+  EXPECT_EQ(0, std::memcmp(got->data(), big.data(), big.size()));
+
+  // Message boundaries survive: a small message right behind a big one.
+  ASSERT_TRUE(client->SendMessage(Msg("tail")).ok());
+  ASSERT_TRUE(client->SendMessage(big).ok());
+  auto small = server->ReceiveMessage(seconds(10));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->ToString(), "tail");
+  auto big2 = server->ReceiveMessage(seconds(10));
+  ASSERT_TRUE(big2.ok());
+  EXPECT_EQ(big2->size(), big.size());
+}
+
+TEST(DacapoChannelTest, ServerResourceAdmissionEnforced) {
+  dacapo::ResourceManager::Budget budget;
+  budget.packet_memory_bytes = 1;
+  dacapo::ResourceManager resources(budget);
+  Rig rig(&resources);
+  DacapoComManager client_mgr(&rig.net, {"client", 7200}, Estimate());
+  Result<std::unique_ptr<ComChannel>> server_side(
+      Status(InternalError("unset")));
+  std::thread accept([&] { server_side = rig.server_mgr.AcceptChannel(); });
+  auto channel = client_mgr.OpenChannel({"server", 7200}, {});
+  accept.join();
+  EXPECT_EQ(channel.status().code(), ErrorCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace cool::transport

@@ -1,0 +1,72 @@
+#include "transport/input_callback.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::transport {
+namespace {
+
+TEST(InputCallbackTest, TriggerRunsCallback) {
+  InputCallbackDispatcher dispatcher;
+  BlockingQueue<int> fired;
+  const auto id = dispatcher.Register([&] { fired.Push(1); });
+  ASSERT_TRUE(dispatcher.Trigger(id).ok());
+  EXPECT_TRUE(fired.PopFor(seconds(2)).has_value());
+}
+
+TEST(InputCallbackTest, UnknownIdRejected) {
+  InputCallbackDispatcher dispatcher;
+  EXPECT_EQ(dispatcher.Trigger(999).code(), ErrorCode::kNotFound);
+}
+
+TEST(InputCallbackTest, UnregisterMakesTriggerFail) {
+  InputCallbackDispatcher dispatcher;
+  const auto id = dispatcher.Register([] {});
+  EXPECT_EQ(dispatcher.registered_count(), 1u);
+  dispatcher.Unregister(id);
+  EXPECT_EQ(dispatcher.registered_count(), 0u);
+  EXPECT_EQ(dispatcher.Trigger(id).code(), ErrorCode::kNotFound);
+}
+
+TEST(InputCallbackTest, CallbacksRunSerially) {
+  InputCallbackDispatcher dispatcher;
+  std::vector<int> order;
+  std::mutex mu;
+  const auto a = dispatcher.Register([&] {
+    std::lock_guard lock(mu);
+    order.push_back(1);
+  });
+  const auto b = dispatcher.Register([&] {
+    std::lock_guard lock(mu);
+    order.push_back(2);
+  });
+  BlockingQueue<int> done;
+  const auto c = dispatcher.Register([&] { done.Push(0); });
+  ASSERT_TRUE(dispatcher.Trigger(a).ok());
+  ASSERT_TRUE(dispatcher.Trigger(b).ok());
+  ASSERT_TRUE(dispatcher.Trigger(a).ok());
+  ASSERT_TRUE(dispatcher.Trigger(c).ok());
+  ASSERT_TRUE(done.PopFor(seconds(2)).has_value());
+  std::lock_guard lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(InputCallbackTest, TriggerAfterStopFails) {
+  InputCallbackDispatcher dispatcher;
+  const auto id = dispatcher.Register([] {});
+  dispatcher.Stop();
+  EXPECT_EQ(dispatcher.Trigger(id).code(), ErrorCode::kUnavailable);
+}
+
+TEST(InputCallbackTest, StopDrainsPendingTriggers) {
+  InputCallbackDispatcher dispatcher;
+  std::atomic<int> count{0};
+  const auto id = dispatcher.Register([&] { ++count; });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dispatcher.Trigger(id).ok());
+  }
+  dispatcher.Stop();
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace cool::transport

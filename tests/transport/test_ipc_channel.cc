@@ -1,0 +1,132 @@
+#include "transport/ipc_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cool::transport {
+namespace {
+
+sim::LinkProperties QuickLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = microseconds(50);
+  return link;
+}
+
+std::vector<std::uint8_t> Msg(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+struct Rig {
+  Rig() : net(QuickLink()), server_mgr(&net, {"server", 7100}) {
+    EXPECT_TRUE(server_mgr.Listen().ok());
+  }
+
+  std::pair<std::unique_ptr<ComChannel>, std::unique_ptr<ComChannel>>
+  Establish() {
+    Result<std::unique_ptr<ComChannel>> server_side(
+        Status(InternalError("unset")));
+    std::thread accept([&] { server_side = server_mgr.AcceptChannel(); });
+    IpcComManager client_mgr(&net, {"client", 7100});
+    auto client_side = client_mgr.OpenChannel({"server", 7100}, {});
+    accept.join();
+    EXPECT_TRUE(client_side.ok()) << client_side.status();
+    EXPECT_TRUE(server_side.ok()) << server_side.status();
+    return {std::move(client_side).value(), std::move(server_side).value()};
+  }
+
+  sim::Network net;
+  IpcComManager server_mgr;
+};
+
+TEST(IpcChannelTest, HandshakeAndRoundTrip) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  ASSERT_TRUE(client->SendMessage(Msg("chorus")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "chorus");
+
+  ASSERT_TRUE(server->SendMessage(Msg("ipc")).ok());
+  auto back = client->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToString(), "ipc");
+}
+
+TEST(IpcChannelTest, MultipleConcurrentChannels) {
+  Rig rig;
+  auto [c1, s1] = rig.Establish();
+  auto [c2, s2] = rig.Establish();
+  // Distinct port pairs: traffic does not cross channels.
+  ASSERT_TRUE(c1->SendMessage(Msg("one")).ok());
+  ASSERT_TRUE(c2->SendMessage(Msg("two")).ok());
+  auto got1 = s1->ReceiveMessage(seconds(2));
+  auto got2 = s2->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got1.ok());
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got1->ToString(), "one");
+  EXPECT_EQ(got2->ToString(), "two");
+}
+
+TEST(IpcChannelTest, ConnectToSilentPeerFails) {
+  sim::Network net(QuickLink());
+  IpcComManager client_mgr(&net, {"client", 7100});
+  const Stopwatch sw;
+  auto channel = client_mgr.OpenChannel({"server", 7100}, {});
+  EXPECT_EQ(channel.status().code(), ErrorCode::kUnavailable);
+  EXPECT_GE(sw.Elapsed(), milliseconds(500));  // 3 retries x 250ms
+}
+
+TEST(IpcChannelTest, QosSpecRefused) {
+  Rig rig;
+  IpcComManager client_mgr(&rig.net, {"client", 7100});
+  auto spec =
+      qos::QoSSpec::FromParameters({qos::RequireReliability(2)});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(client_mgr.OpenChannel({"server", 7100}, *spec).status().code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST(IpcChannelTest, ReceiveTimesOut) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  EXPECT_EQ(client->ReceiveMessage(milliseconds(50)).status().code(),
+            ErrorCode::kDeadlineExceeded);
+}
+
+TEST(IpcChannelTest, CallRoundTrip) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  std::thread responder([&s = server] {
+    auto req = s->ReceiveMessage(seconds(2));
+    ASSERT_TRUE(req.ok());
+    ASSERT_TRUE(s->Reply(Msg("ok")).ok());
+  });
+  auto reply = client->Call(Msg("req"));
+  responder.join();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ToString(), "ok");
+}
+
+TEST(IpcChannelTest, StrayDatagramsFromOtherPeersIgnored) {
+  Rig rig;
+  auto [client, server] = rig.Establish();
+  // An interloper sends a datagram straight at the server channel's port.
+  auto interloper = rig.net.OpenPort({"evil", 1});
+  ASSERT_TRUE(interloper.ok());
+  auto* ipc_server = dynamic_cast<IpcComChannel*>(server.get());
+  ASSERT_NE(ipc_server, nullptr);
+  // Deduce server channel port from the client's peer address.
+  auto* ipc_client = dynamic_cast<IpcComChannel*>(client.get());
+  ASSERT_NE(ipc_client, nullptr);
+  ASSERT_TRUE(
+      (*interloper)->SendTo(ipc_client->peer(), Msg("spoof")).ok());
+  ASSERT_TRUE(client->SendMessage(Msg("real")).ok());
+  auto got = server->ReceiveMessage(seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "real");  // spoof skipped
+}
+
+}  // namespace
+}  // namespace cool::transport
