@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/thread.h"
 #include "dacapo/session.h"
 
 namespace {
@@ -48,7 +49,7 @@ double MeasureMbps(const ModuleGraphSpec& graph, double loss_rate,
 
   Result<std::unique_ptr<dacapo::Session>> rx(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] {
+  cool::Thread accept_thread([&] {
     rx = acceptor.Accept(dacapo::AppAModule::DeliveryMode::kCountOnly);
   });
   dacapo::Connector connector(&net, "tx");

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/thread.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/session.h"
 
@@ -38,7 +39,7 @@ double MeasureSetupMs(const ModuleGraphSpec& graph) {
   if (!acceptor.Listen().ok()) return -1;
   Result<std::unique_ptr<dacapo::Session>> server_side(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] { server_side = acceptor.Accept(); });
+  cool::Thread accept_thread([&] { server_side = acceptor.Accept(); });
 
   ChannelOptions options;
   options.graph = graph;
@@ -59,7 +60,7 @@ double MeasureReconfigMs(const ModuleGraphSpec& from,
   if (!acceptor.Listen().ok()) return -1;
   Result<std::unique_ptr<dacapo::Session>> server_side(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] { server_side = acceptor.Accept(); });
+  cool::Thread accept_thread([&] { server_side = acceptor.Accept(); });
   ChannelOptions options;
   options.graph = from;
   dacapo::Connector connector(&net, "client");

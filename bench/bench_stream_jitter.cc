@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/thread.h"
 #include "stream/flow.h"
 
 namespace {
@@ -55,7 +56,7 @@ RunResult RunFlow(const dacapo::ModuleGraphSpec& graph, Duration duration) {
 
   Result<std::unique_ptr<dacapo::Session>> rx(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] { rx = acceptor.Accept(); });
+  cool::Thread accept_thread([&] { rx = acceptor.Accept(); });
   dacapo::Connector connector(&net, "tx");
   auto tx = connector.Connect({"rx", 6800}, options);
   accept_thread.join();

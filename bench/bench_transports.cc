@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/thread.h"
 #include "transport/dacapo_channel.h"
 #include "transport/ipc_channel.h"
 #include "transport/tcp_channel.h"
@@ -24,13 +25,20 @@ std::vector<std::uint8_t> Payload(std::size_t n) {
   return std::vector<std::uint8_t>(n, 0x5A);
 }
 
+// Builds the helper thread through a function return rather than a direct
+// local: constructing the jthread in place trips a GCC 12
+// -Wmaybe-uninitialized false positive in std::stop_source's self-reference.
+template <typename F>
+cool::Thread Spawn(F&& f) {
+  return cool::Thread(std::forward<F>(f));
+}
+
 // Measures request/reply RTT over an established channel pair.
 bench::LatencyStats MeasureRtt(transport::ComChannel& client,
                                transport::ComChannel& server,
                                int iterations) {
-  std::atomic<bool> stop{false};
-  std::thread echo([&] {
-    while (!stop.load()) {
+  cool::Thread echo = Spawn([&server](std::stop_token st) {
+    while (!st.stop_requested()) {
       auto req = server.ReceiveMessage(milliseconds(200));
       if (!req.ok()) continue;
       (void)server.Reply(req->view());
@@ -46,7 +54,7 @@ bench::LatencyStats MeasureRtt(transport::ComChannel& client,
     if (!reply.ok()) break;
     if (i >= 0) samples.push_back(ToMicros(sw.Elapsed()));
   }
-  stop = true;
+  echo.request_stop();
   echo.join();
   return bench::Summarize(std::move(samples));
 }
@@ -56,9 +64,8 @@ double MeasureMbps(transport::ComChannel& client,
                    transport::ComChannel& server, std::size_t message_bytes,
                    Duration duration) {
   std::atomic<std::uint64_t> received{0};
-  std::atomic<bool> stop{false};
-  std::thread drain([&] {
-    while (!stop.load()) {
+  cool::Thread drain = Spawn([&server, &received](std::stop_token st) {
+    while (!st.stop_requested()) {
       auto msg = server.ReceiveMessage(milliseconds(200));
       if (msg.ok()) received += msg->size();
     }
@@ -71,7 +78,7 @@ double MeasureMbps(transport::ComChannel& client,
     if (!client.SendMessage(payload).ok()) break;
   }
   std::this_thread::sleep_for(milliseconds(100));
-  stop = true;
+  drain.request_stop();
   drain.join();
   const double seconds = ToSeconds(sw.Elapsed());
   return static_cast<double>(received.load()) * 8.0 / seconds / 1e6;
@@ -88,7 +95,7 @@ ChannelPair Establish(transport::ComManager& client_mgr,
                       const qos::QoSSpec& spec = {}) {
   Result<std::unique_ptr<transport::ComChannel>> accepted(
       Status(InternalError("unset")));
-  std::thread accept([&] { accepted = server_mgr.AcceptChannel(); });
+  cool::Thread accept([&] { accepted = server_mgr.AcceptChannel(); });
   auto opened = client_mgr.OpenChannel(remote, spec);
   accept.join();
   if (!opened.ok() || !accepted.ok()) {

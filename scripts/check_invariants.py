@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter.
+
+Enforces the concurrency and memory-safety conventions documented in
+DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
+
+  1. No raw synchronization or thread primitives outside src/common/ —
+     everything goes through the annotated cool::Mutex / cool::CondVar /
+     cool::Thread wrappers so Clang's -Wthread-safety sees every lock.
+  2. No memcpy / reinterpret_cast outside src/common/ and src/cdr/ — raw
+     byte reinterpretation is confined to the buffer and CDR layers.
+  3. CDR decoder primitives must bounds-check: every function in
+     cdr/decoder.h that touches data_ must call remaining() or Underrun.
+  4. Condition variables are notified with the lock held (destruction
+     safety): every CondVar Notify call must be lexically preceded by a
+     MutexLock/WriterMutexLock in the same function.
+  5. The include graph between src/ layer directories must respect the
+     layer order (no upward or cyclic includes).
+  6. No bare new/delete outside an allowlist of factory functions; heap
+     objects are owned by unique_ptr/shared_ptr from birth.
+
+Exit status 0 when clean; 1 with findings on stdout otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+CODE_DIRS = ["src", "tests", "bench", "examples"]
+
+# Layer ranks: an #include from directory A to directory B is legal iff
+# rank[B] <= rank[A]. Derived from the actual dependency structure (common
+# at the bottom, stream at the top); keep in sync with DESIGN.md.
+LAYER_RANK = {
+    "common": 0,
+    "cdr": 1,
+    "sim": 1,
+    "qos": 2,
+    "idl": 2,
+    "dacapo": 3,
+    "transport": 4,
+    "giop": 5,
+    "orb": 6,
+    "stream": 7,
+}
+
+# Raw primitives that must not appear outside src/common/ (rule 1).
+RAW_SYNC = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|thread|jthread|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b"
+)
+
+# Raw byte reinterpretation (rule 2).
+RAW_BYTES = re.compile(r"\b(memcpy|reinterpret_cast)\b")
+
+# new/delete allowlist (rule 6): file -> substring that must appear on the
+# offending line for it to pass. These are private-constructor factories
+# (std::make_unique cannot reach the constructor) and one leaky singleton.
+NEW_ALLOWLIST = {
+    "src/dacapo/graph.cc": ["new MechanismRegistry()"],  # leaky singleton
+    "src/dacapo/session.cc": ["new Session("],  # private ctor, factory-wrapped
+    "src/stream/stream_adapter.cc": ["new FlowConnection("],  # same pattern
+}
+
+NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_]")
+DELETE_RE = re.compile(r"\bdelete\b\s+[A-Za-z_*(]|\bdelete\[\]")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, KEEPING string literals.
+
+    Needed wherever the rule inspects quoted text — e.g. the #include path
+    in the layering check, which strip_comments_and_strings would erase.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def code_files() -> list[Path]:
+    files = []
+    for d in CODE_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.h")))
+            files.extend(sorted(root.rglob("*.cc")))
+    return files
+
+
+def rel(path: Path) -> str:
+    return str(path.relative_to(REPO))
+
+
+def check_raw_sync(path: Path, clean: str, findings: list[str]) -> None:
+    if rel(path).startswith("src/common/"):
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = RAW_SYNC.search(line)
+        if m:
+            findings.append(
+                f"{rel(path)}:{lineno}: raw std::{m.group(1)} outside "
+                f"src/common/ — use the annotated cool:: wrappers "
+                f"(common/mutex.h, common/thread.h)"
+            )
+
+
+def check_raw_bytes(path: Path, clean: str, findings: list[str]) -> None:
+    r = rel(path)
+    if r.startswith(("src/common/", "src/cdr/")) or not r.startswith("src/"):
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = RAW_BYTES.search(line)
+        if m:
+            findings.append(
+                f"{r}:{lineno}: {m.group(1)} outside src/common/ and "
+                f"src/cdr/ — raw byte reinterpretation is confined to the "
+                f"buffer/CDR layers"
+            )
+
+
+def check_decoder_bounds(findings: list[str]) -> None:
+    """Every decoder.h function body that reads data_ must bounds-check."""
+    path = SRC / "cdr" / "decoder.h"
+    if not path.exists():
+        findings.append("src/cdr/decoder.h: missing (decoder bounds rule)")
+        return
+    clean = strip_comments_and_strings(path.read_text())
+    # Split on function definitions at brace level of the class body; a
+    # lightweight scan is enough for this file's uniform formatting.
+    func_re = re.compile(r"^\s*(?:[\w:<>,&*\s]+?)\s(\w+)\s*\([^;]*\)\s*(?:const\s*)?{", re.M)
+    lines = clean.splitlines()
+    text = "\n".join(lines)
+    for m in func_re.finditer(text):
+        name = m.group(1)
+        if name in ("if", "for", "while", "switch", "catch", "return"):
+            continue
+        # Extract the brace-balanced body.
+        start = m.end() - 1
+        depth, i = 0, start
+        while i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = text[start : i + 1]
+        if "data_" not in body:
+            continue
+        if name in ("Decoder", "MakeBodyDecoder"):  # constructors/forwarders
+            continue
+        checked = (
+            "remaining()" in body
+            or "Underrun" in body
+            or "CheckAvail" in body
+            # Delegating primitives: every Get* helper is itself checked.
+            or re.search(r"\bGet\w+\(", body)
+            or "Align(" in body
+        )
+        if not checked:
+            lineno = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                f"src/cdr/decoder.h:{lineno}: {name}() touches data_ "
+                f"without a remaining()/Underrun bounds check"
+            )
+
+
+def check_notify_under_lock(path: Path, clean: str, findings: list[str]) -> None:
+    """Heuristic: a Notify call must follow a lock acquisition in-function."""
+    if "Notify" not in clean:
+        return
+    lines = clean.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not re.search(r"\.\s*Notify(One|All)\s*\(", line):
+            continue
+        # Scan backwards to the start of the enclosing function for a lock.
+        held = False
+        for back in range(lineno - 1, max(0, lineno - 60), -1):
+            prev = lines[back - 1]
+            if re.search(r"\b(MutexLock|WriterMutexLock|ReaderMutexLock)\b", prev):
+                held = True
+                break
+            if re.search(r"\bCOOL_REQUIRES\s*\(", prev):
+                held = True  # caller holds the lock by contract
+                break
+            if re.match(r"^\S.*\)\s*(const\s*)?({)?\s*$", prev) and "(" in prev:
+                break  # hit a function signature at column 0
+        if not held:
+            findings.append(
+                f"{rel(path)}:{lineno}: CondVar Notify without a visible "
+                f"MutexLock in the enclosing function (notify-under-lock "
+                f"rule, see DESIGN.md)"
+            )
+
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
+
+
+def check_layering(findings: list[str]) -> None:
+    for path in sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc")):
+        src_dir = path.relative_to(SRC).parts[0]
+        if src_dir not in LAYER_RANK:
+            continue
+        # Comments-only strip: the include path IS a string literal, so the
+        # combined stripper would blank it and silently disable this rule.
+        text = strip_comments(path.read_text())
+        for m in INCLUDE_RE.finditer(text):
+            inc = m.group(1)
+            inc_dir = inc.split("/", 1)[0]
+            if inc_dir not in LAYER_RANK:
+                continue
+            if LAYER_RANK[inc_dir] > LAYER_RANK[src_dir]:
+                lineno = text.count("\n", 0, m.start()) + 1
+                findings.append(
+                    f"{rel(path)}:{lineno}: layer violation — "
+                    f"{src_dir}/ (rank {LAYER_RANK[src_dir]}) includes "
+                    f"{inc} (rank {LAYER_RANK[inc_dir]}); the layer order "
+                    f"is {', '.join(sorted(LAYER_RANK, key=LAYER_RANK.get))}"
+                )
+
+
+def check_new_delete(path: Path, clean: str, findings: list[str]) -> None:
+    r = rel(path)
+    if not r.startswith("src/"):
+        return
+    allow = NEW_ALLOWLIST.get(r, [])
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if DELETE_RE.search(line) and "= delete" not in line:
+            findings.append(
+                f"{r}:{lineno}: bare delete — heap objects must be owned "
+                f"by smart pointers from birth"
+            )
+        m = NEW_RE.search(line)
+        if not m:
+            continue
+        if any(a in line for a in allow):
+            continue
+        # Placement-like or smart-pointer-wrapped news on the same line are
+        # still flagged: make_unique/make_shared are the sanctioned forms.
+        findings.append(
+            f"{r}:{lineno}: bare new outside the factory allowlist — use "
+            f"std::make_unique/std::make_shared, or extend the allowlist "
+            f"in scripts/check_invariants.py with a justification"
+        )
+
+
+def main() -> int:
+    findings: list[str] = []
+    for path in code_files():
+        clean = strip_comments_and_strings(path.read_text())
+        check_raw_sync(path, clean, findings)
+        check_raw_bytes(path, clean, findings)
+        check_notify_under_lock(path, clean, findings)
+        check_new_delete(path, clean, findings)
+    check_decoder_bounds(findings)
+    check_layering(findings)
+
+    if findings:
+        print(f"check_invariants: {len(findings)} violation(s)")
+        for f in findings:
+            print("  " + f)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,14 +4,13 @@
 // packets, and each module's thread blocks on Pop().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 
 namespace cool {
 
@@ -35,89 +34,91 @@ class BlockingQueue {
   // notify before releasing the mutex the destructor's user must have
   // synchronized on (found by TSan).
   bool Push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+    MutexLock lock(mu_);
+    while (!closed_ && Full()) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking push; returns false if full or closed.
   bool TryPush(T item) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || Full()) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed *and drained*.
   // nullopt means "closed, nothing more will ever arrive".
   std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Pop with deadline; nullopt on timeout or closed+drained. Use
   // `closed()` to distinguish if required.
   std::optional<T> PopFor(Duration timeout) {
-    std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+    const TimePoint deadline = Now() + timeout;
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (!not_empty_.WaitUntil(mu_, deadline)) break;  // timed out
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   std::optional<T> TryPop() {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // After Close(): pushes fail, pops drain remaining items then return
   // nullopt. Idempotent.
   void Close() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   bool empty() const { return size() == 0; }
 
  private:
-  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  bool Full() const COOL_REQUIRES(mu_) {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ COOL_GUARDED_BY(mu_);
+  bool closed_ COOL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cool

@@ -1,7 +1,6 @@
 #include "common/logging.h"
 
 #include <cstdio>
-#include <mutex>
 
 #include "common/clock.h"
 

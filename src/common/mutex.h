@@ -1,0 +1,148 @@
+// Annotated synchronisation primitives. These wrap the standard library
+// types 1:1 but carry Clang -Wthread-safety capability attributes, so a
+// Clang build with COOL_THREAD_SAFETY_ANALYSIS=ON statically checks the
+// locking discipline (which mutex guards which state, lock ordering on a
+// call path, notify-under-lock).
+//
+// Rules of use (enforced by scripts/check_invariants.py):
+//  - raw std::mutex / std::condition_variable / std::shared_mutex only
+//    appear in this header;
+//  - shared state is annotated COOL_GUARDED_BY(mu_);
+//  - condition variables are waited on in explicit while-loops in the
+//    caller (the analysis cannot see through predicate lambdas) and
+//    notified with the mutex held (see BlockingQueue for why).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+
+namespace cool {
+
+class CondVar;
+
+// Exclusive mutex (wraps std::mutex).
+class COOL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() COOL_ACQUIRE() { mu_.lock(); }
+  void Unlock() COOL_RELEASE() { mu_.unlock(); }
+  bool TryLock() COOL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Static-analysis assertion for code paths where the capability is held
+  // but the analysis cannot prove it (e.g. via a scoped lock passed in).
+  void AssertHeld() const COOL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex (wraps std::shared_mutex).
+class COOL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() COOL_ACQUIRE() { mu_.lock(); }
+  void Unlock() COOL_RELEASE() { mu_.unlock(); }
+  void LockShared() COOL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() COOL_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const COOL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over Mutex.
+class COOL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) COOL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() COOL_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII exclusive (writer) lock over SharedMutex.
+class COOL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) COOL_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() COOL_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared (reader) lock over SharedMutex.
+class COOL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) COOL_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() COOL_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to cool::Mutex. Waits release and reacquire the
+// mutex internally; to the static analysis (and the caller) the capability
+// is held across the call, so guarded state may be re-examined right after
+// — the idiom is an explicit loop:
+//
+//   MutexLock lock(mu_);
+//   while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) COOL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // Returns false iff the deadline passed (the mutex is reacquired either
+  // way). Spurious wakeups return true; callers loop on their predicate.
+  bool WaitUntil(Mutex& mu, TimePoint deadline) COOL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  bool WaitFor(Mutex& mu, Duration timeout) COOL_REQUIRES(mu) {
+    return WaitUntil(mu, Now() + timeout);
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cool

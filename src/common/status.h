@@ -116,7 +116,11 @@ class [[nodiscard]] Result {
 
   const Status& status() const noexcept {
     static const Status kOk;
-    return ok() ? kOk : std::get<Status>(rep_);
+    // get_if instead of ok() + get: the single-branch form keeps GCC 12's
+    // -Wmaybe-uninitialized from inventing a read of the Status alternative
+    // at call sites where the variant provably holds a value.
+    const Status* s = std::get_if<Status>(&rep_);
+    return s != nullptr ? *s : kOk;
   }
 
   T& value() & {

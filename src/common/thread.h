@@ -1,0 +1,13 @@
+// Central chokepoint for thread creation. All threads in the system are
+// cool::Thread (std::jthread: joins on destruction, carries a stop token);
+// scripts/check_invariants.py rejects raw std::thread / std::jthread
+// outside src/common/ so thread spawning stays auditable.
+#pragma once
+
+#include <thread>
+
+namespace cool {
+
+using Thread = std::jthread;
+
+}  // namespace cool

@@ -1,0 +1,61 @@
+// Clang -Wthread-safety attribute macros (no-ops elsewhere). The wrappers
+// in common/mutex.h carry these; user code annotates shared state with
+// COOL_GUARDED_BY and lock-discipline contracts with COOL_REQUIRES etc.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define COOL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COOL_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// On a mutex-like class: declares it a capability the analysis tracks.
+#define COOL_CAPABILITY(x) COOL_THREAD_ANNOTATION(capability(x))
+
+// On a scoped lock class (ctor acquires, dtor releases).
+#define COOL_SCOPED_CAPABILITY COOL_THREAD_ANNOTATION(scoped_lockable)
+
+// On a data member: may only be read/written while `x` is held.
+#define COOL_GUARDED_BY(x) COOL_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer member: the *pointed-to* data is protected by `x`.
+#define COOL_PT_GUARDED_BY(x) COOL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: caller must hold the capability (exclusively / shared).
+#define COOL_REQUIRES(...) \
+  COOL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define COOL_REQUIRES_SHARED(...) \
+  COOL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the capability.
+#define COOL_ACQUIRE(...) \
+  COOL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define COOL_ACQUIRE_SHARED(...) \
+  COOL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define COOL_RELEASE(...) \
+  COOL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define COOL_RELEASE_SHARED(...) \
+  COOL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define COOL_RELEASE_GENERIC(...) \
+  COOL_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// On a try-lock: acquires the capability iff the return value is `b`.
+#define COOL_TRY_ACQUIRE(b, ...) \
+  COOL_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// On a function: caller must NOT hold the capability (deadlock guard).
+#define COOL_EXCLUDES(...) COOL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: runtime assertion that the capability is held.
+#define COOL_ASSERT_CAPABILITY(x) \
+  COOL_THREAD_ANNOTATION(assert_capability(x))
+
+// On a function returning a reference to a mutex guarding this object.
+#define COOL_RETURN_CAPABILITY(x) COOL_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (keep rare; the
+// invariant linter counts uses).
+#define COOL_NO_THREAD_SAFETY_ANALYSIS \
+  COOL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -233,7 +233,7 @@ MechanismRegistry& MechanismRegistry::Global() {
 Status MechanismRegistry::Register(const std::string& name,
                                    MechanismProperties properties,
                                    Factory factory) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] =
       entries_.try_emplace(name, Entry{properties, std::move(factory)});
   (void)it;
@@ -245,7 +245,7 @@ Status MechanismRegistry::Register(const std::string& name,
 
 const MechanismProperties* MechanismRegistry::Properties(
     const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() ? &it->second.properties : nullptr;
 }
@@ -254,7 +254,7 @@ Result<std::unique_ptr<Module>> MechanismRegistry::Create(
     const MechanismSpec& spec) const {
   Factory factory;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(spec.name);
     if (it == entries_.end()) {
       return Status(NotFoundError("unknown mechanism: " + spec.name));
@@ -276,7 +276,7 @@ Result<std::vector<std::unique_ptr<Module>>> MechanismRegistry::CreateChain(
 }
 
 std::vector<std::string> MechanismRegistry::Names() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);

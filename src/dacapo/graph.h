@@ -14,11 +14,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cdr/types.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dacapo/module.h"
 
@@ -113,8 +113,8 @@ class MechanismRegistry {
     Factory factory;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ COOL_GUARDED_BY(mu_);
 };
 
 // Built-in mechanism names (the registry keys).

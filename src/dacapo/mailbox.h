@@ -11,13 +11,12 @@
 // (their volume is bounded by the receive window of the transport).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <variant>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "dacapo/packet.h"
 
 namespace cool::dacapo {
@@ -65,28 +64,28 @@ class Mailbox {
   // under the mutex so a consumer may destroy the mailbox right after
   // observing the item — see BlockingQueue for the rationale.)
   void PushControl(Direction dir, ControlMsg msg) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     control_.push_back({dir, std::move(msg)});
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // Up data: never blocks (see file comment).
   void PushUp(PacketPtr pkt) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     up_.push_back(std::move(pkt));
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // Down data: blocks while the down queue is full. Returns false when the
   // mailbox closed while waiting (packet is dropped).
   bool PushDown(PacketPtr pkt) {
-    std::unique_lock lock(mu_);
-    space_.wait(lock, [&] { return closed_ || down_.size() < down_capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && down_.size() >= down_capacity_) space_.Wait(mu_);
     if (closed_) return false;
     down_.push_back(std::move(pkt));
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
 
@@ -95,7 +94,7 @@ class Mailbox {
   // within `timeout`, kClosed once closed and fully drained.
   PopResult PopNext(bool accept_down, Duration timeout) {
     const TimePoint deadline = Now() + timeout;
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
       if (!control_.empty()) {
         PopResult r;
@@ -117,7 +116,7 @@ class Mailbox {
         r.kind = PopResult::Kind::kData;
         r.data = DataItem{Direction::kDown, std::move(down_.front())};
         down_.pop_front();
-        space_.notify_one();
+        space_.NotifyOne();
         return r;
       }
       if (closed_) {
@@ -125,7 +124,7 @@ class Mailbox {
         r.kind = PopResult::Kind::kClosed;
         return r;
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (!cv_.WaitUntil(mu_, deadline)) {
         PopResult r;
         r.kind = PopResult::Kind::kTimeout;
         return r;
@@ -134,35 +133,35 @@ class Mailbox {
   }
 
   void Close() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     // Packets held in the queues return to the arena on destruction.
     control_.clear();
     up_.clear();
     down_.clear();
-    cv_.notify_all();
-    space_.notify_all();
+    cv_.NotifyAll();
+    space_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t down_size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return down_.size();
   }
 
  private:
   const std::size_t down_capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable space_;
-  std::deque<std::pair<Direction, ControlMsg>> control_;
-  std::deque<PacketPtr> up_;
-  std::deque<PacketPtr> down_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar space_;
+  std::deque<std::pair<Direction, ControlMsg>> control_ COOL_GUARDED_BY(mu_);
+  std::deque<PacketPtr> up_ COOL_GUARDED_BY(mu_);
+  std::deque<PacketPtr> down_ COOL_GUARDED_BY(mu_);
+  bool closed_ COOL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cool::dacapo

@@ -526,7 +526,7 @@ std::string FragmentModule::DescribeStats() const {
 void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
   if (dir == Direction::kDown) {
     {
-      std::lock_guard lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.packets_tx;
       stats_.bytes_tx += pkt->size();
     }
@@ -535,7 +535,7 @@ void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
   }
 
   {
-    std::lock_guard lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.packets_rx;
     stats_.bytes_rx += pkt->size();
     const TimePoint now = Now();
@@ -573,12 +573,12 @@ std::string AppAModule::DescribeStats() const {
 }
 
 AppAModule::Stats AppAModule::snapshot() const {
-  std::lock_guard lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 void AppAModule::ResetStats() {
-  std::lock_guard lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_ = Stats{};
 }
 

@@ -17,10 +17,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dacapo/module.h"
 
@@ -313,8 +313,8 @@ class AppAModule : public Module {
 
  private:
   const DeliveryMode mode_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ COOL_GUARDED_BY(stats_mu_);
   BlockingQueue<std::vector<std::uint8_t>> rx_queue_;
 };
 

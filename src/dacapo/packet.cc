@@ -20,7 +20,7 @@ PacketArena::PacketArena(std::size_t packet_count,
 PacketArena::~PacketArena() = default;
 
 Result<PacketPtr> PacketArena::Allocate() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (free_.empty()) {
     return Status(ResourceExhaustedError("packet arena exhausted"));
   }
@@ -45,12 +45,12 @@ Result<PacketPtr> PacketArena::Clone(const Packet& src) {
 }
 
 std::size_t PacketArena::in_flight() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return all_.size() - free_.size();
 }
 
 void PacketArena::Return(Packet* p) noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   free_.push_back(p);
 }
 

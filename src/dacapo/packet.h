@@ -10,11 +10,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cool::dacapo {
@@ -151,9 +151,9 @@ class PacketArena {
   void Return(Packet* p) noexcept;
 
   const std::size_t payload_capacity_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Packet>> all_;
-  std::vector<Packet*> free_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Packet>> all_;  // immutable after construction
+  std::vector<Packet*> free_ COOL_GUARDED_BY(mu_);
 };
 
 }  // namespace cool::dacapo

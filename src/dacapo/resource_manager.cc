@@ -12,7 +12,7 @@ Result<ResourceManager::Reservation> ResourceManager::Admit(
     const qos::ProtocolRequirements& req, std::size_t packet_memory_bytes) {
   const std::uint64_t bandwidth_ask = req.min_throughput_kbps;
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (connections_ >= budget_.max_connections) {
     return Status(ResourceExhaustedError("connection budget exhausted"));
   }
@@ -36,24 +36,24 @@ Result<ResourceManager::Reservation> ResourceManager::Admit(
 
 void ResourceManager::Release(std::uint64_t bandwidth_kbps,
                               std::size_t memory_bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   reserved_bandwidth_kbps_ -= bandwidth_kbps;
   reserved_memory_bytes_ -= memory_bytes;
   --connections_;
 }
 
 std::uint64_t ResourceManager::reserved_bandwidth_kbps() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return reserved_bandwidth_kbps_;
 }
 
 std::size_t ResourceManager::active_connections() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return connections_;
 }
 
 std::size_t ResourceManager::reserved_memory_bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return reserved_memory_bytes_;
 }
 

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "qos/mapping.h"
 
@@ -76,10 +76,10 @@ class ResourceManager {
   void Release(std::uint64_t bandwidth_kbps, std::size_t memory_bytes);
 
   const Budget budget_;
-  mutable std::mutex mu_;
-  std::uint64_t reserved_bandwidth_kbps_ = 0;
-  std::size_t connections_ = 0;
-  std::size_t reserved_memory_bytes_ = 0;
+  mutable Mutex mu_;
+  std::uint64_t reserved_bandwidth_kbps_ COOL_GUARDED_BY(mu_) = 0;
+  std::size_t connections_ COOL_GUARDED_BY(mu_) = 0;
+  std::size_t reserved_memory_bytes_ COOL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cool::dacapo

@@ -27,7 +27,7 @@ Status ModuleChain::Start() {
     return FailedPreconditionError("chain already started");
   }
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    entries_[i]->thread = std::jthread(
+    entries_[i]->thread = Thread(
         [this, i](std::stop_token st) { RunModule(i, st); });
   }
   return Status::Ok();

@@ -12,10 +12,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread.h"
 #include "dacapo/module.h"
 
 namespace cool::dacapo {
@@ -94,7 +94,7 @@ class ModuleChain {
     std::unique_ptr<Module> module;
     Mailbox mailbox;
     std::unique_ptr<Port> port;
-    std::jthread thread;
+    Thread thread;
   };
 
   void RunModule(std::size_t index, std::stop_token stop);

@@ -183,10 +183,10 @@ Result<Session::DataPlane> Session::BuildPlane(
 
 void Session::AdoptPlane(DataPlane plane) {
   {
-    std::shared_lock lock(plane_mu_);
+    ReaderMutexLock lock(plane_mu_);
     if (plane_.chain != nullptr) plane_.chain->Stop();
   }
-  std::unique_lock lock(plane_mu_);
+  WriterMutexLock lock(plane_mu_);
   plane_ = std::move(plane);
 }
 
@@ -194,7 +194,7 @@ Status Session::Send(std::span<const std::uint8_t> payload) {
   if (payload.size() > options_.packet_capacity) {
     return InvalidArgumentError("message exceeds channel packet capacity");
   }
-  std::shared_lock lock(plane_mu_);
+  ReaderMutexLock lock(plane_mu_);
   if (plane_.chain == nullptr || !plane_.chain->started()) {
     return FailedPreconditionError("session has no active data plane");
   }
@@ -221,15 +221,21 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
   for (;;) {
     AppAModule* a = nullptr;
+    Result<std::vector<std::uint8_t>> got(
+        Status(UnavailableError("data plane torn down")));
     {
-      std::shared_lock lock(plane_mu_);
+      // The blocking receive runs UNDER the shared lock: AdoptPlane stops
+      // the old chain while itself holding only a shared lock (which wakes
+      // us with kUnavailable) and needs the exclusive lock to destroy it,
+      // so the module cannot be freed while we are still inside it.
+      ReaderMutexLock lock(plane_mu_);
       a = plane_.a_module;
+      if (a == nullptr) {
+        return Status(
+            FailedPreconditionError("session has no active data plane"));
+      }
+      got = a->Receive(deadline - Now());
     }
-    if (a == nullptr) {
-      return Status(
-          FailedPreconditionError("session has no active data plane"));
-    }
-    auto got = a->Receive(deadline - Now());
     if (got.ok() || got.status().code() != ErrorCode::kUnavailable) {
       return got;
     }
@@ -244,7 +250,7 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
     while (!closed_.load() && Now() < grace_end) {
       AppAModule* now_active = nullptr;
       {
-        std::shared_lock lock(plane_mu_);
+        ReaderMutexLock lock(plane_mu_);
         now_active = plane_.a_module;
       }
       if (now_active != a) {
@@ -258,34 +264,34 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
 }
 
 AppAModule::Stats Session::stats() const {
-  std::shared_lock lock(plane_mu_);
+  ReaderMutexLock lock(plane_mu_);
   return plane_.a_module != nullptr ? plane_.a_module->snapshot()
                                     : AppAModule::Stats{};
 }
 
 void Session::ResetStats() {
-  std::shared_lock lock(plane_mu_);
+  ReaderMutexLock lock(plane_mu_);
   if (plane_.a_module != nullptr) plane_.a_module->ResetStats();
 }
 
 std::vector<std::string> Session::DescribeGraph() const {
-  std::shared_lock lock(plane_mu_);
+  ReaderMutexLock lock(plane_mu_);
   if (plane_.chain == nullptr) return {};
   return plane_.chain->DescribeModules();
 }
 
 ModuleGraphSpec Session::graph() const {
-  std::shared_lock lock(plane_mu_);
+  ReaderMutexLock lock(plane_mu_);
   return plane_.graph;
 }
 
 Status Session::last_error() const {
-  std::lock_guard lock(error_mu_);
+  MutexLock lock(error_mu_);
   return error_;
 }
 
 void Session::ReportError(Status error) {
-  std::lock_guard lock(error_mu_);
+  MutexLock lock(error_mu_);
   if (error_.ok()) error_ = std::move(error);
 }
 
@@ -432,7 +438,7 @@ void Session::SignallingLoop(std::stop_token stop) {
       case wire::kClose:
         ReportError(UnavailableError("peer closed the connection"));
         {
-          std::shared_lock lock(plane_mu_);
+          ReaderMutexLock lock(plane_mu_);
           if (plane_.chain != nullptr) plane_.chain->Stop();
         }
         return;
@@ -450,7 +456,7 @@ void Session::Close() {
   signalling_->Close();  // wakes the signalling thread
   responses_.Close();
   {
-    std::shared_lock lock(plane_mu_);
+    ReaderMutexLock lock(plane_mu_);
     if (plane_.chain != nullptr) plane_.chain->Stop();
   }
   if (signalling_thread_.joinable() &&
@@ -513,7 +519,7 @@ Result<std::unique_ptr<Session>> Connector::Connect(
                                    {remote.host, peer_port}, session.get()));
   }
   session->AdoptPlane(std::move(plane));
-  session->signalling_thread_ = std::jthread(
+  session->signalling_thread_ = Thread(
       [s = session.get()](std::stop_token st) { s->SignallingLoop(st); });
   return session;
 }
@@ -616,7 +622,7 @@ Result<std::unique_ptr<Session>> Acceptor::Accept(
                                          wire::kConfigAck, EncodeAck(port)));
   }
   session->AdoptPlane(std::move(plane));
-  session->signalling_thread_ = std::jthread(
+  session->signalling_thread_ = Thread(
       [s = session.get()](std::stop_token st) { s->SignallingLoop(st); });
   return session;
 }

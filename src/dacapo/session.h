@@ -22,11 +22,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
-#include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/mutex.h"
+#include "common/thread.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/graph.h"
 #include "dacapo/modules.h"
@@ -132,16 +132,16 @@ class Session {
   const bool initiator_;
   ResourceManager::Reservation reservation_;
 
-  mutable std::shared_mutex plane_mu_;
-  DataPlane plane_;
+  mutable SharedMutex plane_mu_;
+  DataPlane plane_ COOL_GUARDED_BY(plane_mu_);
 
   // Responses to our own signalling requests (RECONF_ACK/NAK frames).
   BlockingQueue<std::vector<std::uint8_t>> responses_;
 
-  mutable std::mutex error_mu_;
-  Status error_;
+  mutable Mutex error_mu_;
+  Status error_ COOL_GUARDED_BY(error_mu_);
 
-  std::jthread signalling_thread_;
+  Thread signalling_thread_;
   std::atomic<bool> closed_{false};
 };
 

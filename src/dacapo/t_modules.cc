@@ -26,7 +26,7 @@ std::array<std::uint8_t, 4> LengthPrefix(std::size_t n) {
 // --- TStreamModule ----------------------------------------------------------
 
 Status TStreamModule::OnStart(ModulePort& port) {
-  rx_thread_ = std::jthread(
+  rx_thread_ = Thread(
       [this, &port](std::stop_token st) { RxLoop(port, st); });
   return Status::Ok();
 }
@@ -87,7 +87,7 @@ void TStreamModule::RxLoop(ModulePort& port, std::stop_token stop) {
 // --- TDatagramModule --------------------------------------------------------
 
 Status TDatagramModule::OnStart(ModulePort& port) {
-  rx_thread_ = std::jthread(
+  rx_thread_ = Thread(
       [this, &port](std::stop_token st) { RxLoop(port, st); });
   return Status::Ok();
 }

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <memory>
-#include <thread>
+#include "common/thread.h"
 
 #include "dacapo/module.h"
 #include "sim/network.h"
@@ -32,7 +32,7 @@ class TStreamModule : public Module {
   void RxLoop(ModulePort& port, std::stop_token stop);
 
   std::unique_ptr<sim::StreamSocket> socket_;
-  std::jthread rx_thread_;
+  Thread rx_thread_;
 };
 
 class TDatagramModule : public Module {
@@ -51,7 +51,7 @@ class TDatagramModule : public Module {
 
   std::unique_ptr<sim::DatagramPort> dgram_;
   sim::Address peer_;
-  std::jthread rx_thread_;
+  Thread rx_thread_;
 };
 
 }  // namespace cool::dacapo

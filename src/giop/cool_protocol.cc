@@ -192,7 +192,7 @@ Result<Reply> CoolClient::Invoke(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const std::uint8_t> args,
     const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Request request;
   request.id = next_id_++;
   request.object_key = object_key;
@@ -217,7 +217,7 @@ Status CoolClient::InvokeOneway(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const std::uint8_t> args,
     const std::vector<qos::QoSParameter>& qos_params) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Request request;
   request.id = next_id_++;
   request.response_expected = false;

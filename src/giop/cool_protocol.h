@@ -23,7 +23,6 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 
 #include "giop/engine.h"  // ReplyStatus + DispatchResult reused
 #include "transport/com_channel.h"
@@ -78,8 +77,8 @@ class CoolClient {
 
  private:
   transport::ComChannel* channel_;
-  std::mutex mu_;
-  std::uint32_t next_id_ = 1;
+  Mutex mu_;
+  std::uint32_t next_id_ COOL_GUARDED_BY(mu_) = 1;
 };
 
 // Server engine; plugs into the same dispatcher type as the GIOP server so

@@ -71,7 +71,7 @@ Result<GiopClient::Reply> GiopClient::Invoke(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const corba::ULong id = next_request_id_++;
   const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
                                              qos_params, true, id);
@@ -90,7 +90,7 @@ Status GiopClient::InvokeOneway(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const corba::ULong id = next_request_id_++;
   const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
                                              qos_params, false, id);
@@ -101,7 +101,7 @@ Result<corba::ULong> GiopClient::InvokeDeferred(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const corba::ULong id = next_request_id_++;
   const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
                                              qos_params, true, id);
@@ -111,7 +111,7 @@ Result<corba::ULong> GiopClient::InvokeDeferred(
 
 Result<GiopClient::Reply> GiopClient::PollReply(corba::ULong request_id,
                                                 Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (abandoned_.contains(request_id)) {
     abandoned_.erase(request_id);
     return Status(CancelledError("request was cancelled"));
@@ -127,7 +127,7 @@ Result<GiopClient::Reply> GiopClient::PollReply(corba::ULong request_id,
 }
 
 Status GiopClient::Cancel(corba::ULong request_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   CancelRequestHeader header{request_id};
   const ByteBuffer msg =
       BuildCancelRequest(kGiop10, header, options_.order);
@@ -137,7 +137,7 @@ Status GiopClient::Cancel(corba::ULong request_id) {
 
 Result<LocateStatus> GiopClient::Locate(const corba::OctetSeq& object_key,
                                         Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const corba::ULong id = next_request_id_++;
   LocateRequestHeader header;
   header.request_id = id;
@@ -159,7 +159,7 @@ Result<LocateStatus> GiopClient::Locate(const corba::OctetSeq& object_key,
 }
 
 Status GiopClient::SendClose() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const ByteBuffer msg = BuildCloseConnection(kGiop10, options_.order);
   return channel_->SendMessage(msg.view());
 }

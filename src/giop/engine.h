@@ -6,9 +6,9 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "giop/message.h"
 #include "transport/com_channel.h"
 
@@ -93,11 +93,15 @@ class GiopClient {
     return cdr::Encoder(options_.order, 0);
   }
 
-  corba::ULong last_request_id() const { return next_request_id_ - 1; }
+  corba::ULong last_request_id() const {
+    MutexLock lock(mu_);
+    return next_request_id_ - 1;
+  }
 
  private:
   Result<ParsedMessage> NextMatchingReplyLocked(corba::ULong request_id,
-                                                Duration timeout);
+                                                Duration timeout)
+      COOL_REQUIRES(mu_);
   ByteBuffer BuildRequestMessage(
       const corba::OctetSeq& object_key, const std::string& operation,
       std::span<const corba::Octet> args_cdr,
@@ -106,9 +110,9 @@ class GiopClient {
 
   transport::ComChannel* channel_;
   Options options_;
-  std::mutex mu_;
-  corba::ULong next_request_id_ = 1;
-  std::unordered_set<corba::ULong> abandoned_;
+  mutable Mutex mu_;
+  corba::ULong next_request_id_ COOL_GUARDED_BY(mu_) = 1;
+  std::unordered_set<corba::ULong> abandoned_ COOL_GUARDED_BY(mu_);
 };
 
 class GiopServer {

@@ -119,8 +119,7 @@ Alt2Server::~Alt2Server() { Shutdown(); }
 
 Status Alt2Server::Start() {
   COOL_RETURN_IF_ERROR(acceptor_.Listen());
-  accept_thread_ =
-      std::jthread([this](std::stop_token st) { AcceptLoop(st); });
+  accept_thread_ = Thread([this](std::stop_token st) { AcceptLoop(st); });
   return Status::Ok();
 }
 
@@ -131,7 +130,7 @@ void Alt2Server::Shutdown() {
     accept_thread_.request_stop();
     accept_thread_.join();
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& session : sessions_) session->Close();
 }
 
@@ -139,7 +138,7 @@ void Alt2Server::AcceptLoop(std::stop_token stop) {
   while (!stop.stop_requested()) {
     auto session = acceptor_.Accept();
     if (!session.ok()) return;  // acceptor closed
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_.load()) return;
     ++connections_;
     sessions_.push_back(std::move(session).value());
@@ -147,7 +146,7 @@ void Alt2Server::AcceptLoop(std::stop_token stop) {
 }
 
 std::uint64_t Alt2Server::connections() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return connections_;
 }
 

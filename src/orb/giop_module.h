@@ -19,6 +19,8 @@
 //    ordinary GiopClient drives an alternative-(ii) server unchanged.
 #pragma once
 
+#include "common/mutex.h"
+#include "common/thread.h"
 #include "dacapo/module.h"
 #include "dacapo/session.h"
 #include "giop/message.h"
@@ -107,11 +109,12 @@ class Alt2Server {
   dacapo::Acceptor acceptor_;
   ObjectAdapter* adapter_;
   GiopServerAModule::Options options_;
-  std::jthread accept_thread_;
+  Thread accept_thread_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<dacapo::Session>> sessions_;
-  std::uint64_t connections_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<dacapo::Session>> sessions_
+      COOL_GUARDED_BY(mu_);
+  std::uint64_t connections_ COOL_GUARDED_BY(mu_) = 0;
   std::atomic<bool> shutdown_{false};
 };
 

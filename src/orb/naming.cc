@@ -48,7 +48,7 @@ DispatchOutcome NamingServant::Dispatch(std::string_view operation,
 
 Status NamingServant::Bind(const std::string& name, const std::string& ior) {
   if (name.empty()) return InvalidArgumentError("empty name");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = bindings_.try_emplace(name, ior);
   (void)it;
   if (!inserted) return AlreadyExistsError("name already bound: " + name);
@@ -58,13 +58,13 @@ Status NamingServant::Bind(const std::string& name, const std::string& ior) {
 Status NamingServant::Rebind(const std::string& name,
                              const std::string& ior) {
   if (name.empty()) return InvalidArgumentError("empty name");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bindings_[name] = ior;
   return Status::Ok();
 }
 
 Result<std::string> NamingServant::Resolve(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = bindings_.find(name);
   if (it == bindings_.end()) {
     return Status(NotFoundError("no binding for name: " + name));
@@ -73,7 +73,7 @@ Result<std::string> NamingServant::Resolve(const std::string& name) const {
 }
 
 Status NamingServant::Unbind(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (bindings_.erase(name) == 0) {
     return NotFoundError("no binding for name: " + name);
   }
@@ -81,7 +81,7 @@ Status NamingServant::Unbind(const std::string& name) {
 }
 
 std::vector<std::string> NamingServant::List() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(bindings_.size());
   for (const auto& [name, ior] : bindings_) names.push_back(name);

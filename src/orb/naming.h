@@ -13,9 +13,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "orb/object_ref.h"
 #include "orb/servant.h"
 #include "orb/stub.h"
@@ -41,8 +41,8 @@ class NamingServant : public Servant {
   std::vector<std::string> List() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> bindings_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> bindings_ COOL_GUARDED_BY(mu_);
 };
 
 // Client-side convenience wrapper around a stub bound to a NamingServant.

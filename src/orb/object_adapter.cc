@@ -13,7 +13,7 @@ Result<corba::OctetSeq> ObjectAdapter::Activate(
     return Status(InvalidArgumentError("null servant"));
   }
   corba::OctetSeq key(name.begin(), name.end());
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = servants_.try_emplace(key, std::move(servant));
   (void)it;
   if (!inserted) {
@@ -23,7 +23,7 @@ Result<corba::OctetSeq> ObjectAdapter::Activate(
 }
 
 Status ObjectAdapter::Deactivate(const corba::OctetSeq& object_key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (servants_.erase(object_key) == 0) {
     return NotFoundError("no active object for key");
   }
@@ -32,7 +32,7 @@ Status ObjectAdapter::Deactivate(const corba::OctetSeq& object_key) {
 
 std::shared_ptr<Servant> ObjectAdapter::Find(
     const corba::OctetSeq& object_key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = servants_.find(object_key);
   return it != servants_.end() ? it->second : nullptr;
 }
@@ -42,12 +42,12 @@ bool ObjectAdapter::Exists(const corba::OctetSeq& object_key) const {
 }
 
 std::size_t ObjectAdapter::active_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return servants_.size();
 }
 
 std::uint64_t ObjectAdapter::qos_nacks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return qos_nacks_;
 }
 
@@ -95,7 +95,7 @@ giop::GiopServer::DispatchResult ObjectAdapter::DispatchImpl(
     const qos::NegotiationResult negotiated = servant->NegotiateQoS(*spec);
     if (!negotiated.accepted) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++qos_nacks_;
       }
       COOL_LOG(kInfo, "orb") << "QoS NACK for '" << operation

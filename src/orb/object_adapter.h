@@ -8,9 +8,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "giop/engine.h"
 #include "orb/exceptions.h"
 #include "orb/servant.h"
@@ -56,9 +56,10 @@ class ObjectAdapter {
   static giop::GiopServer::DispatchResult MakeSystemException(
       const Status& status, cdr::ByteOrder order);
 
-  mutable std::mutex mu_;
-  std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants_;
-  std::uint64_t qos_nacks_ = 0;
+  mutable Mutex mu_;
+  std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants_
+      COOL_GUARDED_BY(mu_);
+  std::uint64_t qos_nacks_ COOL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cool::orb

@@ -75,9 +75,9 @@ void ORB::Shutdown() {
   }
   accept_threads_.clear();
 
-  std::unordered_map<std::uint64_t, std::jthread> connections;
+  std::unordered_map<std::uint64_t, Thread> connections;
   {
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (auto& [id, channel] : live_channels_) channel->Close();
     connections.swap(connection_threads_);
   }
@@ -94,9 +94,9 @@ void ORB::AcceptLoop(transport::ComManager* manager, std::stop_token stop) {
 
     // Reap threads of connections that have since ended, outside the lock
     // (join must not run under conn_mu_ — ServeConnection takes it last).
-    std::vector<std::jthread> reaped;
+    std::vector<Thread> reaped;
     {
-      std::lock_guard lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       if (shutdown_.load()) return;
       for (const std::uint64_t id : finished_connections_) {
         const auto it = connection_threads_.find(id);
@@ -111,13 +111,13 @@ void ORB::AcceptLoop(transport::ComManager* manager, std::stop_token stop) {
       if (t.joinable()) t.join();
     }
 
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (shutdown_.load()) return;
     ++connections_accepted_;
     const std::uint64_t id = next_conn_id_++;
     auto owned = std::move(channel).value();
     connection_threads_.emplace(
-        id, std::jthread([this, id, ch = std::move(owned)](
+        id, Thread([this, id, ch = std::move(owned)](
                              std::stop_token) mutable {
           ServeConnection(id, std::move(ch));
         }));
@@ -127,7 +127,7 @@ void ORB::AcceptLoop(transport::ComManager* manager, std::stop_token stop) {
 void ORB::ServeConnection(std::uint64_t id,
                           std::unique_ptr<transport::ComChannel> channel) {
   {
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     live_channels_[id] = channel.get();
   }
 
@@ -145,7 +145,7 @@ void ORB::ServeConnection(std::uint64_t id,
   const Status end = server.Serve();
   COOL_LOG(kDebug, "orb") << host_ << ": connection ended: " << end;
 
-  std::lock_guard lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   live_channels_.erase(id);
   finished_connections_.push_back(id);
 }
@@ -168,7 +168,7 @@ bool ORB::IsLocal(const ObjectRef& ref) const {
 }
 
 std::uint64_t ORB::connections_accepted() const {
-  std::lock_guard lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   return connections_accepted_;
 }
 

@@ -11,12 +11,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/resource_manager.h"
 #include "orb/object_adapter.h"
@@ -98,16 +98,18 @@ class ORB {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdown_{false};
-  std::vector<std::jthread> accept_threads_;
+  std::vector<Thread> accept_threads_;
 
-  mutable std::mutex conn_mu_;
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<std::uint64_t, transport::ComChannel*> live_channels_;
-  std::unordered_map<std::uint64_t, std::jthread> connection_threads_;
+  mutable Mutex conn_mu_;
+  std::uint64_t next_conn_id_ COOL_GUARDED_BY(conn_mu_) = 1;
+  std::unordered_map<std::uint64_t, transport::ComChannel*> live_channels_
+      COOL_GUARDED_BY(conn_mu_);
+  std::unordered_map<std::uint64_t, Thread> connection_threads_
+      COOL_GUARDED_BY(conn_mu_);
   // Connections whose serve loop ended; their threads are joined and
   // reaped by the next accept (long-running servers stay bounded).
-  std::vector<std::uint64_t> finished_connections_;
-  std::uint64_t connections_accepted_ = 0;
+  std::vector<std::uint64_t> finished_connections_ COOL_GUARDED_BY(conn_mu_);
+  std::uint64_t connections_accepted_ COOL_GUARDED_BY(conn_mu_) = 0;
 };
 
 }  // namespace cool::orb

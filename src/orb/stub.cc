@@ -9,13 +9,13 @@ Stub::Stub(ORB* orb, ObjectRef ref) : orb_(orb), ref_(std::move(ref)) {}
 
 Stub::~Stub() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (client_ != nullptr) (void)client_->SendClose();
     if (channel_ != nullptr) channel_->Close();
   }
-  std::vector<std::jthread> threads;
+  std::vector<Thread> threads;
   {
-    std::lock_guard lock(async_mu_);
+    MutexLock lock(async_mu_);
     threads.swap(async_threads_);
   }
   for (auto& t : threads) {
@@ -46,7 +46,7 @@ Status Stub::EnsureBoundLocked() {
 }
 
 Status Stub::SetQoSParameter(const qos::QoSSpec& spec) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   explicit_binding_ = true;
 
   if (colocated_) {
@@ -79,24 +79,24 @@ Status Stub::SetQoSParameter(const qos::QoSSpec& spec) {
 }
 
 qos::QoSSpec Stub::qos() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return qos_;
 }
 
 bool Stub::explicit_binding() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return explicit_binding_;
 }
 
 std::string_view Stub::bound_protocol() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (colocated_) return "colocated";
   if (channel_ != nullptr) return channel_->protocol();
   return "";
 }
 
 Status Stub::Unbind() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (client_ != nullptr) (void)client_->SendClose();
   if (channel_ != nullptr) channel_->Close();
   client_.reset();
@@ -159,7 +159,7 @@ Result<Stub::ReplyData> Stub::InvokeColocated(
 Result<Stub::ReplyData> Stub::Invoke(const std::string& operation,
                                      std::span<const corba::Octet> args,
                                      Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   COOL_RETURN_IF_ERROR(EnsureBoundLocked());
   if (colocated_) return InvokeColocated(operation, args);
   COOL_ASSIGN_OR_RETURN(
@@ -171,7 +171,7 @@ Result<Stub::ReplyData> Stub::Invoke(const std::string& operation,
 
 Status Stub::InvokeOneway(const std::string& operation,
                           std::span<const corba::Octet> args) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   COOL_RETURN_IF_ERROR(EnsureBoundLocked());
   if (colocated_) {
     auto discarded = InvokeColocated(operation, args);
@@ -183,7 +183,7 @@ Status Stub::InvokeOneway(const std::string& operation,
 
 Result<corba::ULong> Stub::InvokeDeferred(
     const std::string& operation, std::span<const corba::Octet> args) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   COOL_RETURN_IF_ERROR(EnsureBoundLocked());
   if (colocated_) {
     return Status(
@@ -195,7 +195,7 @@ Result<corba::ULong> Stub::InvokeDeferred(
 
 Result<Stub::ReplyData> Stub::PollReply(corba::ULong request_id,
                                         Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (client_ == nullptr) {
     return Status(FailedPreconditionError("no binding"));
   }
@@ -205,7 +205,7 @@ Result<Stub::ReplyData> Stub::PollReply(corba::ULong request_id,
 }
 
 Status Stub::CancelRequest(corba::ULong request_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (client_ == nullptr) {
     return FailedPreconditionError("no binding");
   }
@@ -218,7 +218,7 @@ Status Stub::InvokeAsync(const std::string& operation,
   // Capture everything by value; the worker re-enters Invoke which takes
   // the stub lock itself.
   std::vector<corba::Octet> args_copy(args.begin(), args.end());
-  std::lock_guard lock(async_mu_);
+  MutexLock lock(async_mu_);
   async_threads_.emplace_back(
       [this, operation, args_copy = std::move(args_copy),
        cb = std::move(callback)](std::stop_token) {
@@ -228,7 +228,7 @@ Status Stub::InvokeAsync(const std::string& operation,
 }
 
 Result<bool> Stub::LocateObject(Duration timeout) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   COOL_RETURN_IF_ERROR(EnsureBoundLocked());
   if (colocated_) return true;
   COOL_ASSIGN_OR_RETURN(giop::LocateStatus status,

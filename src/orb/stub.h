@@ -17,9 +17,9 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
-#include <thread>
 
+#include "common/mutex.h"
+#include "common/thread.h"
 #include "giop/engine.h"
 #include "orb/orb.h"
 
@@ -98,24 +98,25 @@ class Stub {
 
  private:
   // Establishes the binding if absent (implicit binding on first call).
-  Status EnsureBoundLocked();
+  Status EnsureBoundLocked() COOL_REQUIRES(mu_);
   Result<ReplyData> FromGiopReply(const giop::GiopClient::Reply& reply) const;
   Result<ReplyData> InvokeColocated(const std::string& operation,
-                                    std::span<const corba::Octet> args);
+                                    std::span<const corba::Octet> args)
+      COOL_REQUIRES(mu_);
 
   ORB* orb_;
   ObjectRef ref_;
   cdr::ByteOrder order_ = cdr::NativeOrder();
 
-  mutable std::mutex mu_;
-  std::unique_ptr<transport::ComChannel> channel_;
-  std::unique_ptr<giop::GiopClient> client_;
-  qos::QoSSpec qos_;
-  bool explicit_binding_ = false;
-  bool colocated_ = false;
+  mutable Mutex mu_;
+  std::unique_ptr<transport::ComChannel> channel_ COOL_GUARDED_BY(mu_);
+  std::unique_ptr<giop::GiopClient> client_ COOL_GUARDED_BY(mu_);
+  qos::QoSSpec qos_ COOL_GUARDED_BY(mu_);
+  bool explicit_binding_ COOL_GUARDED_BY(mu_) = false;
+  bool colocated_ COOL_GUARDED_BY(mu_) = false;
 
-  std::mutex async_mu_;
-  std::vector<std::jthread> async_threads_;
+  Mutex async_mu_;
+  std::vector<Thread> async_threads_ COOL_GUARDED_BY(async_mu_);
 };
 
 }  // namespace cool::orb

@@ -15,7 +15,7 @@ Status StreamPipe::Write(std::span<const std::uint8_t> data) {
   // serialized; this write extends that horizon.
   TimePoint send_done;
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return UnavailableError("stream closed");
     const TimePoint start = std::max(Now(), link_free_at_);
     send_done = start + link_.SerializationDelay(data.size());
@@ -23,10 +23,8 @@ Status StreamPipe::Write(std::span<const std::uint8_t> data) {
   }
   PreciseSleep(send_done - Now());
 
-  std::unique_lock lock(mu_);
-  writable_.wait(lock, [&] {
-    return closed_ || buffered_bytes_ < window_bytes_;
-  });
+  MutexLock lock(mu_);
+  while (!closed_ && buffered_bytes_ >= window_bytes_) writable_.Wait(mu_);
   if (closed_) return UnavailableError("stream closed");
 
   Chunk chunk;
@@ -34,14 +32,14 @@ Status StreamPipe::Write(std::span<const std::uint8_t> data) {
   chunk.data.assign(data.begin(), data.end());
   buffered_bytes_ += chunk.data.size();
   chunks_.push_back(std::move(chunk));
-  readable_.notify_one();  // under the lock: destruction-safe
+  readable_.NotifyOne();  // under the lock: destruction-safe
   return Status::Ok();
 }
 
 Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
                                      std::optional<TimePoint> deadline) {
   if (out.empty()) return std::size_t{0};
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (!chunks_.empty()) {
       const TimePoint ready = chunks_.front().ready;
@@ -50,9 +48,9 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
         if (Now() >= *deadline) {
           return Status(DeadlineExceededError("stream read timed out"));
         }
-        readable_.wait_until(lock, *deadline);
+        readable_.WaitUntil(mu_, *deadline);
       } else {
-        readable_.wait_until(lock, ready);
+        readable_.WaitUntil(mu_, ready);
       }
       continue;
     }
@@ -61,9 +59,9 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
       if (Now() >= *deadline) {
         return Status(DeadlineExceededError("stream read timed out"));
       }
-      readable_.wait_until(lock, *deadline);
+      readable_.WaitUntil(mu_, *deadline);
     } else {
-      readable_.wait(lock);
+      readable_.Wait(mu_);
     }
   }
 
@@ -80,27 +78,27 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
     buffered_bytes_ -= take;
     if (chunk.offset == chunk.data.size()) chunks_.pop_front();
   }
-  writable_.notify_one();
+  writable_.NotifyOne();
   return copied;
 }
 
 void StreamPipe::Close() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  readable_.notify_all();
-  writable_.notify_all();
+  readable_.NotifyAll();
+  writable_.NotifyAll();
 }
 
 void AcceptQueue::Enqueue(std::unique_ptr<StreamSocket> socket) {
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   if (closed) return;  // connection refused; peer sees closed pipes
   pending.push_back(std::move(socket));
-  cv.notify_one();
+  cv.NotifyOne();
 }
 
 Result<std::unique_ptr<StreamSocket>> AcceptQueue::Pop() {
-  std::unique_lock lock(mu);
-  cv.wait(lock, [&] { return closed || !pending.empty(); });
+  MutexLock lock(mu);
+  while (!closed && pending.empty()) cv.Wait(mu);
   if (pending.empty()) return Status(UnavailableError("listener closed"));
   auto socket = std::move(pending.front());
   pending.pop_front();
@@ -108,9 +106,12 @@ Result<std::unique_ptr<StreamSocket>> AcceptQueue::Pop() {
 }
 
 Result<std::unique_ptr<StreamSocket>> AcceptQueue::PopFor(Duration timeout) {
-  std::unique_lock lock(mu);
-  if (!cv.wait_for(lock, timeout,
-                   [&] { return closed || !pending.empty(); })) {
+  const TimePoint deadline = Now() + timeout;
+  MutexLock lock(mu);
+  while (!closed && pending.empty()) {
+    if (!cv.WaitUntil(mu, deadline)) break;  // timed out
+  }
+  if (!closed && pending.empty()) {
     return Status(DeadlineExceededError("accept timed out"));
   }
   if (pending.empty()) return Status(UnavailableError("listener closed"));
@@ -120,34 +121,34 @@ Result<std::unique_ptr<StreamSocket>> AcceptQueue::PopFor(Duration timeout) {
 }
 
 void AcceptQueue::Close() {
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   closed = true;
-  cv.notify_all();
+  cv.NotifyAll();
 }
 
 void DatagramQueue::Deliver(TimePoint ready, Address from,
                             std::vector<std::uint8_t> payload) {
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   if (closed) return;
   TimedDatagram t;
   t.ready = ready;
   t.seq = next_seq++;
   t.dgram = Datagram{std::move(from), std::move(payload)};
   rx.push(std::move(t));
-  cv.notify_one();
+  cv.NotifyOne();
 }
 
 std::optional<Datagram> DatagramQueue::Pop() {
-  std::unique_lock lock(mu);
+  MutexLock lock(mu);
   for (;;) {
     if (!rx.empty()) {
       const TimePoint ready = rx.top().ready;
       if (ready <= Now()) break;
-      cv.wait_until(lock, ready);
+      cv.WaitUntil(mu, ready);
       continue;
     }
     if (closed) return std::nullopt;
-    cv.wait(lock);
+    cv.Wait(mu);
   }
   Datagram d = std::move(const_cast<TimedDatagram&>(rx.top()).dgram);
   rx.pop();
@@ -156,14 +157,14 @@ std::optional<Datagram> DatagramQueue::Pop() {
 
 std::optional<Datagram> DatagramQueue::PopFor(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
-  std::unique_lock lock(mu);
+  MutexLock lock(mu);
   for (;;) {
     if (!rx.empty() && rx.top().ready <= Now()) break;
     const TimePoint wake =
         rx.empty() ? deadline : std::min(deadline, rx.top().ready);
     if (closed && rx.empty()) return std::nullopt;
     if (Now() >= deadline) return std::nullopt;
-    cv.wait_until(lock, wake);
+    cv.WaitUntil(mu, wake);
     if (closed && rx.empty()) return std::nullopt;
   }
   Datagram d = std::move(const_cast<TimedDatagram&>(rx.top()).dgram);
@@ -172,9 +173,9 @@ std::optional<Datagram> DatagramQueue::PopFor(Duration timeout) {
 }
 
 void DatagramQueue::Close() {
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   closed = true;
-  cv.notify_all();
+  cv.NotifyAll();
 }
 
 }  // namespace internal
@@ -207,7 +208,7 @@ Status DatagramPort::SendTo(const Address& dst,
 
   TimePoint send_done;
   {
-    std::lock_guard lock(tx_mu_);
+    MutexLock lock(tx_mu_);
     const TimePoint start = std::max(Now(), link_free_at_);
     send_done = start + link.SerializationDelay(payload.size());
     link_free_at_ = send_done;
@@ -221,7 +222,7 @@ Status DatagramPort::SendTo(const Address& dst,
 
 void Network::SetLink(const std::string& host_a, const std::string& host_b,
                       LinkProperties props) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   links_[std::minmax(host_a, host_b)] = props;
 }
 
@@ -236,13 +237,13 @@ LinkProperties Network::LinkBetween(const std::string& a,
     loopback.loss_rate = 0.0;
     return loopback;
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = links_.find(std::minmax(a, b));
   return it != links_.end() ? it->second : default_link_;
 }
 
 Result<std::unique_ptr<Listener>> Network::Listen(const Address& addr) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = listeners_.try_emplace(addr);
   if (!inserted) {
     return Status(AlreadyExistsError("address in use: " + addr.ToString()));
@@ -256,7 +257,7 @@ Result<std::unique_ptr<StreamSocket>> Network::Connect(
   std::shared_ptr<internal::AcceptQueue> queue;
   Address local;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = listeners_.find(remote);
     if (it == listeners_.end()) {
       return Status(
@@ -283,7 +284,7 @@ Result<std::unique_ptr<StreamSocket>> Network::Connect(
 }
 
 Result<std::unique_ptr<DatagramPort>> Network::OpenPort(const Address& addr) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = ports_.try_emplace(addr);
   if (!inserted) {
     return Status(AlreadyExistsError("port in use: " + addr.ToString()));
@@ -293,7 +294,7 @@ Result<std::unique_ptr<DatagramPort>> Network::OpenPort(const Address& addr) {
 }
 
 void Network::Unregister(const Listener* listener) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = listeners_.find(listener->addr_);
   if (it != listeners_.end() && it->second == listener->queue_) {
     listeners_.erase(it);
@@ -301,7 +302,7 @@ void Network::Unregister(const Listener* listener) {
 }
 
 void Network::UnregisterPort(const DatagramPort* port) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = ports_.find(port->addr_);
   if (it != ports_.end() && it->second == port->queue_) ports_.erase(it);
 }
@@ -313,7 +314,7 @@ Status Network::RouteDatagram(const Address& from, const Address& dst,
   std::shared_ptr<internal::DatagramQueue> queue;
   TimePoint arrival = earliest_arrival;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (RollLossLocked(link.loss_rate)) {
       return Status::Ok();  // silently dropped, like the real thing
     }

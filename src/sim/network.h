@@ -12,12 +12,10 @@
 // not a closed-form model.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <span>
@@ -27,6 +25,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/address.h"
@@ -74,22 +73,22 @@ class StreamPipe {
   const LinkProperties link_;
   const std::size_t window_bytes_;
 
-  std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  std::deque<Chunk> chunks_;
-  std::size_t buffered_bytes_ = 0;
-  TimePoint link_free_at_{};
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar readable_;
+  CondVar writable_;
+  std::deque<Chunk> chunks_ COOL_GUARDED_BY(mu_);
+  std::size_t buffered_bytes_ COOL_GUARDED_BY(mu_) = 0;
+  TimePoint link_free_at_ COOL_GUARDED_BY(mu_){};
+  bool closed_ COOL_GUARDED_BY(mu_) = false;
 };
 
 // Shared accept queue: outlives the Listener wrapper so an in-flight
 // Connect never dereferences a destroyed listener.
 struct AcceptQueue {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::unique_ptr<StreamSocket>> pending;
-  bool closed = false;
+  Mutex mu;
+  CondVar cv;
+  std::deque<std::unique_ptr<StreamSocket>> pending COOL_GUARDED_BY(mu);
+  bool closed COOL_GUARDED_BY(mu) = false;
 
   void Enqueue(std::unique_ptr<StreamSocket> socket);
   Result<std::unique_ptr<StreamSocket>> Pop();
@@ -108,13 +107,13 @@ struct TimedDatagram {
 
 // Shared receive queue of a datagram port (same lifetime rationale).
 struct DatagramQueue {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::priority_queue<TimedDatagram, std::vector<TimedDatagram>,
                       std::greater<>>
-      rx;
-  std::uint64_t next_seq = 0;
-  bool closed = false;
+      rx COOL_GUARDED_BY(mu);
+  std::uint64_t next_seq COOL_GUARDED_BY(mu) = 0;
+  bool closed COOL_GUARDED_BY(mu) = false;
 
   void Deliver(TimePoint ready, Address from,
                std::vector<std::uint8_t> payload);
@@ -235,8 +234,8 @@ class DatagramPort {
   Address addr_;
   std::shared_ptr<internal::DatagramQueue> queue_;
 
-  std::mutex tx_mu_;
-  TimePoint link_free_at_{};
+  Mutex tx_mu_;
+  TimePoint link_free_at_ COOL_GUARDED_BY(tx_mu_){};
 };
 
 // The network fabric: host-pair link properties plus the registries of
@@ -274,21 +273,22 @@ class Network {
                        std::vector<std::uint8_t> payload,
                        TimePoint earliest_arrival);
 
-  bool RollLossLocked(double p);
-  Duration RollJitterLocked(Duration max_jitter);
+  bool RollLossLocked(double p) COOL_REQUIRES(mu_);
+  Duration RollJitterLocked(Duration max_jitter) COOL_REQUIRES(mu_);
 
   const LinkProperties default_link_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<Address, std::shared_ptr<internal::AcceptQueue>,
                      AddressHash>
-      listeners_;
+      listeners_ COOL_GUARDED_BY(mu_);
   std::unordered_map<Address, std::shared_ptr<internal::DatagramQueue>,
                      AddressHash>
-      ports_;
-  std::map<std::pair<std::string, std::string>, LinkProperties> links_;
-  Rng rng_;
-  std::uint16_t next_ephemeral_ = 40000;
+      ports_ COOL_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, LinkProperties> links_
+      COOL_GUARDED_BY(mu_);
+  Rng rng_ COOL_GUARDED_BY(mu_);
+  std::uint16_t next_ephemeral_ COOL_GUARDED_BY(mu_) = 40000;
 };
 
 }  // namespace cool::sim

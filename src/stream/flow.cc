@@ -57,7 +57,7 @@ Status StreamSource::Start() {
     running_ = false;
     return InvalidArgumentError("frame smaller than its header");
   }
-  thread_ = std::jthread([this](std::stop_token st) { Run(st); });
+  thread_ = Thread([this](std::stop_token st) { Run(st); });
   return Status::Ok();
 }
 
@@ -111,7 +111,7 @@ Status StreamSink::Start() {
   if (running_.exchange(true)) {
     return FailedPreconditionError("sink already started");
   }
-  thread_ = std::jthread([this](std::stop_token st) { Run(st); });
+  thread_ = Thread([this](std::stop_token st) { Run(st); });
   return Status::Ok();
 }
 
@@ -136,7 +136,7 @@ void StreamSink::Run(std::stop_token stop) {
                               static_cast<std::uint32_t>((*frame)[3]) << 24;
     const TimePoint now = Now();
 
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (frames_received_ == 0) {
       first_rx_ = now;
     } else {
@@ -158,7 +158,7 @@ void StreamSink::Run(std::stop_token stop) {
 }
 
 FlowStats StreamSink::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   FlowStats s;
   s.frames_received = frames_received_;
   s.frames_lost = frames_lost_;

@@ -17,13 +17,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "cdr/decoder.h"
 #include "cdr/encoder.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread.h"
 #include "dacapo/session.h"
 #include "qos/qos.h"
 
@@ -96,7 +96,7 @@ class StreamSource {
 
   dacapo::Session* session_;
   FlowSpec spec_;
-  std::jthread thread_;
+  Thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_skipped_{0};
@@ -125,18 +125,18 @@ class StreamSink {
 
   std::unique_ptr<dacapo::Session> owned_session_;
   dacapo::Session* session_;
-  std::jthread thread_;
+  Thread thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mu_;
-  std::uint64_t frames_received_ = 0;
-  std::uint64_t frames_lost_ = 0;
-  std::uint64_t frames_reordered_ = 0;
-  std::uint64_t bytes_received_ = 0;
-  std::uint32_t next_seq_ = 0;
-  TimePoint first_rx_{};
-  TimePoint last_rx_{};
-  std::vector<double> interarrival_us_;
+  mutable Mutex mu_;
+  std::uint64_t frames_received_ COOL_GUARDED_BY(mu_) = 0;
+  std::uint64_t frames_lost_ COOL_GUARDED_BY(mu_) = 0;
+  std::uint64_t frames_reordered_ COOL_GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_received_ COOL_GUARDED_BY(mu_) = 0;
+  std::uint32_t next_seq_ COOL_GUARDED_BY(mu_) = 0;
+  TimePoint first_rx_ COOL_GUARDED_BY(mu_){};
+  TimePoint last_rx_ COOL_GUARDED_BY(mu_){};
+  std::vector<double> interarrival_us_ COOL_GUARDED_BY(mu_);
 };
 
 }  // namespace cool::stream

@@ -42,33 +42,33 @@ StreamService::StreamService(sim::Network* net, std::string host,
 StreamService::~StreamService() {
   std::map<corba::ULong, std::shared_ptr<Flow>> flows;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     flows.swap(flows_);
   }
   for (auto& [id, flow] : flows) {
     flow->acceptor->Close();
     if (flow->accept_thread.joinable()) flow->accept_thread.join();
-    std::lock_guard lock(flow->mu);
+    MutexLock lock(flow->mu);
     if (flow->sink != nullptr) flow->sink->Stop();
   }
 }
 
 std::size_t StreamService::active_flows() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return flows_.size();
 }
 
 Result<FlowStats> StreamService::StatsFor(corba::ULong flow_id) const {
   std::shared_ptr<Flow> flow;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = flows_.find(flow_id);
     if (it == flows_.end()) {
       return Status(NotFoundError("unknown flow id"));
     }
     flow = it->second;
   }
-  std::lock_guard lock(flow->mu);
+  MutexLock lock(flow->mu);
   if (flow->sink == nullptr) {
     return Status(UnavailableError("flow data session not yet connected"));
   }
@@ -132,19 +132,19 @@ orb::DispatchOutcome StreamService::OpenFlow(cdr::Decoder& args,
     return orb::DispatchOutcome::Fail(s);
   }
   // One accept per flow; the sink starts as soon as the peer connects.
-  flow->accept_thread = std::jthread([flow](std::stop_token) {
+  flow->accept_thread = Thread([flow](std::stop_token) {
     auto session =
         flow->acceptor->Accept(dacapo::AppAModule::DeliveryMode::kQueue);
     if (!session.ok()) return;  // service shut down before the peer came
     auto sink = std::make_unique<StreamSink>(std::move(session).value());
     if (!sink->Start().ok()) return;
-    std::lock_guard lock(flow->mu);
+    MutexLock lock(flow->mu);
     flow->sink = std::move(sink);
   });
 
   corba::ULong flow_id = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     flow_id = next_flow_id_++;
     flows_[flow_id] = flow;
   }
@@ -180,7 +180,7 @@ orb::DispatchOutcome StreamService::CloseFlow(cdr::Decoder& args,
   }
   std::shared_ptr<Flow> flow;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = flows_.find(*flow_id);
     if (it == flows_.end()) {
       return orb::DispatchOutcome::Fail(NotFoundError("unknown flow id"));
@@ -191,7 +191,7 @@ orb::DispatchOutcome StreamService::CloseFlow(cdr::Decoder& args,
   flow->acceptor->Close();
   if (flow->accept_thread.joinable()) flow->accept_thread.join();
   {
-    std::lock_guard lock(flow->mu);
+    MutexLock lock(flow->mu);
     if (flow->sink != nullptr) flow->sink->Stop();
   }
   return orb::DispatchOutcome::Ok();

@@ -19,8 +19,9 @@
 
 #include <map>
 #include <memory>
-#include <thread>
 
+#include "common/mutex.h"
+#include "common/thread.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/resource_manager.h"
 #include "orb/stub.h"
@@ -55,10 +56,11 @@ class StreamService : public orb::Servant {
   struct Flow {
     FlowSpec spec;
     std::unique_ptr<dacapo::Acceptor> acceptor;
-    std::jthread accept_thread;
-    std::unique_ptr<StreamSink> sink;  // set once the peer connects
+    Thread accept_thread;
+    mutable Mutex mu;
+    std::unique_ptr<StreamSink> sink
+        COOL_GUARDED_BY(mu);  // set once the peer connects
     dacapo::ResourceManager::Reservation reservation;
-    mutable std::mutex mu;
   };
 
   orb::DispatchOutcome OpenFlow(cdr::Decoder& args, cdr::Encoder& out);
@@ -71,9 +73,9 @@ class StreamService : public orb::Servant {
   qos::Capability flow_capability_;
   dacapo::ResourceManager* resources_;
 
-  mutable std::mutex mu_;
-  corba::ULong next_flow_id_ = 1;
-  std::map<corba::ULong, std::shared_ptr<Flow>> flows_;
+  mutable Mutex mu_;
+  corba::ULong next_flow_id_ COOL_GUARDED_BY(mu_) = 1;
+  std::map<corba::ULong, std::shared_ptr<Flow>> flows_ COOL_GUARDED_BY(mu_);
 };
 
 // Client-side handle of one open flow.

@@ -7,9 +7,9 @@ namespace cool::transport {
 ComChannel::~ComChannel() = default;
 
 void ComChannel::DrainAsync() {
-  std::vector<std::jthread> threads;
+  std::vector<Thread> threads;
   {
-    std::lock_guard lock(async_mu_);
+    MutexLock lock(async_mu_);
     threads.swap(notify_threads_);
   }
   for (auto& t : threads) {
@@ -19,7 +19,7 @@ void ComChannel::DrainAsync() {
 
 Result<ByteBuffer> ComChannel::Call(std::span<const std::uint8_t> request,
                                     Duration timeout) {
-  std::lock_guard lock(call_mu_);
+  MutexLock lock(call_mu_);
   COOL_RETURN_IF_ERROR(SendMessage(request));
   return ReceiveMessage(timeout);
 }
@@ -34,7 +34,7 @@ Status ComChannel::Reply(std::span<const std::uint8_t> reply) {
 
 Result<ComChannel::Deferred> ComChannel::Defer(
     std::span<const std::uint8_t> request) {
-  std::lock_guard lock(async_mu_);
+  MutexLock lock(async_mu_);
   if (deferred_outstanding_) {
     // One in-flight deferred conversation per channel; interleaving is the
     // message layer's job (GIOP request_id).
@@ -49,7 +49,7 @@ Result<ComChannel::Deferred> ComChannel::Defer(
 Result<ByteBuffer> ComChannel::PollDeferred(Deferred handle,
                                             Duration timeout) {
   {
-    std::lock_guard lock(async_mu_);
+    MutexLock lock(async_mu_);
     if (cancelled_.erase(handle.id) != 0) {
       deferred_outstanding_ = false;
       return Status(CancelledError("deferred request was cancelled"));
@@ -58,7 +58,7 @@ Result<ByteBuffer> ComChannel::PollDeferred(Deferred handle,
   auto reply = ReceiveMessage(timeout);
   if (reply.ok() ||
       reply.status().code() != ErrorCode::kDeadlineExceeded) {
-    std::lock_guard lock(async_mu_);
+    MutexLock lock(async_mu_);
     deferred_outstanding_ = false;
   }
   return reply;
@@ -67,7 +67,7 @@ Result<ByteBuffer> ComChannel::PollDeferred(Deferred handle,
 Status ComChannel::Notify(std::span<const std::uint8_t> request,
                           ReplyCallback callback) {
   COOL_RETURN_IF_ERROR(SendMessage(request));
-  std::lock_guard lock(async_mu_);
+  MutexLock lock(async_mu_);
   notify_threads_.emplace_back(
       [this, cb = std::move(callback)](std::stop_token) {
         cb(ReceiveMessage(seconds(30)));
@@ -76,7 +76,7 @@ Status ComChannel::Notify(std::span<const std::uint8_t> request,
 }
 
 Status ComChannel::Cancel(Deferred handle) {
-  std::lock_guard lock(async_mu_);
+  MutexLock lock(async_mu_);
   if (!deferred_outstanding_) {
     return FailedPreconditionError("no deferred request outstanding");
   }

@@ -18,17 +18,17 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <span>
 #include <string_view>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/byte_buffer.h"
 #include "common/clock.h"
 #include "common/intrusive_list.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread.h"
 #include "qos/negotiation.h"
 #include "qos/qos.h"
 #include "sim/address.h"
@@ -92,12 +92,12 @@ class ComChannel {
   void DrainAsync();
 
  private:
-  std::mutex call_mu_;  // serializes two-way conversations
-  std::mutex async_mu_;
-  std::vector<std::jthread> notify_threads_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t next_deferred_id_ = 1;
-  bool deferred_outstanding_ = false;
+  Mutex call_mu_;  // serializes two-way conversations
+  Mutex async_mu_;
+  std::vector<Thread> notify_threads_ COOL_GUARDED_BY(async_mu_);
+  std::unordered_set<std::uint64_t> cancelled_ COOL_GUARDED_BY(async_mu_);
+  std::uint64_t next_deferred_id_ COOL_GUARDED_BY(async_mu_) = 1;
+  bool deferred_outstanding_ COOL_GUARDED_BY(async_mu_) = false;
 };
 
 // Base of the per-transport channel managers (`_ComManager` and its

@@ -18,7 +18,7 @@ constexpr std::uint8_t kLastFragment = 0;
 
 Status DacapoComChannel::SendMessage(std::span<const std::uint8_t> message) {
   const std::size_t max_payload = session_->packet_capacity() - 1;
-  std::lock_guard lock(tx_mu_);
+  MutexLock lock(tx_mu_);
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(max_payload, message.size() - offset);
@@ -36,7 +36,7 @@ Status DacapoComChannel::SendMessage(std::span<const std::uint8_t> message) {
 
 Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
-  std::lock_guard lock(rx_mu_);
+  MutexLock lock(rx_mu_);
   ByteBuffer assembled;
   for (;;) {
     COOL_ASSIGN_OR_RETURN(std::vector<std::uint8_t> fragment,
@@ -77,7 +77,7 @@ qos::Capability DacapoComChannel::TransportCapability() const {
 }
 
 qos::QoSSpec DacapoComChannel::CurrentQoS() const {
-  std::lock_guard lock(qos_mu_);
+  MutexLock lock(qos_mu_);
   return current_qos_;
 }
 
@@ -90,7 +90,7 @@ Status DacapoComChannel::SetQoSParameter(const qos::QoSSpec& spec) {
                         config.Configure(req, estimate_));
 
   {
-    std::lock_guard lock(qos_mu_);
+    MutexLock lock(qos_mu_);
     if (graph.spec == session_->graph()) {
       // Same module graph satisfies the new spec: nothing to rebuild.
       current_qos_ = spec;
@@ -101,7 +101,7 @@ Status DacapoComChannel::SetQoSParameter(const qos::QoSSpec& spec) {
       << "dacapo reconfiguration for QoS " << spec.ToString() << " -> "
       << graph.spec.ToString();
   COOL_RETURN_IF_ERROR(session_->Reconfigure(graph.spec));
-  std::lock_guard lock(qos_mu_);
+  MutexLock lock(qos_mu_);
   current_qos_ = spec;
   return Status::Ok();
 }

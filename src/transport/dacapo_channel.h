@@ -11,8 +11,7 @@
 // propagates to the client as an exception before any Request is sent.
 #pragma once
 
-#include <mutex>
-
+#include "common/mutex.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/resource_manager.h"
 #include "dacapo/session.h"
@@ -54,10 +53,10 @@ class DacapoComChannel : public ComChannel {
  private:
   std::unique_ptr<dacapo::Session> session_;
   dacapo::NetworkEstimate estimate_;
-  mutable std::mutex qos_mu_;
-  qos::QoSSpec current_qos_;
-  std::mutex tx_mu_;  // keeps fragments of one message contiguous
-  std::mutex rx_mu_;
+  mutable Mutex qos_mu_;
+  qos::QoSSpec current_qos_ COOL_GUARDED_BY(qos_mu_);
+  Mutex tx_mu_;  // keeps fragments of one message contiguous
+  Mutex rx_mu_;
 };
 
 class DacapoComManager : public ComManager {

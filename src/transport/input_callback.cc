@@ -3,27 +3,27 @@
 namespace cool::transport {
 
 InputCallbackDispatcher::InputCallbackDispatcher() {
-  thread_ = std::jthread([this](std::stop_token st) { Run(st); });
+  thread_ = Thread([this](std::stop_token st) { Run(st); });
 }
 
 InputCallbackDispatcher::~InputCallbackDispatcher() { Stop(); }
 
 InputCallbackDispatcher::Id InputCallbackDispatcher::Register(
     Callback callback) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const Id id = next_id_++;
   callbacks_[id] = std::move(callback);
   return id;
 }
 
 void InputCallbackDispatcher::Unregister(Id id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.erase(id);
 }
 
 Status InputCallbackDispatcher::Trigger(Id id) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!callbacks_.contains(id)) {
       return NotFoundError("unknown input callback id");
     }
@@ -42,7 +42,7 @@ void InputCallbackDispatcher::Stop() {
 }
 
 std::size_t InputCallbackDispatcher::registered_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return callbacks_.size();
 }
 
@@ -53,7 +53,7 @@ void InputCallbackDispatcher::Run(std::stop_token stop) {
     if (!id.has_value()) return;  // closed and drained
     Callback cb;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const auto it = callbacks_.find(*id);
       if (it == callbacks_.end()) continue;
       cb = it->second;  // copy so Unregister during the call is safe

@@ -7,12 +7,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 
 #include "common/blocking_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread.h"
 
 namespace cool::transport {
 
@@ -44,11 +44,11 @@ class InputCallbackDispatcher {
  private:
   void Run(std::stop_token stop);
 
-  mutable std::mutex mu_;
-  std::unordered_map<Id, Callback> callbacks_;
-  Id next_id_ = 1;
+  mutable Mutex mu_;
+  std::unordered_map<Id, Callback> callbacks_ COOL_GUARDED_BY(mu_);
+  Id next_id_ COOL_GUARDED_BY(mu_) = 1;
   BlockingQueue<Id> triggers_;
-  std::jthread thread_;
+  Thread thread_;
 };
 
 }  // namespace cool::transport

@@ -6,8 +6,6 @@
 // configured without loss (asserted at channel setup).
 #pragma once
 
-#include <mutex>
-
 #include "sim/network.h"
 #include "transport/com_channel.h"
 

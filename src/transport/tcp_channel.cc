@@ -43,18 +43,23 @@ Status TcpComChannel::SendMessage(std::span<const std::uint8_t> message) {
       static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
       static_cast<std::uint8_t>(len >> 16),
       static_cast<std::uint8_t>(len >> 24)};
-  std::lock_guard lock(tx_mu_);
+  MutexLock lock(tx_mu_);
   COOL_RETURN_IF_ERROR(socket_->Send(prefix));
   return socket_->Send(message);
 }
 
 Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
-  std::lock_guard lock(rx_mu_);
+  MutexLock lock(rx_mu_);
   for (;;) {
-    COOL_ASSIGN_OR_RETURN(auto maybe_msg, rx_buffer_.NextMessage());
-    if (maybe_msg.has_value()) {
-      return ByteBuffer(std::move(*maybe_msg));
+    // Deliberately not COOL_ASSIGN_OR_RETURN: moving the optional out of
+    // the Result trips GCC 12's -Wmaybe-uninitialized on the moved-from
+    // vector's destructor; reading through the Result does not.
+    Result<std::optional<std::vector<std::uint8_t>>> next =
+        rx_buffer_.NextMessage();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) {
+      return ByteBuffer(std::move(**next));
     }
     const Duration remaining = deadline - Now();
     if (remaining <= Duration::zero()) {

@@ -5,10 +5,10 @@
 // class's refusal, exactly the paper's point.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
 #include "sim/network.h"
 #include "transport/com_channel.h"
 
@@ -48,9 +48,9 @@ class TcpComChannel : public ComChannel {
 
  private:
   std::unique_ptr<sim::StreamSocket> socket_;
-  std::mutex tx_mu_;
-  std::mutex rx_mu_;
-  TcpBuffer rx_buffer_;
+  Mutex tx_mu_;
+  Mutex rx_mu_;
+  TcpBuffer rx_buffer_ COOL_GUARDED_BY(rx_mu_);
 };
 
 class TcpComManager : public ComManager {

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread.h"
+
 namespace cool {
 namespace {
 
@@ -42,7 +44,7 @@ TEST(BlockingQueueTest, CloseDrainsThenSignals) {
 
 TEST(BlockingQueueTest, CloseWakesBlockedPopper) {
   BlockingQueue<int> q;
-  std::thread popper([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  cool::Thread popper([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
   std::this_thread::sleep_for(milliseconds(20));
   q.Close();
   popper.join();
@@ -54,7 +56,7 @@ TEST(BlockingQueueTest, BoundedPushBlocksUntilSpace) {
   EXPECT_TRUE(q.TryPush(2));
   EXPECT_FALSE(q.TryPush(3));  // full
 
-  std::thread pusher([&] { EXPECT_TRUE(q.Push(3)); });
+  cool::Thread pusher([&] { EXPECT_TRUE(q.Push(3)); });
   std::this_thread::sleep_for(milliseconds(20));
   EXPECT_EQ(q.Pop(), 1);  // frees one slot
   pusher.join();
@@ -65,7 +67,7 @@ TEST(BlockingQueueTest, BoundedPushBlocksUntilSpace) {
 TEST(BlockingQueueTest, CloseWakesBlockedPusher) {
   BlockingQueue<int> q(1);
   ASSERT_TRUE(q.Push(1));
-  std::thread pusher([&] { EXPECT_FALSE(q.Push(2)); });
+  cool::Thread pusher([&] { EXPECT_FALSE(q.Push(2)); });
   std::this_thread::sleep_for(milliseconds(20));
   q.Close();
   pusher.join();
@@ -78,7 +80,7 @@ TEST(BlockingQueueTest, ManyProducersManyConsumers) {
   std::atomic<int> consumed{0};
   std::atomic<long long> sum{0};
 
-  std::vector<std::thread> threads;
+  std::vector<cool::Thread> threads;
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kItemsEach; ++i) {

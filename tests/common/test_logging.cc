@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "common/thread.h"
+
 namespace cool {
 namespace {
 
@@ -46,7 +48,7 @@ TEST_F(LoggingTest, MacroSkipsStreamingWhenDisabled) {
 
 TEST_F(LoggingTest, ConcurrentLoggingDoesNotCrash) {
   SetLogLevel(LogLevel::kError);
-  std::vector<std::thread> threads;
+  std::vector<cool::Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([t] {
       for (int i = 0; i < 5; ++i) {

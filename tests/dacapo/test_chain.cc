@@ -1,5 +1,6 @@
 // ModuleChain runtime: thread-per-module wiring, injection at both ends,
 // control routing, shutdown.
+
 #include "dacapo/runtime.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/thread.h"
 #include "dacapo/modules.h"
 
 namespace cool::dacapo {
@@ -186,7 +188,7 @@ TEST(ModuleChainTest, ManyPacketsThroughDeepChainInOrder) {
   ASSERT_TRUE(chain.Start().ok());
 
   constexpr int kCount = 200;
-  std::thread producer([&] {
+  cool::Thread producer([&] {
     for (int i = 0; i < kCount; ++i) {
       auto p = arena->Make(std::vector<std::uint8_t>{
           static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)});

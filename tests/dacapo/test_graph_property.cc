@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "common/thread.h"
 #include "dacapo/session.h"
 
 namespace cool::dacapo {
@@ -114,14 +115,14 @@ void RunExchange(sim::Network& net, const ModuleGraphSpec& graph,
   options.packet_capacity = 4096;
 
   Result<std::unique_ptr<Session>> rx(Status(InternalError("unset")));
-  std::thread accept_thread([&] { rx = acceptor.Accept(); });
+  cool::Thread accept_thread([&] { rx = acceptor.Accept(); });
   Connector connector(&net, "client");
   auto tx = connector.Connect({"server", 6950}, options);
   accept_thread.join();
   ASSERT_TRUE(tx.ok()) << graph.ToString() << ": " << tx.status();
   ASSERT_TRUE(rx.ok());
 
-  std::thread sender([&] {
+  cool::Thread sender([&] {
     for (const auto& msg : messages) {
       ASSERT_TRUE((*tx)->Send(msg).ok()) << graph.ToString();
     }

@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "common/thread.h"
+
 namespace cool::dacapo {
 namespace {
 
@@ -78,7 +80,7 @@ TEST_F(MailboxTest, BoundedDownBlocksAndBackpressures) {
   EXPECT_EQ(mb.down_size(), 2u);
 
   std::atomic<bool> third_pushed{false};
-  std::thread pusher([&] {
+  cool::Thread pusher([&] {
     ASSERT_TRUE(mb.PushDown(MakePacket(arena_, 3)));
     third_pushed = true;
   });
@@ -94,7 +96,7 @@ TEST_F(MailboxTest, BoundedDownBlocksAndBackpressures) {
 TEST_F(MailboxTest, CloseWakesBlockedPusher) {
   Mailbox mb(1);
   ASSERT_TRUE(mb.PushDown(MakePacket(arena_, 1)));
-  std::thread pusher([&] {
+  cool::Thread pusher([&] {
     EXPECT_FALSE(mb.PushDown(MakePacket(arena_, 2)));
   });
   std::this_thread::sleep_for(milliseconds(20));
@@ -135,7 +137,7 @@ TEST_F(MailboxTest, FifoWithinEachQueue) {
 
 TEST_F(MailboxTest, WakesSleepingPopper) {
   Mailbox mb;
-  std::thread popper([&] {
+  cool::Thread popper([&] {
     auto r = mb.PopNext(true, seconds(5));
     ASSERT_EQ(r.kind, Mailbox::PopResult::Kind::kData);
     EXPECT_EQ(r.data.pkt->Data()[0], 42);

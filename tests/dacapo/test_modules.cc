@@ -425,7 +425,10 @@ TEST_F(RateLimiterModuleTest, WithinBurstPassesImmediately) {
 
 TEST_F(RateLimiterModuleTest, HoldsWhenTokensExhausted) {
   RateLimiterModule::Options opts;
-  opts.rate_bytes_per_sec = 100000;
+  // Low rate so the bucket needs ~40ms to refill: sanitizer builds can
+  // spend whole milliseconds between the two HandleData calls, and the
+  // second packet must still find the bucket empty.
+  opts.rate_bytes_per_sec = 100;
   opts.burst_bytes = 4;
   RateLimiterModule limiter(opts);
   limiter.HandleData(Direction::kDown, Make({1, 2, 3, 4}), port_);
@@ -433,7 +436,7 @@ TEST_F(RateLimiterModuleTest, HoldsWhenTokensExhausted) {
   limiter.HandleData(Direction::kDown, Make({5, 6, 7, 8}), port_);
   EXPECT_EQ(port_.down.size(), 1u);  // held
   EXPECT_FALSE(limiter.ReadyForDown());
-  std::this_thread::sleep_for(milliseconds(5));  // refills > 4 tokens
+  std::this_thread::sleep_for(milliseconds(60));  // refills > 4 tokens
   limiter.OnTick(port_);
   EXPECT_EQ(port_.down.size(), 2u);
   EXPECT_TRUE(limiter.ReadyForDown());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread.h"
+
 namespace cool::dacapo {
 namespace {
 
@@ -148,7 +150,7 @@ TEST(ArenaTest, CloneCopiesHeadersToo) {
 
 TEST(ArenaTest, ConcurrentAllocateRelease) {
   PacketArena arena(16, 64);
-  std::vector<std::thread> threads;
+  std::vector<cool::Thread> threads;
   std::atomic<int> failures{0};
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {

@@ -1,5 +1,6 @@
 // Connection management integration: CONFIG handshake, data transfer over
 // stream and datagram transports, NAK paths, reconfiguration, teardown.
+#include "common/thread.h"
 #include "dacapo/session.h"
 
 #include <gtest/gtest.h>
@@ -35,7 +36,7 @@ struct Rig {
       AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue) {
     Result<std::unique_ptr<Session>> server_side(
         Status(InternalError("unset")));
-    std::thread accept_thread(
+    cool::Thread accept_thread(
         [&] { server_side = acceptor.Accept(delivery); });
     Connector connector(&net, "client");
     auto client_side = connector.Connect({"server", 6000}, options);
@@ -122,7 +123,7 @@ TEST(SessionTest, UnknownMechanismIsNakked) {
   options.graph.chain.push_back({"warp_drive", {}});
   Result<std::unique_ptr<Session>> server_side(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] {
+  cool::Thread accept_thread([&] {
     server_side = rig.acceptor.Accept();
   });
   Connector connector(&rig.net, "client");
@@ -145,7 +146,7 @@ TEST(SessionTest, AdmissionHookCanRefuse) {
   refused.graph = GraphOf({mechanisms::kCrc16});
   Result<std::unique_ptr<Session>> server_side(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
+  cool::Thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
   Connector connector(&rig.net, "client");
   auto client_side = connector.Connect({"server", 6000}, refused);
   accept_thread.join();
@@ -164,7 +165,7 @@ TEST(SessionTest, ResourceAdmissionRefusesWhenExhausted) {
   ChannelOptions options;
   Result<std::unique_ptr<Session>> server_side(
       Status(InternalError("unset")));
-  std::thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
+  cool::Thread accept_thread([&] { server_side = rig.acceptor.Accept(); });
   Connector connector(&rig.net, "client");
   auto client_side = connector.Connect({"server", 6000}, options);
   accept_thread.join();
@@ -255,7 +256,7 @@ TEST(SessionTest, CloseUnblocksPeerReceive) {
   Rig rig;
   auto [client, server] = rig.Establish(ChannelOptions{});
   ASSERT_NE(client, nullptr);
-  std::thread receiver([&] {
+  cool::Thread receiver([&] {
     auto got = server->Receive(seconds(5));
     EXPECT_FALSE(got.ok());
   });

@@ -1,11 +1,13 @@
 // The proprietary COOL message protocol (the second protocol of the
 // generic message layer, paper Fig. 1) — wire codecs and engines.
+
 #include "giop/cool_protocol.h"
 
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "common/thread.h"
 #include "transport/tcp_channel.h"
 
 namespace cool::coolproto {
@@ -98,7 +100,7 @@ class CoolEngineTest : public ::testing::Test {
     ASSERT_TRUE(server_mgr_->Listen().ok());
     Result<std::unique_ptr<transport::ComChannel>> accepted(
         Status(InternalError("unset")));
-    std::thread accept([&] { accepted = server_mgr_->AcceptChannel(); });
+    cool::Thread accept([&] { accepted = server_mgr_->AcceptChannel(); });
     transport::TcpComManager client_mgr(net_.get(),
                                         sim::Address{"client", 7900});
     auto opened = client_mgr.OpenChannel({"server", 7900}, {});
@@ -127,7 +129,7 @@ TEST_F(CoolEngineTest, InvokeRoundTrip) {
                       result.body = std::move(out).TakeBuffer();
                       return result;
                     });
-  std::thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
+  cool::Thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
 
   cdr::Encoder args(cdr::ByteOrder::kLittleEndian, 0);
   args.PutLong(21);
@@ -151,7 +153,7 @@ TEST_F(CoolEngineTest, QosParamsTravelNatively) {
                       result.body = std::move(out).TakeBuffer();
                       return result;
                     });
-  std::thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
+  cool::Thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
   auto reply = client.Invoke(Key("obj"), "op", {},
                              {qos::RequireReliability(2),
                               qos::RequireOrdering(true)});
@@ -170,7 +172,7 @@ TEST_F(CoolEngineTest, OnewayServed) {
                       ++pokes;
                       return giop::GiopServer::DispatchResult{};
                     });
-  std::thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
+  cool::Thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
   ASSERT_TRUE(client.InvokeOneway(Key("obj"), "poke", {}, {}).ok());
   server_thread.join();
   EXPECT_EQ(pokes.load(), 1);
@@ -181,7 +183,7 @@ TEST_F(CoolEngineTest, GarbageAnsweredWithErrorMessage) {
                     [](const Request&, cdr::Decoder&) {
                       return giop::GiopServer::DispatchResult{};
                     });
-  std::thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
+  cool::Thread server_thread([&] { (void)server.ServeOne(seconds(5)); });
   ASSERT_TRUE(client_channel_
                   ->SendMessage(std::vector<std::uint8_t>{'b', 'a', 'd'})
                   .ok());

@@ -1,12 +1,14 @@
 // GIOP client/server engines over a real transport channel: invocation
 // modes, reply matching, version gating (backwards compatibility with
 // unmodified GIOP 1.0 peers), cancel semantics.
+
 #include "giop/engine.h"
 
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "common/thread.h"
 #include "transport/tcp_channel.h"
 
 namespace cool::giop {
@@ -40,7 +42,7 @@ struct Rig {
     EXPECT_TRUE(server_mgr.Listen().ok());
     Result<std::unique_ptr<transport::ComChannel>> accepted(
         Status(InternalError("unset")));
-    std::thread accept([&] { accepted = server_mgr.AcceptChannel(); });
+    cool::Thread accept([&] { accepted = server_mgr.AcceptChannel(); });
     transport::TcpComManager client_mgr(&net, {"client", 7300});
     auto opened = client_mgr.OpenChannel({"server", 7300}, {});
     accept.join();
@@ -51,8 +53,8 @@ struct Rig {
   }
 
   // Serves exactly `n` incoming messages on a background thread.
-  std::thread Serve(GiopServer& server, int n) {
-    return std::thread([&server, n] {
+  cool::Thread Serve(GiopServer& server, int n) {
+    return cool::Thread([&server, n] {
       for (int i = 0; i < n; ++i) {
         const Status s = server.ServeOne(seconds(5));
         if (!s.ok() && s.code() != ErrorCode::kProtocolError) return;
@@ -253,7 +255,7 @@ TEST(GiopEngineTest, CloseConnectionEndsServeLoop) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
   GiopServer server(rig.server_channel.get(), EchoDispatch, {});
-  std::thread server_thread([&] {
+  cool::Thread server_thread([&] {
     EXPECT_EQ(server.Serve().code(), ErrorCode::kCancelled);
   });
   ASSERT_TRUE(client.SendClose().ok());

@@ -4,6 +4,8 @@
 // including the generated setQoSParameter hook and user exceptions.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "media.h"  // chic-generated from examples/idl/media.idl
 #include "orb/orb.h"
 
@@ -41,11 +43,12 @@ class TestImageSource : public Media::ImageSourceSkeleton {
     return ::cool::Status::Ok();
   }
 
-  corba::Long prefetched() const { return prefetched_; }
+  corba::Long prefetched() const { return prefetched_.load(); }
 
  private:
   corba::ULong seq_ = 0;
-  corba::Long prefetched_ = 0;
+  // Written by the server dispatch thread, polled by the test thread.
+  std::atomic<corba::Long> prefetched_{0};
 };
 
 class GeneratedRuntimeTest : public ::testing::Test {

@@ -3,6 +3,7 @@
 // servant, and back. Parameterized over all three transports.
 #include <gtest/gtest.h>
 
+#include "common/thread.h"
 #include "orb/stub.h"
 #include "test_servants.h"
 
@@ -139,7 +140,7 @@ TEST_P(EndToEndTest, UnbindAndRebind) {
 TEST_P(EndToEndTest, ConcurrentClientsServedIndependently) {
   constexpr int kClients = 4;
   constexpr int kCallsEach = 5;
-  std::vector<std::thread> threads;
+  std::vector<cool::Thread> threads;
   std::atomic<int> ok_count{0};
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/thread.h"
+
 namespace cool::sim {
 namespace {
 
@@ -51,7 +53,7 @@ TEST(NetworkTest, StreamRoundTrip) {
   auto listener = net.Listen({"server", 9});
   ASSERT_TRUE(listener.ok());
 
-  std::thread server([&] {
+  cool::Thread server([&] {
     auto sock = (*listener)->Accept();
     ASSERT_TRUE(sock.ok());
     std::uint8_t buf[5];
@@ -80,7 +82,7 @@ TEST(NetworkTest, StreamDeliversLargeTransfersIntact) {
   ASSERT_TRUE(listener.ok());
 
   constexpr std::size_t kTotal = 1 << 20;
-  std::thread server([&] {
+  cool::Thread server([&] {
     auto sock = (*listener)->Accept();
     ASSERT_TRUE(sock.ok());
     std::vector<std::uint8_t> received(kTotal);
@@ -115,7 +117,7 @@ TEST(NetworkTest, CloseUnblocksReader) {
   auto server_sock = (*listener)->Accept();
   ASSERT_TRUE(server_sock.ok());
 
-  std::thread reader([&] {
+  cool::Thread reader([&] {
     std::uint8_t buf[1];
     EXPECT_EQ((*server_sock)->Recv(buf).status().code(),
               ErrorCode::kUnavailable);
@@ -181,7 +183,7 @@ TEST(NetworkTest, BandwidthPacesThroughput) {
   auto server_sock = (*listener)->Accept();
   ASSERT_TRUE(server_sock.ok());
 
-  std::thread drain([&] {
+  cool::Thread drain([&] {
     std::vector<std::uint8_t> buf(200 * 1024);
     (void)(*server_sock)->RecvExact(buf);
   });
@@ -277,7 +279,7 @@ TEST(DatagramTest, RecvUnblocksOnClose) {
   Network net(FastLink());
   auto rx = net.OpenPort({"server", 5});
   ASSERT_TRUE(rx.ok());
-  std::thread receiver([&] { EXPECT_EQ((*rx)->Recv(), std::nullopt); });
+  cool::Thread receiver([&] { EXPECT_EQ((*rx)->Recv(), std::nullopt); });
   std::this_thread::sleep_for(milliseconds(20));
   (*rx)->Close();
   receiver.join();

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/thread.h"
+
 namespace cool::transport {
 namespace {
 
@@ -46,7 +48,7 @@ struct Rig {
   Establish(const qos::QoSSpec& spec = {}) {
     Result<std::unique_ptr<ComChannel>> server_side(
         Status(InternalError("unset")));
-    std::thread accept([&] { server_side = server_mgr.AcceptChannel(); });
+    cool::Thread accept([&] { server_side = server_mgr.AcceptChannel(); });
     DacapoComManager client_mgr(&net, {"client", 7200}, Estimate());
     auto client_side = client_mgr.OpenChannel({"server", 7200}, spec);
     accept.join();
@@ -196,7 +198,7 @@ TEST(DacapoChannelTest, ServerResourceAdmissionEnforced) {
   DacapoComManager client_mgr(&rig.net, {"client", 7200}, Estimate());
   Result<std::unique_ptr<ComChannel>> server_side(
       Status(InternalError("unset")));
-  std::thread accept([&] { server_side = rig.server_mgr.AcceptChannel(); });
+  cool::Thread accept([&] { server_side = rig.server_mgr.AcceptChannel(); });
   auto channel = client_mgr.OpenChannel({"server", 7200}, {});
   accept.join();
   EXPECT_EQ(channel.status().code(), ErrorCode::kResourceExhausted);

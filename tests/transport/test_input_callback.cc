@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
+
 namespace cool::transport {
 namespace {
 
@@ -30,13 +32,13 @@ TEST(InputCallbackTest, UnregisterMakesTriggerFail) {
 TEST(InputCallbackTest, CallbacksRunSerially) {
   InputCallbackDispatcher dispatcher;
   std::vector<int> order;
-  std::mutex mu;
+  cool::Mutex mu;
   const auto a = dispatcher.Register([&] {
-    std::lock_guard lock(mu);
+    cool::MutexLock lock(mu);
     order.push_back(1);
   });
   const auto b = dispatcher.Register([&] {
-    std::lock_guard lock(mu);
+    cool::MutexLock lock(mu);
     order.push_back(2);
   });
   BlockingQueue<int> done;
@@ -46,7 +48,7 @@ TEST(InputCallbackTest, CallbacksRunSerially) {
   ASSERT_TRUE(dispatcher.Trigger(a).ok());
   ASSERT_TRUE(dispatcher.Trigger(c).ok());
   ASSERT_TRUE(done.PopFor(seconds(2)).has_value());
-  std::lock_guard lock(mu);
+  cool::MutexLock lock(mu);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
 }
 

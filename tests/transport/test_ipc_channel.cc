@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "common/thread.h"
+
 namespace cool::transport {
 namespace {
 
@@ -27,7 +29,7 @@ struct Rig {
   Establish() {
     Result<std::unique_ptr<ComChannel>> server_side(
         Status(InternalError("unset")));
-    std::thread accept([&] { server_side = server_mgr.AcceptChannel(); });
+    cool::Thread accept([&] { server_side = server_mgr.AcceptChannel(); });
     IpcComManager client_mgr(&net, {"client", 7100});
     auto client_side = client_mgr.OpenChannel({"server", 7100}, {});
     accept.join();
@@ -98,7 +100,7 @@ TEST(IpcChannelTest, ReceiveTimesOut) {
 TEST(IpcChannelTest, CallRoundTrip) {
   Rig rig;
   auto [client, server] = rig.Establish();
-  std::thread responder([&s = server] {
+  cool::Thread responder([&s = server] {
     auto req = s->ReceiveMessage(seconds(2));
     ASSERT_TRUE(req.ok());
     ASSERT_TRUE(s->Reply(Msg("ok")).ok());

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/thread.h"
 
 namespace cool::transport {
 namespace {
@@ -30,7 +31,7 @@ struct Rig {
   Establish() {
     Result<std::unique_ptr<ComChannel>> server_side(
         Status(InternalError("unset")));
-    std::thread accept([&] { server_side = server_mgr.AcceptChannel(); });
+    cool::Thread accept([&] { server_side = server_mgr.AcceptChannel(); });
     TcpComManager client_mgr(&net, {"client", 7000});
     auto client_side = client_mgr.OpenChannel({"server", 7000}, {});
     accept.join();
@@ -106,7 +107,7 @@ TEST(TcpChannelTest, MessageRoundTrip) {
 TEST(TcpChannelTest, CallIsSendPlusReceive) {
   Rig rig;
   auto [client, server] = rig.Establish();
-  std::thread responder([&s = server] {
+  cool::Thread responder([&s = server] {
     auto req = s->ReceiveMessage(seconds(2));
     ASSERT_TRUE(req.ok());
     ASSERT_TRUE(s->Reply(Msg("re:" + req->ToString())).ok());
