@@ -99,37 +99,60 @@ double MeasureMbps(const ModuleGraphSpec& graph, std::size_t packet_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = cool::bench::BenchArgs::Parse(argc, argv);
   std::printf(
       "=== Figure 9: Da CaPo throughput (Mbps) vs packet size ===\n"
-      "link: 90 Mbit/s, 400 us one-way; T module encapsulates TCP\n\n");
+      "link: 90 Mbit/s, 400 us one-way; T module encapsulates TCP%s\n\n",
+      args.smoke ? " (smoke mode)" : "");
 
-  const std::size_t kPacketSizes[] = {1024,  2048,  4096, 8192,
-                                      16384, 32768, 65536};
+  // Smoke mode: corner sizes and the cheap configs only, shorter windows.
+  const std::vector<std::size_t> packet_sizes =
+      args.smoke ? std::vector<std::size_t>{1024, 16384, 65536}
+                 : std::vector<std::size_t>{1024, 2048, 4096, 8192, 16384,
+                                            32768, 65536};
   struct Config {
     const char* name;
     cool::dacapo::ModuleGraphSpec graph;
   };
-  const Config kConfigs[] = {
-      {"0 dummy", DummyChain(0)},   {"10 dummy", DummyChain(10)},
-      {"20 dummy", DummyChain(20)}, {"40 dummy", DummyChain(40)},
-      {"IRQ", IrqChain()},
-  };
+  std::vector<Config> configs;
+  configs.push_back({"0 dummy", DummyChain(0)});
+  configs.push_back({"10 dummy", DummyChain(10)});
+  if (!args.smoke) {
+    configs.push_back({"20 dummy", DummyChain(20)});
+    configs.push_back({"40 dummy", DummyChain(40)});
+  }
+  configs.push_back({"IRQ", IrqChain()});
+  const cool::Duration window =
+      args.smoke ? cool::milliseconds(120) : cool::milliseconds(250);
 
-  cool::bench::Table table({"packet", "0 dummy", "10 dummy", "20 dummy",
-                            "40 dummy", "IRQ"});
-  for (const std::size_t size : kPacketSizes) {
+  std::vector<std::string> headers = {"packet"};
+  for (const Config& config : configs) headers.push_back(config.name);
+  cool::bench::Table table(std::move(headers));
+  std::vector<cool::bench::BenchRecord> records;
+  for (const std::size_t size : packet_sizes) {
     std::vector<std::string> row;
     row.push_back(std::to_string(size / 1024) + " KiB");
-    for (const Config& config : kConfigs) {
-      const double mbps =
-          MeasureMbps(config.graph, size, cool::milliseconds(250));
+    for (const Config& config : configs) {
+      const double mbps = MeasureMbps(config.graph, size, window);
       row.push_back(cool::bench::Fmt("%.1f", mbps));
       std::fflush(stdout);
+      cool::bench::BenchRecord rec;
+      rec.name = std::string(config.name) + " / " +
+                 std::to_string(size / 1024) + " KiB";
+      rec.mbps = mbps;
+      rec.msgs_per_sec =
+          mbps * 1e6 / 8.0 / static_cast<double>(size);  // packets/s
+      records.push_back(std::move(rec));
     }
     table.AddRow(std::move(row));
   }
   table.Print();
+
+  if (!args.json_path.empty() &&
+      !cool::bench::WriteJson(args.json_path, records)) {
+    return 1;
+  }
 
   std::printf(
       "\nshape checks (paper §6):\n"

@@ -1,6 +1,14 @@
 // Ablation A4: the three transports under COOL's generic transport layer
 // compared on the same request/reply workload — TCP, Chorus-IPC-like
 // messaging, and Da CaPo (empty graph and a configured QoS graph).
+//
+// Two link regimes:
+//  * testbed link (90 Mbit/s, 400 us): the paper-era WAN shape, where all
+//    transports are RTT/bandwidth-bound and should sit close together;
+//  * fast link (no pacing, no propagation): CPU-bound, where the ORB's own
+//    data path — mailbox hops, wakeups, copies — is the bottleneck. The
+//    msgs/s column of this regime is the headline number tracked across
+//    PRs by scripts/run_benchmarks.py.
 #include <cstdio>
 #include <thread>
 
@@ -18,6 +26,16 @@ sim::LinkProperties TestbedLink() {
   sim::LinkProperties link;
   link.bandwidth_bps = 90'000'000;
   link.latency = microseconds(400);
+  return link;
+}
+
+// No serialization pacing, no propagation delay: the benchmark measures
+// the ORB data path itself rather than the simulated wire.
+sim::LinkProperties FastLink() {
+  sim::LinkProperties link;
+  link.bandwidth_bps = 0;
+  link.latency = Duration::zero();
+  link.jitter = Duration::zero();
   return link;
 }
 
@@ -84,6 +102,34 @@ double MeasureMbps(transport::ComChannel& client,
   return static_cast<double>(received.load()) * 8.0 / seconds / 1e6;
 }
 
+// One-directional small-message rate: how many messages per second survive
+// the full data path (channel -> session -> module chain -> wire -> chain
+// -> channel). Small payloads make the per-message costs — locks, wakeups,
+// copies — dominate, which is exactly what the batching work targets.
+double MeasureMsgsPerSec(transport::ComChannel& client,
+                         transport::ComChannel& server,
+                         std::size_t message_bytes, Duration duration) {
+  std::atomic<std::uint64_t> received{0};
+  cool::Thread drain = Spawn([&server, &received](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto msg = server.ReceiveMessage(milliseconds(200));
+      if (msg.ok()) received += 1;
+    }
+  });
+
+  const auto payload = Payload(message_bytes);
+  const Stopwatch sw;
+  const TimePoint end = Now() + duration;
+  while (Now() < end) {
+    if (!client.SendMessage(payload).ok()) break;
+  }
+  std::this_thread::sleep_for(milliseconds(100));
+  drain.request_stop();
+  drain.join();
+  const double seconds = ToSeconds(sw.Elapsed());
+  return static_cast<double>(received.load()) / seconds;
+}
+
 struct ChannelPair {
   std::unique_ptr<transport::ComChannel> client;
   std::unique_ptr<transport::ComChannel> server;
@@ -107,89 +153,138 @@ ChannelPair Establish(transport::ComManager& client_mgr,
   return {std::move(opened).value(), std::move(accepted).value()};
 }
 
+// Runs the full measurement set over one established pair and records both
+// the human-readable row and the machine-readable entry. The msgs/s metric
+// is best-of-N: the benchmark machine is shared, and the max over short
+// windows estimates the least-interfered capability of each build — the
+// same estimator for every build keeps comparisons fair.
+bool MeasurePair(const char* name, ChannelPair& pair, int iterations,
+                 Duration duration, int reps, cool::bench::Table& table,
+                 std::vector<bench::BenchRecord>& records) {
+  if (pair.client == nullptr) return false;
+  const auto rtt = MeasureRtt(*pair.client, *pair.server, iterations);
+  const double mbps =
+      MeasureMbps(*pair.client, *pair.server, 16 * 1024, duration);
+  double msgs = 0;
+  for (int r = 0; r < reps; ++r) {
+    msgs = std::max(
+        msgs, MeasureMsgsPerSec(*pair.client, *pair.server, 256, duration));
+  }
+  table.AddRow({name, cool::bench::Fmt("%.1f", rtt.mean_us),
+                cool::bench::Fmt("%.1f", rtt.p95_us),
+                cool::bench::Fmt("%.1f", mbps),
+                cool::bench::Fmt("%.0f", msgs)});
+  bench::BenchRecord rec;
+  rec.name = name;
+  rec.msgs_per_sec = msgs;
+  rec.mbps = mbps;
+  rec.p50_us = rtt.p50_us;
+  rec.p99_us = rtt.p99_us;
+  records.push_back(std::move(rec));
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = cool::bench::BenchArgs::Parse(argc, argv);
+  const int iterations = args.smoke ? 40 : 150;
+  const int reps = args.smoke ? 2 : 5;
+  const Duration duration =
+      args.smoke ? cool::milliseconds(120) : cool::milliseconds(300);
+
   std::printf(
       "=== Ablation A4: transports under the generic transport layer ===\n"
-      "link: 90 Mbit/s, 400 us one-way; 256 B request/reply, 16 KiB bulk\n\n");
-
-  sim::Network net(TestbedLink());
-  constexpr int kIterations = 150;
-  cool::bench::Table table({"transport", "rtt mean us", "rtt p95 us",
-                            "bulk Mbps"});
+      "testbed link: 90 Mbit/s, 400 us one-way; 256 B request/reply,\n"
+      "16 KiB bulk, 256 B message-rate%s\n\n",
+      args.smoke ? " (smoke mode)" : "");
 
   dacapo::NetworkEstimate estimate;
   estimate.bandwidth_bps = 90'000'000;
   estimate.rtt_us = 800;
   estimate.transport_reliable = true;
 
+  std::vector<cool::bench::BenchRecord> records;
+  cool::bench::Table table({"transport", "rtt mean us", "rtt p95 us",
+                            "bulk Mbps", "msgs/s"});
   {
-    transport::TcpComManager server_mgr(&net, {"server", 7400});
-    transport::TcpComManager client_mgr(&net, {"client", 7400});
-    if (!server_mgr.Listen().ok()) return 1;
-    auto pair = Establish(client_mgr, server_mgr, {"server", 7400});
-    if (pair.client == nullptr) return 1;
-    const auto rtt = MeasureRtt(*pair.client, *pair.server, kIterations);
-    const double mbps =
-        MeasureMbps(*pair.client, *pair.server, 16 * 1024,
-                    cool::milliseconds(300));
-    table.AddRow({"tcp", cool::bench::Fmt("%.1f", rtt.mean_us),
-                  cool::bench::Fmt("%.1f", rtt.p95_us),
-                  cool::bench::Fmt("%.1f", mbps)});
+    sim::Network net(TestbedLink());
+    {
+      transport::TcpComManager server_mgr(&net, {"server", 7400});
+      transport::TcpComManager client_mgr(&net, {"client", 7400});
+      if (!server_mgr.Listen().ok()) return 1;
+      auto pair = Establish(client_mgr, server_mgr, {"server", 7400});
+      if (!MeasurePair("tcp", pair, iterations, duration, reps, table, records)) {
+        return 1;
+      }
+    }
+    {
+      transport::IpcComManager server_mgr(&net, {"server", 7401});
+      transport::IpcComManager client_mgr(&net, {"client", 7401});
+      if (!server_mgr.Listen().ok()) return 1;
+      auto pair = Establish(client_mgr, server_mgr, {"server", 7401});
+      if (!MeasurePair("ipc", pair, iterations, duration, reps, table, records)) {
+        return 1;
+      }
+    }
+    {
+      transport::DacapoComManager server_mgr(&net, {"server", 7402},
+                                             estimate);
+      transport::DacapoComManager client_mgr(&net, {"client", 7402},
+                                             estimate);
+      if (!server_mgr.Listen().ok()) return 1;
+      auto pair = Establish(client_mgr, server_mgr, {"server", 7402});
+      if (!MeasurePair("dacapo (empty graph)", pair, iterations, duration,
+                       reps, table, records)) {
+        return 1;
+      }
+    }
+    {
+      transport::DacapoComManager server_mgr(&net, {"server", 7403},
+                                             estimate);
+      transport::DacapoComManager client_mgr(&net, {"client", 7403},
+                                             estimate);
+      if (!server_mgr.Listen().ok()) return 1;
+      auto spec = qos::QoSSpec::FromParameters(
+          {qos::RequireReliability(1), qos::RequireEncryption(true)});
+      if (!spec.ok()) return 1;
+      auto pair = Establish(client_mgr, server_mgr, {"server", 7403}, *spec);
+      if (!MeasurePair("dacapo (crc+cipher)", pair, iterations, duration,
+                       reps, table, records)) {
+        return 1;
+      }
+    }
   }
   {
-    transport::IpcComManager server_mgr(&net, {"server", 7401});
-    transport::IpcComManager client_mgr(&net, {"client", 7401});
+    // CPU-bound regime: the default (empty) Da CaPo stream graph over an
+    // unconstrained link. This row is the batching/zero-copy headline.
+    sim::Network fast_net(FastLink());
+    dacapo::NetworkEstimate fast_estimate;
+    fast_estimate.bandwidth_bps = 0;
+    fast_estimate.rtt_us = 1;
+    fast_estimate.transport_reliable = true;
+    transport::DacapoComManager server_mgr(&fast_net, {"server", 7404},
+                                           fast_estimate);
+    transport::DacapoComManager client_mgr(&fast_net, {"client", 7404},
+                                           fast_estimate);
     if (!server_mgr.Listen().ok()) return 1;
-    auto pair = Establish(client_mgr, server_mgr, {"server", 7401});
-    if (pair.client == nullptr) return 1;
-    const auto rtt = MeasureRtt(*pair.client, *pair.server, kIterations);
-    const double mbps =
-        MeasureMbps(*pair.client, *pair.server, 16 * 1024,
-                    cool::milliseconds(300));
-    table.AddRow({"ipc", cool::bench::Fmt("%.1f", rtt.mean_us),
-                  cool::bench::Fmt("%.1f", rtt.p95_us),
-                  cool::bench::Fmt("%.1f", mbps)});
-  }
-  {
-    transport::DacapoComManager server_mgr(&net, {"server", 7402}, estimate);
-    transport::DacapoComManager client_mgr(&net, {"client", 7402}, estimate);
-    if (!server_mgr.Listen().ok()) return 1;
-    auto pair = Establish(client_mgr, server_mgr, {"server", 7402});
-    if (pair.client == nullptr) return 1;
-    const auto rtt = MeasureRtt(*pair.client, *pair.server, kIterations);
-    const double mbps =
-        MeasureMbps(*pair.client, *pair.server, 16 * 1024,
-                    cool::milliseconds(300));
-    table.AddRow({"dacapo (empty graph)",
-                  cool::bench::Fmt("%.1f", rtt.mean_us),
-                  cool::bench::Fmt("%.1f", rtt.p95_us),
-                  cool::bench::Fmt("%.1f", mbps)});
-  }
-  {
-    transport::DacapoComManager server_mgr(&net, {"server", 7403}, estimate);
-    transport::DacapoComManager client_mgr(&net, {"client", 7403}, estimate);
-    if (!server_mgr.Listen().ok()) return 1;
-    auto spec = qos::QoSSpec::FromParameters(
-        {qos::RequireReliability(1), qos::RequireEncryption(true)});
-    if (!spec.ok()) return 1;
-    auto pair = Establish(client_mgr, server_mgr, {"server", 7403}, *spec);
-    if (pair.client == nullptr) return 1;
-    const auto rtt = MeasureRtt(*pair.client, *pair.server, kIterations);
-    const double mbps =
-        MeasureMbps(*pair.client, *pair.server, 16 * 1024,
-                    cool::milliseconds(300));
-    table.AddRow({"dacapo (crc+cipher)",
-                  cool::bench::Fmt("%.1f", rtt.mean_us),
-                  cool::bench::Fmt("%.1f", rtt.p95_us),
-                  cool::bench::Fmt("%.1f", mbps)});
+    auto pair = Establish(client_mgr, server_mgr, {"server", 7404});
+    if (!MeasurePair("dacapo (fast link)", pair, iterations, duration, reps,
+                     table, records)) {
+      return 1;
+    }
   }
 
   table.Print();
   std::printf(
-      "\nshape check: all transports are within the same order (RTT-bound);\n"
-      "dacapo adds per-module queue hops, the configured graph adds\n"
-      "checksum+cipher work per octet — visible but small at this scale.\n");
+      "\nshape check: on the testbed link all transports are within the\n"
+      "same order (RTT-bound); dacapo adds per-module queue hops, the\n"
+      "configured graph adds checksum+cipher work per octet. The fast-link\n"
+      "row is CPU-bound and tracks the data-path cost itself.\n");
+
+  if (!args.json_path.empty() &&
+      !cool::bench::WriteJson(args.json_path, records)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,9 +1,12 @@
-// Shared helpers for the reproduction benchmarks: latency statistics and
-// aligned table printing in the style of the paper's figures.
+// Shared helpers for the reproduction benchmarks: latency statistics,
+// aligned table printing in the style of the paper's figures, and the
+// smoke/JSON harness used by scripts/run_benchmarks.py to record the
+// benchmark trajectory across PRs.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,7 @@ struct LatencyStats {
   double mean_us = 0;
   double p50_us = 0;
   double p95_us = 0;
+  double p99_us = 0;
   double min_us = 0;
   double max_us = 0;
 };
@@ -28,9 +32,69 @@ inline LatencyStats Summarize(std::vector<double> samples_us) {
   s.mean_us = sum / static_cast<double>(samples_us.size());
   s.p50_us = samples_us[samples_us.size() / 2];
   s.p95_us = samples_us[samples_us.size() * 95 / 100];
+  s.p99_us = samples_us[samples_us.size() * 99 / 100];
   s.min_us = samples_us.front();
   s.max_us = samples_us.back();
   return s;
+}
+
+// --- smoke/JSON harness ------------------------------------------------------
+
+// Common flags for benchmark binaries:
+//   --smoke        shrink durations/iterations so CI finishes in seconds
+//   --json <path>  append machine-readable results to <path>
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      }
+    }
+    return args;
+  }
+};
+
+// One named measurement; unset metrics (< 0) are omitted from the JSON.
+struct BenchRecord {
+  std::string name;
+  double msgs_per_sec = -1;
+  double mbps = -1;
+  double p50_us = -1;
+  double p99_us = -1;
+};
+
+// Writes records as a JSON array of objects. Overwrites `path`; the
+// aggregation across binaries/runs happens in scripts/run_benchmarks.py.
+inline bool WriteJson(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "  {\"name\": \"%s\"", r.name.c_str());
+    if (r.msgs_per_sec >= 0) {
+      std::fprintf(f, ", \"msgs_per_sec\": %.1f", r.msgs_per_sec);
+    }
+    if (r.mbps >= 0) std::fprintf(f, ", \"mbps\": %.2f", r.mbps);
+    if (r.p50_us >= 0) std::fprintf(f, ", \"p50_us\": %.1f", r.p50_us);
+    if (r.p99_us >= 0) std::fprintf(f, ", \"p99_us\": %.1f", r.p99_us);
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
 }
 
 // Minimal fixed-width table printer.

@@ -18,6 +18,11 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      layer order (no upward or cyclic includes).
   6. No bare new/delete outside an allowlist of factory functions; heap
      objects are owned by unique_ptr/shared_ptr from birth.
+  7. No NotifyAll on the data path (src/dacapo, src/transport, src/giop,
+     src/orb, src/stream) outside shutdown functions (Close/Stop/Shutdown
+     and destructors). Mailboxes and queues there are single-consumer:
+     hot-path wakeups must be NotifyOne so a push wakes exactly one
+     thread; broadcasts are reserved for teardown.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -259,6 +264,53 @@ def check_notify_under_lock(path: Path, clean: str, findings: list[str]) -> None
             )
 
 
+# Data-path directories where broadcast wakeups are banned outside
+# teardown (rule 7). src/common/ and src/sim/ are exempt: their primitives
+# (BlockingQueue, the simulated network) are multi-consumer by design.
+DATA_PATH_DIRS = (
+    "src/dacapo/",
+    "src/transport/",
+    "src/giop/",
+    "src/orb/",
+    "src/stream/",
+)
+
+def check_no_broadcast_on_data_path(
+    path: Path, clean: str, findings: list[str]
+) -> None:
+    """Rule 7: NotifyAll in data-path dirs only inside shutdown functions."""
+    r = rel(path)
+    if not r.startswith(DATA_PATH_DIRS):
+        return
+    if "NotifyAll" not in clean:
+        return
+    lines = clean.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not re.search(r"\.\s*NotifyAll\s*\(", line):
+            continue
+        # Scan backwards for the enclosing function definition; same
+        # lightweight approach as check_notify_under_lock.
+        in_shutdown = False
+        for back in range(lineno - 1, 0, -1):
+            prev = lines[back - 1]
+            m = re.search(r"\b([~\w]+)\s*\([^;]*\)\s*(?:const\s*)?(?:{)?\s*$", prev)
+            if m and not re.match(
+                r"\s*(if|for|while|switch|catch|return)\b", prev
+            ):
+                name = m.group(1)
+                in_shutdown = bool(
+                    re.fullmatch(r"~\w+|Close|Stop|Shutdown|Drain\w*", name)
+                )
+                break
+        if not in_shutdown:
+            findings.append(
+                f"{r}:{lineno}: NotifyAll on the data path outside a "
+                f"shutdown function — single-consumer queues take "
+                f"NotifyOne; broadcasts are reserved for "
+                f"Close/Stop/Shutdown (rule 7, see DESIGN.md)"
+            )
+
+
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
 
 
@@ -317,6 +369,7 @@ def main() -> int:
         check_raw_sync(path, clean, findings)
         check_raw_bytes(path, clean, findings)
         check_notify_under_lock(path, clean, findings)
+        check_no_broadcast_on_data_path(path, clean, findings)
         check_new_delete(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory harness.
+
+Runs the benchmark binaries that support the --smoke/--json protocol (see
+bench/bench_util.h) and aggregates their records into one JSON file, keyed
+by a label, so before/after numbers for a change live side by side:
+
+    scripts/run_benchmarks.py --smoke --label before --build-dir build-pre
+    scripts/run_benchmarks.py --smoke --label after  --build-dir build
+    -> BENCH_PR3.json: {"meta": ..., "before": {...}, "after": {...}}
+
+The output file is merged, not overwritten: re-running with a different
+label adds a section, re-running with the same label replaces it. CI runs
+the smoke mode on every push and uploads the JSON as an artifact, giving
+the repo a benchmark trajectory across PRs without gating merges on noisy
+thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Binaries implementing the --smoke/--json protocol, with the metric that
+# headlines each one in the summary printout.
+BENCHES = [
+    {"binary": "bench_transports", "headline": "dacapo (fast link)"},
+    {"binary": "bench_fig9_throughput", "headline": "0 dummy / 64 KiB"},
+]
+
+
+def run_bench(build_dir: Path, binary: str, smoke: bool,
+              timeout_s: int) -> list[dict]:
+    exe = build_dir / "bench" / binary
+    if not exe.exists():
+        print(f"  {binary}: missing ({exe}), skipped")
+        return []
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        cmd = [str(exe), "--json", str(tmp_path)]
+        if smoke:
+            cmd.append("--smoke")
+        print(f"  {binary}{' --smoke' if smoke else ''} ...", flush=True)
+        proc = subprocess.run(cmd, cwd=REPO, timeout=timeout_s,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"  {binary}: exit {proc.returncode}")
+            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+            return []
+        return json.loads(tmp_path.read_text())
+    finally:
+        tmp_path.unlink(missing_ok=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows; what CI runs")
+    parser.add_argument("--label", default="after",
+                        help="section name in the output JSON "
+                             "(e.g. before/after; default: after)")
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--output", default="BENCH_PR3.json",
+                        help="aggregated output path (merged, not clobbered)")
+    parser.add_argument("--timeout", type=int, default=600,
+                        help="per-binary timeout in seconds")
+    args = parser.parse_args()
+
+    build_dir = (REPO / args.build_dir).resolve() \
+        if not Path(args.build_dir).is_absolute() else Path(args.build_dir)
+    out_path = (REPO / args.output).resolve() \
+        if not Path(args.output).is_absolute() else Path(args.output)
+
+    print(f"run_benchmarks: label={args.label} build={build_dir}")
+    section: dict[str, object] = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "smoke": args.smoke,
+        "benches": {},
+    }
+    ran_any = False
+    for bench in BENCHES:
+        records = run_bench(build_dir, bench["binary"], args.smoke,
+                            args.timeout)
+        if records:
+            ran_any = True
+        section["benches"][bench["binary"]] = records
+        for rec in records:
+            if rec.get("name") == bench["headline"]:
+                mps = rec.get("msgs_per_sec")
+                if mps is not None:
+                    print(f"    headline [{rec['name']}]: "
+                          f"{mps:,.0f} msgs/s")
+    if not ran_any:
+        print("run_benchmarks: no benchmark produced records")
+        return 1
+
+    merged: dict[str, object] = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            print(f"  {out_path.name}: unreadable, starting fresh")
+    merged["meta"] = {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "note": "smoke numbers are CI-grade (short windows, shared "
+                "runners); compare labels within one file only",
+    }
+    merged[args.label] = section
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"run_benchmarks: wrote {out_path}")
+
+    # Before/after convenience: when both sections exist, print the delta
+    # for each headline metric.
+    if "before" in merged and "after" in merged:
+        for bench in BENCHES:
+            def headline(section_name: str) -> float | None:
+                recs = merged[section_name]["benches"].get(
+                    bench["binary"], [])
+                for rec in recs:
+                    if rec.get("name") == bench["headline"]:
+                        return rec.get("msgs_per_sec")
+                return None
+            b, a = headline("before"), headline("after")
+            if b and a:
+                print(f"  {bench['binary']} [{bench['headline']}]: "
+                      f"{b:,.0f} -> {a:,.0f} msgs/s "
+                      f"({(a / b - 1) * 100:+.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

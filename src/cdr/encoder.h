@@ -35,6 +35,10 @@ class Encoder {
 
   ByteOrder order() const noexcept { return order_; }
 
+  // Pre-sizes the output buffer when the caller knows the frame size, so
+  // large payloads don't pay repeated vector regrowth during encoding.
+  void Reserve(std::size_t n) { buf_.Reserve(n); }
+
   void PutOctet(corba::Octet v) { buf_.AppendByte(v); }
   void PutBoolean(corba::Boolean v) { PutOctet(v ? 1 : 0); }
   void PutChar(corba::Char v) {

@@ -38,8 +38,10 @@ class ByteBuffer {
   void AppendZeros(std::size_t count) { data_.insert(data_.end(), count, 0); }
 
   // Write at an absolute offset (used to back-patch GIOP message_size).
+  // Subtraction form: `offset + bytes.size()` could wrap size_t and slip
+  // past an additive bounds test.
   Status WriteAt(std::size_t offset, std::span<const std::uint8_t> bytes) {
-    if (offset + bytes.size() > data_.size()) {
+    if (offset > data_.size() || bytes.size() > data_.size() - offset) {
       return InvalidArgumentError("WriteAt out of range");
     }
     std::memcpy(data_.data() + offset, bytes.data(), bytes.size());

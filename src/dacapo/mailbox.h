@@ -9,11 +9,20 @@
 // pushing into a full down queue blocks, which propagates backpressure
 // chain-upward to the sending application. Up and control are unbounded
 // (their volume is bounded by the receive window of the transport).
+//
+// The mailbox is single-consumer (exactly one module thread pops it) and
+// multi-producer. Producers therefore wake the consumer with NotifyOne;
+// only Close broadcasts. The batch operations (PushDownBatch, PushUpBatch,
+// PopBatch) move whole trains of packets under a single lock acquisition,
+// so the per-packet mutex + wakeup cost of the Fig. 6 pointer-passing
+// design is amortized across the batch while every packet still crosses
+// the module boundary individually (Module::HandleData stays per-packet).
 #pragma once
 
 #include <deque>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
@@ -67,7 +76,7 @@ class Mailbox {
     MutexLock lock(mu_);
     if (closed_) return;
     control_.push_back({dir, std::move(msg)});
-    cv_.NotifyAll();
+    cv_.NotifyOne();
   }
 
   // Up data: never blocks (see file comment).
@@ -75,7 +84,19 @@ class Mailbox {
     MutexLock lock(mu_);
     if (closed_) return;
     up_.push_back(std::move(pkt));
-    cv_.NotifyAll();
+    cv_.NotifyOne();
+  }
+
+  // Batched up push: the whole train enters under one lock acquisition and
+  // the consumer is woken once. `pkts` is emptied either way.
+  void PushUpBatch(std::vector<PacketPtr>& pkts) {
+    if (pkts.empty()) return;
+    MutexLock lock(mu_);
+    if (!closed_) {
+      for (auto& p : pkts) up_.push_back(std::move(p));
+      cv_.NotifyOne();
+    }
+    pkts.clear();  // closed: packets return to the arena here
   }
 
   // Down data: blocks while the down queue is full. Returns false when the
@@ -85,7 +106,32 @@ class Mailbox {
     while (!closed_ && down_.size() >= down_capacity_) space_.Wait(mu_);
     if (closed_) return false;
     down_.push_back(std::move(pkt));
-    cv_.NotifyAll();
+    cv_.NotifyOne();
+    return true;
+  }
+
+  // Batched down push: FIFO, blocking for space as needed, one lock
+  // acquisition while the queue has room. Returns false once the mailbox
+  // closed (remaining packets are dropped). `pkts` is emptied either way.
+  bool PushDownBatch(std::vector<PacketPtr>& pkts) {
+    MutexLock lock(mu_);
+    bool pushed_any = false;
+    for (auto& p : pkts) {
+      while (!closed_ && down_.size() >= down_capacity_) {
+        // The consumer may be asleep with the items we already queued; it
+        // must run for space to ever appear, so wake it before waiting.
+        if (pushed_any) cv_.NotifyOne();
+        space_.Wait(mu_);
+      }
+      if (closed_) {
+        pkts.clear();
+        return false;
+      }
+      down_.push_back(std::move(p));
+      pushed_any = true;
+    }
+    if (pushed_any) cv_.NotifyOne();
+    pkts.clear();
     return true;
   }
 
@@ -129,6 +175,53 @@ class Mailbox {
         r.kind = PopResult::Kind::kTimeout;
         return r;
       }
+    }
+  }
+
+  enum class BatchStatus { kItems, kTimeout, kClosed };
+
+  // Drains every eligible item — all control, then all up-data, then (when
+  // `accept_down`) all down-data, FIFO within each class — under a single
+  // lock acquisition, up to `max_n` items appended to `out` (which is
+  // cleared first; pass the same vector each call to reuse its capacity).
+  // Blocks like PopNext when nothing is eligible: kTimeout after `timeout`,
+  // kClosed once closed and drained, kItems otherwise. One space_ wakeup is
+  // issued per drained down-item so every blocked producer resumes.
+  BatchStatus PopBatch(bool accept_down, std::size_t max_n, Duration timeout,
+                       std::vector<PopResult>& out) {
+    out.clear();
+    if (max_n == 0) return BatchStatus::kTimeout;
+    const TimePoint deadline = Now() + timeout;
+    MutexLock lock(mu_);
+    for (;;) {
+      while (out.size() < max_n && !control_.empty()) {
+        PopResult r;
+        r.kind = PopResult::Kind::kControl;
+        r.control_dir = control_.front().first;
+        r.control = std::move(control_.front().second);
+        control_.pop_front();
+        out.push_back(std::move(r));
+      }
+      while (out.size() < max_n && !up_.empty()) {
+        PopResult r;
+        r.kind = PopResult::Kind::kData;
+        r.data = DataItem{Direction::kUp, std::move(up_.front())};
+        up_.pop_front();
+        out.push_back(std::move(r));
+      }
+      if (accept_down) {
+        while (out.size() < max_n && !down_.empty()) {
+          PopResult r;
+          r.kind = PopResult::Kind::kData;
+          r.data = DataItem{Direction::kDown, std::move(down_.front())};
+          down_.pop_front();
+          space_.NotifyOne();
+          out.push_back(std::move(r));
+        }
+      }
+      if (!out.empty()) return BatchStatus::kItems;
+      if (closed_) return BatchStatus::kClosed;
+      if (!cv_.WaitUntil(mu_, deadline)) return BatchStatus::kTimeout;
     }
   }
 

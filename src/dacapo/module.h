@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -27,6 +28,18 @@ class ModulePort {
   virtual void ForwardUp(PacketPtr pkt) = 0;
   // Pass a packet to the next module toward the transport (layer T).
   virtual void ForwardDown(PacketPtr pkt) = 0;
+
+  // Batch variants: forward a whole train of packets, FIFO, emptying `pkts`.
+  // The runtime overrides these with single-lock mailbox pushes; the default
+  // is a per-packet loop so test doubles keep working unchanged.
+  virtual void ForwardUpBatch(std::vector<PacketPtr>& pkts) {
+    for (auto& p : pkts) ForwardUp(std::move(p));
+    pkts.clear();
+  }
+  virtual void ForwardDownBatch(std::vector<PacketPtr>& pkts) {
+    for (auto& p : pkts) ForwardDown(std::move(p));
+    pkts.clear();
+  }
 
   virtual void ControlUp(ControlMsg msg) = 0;
   virtual void ControlDown(ControlMsg msg) = 0;

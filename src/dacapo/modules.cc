@@ -150,8 +150,8 @@ void SequencerModule::HandleData(Direction dir, PacketPtr pkt,
 
   if (seq == rx_expected_) {
     ++rx_expected_;
-    port.ForwardUp(std::move(pkt));
-    FlushInOrder(port);
+    release_scratch_.push_back(std::move(pkt));
+    FlushInOrder(port);  // batches this packet with any unblocked followers
     return;
   }
   if (seq < rx_expected_) return;  // stale duplicate: drop
@@ -166,10 +166,11 @@ void SequencerModule::HandleData(Direction dir, PacketPtr pkt,
 void SequencerModule::FlushInOrder(ModulePort& port) {
   for (auto it = rx_buffer_.begin();
        it != rx_buffer_.end() && it->first == rx_expected_;) {
-    port.ForwardUp(std::move(it->second));
+    release_scratch_.push_back(std::move(it->second));
     ++rx_expected_;
     it = rx_buffer_.erase(it);
   }
+  port.ForwardUpBatch(release_scratch_);  // whole release train, one push
   if (!rx_buffer_.empty()) oldest_buffered_at_ = Now();
 }
 
@@ -433,12 +434,15 @@ void FragmentModule::HandleData(Direction dir, PacketPtr pkt,
     ++fragmented_;
     const std::uint32_t msg_id = tx_msg_id_++;
     std::uint16_t index = 0;
+    std::vector<PacketPtr> train;  // whole message forwarded as one batch
     for (std::size_t offset = 0; offset < data.size(); offset += mtu_) {
       const std::size_t n = std::min(mtu_, data.size() - offset);
       auto fragment = port.arena().Make(data.subspan(offset, n));
       if (!fragment.ok()) {
-        // Arena backpressure: wait for capacity rather than tearing a
+        // Arena backpressure: release what we already cut so downstream
+        // can drain it, then wait for capacity rather than tearing the
         // message in half.
+        port.ForwardDownBatch(train);
         while (!fragment.ok() &&
                fragment.status().code() == ErrorCode::kResourceExhausted) {
           PreciseSleep(microseconds(100));
@@ -457,10 +461,11 @@ void FragmentModule::HandleData(Direction dir, PacketPtr pkt,
       ++index;
       if (!(*fragment)->PushHeader(header).ok()) {
         ReportError(port, name(), "no headroom for fragment header");
-        return;
+        return;  // collected fragments return to the arena undelivered
       }
-      port.ForwardDown(std::move(fragment).value());
+      train.push_back(std::move(fragment).value());
     }
+    port.ForwardDownBatch(train);
     return;
   }
 
@@ -543,8 +548,7 @@ void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
     stats_.last_rx = now;
   }
   if (mode_ == DeliveryMode::kQueue) {
-    const auto data = pkt->Data();
-    rx_queue_.Push(std::vector<std::uint8_t>(data.begin(), data.end()));
+    rx_queue_.Push(std::move(pkt));  // zero-copy handoff to the application
   }
   // kCountOnly: releasing the PacketPtr returns the buffer to the arena —
   // exactly the paper's measuring A-module behaviour.
@@ -555,7 +559,7 @@ void AppAModule::OnStop(ModulePort& port) {
   rx_queue_.Close();
 }
 
-Result<std::vector<std::uint8_t>> AppAModule::Receive(Duration timeout) {
+Result<PacketPtr> AppAModule::ReceivePacket(Duration timeout) {
   auto item = rx_queue_.PopFor(timeout);
   if (!item.has_value()) {
     if (rx_queue_.closed()) {
@@ -564,6 +568,12 @@ Result<std::vector<std::uint8_t>> AppAModule::Receive(Duration timeout) {
     return Status(DeadlineExceededError("receive timed out"));
   }
   return std::move(*item);
+}
+
+Result<std::vector<std::uint8_t>> AppAModule::Receive(Duration timeout) {
+  COOL_ASSIGN_OR_RETURN(PacketPtr pkt, ReceivePacket(timeout));
+  const auto data = pkt->Data();
+  return std::vector<std::uint8_t>(data.begin(), data.end());
 }
 
 std::string AppAModule::DescribeStats() const {

@@ -112,6 +112,7 @@ class SequencerModule : public Module {
   std::uint32_t tx_seq_ = 0;
   std::uint32_t rx_expected_ = 0;
   std::map<std::uint32_t, PacketPtr> rx_buffer_;
+  std::vector<PacketPtr> release_scratch_;  // FlushInOrder batch staging
   TimePoint oldest_buffered_at_{};
   std::atomic<std::uint64_t> reordered_{0};
   std::atomic<std::uint64_t> skipped_{0};
@@ -304,7 +305,12 @@ class AppAModule : public Module {
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
   void OnStop(ModulePort& port) override;
 
-  // Application receive side (kQueue mode). Blocks up to `timeout`.
+  // Application receive side (kQueue mode). Blocks up to `timeout`. The
+  // packet variant hands out the arena packet itself (zero-copy); the
+  // vector variant is a thin copying wrapper kept for convenience. Held
+  // PacketPtrs count against the arena, so a slow application now exerts
+  // memory backpressure instead of growing an unbounded copy queue.
+  Result<PacketPtr> ReceivePacket(Duration timeout);
   Result<std::vector<std::uint8_t>> Receive(Duration timeout);
 
   Stats snapshot() const;
@@ -315,7 +321,7 @@ class AppAModule : public Module {
   const DeliveryMode mode_;
   mutable Mutex stats_mu_;
   Stats stats_ COOL_GUARDED_BY(stats_mu_);
-  BlockingQueue<std::vector<std::uint8_t>> rx_queue_;
+  BlockingQueue<PacketPtr> rx_queue_;
 };
 
 }  // namespace cool::dacapo

@@ -54,4 +54,55 @@ void PacketArena::Return(Packet* p) noexcept {
   free_.push_back(p);
 }
 
+std::size_t PacketArena::TakeFreeBatch(std::size_t n,
+                                       std::vector<Packet*>& out) {
+  MutexLock lock(mu_);
+  const std::size_t take = std::min(n, free_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(free_.back());
+    free_.pop_back();
+  }
+  return take;
+}
+
+void PacketArena::PutFreeBatch(std::vector<Packet*>& batch) {
+  if (batch.empty()) return;
+  MutexLock lock(mu_);
+  free_.insert(free_.end(), batch.begin(), batch.end());
+  batch.clear();
+}
+
+// --- PacketCache ------------------------------------------------------------
+
+Result<PacketPtr> PacketCache::Allocate() {
+  Packet* p = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (local_.empty()) {
+      (void)arena_->TakeFreeBatch(batch_size_, local_);
+    }
+    if (!local_.empty()) {
+      p = local_.back();
+      local_.pop_back();
+    }
+  }
+  if (p == nullptr) {
+    return Status(ResourceExhaustedError("packet arena exhausted"));
+  }
+  p->Reset();
+  p->set_created_at(Now());
+  return PacketPtr(p, PacketReturner{arena_});
+}
+
+Result<PacketPtr> PacketCache::Make(std::span<const std::uint8_t> payload) {
+  COOL_ASSIGN_OR_RETURN(PacketPtr p, Allocate());
+  COOL_RETURN_IF_ERROR(p->SetPayload(payload));
+  return p;
+}
+
+void PacketCache::Flush() {
+  MutexLock lock(mu_);
+  arena_->PutFreeBatch(local_);
+}
+
 }  // namespace cool::dacapo

@@ -44,6 +44,19 @@ class Packet {
     return Status::Ok();
   }
 
+  // Zero-copy fill seam: resets the packet (like SetPayload) to an
+  // *uninitialized* payload of `n` octets and exposes it for writing, so
+  // transports can receive and encoders can marshal directly into arena
+  // packet memory instead of staging through an intermediate buffer.
+  Result<std::span<std::uint8_t>> WritablePayload(std::size_t n) {
+    if (n > buf_.size() - kHeadroom) {
+      return Status(InvalidArgumentError("payload exceeds packet capacity"));
+    }
+    data_off_ = kHeadroom;
+    data_len_ = n;
+    return std::span<std::uint8_t>{buf_.data() + data_off_, data_len_};
+  }
+
   std::span<std::uint8_t> Data() noexcept {
     return {buf_.data() + data_off_, data_len_};
   }
@@ -73,9 +86,12 @@ class Packet {
     return header;
   }
 
-  // Extends the packet at the tail (trailers, e.g. checksums).
+  // Extends the packet at the tail (trailers, e.g. checksums; also the
+  // in-place assembly seam: append message pieces one after another).
+  // Subtraction form: data_off_ + data_len_ <= buf_.size() by invariant,
+  // but a huge trailer must not wrap the sum past the bounds test.
   Status PushTrailer(std::span<const std::uint8_t> trailer) {
-    if (data_off_ + data_len_ + trailer.size() > buf_.size()) {
+    if (trailer.size() > buf_.size() - data_off_ - data_len_) {
       return ResourceExhaustedError("packet tailroom exhausted");
     }
     std::copy(trailer.begin(), trailer.end(),
@@ -100,6 +116,7 @@ class Packet {
 
  private:
   friend class PacketArena;
+  friend class PacketCache;
 
   void Reset() noexcept {
     data_off_ = kHeadroom;
@@ -148,12 +165,55 @@ class PacketArena {
 
  private:
   friend struct PacketReturner;
+  friend class PacketCache;
   void Return(Packet* p) noexcept;
+
+  // Batch refill/flush used by PacketCache: up to `n` free packets move
+  // into / all of `batch` moves out of the free list under one lock
+  // acquisition. The raw pointers stay owned by all_.
+  std::size_t TakeFreeBatch(std::size_t n, std::vector<Packet*>& out);
+  void PutFreeBatch(std::vector<Packet*>& batch);
 
   const std::size_t payload_capacity_;
   mutable Mutex mu_;
   std::vector<std::unique_ptr<Packet>> all_;  // immutable after construction
   std::vector<Packet*> free_ COOL_GUARDED_BY(mu_);
+};
+
+// A small cache of free packets in front of a shared PacketArena, refilled
+// and flushed in batches so one arena-mutex acquisition covers `batch_size`
+// allocations. One cache per data-path endpoint (the application send seam,
+// a T module's receive loop) keeps the hot allocation path off the shared
+// free-list lock. Packets allocated here still carry the arena deleter, so
+// they may be released anywhere, any time, without touching the cache.
+// The arena must outlive the cache (it does: caches live in modules or
+// planes, both owned by the chain that owns the arena).
+class PacketCache {
+ public:
+  explicit PacketCache(PacketArena& arena, std::size_t batch_size = 16)
+      : arena_(&arena), batch_size_(batch_size) {
+    local_.reserve(batch_size_);
+  }
+  ~PacketCache() { Flush(); }
+
+  PacketCache(const PacketCache&) = delete;
+  PacketCache& operator=(const PacketCache&) = delete;
+
+  // As PacketArena::Allocate, refilling from the arena in batches.
+  Result<PacketPtr> Allocate();
+  // As PacketArena::Make.
+  Result<PacketPtr> Make(std::span<const std::uint8_t> payload);
+
+  // Returns every cached free packet to the arena.
+  void Flush();
+
+  PacketArena& arena() noexcept { return *arena_; }
+
+ private:
+  PacketArena* const arena_;
+  const std::size_t batch_size_;
+  Mutex mu_;
+  std::vector<Packet*> local_ COOL_GUARDED_BY(mu_);
 };
 
 }  // namespace cool::dacapo

@@ -1,5 +1,7 @@
 #include "dacapo/runtime.h"
 
+#include <deque>
+
 #include "common/logging.h"
 
 namespace cool::dacapo {
@@ -98,6 +100,30 @@ void ModuleChain::Port::ForwardDown(PacketPtr pkt) {
   chain_->entries_[index_ + 1]->mailbox.PushDown(std::move(pkt));
 }
 
+void ModuleChain::Port::ForwardUpBatch(std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (index_ == 0) {
+    // The up-sink is per-packet by contract; the batch saving was already
+    // realized on the mailbox hops below this point.
+    for (auto& p : pkts) ForwardUp(std::move(p));
+    pkts.clear();
+    return;
+  }
+  chain_->entries_[index_ - 1]->mailbox.PushUpBatch(pkts);
+}
+
+void ModuleChain::Port::ForwardDownBatch(std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (index_ + 1 >= chain_->entries_.size()) {
+    COOL_LOG(kWarn, "dacapo")
+        << chain_->name_ << ": " << pkts.size()
+        << " packet(s) forwarded past bottom module dropped";
+    pkts.clear();
+    return;
+  }
+  chain_->entries_[index_ + 1]->mailbox.PushDownBatch(pkts);
+}
+
 void ModuleChain::Port::ControlUp(ControlMsg msg) {
   if (index_ == 0) {
     if (chain_->control_sink_) chain_->control_sink_(std::move(msg));
@@ -131,23 +157,51 @@ void ModuleChain::RunModule(std::size_t index, std::stop_token stop) {
   TimePoint last_tick = Now();
   const Duration kDefaultWait = milliseconds(50);
 
+  // Pop in batches (one mailbox lock per train), dispatch per packet. A
+  // batch may outlive the module's readiness for down-data: HandleData on
+  // the first down-packet can close an ARQ window, making ReadyForDown()
+  // false for the rest of the train. Such packets wait in `deferred` —
+  // still FIFO ahead of anything in the mailbox, because accept_down stays
+  // false until the stash drains. The extra in-flight down-data is bounded
+  // by kPopBatchMax.
+  constexpr std::size_t kPopBatchMax = 32;
+  std::vector<Mailbox::PopResult> batch;
+  batch.reserve(kPopBatchMax);
+  std::deque<PacketPtr> deferred;
+
   while (!stop.stop_requested()) {
     const Duration tick_interval =
         m.TickInterval().value_or(kDefaultWait);
-    auto r = e.mailbox.PopNext(m.ReadyForDown(), tick_interval);
-    switch (r.kind) {
-      case Mailbox::PopResult::Kind::kControl:
-        m.HandleControl(r.control_dir, std::move(r.control), port);
-        break;
-      case Mailbox::PopResult::Kind::kData:
-        m.HandleData(r.data.dir, std::move(r.data.pkt), port);
-        break;
-      case Mailbox::PopResult::Kind::kTimeout:
-        break;
-      case Mailbox::PopResult::Kind::kClosed:
-        m.OnStop(port);
-        return;
+    while (!deferred.empty() && m.ReadyForDown()) {
+      PacketPtr p = std::move(deferred.front());
+      deferred.pop_front();
+      m.HandleData(Direction::kDown, std::move(p), port);
     }
+    const bool accept_down = deferred.empty() && m.ReadyForDown();
+    const auto st =
+        e.mailbox.PopBatch(accept_down, kPopBatchMax, tick_interval, batch);
+    if (st == Mailbox::BatchStatus::kClosed) {
+      m.OnStop(port);
+      return;
+    }
+    for (auto& r : batch) {
+      switch (r.kind) {
+        case Mailbox::PopResult::Kind::kControl:
+          m.HandleControl(r.control_dir, std::move(r.control), port);
+          break;
+        case Mailbox::PopResult::Kind::kData:
+          if (r.data.dir == Direction::kDown && !m.ReadyForDown()) {
+            deferred.push_back(std::move(r.data.pkt));
+          } else {
+            m.HandleData(r.data.dir, std::move(r.data.pkt), port);
+          }
+          break;
+        case Mailbox::PopResult::Kind::kTimeout:
+        case Mailbox::PopResult::Kind::kClosed:
+          break;  // PopBatch reports these via its status, not items
+      }
+    }
+    batch.clear();
     // Timer service even under continuous traffic.
     if (m.TickInterval().has_value() &&
         Now() - last_tick >= *m.TickInterval()) {

@@ -79,6 +79,8 @@ class ModuleChain {
 
     void ForwardUp(PacketPtr pkt) override;
     void ForwardDown(PacketPtr pkt) override;
+    void ForwardUpBatch(std::vector<PacketPtr>& pkts) override;
+    void ForwardDownBatch(std::vector<PacketPtr>& pkts) override;
     void ControlUp(ControlMsg msg) override;
     void ControlDown(ControlMsg msg) override;
     PacketArena& arena() override { return chain_->arena(); }

@@ -28,8 +28,10 @@ struct ConfigRequest {
 
 std::vector<std::uint8_t> EncodeConfig(const ConfigRequest& req) {
   cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  const auto graph_bytes = req.graph.Serialize();
+  enc.Reserve(1 + 4 + 4 + graph_bytes.size() + 4 + 8);  // fields + padding
   enc.PutOctet(static_cast<std::uint8_t>(req.transport));
-  enc.PutOctetSeq(req.graph.Serialize());
+  enc.PutOctetSeq(graph_bytes);
   enc.PutULong(req.initiator_data_port);
   const auto view = enc.buffer().view();
   return {view.begin(), view.end()};
@@ -63,6 +65,7 @@ Result<std::uint16_t> DecodeAck(std::span<const std::uint8_t> body) {
 
 std::vector<std::uint8_t> EncodeNak(const std::string& reason) {
   cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.Reserve(4 + reason.size() + 1);
   enc.PutString(reason);
   const auto view = enc.buffer().view();
   return {view.begin(), view.end()};
@@ -167,6 +170,7 @@ Result<Session::DataPlane> Session::BuildPlane(
 
   plane.chain = std::make_unique<ModuleChain>(
       "dacapo", std::move(modules), plane.arena);
+  plane.tx_cache = std::make_unique<PacketCache>(*plane.arena);
   plane.a_module = a_raw;
   if (owner != nullptr) {
     plane.chain->SetControlSink([owner](ControlMsg msg) {
@@ -186,43 +190,32 @@ void Session::AdoptPlane(DataPlane plane) {
     ReaderMutexLock lock(plane_mu_);
     if (plane_.chain != nullptr) plane_.chain->Stop();
   }
-  WriterMutexLock lock(plane_mu_);
-  plane_ = std::move(plane);
+  DataPlane old;
+  {
+    WriterMutexLock lock(plane_mu_);
+    // Move the old plane out whole instead of assigning over it: a direct
+    // member-wise move-assignment would replace `arena` (freeing it) before
+    // `tx_cache`, whose destructor flushes into that arena.
+    old = std::move(plane_);
+    plane_ = std::move(plane);
+  }
+  // `old` dies here, outside the lock, in reverse declaration order:
+  // tx_cache flushes, then the chain and the arena go.
 }
 
 Status Session::Send(std::span<const std::uint8_t> payload) {
-  if (payload.size() > options_.packet_capacity) {
-    return InvalidArgumentError("message exceeds channel packet capacity");
-  }
-  ReaderMutexLock lock(plane_mu_);
-  if (plane_.chain == nullptr || !plane_.chain->started()) {
-    return FailedPreconditionError("session has no active data plane");
-  }
-  // Arena exhaustion is transient backpressure: wait for packets in flight
-  // to return rather than failing the application call.
-  const TimePoint deadline = Now() + seconds(10);
-  for (;;) {
-    auto pkt = plane_.arena->Make(payload);
-    if (pkt.ok()) {
-      if (!plane_.chain->InjectDown(std::move(pkt).value())) {
-        return UnavailableError("data plane closed");
-      }
-      return Status::Ok();
-    }
-    if (pkt.status().code() != ErrorCode::kResourceExhausted) {
-      return pkt.status();
-    }
-    if (Now() >= deadline) return pkt.status();
-    PreciseSleep(microseconds(200));
-  }
+  return SendWith(payload.size(), [payload](std::span<std::uint8_t> out) {
+    std::copy(payload.begin(), payload.end(), out.begin());
+    return Status::Ok();
+  });
 }
 
-Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
+Result<ReceivedMessage> Session::ReceivePacket(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
   for (;;) {
     AppAModule* a = nullptr;
-    Result<std::vector<std::uint8_t>> got(
-        Status(UnavailableError("data plane torn down")));
+    std::shared_ptr<PacketArena> arena;
+    Result<PacketPtr> got(Status(UnavailableError("data plane torn down")));
     {
       // The blocking receive runs UNDER the shared lock: AdoptPlane stops
       // the old chain while itself holding only a shared lock (which wakes
@@ -234,10 +227,14 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
         return Status(
             FailedPreconditionError("session has no active data plane"));
       }
-      got = a->Receive(deadline - Now());
+      arena = plane_.arena;
+      got = a->ReceivePacket(deadline - Now());
     }
-    if (got.ok() || got.status().code() != ErrorCode::kUnavailable) {
-      return got;
+    if (got.ok()) {
+      return ReceivedMessage(std::move(arena), std::move(got).value());
+    }
+    if (got.status().code() != ErrorCode::kUnavailable) {
+      return got.status();
     }
     // The plane we were blocked on was torn down. If a reconfiguration
     // swapped in a new plane, keep receiving from it; if the session is
@@ -259,8 +256,14 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
       }
       PreciseSleep(milliseconds(1));
     }
-    if (!swapped) return got;  // genuinely closed, no replacement plane
+    if (!swapped) return got.status();  // genuinely closed, no replacement
   }
+}
+
+Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
+  COOL_ASSIGN_OR_RETURN(ReceivedMessage msg, ReceivePacket(timeout));
+  const auto data = msg.data();
+  return std::vector<std::uint8_t>(data.begin(), data.end());
 }
 
 AppAModule::Stats Session::stats() const {

@@ -53,6 +53,26 @@ struct ChannelOptions {
   std::function<std::unique_ptr<Module>()> a_module_factory;
 };
 
+// An application-held received message: the arena packet itself, plus a
+// shared reference that pins the arena. PacketPtr's deleter keeps only a
+// raw arena pointer, and a reconfiguration may retire the plane (and its
+// arena) while the application still holds the message — the pinned
+// shared_ptr makes the late release safe.
+class ReceivedMessage {
+ public:
+  ReceivedMessage() = default;
+  ReceivedMessage(std::shared_ptr<PacketArena> arena, PacketPtr pkt)
+      : arena_(std::move(arena)), pkt_(std::move(pkt)) {}
+
+  std::span<const std::uint8_t> data() const noexcept { return pkt_->Data(); }
+  std::size_t size() const noexcept { return pkt_ ? pkt_->size() : 0; }
+  explicit operator bool() const noexcept { return pkt_ != nullptr; }
+
+ private:
+  std::shared_ptr<PacketArena> arena_;
+  PacketPtr pkt_;  // declared after arena_: released first on destruction
+};
+
 // A live Da CaPo connection endpoint. Thread-safe for concurrent Send /
 // Receive; Reconfigure must not race with Send on the same side.
 class Session {
@@ -66,7 +86,50 @@ class Session {
   // Blocks under backpressure from the module graph.
   Status Send(std::span<const std::uint8_t> payload);
 
-  // Receives one application message (kQueue delivery mode).
+  // Zero-copy send seam: allocates an arena packet sized `n` and calls
+  // `fill(span)` to write the payload directly into packet memory — no
+  // staging buffer, no copy. `fill` returns Status; a failure drops the
+  // packet back into the arena and surfaces the status. Blocks like Send
+  // under arena/chain backpressure.
+  template <typename Fill>
+  Status SendWith(std::size_t n, Fill&& fill) {
+    if (n > options_.packet_capacity) {
+      return InvalidArgumentError("message exceeds channel packet capacity");
+    }
+    ReaderMutexLock lock(plane_mu_);
+    if (plane_.chain == nullptr || !plane_.chain->started()) {
+      return FailedPreconditionError("session has no active data plane");
+    }
+    // Arena exhaustion is transient backpressure: wait for packets in
+    // flight to return rather than failing the application call.
+    const TimePoint deadline = Now() + seconds(10);
+    for (;;) {
+      auto pkt = plane_.tx_cache->Allocate();
+      if (pkt.ok()) {
+        auto out = (*pkt)->WritablePayload(n);
+        if (!out.ok()) return out.status();
+        if (Status s = fill(*out); !s.ok()) return s;
+        if (!plane_.chain->InjectDown(std::move(pkt).value())) {
+          return UnavailableError("data plane closed");
+        }
+        return Status::Ok();
+      }
+      if (pkt.status().code() != ErrorCode::kResourceExhausted) {
+        return pkt.status();
+      }
+      if (Now() >= deadline) return pkt.status();
+      PreciseSleep(microseconds(200));
+    }
+  }
+
+  // Receives one application message (kQueue delivery mode) without
+  // copying it out of the arena. The message pins the plane's arena, so
+  // holding it past a reconfiguration is safe (it does hold one packet of
+  // the retired plane's pool until released).
+  Result<ReceivedMessage> ReceivePacket(Duration timeout);
+
+  // Receives one application message (kQueue delivery mode). Thin copying
+  // wrapper over ReceivePacket.
   Result<std::vector<std::uint8_t>> Receive(Duration timeout);
 
   // Measurement counters of the local A module.
@@ -104,6 +167,9 @@ class Session {
   struct DataPlane {
     std::shared_ptr<PacketArena> arena;
     std::unique_ptr<ModuleChain> chain;
+    // Send-side allocation cache (batch refills off the arena free list).
+    // Declared after arena/chain so it flushes before the arena dies.
+    std::unique_ptr<PacketCache> tx_cache;
     AppAModule* a_module = nullptr;  // owned by chain
     ModuleGraphSpec graph;
   };

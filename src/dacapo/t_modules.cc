@@ -52,6 +52,7 @@ void TStreamModule::HandleData(Direction dir, PacketPtr pkt,
 }
 
 void TStreamModule::RxLoop(ModulePort& port, std::stop_token stop) {
+  PacketCache cache(port.arena());  // this loop is the only rx allocator
   while (!stop.stop_requested()) {
     std::array<std::uint8_t, 4> prefix;
     if (!socket_->RecvExact(prefix).ok()) break;
@@ -64,7 +65,7 @@ void TStreamModule::RxLoop(ModulePort& port, std::stop_token stop) {
           << port.channel_name() << "/t_stream: oversized frame " << len;
       break;
     }
-    auto pkt = port.arena().Allocate();
+    auto pkt = cache.Allocate();
     if (!pkt.ok()) {
       // Receive buffer exhaustion: drain the frame and drop it, as a NIC
       // with no receive descriptors would.
@@ -74,11 +75,11 @@ void TStreamModule::RxLoop(ModulePort& port, std::stop_token stop) {
           << port.channel_name() << "/t_stream: arena full, frame dropped";
       continue;
     }
-    // Read directly into packet memory.
+    // Read directly into packet memory (no staging vector).
     PacketPtr p = std::move(pkt).value();
-    std::vector<std::uint8_t> body(len);
-    if (!socket_->RecvExact(body).ok()) break;
-    if (!p->SetPayload(body).ok()) continue;
+    auto body = p->WritablePayload(len);
+    if (!body.ok()) continue;  // unreachable: len checked against capacity
+    if (!socket_->RecvExact(*body).ok()) break;
     port.ForwardUp(std::move(p));
   }
   if (!stop.stop_requested()) NotifyPeerClosed(port);
@@ -109,10 +110,11 @@ void TDatagramModule::HandleData(Direction dir, PacketPtr pkt,
 }
 
 void TDatagramModule::RxLoop(ModulePort& port, std::stop_token stop) {
+  PacketCache cache(port.arena());
   while (!stop.stop_requested()) {
     auto dgram = dgram_->Recv();
     if (!dgram.has_value()) break;  // port closed
-    auto pkt = port.arena().Make(dgram->payload);
+    auto pkt = cache.Make(dgram->payload);
     if (!pkt.ok()) {
       COOL_LOG(kWarn, "dacapo")
           << port.channel_name() << "/t_datagram: arena full, drop";

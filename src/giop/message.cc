@@ -1,5 +1,7 @@
 #include "giop/message.h"
 
+#include <algorithm>
+
 namespace cool::giop {
 
 std::string_view MsgTypeName(MsgType t) noexcept {
@@ -81,6 +83,11 @@ ByteBuffer BuildRequest(Version version, const RequestHeader& header,
                         std::span<const corba::Octet> args_cdr,
                         cdr::ByteOrder order) {
   cdr::Encoder enc(order);
+  // Expected frame size (header fields + padding slack) up front, so large
+  // argument bodies don't regrow the buffer repeatedly.
+  enc.Reserve(kHeaderSize + 64 + header.object_key.size() +
+              header.operation.size() + header.requesting_principal.size() +
+              args_cdr.size());
   PutHeader(enc, version, MsgType::kRequest);
   PutServiceContextList(enc, header.service_context);
   enc.PutULong(header.request_id);
@@ -104,6 +111,7 @@ ByteBuffer BuildReply(Version version, const ReplyHeader& header,
                       std::span<const corba::Octet> body_cdr,
                       cdr::ByteOrder order) {
   cdr::Encoder enc(order);
+  enc.Reserve(kHeaderSize + 32 + body_cdr.size());
   PutHeader(enc, version, MsgType::kReply);
   PutServiceContextList(enc, header.service_context);
   enc.PutULong(header.request_id);
@@ -111,6 +119,40 @@ ByteBuffer BuildReply(Version version, const ReplyHeader& header,
   enc.Align(8);
   enc.PutRaw(body_cdr);
   return Finish(std::move(enc));
+}
+
+std::array<corba::Octet, kHeaderSize> HeaderBytes(Version version,
+                                                  MsgType type,
+                                                  corba::ULong message_size,
+                                                  cdr::ByteOrder order) {
+  std::array<corba::Octet, kHeaderSize> h{};
+  std::copy(kMagic.begin(), kMagic.end(), h.begin());
+  h[4] = version.major;
+  h[5] = version.minor;
+  h[6] = order == cdr::ByteOrder::kLittleEndian ? 1 : 0;
+  h[7] = static_cast<corba::Octet>(type);
+  if (order == cdr::ByteOrder::kLittleEndian) {
+    h[8] = static_cast<corba::Octet>(message_size);
+    h[9] = static_cast<corba::Octet>(message_size >> 8);
+    h[10] = static_cast<corba::Octet>(message_size >> 16);
+    h[11] = static_cast<corba::Octet>(message_size >> 24);
+  } else {
+    h[11] = static_cast<corba::Octet>(message_size);
+    h[10] = static_cast<corba::Octet>(message_size >> 8);
+    h[9] = static_cast<corba::Octet>(message_size >> 16);
+    h[8] = static_cast<corba::Octet>(message_size >> 24);
+  }
+  return h;
+}
+
+ByteBuffer BuildReplyHeaderBody(const ReplyHeader& header,
+                                cdr::ByteOrder order) {
+  cdr::Encoder enc(order, kHeaderSize);
+  PutServiceContextList(enc, header.service_context);
+  enc.PutULong(header.request_id);
+  enc.PutULong(static_cast<corba::ULong>(header.reply_status));
+  enc.Align(8);
+  return std::move(enc).TakeBuffer();
 }
 
 ByteBuffer BuildCancelRequest(Version version,

@@ -143,6 +143,21 @@ ByteBuffer BuildCloseConnection(Version version,
 ByteBuffer BuildMessageError(Version version,
                              cdr::ByteOrder order = cdr::NativeOrder());
 
+// --- in-place assembly ------------------------------------------------------
+// Building blocks for assembling a message directly into externally-owned
+// memory (e.g. a Da CaPo arena packet) instead of a full-message staging
+// buffer: the fixed header with message_size already filled in, and the
+// Reply's CDR header body encoded at base offset kHeaderSize (trailing
+// 8-alignment included) so the result body splices in behind it unchanged.
+
+std::array<corba::Octet, kHeaderSize> HeaderBytes(Version version,
+                                                  MsgType type,
+                                                  corba::ULong message_size,
+                                                  cdr::ByteOrder order);
+
+ByteBuffer BuildReplyHeaderBody(const ReplyHeader& header,
+                                cdr::ByteOrder order = cdr::NativeOrder());
+
 // --- decoding ---------------------------------------------------------------
 
 // A parsed message: the header plus a decoder positioned at the start of

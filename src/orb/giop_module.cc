@@ -14,6 +14,30 @@ void GiopServerAModule::SendMessage(const ByteBuffer& msg,
   port.ForwardDown(std::move(pkt).value());
 }
 
+void GiopServerAModule::SendReply(giop::Version version,
+                                  const giop::ReplyHeader& reply,
+                                  std::span<const corba::Octet> body,
+                                  dacapo::ModulePort& port) {
+  const ByteBuffer hdr_body = giop::BuildReplyHeaderBody(reply, options_.order);
+  const auto head = giop::HeaderBytes(
+      version, giop::MsgType::kReply,
+      static_cast<corba::ULong>(hdr_body.size() + body.size()),
+      options_.order);
+  auto pkt = port.arena().Allocate();
+  if (!pkt.ok()) {
+    COOL_LOG(kWarn, "orb") << "giop_a: reply dropped, " << pkt.status();
+    return;
+  }
+  dacapo::PacketPtr p = std::move(pkt).value();
+  // A fresh packet is empty, so PushTrailer appends each piece in place.
+  if (!p->PushTrailer(head).ok() || !p->PushTrailer(hdr_body.view()).ok() ||
+      !p->PushTrailer(body).ok()) {
+    COOL_LOG(kWarn, "orb") << "giop_a: reply exceeds packet capacity";
+    return;
+  }
+  port.ForwardDown(std::move(p));
+}
+
 void GiopServerAModule::HandleRequest(const giop::ParsedMessage& msg,
                                       dacapo::ModulePort& port) {
   cdr::Decoder dec = msg.MakeBodyDecoder();
@@ -30,9 +54,7 @@ void GiopServerAModule::HandleRequest(const giop::ParsedMessage& msg,
   giop::ReplyHeader reply;
   reply.request_id = header->request_id;
   reply.reply_status = result.status;
-  SendMessage(giop::BuildReply(msg.header.version, reply,
-                               result.body.view(), options_.order),
-              port);
+  SendReply(msg.header.version, reply, result.body.view(), port);
 }
 
 void GiopServerAModule::HandleData(dacapo::Direction dir,

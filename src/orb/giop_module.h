@@ -50,6 +50,11 @@ class GiopServerAModule : public dacapo::Module {
 
  private:
   void SendMessage(const ByteBuffer& msg, dacapo::ModulePort& port);
+  // Assembles the Reply directly in an arena packet (header + reply-header
+  // CDR + body appended in place) instead of staging a full-message buffer.
+  void SendReply(giop::Version version, const giop::ReplyHeader& reply,
+                 std::span<const corba::Octet> body,
+                 dacapo::ModulePort& port);
   void HandleRequest(const giop::ParsedMessage& msg,
                      dacapo::ModulePort& port);
 

@@ -124,16 +124,19 @@ void StreamSink::Stop() {
 
 void StreamSink::Run(std::stop_token stop) {
   while (!stop.stop_requested()) {
-    auto frame = session_->Receive(milliseconds(100));
+    // Zero-copy receive: the frame is inspected in arena packet memory and
+    // released at the end of the iteration; only the counters survive.
+    auto frame = session_->ReceivePacket(milliseconds(100));
     if (!frame.ok()) {
       if (frame.status().code() == ErrorCode::kDeadlineExceeded) continue;
       return;  // session closed
     }
-    if (frame->size() < kFrameHeaderBytes) continue;
-    const std::uint32_t seq = static_cast<std::uint32_t>((*frame)[0]) |
-                              static_cast<std::uint32_t>((*frame)[1]) << 8 |
-                              static_cast<std::uint32_t>((*frame)[2]) << 16 |
-                              static_cast<std::uint32_t>((*frame)[3]) << 24;
+    const auto data = frame->data();
+    if (data.size() < kFrameHeaderBytes) continue;
+    const std::uint32_t seq = static_cast<std::uint32_t>(data[0]) |
+                              static_cast<std::uint32_t>(data[1]) << 8 |
+                              static_cast<std::uint32_t>(data[2]) << 16 |
+                              static_cast<std::uint32_t>(data[3]) << 24;
     const TimePoint now = Now();
 
     MutexLock lock(mu_);
@@ -144,7 +147,7 @@ void StreamSink::Run(std::stop_token stop) {
     }
     last_rx_ = now;
     ++frames_received_;
-    bytes_received_ += frame->size();
+    bytes_received_ += data.size();
     if (seq > next_seq_) {
       frames_lost_ += seq - next_seq_;
       next_seq_ = seq + 1;

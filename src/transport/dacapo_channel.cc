@@ -22,13 +22,17 @@ Status DacapoComChannel::SendMessage(std::span<const std::uint8_t> message) {
   std::size_t offset = 0;
   do {
     const std::size_t n = std::min(max_payload, message.size() - offset);
-    std::vector<std::uint8_t> fragment;
-    fragment.reserve(n + 1);
-    fragment.push_back(offset + n < message.size() ? kMoreFragments
-                                                   : kLastFragment);
-    fragment.insert(fragment.end(), message.begin() + static_cast<std::ptrdiff_t>(offset),
-                    message.begin() + static_cast<std::ptrdiff_t>(offset + n));
-    COOL_RETURN_IF_ERROR(session_->Send(fragment));
+    const std::uint8_t flags =
+        offset + n < message.size() ? kMoreFragments : kLastFragment;
+    const auto piece = message.subspan(offset, n);
+    // Flag octet + payload slice written straight into the arena packet —
+    // no per-fragment staging vector.
+    COOL_RETURN_IF_ERROR(session_->SendWith(
+        n + 1, [flags, piece](std::span<std::uint8_t> out) {
+          out[0] = flags;
+          std::copy(piece.begin(), piece.end(), out.begin() + 1);
+          return Status::Ok();
+        }));
     offset += n;
   } while (offset < message.size());
   return Status::Ok();
@@ -39,16 +43,17 @@ Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {
   MutexLock lock(rx_mu_);
   ByteBuffer assembled;
   for (;;) {
-    COOL_ASSIGN_OR_RETURN(std::vector<std::uint8_t> fragment,
-                          session_->Receive(deadline - Now()));
-    if (fragment.empty()) {
+    COOL_ASSIGN_OR_RETURN(dacapo::ReceivedMessage fragment,
+                          session_->ReceivePacket(deadline - Now()));
+    const auto data = fragment.data();
+    if (data.empty()) {
       return Status(ProtocolError("empty Da CaPo fragment"));
     }
-    const std::uint8_t flags = fragment.front();
+    const std::uint8_t flags = data.front();
     if (flags > kMoreFragments) {
       return Status(ProtocolError("bad fragment header"));
     }
-    assembled.Append({fragment.data() + 1, fragment.size() - 1});
+    assembled.Append(data.subspan(1));
     if (flags == kLastFragment) return assembled;
   }
 }
