@@ -23,6 +23,11 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      and destructors). Mailboxes and queues there are single-consumer:
      hot-path wakeups must be NotifyOne so a push wakes exactly one
      thread; broadcasts are reserved for teardown.
+  8. No blocking Receive/Recv-family call while a MutexLock is live, in
+     src/giop and src/orb: a lock held across channel I/O serializes every
+     caller behind one in-flight exchange, which is exactly what the
+     multiplexed GIOP engines exist to avoid. Locks must be released (or
+     scoped out) before draining the channel.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -311,6 +316,55 @@ def check_no_broadcast_on_data_path(
             )
 
 
+# Directories where a lock held across blocking channel I/O is banned
+# (rule 8): the GIOP engines and the ORB above them must pipeline, so
+# nothing may wait on the wire while holding a mutex.
+NO_RECV_UNDER_LOCK_DIRS = ("src/giop/", "src/orb/")
+
+RECV_CALL_RE = re.compile(r"(?:\.|->)\s*(Receive|Recv)\w*\s*\(")
+
+
+def check_no_recv_under_lock(
+    path: Path, clean: str, findings: list[str]
+) -> None:
+    """Rule 8: no Receive/Recv call below a still-live MutexLock."""
+    r = rel(path)
+    if not r.startswith(NO_RECV_UNDER_LOCK_DIRS):
+        return
+    lines = clean.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        m = RECV_CALL_RE.search(line)
+        if not m:
+            continue
+        # Scan backwards to the enclosing function definition, tracking
+        # brace balance so a lock whose scope already closed (net `}` seen
+        # on the way up) does not count as live at the receive point.
+        closed = 0
+        held = False
+        for back in range(lineno - 1, 0, -1):
+            prev = lines[back - 1]
+            if back != lineno:
+                closed += prev.count("}") - prev.count("{")
+            if (
+                re.search(r"\b(MutexLock|WriterMutexLock|ReaderMutexLock)\b", prev)
+                and closed <= 0
+            ):
+                held = True
+                break
+            if re.search(r"\bCOOL_REQUIRES\s*\(", prev):
+                held = True  # caller holds the lock by contract
+                break
+            if re.match(r"^\S.*\)\s*(const\s*)?({)?\s*$", prev) and "(" in prev:
+                break  # hit a function signature at column 0
+        if held:
+            findings.append(
+                f"{r}:{lineno}: blocking {m.group(1)}* call with a "
+                f"MutexLock live in the enclosing function — release the "
+                f"lock before waiting on the channel (rule 8, see "
+                f"DESIGN.md)"
+            )
+
+
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
 
 
@@ -370,6 +424,7 @@ def main() -> int:
         check_raw_bytes(path, clean, findings)
         check_notify_under_lock(path, clean, findings)
         check_no_broadcast_on_data_path(path, clean, findings)
+        check_no_recv_under_lock(path, clean, findings)
         check_new_delete(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)

@@ -7,7 +7,7 @@ by a label, so before/after numbers for a change live side by side:
 
     scripts/run_benchmarks.py --smoke --label before --build-dir build-pre
     scripts/run_benchmarks.py --smoke --label after  --build-dir build
-    -> BENCH_PR3.json: {"meta": ..., "before": {...}, "after": {...}}
+    -> BENCH_PR4.json: {"meta": ..., "before": {...}, "after": {...}}
 
 The output file is merged, not overwritten: re-running with a different
 label adds a section, re-running with the same label replaces it. CI runs
@@ -34,6 +34,7 @@ REPO = Path(__file__).resolve().parent.parent
 BENCHES = [
     {"binary": "bench_transports", "headline": "dacapo (fast link)"},
     {"binary": "bench_fig9_throughput", "headline": "0 dummy / 64 KiB"},
+    {"binary": "bench_concurrent_invocations", "headline": "tcp t8 d8"},
 ]
 
 
@@ -70,7 +71,7 @@ def main() -> int:
                              "(e.g. before/after; default: after)")
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_PR3.json",
+    parser.add_argument("--output", default="BENCH_PR4.json",
                         help="aggregated output path (merged, not clobbered)")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-binary timeout in seconds")

@@ -10,4 +10,12 @@ namespace cool {
 
 using Thread = std::jthread;
 
+// The only sanctioned spelling of std::thread::hardware_concurrency (the
+// raw std::thread token is rejected outside src/common/). Never returns 0:
+// an unknown topology reads as one core.
+inline unsigned HardwareConcurrency() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
 }  // namespace cool

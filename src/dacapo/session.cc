@@ -238,11 +238,13 @@ Result<ReceivedMessage> Session::ReceivePacket(Duration timeout) {
     }
     // The plane we were blocked on was torn down. If a reconfiguration
     // swapped in a new plane, keep receiving from it; if the session is
-    // closed (or the deadline passed), surface the error.
-    // AdoptPlane stops the old chain slightly before swapping the plane
-    // pointer in, so allow a short grace window for the swap to land.
-    const TimePoint grace_end =
-        std::min(deadline, Now() + milliseconds(200));
+    // closed, surface the error. AdoptPlane stops the old chain slightly
+    // before swapping the plane pointer in, so allow a short grace window
+    // for the swap to land. The window is NOT capped by the caller's
+    // deadline: a short-quantum poller (the GIOP reply demultiplexer)
+    // interrupted by a swap must come back with kDeadlineExceeded
+    // (retryable) rather than kUnavailable (terminal).
+    const TimePoint grace_end = Now() + milliseconds(200);
     bool swapped = false;
     while (!closed_.load() && Now() < grace_end) {
       AppAModule* now_active = nullptr;

@@ -192,16 +192,21 @@ Result<Reply> CoolClient::Invoke(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const std::uint8_t> args,
     const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
-  MutexLock lock(mu_);
   Request request;
-  request.id = next_id_++;
+  {
+    // mu_ only covers the id allocation — never the exchange itself
+    // (scripts/check_invariants.py rule 8). ComChannel::Call serializes
+    // the send/receive pair at the transport layer.
+    MutexLock lock(mu_);
+    request.id = next_id_++;
+  }
   request.object_key = object_key;
   request.operation = operation;
   request.qos_params = qos_params;
   request.args.assign(args.begin(), args.end());
-  COOL_RETURN_IF_ERROR(channel_->SendMessage(EncodeRequest(request).view()));
 
-  COOL_ASSIGN_OR_RETURN(ByteBuffer raw, channel_->ReceiveMessage(timeout));
+  COOL_ASSIGN_OR_RETURN(ByteBuffer raw,
+                        channel_->Call(EncodeRequest(request).view(), timeout));
   COOL_ASSIGN_OR_RETURN(MsgType type, PeekType(raw.view()));
   if (type == MsgType::kError) {
     return Status(ProtocolError("peer answered COOL Error"));

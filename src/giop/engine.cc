@@ -4,12 +4,47 @@
 
 namespace cool::giop {
 
+DispatchClass ClassifyQoS(
+    const std::vector<qos::QoSParameter>& qos_params) noexcept {
+  bool latency_sensitive = false;
+  for (const qos::QoSParameter& p : qos_params) {
+    switch (p.type()) {
+      case qos::ParamType::kPriority:
+        // An explicit priority wins over everything else: 0..84 low,
+        // 85..169 normal, 170..255 high.
+        if (p.request_value >= 170) return DispatchClass::kHigh;
+        if (p.request_value < 85) return DispatchClass::kLow;
+        return DispatchClass::kNormal;
+      case qos::ParamType::kLatencyMicros:
+      case qos::ParamType::kJitterMicros:
+        latency_sensitive = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return latency_sensitive ? DispatchClass::kHigh : DispatchClass::kNormal;
+}
+
+std::size_t DefaultWorkerThreads() noexcept {
+  return static_cast<std::size_t>(HardwareConcurrency());
+}
+
+// --- GiopClient ---------------------------------------------------------------
+
 cdr::Decoder GiopClient::Reply::MakeResultsDecoder() const {
   cdr::Decoder dec = message.MakeBodyDecoder();
   // Re-parse past the reply header to the 8-aligned results; the offsets
   // were validated when the Reply was first parsed.
   (void)ParseReplyHeader(dec);
   return dec;
+}
+
+GiopClient::~GiopClient() {
+  if (reader_.joinable()) {
+    reader_.request_stop();
+    reader_.join();
+  }
 }
 
 ByteBuffer GiopClient::BuildRequestMessage(
@@ -33,164 +68,459 @@ ByteBuffer GiopClient::BuildRequestMessage(
   return BuildRequest(version, header, args_cdr, options_.order);
 }
 
-Result<ParsedMessage> GiopClient::NextMatchingReplyLocked(
-    corba::ULong request_id, Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
-  for (;;) {
-    const Duration remaining = deadline - Now();
-    if (remaining <= Duration::zero()) {
-      return Status(DeadlineExceededError("no Reply for request " +
-                                          std::to_string(request_id)));
-    }
-    COOL_ASSIGN_OR_RETURN(ByteBuffer raw, channel_->ReceiveMessage(remaining));
-    COOL_ASSIGN_OR_RETURN(ParsedMessage msg, ParseMessage(raw.view()));
-    if (msg.header.message_type == MsgType::kMessageError) {
-      return Status(ProtocolError(
-          "peer answered MessageError (GIOP version not accepted?)"));
-    }
-    if (msg.header.message_type == MsgType::kCloseConnection) {
-      return Status(UnavailableError("peer closed the GIOP connection"));
-    }
-    if (msg.header.message_type != MsgType::kReply) {
-      return Status(ProtocolError("unexpected GIOP message: " +
-                                  std::string(MsgTypeName(
-                                      msg.header.message_type))));
-    }
-    cdr::Decoder dec = msg.MakeBodyDecoder();
-    COOL_ASSIGN_OR_RETURN(ReplyHeader reply, ParseReplyHeader(dec));
-    if (reply.request_id == request_id) return msg;
-    if (abandoned_.erase(reply.request_id) != 0) {
-      continue;  // late reply for a cancelled request: discard
-    }
-    return Status(ProtocolError("Reply for unknown request id " +
-                                std::to_string(reply.request_id)));
+Status GiopClient::SendSerialized(const ByteBuffer& msg) {
+  MutexLock lock(send_mu_);
+  return channel_->SendMessage(msg.view());
+}
+
+void GiopClient::EnsureReaderLocked() {
+  if (reader_started_) return;
+  reader_started_ = true;
+  reader_ = Thread([this](std::stop_token stop) { ReaderLoop(stop); });
+}
+
+Result<GiopClient::PendingCall> GiopClient::StartCall(
+    const std::function<ByteBuffer(corba::ULong)>& build) {
+  PendingCall call;
+  {
+    MutexLock lock(mu_);
+    if (!broken_.ok()) return broken_;
+    call.id = next_request_id_++;
+    call.slot = std::make_shared<Slot>();
+    pending_.emplace(call.id, call.slot);
+    EnsureReaderLocked();
   }
+  const ByteBuffer msg = build(call.id);
+  const Status sent = SendSerialized(msg);
+  if (!sent.ok()) {
+    MutexLock lock(mu_);
+    pending_.erase(call.id);
+    return sent;
+  }
+  return call;
+}
+
+Result<ParsedMessage> GiopClient::AwaitSlot(corba::ULong id,
+                                            const std::shared_ptr<Slot>& slot,
+                                            Duration timeout,
+                                            bool abandon_on_timeout) {
+  const TimePoint deadline = Now() + timeout;
+  MutexLock lock(mu_);
+  while (!slot->done) {
+    if (!slot->cv.WaitUntil(mu_, deadline)) break;
+  }
+  if (!slot->done) {
+    if (abandon_on_timeout) {
+      // The Reply may still arrive; remember the id so the demux reader
+      // discards it instead of flagging an unknown-id protocol error.
+      pending_.erase(id);
+      AbandonLocked(id);
+    }
+    return Status(DeadlineExceededError("no Reply for request " +
+                                        std::to_string(id)));
+  }
+  pending_.erase(id);
+  return std::move(slot->outcome);
+}
+
+void GiopClient::ReaderLoop(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    auto raw = channel_->ReceiveMessage(options_.reader_poll);
+    if (!raw.ok()) {
+      if (raw.status().code() == ErrorCode::kDeadlineExceeded) {
+        continue;  // idle poll quantum: re-check the stop token
+      }
+      FailPending(raw.status(), /*terminal=*/true);
+      return;
+    }
+    auto parsed = ParseMessage(raw->view());
+    if (!parsed.ok()) {
+      FailPending(parsed.status(), /*terminal=*/false);
+      continue;
+    }
+    switch (parsed->header.message_type) {
+      case MsgType::kReply: {
+        cdr::Decoder dec = parsed->MakeBodyDecoder();
+        auto reply = ParseReplyHeader(dec);
+        if (!reply.ok()) {
+          FailPending(reply.status(), /*terminal=*/false);
+          continue;
+        }
+        CompleteRequest(reply->request_id, *std::move(parsed));
+        continue;
+      }
+      case MsgType::kLocateReply: {
+        cdr::Decoder dec = parsed->MakeBodyDecoder();
+        auto reply = ParseLocateReplyHeader(dec);
+        if (!reply.ok()) {
+          FailPending(reply.status(), /*terminal=*/false);
+          continue;
+        }
+        CompleteRequest(reply->request_id, *std::move(parsed));
+        continue;
+      }
+      case MsgType::kMessageError:
+        // MessageError carries no request id, so every in-flight request
+        // is failed — the connection itself survives, per GIOP.
+        FailPending(Status(ProtocolError(
+                        "peer answered MessageError (GIOP version not "
+                        "accepted?)")),
+                    /*terminal=*/false);
+        continue;
+      case MsgType::kCloseConnection:
+        FailPending(
+            Status(UnavailableError("peer closed the GIOP connection")),
+            /*terminal=*/true);
+        return;
+      default:
+        FailPending(
+            Status(ProtocolError(
+                "unexpected GIOP message: " +
+                std::string(MsgTypeName(parsed->header.message_type)))),
+            /*terminal=*/false);
+        continue;
+    }
+  }
+}
+
+void GiopClient::CompleteRequest(corba::ULong request_id, ParsedMessage msg) {
+  MutexLock lock(mu_);
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    if (abandoned_.erase(request_id) != 0) {
+      return;  // late reply for a cancelled/timed-out request: discard
+    }
+    COOL_LOG(kWarn, "giop")
+        << "Reply for unknown request id " << request_id << ", discarded";
+    return;
+  }
+  Slot& slot = *it->second;
+  if (slot.done) return;  // already failed/cancelled; keep that outcome
+  slot.outcome = std::move(msg);
+  slot.done = true;
+  slot.cv.NotifyOne();
+}
+
+void GiopClient::FailPending(const Status& status, bool terminal) {
+  MutexLock lock(mu_);
+  for (auto& [id, slot] : pending_) {
+    if (slot->done) continue;
+    slot->outcome = status;
+    slot->done = true;
+    slot->cv.NotifyOne();
+  }
+  if (terminal) {
+    broken_ = status;
+    // Nothing further can arrive on this connection: release the
+    // abandoned-id memory (satellite: evict on connection close).
+    abandoned_.clear();
+    abandoned_fifo_.clear();
+  }
+}
+
+void GiopClient::AbandonLocked(corba::ULong id) {
+  if (!abandoned_.insert(id).second) return;
+  abandoned_fifo_.push_back(id);
+  while (abandoned_fifo_.size() > options_.abandoned_cap) {
+    // FIFO cap; ids consumed out of band leave stale fifo entries, whose
+    // eviction is then a no-op erase.
+    abandoned_.erase(abandoned_fifo_.front());
+    abandoned_fifo_.pop_front();
+  }
+}
+
+Result<GiopClient::Reply> GiopClient::MakeReply(ParsedMessage parsed) {
+  Reply reply;
+  cdr::Decoder dec = parsed.MakeBodyDecoder();
+  COOL_ASSIGN_OR_RETURN(reply.header, ParseReplyHeader(dec));
+  reply.message = std::move(parsed);
+  reply.results_offset_ = dec.offset();
+  return reply;
 }
 
 Result<GiopClient::Reply> GiopClient::Invoke(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
-  MutexLock lock(mu_);
-  const corba::ULong id = next_request_id_++;
-  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
-                                             qos_params, true, id);
-  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
-  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed,
-                        NextMatchingReplyLocked(id, timeout));
-  Reply reply;
-  cdr::Decoder dec = parsed.MakeBodyDecoder();
-  COOL_ASSIGN_OR_RETURN(reply.header, ParseReplyHeader(dec));
-  reply.message = std::move(parsed);
-  reply.results_offset_ = dec.offset();
-  return reply;
+  COOL_ASSIGN_OR_RETURN(
+      PendingCall call, StartCall([&](corba::ULong id) {
+        return BuildRequestMessage(object_key, operation, args_cdr,
+                                   qos_params, true, id);
+      }));
+  COOL_ASSIGN_OR_RETURN(
+      ParsedMessage msg,
+      AwaitSlot(call.id, call.slot, timeout, /*abandon_on_timeout=*/true));
+  if (msg.header.message_type != MsgType::kReply) {
+    return Status(ProtocolError("expected Reply for request " +
+                                std::to_string(call.id)));
+  }
+  return MakeReply(std::move(msg));
 }
 
 Status GiopClient::InvokeOneway(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params) {
-  MutexLock lock(mu_);
-  const corba::ULong id = next_request_id_++;
+  corba::ULong id = 0;
+  {
+    MutexLock lock(mu_);
+    if (!broken_.ok()) return broken_;
+    id = next_request_id_++;
+  }
   const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
                                              qos_params, false, id);
-  return channel_->SendMessage(msg.view());
+  return SendSerialized(msg);
 }
 
 Result<corba::ULong> GiopClient::InvokeDeferred(
     const corba::OctetSeq& object_key, const std::string& operation,
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params) {
-  MutexLock lock(mu_);
-  const corba::ULong id = next_request_id_++;
-  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
-                                             qos_params, true, id);
-  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
-  return id;
+  COOL_ASSIGN_OR_RETURN(
+      PendingCall call, StartCall([&](corba::ULong id) {
+        return BuildRequestMessage(object_key, operation, args_cdr,
+                                   qos_params, true, id);
+      }));
+  return call.id;
 }
 
 Result<GiopClient::Reply> GiopClient::PollReply(corba::ULong request_id,
                                                 Duration timeout) {
-  MutexLock lock(mu_);
-  if (abandoned_.contains(request_id)) {
-    abandoned_.erase(request_id);
-    return Status(CancelledError("request was cancelled"));
+  std::shared_ptr<Slot> slot;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      if (abandoned_.erase(request_id) != 0) {
+        return Status(CancelledError("request was cancelled"));
+      }
+      if (!broken_.ok()) return broken_;
+      return Status(FailedPreconditionError("no deferred request with id " +
+                                            std::to_string(request_id)));
+    }
+    slot = it->second;
   }
-  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed,
-                        NextMatchingReplyLocked(request_id, timeout));
-  Reply reply;
-  cdr::Decoder dec = parsed.MakeBodyDecoder();
-  COOL_ASSIGN_OR_RETURN(reply.header, ParseReplyHeader(dec));
-  reply.message = std::move(parsed);
-  reply.results_offset_ = dec.offset();
-  return reply;
+  COOL_ASSIGN_OR_RETURN(
+      ParsedMessage msg,
+      AwaitSlot(request_id, slot, timeout, /*abandon_on_timeout=*/false));
+  if (msg.header.message_type != MsgType::kReply) {
+    return Status(ProtocolError("expected Reply for request " +
+                                std::to_string(request_id)));
+  }
+  return MakeReply(std::move(msg));
 }
 
 Status GiopClient::Cancel(corba::ULong request_id) {
-  MutexLock lock(mu_);
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      Slot& slot = *it->second;
+      if (!slot.done) {
+        slot.outcome = Status(CancelledError("request was cancelled"));
+        slot.done = true;
+        slot.cv.NotifyOne();
+      }
+      pending_.erase(it);
+    }
+    AbandonLocked(request_id);
+  }
   CancelRequestHeader header{request_id};
-  const ByteBuffer msg =
-      BuildCancelRequest(kGiop10, header, options_.order);
-  abandoned_.insert(request_id);
-  return channel_->SendMessage(msg.view());
+  return SendSerialized(BuildCancelRequest(kGiop10, header, options_.order));
 }
 
 Result<LocateStatus> GiopClient::Locate(const corba::OctetSeq& object_key,
                                         Duration timeout) {
-  MutexLock lock(mu_);
-  const corba::ULong id = next_request_id_++;
-  LocateRequestHeader header;
-  header.request_id = id;
-  header.object_key = object_key;
-  const ByteBuffer msg = BuildLocateRequest(kGiop10, header, options_.order);
-  COOL_RETURN_IF_ERROR(channel_->SendMessage(msg.view()));
-
-  COOL_ASSIGN_OR_RETURN(ByteBuffer raw, channel_->ReceiveMessage(timeout));
-  COOL_ASSIGN_OR_RETURN(ParsedMessage parsed, ParseMessage(raw.view()));
-  if (parsed.header.message_type != MsgType::kLocateReply) {
+  COOL_ASSIGN_OR_RETURN(
+      PendingCall call, StartCall([&](corba::ULong id) {
+        LocateRequestHeader header;
+        header.request_id = id;
+        header.object_key = object_key;
+        return BuildLocateRequest(kGiop10, header, options_.order);
+      }));
+  COOL_ASSIGN_OR_RETURN(
+      ParsedMessage msg,
+      AwaitSlot(call.id, call.slot, timeout, /*abandon_on_timeout=*/true));
+  if (msg.header.message_type != MsgType::kLocateReply) {
     return Status(ProtocolError("expected LocateReply"));
   }
-  cdr::Decoder dec = parsed.MakeBodyDecoder();
+  cdr::Decoder dec = msg.MakeBodyDecoder();
   COOL_ASSIGN_OR_RETURN(LocateReplyHeader reply, ParseLocateReplyHeader(dec));
-  if (reply.request_id != id) {
-    return Status(ProtocolError("LocateReply id mismatch"));
-  }
   return reply.locate_status;
 }
 
 Status GiopClient::SendClose() {
-  MutexLock lock(mu_);
-  const ByteBuffer msg = BuildCloseConnection(kGiop10, options_.order);
-  return channel_->SendMessage(msg.view());
+  return SendSerialized(BuildCloseConnection(kGiop10, options_.order));
 }
 
 // --- GiopServer ---------------------------------------------------------------
 
-Status GiopServer::HandleRequest(const ParsedMessage& msg) {
-  cdr::Decoder dec = msg.MakeBodyDecoder();
-  auto header = ParseRequestHeader(dec, msg.header.version);
-  if (!header.ok()) {
-    (void)channel_->SendMessage(
-        BuildMessageError(kGiop10, options_.order).view());
-    return header.status();
-  }
-  if (cancelled_.erase(header->request_id) != 0) {
-    // Cancelled before we started processing: GIOP allows dropping it.
-    return Status::Ok();
-  }
+GiopServer::~GiopServer() { Close(); }
 
-  DispatchResult result = dispatcher_(*header, dec);
-  ++requests_served_;
-  if (!header->response_expected) return Status::Ok();
+Status GiopServer::SendSerialized(const ByteBuffer& msg) {
+  MutexLock lock(send_mu_);
+  return channel_->SendMessage(msg.view());
+}
+
+Status GiopServer::DispatchAndReply(const Job& job) {
+  cdr::Decoder dec = job.ArgsDecoder();
+  DispatchResult result = dispatcher_(job.header, dec);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (!job.header.response_expected) return Status::Ok();
 
   ReplyHeader reply;
-  reply.request_id = header->request_id;
+  reply.request_id = job.header.request_id;
   reply.reply_status = result.status;
   // The Reply answers in the Request's GIOP version (a 9.9 conversation
   // stays 9.9; Reply's format is identical in both).
-  const ByteBuffer out = BuildReply(msg.header.version, reply,
+  const ByteBuffer out = BuildReply(job.msg.header.version, reply,
                                     result.body.view(), options_.order);
-  return channel_->SendMessage(out.view());
+  return SendSerialized(out);
+}
+
+void GiopServer::StartWorkersLocked() {
+  if (!workers_.empty() || pool_closed_) return;
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool GiopServer::EnqueueJob(Job job, DispatchClass cls) {
+  MutexLock lock(pool_mu_);
+  StartWorkersLocked();
+  while (!pool_closed_ && queued_ >= options_.queue_capacity) {
+    // Backpressure: stall the receive loop (and with it the connection)
+    // until a worker makes room.
+    job_space_.Wait(pool_mu_);
+  }
+  if (pool_closed_) return false;
+  queues_[static_cast<std::size_t>(cls)].push_back(std::move(job));
+  ++queued_;
+  job_ready_.NotifyOne();
+  return true;
+}
+
+std::optional<GiopServer::Job> GiopServer::NextJob() {
+  MutexLock lock(pool_mu_);
+  for (;;) {
+    for (auto& q : queues_) {  // highest priority class first
+      if (q.empty()) continue;
+      Job job = std::move(q.front());
+      q.pop_front();
+      --queued_;
+      job_space_.NotifyOne();
+      return job;
+    }
+    if (pool_closed_) return std::nullopt;  // closed + drained: exit
+    job_ready_.Wait(pool_mu_);
+  }
+}
+
+void GiopServer::WorkerLoop() {
+  for (;;) {
+    std::optional<Job> job = NextJob();
+    if (!job.has_value()) return;
+    {
+      // Last-chance cancel: a CancelRequest that raced the dequeue.
+      MutexLock lock(pool_mu_);
+      if (TakeCancelledLocked(job->header.request_id)) {
+        requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    const Status sent = DispatchAndReply(*job);
+    if (!sent.ok()) {
+      COOL_LOG(kWarn, "giop")
+          << "Reply send failed for request " << job->header.request_id
+          << ": " << sent;
+    }
+  }
+}
+
+bool GiopServer::TakeCancelledLocked(corba::ULong id) {
+  return cancelled_.erase(id) != 0;
+}
+
+void GiopServer::RememberCancelLocked(corba::ULong id) {
+  if (!cancelled_.insert(id).second) return;
+  cancelled_fifo_.push_back(id);
+  while (cancelled_fifo_.size() > options_.cancelled_cap) {
+    // FIFO cap; consumed ids leave stale fifo entries (no-op erase).
+    cancelled_.erase(cancelled_fifo_.front());
+    cancelled_fifo_.pop_front();
+  }
+}
+
+void GiopServer::Close() {
+  {
+    MutexLock lock(pool_mu_);
+    if (pool_closed_) return;
+    pool_closed_ = true;
+    job_ready_.NotifyAll();
+    job_space_.NotifyAll();
+  }
+  // Workers drain the queue (NextJob keeps popping after close) and exit;
+  // join outside the lock so in-flight upcalls can finish.
+  for (Thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  MutexLock lock(pool_mu_);
+  cancelled_.clear();
+  cancelled_fifo_.clear();
+}
+
+Status GiopServer::HandleRequest(ParsedMessage msg) {
+  cdr::Decoder dec = msg.MakeBodyDecoder();
+  auto header = ParseRequestHeader(dec, msg.header.version);
+  if (!header.ok()) {
+    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
+    return header.status();
+  }
+
+  {
+    MutexLock lock(pool_mu_);
+    if (TakeCancelledLocked(header->request_id)) {
+      // Cancelled before we started processing: GIOP allows dropping it.
+      requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+  }
+
+  Job job;
+  job.args_offset = dec.offset();
+  job.header = *std::move(header);
+  job.msg = std::move(msg);
+
+  if (options_.worker_threads == 0) {
+    return DispatchAndReply(job);  // historical inline mode
+  }
+  const DispatchClass cls = ClassifyQoS(job.header.qos_params);
+  if (!EnqueueJob(std::move(job), cls)) {
+    return Status(CancelledError("server worker pool is closed"));
+  }
+  return Status::Ok();
+}
+
+Status GiopServer::HandleCancel(corba::ULong request_id) {
+  MutexLock lock(pool_mu_);
+  // Kill a queued-but-unstarted dispatch outright.
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->header.request_id != request_id) continue;
+      q.erase(it);
+      --queued_;
+      requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      job_space_.NotifyOne();
+      return Status::Ok();
+    }
+  }
+  // Not queued (not yet arrived, or already dispatched): remember the id
+  // so a late Request is dropped. An upcall already running is not
+  // interrupted, per GIOP's best-effort cancel semantics.
+  RememberCancelLocked(request_id);
+  return Status::Ok();
 }
 
 Status GiopServer::ServeOne(Duration timeout) {
@@ -199,8 +529,7 @@ Status GiopServer::ServeOne(Duration timeout) {
 
   auto parsed = ParseMessage(raw->view());
   if (!parsed.ok()) {
-    (void)channel_->SendMessage(
-        BuildMessageError(kGiop10, options_.order).view());
+    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
     return parsed.status();
   }
   const MessageHeader& h = parsed->header;
@@ -213,20 +542,18 @@ Status GiopServer::ServeOne(Duration timeout) {
   if (!version_ok) {
     COOL_LOG(kInfo, "giop") << "rejecting GIOP version "
                             << h.version.ToString();
-    (void)channel_->SendMessage(
-        BuildMessageError(kGiop10, options_.order).view());
+    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
     return Status::Ok();  // connection survives, per GIOP
   }
 
   switch (h.message_type) {
     case MsgType::kRequest:
-      return HandleRequest(*parsed);
+      return HandleRequest(*std::move(parsed));
     case MsgType::kCancelRequest: {
       cdr::Decoder dec = parsed->MakeBodyDecoder();
       COOL_ASSIGN_OR_RETURN(CancelRequestHeader cancel,
                             ParseCancelRequestHeader(dec));
-      cancelled_.insert(cancel.request_id);
-      return Status::Ok();
+      return HandleCancel(cancel.request_id);
     }
     case MsgType::kLocateRequest: {
       cdr::Decoder dec = parsed->MakeBodyDecoder();
@@ -237,8 +564,8 @@ Status GiopServer::ServeOne(Duration timeout) {
       const bool here = locator_ ? locator_(locate.object_key) : false;
       reply.locate_status =
           here ? LocateStatus::kObjectHere : LocateStatus::kUnknownObject;
-      return channel_->SendMessage(
-          BuildLocateReply(h.version, reply, options_.order).view());
+      return SendSerialized(
+          BuildLocateReply(h.version, reply, options_.order));
     }
     case MsgType::kCloseConnection:
       return CancelledError("peer closed connection");
@@ -246,14 +573,14 @@ Status GiopServer::ServeOne(Duration timeout) {
       return ProtocolError("peer reported MessageError");
     case MsgType::kReply:
     case MsgType::kLocateReply:
-      (void)channel_->SendMessage(
-          BuildMessageError(kGiop10, options_.order).view());
+      (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
       return ProtocolError("client-role message received by server");
   }
   return InternalError("unreachable GIOP message type");
 }
 
 Status GiopServer::Serve() {
+  Status result = Status::Ok();
   for (;;) {
     Status s = ServeOne(seconds(3600));
     if (s.ok()) continue;
@@ -263,8 +590,13 @@ Status GiopServer::Serve() {
       COOL_LOG(kWarn, "giop") << "protocol error on connection: " << s;
       continue;
     }
-    return s;
+    result = s;
+    break;
   }
+  // Connection over: finish queued upcalls, stop the pool, drop the
+  // cancel memory (satellite: evict on connection close).
+  Close();
+  return result;
 }
 
 }  // namespace cool::giop

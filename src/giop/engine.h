@@ -3,16 +3,58 @@
 // ids, reply matching, version selection (1.0 vs the 9.9 QoS extension) and
 // backwards compatibility (a server with the extension disabled answers 9.9
 // Requests with MessageError, as an unmodified COOL would).
+//
+// Both engines multiplex one channel across many in-flight requests:
+//
+//  * GiopClient runs a reply demultiplexer — a single reader thread drains
+//    the channel and completes per-request slots keyed by request id, so
+//    Invoke / InvokeDeferred / Locate from any number of caller threads
+//    pipeline over the same connection. No lock is ever held across
+//    blocking I/O (scripts/check_invariants.py rule 8).
+//  * GiopServer runs dispatcher upcalls on a bounded worker pool (size in
+//    Options; 0 = inline dispatch in the receive loop). Replies may return
+//    out of order; only the reply *send* is serialized. A CancelRequest
+//    kills a queued-but-unstarted dispatch, and per-request QoS parameters
+//    (9.9 Requests) map to dispatch priority classes so the paper's QoS
+//    semantics survive concurrency.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "giop/message.h"
 #include "transport/com_channel.h"
 
 namespace cool::giop {
+
+// Dispatch priority classes for the server worker pool, derived from the
+// 9.9 Request's qos_params (paper §4.2: the extension's QoS semantics must
+// survive server-side concurrency). Lower value = served first.
+enum class DispatchClass : int {
+  kHigh = 0,    // explicit priority >= 170, or a latency/jitter bound
+  kNormal = 1,  // no QoS, or QoS without scheduling implications
+  kLow = 2,     // explicit priority < 85
+};
+
+inline constexpr std::size_t kDispatchClasses = 3;
+
+// Maps a Request's QoS parameters onto a DispatchClass: an explicit
+// kPriority parameter wins (0..84 low, 85..169 normal, 170..255 high);
+// otherwise a latency or jitter bound marks the request latency-sensitive
+// and promotes it to kHigh.
+DispatchClass ClassifyQoS(
+    const std::vector<qos::QoSParameter>& qos_params) noexcept;
+
+// Default server worker-pool size: one upcall thread per hardware thread.
+std::size_t DefaultWorkerThreads() noexcept;
 
 class GiopClient {
  public:
@@ -24,11 +66,21 @@ class GiopClient {
     bool use_qos_extension = true;
     cdr::ByteOrder order = cdr::NativeOrder();
     corba::OctetSeq principal;
+    // Cap on remembered cancelled/timed-out request ids whose late replies
+    // must be discarded; oldest entries are FIFO-evicted beyond this.
+    std::size_t abandoned_cap = 1024;
+    // Poll quantum of the demux reader thread: the granularity at which it
+    // notices a stop request on an otherwise idle connection.
+    Duration reader_poll = milliseconds(50);
   };
 
   // The channel must outlive the engine.
   GiopClient(transport::ComChannel* channel, Options options)
-      : channel_(channel), options_(options) {}
+      : channel_(channel), options_(std::move(options)) {}
+  ~GiopClient();
+
+  GiopClient(const GiopClient&) = delete;
+  GiopClient& operator=(const GiopClient&) = delete;
 
   // A received Reply, with accessors to decode its result body.
   struct Reply {
@@ -52,7 +104,8 @@ class GiopClient {
 
   // Synchronous two-way invocation. `args_cdr` must be encoded with an
   // 8-aligned base offset (use MakeArgsEncoder). Carries `qos_params` in an
-  // extended 9.9 Request when non-empty.
+  // extended 9.9 Request when non-empty. Any number of threads may invoke
+  // concurrently; their requests pipeline over the one channel.
   Result<Reply> Invoke(const corba::OctetSeq& object_key,
                        const std::string& operation,
                        std::span<const corba::Octet> args_cdr,
@@ -75,8 +128,9 @@ class GiopClient {
   Result<Reply> PollReply(corba::ULong request_id,
                           Duration timeout = seconds(10));
 
-  // Sends CancelRequest and locally abandons the id: a late Reply for it is
-  // discarded by the matching loop.
+  // Sends CancelRequest and locally abandons the id: a waiting caller is
+  // released with kCancelled, and a late Reply for it is discarded by the
+  // demux reader.
   Status Cancel(corba::ULong request_id);
 
   // GIOP object location probe.
@@ -98,21 +152,77 @@ class GiopClient {
     return next_request_id_ - 1;
   }
 
+  // Number of requests currently awaiting a reply (tests/metrics).
+  std::size_t in_flight() const {
+    MutexLock lock(mu_);
+    return pending_.size();
+  }
+
  private:
-  Result<ParsedMessage> NextMatchingReplyLocked(corba::ULong request_id,
-                                                Duration timeout)
-      COOL_REQUIRES(mu_);
+  // One in-flight request awaiting its reply. Fields are guarded by the
+  // client's mu_ (not annotatable from a nested type); `cv` has a single
+  // waiter, so completion notifies with NotifyOne.
+  struct Slot {
+    CondVar cv;
+    bool done = false;
+    Result<ParsedMessage> outcome{Status(InternalError("reply pending"))};
+  };
+
+  struct PendingCall {
+    corba::ULong id = 0;
+    std::shared_ptr<Slot> slot;
+  };
+
+  // Allocates an id + slot, starts the demux reader if needed, and sends
+  // the Request built by `build(id)`. Fails fast once the connection is
+  // known to be broken.
+  Result<PendingCall> StartCall(
+      const std::function<ByteBuffer(corba::ULong)>& build);
+
+  // Blocks until the slot completes or `deadline` passes. On completion
+  // the slot is consumed (erased from pending_). On timeout the id is
+  // abandoned (Invoke/Locate) or left outstanding for a later poll
+  // (PollReply), per `abandon_on_timeout`.
+  Result<ParsedMessage> AwaitSlot(corba::ULong id,
+                                  const std::shared_ptr<Slot>& slot,
+                                  Duration timeout, bool abandon_on_timeout);
+
+  void EnsureReaderLocked() COOL_REQUIRES(mu_);
+  void ReaderLoop(std::stop_token stop);
+  // Routes a Reply/LocateReply to its slot; unknown ids are discarded if
+  // abandoned, logged otherwise.
+  void CompleteRequest(corba::ULong request_id, ParsedMessage msg);
+  // Fails every pending slot with `status`. `terminal` marks the
+  // connection broken: subsequent calls fail fast and the abandoned-id
+  // memory is released (nothing more can arrive).
+  void FailPending(const Status& status, bool terminal);
+  void AbandonLocked(corba::ULong id) COOL_REQUIRES(mu_);
+
+  // Serializes writes to the channel; never held together with mu_.
+  Status SendSerialized(const ByteBuffer& msg);
+
   ByteBuffer BuildRequestMessage(
       const corba::OctetSeq& object_key, const std::string& operation,
       std::span<const corba::Octet> args_cdr,
       const std::vector<qos::QoSParameter>& qos_params,
       bool response_expected, corba::ULong request_id) const;
+  static Result<Reply> MakeReply(ParsedMessage parsed);
 
   transport::ComChannel* channel_;
   Options options_;
+
+  Mutex send_mu_;
   mutable Mutex mu_;
   corba::ULong next_request_id_ COOL_GUARDED_BY(mu_) = 1;
+  std::unordered_map<corba::ULong, std::shared_ptr<Slot>> pending_
+      COOL_GUARDED_BY(mu_);
   std::unordered_set<corba::ULong> abandoned_ COOL_GUARDED_BY(mu_);
+  std::deque<corba::ULong> abandoned_fifo_ COOL_GUARDED_BY(mu_);
+  // Terminal connection status; non-OK once the demux reader has exited.
+  Status broken_ COOL_GUARDED_BY(mu_) = Status::Ok();
+  bool reader_started_ COOL_GUARDED_BY(mu_) = false;
+  // Started under mu_, joined only by the destructor (no concurrent use).
+  Thread reader_;
 };
 
 class GiopServer {
@@ -122,6 +232,15 @@ class GiopServer {
     // 9.9 Request is answered with MessageError.
     bool accept_qos_extension = true;
     cdr::ByteOrder order = cdr::NativeOrder();
+    // Dispatcher worker-pool size. Workers run servant upcalls
+    // concurrently and may answer out of order; 0 runs every upcall inline
+    // in the receive loop (the historical serial mode).
+    std::size_t worker_threads = DefaultWorkerThreads();
+    // Bound on queued-but-unstarted dispatches; the receive loop blocks
+    // (connection backpressure) once this many upcalls are waiting.
+    std::size_t queue_capacity = 256;
+    // Cap on remembered CancelRequest ids (FIFO-evicted beyond this).
+    std::size_t cancelled_cap = 1024;
   };
 
   // What the upcall produced; body must be encoded with MakeBodyEncoder.
@@ -131,7 +250,8 @@ class GiopServer {
   };
 
   // Upcall into the object adapter. The decoder is positioned at the
-  // operation arguments.
+  // operation arguments. With worker_threads > 0 the dispatcher is called
+  // from pool threads concurrently and must be thread-safe.
   using Dispatcher =
       std::function<DispatchResult(const RequestHeader&, cdr::Decoder&)>;
   // Object-existence probe for LocateRequest.
@@ -142,10 +262,16 @@ class GiopServer {
       : channel_(channel),
         dispatcher_(std::move(dispatcher)),
         options_(options) {}
+  ~GiopServer();
+
+  GiopServer(const GiopServer&) = delete;
+  GiopServer& operator=(const GiopServer&) = delete;
 
   void SetLocator(Locator locator) { locator_ = std::move(locator); }
 
-  // Handles exactly one incoming message. Returns:
+  // Handles exactly one incoming message: a Request is parsed, admitted
+  // and (pool mode) enqueued for a worker — the upcall itself may still be
+  // running when ServeOne returns. Returns:
   //  * OK            — message handled, connection still open
   //  * kCancelled    — peer sent CloseConnection (clean end)
   //  * kUnavailable  — transport gone
@@ -154,24 +280,80 @@ class GiopServer {
   Status ServeOne(Duration timeout = seconds(30));
 
   // Loop until the connection ends; returns the terminating status
-  // (kCancelled for a clean CloseConnection).
+  // (kCancelled for a clean CloseConnection). Drains the worker pool and
+  // releases the cancel memory before returning.
   Status Serve();
+
+  // Stops the worker pool after draining queued dispatches. Idempotent;
+  // called by the destructor. Not safe to call concurrently with itself.
+  void Close();
 
   cdr::Encoder MakeBodyEncoder() const {
     return cdr::Encoder(options_.order, 0);
   }
 
-  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  // Dispatches killed before they started (cancelled while queued, or
+  // cancel recorded before the Request arrived).
+  std::uint64_t requests_cancelled() const {
+    return requests_cancelled_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Status HandleRequest(const ParsedMessage& msg);
+  struct Job {
+    RequestHeader header;
+    ParsedMessage msg;
+    // Absolute message offset of the argument bytes (the decoder position
+    // right after the request header), so workers need not re-parse.
+    std::size_t args_offset = 0;
+
+    cdr::Decoder ArgsDecoder() const {
+      return cdr::Decoder(std::span<const corba::Octet>(msg.body)
+                              .subspan(args_offset - kHeaderSize),
+                          msg.header.byte_order, args_offset);
+    }
+  };
+
+  Status HandleRequest(ParsedMessage msg);
+  Status HandleCancel(corba::ULong request_id);
+  // Runs the upcall and sends the Reply (when one is expected).
+  Status DispatchAndReply(const Job& job);
+
+  void StartWorkersLocked() COOL_REQUIRES(pool_mu_);
+  void WorkerLoop();
+  // Blocks while the queue is at capacity; false once the pool is closed.
+  bool EnqueueJob(Job job, DispatchClass cls);
+  // Highest-priority-first pop; nullopt once closed and drained.
+  std::optional<Job> NextJob();
+  bool TakeCancelledLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
+  void RememberCancelLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
+
+  // Serializes reply/error sends from workers and the receive loop.
+  Status SendSerialized(const ByteBuffer& msg);
 
   transport::ComChannel* channel_;
   Dispatcher dispatcher_;
   Options options_;
   Locator locator_;
-  std::unordered_set<corba::ULong> cancelled_;
-  std::uint64_t requests_served_ = 0;
+
+  Mutex send_mu_;
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_cancelled_{0};
+
+  mutable Mutex pool_mu_;
+  std::array<std::deque<Job>, kDispatchClasses> queues_
+      COOL_GUARDED_BY(pool_mu_);
+  std::size_t queued_ COOL_GUARDED_BY(pool_mu_) = 0;
+  bool pool_closed_ COOL_GUARDED_BY(pool_mu_) = false;
+  CondVar job_ready_;
+  CondVar job_space_;
+  std::unordered_set<corba::ULong> cancelled_ COOL_GUARDED_BY(pool_mu_);
+  std::deque<corba::ULong> cancelled_fifo_ COOL_GUARDED_BY(pool_mu_);
+  // Spawned lazily under pool_mu_; joined only by Close() after
+  // pool_closed_ is set, when no further spawn can happen.
+  std::vector<Thread> workers_;
 };
 
 }  // namespace cool::giop

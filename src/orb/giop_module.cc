@@ -48,7 +48,7 @@ void GiopServerAModule::HandleRequest(const giop::ParsedMessage& msg,
   }
   const giop::GiopServer::DispatchResult result =
       adapter_->Dispatch(*header, dec, options_.order);
-  ++requests_served_;
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
   if (!header->response_expected) return;
 
   giop::ReplyHeader reply;

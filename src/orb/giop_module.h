@@ -19,6 +19,8 @@
 //    ordinary GiopClient drives an alternative-(ii) server unchanged.
 #pragma once
 
+#include <atomic>
+
 #include "common/mutex.h"
 #include "common/thread.h"
 #include "dacapo/module.h"
@@ -46,7 +48,9 @@ class GiopServerAModule : public dacapo::Module {
   void HandleData(dacapo::Direction dir, dacapo::PacketPtr pkt,
                   dacapo::ModulePort& port) override;
 
-  std::uint64_t requests_served() const noexcept { return requests_served_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   void SendMessage(const ByteBuffer& msg, dacapo::ModulePort& port);
@@ -60,7 +64,11 @@ class GiopServerAModule : public dacapo::Module {
 
   ObjectAdapter* adapter_;
   Options options_;
-  std::uint64_t requests_served_ = 0;
+  // Atomic because tests read it while the module thread serves; dispatch
+  // itself stays inline on the module thread — in alternative (ii) the
+  // message protocol lives inside the Da CaPo graph, whose runtime already
+  // serializes a module's upcalls (no worker pool here by design).
+  std::atomic<std::uint64_t> requests_served_{0};
 };
 
 // Client-side: GIOP messages ride 1:1 in Da CaPo packets. Messages must

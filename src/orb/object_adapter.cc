@@ -47,8 +47,7 @@ std::size_t ObjectAdapter::active_count() const {
 }
 
 std::uint64_t ObjectAdapter::qos_nacks() const {
-  MutexLock lock(mu_);
-  return qos_nacks_;
+  return qos_nacks_.load(std::memory_order_relaxed);
 }
 
 giop::GiopServer::DispatchResult ObjectAdapter::MakeSystemException(
@@ -94,10 +93,7 @@ giop::GiopServer::DispatchResult ObjectAdapter::DispatchImpl(
     }
     const qos::NegotiationResult negotiated = servant->NegotiateQoS(*spec);
     if (!negotiated.accepted) {
-      {
-        MutexLock lock(mu_);
-        ++qos_nacks_;
-      }
+      qos_nacks_.fetch_add(1, std::memory_order_relaxed);
       COOL_LOG(kInfo, "orb") << "QoS NACK for '" << operation
                              << "': " << negotiated.RejectionReason();
       return MakeSystemException(

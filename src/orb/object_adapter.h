@@ -6,6 +6,7 @@
 // colocation fast path calls DispatchLocal directly on this class.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,7 +32,10 @@ class ObjectAdapter {
 
   // The GIOP-facing upcall: negotiates qos_params against the servant and
   // dispatches. Produces a complete DispatchResult (NO_EXCEPTION /
-  // USER_EXCEPTION / SYSTEM_EXCEPTION with encoded body).
+  // USER_EXCEPTION / SYSTEM_EXCEPTION with encoded body). Called
+  // concurrently by GiopServer pool workers: the servant lookup is a
+  // locked snapshot, and the NegotiateQoS/Dispatch upcalls run outside
+  // the adapter lock (servants own their own synchronisation).
   giop::GiopServer::DispatchResult Dispatch(const giop::RequestHeader& header,
                                             cdr::Decoder& args,
                                             cdr::ByteOrder order);
@@ -59,7 +63,8 @@ class ObjectAdapter {
   mutable Mutex mu_;
   std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants_
       COOL_GUARDED_BY(mu_);
-  std::uint64_t qos_nacks_ COOL_GUARDED_BY(mu_) = 0;
+  // Atomic, not mu_-guarded: bumped from concurrent pool-worker upcalls.
+  std::atomic<std::uint64_t> qos_nacks_{0};
 };
 
 }  // namespace cool::orb

@@ -133,6 +133,7 @@ void ORB::ServeConnection(std::uint64_t id,
 
   giop::GiopServer::Options server_options;
   server_options.accept_qos_extension = options_.enable_qos_extension;
+  server_options.worker_threads = options_.giop_worker_threads;
   giop::GiopServer server(
       channel.get(),
       [this](const giop::RequestHeader& header, cdr::Decoder& args) {

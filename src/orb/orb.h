@@ -43,6 +43,9 @@ class ORB {
     corba::OctetSeq principal{};
     // Optional server-side resource admission for Da CaPo connections.
     dacapo::ResourceManager* resources = nullptr;
+    // Worker-pool size of each per-connection GiopServer (0 = inline
+    // dispatch in the receive loop; see giop::GiopServer::Options).
+    std::size_t giop_worker_threads = giop::DefaultWorkerThreads();
   };
 
   ORB(sim::Network* net, std::string host);

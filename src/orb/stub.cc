@@ -8,11 +8,7 @@ namespace cool::orb {
 Stub::Stub(ORB* orb, ObjectRef ref) : orb_(orb), ref_(std::move(ref)) {}
 
 Stub::~Stub() {
-  {
-    MutexLock lock(mu_);
-    if (client_ != nullptr) (void)client_->SendClose();
-    if (channel_ != nullptr) channel_->Close();
-  }
+  (void)Unbind();
   std::vector<Thread> threads;
   {
     MutexLock lock(async_mu_);
@@ -24,7 +20,7 @@ Stub::~Stub() {
 }
 
 Status Stub::EnsureBoundLocked() {
-  if (colocated_ || channel_ != nullptr) return Status::Ok();
+  if (colocated_ || binding_ != nullptr) return Status::Ok();
 
   // Colocation fast path (paper §2: the Object Adapter "is designed to
   // optimize colocated scenarios").
@@ -36,13 +32,25 @@ Status Stub::EnsureBoundLocked() {
   // Implicit binding: set up during the first method invocation. The QoS
   // spec in force participates in transport selection/configuration —
   // "request connection with QoS" in the paper's Fig. 4.
-  COOL_ASSIGN_OR_RETURN(channel_, orb_->OpenChannel(ref_, qos_));
+  auto binding = std::make_shared<Binding>();
+  COOL_ASSIGN_OR_RETURN(binding->channel, orb_->OpenChannel(ref_, qos_));
   giop::GiopClient::Options opts;
   opts.use_qos_extension = orb_->options().enable_qos_extension;
   opts.order = order_;
   opts.principal = orb_->options().principal;
-  client_ = std::make_unique<giop::GiopClient>(channel_.get(), opts);
+  binding->client = std::make_unique<giop::GiopClient>(
+      binding->channel.get(), opts);
+  binding_ = std::move(binding);
   return Status::Ok();
+}
+
+Result<Stub::CallContext> Stub::PrepareCall() {
+  MutexLock lock(mu_);
+  COOL_RETURN_IF_ERROR(EnsureBoundLocked());
+  CallContext ctx;
+  ctx.binding = binding_;  // null when colocated
+  ctx.qos = qos_.parameters();
+  return ctx;
 }
 
 Status Stub::SetQoSParameter(const qos::QoSSpec& spec) {
@@ -56,10 +64,10 @@ Status Stub::SetQoSParameter(const qos::QoSSpec& spec) {
     return Status::Ok();
   }
 
-  if (channel_ != nullptr) {
+  if (binding_ != nullptr) {
     // Existing binding: unilateral transport re-negotiation (paper §4.3).
     // TCP/IPC answer kUnsupported here for non-empty specs.
-    COOL_RETURN_IF_ERROR(channel_->SetQoSParameter(spec));
+    COOL_RETURN_IF_ERROR(binding_->channel->SetQoSParameter(spec));
   } else if (orb_->IsLocal(ref_)) {
     // Colocated target: no transport to negotiate with; the bilateral
     // negotiation against the servant happens per invocation.
@@ -91,17 +99,24 @@ bool Stub::explicit_binding() const {
 std::string_view Stub::bound_protocol() const {
   MutexLock lock(mu_);
   if (colocated_) return "colocated";
-  if (channel_ != nullptr) return channel_->protocol();
+  if (binding_ != nullptr) return binding_->channel->protocol();
   return "";
 }
 
 Status Stub::Unbind() {
-  MutexLock lock(mu_);
-  if (client_ != nullptr) (void)client_->SendClose();
-  if (channel_ != nullptr) channel_->Close();
-  client_.reset();
-  channel_.reset();
-  colocated_ = false;
+  std::shared_ptr<Binding> binding;
+  {
+    MutexLock lock(mu_);
+    binding = std::move(binding_);
+    colocated_ = false;
+  }
+  if (binding != nullptr) {
+    // Invocations still holding the snapshot keep the Binding alive; the
+    // channel close fails them with kUnavailable. The demux reader is
+    // joined when the last snapshot releases the Binding.
+    (void)binding->client->SendClose();
+    binding->channel->Close();
+  }
   return Status::Ok();
 }
 
@@ -130,11 +145,12 @@ Result<Stub::ReplyData> Stub::FromGiopReply(
 }
 
 Result<Stub::ReplyData> Stub::InvokeColocated(
-    const std::string& operation, std::span<const corba::Octet> args) {
+    const std::string& operation, std::span<const corba::Octet> args,
+    const std::vector<qos::QoSParameter>& qos_params) {
   cdr::Decoder arg_dec(args, order_, 0);
   const giop::GiopServer::DispatchResult result =
-      orb_->adapter().DispatchLocal(ref_.object_key, operation,
-                                    qos_.parameters(), arg_dec, order_);
+      orb_->adapter().DispatchLocal(ref_.object_key, operation, qos_params,
+                                    arg_dec, order_);
   switch (result.status) {
     case giop::ReplyStatus::kNoException:
     case giop::ReplyStatus::kUserException: {
@@ -159,64 +175,70 @@ Result<Stub::ReplyData> Stub::InvokeColocated(
 Result<Stub::ReplyData> Stub::Invoke(const std::string& operation,
                                      std::span<const corba::Octet> args,
                                      Duration timeout) {
-  MutexLock lock(mu_);
-  COOL_RETURN_IF_ERROR(EnsureBoundLocked());
-  if (colocated_) return InvokeColocated(operation, args);
+  COOL_ASSIGN_OR_RETURN(CallContext ctx, PrepareCall());
+  if (ctx.binding == nullptr) return InvokeColocated(operation, args, ctx.qos);
   COOL_ASSIGN_OR_RETURN(
       giop::GiopClient::Reply reply,
-      client_->Invoke(ref_.object_key, operation, args, qos_.parameters(),
-                      timeout));
+      ctx.binding->client->Invoke(ref_.object_key, operation, args, ctx.qos,
+                                  timeout));
   return FromGiopReply(reply);
 }
 
 Status Stub::InvokeOneway(const std::string& operation,
                           std::span<const corba::Octet> args) {
-  MutexLock lock(mu_);
-  COOL_RETURN_IF_ERROR(EnsureBoundLocked());
-  if (colocated_) {
-    auto discarded = InvokeColocated(operation, args);
+  COOL_ASSIGN_OR_RETURN(CallContext ctx, PrepareCall());
+  if (ctx.binding == nullptr) {
+    auto discarded = InvokeColocated(operation, args, ctx.qos);
     return Status::Ok();  // one-way: outcome intentionally dropped
   }
-  return client_->InvokeOneway(ref_.object_key, operation, args,
-                               qos_.parameters());
+  return ctx.binding->client->InvokeOneway(ref_.object_key, operation, args,
+                                           ctx.qos);
 }
 
 Result<corba::ULong> Stub::InvokeDeferred(
     const std::string& operation, std::span<const corba::Octet> args) {
-  MutexLock lock(mu_);
-  COOL_RETURN_IF_ERROR(EnsureBoundLocked());
-  if (colocated_) {
+  COOL_ASSIGN_OR_RETURN(CallContext ctx, PrepareCall());
+  if (ctx.binding == nullptr) {
     return Status(
         UnsupportedError("deferred invocation on a colocated object"));
   }
-  return client_->InvokeDeferred(ref_.object_key, operation, args,
-                                 qos_.parameters());
+  return ctx.binding->client->InvokeDeferred(ref_.object_key, operation,
+                                             args, ctx.qos);
 }
 
 Result<Stub::ReplyData> Stub::PollReply(corba::ULong request_id,
                                         Duration timeout) {
-  MutexLock lock(mu_);
-  if (client_ == nullptr) {
+  std::shared_ptr<Binding> binding;
+  {
+    MutexLock lock(mu_);
+    binding = binding_;
+  }
+  if (binding == nullptr) {
     return Status(FailedPreconditionError("no binding"));
   }
   COOL_ASSIGN_OR_RETURN(giop::GiopClient::Reply reply,
-                        client_->PollReply(request_id, timeout));
+                        binding->client->PollReply(request_id, timeout));
   return FromGiopReply(reply);
 }
 
 Status Stub::CancelRequest(corba::ULong request_id) {
-  MutexLock lock(mu_);
-  if (client_ == nullptr) {
+  std::shared_ptr<Binding> binding;
+  {
+    MutexLock lock(mu_);
+    binding = binding_;
+  }
+  if (binding == nullptr) {
     return FailedPreconditionError("no binding");
   }
-  return client_->Cancel(request_id);
+  return binding->client->Cancel(request_id);
 }
 
 Status Stub::InvokeAsync(const std::string& operation,
                          std::span<const corba::Octet> args,
                          AsyncCallback callback) {
-  // Capture everything by value; the worker re-enters Invoke which takes
-  // the stub lock itself.
+  // Capture everything by value; the worker re-enters Invoke, which
+  // snapshots the binding itself. Concurrent async invocations pipeline
+  // over the one channel instead of queueing on the stub lock.
   std::vector<corba::Octet> args_copy(args.begin(), args.end());
   MutexLock lock(async_mu_);
   async_threads_.emplace_back(
@@ -228,11 +250,10 @@ Status Stub::InvokeAsync(const std::string& operation,
 }
 
 Result<bool> Stub::LocateObject(Duration timeout) {
-  MutexLock lock(mu_);
-  COOL_RETURN_IF_ERROR(EnsureBoundLocked());
-  if (colocated_) return true;
+  COOL_ASSIGN_OR_RETURN(CallContext ctx, PrepareCall());
+  if (ctx.binding == nullptr) return true;  // colocated
   COOL_ASSIGN_OR_RETURN(giop::LocateStatus status,
-                        client_->Locate(ref_.object_key, timeout));
+                        ctx.binding->client->Locate(ref_.object_key, timeout));
   return status == giop::LocateStatus::kObjectHere;
 }
 

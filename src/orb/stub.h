@@ -97,20 +97,37 @@ class Stub {
   std::string_view bound_protocol() const;
 
  private:
+  // One live transport binding. Shared so concurrent invocations can keep
+  // it alive across an Unbind: the stub lock only covers the snapshot, the
+  // actual exchange runs lock-free and pipelines through the GiopClient
+  // demultiplexer. Member order matters: the client is destroyed first
+  // (joining its demux reader) while the channel is still alive.
+  struct Binding {
+    std::unique_ptr<transport::ComChannel> channel;
+    std::unique_ptr<giop::GiopClient> client;
+  };
+
+  // Everything an invocation needs, snapshotted under mu_: the binding
+  // (null when the target is colocated) and the QoS spec in force.
+  struct CallContext {
+    std::shared_ptr<Binding> binding;
+    std::vector<qos::QoSParameter> qos;
+  };
+
   // Establishes the binding if absent (implicit binding on first call).
   Status EnsureBoundLocked() COOL_REQUIRES(mu_);
+  Result<CallContext> PrepareCall();
   Result<ReplyData> FromGiopReply(const giop::GiopClient::Reply& reply) const;
-  Result<ReplyData> InvokeColocated(const std::string& operation,
-                                    std::span<const corba::Octet> args)
-      COOL_REQUIRES(mu_);
+  Result<ReplyData> InvokeColocated(
+      const std::string& operation, std::span<const corba::Octet> args,
+      const std::vector<qos::QoSParameter>& qos_params);
 
   ORB* orb_;
   ObjectRef ref_;
   cdr::ByteOrder order_ = cdr::NativeOrder();
 
   mutable Mutex mu_;
-  std::unique_ptr<transport::ComChannel> channel_ COOL_GUARDED_BY(mu_);
-  std::unique_ptr<giop::GiopClient> client_ COOL_GUARDED_BY(mu_);
+  std::shared_ptr<Binding> binding_ COOL_GUARDED_BY(mu_);
   qos::QoSSpec qos_ COOL_GUARDED_BY(mu_);
   bool explicit_binding_ COOL_GUARDED_BY(mu_) = false;
   bool colocated_ COOL_GUARDED_BY(mu_) = false;

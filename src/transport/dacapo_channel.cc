@@ -1,5 +1,7 @@
 #include "transport/dacapo_channel.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "qos/mapping.h"
 
@@ -43,8 +45,16 @@ Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {
   MutexLock lock(rx_mu_);
   ByteBuffer assembled;
   for (;;) {
+    // The caller's deadline only gates the wait for a message to *start*.
+    // Once the first fragment is in, continuation fragments get their own
+    // floor: a short-quantum poller must not abandon a half-assembled
+    // message — the remaining fragments would desynchronize the stream.
+    Duration remaining = deadline - Now();
+    if (assembled.size() > 0) {
+      remaining = std::max<Duration>(remaining, seconds(1));
+    }
     COOL_ASSIGN_OR_RETURN(dacapo::ReceivedMessage fragment,
-                          session_->ReceivePacket(deadline - Now()));
+                          session_->ReceivePacket(remaining));
     const auto data = fragment.data();
     if (data.empty()) {
       return Status(ProtocolError("empty Da CaPo fragment"));

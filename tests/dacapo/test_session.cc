@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 namespace cool::dacapo {
@@ -305,6 +306,60 @@ TEST(SessionTest, SendAfterCloseFails) {
   ASSERT_NE(client, nullptr);
   client->Close();
   EXPECT_FALSE(client->Send(Msg("zombie")).ok());
+}
+
+// Regression: a short-quantum receive poller (the GIOP reply demultiplexer
+// polls at 50 ms) must ride out plane swaps. The adoption grace window
+// used to be clipped by the caller's deadline, so a swap landing near the
+// end of a poll quantum surfaced as kUnavailable — which a demultiplexer
+// rightly treats as a terminal connection error.
+TEST(SessionTest, ShortTimeoutPollerSurvivesReconfiguration) {
+  Rig rig;
+  ChannelOptions options;
+  options.graph = GraphOf({mechanisms::kCrc16});
+  auto [client, server] = rig.Establish(options);
+  ASSERT_NE(client, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> finished{false};
+  Status bad = Status::Ok();
+  Result<std::vector<std::uint8_t>> got(Status(InternalError("unset")));
+  cool::Thread poller([&] {
+    while (!stop.load()) {
+      // Tighter than the GIOP demultiplexer's 50 ms: the swap must land
+      // after this quantum's deadline to exercise the grace window.
+      auto r = server->Receive(milliseconds(1));
+      if (r.ok() || r.status().code() != ErrorCode::kDeadlineExceeded) {
+        if (r.ok()) {
+          got = std::move(r);
+        } else {
+          bad = r.status();
+        }
+        break;
+      }
+    }
+    finished.store(true);
+  });
+
+  // Swap the responder's plane repeatedly under the poller.
+  for (int i = 0; i < 3; ++i) {
+    const ModuleGraphSpec g =
+        (i % 2 == 0) ? GraphOf({mechanisms::kXorCipher, mechanisms::kCrc32})
+                     : GraphOf({mechanisms::kCrc16});
+    ASSERT_TRUE(client->Reconfigure(g).ok());
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  ASSERT_TRUE(client->Send(Msg("post-reconf")).ok());
+
+  const TimePoint deadline = Now() + seconds(5);
+  while (!finished.load() && Now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  stop.store(true);
+  poller.join();
+  EXPECT_TRUE(bad.ok()) << "poller saw terminal error: " << bad;
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Msg("post-reconf"));
 }
 
 }  // namespace
