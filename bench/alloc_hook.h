@@ -1,0 +1,16 @@
+// Process-wide allocation counter for the benchmarks. alloc_hook.cc
+// replaces the global operator new/delete family with counting versions;
+// linking it into a bench binary (cool_add_bench does this) makes
+// AllocCount() advance by one per heap allocation on any thread. Divide a
+// counter delta by operations completed to get allocs_per_op for the
+// benchmark-trajectory JSON.
+#pragma once
+
+#include <cstdint>
+
+namespace cool::bench {
+
+// Total operator-new calls (all variants, all threads) since process start.
+std::uint64_t AllocCount();
+
+}  // namespace cool::bench

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <deque>
 
+#include "alloc_hook.h"
 #include "bench_util.h"
 #include "common/thread.h"
 #include "giop/engine.h"
@@ -30,11 +31,12 @@ sim::LinkProperties TestbedLink() {
 corba::OctetSeq Key(std::string_view s) { return {s.begin(), s.end()}; }
 
 // Trivial echo upcall: the benchmark measures the engines and the wire,
-// not servant work.
+// not servant work. The body rides in a pooled buffer, the same way the
+// object adapter encodes dispatch results.
 giop::GiopServer::DispatchResult Echo(const giop::RequestHeader&,
                                       cdr::Decoder& args) {
   giop::GiopServer::DispatchResult result;
-  cdr::Encoder body(cdr::NativeOrder(), 0);
+  cdr::Encoder body(cdr::NativeOrder(), 0, BufferPool::Default().Lease());
   auto value = args.GetLong();
   body.PutLong(value.ok() ? *value : -1);
   result.body = std::move(body).TakeBuffer();
@@ -95,10 +97,17 @@ std::uint64_t RunWindow(giop::GiopClient& client, std::size_t depth,
   return completed;
 }
 
+struct Measurement {
+  double msgs_per_sec = 0;
+  double allocs_per_op = -1;
+};
+
 // One measurement: `threads` caller threads × `depth` pipelined requests
-// over a single channel pair, for `duration`. Returns aggregate msgs/s.
-double MeasureConfig(ChannelPair& pair, int threads, std::size_t depth,
-                     Duration duration) {
+// over a single channel pair, for `duration`. Returns aggregate msgs/s and
+// whole-process heap allocations per completed exchange (client marshal,
+// both engines, transport, server dispatch and reply combined).
+Measurement MeasureConfig(ChannelPair& pair, int threads, std::size_t depth,
+                          Duration duration) {
   giop::GiopClient client(pair.client.get(), {});
   giop::GiopServer::Options server_opts;
   server_opts.worker_threads = 4;
@@ -106,6 +115,7 @@ double MeasureConfig(ChannelPair& pair, int threads, std::size_t depth,
   cool::Thread server_thread([&server] { (void)server.Serve(); });
 
   std::atomic<std::uint64_t> total{0};
+  const std::uint64_t allocs0 = cool::bench::AllocCount();
   const Stopwatch sw;
   const TimePoint end = Now() + duration;
   {
@@ -117,10 +127,17 @@ double MeasureConfig(ChannelPair& pair, int threads, std::size_t depth,
     }
   }  // joins all callers (window drain included)
   const double elapsed = ToSeconds(sw.Elapsed());
+  const std::uint64_t allocs1 = cool::bench::AllocCount();
 
   (void)client.SendClose();  // ends the server's Serve loop cleanly
   server_thread.join();
-  return static_cast<double>(total.load()) / elapsed;
+  Measurement m;
+  m.msgs_per_sec = static_cast<double>(total.load()) / elapsed;
+  if (total.load() > 0) {
+    m.allocs_per_op = static_cast<double>(allocs1 - allocs0) /
+                      static_cast<double>(total.load());
+  }
+  return m;
 }
 
 struct Transport {
@@ -168,7 +185,7 @@ int main(int argc, char** argv) {
 
   std::vector<cool::bench::BenchRecord> records;
   cool::bench::Table table(
-      {"config", "msgs/s", "speedup vs t1 d1"});
+      {"config", "msgs/s", "allocs/op", "speedup vs t1 d1"});
 
   for (const Transport& tr :
        {Transport{"tcp", 7500}, Transport{"ipc", 7510},
@@ -177,7 +194,7 @@ int main(int argc, char** argv) {
     double serial = 0;
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const auto [threads, depth] = configs[c];
-      double best = 0;
+      Measurement best;
       for (int r = 0; r < reps; ++r) {
         // Fresh managers/channels per rep: each MeasureConfig closes its
         // connection to stop the server loop.
@@ -200,19 +217,25 @@ int main(int argc, char** argv) {
         auto pair = Establish(*client_mgr, *server_mgr,
                               sim::Address{"server", port});
         if (pair.client == nullptr) return 1;
-        best = std::max(best, MeasureConfig(pair, threads, depth, duration));
+        const Measurement m = MeasureConfig(pair, threads, depth, duration);
+        if (m.msgs_per_sec > best.msgs_per_sec) best = m;
       }
-      if (threads == 1 && depth == 1) serial = best;
+      if (threads == 1 && depth == 1) serial = best.msgs_per_sec;
 
       char name[64];
       std::snprintf(name, sizeof name, "%s t%d d%zu", tr.name, threads,
                     depth);
-      table.AddRow({name, cool::bench::Fmt("%.0f", best),
-                    serial > 0 ? cool::bench::Fmt("%.2fx", best / serial)
-                               : "-"});
+      table.AddRow({name, cool::bench::Fmt("%.0f", best.msgs_per_sec),
+                    best.allocs_per_op >= 0
+                        ? cool::bench::Fmt("%.1f", best.allocs_per_op)
+                        : "-",
+                    serial > 0
+                        ? cool::bench::Fmt("%.2fx", best.msgs_per_sec / serial)
+                        : "-"});
       cool::bench::BenchRecord rec;
       rec.name = name;
-      rec.msgs_per_sec = best;
+      rec.msgs_per_sec = best.msgs_per_sec;
+      rec.allocs_per_op = best.allocs_per_op;
       records.push_back(std::move(rec));
     }
   }

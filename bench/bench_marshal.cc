@@ -1,8 +1,16 @@
 // Ablation A1: wire-level cost of the GIOP extension — Request build and
-// parse time and message size, as a function of the number of QoS
-// parameters (0 = standard GIOP 1.0). google-benchmark micro harness.
-#include <benchmark/benchmark.h>
+// parse throughput and allocations per operation, as a function of the
+// number of QoS parameters (0 = standard GIOP 1.0). Uses the repo's
+// --smoke/--json protocol so the marshalling hot path shows up in the
+// benchmark trajectory (scripts/run_benchmarks.py) with allocs_per_op.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "alloc_hook.h"
+#include "bench_util.h"
+#include "common/clock.h"
 #include "giop/message.h"
 
 namespace {
@@ -31,83 +39,100 @@ std::vector<corba::Octet> MakeArgs() {
   return {view.begin(), view.end()};
 }
 
-void BM_BuildRequestGiop10(benchmark::State& state) {
-  const giop::RequestHeader header = MakeHeader(0);
-  const auto args = MakeArgs();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(giop::BuildRequest(giop::kGiop10, header, args));
+// Runs `op` for `iters` iterations and returns a record carrying ops/s and
+// the allocation-counter delta per iteration. Timing is best-of-3 passes
+// (the benchmark machine is shared; the max over short passes estimates
+// the uncontended rate); the alloc counter is deterministic, so its delta
+// spans all passes.
+cool::bench::BenchRecord Measure(const std::string& name, std::size_t iters,
+                                 const std::function<void()>& op) {
+  constexpr int kPasses = 3;
+  // Warm-up: let lazy pools/arenas reach steady state before counting.
+  for (int i = 0; i < 64; ++i) op();
+  const std::uint64_t allocs0 = cool::bench::AllocCount();
+  double best_elapsed = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const Stopwatch sw;
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const double elapsed = sw.ElapsedSeconds();
+    if (best_elapsed == 0 || elapsed < best_elapsed) best_elapsed = elapsed;
   }
-}
-BENCHMARK(BM_BuildRequestGiop10);
+  const std::uint64_t allocs1 = cool::bench::AllocCount();
 
-void BM_BuildRequestGiop99(benchmark::State& state) {
-  const giop::RequestHeader header =
-      MakeHeader(static_cast<int>(state.range(0)));
-  const auto args = MakeArgs();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        giop::BuildRequest(giop::kGiopQos, header, args));
-  }
-  state.SetLabel("qos_params=" + std::to_string(state.range(0)));
+  cool::bench::BenchRecord rec;
+  rec.name = name;
+  rec.msgs_per_sec = static_cast<double>(iters) / best_elapsed;
+  rec.allocs_per_op = static_cast<double>(allocs1 - allocs0) /
+                      static_cast<double>(iters) / kPasses;
+  return rec;
 }
-BENCHMARK(BM_BuildRequestGiop99)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
-
-void BM_ParseRequestGiop10(benchmark::State& state) {
-  const ByteBuffer msg =
-      giop::BuildRequest(giop::kGiop10, MakeHeader(0), MakeArgs());
-  for (auto _ : state) {
-    auto parsed = giop::ParseMessage(msg.view());
-    cdr::Decoder dec = parsed->MakeBodyDecoder();
-    benchmark::DoNotOptimize(
-        giop::ParseRequestHeader(dec, parsed->header.version));
-  }
-}
-BENCHMARK(BM_ParseRequestGiop10);
-
-void BM_ParseRequestGiop99(benchmark::State& state) {
-  const ByteBuffer msg = giop::BuildRequest(
-      giop::kGiopQos, MakeHeader(static_cast<int>(state.range(0))),
-      MakeArgs());
-  for (auto _ : state) {
-    auto parsed = giop::ParseMessage(msg.view());
-    cdr::Decoder dec = parsed->MakeBodyDecoder();
-    benchmark::DoNotOptimize(
-        giop::ParseRequestHeader(dec, parsed->header.version));
-  }
-  state.SetLabel("qos_params=" + std::to_string(state.range(0)) +
-                 " wire_bytes=" + std::to_string(msg.size()));
-}
-BENCHMARK(BM_ParseRequestGiop99)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
-
-void BM_BuildReply(benchmark::State& state) {
-  giop::ReplyHeader header;
-  header.request_id = 1;
-  cdr::Encoder body(cdr::NativeOrder(), 0);
-  body.PutString("result payload");
-  const auto view = body.buffer().view();
-  const std::vector<corba::Octet> body_bytes(view.begin(), view.end());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        giop::BuildReply(giop::kGiop10, header, body_bytes));
-  }
-}
-BENCHMARK(BM_BuildReply);
-
-// Size comparison printed once at exit via a pseudo-benchmark.
-void BM_WireSizes(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(state.range(0));
-  }
-  const ByteBuffer v10 =
-      giop::BuildRequest(giop::kGiop10, MakeHeader(0), MakeArgs());
-  const ByteBuffer v99 = giop::BuildRequest(
-      giop::kGiopQos, MakeHeader(static_cast<int>(state.range(0))),
-      MakeArgs());
-  state.SetLabel("giop1.0=" + std::to_string(v10.size()) + "B giop9.9=" +
-                 std::to_string(v99.size()) + "B");
-}
-BENCHMARK(BM_WireSizes)->Arg(0)->Arg(1)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = cool::bench::BenchArgs::Parse(argc, argv);
+  const std::size_t iters = args.smoke ? 20'000 : 200'000;
+
+  std::printf("=== GIOP marshalling: build/parse cost vs QoS params ===%s\n\n",
+              args.smoke ? " (smoke mode)" : "");
+
+  const std::vector<corba::Octet> cdr_args = MakeArgs();
+  std::vector<cool::bench::BenchRecord> records;
+
+  records.push_back(Measure("build request giop1.0", iters, [&] {
+    ByteBuffer msg = giop::BuildRequest(giop::kGiop10, MakeHeader(0), cdr_args);
+    (void)msg;
+  }));
+  for (const int q : {0, 4, 16}) {
+    char name[48];
+    std::snprintf(name, sizeof name, "build request giop9.9 q%d", q);
+    records.push_back(Measure(name, iters, [&, q] {
+      ByteBuffer msg =
+          giop::BuildRequest(giop::kGiopQos, MakeHeader(q), cdr_args);
+      (void)msg;
+    }));
+  }
+
+  const ByteBuffer msg10 =
+      giop::BuildRequest(giop::kGiop10, MakeHeader(0), cdr_args);
+  records.push_back(Measure("parse request giop1.0", iters, [&] {
+    auto parsed = giop::ParseMessage(msg10.view());
+    cdr::Decoder dec = parsed->MakeBodyDecoder();
+    (void)giop::ParseRequestHeader(dec, parsed->header.version);
+  }));
+  const ByteBuffer msg99 =
+      giop::BuildRequest(giop::kGiopQos, MakeHeader(4), cdr_args);
+  records.push_back(Measure("parse request giop9.9 q4", iters, [&] {
+    auto parsed = giop::ParseMessage(msg99.view());
+    cdr::Decoder dec = parsed->MakeBodyDecoder();
+    (void)giop::ParseRequestHeader(dec, parsed->header.version);
+  }));
+
+  giop::ReplyHeader reply_header;
+  reply_header.request_id = 1;
+  cdr::Encoder body(cdr::NativeOrder(), 0);
+  body.PutString("result payload");
+  const auto body_view = body.buffer().view();
+  const std::vector<corba::Octet> body_bytes(body_view.begin(),
+                                             body_view.end());
+  records.push_back(Measure("build reply", iters, [&] {
+    ByteBuffer msg = giop::BuildReply(giop::kGiop10, reply_header, body_bytes);
+    (void)msg;
+  }));
+
+  cool::bench::Table table({"operation", "ops/s", "allocs/op"});
+  for (const auto& rec : records) {
+    table.AddRow({rec.name, cool::bench::Fmt("%.0f", rec.msgs_per_sec),
+                  cool::bench::Fmt("%.2f", rec.allocs_per_op)});
+  }
+  table.Print();
+
+  std::printf("\nwire sizes: giop1.0=%zuB giop9.9(q4)=%zuB\n", msg10.size(),
+              msg99.size());
+
+  if (!args.json_path.empty() &&
+      !cool::bench::WriteJson(args.json_path, records)) {
+    return 1;
+  }
+  return 0;
+}

@@ -69,6 +69,9 @@ struct BenchRecord {
   double mbps = -1;
   double p50_us = -1;
   double p99_us = -1;
+  // Heap allocations per operation (bench/alloc_hook.h counter delta over
+  // operations completed). Only meaningful in binaries linking alloc_hook.cc.
+  double allocs_per_op = -1;
 };
 
 // Writes records as a JSON array of objects. Overwrites `path`; the
@@ -90,6 +93,9 @@ inline bool WriteJson(const std::string& path,
     if (r.mbps >= 0) std::fprintf(f, ", \"mbps\": %.2f", r.mbps);
     if (r.p50_us >= 0) std::fprintf(f, ", \"p50_us\": %.1f", r.p50_us);
     if (r.p99_us >= 0) std::fprintf(f, ", \"p99_us\": %.1f", r.p99_us);
+    if (r.allocs_per_op >= 0) {
+      std::fprintf(f, ", \"allocs_per_op\": %.2f", r.allocs_per_op);
+    }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -28,6 +28,12 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      caller behind one in-flight exchange, which is exactly what the
      multiplexed GIOP engines exist to avoid. Locks must be released (or
      scoped out) before draining the channel.
+  9. No begin()/end() buffer copies on the invocation hot path (src/giop,
+     src/orb): constructs like std::vector<...>(view.begin(), view.end())
+     or seq.assign(v.begin(), v.end()) re-materialize a buffer the pooled
+     zero-copy path already owns. Encode into a BufferPool lease, pass
+     spans, or move the ByteBuffer instead. Cold-path exceptions live in
+     BUFFER_COPY_ALLOWLIST.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -76,6 +82,7 @@ NEW_ALLOWLIST = {
     "src/dacapo/graph.cc": ["new MechanismRegistry()"],  # leaky singleton
     "src/dacapo/session.cc": ["new Session("],  # private ctor, factory-wrapped
     "src/stream/stream_adapter.cc": ["new FlowConnection("],  # same pattern
+    "src/common/buffer_pool.cc": ["new BufferPool()"],  # leaky singleton
 }
 
 NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_]")
@@ -416,6 +423,62 @@ def check_new_delete(path: Path, clean: str, findings: list[str]) -> None:
         )
 
 
+# --- rule 9: no begin()/end() buffer copies on the hot path ------------------
+# The pooled invocation path moves ByteBuffers and passes spans end to end;
+# a `Container(x.begin(), x.end())` construction or `.assign(x.begin(),
+# x.end())` in src/giop or src/orb silently reintroduces the copy the pool
+# exists to remove. Cold paths (connection setup, registration) are
+# allowlisted with a justification.
+
+BUFFER_COPY_DIRS = ("src/giop/", "src/orb/")
+
+BUFFER_COPY_EXEMPT_FILES = {
+    # The COOL wire protocol is the ablation baseline GIOP is measured
+    # against (bench_message_protocols); it is deliberately copy-based and
+    # not on the pooled invocation path.
+    "src/giop/cool_protocol.cc",
+}
+
+BUFFER_COPY_ALLOWLIST = {
+    # Servant registration: one copy of the object key at activation time.
+    "src/orb/object_adapter.cc": ["name.begin(), name.end()"],
+    # Deferred invocation: the one sanctioned copy that keeps the caller's
+    # args alive for the async worker (see stub.cc InvokeAsync).
+    "src/orb/stub.cc": ["args.begin(), args.end()"],
+}
+
+# Same identifier on both sides of `.begin(), X.end()`.
+BUFFER_COPY_RE = re.compile(
+    r"([A-Za-z_][\w.\->]*)\s*\.\s*begin\(\)\s*,\s*"
+    r"([A-Za-z_][\w.\->]*)\s*\.\s*end\(\)"
+)
+
+
+def check_no_buffer_copies(path: Path, clean: str,
+                           findings: list[str]) -> None:
+    r = rel(path)
+    if not r.startswith(BUFFER_COPY_DIRS) or r in BUFFER_COPY_EXEMPT_FILES:
+        return
+    allow = BUFFER_COPY_ALLOWLIST.get(r, [])
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = BUFFER_COPY_RE.search(line)
+        if not m or m.group(1) != m.group(2):
+            continue
+        # std::copy gathers into already-owned storage (stack headers,
+        # preallocated frames) — that is the zero-copy idiom, not a fresh
+        # buffer materialization.
+        if "std::copy" in line:
+            continue
+        if any(a in line for a in allow):
+            continue
+        findings.append(
+            f"{r}:{lineno}: begin()/end() buffer copy on the invocation "
+            f"path — move the ByteBuffer, pass a span, or encode into a "
+            f"BufferPool lease (rule 9, see DESIGN.md); cold paths may be "
+            f"allowlisted in scripts/check_invariants.py"
+        )
+
+
 def main() -> int:
     findings: list[str] = []
     for path in code_files():
@@ -426,6 +489,7 @@ def main() -> int:
         check_no_broadcast_on_data_path(path, clean, findings)
         check_no_recv_under_lock(path, clean, findings)
         check_new_delete(path, clean, findings)
+        check_no_buffer_copies(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)
 

@@ -35,6 +35,14 @@ BENCHES = [
     {"binary": "bench_transports", "headline": "dacapo (fast link)"},
     {"binary": "bench_fig9_throughput", "headline": "0 dummy / 64 KiB"},
     {"binary": "bench_concurrent_invocations", "headline": "tcp t8 d8"},
+    {"binary": "bench_marshal", "headline": "build request giop1.0"},
+]
+
+# Rows whose allocs_per_op trajectory is tracked in the before/after delta
+# printout (PR 5 acceptance: "tcp t1 d1" allocs/op down >= 50%).
+ALLOC_ROWS = [
+    ("bench_concurrent_invocations", "tcp t1 d1"),
+    ("bench_marshal", "build request giop1.0"),
 ]
 
 
@@ -71,10 +79,16 @@ def main() -> int:
                              "(e.g. before/after; default: after)")
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_PR4.json",
+    parser.add_argument("--output", default="BENCH_PR5.json",
                         help="aggregated output path (merged, not clobbered)")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-binary timeout in seconds")
+    parser.add_argument("--merge-max", action="store_true",
+                        help="when the label already exists in the output, "
+                             "keep the per-row max of msgs_per_sec (and min "
+                             "of allocs_per_op) instead of replacing the "
+                             "section; re-run before/after alternately so "
+                             "machine drift hits both labels equally")
     args = parser.parse_args()
 
     build_dir = (REPO / args.build_dir).resolve() \
@@ -118,25 +132,52 @@ def main() -> int:
         "note": "smoke numbers are CI-grade (short windows, shared "
                 "runners); compare labels within one file only",
     }
+    if args.merge_max and args.label in merged:
+        old_benches = merged[args.label].get("benches", {})
+        for binary, records in section["benches"].items():
+            prior = {r.get("name"): r for r in old_benches.get(binary, [])}
+            for rec in records:
+                old = prior.get(rec.get("name"))
+                if old is None:
+                    continue
+                # Max over runs estimates the least-interfered rate; the
+                # alloc counter is deterministic, so take its min (warm-up
+                # effects only ever add allocations).
+                if old.get("msgs_per_sec", 0) > rec.get("msgs_per_sec", 0):
+                    rec["msgs_per_sec"] = old["msgs_per_sec"]
+                old_allocs = old.get("allocs_per_op")
+                new_allocs = rec.get("allocs_per_op")
+                if old_allocs is not None and (new_allocs is None
+                                               or old_allocs < new_allocs):
+                    rec["allocs_per_op"] = old_allocs
     merged[args.label] = section
     out_path.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"run_benchmarks: wrote {out_path}")
 
     # Before/after convenience: when both sections exist, print the delta
-    # for each headline metric.
+    # for each headline metric and for the tracked allocs_per_op rows.
     if "before" in merged and "after" in merged:
+        def metric(section_name: str, binary: str, row: str,
+                   key: str) -> float | None:
+            recs = merged[section_name]["benches"].get(binary, [])
+            for rec in recs:
+                if rec.get("name") == row:
+                    return rec.get(key)
+            return None
         for bench in BENCHES:
-            def headline(section_name: str) -> float | None:
-                recs = merged[section_name]["benches"].get(
-                    bench["binary"], [])
-                for rec in recs:
-                    if rec.get("name") == bench["headline"]:
-                        return rec.get("msgs_per_sec")
-                return None
-            b, a = headline("before"), headline("after")
+            b = metric("before", bench["binary"], bench["headline"],
+                       "msgs_per_sec")
+            a = metric("after", bench["binary"], bench["headline"],
+                       "msgs_per_sec")
             if b and a:
                 print(f"  {bench['binary']} [{bench['headline']}]: "
                       f"{b:,.0f} -> {a:,.0f} msgs/s "
+                      f"({(a / b - 1) * 100:+.1f}%)")
+        for binary, row in ALLOC_ROWS:
+            b = metric("before", binary, row, "allocs_per_op")
+            a = metric("after", binary, row, "allocs_per_op")
+            if b is not None and a is not None and b > 0:
+                print(f"  {binary} [{row}]: {b:.1f} -> {a:.1f} allocs/op "
                       f"({(a / b - 1) * 100:+.1f}%)")
     return 0
 

@@ -82,11 +82,38 @@ class Decoder {
     return s;
   }
 
+  // Zero-copy form of GetString: the returned view aliases the decoder's
+  // underlying buffer (NUL excluded) and is valid only while that buffer
+  // lives — copy into a corba::String before the receive buffer is
+  // recycled or reused (see DESIGN.md "Buffer ownership and lifetimes").
+  Result<std::string_view> GetStringView() {
+    COOL_ASSIGN_OR_RETURN(corba::ULong len, GetULong());
+    if (len == 0) return Status(ProtocolError("CDR string length 0"));
+    if (remaining() < len) return Underrun("string body");
+    std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_),
+                       len - 1);
+    if (data_[pos_ + len - 1] != 0) {
+      return Status(ProtocolError("CDR string missing NUL"));
+    }
+    pos_ += len;
+    return s;
+  }
+
   Result<corba::OctetSeq> GetOctetSeq() {
     COOL_ASSIGN_OR_RETURN(corba::ULong len, GetULong());
     if (remaining() < len) return Underrun("octet sequence body");
     corba::OctetSeq s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                       data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return s;
+  }
+
+  // Zero-copy form of GetOctetSeq: the returned span aliases the decoder's
+  // underlying buffer; same lifetime rules as GetStringView.
+  Result<std::span<const corba::Octet>> GetOctetSeqView() {
+    COOL_ASSIGN_OR_RETURN(corba::ULong len, GetULong());
+    if (remaining() < len) return Underrun("octet sequence body");
+    std::span<const corba::Octet> s = data_.subspan(pos_, len);
     pos_ += len;
     return s;
   }

@@ -33,6 +33,15 @@ class Encoder {
                    std::size_t base_offset = 0)
       : order_(order), base_offset_(base_offset) {}
 
+  // Adopts `buf` (typically a BufferPool lease) as the output buffer,
+  // clearing its contents but keeping its capacity and pool homing. This is
+  // the allocation-free form: encode into leased storage, TakeBuffer(), and
+  // the storage returns to its pool when the frame dies.
+  Encoder(ByteOrder order, std::size_t base_offset, ByteBuffer buf)
+      : order_(order), base_offset_(base_offset), buf_(std::move(buf)) {
+    buf_.Clear();
+  }
+
   ByteOrder order() const noexcept { return order_; }
 
   // Pre-sizes the output buffer when the caller knows the frame size, so

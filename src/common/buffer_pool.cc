@@ -1,0 +1,52 @@
+#include "common/buffer_pool.h"
+
+namespace cool {
+
+ByteBuffer BufferPool::Lease(std::size_t reserve) {
+  std::vector<std::uint8_t> storage;
+  {
+    MutexLock lock(mu_);
+    if (!free_.empty()) {
+      storage = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+  storage.clear();
+  if (reserve < options_.initial_reserve) reserve = options_.initial_reserve;
+  if (storage.capacity() < reserve) storage.reserve(reserve);
+  ByteBuffer buf(std::move(storage));
+  buf.pool_ = this;
+  return buf;
+}
+
+void BufferPool::Recycle(std::vector<std::uint8_t>&& storage) {
+  if (storage.capacity() == 0 ||
+      storage.capacity() > options_.max_capacity) {
+    return;
+  }
+  storage.clear();
+  MutexLock lock(mu_);
+  if (free_.size() >= options_.max_buffers) return;
+  free_.push_back(std::move(storage));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.free_buffers = free_.size();
+  return s;
+}
+
+BufferPool& BufferPool::Default() {
+  // Intentionally leaked: leased buffers in detached threads may be
+  // destroyed after static teardown and must still find a live pool.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace cool

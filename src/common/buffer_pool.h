@@ -1,0 +1,73 @@
+// BufferPool: a bounded free list of byte-vector backing stores, so the
+// per-invocation buffers on the hot path (CDR argument encoding, GIOP frame
+// assembly, transport receive) are leased and recycled instead of heap
+// allocated per call. A leased ByteBuffer remembers its pool and returns
+// its storage on destruction (or when moved-over), keeping the grown
+// capacity warm for the next invocation.
+//
+// Ownership rules (see DESIGN.md "Buffer ownership and lifetimes"):
+//  - Lease() hands out an empty ByteBuffer homed to this pool.
+//  - Destroying (or move-assigning over) the buffer recycles the storage.
+//  - Copying a pooled buffer yields an unpooled copy; moving transfers the
+//    pool homing. The pool must outlive every leased buffer — use
+//    BufferPool::Default() (never destroyed) unless a scoped pool's
+//    lifetime is provably wider than its leases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/mutex.h"
+
+namespace cool {
+
+class BufferPool {
+ public:
+  struct Options {
+    // Free-list cap; storage returned beyond this is freed outright.
+    std::size_t max_buffers = 64;
+    // Buffers grown past this are not cached (protects against one jumbo
+    // message pinning megabytes in the free list).
+    std::size_t max_capacity = 1 << 20;
+    // Capacity given to a lease that missed the free list.
+    std::size_t initial_reserve = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;    // leases served from the free list
+    std::uint64_t misses = 0;  // leases that had to allocate
+    std::size_t free_buffers = 0;
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(const Options& options) : options_(options) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns an empty buffer homed to this pool with at least
+  // max(reserve, initial_reserve) octets of capacity.
+  ByteBuffer Lease(std::size_t reserve = 0);
+
+  Stats stats() const;
+
+  // Process-wide pool used by the invocation path. Never destroyed, so
+  // leases in detached threads can safely outlive static teardown.
+  static BufferPool& Default();
+
+ private:
+  friend class ByteBuffer;
+
+  // Takes storage back from a dying/moved-over leased buffer.
+  void Recycle(std::vector<std::uint8_t>&& storage);
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_ COOL_GUARDED_BY(mu_);
+  std::uint64_t hits_ COOL_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ COOL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cool

@@ -1,6 +1,17 @@
 #include "common/byte_buffer.h"
 
+#include "common/buffer_pool.h"
+
 namespace cool {
+
+void ByteBuffer::ReleaseToPool() noexcept {
+  if (pool_ == nullptr) return;
+  BufferPool* pool = pool_;
+  pool_ = nullptr;
+  pool->Recycle(std::move(data_));
+  data_.clear();
+  read_pos_ = 0;
+}
 
 std::string ByteBuffer::HexDump(std::size_t max_bytes) const {
   static const char kHex[] = "0123456789abcdef";

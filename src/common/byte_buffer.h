@@ -14,6 +14,8 @@
 
 namespace cool {
 
+class BufferPool;
+
 class ByteBuffer {
  public:
   ByteBuffer() = default;
@@ -21,6 +23,50 @@ class ByteBuffer {
       : data_(std::move(data)) {}
   explicit ByteBuffer(std::span<const std::uint8_t> data)
       : data_(data.begin(), data.end()) {}
+
+  // Pool-aware lifetime (see common/buffer_pool.h): a buffer leased from a
+  // BufferPool returns its storage to the pool when destroyed or
+  // move-assigned over. Copies are unpooled; moves carry the pool homing;
+  // copy-assignment keeps the destination's homing (and reuses its
+  // capacity), so `*leased = other` stays allocation-free when it fits.
+  // The pool_ check stays inline: unpooled buffers (the overwhelmingly
+  // common temporaries) must not pay an out-of-line call to destroy.
+  ~ByteBuffer() {
+    if (pool_ != nullptr) ReleaseToPool();
+  }
+
+  ByteBuffer(const ByteBuffer& other)
+      : data_(other.data_), read_pos_(other.read_pos_) {}
+
+  ByteBuffer& operator=(const ByteBuffer& other) {
+    if (this != &other) {
+      data_ = other.data_;
+      read_pos_ = other.read_pos_;
+    }
+    return *this;
+  }
+
+  ByteBuffer(ByteBuffer&& other) noexcept
+      : data_(std::move(other.data_)),
+        read_pos_(other.read_pos_),
+        pool_(other.pool_) {
+    other.data_.clear();
+    other.read_pos_ = 0;
+    other.pool_ = nullptr;
+  }
+
+  ByteBuffer& operator=(ByteBuffer&& other) noexcept {
+    if (this != &other) {
+      if (pool_ != nullptr) ReleaseToPool();
+      data_ = std::move(other.data_);
+      read_pos_ = other.read_pos_;
+      pool_ = other.pool_;
+      other.data_.clear();
+      other.read_pos_ = 0;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
 
   static ByteBuffer FromString(std::string_view s) {
     ByteBuffer b;
@@ -100,8 +146,15 @@ class ByteBuffer {
   }
 
  private:
+  friend class BufferPool;
+
+  // Hands the backing store back to pool_ (no-op when unpooled). Defined in
+  // byte_buffer.cc to break the header cycle with BufferPool.
+  void ReleaseToPool() noexcept;
+
   std::vector<std::uint8_t> data_;
   std::size_t read_pos_ = 0;
+  BufferPool* pool_ = nullptr;
 };
 
 }  // namespace cool

@@ -47,25 +47,25 @@ GiopClient::~GiopClient() {
   }
 }
 
-ByteBuffer GiopClient::BuildRequestMessage(
+ByteBuffer GiopClient::BuildRequestHead(
     const corba::OctetSeq& object_key, const std::string& operation,
-    std::span<const corba::Octet> args_cdr,
-    const std::vector<qos::QoSParameter>& qos_params, bool response_expected,
-    corba::ULong request_id) const {
-  RequestHeader header;
+    const std::vector<qos::QoSParameter>& qos_params, std::size_t args_size,
+    bool response_expected, corba::ULong request_id) const {
+  RequestHeaderView header;
   header.request_id = request_id;
   header.response_expected = response_expected;
   header.object_key = object_key;
   header.operation = operation;
   header.requesting_principal = options_.principal;
-  header.qos_params = qos_params;
+  header.qos_params = &qos_params;
 
   // Version switch (paper §4.2): the version field tells the receiver
   // whether standard GIOP or the QoS extension is used.
   const Version version = (options_.use_qos_extension && !qos_params.empty())
                               ? kGiopQos
                               : kGiop10;
-  return BuildRequest(version, header, args_cdr, options_.order);
+  return BuildRequestPreamble(version, header, args_size, options_.order,
+                              BufferPool::Default().Lease());
 }
 
 Status GiopClient::SendSerialized(const ByteBuffer& msg) {
@@ -73,31 +73,18 @@ Status GiopClient::SendSerialized(const ByteBuffer& msg) {
   return channel_->SendMessage(msg.view());
 }
 
+Status GiopClient::SendSerializedV(const ByteBuffer& head,
+                                   std::span<const corba::Octet> tail) {
+  MutexLock lock(send_mu_);
+  if (tail.empty()) return channel_->SendMessage(head.view());
+  const std::span<const std::uint8_t> parts[] = {head.view(), tail};
+  return channel_->SendMessageV(parts);
+}
+
 void GiopClient::EnsureReaderLocked() {
   if (reader_started_) return;
   reader_started_ = true;
   reader_ = Thread([this](std::stop_token stop) { ReaderLoop(stop); });
-}
-
-Result<GiopClient::PendingCall> GiopClient::StartCall(
-    const std::function<ByteBuffer(corba::ULong)>& build) {
-  PendingCall call;
-  {
-    MutexLock lock(mu_);
-    if (!broken_.ok()) return broken_;
-    call.id = next_request_id_++;
-    call.slot = std::make_shared<Slot>();
-    pending_.emplace(call.id, call.slot);
-    EnsureReaderLocked();
-  }
-  const ByteBuffer msg = build(call.id);
-  const Status sent = SendSerialized(msg);
-  if (!sent.ok()) {
-    MutexLock lock(mu_);
-    pending_.erase(call.id);
-    return sent;
-  }
-  return call;
 }
 
 Result<ParsedMessage> GiopClient::AwaitSlot(corba::ULong id,
@@ -133,7 +120,9 @@ void GiopClient::ReaderLoop(std::stop_token stop) {
       FailPending(raw.status(), /*terminal=*/true);
       return;
     }
-    auto parsed = ParseMessage(raw->view());
+    // Adopt the receive buffer: the ParsedMessage owns the frame, so the
+    // reply body is never copied on its way up to the stub.
+    auto parsed = ParseMessage(*std::move(raw));
     if (!parsed.ok()) {
       FailPending(parsed.status(), /*terminal=*/false);
       continue;
@@ -243,9 +232,9 @@ Result<GiopClient::Reply> GiopClient::Invoke(
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params, Duration timeout) {
   COOL_ASSIGN_OR_RETURN(
-      PendingCall call, StartCall([&](corba::ULong id) {
-        return BuildRequestMessage(object_key, operation, args_cdr,
-                                   qos_params, true, id);
+      PendingCall call, StartCall(args_cdr, [&](corba::ULong id) {
+        return BuildRequestHead(object_key, operation, qos_params,
+                                args_cdr.size(), true, id);
       }));
   COOL_ASSIGN_OR_RETURN(
       ParsedMessage msg,
@@ -267,9 +256,9 @@ Status GiopClient::InvokeOneway(
     if (!broken_.ok()) return broken_;
     id = next_request_id_++;
   }
-  const ByteBuffer msg = BuildRequestMessage(object_key, operation, args_cdr,
-                                             qos_params, false, id);
-  return SendSerialized(msg);
+  const ByteBuffer head = BuildRequestHead(object_key, operation, qos_params,
+                                           args_cdr.size(), false, id);
+  return SendSerializedV(head, args_cdr);
 }
 
 Result<corba::ULong> GiopClient::InvokeDeferred(
@@ -277,9 +266,9 @@ Result<corba::ULong> GiopClient::InvokeDeferred(
     std::span<const corba::Octet> args_cdr,
     const std::vector<qos::QoSParameter>& qos_params) {
   COOL_ASSIGN_OR_RETURN(
-      PendingCall call, StartCall([&](corba::ULong id) {
-        return BuildRequestMessage(object_key, operation, args_cdr,
-                                   qos_params, true, id);
+      PendingCall call, StartCall(args_cdr, [&](corba::ULong id) {
+        return BuildRequestHead(object_key, operation, qos_params,
+                                args_cdr.size(), true, id);
       }));
   return call.id;
 }
@@ -332,7 +321,7 @@ Status GiopClient::Cancel(corba::ULong request_id) {
 Result<LocateStatus> GiopClient::Locate(const corba::OctetSeq& object_key,
                                         Duration timeout) {
   COOL_ASSIGN_OR_RETURN(
-      PendingCall call, StartCall([&](corba::ULong id) {
+      PendingCall call, StartCall({}, [&](corba::ULong id) {
         LocateRequestHeader header;
         header.request_id = id;
         header.object_key = object_key;
@@ -362,6 +351,14 @@ Status GiopServer::SendSerialized(const ByteBuffer& msg) {
   return channel_->SendMessage(msg.view());
 }
 
+Status GiopServer::SendSerializedV(const ByteBuffer& head,
+                                   std::span<const corba::Octet> tail) {
+  MutexLock lock(send_mu_);
+  if (tail.empty()) return channel_->SendMessage(head.view());
+  const std::span<const std::uint8_t> parts[] = {head.view(), tail};
+  return channel_->SendMessageV(parts);
+}
+
 Status GiopServer::DispatchAndReply(const Job& job) {
   cdr::Decoder dec = job.ArgsDecoder();
   DispatchResult result = dispatcher_(job.header, dec);
@@ -372,10 +369,12 @@ Status GiopServer::DispatchAndReply(const Job& job) {
   reply.request_id = job.header.request_id;
   reply.reply_status = result.status;
   // The Reply answers in the Request's GIOP version (a 9.9 conversation
-  // stays 9.9; Reply's format is identical in both).
-  const ByteBuffer out = BuildReply(job.msg.header.version, reply,
-                                    result.body.view(), options_.order);
-  return SendSerialized(out);
+  // stays 9.9; Reply's format is identical in both). Preamble in a pooled
+  // buffer, result body sent as the gathered tail — no frame concatenation.
+  const ByteBuffer head =
+      BuildReplyPreamble(job.msg.header.version, reply, result.body.size(),
+                         options_.order, BufferPool::Default().Lease());
+  return SendSerializedV(head, result.body.view());
 }
 
 void GiopServer::StartWorkersLocked() {
@@ -527,7 +526,9 @@ Status GiopServer::ServeOne(Duration timeout) {
   auto raw = channel_->ReceiveMessage(timeout);
   if (!raw.ok()) return raw.status();
 
-  auto parsed = ParseMessage(raw->view());
+  // Adopt the receive buffer: the args decoder reads straight out of the
+  // transport's frame, which rides inside the Job without copies.
+  auto parsed = ParseMessage(*std::move(raw));
   if (!parsed.ok()) {
     (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
     return parsed.status();

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/buffer_pool.h"
 #include "common/mutex.h"
 #include "common/thread.h"
 #include "giop/message.h"
@@ -92,8 +93,7 @@ class GiopClient {
     // within the whole GIOP message (always 8-aligned), for callers that
     // re-home the bytes into their own decoder.
     std::span<const corba::Octet> ResultsBytes() const {
-      return std::span<const corba::Octet>(message.body)
-          .subspan(results_offset_ - kHeaderSize);
+      return message.body().subspan(results_offset_ - kHeaderSize);
     }
     std::size_t ResultsMessageOffset() const { return results_offset_; }
 
@@ -142,9 +142,10 @@ class GiopClient {
   Status SendClose();
 
   // Argument encoder whose alignment matches the spliced position inside
-  // the Request message (8-aligned).
+  // the Request message (8-aligned). Encodes into a pooled buffer; the
+  // storage returns to the pool when the caller's ByteBuffer dies.
   cdr::Encoder MakeArgsEncoder() const {
-    return cdr::Encoder(options_.order, 0);
+    return cdr::Encoder(options_.order, 0, BufferPool::Default().Lease());
   }
 
   corba::ULong last_request_id() const {
@@ -174,10 +175,14 @@ class GiopClient {
   };
 
   // Allocates an id + slot, starts the demux reader if needed, and sends
-  // the Request built by `build(id)`. Fails fast once the connection is
-  // known to be broken.
-  Result<PendingCall> StartCall(
-      const std::function<ByteBuffer(corba::ULong)>& build);
+  // the message whose preamble `build_head(id)` returns followed by `tail`
+  // (empty for messages built whole, e.g. LocateRequest) as one gathered
+  // write. Fails fast once the connection is known to be broken. Templated
+  // on the builder so the hot path never type-erases it into a heap-backed
+  // std::function.
+  template <typename BuildHead>
+  Result<PendingCall> StartCall(std::span<const corba::Octet> tail,
+                                const BuildHead& build_head);
 
   // Blocks until the slot completes or `deadline` passes. On completion
   // the slot is consumed (erased from pending_). On timeout the id is
@@ -200,12 +205,18 @@ class GiopClient {
 
   // Serializes writes to the channel; never held together with mu_.
   Status SendSerialized(const ByteBuffer& msg);
+  // Gathered variant: {head, tail} leave as one message via SendMessageV.
+  Status SendSerializedV(const ByteBuffer& head,
+                         std::span<const corba::Octet> tail);
 
-  ByteBuffer BuildRequestMessage(
-      const corba::OctetSeq& object_key, const std::string& operation,
-      std::span<const corba::Octet> args_cdr,
-      const std::vector<qos::QoSParameter>& qos_params,
-      bool response_expected, corba::ULong request_id) const;
+  // Builds the Request preamble (GIOP header + request header, 8-aligned,
+  // message_size patched for `args_size` octets of body to follow) into a
+  // pooled buffer. The args themselves never pass through here.
+  ByteBuffer BuildRequestHead(const corba::OctetSeq& object_key,
+                              const std::string& operation,
+                              const std::vector<qos::QoSParameter>& qos_params,
+                              std::size_t args_size, bool response_expected,
+                              corba::ULong request_id) const;
   static Result<Reply> MakeReply(ParsedMessage parsed);
 
   transport::ComChannel* channel_;
@@ -224,6 +235,28 @@ class GiopClient {
   // Started under mu_, joined only by the destructor (no concurrent use).
   Thread reader_;
 };
+
+template <typename BuildHead>
+Result<GiopClient::PendingCall> GiopClient::StartCall(
+    std::span<const corba::Octet> tail, const BuildHead& build_head) {
+  PendingCall call;
+  {
+    MutexLock lock(mu_);
+    if (!broken_.ok()) return broken_;
+    call.id = next_request_id_++;
+    call.slot = std::make_shared<Slot>();
+    pending_.emplace(call.id, call.slot);
+    EnsureReaderLocked();
+  }
+  const ByteBuffer head = build_head(call.id);
+  const Status sent = SendSerializedV(head, tail);
+  if (!sent.ok()) {
+    MutexLock lock(mu_);
+    pending_.erase(call.id);
+    return sent;
+  }
+  return call;
+}
 
 class GiopServer {
  public:
@@ -288,8 +321,9 @@ class GiopServer {
   // called by the destructor. Not safe to call concurrently with itself.
   void Close();
 
+  // Reply-body encoder over a pooled buffer (see MakeArgsEncoder).
   cdr::Encoder MakeBodyEncoder() const {
-    return cdr::Encoder(options_.order, 0);
+    return cdr::Encoder(options_.order, 0, BufferPool::Default().Lease());
   }
 
   std::uint64_t requests_served() const {
@@ -310,8 +344,7 @@ class GiopServer {
     std::size_t args_offset = 0;
 
     cdr::Decoder ArgsDecoder() const {
-      return cdr::Decoder(std::span<const corba::Octet>(msg.body)
-                              .subspan(args_offset - kHeaderSize),
+      return cdr::Decoder(msg.body().subspan(args_offset - kHeaderSize),
                           msg.header.byte_order, args_offset);
     }
   };
@@ -332,6 +365,9 @@ class GiopServer {
 
   // Serializes reply/error sends from workers and the receive loop.
   Status SendSerialized(const ByteBuffer& msg);
+  // Gathered variant: {head, tail} leave as one message via SendMessageV.
+  Status SendSerializedV(const ByteBuffer& head,
+                         std::span<const corba::Octet> tail);
 
   transport::ComChannel* channel_;
   Dispatcher dispatcher_;

@@ -36,20 +36,7 @@ void PutHeader(cdr::Encoder& enc, Version version, MsgType type) {
 
 ByteBuffer Finish(cdr::Encoder&& enc) {
   ByteBuffer buf = std::move(enc).TakeBuffer();
-  const corba::ULong size = static_cast<corba::ULong>(buf.size() - kHeaderSize);
-  corba::Octet bytes[4];
-  if (buf.data()[6] != 0) {  // byte_order octet: 1 == little-endian
-    bytes[0] = static_cast<corba::Octet>(size);
-    bytes[1] = static_cast<corba::Octet>(size >> 8);
-    bytes[2] = static_cast<corba::Octet>(size >> 16);
-    bytes[3] = static_cast<corba::Octet>(size >> 24);
-  } else {
-    bytes[3] = static_cast<corba::Octet>(size);
-    bytes[2] = static_cast<corba::Octet>(size >> 8);
-    bytes[1] = static_cast<corba::Octet>(size >> 16);
-    bytes[0] = static_cast<corba::Octet>(size >> 24);
-  }
-  (void)buf.WriteAt(8, bytes);
+  PatchMessageSize(buf, 0);
   return buf;
 }
 
@@ -77,19 +64,42 @@ Result<ServiceContextList> GetServiceContextList(cdr::Decoder& dec) {
   return list;
 }
 
+// Defaults for null RequestHeaderView fields; file scope so their uses in
+// the preamble hot path carry no function-local-static init guard.
+const ServiceContextList kNoContext;
+const std::vector<qos::QoSParameter> kNoQoS;
+
 }  // namespace
 
-ByteBuffer BuildRequest(Version version, const RequestHeader& header,
-                        std::span<const corba::Octet> args_cdr,
-                        cdr::ByteOrder order) {
-  cdr::Encoder enc(order);
-  // Expected frame size (header fields + padding slack) up front, so large
-  // argument bodies don't regrow the buffer repeatedly.
-  enc.Reserve(kHeaderSize + 64 + header.object_key.size() +
-              header.operation.size() + header.requesting_principal.size() +
-              args_cdr.size());
+void PatchMessageSize(ByteBuffer& frame, std::size_t tail_size) {
+  const corba::ULong size =
+      static_cast<corba::ULong>(frame.size() - kHeaderSize + tail_size);
+  corba::Octet bytes[4];
+  if (frame.data()[6] != 0) {  // byte_order octet: 1 == little-endian
+    bytes[0] = static_cast<corba::Octet>(size);
+    bytes[1] = static_cast<corba::Octet>(size >> 8);
+    bytes[2] = static_cast<corba::Octet>(size >> 16);
+    bytes[3] = static_cast<corba::Octet>(size >> 24);
+  } else {
+    bytes[3] = static_cast<corba::Octet>(size);
+    bytes[2] = static_cast<corba::Octet>(size >> 8);
+    bytes[1] = static_cast<corba::Octet>(size >> 16);
+    bytes[0] = static_cast<corba::Octet>(size >> 24);
+  }
+  (void)frame.WriteAt(8, bytes);
+}
+
+namespace {
+
+// Shared by BuildRequestPreamble and BuildRequest so the whole-message
+// builder keeps one encoder end to end (no intermediate buffer hand-offs
+// on the marshal hot path).
+void PutRequestPreamble(cdr::Encoder& enc, Version version,
+                        const RequestHeaderView& header) {
   PutHeader(enc, version, MsgType::kRequest);
-  PutServiceContextList(enc, header.service_context);
+  PutServiceContextList(
+      enc, header.service_context != nullptr ? *header.service_context
+                                             : kNoContext);
   enc.PutULong(header.request_id);
   enc.PutBoolean(header.response_expected);
   enc.PutOctetSeq(header.object_key);
@@ -97,12 +107,69 @@ ByteBuffer BuildRequest(Version version, const RequestHeader& header,
   enc.PutOctetSeq(header.requesting_principal);
   if (version == kGiopQos) {
     // The extension field (paper Fig. 2-ii): present iff version 9.9.
-    qos::EncodeQoSParameterSeq(enc, header.qos_params);
+    qos::EncodeQoSParameterSeq(
+        enc, header.qos_params != nullptr ? *header.qos_params : kNoQoS);
   }
   // Operation arguments follow the request header, 8-aligned as the
   // argument encoder assumed (see Engine: args are encoded with base offset
   // rounded to 8 so alignment is preserved after splicing).
   enc.Align(8);
+}
+
+void PutReplyPreamble(cdr::Encoder& enc, Version version,
+                      const ReplyHeader& header) {
+  PutHeader(enc, version, MsgType::kReply);
+  PutServiceContextList(enc, header.service_context);
+  enc.PutULong(header.request_id);
+  enc.PutULong(static_cast<corba::ULong>(header.reply_status));
+  enc.Align(8);
+}
+
+}  // namespace
+
+ByteBuffer BuildRequestPreamble(Version version,
+                                const RequestHeaderView& header,
+                                std::size_t tail_size, cdr::ByteOrder order,
+                                ByteBuffer buf) {
+  cdr::Encoder enc(order, 0, std::move(buf));
+  // Expected preamble size (header fields + padding slack) up front, so a
+  // cold (unpooled) buffer grows at most once.
+  enc.Reserve(kHeaderSize + 64 + header.object_key.size() +
+              header.operation.size() + header.requesting_principal.size());
+  PutRequestPreamble(enc, version, header);
+  ByteBuffer out = std::move(enc).TakeBuffer();
+  PatchMessageSize(out, tail_size);
+  return out;
+}
+
+ByteBuffer BuildReplyPreamble(Version version, const ReplyHeader& header,
+                              std::size_t tail_size, cdr::ByteOrder order,
+                              ByteBuffer buf) {
+  cdr::Encoder enc(order, 0, std::move(buf));
+  PutReplyPreamble(enc, version, header);
+  ByteBuffer out = std::move(enc).TakeBuffer();
+  PatchMessageSize(out, tail_size);
+  return out;
+}
+
+ByteBuffer BuildRequest(Version version, const RequestHeader& header,
+                        std::span<const corba::Octet> args_cdr,
+                        cdr::ByteOrder order) {
+  RequestHeaderView view;
+  view.service_context = &header.service_context;
+  view.request_id = header.request_id;
+  view.response_expected = header.response_expected;
+  view.object_key = header.object_key;
+  view.operation = header.operation;
+  view.requesting_principal = header.requesting_principal;
+  view.qos_params = &header.qos_params;
+  cdr::Encoder enc(order);
+  // Expected frame size (header fields + padding slack) up front, so large
+  // argument bodies don't regrow the buffer repeatedly.
+  enc.Reserve(kHeaderSize + 64 + header.object_key.size() +
+              header.operation.size() + header.requesting_principal.size() +
+              args_cdr.size());
+  PutRequestPreamble(enc, version, view);
   enc.PutRaw(args_cdr);
   return Finish(std::move(enc));
 }
@@ -112,11 +179,7 @@ ByteBuffer BuildReply(Version version, const ReplyHeader& header,
                       cdr::ByteOrder order) {
   cdr::Encoder enc(order);
   enc.Reserve(kHeaderSize + 32 + body_cdr.size());
-  PutHeader(enc, version, MsgType::kReply);
-  PutServiceContextList(enc, header.service_context);
-  enc.PutULong(header.request_id);
-  enc.PutULong(static_cast<corba::ULong>(header.reply_status));
-  enc.Align(8);
+  PutReplyPreamble(enc, version, header);
   enc.PutRaw(body_cdr);
   return Finish(std::move(enc));
 }
@@ -221,14 +284,18 @@ Result<MessageHeader> ParseHeader(std::span<const corba::Octet> bytes) {
 }
 
 Result<ParsedMessage> ParseMessage(std::span<const corba::Octet> bytes) {
-  COOL_ASSIGN_OR_RETURN(MessageHeader header, ParseHeader(bytes));
-  if (bytes.size() != kHeaderSize + header.message_size) {
+  return ParseMessage(ByteBuffer(bytes));
+}
+
+Result<ParsedMessage> ParseMessage(ByteBuffer frame) {
+  COOL_ASSIGN_OR_RETURN(MessageHeader header, ParseHeader(frame.view()));
+  if (frame.size() != kHeaderSize + header.message_size) {
     return Status(ProtocolError(
         "GIOP message_size does not match delivered message"));
   }
   ParsedMessage msg;
   msg.header = header;
-  msg.body.assign(bytes.begin() + kHeaderSize, bytes.end());
+  msg.buffer = std::move(frame);
   return msg;
 }
 

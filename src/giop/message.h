@@ -143,6 +143,44 @@ ByteBuffer BuildCloseConnection(Version version,
 ByteBuffer BuildMessageError(Version version,
                              cdr::ByteOrder order = cdr::NativeOrder());
 
+// --- scatter-gather assembly ------------------------------------------------
+// The allocation-free invocation path never concatenates the CDR argument
+// buffer into the frame. Instead the engine builds a *preamble* — GIOP
+// header + Request/Reply header, trailing 8-alignment included, with
+// message_size already patched for a tail of `tail_size` octets — into a
+// pooled buffer, and hands {preamble, args} to ComChannel::SendMessageV.
+
+// RequestHeader by view: field spans alias caller-owned storage, so
+// building a preamble copies no object key / operation / principal bytes.
+// qos_params (the 9.9 extension field) and service_context may be null
+// (encoded as empty).
+struct RequestHeaderView {
+  const ServiceContextList* service_context = nullptr;
+  corba::ULong request_id = 0;
+  corba::Boolean response_expected = true;
+  std::span<const corba::Octet> object_key;
+  std::string_view operation;
+  std::span<const corba::Octet> requesting_principal;
+  const std::vector<qos::QoSParameter>* qos_params = nullptr;
+};
+
+// Encodes the preamble into `buf` (cleared first; typically a BufferPool
+// lease) and returns it. The preamble ends 8-aligned so a CDR body encoded
+// at an 8-aligned base offset splices in behind it unchanged; message_size
+// is patched for preamble + `tail_size` octets of body to follow.
+ByteBuffer BuildRequestPreamble(Version version,
+                                const RequestHeaderView& header,
+                                std::size_t tail_size, cdr::ByteOrder order,
+                                ByteBuffer buf);
+ByteBuffer BuildReplyPreamble(Version version, const ReplyHeader& header,
+                              std::size_t tail_size, cdr::ByteOrder order,
+                              ByteBuffer buf);
+
+// Back-patches message_size = (frame.size() - kHeaderSize) + tail_size into
+// an assembled frame prefix (endianness taken from the header's byte_order
+// octet). `frame` must start with a 12-octet GIOP header.
+void PatchMessageSize(ByteBuffer& frame, std::size_t tail_size);
+
 // --- in-place assembly ------------------------------------------------------
 // Building blocks for assembling a message directly into externally-owned
 // memory (e.g. a Da CaPo arena packet) instead of a full-message staging
@@ -160,16 +198,23 @@ ByteBuffer BuildReplyHeaderBody(const ReplyHeader& header,
 
 // --- decoding ---------------------------------------------------------------
 
-// A parsed message: the header plus a decoder positioned at the start of
-// the type-specific body (with the correct byte order and base offset).
+// A parsed message: the validated header plus the full wire frame. Owning
+// the frame as a ByteBuffer lets the engines adopt the transport's receive
+// buffer by move — zero copies on the receive path, and pooled storage
+// returns to its BufferPool when the ParsedMessage dies. Decoders and
+// body() spans alias `buffer` and must not outlive it.
 struct ParsedMessage {
   MessageHeader header;
-  // Body octets (excluding the 12-octet GIOP header); the decoder reads
-  // from `body` and must not outlive it.
-  std::vector<corba::Octet> body;
+  // Full frame: 12-octet GIOP header + body.
+  ByteBuffer buffer;
+
+  // Body octets (excluding the 12-octet GIOP header).
+  std::span<const corba::Octet> body() const noexcept {
+    return buffer.view().subspan(kHeaderSize);
+  }
 
   cdr::Decoder MakeBodyDecoder() const {
-    return cdr::Decoder(body, header.byte_order, kHeaderSize);
+    return cdr::Decoder(body(), header.byte_order, kHeaderSize);
   }
 };
 
@@ -177,8 +222,11 @@ struct ParsedMessage {
 Result<MessageHeader> ParseHeader(std::span<const corba::Octet> bytes);
 
 // Parses a complete message (header + body in one buffer, as delivered by
-// the generic transport layer).
+// the generic transport layer). The span overload copies the frame into
+// the ParsedMessage; the ByteBuffer overload adopts it without copying —
+// the engines use the latter with the transport's receive buffer.
 Result<ParsedMessage> ParseMessage(std::span<const corba::Octet> bytes);
+Result<ParsedMessage> ParseMessage(ByteBuffer frame);
 
 // Body parsers. `ParseRequestHeader` reads qos_params iff version is 9.9.
 Result<RequestHeader> ParseRequestHeader(cdr::Decoder& dec, Version version);

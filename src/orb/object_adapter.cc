@@ -1,5 +1,6 @@
 #include "orb/object_adapter.h"
 
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 
 namespace cool::orb {
@@ -54,7 +55,7 @@ giop::GiopServer::DispatchResult ObjectAdapter::MakeSystemException(
     const Status& status, cdr::ByteOrder order) {
   giop::GiopServer::DispatchResult result;
   result.status = giop::ReplyStatus::kSystemException;
-  cdr::Encoder enc(order, 0);
+  cdr::Encoder enc(order, 0, BufferPool::Default().Lease());
   SystemException::FromStatus(status).Encode(enc);
   result.body = std::move(enc).TakeBuffer();
   return result;
@@ -103,7 +104,9 @@ giop::GiopServer::DispatchResult ObjectAdapter::DispatchImpl(
     }
   }
 
-  cdr::Encoder out(order, 0);
+  // Pooled result-body encoder: the body rides to the reply send as the
+  // gathered tail, then its storage returns to the pool.
+  cdr::Encoder out(order, 0, BufferPool::Default().Lease());
   const DispatchOutcome outcome = servant->Dispatch(operation, args, out);
   if (!outcome.error.ok()) {
     return MakeSystemException(outcome.error, order);

@@ -120,17 +120,17 @@ Status Stub::Unbind() {
   return Status::Ok();
 }
 
-Result<Stub::ReplyData> Stub::FromGiopReply(
-    const giop::GiopClient::Reply& reply) const {
+Result<Stub::ReplyData> Stub::FromGiopReply(giop::GiopClient::Reply reply) const {
   switch (reply.header.reply_status) {
     case giop::ReplyStatus::kNoException:
     case giop::ReplyStatus::kUserException: {
       ReplyData data;
       data.status = reply.header.reply_status;
       data.order = reply.message.header.byte_order;
-      const std::span<const corba::Octet> results = reply.ResultsBytes();
-      data.body = ByteBuffer(results);
-      data.base_offset = reply.ResultsMessageOffset();
+      data.results_offset = reply.ResultsMessageOffset();
+      // Adopt the whole reply frame: the results decoder aliases it in
+      // place, so the body is never copied between wire and caller.
+      data.payload = std::move(reply.message.buffer);
       return data;
     }
     case giop::ReplyStatus::kSystemException: {
@@ -148,7 +148,7 @@ Result<Stub::ReplyData> Stub::InvokeColocated(
     const std::string& operation, std::span<const corba::Octet> args,
     const std::vector<qos::QoSParameter>& qos_params) {
   cdr::Decoder arg_dec(args, order_, 0);
-  const giop::GiopServer::DispatchResult result =
+  giop::GiopServer::DispatchResult result =
       orb_->adapter().DispatchLocal(ref_.object_key, operation, qos_params,
                                     arg_dec, order_);
   switch (result.status) {
@@ -157,8 +157,8 @@ Result<Stub::ReplyData> Stub::InvokeColocated(
       ReplyData data;
       data.status = result.status;
       data.order = order_;
-      data.body = result.body;
-      data.base_offset = 0;
+      data.payload = std::move(result.body);
+      data.results_offset = 0;
       return data;
     }
     case giop::ReplyStatus::kSystemException: {
@@ -181,7 +181,7 @@ Result<Stub::ReplyData> Stub::Invoke(const std::string& operation,
       giop::GiopClient::Reply reply,
       ctx.binding->client->Invoke(ref_.object_key, operation, args, ctx.qos,
                                   timeout));
-  return FromGiopReply(reply);
+  return FromGiopReply(std::move(reply));
 }
 
 Status Stub::InvokeOneway(const std::string& operation,
@@ -218,7 +218,7 @@ Result<Stub::ReplyData> Stub::PollReply(corba::ULong request_id,
   }
   COOL_ASSIGN_OR_RETURN(giop::GiopClient::Reply reply,
                         binding->client->PollReply(request_id, timeout));
-  return FromGiopReply(reply);
+  return FromGiopReply(std::move(reply));
 }
 
 Status Stub::CancelRequest(corba::ULong request_id) {
@@ -238,7 +238,9 @@ Status Stub::InvokeAsync(const std::string& operation,
                          AsyncCallback callback) {
   // Capture everything by value; the worker re-enters Invoke, which
   // snapshots the binding itself. Concurrent async invocations pipeline
-  // over the one channel instead of queueing on the stub lock.
+  // over the one channel instead of queueing on the stub lock. This is the
+  // single surviving copy on the async path — the caller's args span dies
+  // when this call returns, but the worker thread outlives it.
   std::vector<corba::Octet> args_copy(args.begin(), args.end());
   MutexLock lock(async_mu_);
   async_threads_.emplace_back(

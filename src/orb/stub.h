@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "common/buffer_pool.h"
 #include "common/mutex.h"
 #include "common/thread.h"
 #include "giop/engine.h"
@@ -49,20 +50,27 @@ class Stub {
 
   // --- invocation -------------------------------------------------------------
   // Encoder for operation arguments (alignment-compatible with the Request
-  // splice point).
-  cdr::Encoder MakeArgsEncoder() const { return cdr::Encoder(order_, 0); }
+  // splice point). Encodes into a pooled buffer; the storage returns to
+  // the pool when the caller's ByteBuffer dies.
+  cdr::Encoder MakeArgsEncoder() const {
+    return cdr::Encoder(order_, 0, BufferPool::Default().Lease());
+  }
 
   // A decoded invocation outcome. `status` distinguishes normal results
   // from a user exception body; system exceptions surface as the
-  // Result's error.
+  // Result's error. `payload` owns the bytes the decoder reads — for a
+  // remote call it is the whole GIOP reply frame adopted from the engine
+  // (no copy), with the results starting at `results_offset`; for a
+  // colocated call it is the dispatch body itself (offset 0).
   struct ReplyData {
     giop::ReplyStatus status = giop::ReplyStatus::kNoException;
-    ByteBuffer body;
+    ByteBuffer payload;
     cdr::ByteOrder order = cdr::NativeOrder();
-    std::size_t base_offset = 0;
+    std::size_t results_offset = 0;
 
     cdr::Decoder MakeDecoder() const {
-      return cdr::Decoder(body.view(), order, base_offset);
+      return cdr::Decoder(payload.view().subspan(results_offset), order,
+                          results_offset);
     }
   };
 
@@ -117,7 +125,8 @@ class Stub {
   // Establishes the binding if absent (implicit binding on first call).
   Status EnsureBoundLocked() COOL_REQUIRES(mu_);
   Result<CallContext> PrepareCall();
-  Result<ReplyData> FromGiopReply(const giop::GiopClient::Reply& reply) const;
+  // Takes the Reply by value: the reply frame moves into the ReplyData.
+  Result<ReplyData> FromGiopReply(giop::GiopClient::Reply reply) const;
   Result<ReplyData> InvokeColocated(
       const std::string& operation, std::span<const corba::Octet> args,
       const std::vector<qos::QoSParameter>& qos_params);

@@ -9,7 +9,14 @@ namespace cool::sim {
 namespace internal {
 
 Status StreamPipe::Write(std::span<const std::uint8_t> data) {
-  if (data.empty()) return Status::Ok();
+  const std::span<const std::uint8_t> one[] = {data};
+  return WriteV(one);
+}
+
+Status StreamPipe::WriteV(std::span<const std::span<const std::uint8_t>> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  if (total == 0) return Status::Ok();
 
   // Pace: the link is busy until every previously written octet has been
   // serialized; this write extends that horizon.
@@ -18,7 +25,7 @@ Status StreamPipe::Write(std::span<const std::uint8_t> data) {
     MutexLock lock(mu_);
     if (closed_) return UnavailableError("stream closed");
     const TimePoint start = std::max(Now(), link_free_at_);
-    send_done = start + link_.SerializationDelay(data.size());
+    send_done = start + link_.SerializationDelay(total);
     link_free_at_ = send_done;
   }
   PreciseSleep(send_done - Now());
@@ -29,8 +36,15 @@ Status StreamPipe::Write(std::span<const std::uint8_t> data) {
 
   Chunk chunk;
   chunk.ready = send_done + link_.latency;
-  chunk.data.assign(data.begin(), data.end());
-  buffered_bytes_ += chunk.data.size();
+  if (!spare_.empty()) {
+    chunk.data = std::move(spare_.back());  // recycled backing store
+    spare_.pop_back();
+  }
+  chunk.data.reserve(total);
+  for (const auto& part : parts) {
+    chunk.data.insert(chunk.data.end(), part.begin(), part.end());
+  }
+  buffered_bytes_ += total;
   chunks_.push_back(std::move(chunk));
   readable_.NotifyOne();  // under the lock: destruction-safe
   return Status::Ok();
@@ -76,7 +90,13 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
     chunk.offset += take;
     copied += take;
     buffered_bytes_ -= take;
-    if (chunk.offset == chunk.data.size()) chunks_.pop_front();
+    if (chunk.offset == chunk.data.size()) {
+      if (spare_.size() < kMaxSpareChunks) {
+        chunk.data.clear();  // keep the capacity warm for the next write
+        spare_.push_back(std::move(chunk.data));
+      }
+      chunks_.pop_front();
+    }
   }
   writable_.NotifyOne();
   return copied;
@@ -201,6 +221,8 @@ DatagramPort::~DatagramPort() {
 
 Status DatagramPort::SendTo(const Address& dst,
                             std::span<const std::uint8_t> payload) {
+  // Kept separate from SendToV: this runs per fragment on the dacapo data
+  // path, and the single-span case needs no gather loop.
   const LinkProperties link = net_->LinkBetween(addr_.host, dst.host);
   if (payload.size() > link.mtu) {
     return InvalidArgumentError("datagram exceeds link MTU");
@@ -218,6 +240,33 @@ Status DatagramPort::SendTo(const Address& dst,
   return net_->RouteDatagram(
       addr_, dst, std::vector<std::uint8_t>(payload.begin(), payload.end()),
       send_done + link.latency);
+}
+
+Status DatagramPort::SendToV(
+    const Address& dst, std::span<const std::span<const std::uint8_t>> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  const LinkProperties link = net_->LinkBetween(addr_.host, dst.host);
+  if (total > link.mtu) {
+    return InvalidArgumentError("datagram exceeds link MTU");
+  }
+
+  TimePoint send_done;
+  {
+    MutexLock lock(tx_mu_);
+    const TimePoint start = std::max(Now(), link_free_at_);
+    send_done = start + link.SerializationDelay(total);
+    link_free_at_ = send_done;
+  }
+  PreciseSleep(send_done - Now());
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(total);
+  for (const auto& part : parts) {
+    payload.insert(payload.end(), part.begin(), part.end());
+  }
+  return net_->RouteDatagram(addr_, dst, std::move(payload),
+                             send_done + link.latency);
 }
 
 void Network::SetLink(const std::string& host_a, const std::string& host_b,

@@ -54,6 +54,11 @@ class StreamPipe {
   // Fails with kUnavailable once the pipe is closed.
   Status Write(std::span<const std::uint8_t> data);
 
+  // Gathered write: the concatenation of `parts` is paced and enqueued as
+  // one chunk — a writev for the simulated stream. The reader cannot tell
+  // it apart from Write(join(parts)).
+  Status WriteV(std::span<const std::span<const std::uint8_t>> parts);
+
   // Blocks until at least one ready octet is available (or the pipe is
   // closed and drained -> kUnavailable; or `deadline` passes ->
   // kDeadlineExceeded). Returns the number of octets copied, up to
@@ -70,6 +75,11 @@ class StreamPipe {
     std::size_t offset = 0;
   };
 
+  // Bound on recycled chunk backing stores (the NIC-ring analogue: a
+  // drained chunk's storage is reused by a later write instead of being
+  // freed, so a steady request/reply exchange allocates nothing here).
+  static constexpr std::size_t kMaxSpareChunks = 8;
+
   const LinkProperties link_;
   const std::size_t window_bytes_;
 
@@ -77,6 +87,7 @@ class StreamPipe {
   CondVar readable_;
   CondVar writable_;
   std::deque<Chunk> chunks_ COOL_GUARDED_BY(mu_);
+  std::vector<std::vector<std::uint8_t>> spare_ COOL_GUARDED_BY(mu_);
   std::size_t buffered_bytes_ COOL_GUARDED_BY(mu_) = 0;
   TimePoint link_free_at_ COOL_GUARDED_BY(mu_){};
   bool closed_ COOL_GUARDED_BY(mu_) = false;
@@ -143,6 +154,11 @@ class StreamSocket {
   StreamSocket& operator=(const StreamSocket&) = delete;
 
   Status Send(std::span<const std::uint8_t> data) { return tx_->Write(data); }
+
+  // Gathered send (writev): `parts` leave as one contiguous write.
+  Status SendV(std::span<const std::span<const std::uint8_t>> parts) {
+    return tx_->WriteV(parts);
+  }
 
   // Reads up to out.size() octets; blocks for at least one.
   Result<std::size_t> Recv(std::span<std::uint8_t> out) {
@@ -216,6 +232,10 @@ class DatagramPort {
   // Paces to link bandwidth; the datagram may be dropped (loss_rate),
   // delayed (latency + jitter) and consequently reordered.
   Status SendTo(const Address& dst, std::span<const std::uint8_t> payload);
+
+  // Gathered variant: the concatenation of `parts` forms one datagram.
+  Status SendToV(const Address& dst,
+                 std::span<const std::span<const std::uint8_t>> parts);
 
   // Blocks until a datagram is deliverable or the port is closed.
   std::optional<Datagram> Recv() { return queue_->Pop(); }

@@ -1,10 +1,23 @@
 #include "transport/com_channel.h"
 
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 
 namespace cool::transport {
 
 ComChannel::~ComChannel() = default;
+
+Status ComChannel::SendMessageV(
+    std::span<const std::span<const std::uint8_t>> parts) {
+  if (parts.size() == 1) return SendMessage(parts[0]);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  // Gather fallback for transports without a true scatter write: one pooled
+  // buffer, recycled when the send returns.
+  ByteBuffer joined = BufferPool::Default().Lease(total);
+  for (const auto& part : parts) joined.Append(part);
+  return SendMessage(joined.view());
+}
 
 void ComChannel::DrainAsync() {
   std::vector<Thread> threads;

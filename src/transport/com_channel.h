@@ -51,6 +51,16 @@ class ComChannel {
   virtual Result<ByteBuffer> ReceiveMessage(Duration timeout) = 0;
   virtual void Close() = 0;
 
+  // Scatter-gather send: the concatenation of `parts` forms ONE message on
+  // the wire, indistinguishable from SendMessage(join(parts)) to the peer.
+  // The GIOP engines use this to send {pooled preamble, caller-owned args}
+  // without materializing the frame. Transports override this with a true
+  // gathered write (writev-style for Tcp/Ipc, multi-part packet fill for
+  // Da CaPo); the base implementation gathers into a pooled buffer and
+  // falls back to SendMessage.
+  virtual Status SendMessageV(
+      std::span<const std::span<const std::uint8_t>> parts);
+
   // --- invocation support (paper Fig. 8 methods) ---------------------------
   // Two-way: sends the request message and waits for the reply message.
   Result<ByteBuffer> Call(std::span<const std::uint8_t> request,

@@ -36,6 +36,10 @@ class DacapoComChannel : public ComChannel {
   // adaptation work of Fig. 7 alternative (i). The stream T service (and
   // any ARQ graph) is FIFO, so concatenation reassembly is sound.
   Status SendMessage(std::span<const std::uint8_t> message) override;
+  // Gathered send: fragments are filled straight from the parts, crossing
+  // part boundaries inside a packet — no joined staging buffer.
+  Status SendMessageV(
+      std::span<const std::span<const std::uint8_t>> parts) override;
   Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
   void Close() override;
 

@@ -45,6 +45,11 @@ Status IpcComChannel::SendMessage(std::span<const std::uint8_t> message) {
   return port_->SendTo(peer_, message);
 }
 
+Status IpcComChannel::SendMessageV(
+    std::span<const std::span<const std::uint8_t>> parts) {
+  return port_->SendToV(peer_, parts);
+}
+
 Result<ByteBuffer> IpcComChannel::ReceiveMessage(Duration timeout) {
   for (;;) {
     auto dgram = port_->RecvFor(timeout);

@@ -20,6 +20,9 @@ class IpcComChannel : public ComChannel {
   std::string_view protocol() const override { return "ipc"; }
 
   Status SendMessage(std::span<const std::uint8_t> message) override;
+  // Gathered send: one datagram from many parts, no concatenation here.
+  Status SendMessageV(
+      std::span<const std::span<const std::uint8_t>> parts) override;
   Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
   void Close() override;
 

@@ -1,5 +1,7 @@
 #include "transport/tcp_channel.h"
 
+#include <array>
+
 namespace cool::transport {
 
 void TcpBuffer::Append(std::span<const std::uint8_t> bytes) {
@@ -12,8 +14,8 @@ void TcpBuffer::Compact() {
   consumed_ = 0;
 }
 
-Result<std::optional<std::vector<std::uint8_t>>> TcpBuffer::NextMessage() {
-  if (buffered_bytes() < 4) return std::optional<std::vector<std::uint8_t>>{};
+Result<std::optional<ByteBuffer>> TcpBuffer::NextMessage() {
+  if (buffered_bytes() < 4) return std::optional<ByteBuffer>{};
   const std::uint8_t* p = data_.data() + consumed_;
   const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
                             static_cast<std::uint32_t>(p[1]) << 8 |
@@ -23,13 +25,17 @@ Result<std::optional<std::vector<std::uint8_t>>> TcpBuffer::NextMessage() {
     return Status(ProtocolError("message length exceeds limit"));
   }
   if (buffered_bytes() < 4 + static_cast<std::size_t>(len)) {
-    return std::optional<std::vector<std::uint8_t>>{};
+    return std::optional<ByteBuffer>{};
   }
-  std::vector<std::uint8_t> msg(p + 4, p + 4 + len);
+  // Pooled lease: the one unavoidable stream-to-message copy lands in
+  // recycled storage, and the buffer rides up to the engine (which adopts
+  // it into a ParsedMessage) without further copies.
+  ByteBuffer msg = BufferPool::Default().Lease(len);
+  msg.Append({p + 4, len});
   consumed_ += 4 + len;
   // Keep the buffer from growing without bound on long-lived channels.
   if (consumed_ > 64 * 1024) Compact();
-  return std::optional<std::vector<std::uint8_t>>{std::move(msg)};
+  return std::optional<ByteBuffer>{std::move(msg)};
 }
 
 TcpComChannel::~TcpComChannel() {
@@ -38,14 +44,38 @@ TcpComChannel::~TcpComChannel() {
 }
 
 Status TcpComChannel::SendMessage(std::span<const std::uint8_t> message) {
-  const std::uint32_t len = static_cast<std::uint32_t>(message.size());
-  std::uint8_t prefix[4] = {
+  const std::span<const std::uint8_t> one[] = {message};
+  return SendMessageV(one);
+}
+
+Status TcpComChannel::SendMessageV(
+    std::span<const std::span<const std::uint8_t>> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  const std::uint32_t len = static_cast<std::uint32_t>(total);
+  const std::uint8_t prefix[4] = {
       static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
       static_cast<std::uint8_t>(len >> 16),
       static_cast<std::uint8_t>(len >> 24)};
+
+  // {prefix, parts...} leave as one gathered stream write. The engines
+  // never send more than a preamble + an args tail, so the iovec lives on
+  // the stack in the common case.
+  std::array<std::span<const std::uint8_t>, 4> small;
+  std::vector<std::span<const std::uint8_t>> large;
+  std::span<const std::span<const std::uint8_t>> iov;
+  if (parts.size() + 1 <= small.size()) {
+    small[0] = std::span<const std::uint8_t>(prefix, 4);
+    for (std::size_t i = 0; i < parts.size(); ++i) small[i + 1] = parts[i];
+    iov = std::span(small.data(), parts.size() + 1);
+  } else {
+    large.reserve(parts.size() + 1);
+    large.emplace_back(prefix, 4);
+    large.insert(large.end(), parts.begin(), parts.end());
+    iov = large;
+  }
   MutexLock lock(tx_mu_);
-  COOL_RETURN_IF_ERROR(socket_->Send(prefix));
-  return socket_->Send(message);
+  return socket_->SendV(iov);
 }
 
 Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
@@ -54,12 +84,11 @@ Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
   for (;;) {
     // Deliberately not COOL_ASSIGN_OR_RETURN: moving the optional out of
     // the Result trips GCC 12's -Wmaybe-uninitialized on the moved-from
-    // vector's destructor; reading through the Result does not.
-    Result<std::optional<std::vector<std::uint8_t>>> next =
-        rx_buffer_.NextMessage();
+    // buffer's destructor; reading through the Result does not.
+    Result<std::optional<ByteBuffer>> next = rx_buffer_.NextMessage();
     if (!next.ok()) return next.status();
     if (next->has_value()) {
-      return ByteBuffer(std::move(**next));
+      return std::move(**next);
     }
     const Duration remaining = deadline - Now();
     if (remaining <= Duration::zero()) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/mutex.h"
 #include "sim/network.h"
 #include "transport/com_channel.h"
@@ -19,9 +20,11 @@ class TcpBuffer {
   // Feeds raw stream octets into the reassembly buffer.
   void Append(std::span<const std::uint8_t> bytes);
 
-  // Extracts the next complete message, or nullopt if more stream data is
-  // needed. Fails with kProtocolError on an implausible length prefix.
-  Result<std::optional<std::vector<std::uint8_t>>> NextMessage();
+  // Extracts the next complete message (in a pooled buffer, so the
+  // steady-state receive path allocates nothing), or nullopt if more
+  // stream data is needed. Fails with kProtocolError on an implausible
+  // length prefix.
+  Result<std::optional<ByteBuffer>> NextMessage();
 
   std::size_t buffered_bytes() const noexcept { return data_.size() - consumed_; }
 
@@ -43,6 +46,10 @@ class TcpComChannel : public ComChannel {
   std::string_view protocol() const override { return "tcp"; }
 
   Status SendMessage(std::span<const std::uint8_t> message) override;
+  // True gathered write: {length prefix, parts...} leave in one paced
+  // stream write, so a preamble+args pair costs no concatenation.
+  Status SendMessageV(
+      std::span<const std::span<const std::uint8_t>> parts) override;
   Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
   void Close() override;
 

@@ -264,6 +264,81 @@ TEST(VersionTest, KnownVersions) {
   EXPECT_FALSE(IsKnownVersion(Version{2, 0}));
 }
 
+TEST(PreambleTest, RequestPreamblePlusTailEqualsBuildRequest) {
+  // The scatter-gather send path assembles preamble + args as separate
+  // spans; the wire bytes must be identical to the monolithic builder's.
+  for (const auto order :
+       {cdr::ByteOrder::kLittleEndian, cdr::ByteOrder::kBigEndian}) {
+    const RequestHeader h = SampleRequest();
+    cdr::Encoder args(order, 0);
+    args.PutLong(7);
+    args.PutString("argument");
+    const auto tail = args.buffer().view();
+
+    RequestHeaderView view;
+    view.request_id = h.request_id;
+    view.response_expected = h.response_expected;
+    view.object_key = h.object_key;
+    view.operation = h.operation;
+    view.requesting_principal = h.requesting_principal;
+    ByteBuffer assembled =
+        BuildRequestPreamble(kGiop10, view, tail.size(), order, {});
+    assembled.Append(tail);
+
+    EXPECT_EQ(assembled, BuildRequest(kGiop10, h, tail, order));
+  }
+}
+
+TEST(PreambleTest, QosRequestPreamblePlusTailEqualsBuildRequest) {
+  RequestHeader h = SampleRequest();
+  h.qos_params = {qos::RequireReliability(1),
+                  qos::RequireThroughputKbps(5000, 1000)};
+  h.service_context = {{7, {1, 2, 3}}};
+  cdr::Encoder args(cdr::NativeOrder(), 0);
+  args.PutDouble(1.25);
+  const auto tail = args.buffer().view();
+
+  RequestHeaderView view;
+  view.service_context = &h.service_context;
+  view.request_id = h.request_id;
+  view.response_expected = h.response_expected;
+  view.object_key = h.object_key;
+  view.operation = h.operation;
+  view.requesting_principal = h.requesting_principal;
+  view.qos_params = &h.qos_params;
+  ByteBuffer assembled = BuildRequestPreamble(kGiopQos, view, tail.size(),
+                                              cdr::NativeOrder(), {});
+  assembled.Append(tail);
+
+  EXPECT_EQ(assembled, BuildRequest(kGiopQos, h, tail, cdr::NativeOrder()));
+}
+
+TEST(PreambleTest, ReplyPreamblePlusTailEqualsBuildReply) {
+  ReplyHeader h;
+  h.request_id = 77;
+  h.reply_status = ReplyStatus::kUserException;
+  cdr::Encoder body(cdr::NativeOrder(), 0);
+  body.PutULong(123);
+  body.PutString("payload");
+  const auto tail = body.buffer().view();
+
+  ByteBuffer assembled =
+      BuildReplyPreamble(kGiop10, h, tail.size(), cdr::NativeOrder(), {});
+  assembled.Append(tail);
+
+  EXPECT_EQ(assembled, BuildReply(kGiop10, h, tail, cdr::NativeOrder()));
+}
+
+TEST(PreambleTest, EmptyTailStillParses) {
+  RequestHeaderView view;
+  view.request_id = 5;
+  const ByteBuffer msg =
+      BuildRequestPreamble(kGiop10, view, 0, cdr::NativeOrder(), {});
+  auto parsed = ParseMessage(msg.view());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header.message_size, msg.size() - kHeaderSize);
+}
+
 TEST(RequestWireTest, CorruptQosCountRejected) {
   RequestHeader h = SampleRequest();
   h.qos_params = {qos::RequireReliability(1)};
@@ -272,9 +347,9 @@ TEST(RequestWireTest, CorruptQosCountRejected) {
   ASSERT_TRUE(parsed.ok());
   // Find and corrupt the qos_params count (last 20 octets are count+param).
   // Instead of byte surgery, truncate the body: count says 1, params gone.
-  ParsedMessage damaged = *parsed;
-  damaged.body.resize(damaged.body.size() - 8);
-  cdr::Decoder dec(damaged.body, damaged.header.byte_order, kHeaderSize);
+  const auto body = parsed->body();
+  const auto truncated = body.first(body.size() - 8);
+  cdr::Decoder dec(truncated, parsed->header.byte_order, kHeaderSize);
   EXPECT_FALSE(ParseRequestHeader(dec, kGiopQos).ok());
 }
 
