@@ -72,6 +72,9 @@ struct BenchRecord {
   // Heap allocations per operation (bench/alloc_hook.h counter delta over
   // operations completed). Only meaningful in binaries linking alloc_hook.cc.
   double allocs_per_op = -1;
+  // Process thread count at steady state (bench_connection_scaling: the
+  // flat-curve acceptance metric for the event-driven connection engine).
+  double threads = -1;
 };
 
 // Writes records as a JSON array of objects. Overwrites `path`; the
@@ -96,6 +99,7 @@ inline bool WriteJson(const std::string& path,
     if (r.allocs_per_op >= 0) {
       std::fprintf(f, ", \"allocs_per_op\": %.2f", r.allocs_per_op);
     }
+    if (r.threads >= 0) std::fprintf(f, ", \"threads\": %.0f", r.threads);
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -34,6 +34,12 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      zero-copy path already owns. Encode into a BufferPool lease, pass
      spans, or move the ByteBuffer instead. Cold-path exceptions live in
      BUFFER_COPY_ALLOWLIST.
+  10. The reactor owns event-driven I/O in src/transport and src/giop: no
+     new thread spawns and no blocking ReceiveMessage call sites outside
+     the allowlisted machinery (reactor/epoll workers, the shared dispatch
+     pool, and the documented blocking fallbacks). A connection must cost
+     a reactor registration, not a thread — additions go through
+     Reactor::Add or get an allowlist entry with a justification.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -83,6 +89,7 @@ NEW_ALLOWLIST = {
     "src/dacapo/session.cc": ["new Session("],  # private ctor, factory-wrapped
     "src/stream/stream_adapter.cc": ["new FlowConnection("],  # same pattern
     "src/common/buffer_pool.cc": ["new BufferPool()"],  # leaky singleton
+    "src/transport/reactor.cc": ["new Reactor()"],  # leaky singleton
 }
 
 NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_]")
@@ -479,6 +486,80 @@ def check_no_buffer_copies(path: Path, clean: str,
         )
 
 
+# --- rule 10: reactor-owned I/O in src/transport and src/giop ----------------
+# The event-driven connection engine exists so that connections cost reactor
+# registrations, not threads. New thread spawns and new blocking-receive
+# call sites in these directories bypass it; each allowed site is the
+# machinery itself or a documented fallback.
+
+REACTOR_DIRS = ("src/transport/", "src/giop/")
+
+# Thread construction from a lambda: the cool::Thread wrapper as a
+# temporary/member init (`Thread([`), a named local (`Thread t([`), or an
+# in-place vector<Thread> emplace.
+THREAD_SPAWN_RE = re.compile(
+    r"\bThread\s*\(\s*\[|\bThread\s+\w+\s*\(\s*\[|\bemplace_back\s*\(\s*\[")
+
+THREAD_SPAWN_ALLOWLIST = {
+    "src/transport/reactor.cc": ["WorkerLoop"],  # the reactor's own workers
+    "src/transport/epoll_poller.cc": ["Loop(stop)"],  # kernel-fd poll loop
+    # Legacy input-callback utility (paper §5 callback API), pre-reactor.
+    "src/transport/input_callback.cc": ["Run(st)"],
+    # Fallback reader thread when no reactor is configured, and the
+    # private worker pool of pool-less GiopServers.
+    "src/giop/engine.cc": ["ReaderLoop(stop)", "WorkerLoop()"],
+    "src/giop/dispatch_pool.cc": ["WorkerLoop()"],  # the shared pool itself
+}
+
+# Blocking receive call sites (TryReceiveMessage is the non-blocking
+# reactor path and stays legal). `::`-qualified definitions are excluded
+# by the lookbehind; declarations are skipped below.
+BLOCKING_RECV_RE = re.compile(r"(?<![\w:])ReceiveMessage\s*\(")
+
+BLOCKING_RECV_ALLOWLIST = {
+    # The synchronous convenience API on the ComChannel base (SendReceive
+    # and the legacy input-callback pump) — explicitly blocking by contract.
+    "src/transport/com_channel.cc": ["ReceiveMessage(timeout)",
+                                     "ReceiveMessage(seconds(30))"],
+    # ReaderLoop's poll quantum (reactor fallback) and the blocking
+    # ServeOne used by transports without a non-blocking receive path.
+    "src/giop/engine.cc": ["options_.reader_poll", "ReceiveMessage(timeout)"],
+    # COOL wire protocol: the deliberately simple ablation baseline.
+    "src/giop/cool_protocol.cc": ["ReceiveMessage(timeout)"],
+}
+
+
+def check_reactor_owns_io(path: Path, clean: str,
+                          findings: list[str]) -> None:
+    r = rel(path)
+    if not r.startswith(REACTOR_DIRS):
+        return
+    spawn_allow = THREAD_SPAWN_ALLOWLIST.get(r, [])
+    recv_allow = BLOCKING_RECV_ALLOWLIST.get(r, [])
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if THREAD_SPAWN_RE.search(line):
+            if not any(a in line for a in spawn_allow):
+                findings.append(
+                    f"{r}:{lineno}: thread spawn in reactor-owned territory "
+                    f"— connections cost reactor registrations, not "
+                    f"threads; dispatch through Reactor::Add or extend "
+                    f"THREAD_SPAWN_ALLOWLIST with a justification (rule 10)"
+                )
+        m = BLOCKING_RECV_RE.search(line)
+        if m:
+            # Skip declarations (virtual/override/pure) — the rule targets
+            # call sites, not the interface.
+            if ("virtual" in line or "override" in line or "= 0" in line):
+                continue
+            if not any(a in line for a in recv_allow):
+                findings.append(
+                    f"{r}:{lineno}: blocking ReceiveMessage call site — "
+                    f"use TryReceiveMessage behind a reactor registration, "
+                    f"or extend BLOCKING_RECV_ALLOWLIST with a "
+                    f"justification (rule 10)"
+                )
+
+
 def main() -> int:
     findings: list[str] = []
     for path in code_files():
@@ -490,6 +571,7 @@ def main() -> int:
         check_no_recv_under_lock(path, clean, findings)
         check_new_delete(path, clean, findings)
         check_no_buffer_copies(path, clean, findings)
+        check_reactor_owns_io(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)
 

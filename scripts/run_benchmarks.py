@@ -36,6 +36,7 @@ BENCHES = [
     {"binary": "bench_fig9_throughput", "headline": "0 dummy / 64 KiB"},
     {"binary": "bench_concurrent_invocations", "headline": "tcp t8 d8"},
     {"binary": "bench_marshal", "headline": "build request giop1.0"},
+    {"binary": "bench_connection_scaling", "headline": "tcp conns 10"},
 ]
 
 # Rows whose allocs_per_op trajectory is tracked in the before/after delta
@@ -79,7 +80,7 @@ def main() -> int:
                              "(e.g. before/after; default: after)")
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_PR5.json",
+    parser.add_argument("--output", default="BENCH_PR6.json",
                         help="aggregated output path (merged, not clobbered)")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-binary timeout in seconds")

@@ -66,7 +66,7 @@ class BlockingQueue {
   // Pop with deadline; nullopt on timeout or closed+drained. Use
   // `closed()` to distinguish if required.
   std::optional<T> PopFor(Duration timeout) {
-    const TimePoint deadline = Now() + timeout;
+    const TimePoint deadline = DeadlineFor(timeout);
     MutexLock lock(mu_);
     while (!closed_ && items_.empty()) {
       if (!not_empty_.WaitUntil(mu_, deadline)) break;  // timed out

@@ -20,6 +20,20 @@ using std::chrono::seconds;
 
 inline TimePoint Now() noexcept { return Clock::now(); }
 
+// Saturating deadline: `Now() + timeout` wraps negative for
+// Duration::max()-style "wait forever" callers. Every site that converts a
+// caller-supplied timeout into an absolute deadline must go through here.
+inline TimePoint DeadlineFor(Duration timeout) noexcept {
+  const TimePoint now = Now();
+  if (timeout >= TimePoint::max() - now) return TimePoint::max();
+  return now + timeout;
+}
+
+inline TimePoint DeadlineFrom(TimePoint now, Duration timeout) noexcept {
+  if (timeout >= TimePoint::max() - now) return TimePoint::max();
+  return now + timeout;
+}
+
 inline double ToSeconds(Duration d) noexcept {
   return std::chrono::duration<double>(d).count();
 }

@@ -135,7 +135,7 @@ class CondVar {
   }
 
   bool WaitFor(Mutex& mu, Duration timeout) COOL_REQUIRES(mu) {
-    return WaitUntil(mu, Now() + timeout);
+    return WaitUntil(mu, DeadlineFor(timeout));
   }
 
   void NotifyOne() noexcept { cv_.notify_one(); }

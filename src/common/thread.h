@@ -18,4 +18,10 @@ inline unsigned HardwareConcurrency() noexcept {
   return n == 0 ? 1u : n;
 }
 
+// Sanctioned thread-identity spelling for the same reason (the reactor uses
+// it to detect self-removal from inside a callback).
+using ThreadId = std::thread::id;
+
+inline ThreadId ThisThreadId() noexcept { return std::this_thread::get_id(); }
+
 }  // namespace cool

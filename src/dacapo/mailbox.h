@@ -139,7 +139,7 @@ class Mailbox {
   // `accept_down` is true. Returns kTimeout if nothing eligible arrived
   // within `timeout`, kClosed once closed and fully drained.
   PopResult PopNext(bool accept_down, Duration timeout) {
-    const TimePoint deadline = Now() + timeout;
+    const TimePoint deadline = DeadlineFor(timeout);
     MutexLock lock(mu_);
     for (;;) {
       if (!control_.empty()) {
@@ -191,7 +191,7 @@ class Mailbox {
                        std::vector<PopResult>& out) {
     out.clear();
     if (max_n == 0) return BatchStatus::kTimeout;
-    const TimePoint deadline = Now() + timeout;
+    const TimePoint deadline = DeadlineFor(timeout);
     MutexLock lock(mu_);
     for (;;) {
       while (out.size() < max_n && !control_.empty()) {

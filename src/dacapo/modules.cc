@@ -549,6 +549,7 @@ void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
   }
   if (mode_ == DeliveryMode::kQueue) {
     rx_queue_.Push(std::move(pkt));  // zero-copy handoff to the application
+    if (rx_notify_) rx_notify_();
   }
   // kCountOnly: releasing the PacketPtr returns the buffer to the arena —
   // exactly the paper's measuring A-module behaviour.
@@ -557,6 +558,7 @@ void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
 void AppAModule::OnStop(ModulePort& port) {
   (void)port;
   rx_queue_.Close();
+  if (rx_notify_) rx_notify_();
 }
 
 Result<PacketPtr> AppAModule::ReceivePacket(Duration timeout) {
@@ -566,6 +568,17 @@ Result<PacketPtr> AppAModule::ReceivePacket(Duration timeout) {
       return Status(UnavailableError("channel closed"));
     }
     return Status(DeadlineExceededError("receive timed out"));
+  }
+  return std::move(*item);
+}
+
+Result<PacketPtr> AppAModule::TryReceivePacket() {
+  std::optional<PacketPtr> item = rx_queue_.TryPop();
+  if (!item.has_value()) {
+    if (rx_queue_.closed()) {
+      return Status(UnavailableError("channel closed"));
+    }
+    return PacketPtr{};
   }
   return std::move(*item);
 }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -313,6 +314,18 @@ class AppAModule : public Module {
   Result<PacketPtr> ReceivePacket(Duration timeout);
   Result<std::vector<std::uint8_t>> Receive(Duration timeout);
 
+  // Non-blocking receive: a null PacketPtr when nothing is queued right
+  // now, kUnavailable once the queue is closed and drained.
+  Result<PacketPtr> TryReceivePacket();
+
+  // Called after each upward delivery (and on close) so a reactor-attached
+  // session can be signalled without the application parking a thread in
+  // ReceivePacket. Set before the chain starts; not synchronised against
+  // concurrent delivery.
+  void SetRxNotify(std::function<void()> notify) {
+    rx_notify_ = std::move(notify);
+  }
+
   Stats snapshot() const;
   void ResetStats();
   std::string DescribeStats() const override;
@@ -322,6 +335,7 @@ class AppAModule : public Module {
   mutable Mutex stats_mu_;
   Stats stats_ COOL_GUARDED_BY(stats_mu_);
   BlockingQueue<PacketPtr> rx_queue_;
+  std::function<void()> rx_notify_;
 };
 
 }  // namespace cool::dacapo

@@ -14,6 +14,11 @@ namespace {
 // Tail slack so checksum trailers fit behind a full-size payload.
 constexpr std::size_t kTrailerSlack = 64;
 
+// Bound on every connection-setup handshake wait (CONFIG, ACK, and the
+// data-plane accept). A peer that stalls or vanishes mid-setup must fail
+// the connect, not wedge the caller.
+constexpr Duration kHandshakeTimeout = seconds(10);
+
 // Process-wide data-port allocator (ephemeral range of the simulation).
 std::uint16_t AllocDataPort() {
   static std::atomic<std::uint16_t> next{50000};
@@ -113,6 +118,44 @@ Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrame(
   return std::make_pair(type, std::move(data));
 }
 
+namespace {
+
+Status RecvExactBy(sim::StreamSocket& socket, std::span<std::uint8_t> out,
+                   TimePoint deadline) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const TimePoint now = Now();
+    if (now >= deadline) {
+      return Status(DeadlineExceededError("signalling handshake timed out"));
+    }
+    COOL_ASSIGN_OR_RETURN(std::size_t n,
+                          socket.RecvFor(out.subspan(got), deadline - now));
+    got += n;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrameFor(
+    sim::StreamSocket& socket, Duration timeout) {
+  const TimePoint deadline = DeadlineFor(timeout);
+  std::uint8_t prefix[4];
+  COOL_RETURN_IF_ERROR(RecvExactBy(socket, prefix, deadline));
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+  if (len == 0 || len > 1024 * 1024) {
+    return Status(ProtocolError("bad signalling frame length"));
+  }
+  std::vector<std::uint8_t> data(len);
+  COOL_RETURN_IF_ERROR(RecvExactBy(socket, data, deadline));
+  const std::uint8_t type = data.front();
+  data.erase(data.begin());
+  return std::make_pair(type, std::move(data));
+}
+
 }  // namespace wire
 
 // --- Session -----------------------------------------------------------------
@@ -173,6 +216,11 @@ Result<Session::DataPlane> Session::BuildPlane(
   plane.tx_cache = std::make_unique<PacketCache>(*plane.arena);
   plane.a_module = a_raw;
   if (owner != nullptr) {
+    if (a_raw != nullptr) {
+      // Receive readiness feeds the session-level watch so a reactor
+      // registration survives plane swaps.
+      a_raw->SetRxNotify([owner] { owner->rx_watch_.SignalReady(); });
+    }
     plane.chain->SetControlSink([owner](ControlMsg msg) {
       if (msg.kind == ControlMsg::Kind::kError) {
         owner->ReportError(InternalError(msg.text));
@@ -201,6 +249,10 @@ void Session::AdoptPlane(DataPlane plane) {
   }
   // `old` dies here, outside the lock, in reverse declaration order:
   // tx_cache flushes, then the chain and the arena go.
+
+  // Wake any reactor waiting on the old (now torn down) plane so it
+  // re-polls against the new one.
+  rx_watch_.SignalReady();
 }
 
 Status Session::Send(std::span<const std::uint8_t> payload) {
@@ -211,7 +263,7 @@ Status Session::Send(std::span<const std::uint8_t> payload) {
 }
 
 Result<ReceivedMessage> Session::ReceivePacket(Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   for (;;) {
     AppAModule* a = nullptr;
     std::shared_ptr<PacketArena> arena;
@@ -266,6 +318,32 @@ Result<std::vector<std::uint8_t>> Session::Receive(Duration timeout) {
   COOL_ASSIGN_OR_RETURN(ReceivedMessage msg, ReceivePacket(timeout));
   const auto data = msg.data();
   return std::vector<std::uint8_t>(data.begin(), data.end());
+}
+
+Result<ReceivedMessage> Session::TryReceivePacket() {
+  ReaderMutexLock lock(plane_mu_);
+  AppAModule* a = plane_.a_module;
+  if (a == nullptr) {
+    if (closed_.load()) return Status(UnavailableError("session closed"));
+    return Status(
+        FailedPreconditionError("session has no active data plane"));
+  }
+  Result<PacketPtr> got = a->TryReceivePacket();
+  if (!got.ok()) {
+    if (got.status().code() == ErrorCode::kUnavailable && !closed_.load()) {
+      // Reconfiguration in flight: the old plane is stopped but its
+      // replacement has not landed yet. Nothing deliverable right now;
+      // AdoptPlane signals the watch once the swap completes.
+      return ReceivedMessage{};
+    }
+    return got.status();
+  }
+  if (*got == nullptr) return ReceivedMessage{};  // nothing queued
+  return ReceivedMessage(plane_.arena, std::move(got).value());
+}
+
+void Session::WatchRx(const sim::WaitSet& set, std::uint64_t token) {
+  rx_watch_.Watch(set, token);
 }
 
 AppAModule::Stats Session::stats() const {
@@ -464,6 +542,7 @@ void Session::Close() {
     ReaderMutexLock lock(plane_mu_);
     if (plane_.chain != nullptr) plane_.chain->Stop();
   }
+  rx_watch_.SignalReady();
   if (signalling_thread_.joinable() &&
       signalling_thread_.get_id() != std::this_thread::get_id()) {
     signalling_thread_.request_stop();
@@ -493,7 +572,8 @@ Result<std::unique_ptr<Session>> Connector::Connect(
   COOL_RETURN_IF_ERROR(
       wire::SendFrame(*signalling, wire::kConfig, EncodeConfig(req)));
 
-  COOL_ASSIGN_OR_RETURN(auto frame, wire::RecvFrame(*signalling));
+  COOL_ASSIGN_OR_RETURN(auto frame,
+                        wire::RecvFrameFor(*signalling, kHandshakeTimeout));
   const auto& [type, body] = frame;
   if (type == wire::kConfigNak) {
     return Status(ResourceExhaustedError("peer rejected configuration: " +
@@ -551,8 +631,33 @@ Result<std::unique_ptr<Session>> Acceptor::Accept(
   }
   COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> signalling,
                         listener_->Accept());
+  return Establish(std::move(signalling), delivery);
+}
 
-  COOL_ASSIGN_OR_RETURN(auto frame, wire::RecvFrame(*signalling));
+Result<std::unique_ptr<Session>> Acceptor::TryAccept(
+    AppAModule::DeliveryMode delivery) {
+  if (listener_ == nullptr) {
+    return Status(FailedPreconditionError("acceptor is not listening"));
+  }
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> signalling,
+                        listener_->TryAccept());
+  if (signalling == nullptr) return std::unique_ptr<Session>();
+  // A connection is pending: the setup handshake runs inline. It is short
+  // and bounded — the initiator sends CONFIG immediately after connecting.
+  return Establish(std::move(signalling), delivery);
+}
+
+bool Acceptor::WatchAccept(const sim::WaitSet& set, std::uint64_t token) {
+  if (listener_ == nullptr) return false;
+  listener_->WatchAccept(set, token);
+  return true;
+}
+
+Result<std::unique_ptr<Session>> Acceptor::Establish(
+    std::unique_ptr<sim::StreamSocket> signalling,
+    AppAModule::DeliveryMode delivery) {
+  COOL_ASSIGN_OR_RETURN(auto frame,
+                        wire::RecvFrameFor(*signalling, kHandshakeTimeout));
   const auto& [type, body] = frame;
   if (type != wire::kConfig) {
     return Status(ProtocolError("expected CONFIG as first frame"));
@@ -607,7 +712,7 @@ Result<std::unique_ptr<Session>> Acceptor::Accept(
         wire::SendFrame(*session->signalling_, wire::kConfigAck,
                         EncodeAck(port)));
     COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> data_sock,
-                          data_listener->AcceptFor(seconds(10)));
+                          data_listener->AcceptFor(kHandshakeTimeout));
     COOL_ASSIGN_OR_RETURN(
         plane, Session::BuildPlane(options, options.graph,
                                    std::move(data_sock), nullptr, {},

@@ -33,6 +33,7 @@
 #include "dacapo/resource_manager.h"
 #include "dacapo/runtime.h"
 #include "sim/network.h"
+#include "sim/waitset.h"
 
 namespace cool::dacapo {
 
@@ -132,6 +133,16 @@ class Session {
   // wrapper over ReceivePacket.
   Result<std::vector<std::uint8_t>> Receive(Duration timeout);
 
+  // Non-blocking receive: a falsy ReceivedMessage when nothing is queued
+  // right now (including mid-reconfiguration), kUnavailable once the
+  // session is closed. Pair with WatchRx for reactor-driven delivery.
+  Result<ReceivedMessage> TryReceivePacket();
+
+  // Attaches receive readiness to `set` under `token`: signalled on every
+  // upward delivery, on close, and across plane swaps (the watch outlives
+  // reconfigurations; the underlying A module changes, the watch does not).
+  void WatchRx(const sim::WaitSet& set, std::uint64_t token);
+
   // Measurement counters of the local A module.
   AppAModule::Stats stats() const;
   void ResetStats();
@@ -209,6 +220,11 @@ class Session {
 
   Thread signalling_thread_;
   std::atomic<bool> closed_{false};
+
+  // Receive-readiness watch. Lives on the Session (not the plane) so a
+  // reactor registration survives reconfigurations; internally
+  // synchronised.
+  sim::Watchable rx_watch_;
 };
 
 // Active opener.
@@ -248,6 +264,17 @@ class Acceptor {
   Result<std::unique_ptr<Session>> Accept(
       AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue);
 
+  // Non-blocking accept: a null session (no error) when no signalling
+  // connection is pending, kUnavailable once closed. When a connection IS
+  // pending this still runs the (short, bounded) setup handshake inline —
+  // the initiator sends CONFIG immediately after connecting.
+  Result<std::unique_ptr<Session>> TryAccept(
+      AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue);
+
+  // Attaches accept readiness to `set` under `token`. Returns false when
+  // not listening.
+  bool WatchAccept(const sim::WaitSet& set, std::uint64_t token);
+
   void SetAdmissionHook(AdmissionHook hook) { admission_ = std::move(hook); }
 
   // Custom layer-A module for accepted sessions (Fig. 7 alternative (ii));
@@ -261,6 +288,12 @@ class Acceptor {
   void Close();
 
  private:
+  // Runs the CONFIG handshake and plane construction over an accepted
+  // signalling socket (shared by Accept and TryAccept).
+  Result<std::unique_ptr<Session>> Establish(
+      std::unique_ptr<sim::StreamSocket> signalling,
+      AppAModule::DeliveryMode delivery);
+
   sim::Network* net_;
   sim::Address addr_;
   ResourceManager* resources_;
@@ -285,6 +318,11 @@ Status SendFrame(sim::StreamSocket& socket, std::uint8_t type,
 // Returns {type, body}.
 Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrame(
     sim::StreamSocket& socket);
+// As RecvFrame, but gives up with kDeadlineExceeded after `timeout`. Used
+// for the connection-setup handshake, where the peer may never answer (it
+// can vanish, or its listener may close with the connect still queued).
+Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrameFor(
+    sim::StreamSocket& socket, Duration timeout);
 }  // namespace wire
 
 }  // namespace cool::dacapo

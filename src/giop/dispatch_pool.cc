@@ -1,0 +1,153 @@
+#include "giop/dispatch_pool.h"
+
+namespace cool::giop {
+
+DispatchClass ClassifyQoS(
+    const std::vector<qos::QoSParameter>& qos_params) noexcept {
+  bool latency_sensitive = false;
+  for (const qos::QoSParameter& p : qos_params) {
+    switch (p.type()) {
+      case qos::ParamType::kPriority:
+        // An explicit priority wins over everything else: 0..84 low,
+        // 85..169 normal, 170..255 high.
+        if (p.request_value >= 170) return DispatchClass::kHigh;
+        if (p.request_value < 85) return DispatchClass::kLow;
+        return DispatchClass::kNormal;
+      case qos::ParamType::kLatencyMicros:
+      case qos::ParamType::kJitterMicros:
+        latency_sensitive = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return latency_sensitive ? DispatchClass::kHigh : DispatchClass::kNormal;
+}
+
+std::size_t DefaultWorkerThreads() noexcept {
+  return static_cast<std::size_t>(HardwareConcurrency());
+}
+
+std::uint64_t DispatchPool::AllocRunnerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+DispatchPool::DispatchPool(std::size_t workers, std::size_t queue_capacity)
+    : worker_count_(workers == 0 ? 1 : workers),
+      queue_capacity_(queue_capacity) {
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DispatchPool::~DispatchPool() { Close(); }
+
+bool DispatchPool::Submit(DispatchRunner* runner, std::uint64_t runner_id,
+                          DispatchClass cls, DispatchJob job) {
+  MutexLock lock(mu_);
+  while (!closed_ && queued_ >= queue_capacity_) {
+    // Backpressure: stall the submitting receive path (and with it the
+    // connection) until a worker makes room.
+    job_space_.Wait(mu_);
+  }
+  if (closed_ || detached_.contains(runner_id)) return false;
+  Entry entry;
+  entry.runner = runner;
+  entry.runner_id = runner_id;
+  entry.job = std::move(job);
+  queues_[static_cast<std::size_t>(cls)].push_back(std::move(entry));
+  ++queued_;
+  job_ready_.NotifyOne();
+  return true;
+}
+
+bool DispatchPool::CancelQueued(std::uint64_t runner_id,
+                                corba::ULong request_id) {
+  MutexLock lock(mu_);
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->runner_id != runner_id ||
+          it->job.header.request_id != request_id) {
+        continue;
+      }
+      q.erase(it);
+      --queued_;
+      job_space_.NotifyOne();
+      return true;
+    }
+  }
+  return false;
+}
+
+void DispatchPool::DetachRunner(std::uint64_t runner_id) {
+  MutexLock lock(mu_);
+  detached_.insert(runner_id);
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->runner_id == runner_id) {
+        it = q.erase(it);
+        --queued_;
+        job_space_.NotifyOne();
+      } else {
+        ++it;
+      }
+    }
+  }
+  while (running_.contains(runner_id)) {
+    runner_idle_.Wait(mu_);
+  }
+}
+
+std::optional<DispatchPool::Entry> DispatchPool::NextEntry() {
+  MutexLock lock(mu_);
+  for (;;) {
+    for (auto& q : queues_) {  // highest priority class first
+      if (q.empty()) continue;
+      Entry entry = std::move(q.front());
+      q.pop_front();
+      --queued_;
+      ++running_[entry.runner_id];  // pop+mark atomic: detach barrier
+      job_space_.NotifyOne();
+      return entry;
+    }
+    if (closed_) return std::nullopt;  // closed + drained: exit
+    job_ready_.Wait(mu_);
+  }
+}
+
+void DispatchPool::DrainRunnerWaiters(std::uint64_t runner_id) {
+  MutexLock lock(mu_);
+  auto it = running_.find(runner_id);
+  if (it != running_.end() && --it->second == 0) running_.erase(it);
+  runner_idle_.NotifyAll();
+}
+
+void DispatchPool::WorkerLoop() {
+  for (;;) {
+    std::optional<Entry> entry = NextEntry();
+    if (!entry.has_value()) return;
+    entry->runner->RunDispatchJob(entry->job);
+    jobs_run_.fetch_add(1, std::memory_order_relaxed);
+    DrainRunnerWaiters(entry->runner_id);
+  }
+}
+
+void DispatchPool::Close() {
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    job_ready_.NotifyAll();
+    job_space_.NotifyAll();
+  }
+  // Workers drain the queue (NextEntry keeps popping after close) and
+  // exit; join outside the lock so in-flight upcalls can finish.
+  for (Thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace cool::giop

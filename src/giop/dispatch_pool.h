@@ -1,0 +1,139 @@
+// Shared servant-dispatch worker pool. One pool serves every GIOP
+// connection of an ORB: jobs are queued per QoS-derived priority class
+// (paper §4.2 — the extension's QoS semantics survive server-side
+// concurrency) and run on a fixed set of workers, so ten thousand idle
+// connections cost zero dispatch threads. Each GiopServer participates as
+// a DispatchRunner under a runner id; detaching a runner is a barrier that
+// removes its queued jobs and waits out its in-flight upcalls, making
+// connection teardown safe while the pool lives on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread.h"
+#include "giop/message.h"
+
+namespace cool::giop {
+
+// Dispatch priority classes for the server worker pool, derived from the
+// 9.9 Request's qos_params. Lower value = served first.
+enum class DispatchClass : int {
+  kHigh = 0,    // explicit priority >= 170, or a latency/jitter bound
+  kNormal = 1,  // no QoS, or QoS without scheduling implications
+  kLow = 2,     // explicit priority < 85
+};
+
+inline constexpr std::size_t kDispatchClasses = 3;
+
+// Maps a Request's QoS parameters onto a DispatchClass: an explicit
+// kPriority parameter wins (0..84 low, 85..169 normal, 170..255 high);
+// otherwise a latency or jitter bound marks the request latency-sensitive
+// and promotes it to kHigh.
+DispatchClass ClassifyQoS(
+    const std::vector<qos::QoSParameter>& qos_params) noexcept;
+
+// Default worker-pool size: one upcall thread per hardware thread.
+std::size_t DefaultWorkerThreads() noexcept;
+
+// One admitted Request on its way to a servant upcall. The ParsedMessage
+// owns the transport frame; the args decoder reads straight out of it.
+struct DispatchJob {
+  RequestHeader header;
+  ParsedMessage msg;
+  // Absolute message offset of the argument bytes (the decoder position
+  // right after the request header), so workers need not re-parse.
+  std::size_t args_offset = 0;
+
+  cdr::Decoder ArgsDecoder() const {
+    return cdr::Decoder(msg.body().subspan(args_offset - kHeaderSize),
+                        msg.header.byte_order, args_offset);
+  }
+};
+
+// What the pool calls back into to run a job — a GiopServer, which owns
+// the upcall and the reply send. Runners outlive their queued jobs by
+// contract: detach (or close the pool) before destroying the runner.
+class DispatchRunner {
+ public:
+  virtual ~DispatchRunner() = default;
+  virtual void RunDispatchJob(const DispatchJob& job) = 0;
+};
+
+class DispatchPool {
+ public:
+  explicit DispatchPool(std::size_t workers = DefaultWorkerThreads(),
+                        std::size_t queue_capacity = 1024);
+  ~DispatchPool();
+
+  DispatchPool(const DispatchPool&) = delete;
+  DispatchPool& operator=(const DispatchPool&) = delete;
+
+  // Process-unique runner id for Submit/CancelQueued/DetachRunner.
+  static std::uint64_t AllocRunnerId();
+
+  // Queues a job; blocks while the queue is at capacity (connection
+  // backpressure). Returns false once the pool is closed or the runner
+  // detached — the job is dropped.
+  bool Submit(DispatchRunner* runner, std::uint64_t runner_id,
+              DispatchClass cls, DispatchJob job);
+
+  // Kills a queued-but-unstarted job of `runner_id`; false when no such
+  // job is queued (it may be running already, or not yet submitted).
+  bool CancelQueued(std::uint64_t runner_id, corba::ULong request_id);
+
+  // Barrier: drops the runner's queued jobs, refuses new ones, and waits
+  // until none of its jobs is mid-upcall. After return the pool holds no
+  // reference to the runner. Must not be called from a pool worker.
+  void DetachRunner(std::uint64_t runner_id);
+
+  // Drains queued jobs, joins the workers. Idempotent.
+  void Close();
+
+  std::size_t workers() const noexcept { return worker_count_; }
+  std::uint64_t jobs_run() const noexcept {
+    return jobs_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    DispatchRunner* runner = nullptr;
+    std::uint64_t runner_id = 0;
+    DispatchJob job;
+  };
+
+  void WorkerLoop();
+  // Pops the next job and marks its runner busy, atomically (the detach
+  // barrier depends on pop+mark being one step). nullopt once closed and
+  // drained.
+  std::optional<Entry> NextEntry();
+  // Marks the entry's runner idle again and wakes detach waiters.
+  void DrainRunnerWaiters(std::uint64_t runner_id);
+
+  const std::size_t worker_count_;
+  const std::size_t queue_capacity_;
+  std::atomic<std::uint64_t> jobs_run_{0};
+
+  mutable Mutex mu_;
+  std::array<std::deque<Entry>, kDispatchClasses> queues_
+      COOL_GUARDED_BY(mu_);
+  std::size_t queued_ COOL_GUARDED_BY(mu_) = 0;
+  bool closed_ COOL_GUARDED_BY(mu_) = false;
+  CondVar job_ready_;
+  CondVar job_space_;
+  CondVar runner_idle_;
+  // runner id -> number of its jobs currently mid-upcall.
+  std::unordered_map<std::uint64_t, std::size_t> running_
+      COOL_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> detached_ COOL_GUARDED_BY(mu_);
+  // Started in the constructor, joined only by Close().
+  std::vector<Thread> workers_;
+};
+
+}  // namespace cool::giop

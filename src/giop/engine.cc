@@ -4,32 +4,6 @@
 
 namespace cool::giop {
 
-DispatchClass ClassifyQoS(
-    const std::vector<qos::QoSParameter>& qos_params) noexcept {
-  bool latency_sensitive = false;
-  for (const qos::QoSParameter& p : qos_params) {
-    switch (p.type()) {
-      case qos::ParamType::kPriority:
-        // An explicit priority wins over everything else: 0..84 low,
-        // 85..169 normal, 170..255 high.
-        if (p.request_value >= 170) return DispatchClass::kHigh;
-        if (p.request_value < 85) return DispatchClass::kLow;
-        return DispatchClass::kNormal;
-      case qos::ParamType::kLatencyMicros:
-      case qos::ParamType::kJitterMicros:
-        latency_sensitive = true;
-        break;
-      default:
-        break;
-    }
-  }
-  return latency_sensitive ? DispatchClass::kHigh : DispatchClass::kNormal;
-}
-
-std::size_t DefaultWorkerThreads() noexcept {
-  return static_cast<std::size_t>(HardwareConcurrency());
-}
-
 // --- GiopClient ---------------------------------------------------------------
 
 cdr::Decoder GiopClient::Reply::MakeResultsDecoder() const {
@@ -41,6 +15,10 @@ cdr::Decoder GiopClient::Reply::MakeResultsDecoder() const {
 }
 
 GiopClient::~GiopClient() {
+  if (reactor_registered_) {
+    // Barrier: no demux callback is running once Remove returns.
+    options_.reactor->Remove(rx_reg_);
+  }
   if (reader_.joinable()) {
     reader_.request_stop();
     reader_.join();
@@ -84,6 +62,20 @@ Status GiopClient::SendSerializedV(const ByteBuffer& head,
 void GiopClient::EnsureReaderLocked() {
   if (reader_started_) return;
   reader_started_ = true;
+  if (options_.reactor != nullptr) {
+    auto reg = options_.reactor->Add(
+        [this](const sim::WaitSet& set, std::uint64_t token) {
+          return channel_->RegisterRx(set, token);
+        },
+        [this] { DrainReactor(); });
+    if (reg.ok()) {
+      reactor_registered_ = true;
+      rx_reg_ = *reg;
+      return;
+    }
+    // Channel has no non-blocking receive path: fall back to the polling
+    // reader thread below.
+  }
   reader_ = Thread([this](std::stop_token stop) { ReaderLoop(stop); });
 }
 
@@ -91,7 +83,7 @@ Result<ParsedMessage> GiopClient::AwaitSlot(corba::ULong id,
                                             const std::shared_ptr<Slot>& slot,
                                             Duration timeout,
                                             bool abandon_on_timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   MutexLock lock(mu_);
   while (!slot->done) {
     if (!slot->cv.WaitUntil(mu_, deadline)) break;
@@ -120,55 +112,73 @@ void GiopClient::ReaderLoop(std::stop_token stop) {
       FailPending(raw.status(), /*terminal=*/true);
       return;
     }
-    // Adopt the receive buffer: the ParsedMessage owns the frame, so the
-    // reply body is never copied on its way up to the stub.
-    auto parsed = ParseMessage(*std::move(raw));
-    if (!parsed.ok()) {
-      FailPending(parsed.status(), /*terminal=*/false);
-      continue;
+    if (HandleFrame(*std::move(raw))) return;
+  }
+}
+
+void GiopClient::DrainReactor() {
+  // Drain contract: one readiness signal may cover several messages; keep
+  // pulling until nothing is pending. On a terminal condition the
+  // registration stays put (removal is the destructor's barrier); further
+  // signals just re-fail an already-broken connection.
+  for (;;) {
+    Result<std::optional<ByteBuffer>> raw = channel_->TryReceiveMessage();
+    if (!raw.ok()) {
+      FailPending(raw.status(), /*terminal=*/true);
+      return;
     }
-    switch (parsed->header.message_type) {
-      case MsgType::kReply: {
-        cdr::Decoder dec = parsed->MakeBodyDecoder();
-        auto reply = ParseReplyHeader(dec);
-        if (!reply.ok()) {
-          FailPending(reply.status(), /*terminal=*/false);
-          continue;
-        }
-        CompleteRequest(reply->request_id, *std::move(parsed));
-        continue;
+    if (!raw->has_value()) return;  // drained
+    if (HandleFrame(*std::move(*raw))) return;
+  }
+}
+
+bool GiopClient::HandleFrame(ByteBuffer raw) {
+  // Adopt the receive buffer: the ParsedMessage owns the frame, so the
+  // reply body is never copied on its way up to the stub.
+  auto parsed = ParseMessage(std::move(raw));
+  if (!parsed.ok()) {
+    FailPending(parsed.status(), /*terminal=*/false);
+    return false;
+  }
+  switch (parsed->header.message_type) {
+    case MsgType::kReply: {
+      cdr::Decoder dec = parsed->MakeBodyDecoder();
+      auto reply = ParseReplyHeader(dec);
+      if (!reply.ok()) {
+        FailPending(reply.status(), /*terminal=*/false);
+        return false;
       }
-      case MsgType::kLocateReply: {
-        cdr::Decoder dec = parsed->MakeBodyDecoder();
-        auto reply = ParseLocateReplyHeader(dec);
-        if (!reply.ok()) {
-          FailPending(reply.status(), /*terminal=*/false);
-          continue;
-        }
-        CompleteRequest(reply->request_id, *std::move(parsed));
-        continue;
-      }
-      case MsgType::kMessageError:
-        // MessageError carries no request id, so every in-flight request
-        // is failed — the connection itself survives, per GIOP.
-        FailPending(Status(ProtocolError(
-                        "peer answered MessageError (GIOP version not "
-                        "accepted?)")),
-                    /*terminal=*/false);
-        continue;
-      case MsgType::kCloseConnection:
-        FailPending(
-            Status(UnavailableError("peer closed the GIOP connection")),
-            /*terminal=*/true);
-        return;
-      default:
-        FailPending(
-            Status(ProtocolError(
-                "unexpected GIOP message: " +
-                std::string(MsgTypeName(parsed->header.message_type)))),
-            /*terminal=*/false);
-        continue;
+      CompleteRequest(reply->request_id, *std::move(parsed));
+      return false;
     }
+    case MsgType::kLocateReply: {
+      cdr::Decoder dec = parsed->MakeBodyDecoder();
+      auto reply = ParseLocateReplyHeader(dec);
+      if (!reply.ok()) {
+        FailPending(reply.status(), /*terminal=*/false);
+        return false;
+      }
+      CompleteRequest(reply->request_id, *std::move(parsed));
+      return false;
+    }
+    case MsgType::kMessageError:
+      // MessageError carries no request id, so every in-flight request
+      // is failed — the connection itself survives, per GIOP.
+      FailPending(Status(ProtocolError(
+                      "peer answered MessageError (GIOP version not "
+                      "accepted?)")),
+                  /*terminal=*/false);
+      return false;
+    case MsgType::kCloseConnection:
+      FailPending(Status(UnavailableError("peer closed the GIOP connection")),
+                  /*terminal=*/true);
+      return true;
+    default:
+      FailPending(Status(ProtocolError(
+                      "unexpected GIOP message: " +
+                      std::string(MsgTypeName(parsed->header.message_type)))),
+                  /*terminal=*/false);
+      return false;
   }
 }
 
@@ -359,7 +369,7 @@ Status GiopServer::SendSerializedV(const ByteBuffer& head,
   return channel_->SendMessageV(parts);
 }
 
-Status GiopServer::DispatchAndReply(const Job& job) {
+Status GiopServer::DispatchAndReply(const DispatchJob& job) {
   cdr::Decoder dec = job.ArgsDecoder();
   DispatchResult result = dispatcher_(job.header, dec);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
@@ -385,7 +395,7 @@ void GiopServer::StartWorkersLocked() {
   }
 }
 
-bool GiopServer::EnqueueJob(Job job, DispatchClass cls) {
+bool GiopServer::EnqueueJob(DispatchJob job, DispatchClass cls) {
   MutexLock lock(pool_mu_);
   StartWorkersLocked();
   while (!pool_closed_ && queued_ >= options_.queue_capacity) {
@@ -400,12 +410,12 @@ bool GiopServer::EnqueueJob(Job job, DispatchClass cls) {
   return true;
 }
 
-std::optional<GiopServer::Job> GiopServer::NextJob() {
+std::optional<DispatchJob> GiopServer::NextJob() {
   MutexLock lock(pool_mu_);
   for (;;) {
     for (auto& q : queues_) {  // highest priority class first
       if (q.empty()) continue;
-      Job job = std::move(q.front());
+      DispatchJob job = std::move(q.front());
       q.pop_front();
       --queued_;
       job_space_.NotifyOne();
@@ -416,24 +426,28 @@ std::optional<GiopServer::Job> GiopServer::NextJob() {
   }
 }
 
+void GiopServer::RunDispatchJob(const DispatchJob& job) {
+  {
+    // Last-chance cancel: a CancelRequest that raced the dequeue.
+    MutexLock lock(pool_mu_);
+    if (TakeCancelledLocked(job.header.request_id)) {
+      requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const Status sent = DispatchAndReply(job);
+  if (!sent.ok()) {
+    COOL_LOG(kWarn, "giop")
+        << "Reply send failed for request " << job.header.request_id << ": "
+        << sent;
+  }
+}
+
 void GiopServer::WorkerLoop() {
   for (;;) {
-    std::optional<Job> job = NextJob();
+    std::optional<DispatchJob> job = NextJob();
     if (!job.has_value()) return;
-    {
-      // Last-chance cancel: a CancelRequest that raced the dequeue.
-      MutexLock lock(pool_mu_);
-      if (TakeCancelledLocked(job->header.request_id)) {
-        requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-    }
-    const Status sent = DispatchAndReply(*job);
-    if (!sent.ok()) {
-      COOL_LOG(kWarn, "giop")
-          << "Reply send failed for request " << job->header.request_id
-          << ": " << sent;
-    }
+    RunDispatchJob(*job);
   }
 }
 
@@ -459,8 +473,13 @@ void GiopServer::Close() {
     job_ready_.NotifyAll();
     job_space_.NotifyAll();
   }
-  // Workers drain the queue (NextJob keeps popping after close) and exit;
-  // join outside the lock so in-flight upcalls can finish.
+  if (options_.pool != nullptr) {
+    // Shared pool: barrier out our queued and in-flight jobs; the pool
+    // itself lives on for other connections.
+    options_.pool->DetachRunner(runner_id_);
+  }
+  // Private workers drain the queue (NextJob keeps popping after close)
+  // and exit; join outside the lock so in-flight upcalls can finish.
   for (Thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -487,11 +506,18 @@ Status GiopServer::HandleRequest(ParsedMessage msg) {
     }
   }
 
-  Job job;
+  DispatchJob job;
   job.args_offset = dec.offset();
   job.header = *std::move(header);
   job.msg = std::move(msg);
 
+  if (options_.pool != nullptr) {
+    const DispatchClass cls = ClassifyQoS(job.header.qos_params);
+    if (!options_.pool->Submit(this, runner_id_, cls, std::move(job))) {
+      return Status(CancelledError("server dispatch pool is closed"));
+    }
+    return Status::Ok();
+  }
   if (options_.worker_threads == 0) {
     return DispatchAndReply(job);  // historical inline mode
   }
@@ -503,6 +529,11 @@ Status GiopServer::HandleRequest(ParsedMessage msg) {
 }
 
 Status GiopServer::HandleCancel(corba::ULong request_id) {
+  if (options_.pool != nullptr &&
+      options_.pool->CancelQueued(runner_id_, request_id)) {
+    requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
   MutexLock lock(pool_mu_);
   // Kill a queued-but-unstarted dispatch outright.
   for (auto& q : queues_) {
@@ -525,10 +556,13 @@ Status GiopServer::HandleCancel(corba::ULong request_id) {
 Status GiopServer::ServeOne(Duration timeout) {
   auto raw = channel_->ReceiveMessage(timeout);
   if (!raw.ok()) return raw.status();
+  return HandleFrame(*std::move(raw));
+}
 
+Status GiopServer::HandleFrame(ByteBuffer raw) {
   // Adopt the receive buffer: the args decoder reads straight out of the
-  // transport's frame, which rides inside the Job without copies.
-  auto parsed = ParseMessage(*std::move(raw));
+  // transport's frame, which rides inside the job without copies.
+  auto parsed = ParseMessage(std::move(raw));
   if (!parsed.ok()) {
     (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
     return parsed.status();

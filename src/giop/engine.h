@@ -6,17 +6,20 @@
 //
 // Both engines multiplex one channel across many in-flight requests:
 //
-//  * GiopClient runs a reply demultiplexer — a single reader thread drains
-//    the channel and completes per-request slots keyed by request id, so
-//    Invoke / InvokeDeferred / Locate from any number of caller threads
-//    pipeline over the same connection. No lock is ever held across
-//    blocking I/O (scripts/check_invariants.py rule 8).
-//  * GiopServer runs dispatcher upcalls on a bounded worker pool (size in
-//    Options; 0 = inline dispatch in the receive loop). Replies may return
-//    out of order; only the reply *send* is serialized. A CancelRequest
-//    kills a queued-but-unstarted dispatch, and per-request QoS parameters
-//    (9.9 Requests) map to dispatch priority classes so the paper's QoS
-//    semantics survive concurrency.
+//  * GiopClient runs a reply demultiplexer: with a Reactor in Options the
+//    demux is a reactor callback draining the channel's non-blocking
+//    receive path (no thread per binding); otherwise a polling reader
+//    thread drains the channel. Either way, per-request slots keyed by
+//    request id let Invoke / InvokeDeferred / Locate from any number of
+//    caller threads pipeline over the same connection. No lock is ever
+//    held across blocking I/O (scripts/check_invariants.py rule 8).
+//  * GiopServer runs dispatcher upcalls on a priority worker pool — a
+//    shared DispatchPool (one per ORB, via Options.pool) or a private one
+//    (Options.worker_threads; 0 = inline dispatch in the receive loop).
+//    Replies may return out of order; only the reply *send* is serialized.
+//    A CancelRequest kills a queued-but-unstarted dispatch, and per-request
+//    QoS parameters (9.9 Requests) map to dispatch priority classes so the
+//    paper's QoS semantics survive concurrency.
 #pragma once
 
 #include <array>
@@ -31,31 +34,12 @@
 #include "common/buffer_pool.h"
 #include "common/mutex.h"
 #include "common/thread.h"
+#include "giop/dispatch_pool.h"
 #include "giop/message.h"
 #include "transport/com_channel.h"
+#include "transport/reactor.h"
 
 namespace cool::giop {
-
-// Dispatch priority classes for the server worker pool, derived from the
-// 9.9 Request's qos_params (paper §4.2: the extension's QoS semantics must
-// survive server-side concurrency). Lower value = served first.
-enum class DispatchClass : int {
-  kHigh = 0,    // explicit priority >= 170, or a latency/jitter bound
-  kNormal = 1,  // no QoS, or QoS without scheduling implications
-  kLow = 2,     // explicit priority < 85
-};
-
-inline constexpr std::size_t kDispatchClasses = 3;
-
-// Maps a Request's QoS parameters onto a DispatchClass: an explicit
-// kPriority parameter wins (0..84 low, 85..169 normal, 170..255 high);
-// otherwise a latency or jitter bound marks the request latency-sensitive
-// and promotes it to kHigh.
-DispatchClass ClassifyQoS(
-    const std::vector<qos::QoSParameter>& qos_params) noexcept;
-
-// Default server worker-pool size: one upcall thread per hardware thread.
-std::size_t DefaultWorkerThreads() noexcept;
 
 class GiopClient {
  public:
@@ -71,8 +55,14 @@ class GiopClient {
     // must be discarded; oldest entries are FIFO-evicted beyond this.
     std::size_t abandoned_cap = 1024;
     // Poll quantum of the demux reader thread: the granularity at which it
-    // notices a stop request on an otherwise idle connection.
+    // notices a stop request on an otherwise idle connection. (A close of
+    // the channel interrupts the wait immediately; the quantum only bounds
+    // how long a stop request on a healthy idle connection goes unnoticed.)
     Duration reader_poll = milliseconds(50);
+    // Reply demultiplexing via a reactor callback instead of a dedicated
+    // reader thread. Used when the channel supports the non-blocking
+    // receive path (RegisterRx); falls back to the reader thread otherwise.
+    transport::Reactor* reactor = nullptr;
   };
 
   // The channel must outlive the engine.
@@ -194,6 +184,11 @@ class GiopClient {
 
   void EnsureReaderLocked() COOL_REQUIRES(mu_);
   void ReaderLoop(std::stop_token stop);
+  // Reactor callback: drains TryReceiveMessage until nothing is pending.
+  void DrainReactor();
+  // Parses and routes one received frame (shared by both demux paths).
+  // Returns true when the connection is terminal (demux should stop).
+  bool HandleFrame(ByteBuffer raw);
   // Routes a Reply/LocateReply to its slot; unknown ids are discarded if
   // abandoned, logged otherwise.
   void CompleteRequest(corba::ULong request_id, ParsedMessage msg);
@@ -234,6 +229,10 @@ class GiopClient {
   bool reader_started_ COOL_GUARDED_BY(mu_) = false;
   // Started under mu_, joined only by the destructor (no concurrent use).
   Thread reader_;
+  // Reactor registration (written once under mu_ in EnsureReaderLocked,
+  // read by the destructor when no other thread can touch the engine).
+  bool reactor_registered_ = false;
+  std::uint64_t rx_reg_ = 0;
 };
 
 template <typename BuildHead>
@@ -258,16 +257,20 @@ Result<GiopClient::PendingCall> GiopClient::StartCall(
   return call;
 }
 
-class GiopServer {
+class GiopServer : public DispatchRunner {
  public:
   struct Options {
     // When false the server is an unmodified GIOP 1.0 implementation: a
     // 9.9 Request is answered with MessageError.
     bool accept_qos_extension = true;
     cdr::ByteOrder order = cdr::NativeOrder();
-    // Dispatcher worker-pool size. Workers run servant upcalls
-    // concurrently and may answer out of order; 0 runs every upcall inline
-    // in the receive loop (the historical serial mode).
+    // Shared dispatch pool (one per ORB): upcalls run on the pool's
+    // workers and worker_threads below is ignored. The pool must outlive
+    // the server; Close() detaches from it.
+    DispatchPool* pool = nullptr;
+    // Private dispatcher worker-pool size (when pool == nullptr). Workers
+    // run servant upcalls concurrently and may answer out of order; 0 runs
+    // every upcall inline in the receive loop (the historical serial mode).
     std::size_t worker_threads = DefaultWorkerThreads();
     // Bound on queued-but-unstarted dispatches; the receive loop blocks
     // (connection backpressure) once this many upcalls are waiting.
@@ -312,10 +315,19 @@ class GiopServer {
   //                    when possible)
   Status ServeOne(Duration timeout = seconds(30));
 
+  // Reactor entry: handles one already-received frame — everything
+  // ServeOne does after its blocking receive, with the same return
+  // contract.
+  Status HandleFrame(ByteBuffer raw);
+
   // Loop until the connection ends; returns the terminating status
   // (kCancelled for a clean CloseConnection). Drains the worker pool and
   // releases the cancel memory before returning.
   Status Serve();
+
+  // DispatchRunner: runs one upcall (last-chance cancel check included).
+  // Called by the shared pool's workers; public only for that reason.
+  void RunDispatchJob(const DispatchJob& job) override;
 
   // Stops the worker pool after draining queued dispatches. Idempotent;
   // called by the destructor. Not safe to call concurrently with itself.
@@ -336,30 +348,17 @@ class GiopServer {
   }
 
  private:
-  struct Job {
-    RequestHeader header;
-    ParsedMessage msg;
-    // Absolute message offset of the argument bytes (the decoder position
-    // right after the request header), so workers need not re-parse.
-    std::size_t args_offset = 0;
-
-    cdr::Decoder ArgsDecoder() const {
-      return cdr::Decoder(msg.body().subspan(args_offset - kHeaderSize),
-                          msg.header.byte_order, args_offset);
-    }
-  };
-
   Status HandleRequest(ParsedMessage msg);
   Status HandleCancel(corba::ULong request_id);
   // Runs the upcall and sends the Reply (when one is expected).
-  Status DispatchAndReply(const Job& job);
+  Status DispatchAndReply(const DispatchJob& job);
 
   void StartWorkersLocked() COOL_REQUIRES(pool_mu_);
   void WorkerLoop();
   // Blocks while the queue is at capacity; false once the pool is closed.
-  bool EnqueueJob(Job job, DispatchClass cls);
+  bool EnqueueJob(DispatchJob job, DispatchClass cls);
   // Highest-priority-first pop; nullopt once closed and drained.
-  std::optional<Job> NextJob();
+  std::optional<DispatchJob> NextJob();
   bool TakeCancelledLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
   void RememberCancelLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
 
@@ -378,8 +377,11 @@ class GiopServer {
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_cancelled_{0};
 
+  // Identity under the shared DispatchPool (pool mode only).
+  const std::uint64_t runner_id_ = DispatchPool::AllocRunnerId();
+
   mutable Mutex pool_mu_;
-  std::array<std::deque<Job>, kDispatchClasses> queues_
+  std::array<std::deque<DispatchJob>, kDispatchClasses> queues_
       COOL_GUARDED_BY(pool_mu_);
   std::size_t queued_ COOL_GUARDED_BY(pool_mu_) = 0;
   bool pool_closed_ COOL_GUARDED_BY(pool_mu_) = false;

@@ -91,6 +91,17 @@ class SessionComChannel : public transport::ComChannel {
                           session_->Receive(timeout));
     return ByteBuffer(std::move(payload));
   }
+  Result<std::optional<ByteBuffer>> TryReceiveMessage() override {
+    Result<dacapo::ReceivedMessage> got = session_->TryReceivePacket();
+    if (!got.ok()) return got.status();  // kUnavailable once closed+drained
+    if (!*got) return std::optional<ByteBuffer>(std::nullopt);
+    return std::optional<ByteBuffer>(ByteBuffer(
+        std::vector<std::uint8_t>(got->data().begin(), got->data().end())));
+  }
+  bool RegisterRx(const sim::WaitSet& set, std::uint64_t token) override {
+    session_->WatchRx(set, token);
+    return true;
+  }
   void Close() override { session_->Close(); }
 
   dacapo::Session& session() { return *session_; }

@@ -5,6 +5,18 @@
 
 namespace cool::orb {
 
+std::size_t ObjectAdapter::ShardIndex(
+    const corba::OctetSeq& object_key) noexcept {
+  // FNV-1a over the key bytes; cheap and well-spread for the short,
+  // name-derived keys the adapter hands out.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const corba::Octet b : object_key) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % kShards);
+}
+
 Result<corba::OctetSeq> ObjectAdapter::Activate(
     const std::string& name, std::shared_ptr<Servant> servant) {
   if (name.empty()) {
@@ -14,8 +26,10 @@ Result<corba::OctetSeq> ObjectAdapter::Activate(
     return Status(InvalidArgumentError("null servant"));
   }
   corba::OctetSeq key(name.begin(), name.end());
-  MutexLock lock(mu_);
-  const auto [it, inserted] = servants_.try_emplace(key, std::move(servant));
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto [it, inserted] =
+      shard.servants.try_emplace(key, std::move(servant));
   (void)it;
   if (!inserted) {
     return Status(AlreadyExistsError("object already active: " + name));
@@ -24,8 +38,9 @@ Result<corba::OctetSeq> ObjectAdapter::Activate(
 }
 
 Status ObjectAdapter::Deactivate(const corba::OctetSeq& object_key) {
-  MutexLock lock(mu_);
-  if (servants_.erase(object_key) == 0) {
+  Shard& shard = ShardFor(object_key);
+  MutexLock lock(shard.mu);
+  if (shard.servants.erase(object_key) == 0) {
     return NotFoundError("no active object for key");
   }
   return Status::Ok();
@@ -33,9 +48,10 @@ Status ObjectAdapter::Deactivate(const corba::OctetSeq& object_key) {
 
 std::shared_ptr<Servant> ObjectAdapter::Find(
     const corba::OctetSeq& object_key) const {
-  MutexLock lock(mu_);
-  const auto it = servants_.find(object_key);
-  return it != servants_.end() ? it->second : nullptr;
+  const Shard& shard = ShardFor(object_key);
+  MutexLock lock(shard.mu);
+  const auto it = shard.servants.find(object_key);
+  return it != shard.servants.end() ? it->second : nullptr;
 }
 
 bool ObjectAdapter::Exists(const corba::OctetSeq& object_key) const {
@@ -43,8 +59,12 @@ bool ObjectAdapter::Exists(const corba::OctetSeq& object_key) const {
 }
 
 std::size_t ObjectAdapter::active_count() const {
-  MutexLock lock(mu_);
-  return servants_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.servants.size();
+  }
+  return total;
 }
 
 std::uint64_t ObjectAdapter::qos_nacks() const {

@@ -6,6 +6,7 @@
 // colocation fast path calls DispatchLocal directly on this class.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -60,10 +61,27 @@ class ObjectAdapter {
   static giop::GiopServer::DispatchResult MakeSystemException(
       const Status& status, cdr::ByteOrder order);
 
-  mutable Mutex mu_;
-  std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants_
-      COOL_GUARDED_BY(mu_);
-  // Atomic, not mu_-guarded: bumped from concurrent pool-worker upcalls.
+  // The servant table is sharded by a hash of the object key so the
+  // per-request lookup (one per upcall, from every reactor worker and pool
+  // worker at once) never funnels through a single lock.
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable Mutex mu;
+    std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants
+        COOL_GUARDED_BY(mu);
+  };
+
+  static std::size_t ShardIndex(const corba::OctetSeq& object_key) noexcept;
+  Shard& ShardFor(const corba::OctetSeq& object_key) noexcept {
+    return shards_[ShardIndex(object_key)];
+  }
+  const Shard& ShardFor(const corba::OctetSeq& object_key) const noexcept {
+    return shards_[ShardIndex(object_key)];
+  }
+
+  std::array<Shard, kShards> shards_;
+  // Atomic, not shard-guarded: bumped from concurrent pool-worker upcalls.
   std::atomic<std::uint64_t> qos_nacks_{0};
 };
 

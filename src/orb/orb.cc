@@ -46,6 +46,12 @@ Status ORB::Start() {
   if (running_.exchange(true)) {
     return FailedPreconditionError("ORB already running");
   }
+  if (options_.giop_worker_threads > 0) {
+    dispatch_pool_ =
+        std::make_unique<giop::DispatchPool>(options_.giop_worker_threads);
+  }
+  reactor_ = std::make_unique<transport::Reactor>(options_.reactor_threads);
+
   COOL_RETURN_IF_ERROR(tcp_.Listen());
   COOL_RETURN_IF_ERROR(ipc_.Listen());
   COOL_RETURN_IF_ERROR(dacapo_.Listen());
@@ -54,12 +60,18 @@ Status ORB::Start() {
        {static_cast<transport::ComManager*>(&tcp_),
         static_cast<transport::ComManager*>(&ipc_),
         static_cast<transport::ComManager*>(&dacapo_)}) {
-    accept_threads_.emplace_back(
-        [this, mgr](std::stop_token st) { AcceptLoop(mgr, st); });
+    auto reg = reactor_->Add(
+        [mgr](const sim::WaitSet& set, std::uint64_t token) {
+          return mgr->RegisterAccept(set, token);
+        },
+        [this, mgr] { DrainAccept(mgr); });
+    COOL_RETURN_IF_ERROR(reg.status());
+    accept_regs_.push_back(*reg);
   }
   COOL_LOG(kInfo, "orb") << host_ << ": ORB running (tcp:"
                          << options_.tcp_port << " ipc:" << options_.ipc_port
-                         << " dacapo:" << options_.dacapo_port << ")";
+                         << " dacapo:" << options_.dacapo_port << ", "
+                         << reactor_->workers() << " reactor workers)";
   return Status::Ok();
 }
 
@@ -69,85 +81,167 @@ void ORB::Shutdown() {
   tcp_.Close();
   ipc_.Close();
   dacapo_.Close();
-  for (auto& t : accept_threads_) {
-    t.request_stop();
-    if (t.joinable()) t.join();
+  // Barrier out the accept callbacks. conn_mu_ must not be held here:
+  // Remove() waits for a callback that may be blocked acquiring it.
+  if (reactor_ != nullptr) {
+    for (const std::uint64_t id : accept_regs_) reactor_->Remove(id);
   }
-  accept_threads_.clear();
+  accept_regs_.clear();
 
-  std::unordered_map<std::uint64_t, Thread> connections;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns;
+  std::unordered_map<std::uint64_t, Thread> threads;
   {
     MutexLock lock(conn_mu_);
-    for (auto& [id, channel] : live_channels_) channel->Close();
-    connections.swap(connection_threads_);
+    conns.swap(connections_);
+    threads.swap(connection_threads_);
   }
-  for (auto& [id, t] : connections) {
+  for (auto& [id, conn] : conns) {
+    // Close first so a mid-callback drain (and any upcall mid-reply) fails
+    // fast instead of blocking; then barrier out the drain callback; then
+    // detach the server from the shared pool.
+    conn->channel->Close();
+    if (conn->rx_reg != 0 && reactor_ != nullptr) {
+      reactor_->Remove(conn->rx_reg);
+    }
+    conn->server->Close();
+  }
+  for (auto& [id, t] : threads) {
     if (t.joinable()) t.join();
   }
+  if (dispatch_pool_ != nullptr) dispatch_pool_->Close();
   running_ = false;
 }
 
-void ORB::AcceptLoop(transport::ComManager* manager, std::stop_token stop) {
-  while (!stop.stop_requested()) {
-    auto channel = manager->AcceptChannel();
-    if (!channel.ok()) return;  // manager closed
-
-    // Reap threads of connections that have since ended, outside the lock
-    // (join must not run under conn_mu_ — ServeConnection takes it last).
-    std::vector<Thread> reaped;
-    {
-      MutexLock lock(conn_mu_);
-      if (shutdown_.load()) return;
-      for (const std::uint64_t id : finished_connections_) {
-        const auto it = connection_threads_.find(id);
-        if (it != connection_threads_.end()) {
-          reaped.push_back(std::move(it->second));
-          connection_threads_.erase(it);
-        }
-      }
-      finished_connections_.clear();
-    }
-    for (auto& t : reaped) {
-      if (t.joinable()) t.join();
-    }
-
-    MutexLock lock(conn_mu_);
+void ORB::DrainAccept(transport::ComManager* manager) {
+  for (;;) {
     if (shutdown_.load()) return;
-    ++connections_accepted_;
-    const std::uint64_t id = next_conn_id_++;
-    auto owned = std::move(channel).value();
-    connection_threads_.emplace(
-        id, Thread([this, id, ch = std::move(owned)](
-                             std::stop_token) mutable {
-          ServeConnection(id, std::move(ch));
-        }));
+    auto channel = manager->TryAcceptChannel();
+    if (!channel.ok()) return;       // manager closed
+    if (*channel == nullptr) return;  // nothing pending right now
+    AdoptConnection(std::move(*channel));
   }
 }
 
-void ORB::ServeConnection(std::uint64_t id,
-                          std::unique_ptr<transport::ComChannel> channel) {
+void ORB::AdoptConnection(std::unique_ptr<transport::ComChannel> channel) {
+  // Reap legacy serve threads of connections that have since ended,
+  // outside the lock (join must not run under conn_mu_ — ServeConnection
+  // takes it last).
+  std::vector<Thread> reaped;
   {
     MutexLock lock(conn_mu_);
-    live_channels_[id] = channel.get();
+    for (const std::uint64_t id : finished_connections_) {
+      const auto it = connection_threads_.find(id);
+      if (it != connection_threads_.end()) {
+        reaped.push_back(std::move(it->second));
+        connection_threads_.erase(it);
+      }
+    }
+    finished_connections_.clear();
+  }
+  for (auto& t : reaped) {
+    if (t.joinable()) t.join();
   }
 
+  auto conn = std::make_shared<Connection>();
+  conn->channel = std::move(channel);
+  conn->server = MakeServer(conn->channel.get());
+
+  MutexLock lock(conn_mu_);
+  if (shutdown_.load()) {
+    conn->channel->Close();
+    conn->server->Close();
+    return;
+  }
+  ++connections_accepted_;
+  conn->id = next_conn_id_++;
+
+  // Registering under conn_mu_ is safe: workers hold no reactor lock while
+  // running callbacks, so a callback blocked on conn_mu_ cannot hold up
+  // Add(). The registration's closure keeps the Connection alive for as
+  // long as the reactor may still invoke it.
+  auto reg = reactor_->Add(
+      [raw = conn->channel.get()](const sim::WaitSet& set,
+                                  std::uint64_t token) {
+        return raw->RegisterRx(set, token);
+      },
+      [this, conn] { DrainConnection(conn); });
+  if (reg.ok()) {
+    conn->rx_reg = *reg;
+    connections_[conn->id] = conn;
+    return;
+  }
+  // Transport without a non-blocking receive path: fall back to one
+  // blocking serve thread for this connection (legacy model).
+  connections_[conn->id] = conn;
+  const std::uint64_t id = conn->id;
+  connection_threads_.emplace(
+      id, Thread([this, id, c = std::move(conn)](std::stop_token) mutable {
+        ServeConnection(id, std::move(c));
+      }));
+}
+
+void ORB::DrainConnection(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Result<std::optional<ByteBuffer>> raw = conn->channel->TryReceiveMessage();
+    if (!raw.ok()) {
+      // Closed (local shutdown or peer hangup) or transport failure.
+      COOL_LOG(kDebug, "orb") << host_
+                              << ": connection ended: " << raw.status();
+      FinishConnection(conn);
+      return;
+    }
+    if (!raw->has_value()) return;  // drained; re-armed for next readiness
+    const Status handled = conn->server->HandleFrame(*std::move(*raw));
+    if (handled.ok()) continue;
+    if (handled.code() == ErrorCode::kProtocolError) {
+      // Mirrors Serve(): protocol damage is reported but the connection
+      // soldiers on, as GIOP prescribes after MessageError.
+      COOL_LOG(kWarn, "giop") << "protocol error on connection: " << handled;
+      continue;
+    }
+    COOL_LOG(kDebug, "orb") << host_ << ": connection ended: " << handled;
+    FinishConnection(conn);
+    return;
+  }
+}
+
+void ORB::FinishConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    MutexLock lock(conn_mu_);
+    connections_.erase(conn->id);
+  }
+  // Self-removal from inside the drain callback: unregisters without
+  // waiting (idempotent against a concurrent Shutdown doing the same).
+  reactor_->Remove(conn->rx_reg);
+  conn->channel->Close();
+  conn->server->Close();
+}
+
+std::unique_ptr<giop::GiopServer> ORB::MakeServer(
+    transport::ComChannel* channel) {
   giop::GiopServer::Options server_options;
   server_options.accept_qos_extension = options_.enable_qos_extension;
-  server_options.worker_threads = options_.giop_worker_threads;
-  giop::GiopServer server(
-      channel.get(),
+  server_options.pool = dispatch_pool_.get();
+  // Upcalls run on the shared pool (or inline when it is disabled) —
+  // never on per-connection worker threads.
+  server_options.worker_threads = 0;
+  auto server = std::make_unique<giop::GiopServer>(
+      channel,
       [this](const giop::RequestHeader& header, cdr::Decoder& args) {
         return adapter_.Dispatch(header, args, cdr::NativeOrder());
       },
       server_options);
-  server.SetLocator(
+  server->SetLocator(
       [this](const corba::OctetSeq& key) { return adapter_.Exists(key); });
+  return server;
+}
 
-  const Status end = server.Serve();
+void ORB::ServeConnection(std::uint64_t id, std::shared_ptr<Connection> conn) {
+  const Status end = conn->server->Serve();
   COOL_LOG(kDebug, "orb") << host_ << ": connection ended: " << end;
 
   MutexLock lock(conn_mu_);
-  live_channels_.erase(id);
+  connections_.erase(id);
   finished_connections_.push_back(id);
 }
 

@@ -19,10 +19,13 @@
 #include "common/thread.h"
 #include "dacapo/config_manager.h"
 #include "dacapo/resource_manager.h"
+#include "giop/dispatch_pool.h"
+#include "giop/engine.h"
 #include "orb/object_adapter.h"
 #include "orb/object_ref.h"
 #include "transport/dacapo_channel.h"
 #include "transport/ipc_channel.h"
+#include "transport/reactor.h"
 #include "transport/tcp_channel.h"
 
 namespace cool::orb {
@@ -43,9 +46,14 @@ class ORB {
     corba::OctetSeq principal{};
     // Optional server-side resource admission for Da CaPo connections.
     dacapo::ResourceManager* resources = nullptr;
-    // Worker-pool size of each per-connection GiopServer (0 = inline
-    // dispatch in the receive loop; see giop::GiopServer::Options).
+    // Size of the ORB-wide servant dispatch pool shared by every
+    // connection (0 = inline dispatch on the reactor worker — only for
+    // tests that need strictly serial upcalls).
     std::size_t giop_worker_threads = giop::DefaultWorkerThreads();
+    // Reactor worker loops carrying all connection I/O (reads, accepts,
+    // demux); 0 = one per hardware thread. The thread count is flat in the
+    // number of connections.
+    unsigned reactor_threads = 0;
   };
 
   ORB(sim::Network* net, std::string host);
@@ -85,10 +93,36 @@ class ORB {
 
   std::uint64_t connections_accepted() const;
 
+  // The connection engine (tests/metrics).
+  transport::Reactor& reactor() noexcept { return *reactor_; }
+  giop::DispatchPool* dispatch_pool() noexcept { return dispatch_pool_.get(); }
+
  private:
-  void AcceptLoop(transport::ComManager* manager, std::stop_token stop);
-  void ServeConnection(std::uint64_t id,
-                       std::unique_ptr<transport::ComChannel> channel);
+  // One accepted server-side connection, reactor-driven: the channel's
+  // receive readiness feeds a callback that drains frames into the
+  // GiopServer, whose upcalls run on the shared dispatch pool. The
+  // registration's closure holds the Connection alive, so teardown is
+  // naturally deferred past any in-flight callback.
+  struct Connection {
+    std::uint64_t id = 0;
+    std::unique_ptr<transport::ComChannel> channel;
+    std::unique_ptr<giop::GiopServer> server;
+    std::uint64_t rx_reg = 0;  // reactor registration (0 = legacy thread)
+  };
+
+  // Reactor accept callback: drains pending channels off `manager`.
+  void DrainAccept(transport::ComManager* manager);
+  // Builds the Connection for an accepted channel and registers its
+  // receive path with the reactor (or a legacy serve thread when the
+  // transport has no non-blocking receive).
+  void AdoptConnection(std::unique_ptr<transport::ComChannel> channel);
+  // Reactor receive callback: drains frames; tears the connection down on
+  // a terminal status.
+  void DrainConnection(const std::shared_ptr<Connection>& conn);
+  void FinishConnection(const std::shared_ptr<Connection>& conn);
+  std::unique_ptr<giop::GiopServer> MakeServer(transport::ComChannel* channel);
+  // Legacy path: blocking serve loop on a dedicated thread.
+  void ServeConnection(std::uint64_t id, std::shared_ptr<Connection> conn);
 
   sim::Network* net_;
   std::string host_;
@@ -101,16 +135,24 @@ class ORB {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdown_{false};
-  std::vector<Thread> accept_threads_;
+
+  // Declared before the connection state: destroyed after it, so a
+  // Connection destructor can still detach from the pool, and reactor
+  // teardown (which drops registration closures, i.e. Connection refs)
+  // happens while the pool is alive.
+  std::unique_ptr<giop::DispatchPool> dispatch_pool_;
+  std::unique_ptr<transport::Reactor> reactor_;
+  std::vector<std::uint64_t> accept_regs_;
 
   mutable Mutex conn_mu_;
   std::uint64_t next_conn_id_ COOL_GUARDED_BY(conn_mu_) = 1;
-  std::unordered_map<std::uint64_t, transport::ComChannel*> live_channels_
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_
       COOL_GUARDED_BY(conn_mu_);
+  // Legacy-path serve threads (transports without a non-blocking receive).
   std::unordered_map<std::uint64_t, Thread> connection_threads_
       COOL_GUARDED_BY(conn_mu_);
-  // Connections whose serve loop ended; their threads are joined and
-  // reaped by the next accept (long-running servers stay bounded).
+  // Legacy connections whose serve loop ended; their threads are joined
+  // and reaped on the next accept (long-running servers stay bounded).
   std::vector<std::uint64_t> finished_connections_ COOL_GUARDED_BY(conn_mu_);
   std::uint64_t connections_accepted_ COOL_GUARDED_BY(conn_mu_) = 0;
 };

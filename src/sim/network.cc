@@ -35,7 +35,8 @@ Status StreamPipe::WriteV(std::span<const std::span<const std::uint8_t>> parts) 
   if (closed_) return UnavailableError("stream closed");
 
   Chunk chunk;
-  chunk.ready = send_done + link_.latency;
+  const TimePoint deliver_at = send_done + link_.latency;
+  chunk.ready = deliver_at;
   if (!spare_.empty()) {
     chunk.data = std::move(spare_.back());  // recycled backing store
     spare_.pop_back();
@@ -47,6 +48,7 @@ Status StreamPipe::WriteV(std::span<const std::span<const std::uint8_t>> parts) 
   buffered_bytes_ += total;
   chunks_.push_back(std::move(chunk));
   readable_.NotifyOne();  // under the lock: destruction-safe
+  read_watch_.SignalReady(deliver_at);
   return Status::Ok();
 }
 
@@ -79,6 +81,11 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
     }
   }
 
+  return DrainReadyLocked(out);
+}
+
+std::size_t StreamPipe::DrainReadyLocked(std::span<std::uint8_t> out)
+    COOL_REQUIRES(mu_) {
   std::size_t copied = 0;
   while (copied < out.size() && !chunks_.empty() &&
          chunks_.front().ready <= Now()) {
@@ -98,8 +105,28 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
       chunks_.pop_front();
     }
   }
-  writable_.NotifyOne();
+  if (copied > 0) writable_.NotifyOne();
   return copied;
+}
+
+Result<std::size_t> StreamPipe::TryRead(std::span<std::uint8_t> out) {
+  if (out.empty()) return std::size_t{0};
+  MutexLock lock(mu_);
+  const std::size_t copied = DrainReadyLocked(out);
+  if (copied > 0) return copied;
+  if (!chunks_.empty()) {
+    // Head chunk still in flight: re-arm the watcher for its delivery time
+    // so the pre-attach backlog is never silently stranded.
+    read_watch_.SignalReady(chunks_.front().ready);
+    return std::size_t{0};
+  }
+  if (closed_) return Status(UnavailableError("stream closed by peer"));
+  return std::size_t{0};
+}
+
+void StreamPipe::WatchRead(const WaitSet& set, WaitSet::Token token) {
+  MutexLock lock(mu_);
+  read_watch_.Watch(set, token);
 }
 
 void StreamPipe::Close() {
@@ -107,6 +134,7 @@ void StreamPipe::Close() {
   closed_ = true;
   readable_.NotifyAll();
   writable_.NotifyAll();
+  read_watch_.SignalReady();
 }
 
 void AcceptQueue::Enqueue(std::unique_ptr<StreamSocket> socket) {
@@ -114,6 +142,7 @@ void AcceptQueue::Enqueue(std::unique_ptr<StreamSocket> socket) {
   if (closed) return;  // connection refused; peer sees closed pipes
   pending.push_back(std::move(socket));
   cv.NotifyOne();
+  watch.SignalReady();
 }
 
 Result<std::unique_ptr<StreamSocket>> AcceptQueue::Pop() {
@@ -126,7 +155,7 @@ Result<std::unique_ptr<StreamSocket>> AcceptQueue::Pop() {
 }
 
 Result<std::unique_ptr<StreamSocket>> AcceptQueue::PopFor(Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   MutexLock lock(mu);
   while (!closed && pending.empty()) {
     if (!cv.WaitUntil(mu, deadline)) break;  // timed out
@@ -140,10 +169,35 @@ Result<std::unique_ptr<StreamSocket>> AcceptQueue::PopFor(Duration timeout) {
   return socket;
 }
 
-void AcceptQueue::Close() {
+Result<std::unique_ptr<StreamSocket>> AcceptQueue::TryPop() {
   MutexLock lock(mu);
-  closed = true;
-  cv.NotifyAll();
+  if (!pending.empty()) {
+    auto socket = std::move(pending.front());
+    pending.pop_front();
+    return socket;
+  }
+  if (closed) return Status(UnavailableError("listener closed"));
+  return std::unique_ptr<StreamSocket>();
+}
+
+void AcceptQueue::WatchAccept(const WaitSet& set, WaitSet::Token token) {
+  MutexLock lock(mu);
+  watch.Watch(set, token);
+}
+
+void AcceptQueue::Close() {
+  std::deque<std::unique_ptr<StreamSocket>> orphans;
+  {
+    MutexLock lock(mu);
+    closed = true;
+    orphans.swap(pending);
+    cv.NotifyAll();
+    watch.SignalReady();
+  }
+  // Hang up connections that were queued but never accepted — their peers
+  // may be blocked mid-handshake and must see kUnavailable, not wait
+  // forever. Outside the lock: Close() takes the pipes' own locks.
+  for (auto& socket : orphans) socket->Close();
 }
 
 void DatagramQueue::Deliver(TimePoint ready, Address from,
@@ -156,6 +210,7 @@ void DatagramQueue::Deliver(TimePoint ready, Address from,
   t.dgram = Datagram{std::move(from), std::move(payload)};
   rx.push(std::move(t));
   cv.NotifyOne();
+  watch.SignalReady(ready);
 }
 
 std::optional<Datagram> DatagramQueue::Pop() {
@@ -176,7 +231,7 @@ std::optional<Datagram> DatagramQueue::Pop() {
 }
 
 std::optional<Datagram> DatagramQueue::PopFor(Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   MutexLock lock(mu);
   for (;;) {
     if (!rx.empty() && rx.top().ready <= Now()) break;
@@ -192,10 +247,36 @@ std::optional<Datagram> DatagramQueue::PopFor(Duration timeout) {
   return d;
 }
 
+std::optional<Datagram> DatagramQueue::TryPop() {
+  MutexLock lock(mu);
+  if (!rx.empty()) {
+    if (rx.top().ready > Now()) {
+      // Head datagram still in flight: re-arm for its arrival time.
+      watch.SignalReady(rx.top().ready);
+      return std::nullopt;
+    }
+    Datagram d = std::move(const_cast<TimedDatagram&>(rx.top()).dgram);
+    rx.pop();
+    return d;
+  }
+  return std::nullopt;
+}
+
+bool DatagramQueue::depleted() const {
+  MutexLock lock(mu);
+  return closed && rx.empty();
+}
+
+void DatagramQueue::WatchRecv(const WaitSet& set, WaitSet::Token token) {
+  MutexLock lock(mu);
+  watch.Watch(set, token);
+}
+
 void DatagramQueue::Close() {
   MutexLock lock(mu);
   closed = true;
   cv.NotifyAll();
+  watch.SignalReady();
 }
 
 }  // namespace internal

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "sim/address.h"
 #include "sim/link.h"
+#include "sim/waitset.h"
 
 namespace cool::sim {
 
@@ -66,9 +67,21 @@ class StreamPipe {
   Result<std::size_t> Read(std::span<std::uint8_t> out,
                            std::optional<TimePoint> deadline = std::nullopt);
 
+  // Non-blocking read: copies any deliverable octets and returns the count
+  // (0 when nothing is due yet — a watcher is re-armed for the head chunk's
+  // delivery time); kUnavailable once closed and drained.
+  Result<std::size_t> TryRead(std::span<std::uint8_t> out);
+
+  // Attaches the read side to `set`: every delivery and Close() signals
+  // `token` at the moment the data becomes readable.
+  void WatchRead(const WaitSet& set, WaitSet::Token token);
+
   void Close();
 
  private:
+  std::size_t DrainReadyLocked(std::span<std::uint8_t> out)
+      COOL_REQUIRES(mu_);
+
   struct Chunk {
     TimePoint ready;
     std::vector<std::uint8_t> data;
@@ -86,6 +99,7 @@ class StreamPipe {
   Mutex mu_;
   CondVar readable_;
   CondVar writable_;
+  Watchable read_watch_;  // internally synchronised
   std::deque<Chunk> chunks_ COOL_GUARDED_BY(mu_);
   std::vector<std::vector<std::uint8_t>> spare_ COOL_GUARDED_BY(mu_);
   std::size_t buffered_bytes_ COOL_GUARDED_BY(mu_) = 0;
@@ -98,12 +112,16 @@ class StreamPipe {
 struct AcceptQueue {
   Mutex mu;
   CondVar cv;
+  Watchable watch;  // internally synchronised
   std::deque<std::unique_ptr<StreamSocket>> pending COOL_GUARDED_BY(mu);
   bool closed COOL_GUARDED_BY(mu) = false;
 
   void Enqueue(std::unique_ptr<StreamSocket> socket);
   Result<std::unique_ptr<StreamSocket>> Pop();
   Result<std::unique_ptr<StreamSocket>> PopFor(Duration timeout);
+  // Non-blocking accept: a null socket (no error) means nothing pending.
+  Result<std::unique_ptr<StreamSocket>> TryPop();
+  void WatchAccept(const WaitSet& set, WaitSet::Token token);
   void Close();
 };
 
@@ -118,8 +136,9 @@ struct TimedDatagram {
 
 // Shared receive queue of a datagram port (same lifetime rationale).
 struct DatagramQueue {
-  Mutex mu;
+  mutable Mutex mu;
   CondVar cv;
+  Watchable watch;  // internally synchronised
   std::priority_queue<TimedDatagram, std::vector<TimedDatagram>,
                       std::greater<>>
       rx COOL_GUARDED_BY(mu);
@@ -132,6 +151,12 @@ struct DatagramQueue {
   // (Pop) or when the deadline passes first (PopFor).
   std::optional<Datagram> Pop();
   std::optional<Datagram> PopFor(Duration timeout);
+  // Non-blocking: nullopt when nothing is deliverable yet (a watcher is
+  // re-armed for the head datagram's arrival) — check depleted() to tell
+  // "not yet" from "closed and drained".
+  std::optional<Datagram> TryPop();
+  bool depleted() const;
+  void WatchRecv(const WaitSet& set, WaitSet::Token token);
   void Close();
 };
 
@@ -167,11 +192,22 @@ class StreamSocket {
 
   // As Recv, but gives up with kDeadlineExceeded after `timeout`.
   Result<std::size_t> RecvFor(std::span<std::uint8_t> out, Duration timeout) {
-    return rx_->Read(out, Now() + timeout);
+    return rx_->Read(out, DeadlineFor(timeout));
   }
 
   // Reads exactly out.size() octets or fails.
   Status RecvExact(std::span<std::uint8_t> out);
+
+  // Non-blocking read: 0 (no error) when nothing is deliverable yet;
+  // kUnavailable once the peer closed and the stream is drained.
+  Result<std::size_t> TryRecv(std::span<std::uint8_t> out) {
+    return rx_->TryRead(out);
+  }
+
+  // Signals `token` on `set` whenever TryRecv may make progress.
+  void WatchRecv(const WaitSet& set, WaitSet::Token token) {
+    rx_->WatchRead(set, token);
+  }
 
   // Closes both directions (peer reads drain then see kUnavailable).
   void Close() {
@@ -204,6 +240,16 @@ class Listener {
   Result<std::unique_ptr<StreamSocket>> Accept() { return queue_->Pop(); }
   Result<std::unique_ptr<StreamSocket>> AcceptFor(Duration timeout) {
     return queue_->PopFor(timeout);
+  }
+
+  // Non-blocking accept: a null socket (no error) means nothing pending.
+  Result<std::unique_ptr<StreamSocket>> TryAccept() {
+    return queue_->TryPop();
+  }
+
+  // Signals `token` on `set` whenever a connection is waiting to accept.
+  void WatchAccept(const WaitSet& set, WaitSet::Token token) {
+    queue_->WatchAccept(set, token);
   }
 
   void Close() { queue_->Close(); }
@@ -241,6 +287,16 @@ class DatagramPort {
   std::optional<Datagram> Recv() { return queue_->Pop(); }
   std::optional<Datagram> RecvFor(Duration timeout) {
     return queue_->PopFor(timeout);
+  }
+
+  // Non-blocking: nullopt when nothing is deliverable yet; depleted()
+  // distinguishes "not yet" from "closed and drained".
+  std::optional<Datagram> TryRecv() { return queue_->TryPop(); }
+  bool depleted() const { return queue_->depleted(); }
+
+  // Signals `token` on `set` whenever TryRecv may make progress.
+  void WatchRecv(const WaitSet& set, WaitSet::Token token) {
+    queue_->WatchRecv(set, token);
   }
 
   void Close() { queue_->Close(); }

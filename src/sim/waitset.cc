@@ -1,0 +1,105 @@
+#include "sim/waitset.h"
+
+#include <algorithm>
+
+namespace cool::sim {
+
+namespace internal {
+
+void WaitSetCore::Post(std::uint64_t token, TimePoint when) {
+  MutexLock lock(mu);
+  if (closed || tokens.find(token) == tokens.end()) return;
+  entries.push(Entry{when, next_seq++, token});
+  cv.NotifyOne();  // under the lock: destruction-safe
+}
+
+}  // namespace internal
+
+bool WaitSet::Add(Token token) {
+  MutexLock lock(core_->mu);
+  if (core_->closed) return false;
+  return core_->tokens.insert(token).second;
+}
+
+void WaitSet::Remove(Token token) {
+  MutexLock lock(core_->mu);
+  core_->tokens.erase(token);
+}
+
+void WaitSet::Post(Token token) { core_->Post(token, TimePoint::min()); }
+
+std::size_t WaitSet::Wait(std::span<ReadyEvent> out, Duration timeout) {
+  if (out.empty()) return 0;
+  const TimePoint deadline = DeadlineFor(timeout);
+  internal::WaitSetCore& core = *core_;
+  MutexLock lock(core.mu);
+  for (;;) {
+    const TimePoint now = Now();
+    std::size_t n = 0;
+    while (!core.entries.empty() && core.entries.top().when <= now &&
+           n < out.size()) {
+      const Token token = core.entries.top().token;
+      core.entries.pop();
+      if (core.tokens.find(token) == core.tokens.end()) continue;  // stale
+      const auto emitted = out.first(n);
+      const bool dup =
+          std::any_of(emitted.begin(), emitted.end(),
+                      [token](const ReadyEvent& e) { return e.token == token; });
+      if (dup) continue;  // collapse duplicates among due entries
+      out[n++] = ReadyEvent{token};
+    }
+    if (n > 0) return n;
+    if (core.closed) return 0;
+    if (now >= deadline) return 0;
+    TimePoint wake = deadline;
+    if (!core.entries.empty()) wake = std::min(wake, core.entries.top().when);
+    core.cv.WaitUntil(core.mu, wake);
+  }
+}
+
+void WaitSet::Close() {
+  MutexLock lock(core_->mu);
+  core_->closed = true;
+  core_->cv.NotifyAll();
+}
+
+bool WaitSet::closed() const {
+  MutexLock lock(core_->mu);
+  return core_->closed;
+}
+
+void Watchable::Watch(const WaitSet& set, WaitSet::Token token) {
+  std::shared_ptr<internal::WaitSetCore> core = set.core_;
+  {
+    MutexLock lock(mu_);
+    core_ = core;
+    token_ = token;
+    armed_.store(true, std::memory_order_release);
+  }
+  core->Post(token, TimePoint::min());  // probe: harvest pre-attach state
+}
+
+void Watchable::Unwatch() {
+  MutexLock lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  core_.reset();
+  token_ = 0;
+}
+
+void Watchable::SignalReadySlow(TimePoint when) {
+  std::shared_ptr<internal::WaitSetCore> core;
+  WaitSet::Token token = 0;
+  {
+    MutexLock lock(mu_);
+    core = core_;
+    token = token_;
+  }
+  if (core != nullptr) core->Post(token, when);
+}
+
+bool Watchable::watched() const {
+  MutexLock lock(mu_);
+  return core_ != nullptr;
+}
+
+}  // namespace cool::sim

@@ -1,0 +1,151 @@
+// Readiness primitive for the simulated network: a WaitSet multiplexes many
+// sockets/listeners/ports onto one blocked thread, the way epoll multiplexes
+// file descriptors. Sources carry a Watchable; attaching it to a WaitSet
+// under a token makes every subsequent state change (data arrival, accept,
+// close) post a timed readiness entry, and WaitSet::Wait blocks until any
+// registered token has a *due* entry.
+//
+// Entries carry a delivery TimePoint because the simulated network delivers
+// in the future (link pacing + propagation): a chunk written now becomes
+// readable at now+latency, and the waiter must wake exactly then, not when
+// the write happened. Signals are therefore never deduplicated at post time
+// — only among already-due entries when Wait() harvests them.
+//
+// Lifetimes: the shared core keeps either side safe if the other goes away
+// first. Destroying a WaitSet with sources still attached is fine (their
+// signals become no-ops); destroying a source with the WaitSet still
+// watching is fine too (its token just never fires again). One watcher per
+// Watchable: attaching to a second WaitSet replaces the first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cool::sim {
+
+class WaitSet;
+
+namespace internal {
+
+// State shared between a WaitSet and the Watchables attached to it.
+struct WaitSetCore {
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;  // tie-break keeps harvest order deterministic
+    std::uint64_t token = 0;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Mutex mu;
+  CondVar cv;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> entries
+      COOL_GUARDED_BY(mu);
+  std::unordered_set<std::uint64_t> tokens COOL_GUARDED_BY(mu);
+  std::uint64_t next_seq COOL_GUARDED_BY(mu) = 0;
+  bool closed COOL_GUARDED_BY(mu) = false;
+
+  // Queues a readiness entry for `token`, due at `when`. No-op for tokens
+  // that are not (or no longer) registered, and after Close().
+  void Post(std::uint64_t token, TimePoint when);
+};
+
+}  // namespace internal
+
+// Blocks one thread on "any registered token ready".
+class WaitSet {
+ public:
+  using Token = std::uint64_t;
+
+  struct ReadyEvent {
+    Token token = 0;
+  };
+
+  WaitSet() : core_(std::make_shared<internal::WaitSetCore>()) {}
+  ~WaitSet() { Close(); }
+
+  WaitSet(const WaitSet&) = delete;
+  WaitSet& operator=(const WaitSet&) = delete;
+
+  // Registers `token`; posts for unregistered tokens are dropped. Returns
+  // false if the token is already registered or the set is closed.
+  bool Add(Token token);
+
+  // Unregisters `token` and discards its pending entries lazily (they are
+  // skipped at harvest).
+  void Remove(Token token);
+
+  // Posts an immediately-due readiness entry — the self-wakeup used for
+  // cross-thread scheduling onto the waiting thread.
+  void Post(Token token);
+
+  // Blocks until at least one registered token has a due entry, the timeout
+  // elapses, or Close(). Harvests up to out.size() distinct ready tokens
+  // (duplicates among due entries collapse); returns the number written.
+  // 0 means timeout or closed — poll closed() to tell them apart.
+  std::size_t Wait(std::span<ReadyEvent> out, Duration timeout);
+
+  // Wakes all waiters; subsequent Wait() calls return 0 immediately.
+  void Close();
+
+  bool closed() const;
+
+ private:
+  friend class Watchable;
+
+  std::shared_ptr<internal::WaitSetCore> core_;
+};
+
+// The source half: owned by a readiness source (stream pipe, accept queue,
+// datagram queue), attached to at most one WaitSet at a time.
+class Watchable {
+ public:
+  Watchable() = default;
+
+  Watchable(const Watchable&) = delete;
+  Watchable& operator=(const Watchable&) = delete;
+
+  // Attaches to `set` under `token` and posts an immediately-due probe so
+  // state that became ready before attachment is harvested at once.
+  // Sources whose pending items become due in the future must additionally
+  // re-arm from their TryX path (post the head item's due time when asked
+  // for data that is not deliverable yet).
+  void Watch(const WaitSet& set, WaitSet::Token token);
+
+  // Detaches; later SignalReady calls become no-ops.
+  void Unwatch();
+
+  // Posts a readiness entry due at `when`. Safe to call with the source's
+  // own mutex held: the core is signalled via a copied reference, never
+  // through a lock chained to the caller's. Unwatched sources pay one
+  // relaxed atomic load, not a lock — every simulated delivery signals, so
+  // this sits on the data-path hot loop. A signal racing Watch() may be
+  // dropped; the post-attach probe plus TryX re-arm (above) cover it.
+  void SignalReady(TimePoint when) {
+    if (!armed_.load(std::memory_order_acquire)) return;
+    SignalReadySlow(when);
+  }
+  void SignalReady() { SignalReady(TimePoint::min()); }
+
+  bool watched() const;
+
+ private:
+  void SignalReadySlow(TimePoint when);
+
+  mutable Mutex mu_;
+  std::atomic<bool> armed_{false};  // mirrors core_ != nullptr
+  std::shared_ptr<internal::WaitSetCore> core_ COOL_GUARDED_BY(mu_);
+  WaitSet::Token token_ COOL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cool::sim

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <unordered_set>
@@ -32,6 +33,7 @@
 #include "qos/negotiation.h"
 #include "qos/qos.h"
 #include "sim/address.h"
+#include "sim/waitset.h"
 
 namespace cool::transport {
 
@@ -50,6 +52,30 @@ class ComChannel {
   virtual Status SendMessage(std::span<const std::uint8_t> message) = 0;
   virtual Result<ByteBuffer> ReceiveMessage(Duration timeout) = 0;
   virtual void Close() = 0;
+
+  // --- reactor seams (non-blocking receive path) ---------------------------
+  // Non-blocking receive: nullopt when no complete message is available
+  // right now, kUnavailable once the channel is closed and drained. The
+  // reactor drain contract: after a readiness callback, loop until nullopt
+  // (signals are edge-ish — one signal may cover several messages). The
+  // base returns kUnsupported; transports opt in by overriding BOTH this
+  // and RegisterRx. (Deliberately NOT defaulted to ReceiveMessage(0): a
+  // zero-timeout blocking receive reports kDeadlineExceeded without pulling
+  // ready bytes on some transports, which would break the drain contract.)
+  virtual Result<std::optional<ByteBuffer>> TryReceiveMessage() {
+    return Status(
+        UnsupportedError(std::string(protocol()) +
+                         " transport has no non-blocking receive path"));
+  }
+
+  // Attaches the channel's receive readiness to `set` under `token`: the
+  // set is signalled whenever TryReceiveMessage may make progress (arrival,
+  // close). Returns false when the transport does not support watching.
+  virtual bool RegisterRx(const sim::WaitSet& set, std::uint64_t token) {
+    (void)set;
+    (void)token;
+    return false;
+  }
 
   // Scatter-gather send: the concatenation of `parts` forms ONE message on
   // the wire, indistinguishable from SendMessage(join(parts)) to the peer.
@@ -131,6 +157,24 @@ class ComManager {
 
   // Passive open; blocks until a peer connects or the manager closes.
   virtual Result<std::unique_ptr<ComChannel>> AcceptChannel() = 0;
+
+  // Non-blocking accept: a null channel (no error) when nothing is pending,
+  // kUnavailable once closed. Same drain contract as TryReceiveMessage.
+  // Base refuses; transports opt in by overriding BOTH this and
+  // RegisterAccept.
+  virtual Result<std::unique_ptr<ComChannel>> TryAcceptChannel() {
+    return Status(
+        UnsupportedError(std::string(protocol()) +
+                         " transport has no non-blocking accept path"));
+  }
+
+  // Attaches accept readiness to `set` under `token`; false when the
+  // transport does not support watching.
+  virtual bool RegisterAccept(const sim::WaitSet& set, std::uint64_t token) {
+    (void)set;
+    (void)token;
+    return false;
+  }
 
   virtual void Close() = 0;
 };

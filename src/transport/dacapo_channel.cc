@@ -83,31 +83,66 @@ Status DacapoComChannel::SendMessageV(
 }
 
 Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   MutexLock lock(rx_mu_);
-  ByteBuffer assembled;
   for (;;) {
     // The caller's deadline only gates the wait for a message to *start*.
     // Once the first fragment is in, continuation fragments get their own
     // floor: a short-quantum poller must not abandon a half-assembled
     // message — the remaining fragments would desynchronize the stream.
     Duration remaining = deadline - Now();
-    if (assembled.size() > 0) {
+    if (rx_partial_active_) {
       remaining = std::max<Duration>(remaining, seconds(1));
     }
     COOL_ASSIGN_OR_RETURN(dacapo::ReceivedMessage fragment,
                           session_->ReceivePacket(remaining));
-    const auto data = fragment.data();
-    if (data.empty()) {
-      return Status(ProtocolError("empty Da CaPo fragment"));
-    }
-    const std::uint8_t flags = data.front();
-    if (flags > kMoreFragments) {
-      return Status(ProtocolError("bad fragment header"));
-    }
-    assembled.Append(data.subspan(1));
-    if (flags == kLastFragment) return assembled;
+    COOL_ASSIGN_OR_RETURN(std::optional<ByteBuffer> done,
+                          ConsumeFragmentLocked(fragment));
+    if (done.has_value()) return std::move(*done);
   }
+}
+
+Result<std::optional<ByteBuffer>> DacapoComChannel::TryReceiveMessage() {
+  MutexLock lock(rx_mu_);
+  for (;;) {
+    Result<dacapo::ReceivedMessage> fragment = session_->TryReceivePacket();
+    if (!fragment.ok()) {
+      // Closed-and-drained: a half-assembled message can never complete,
+      // so surface the close even with a partial buffered.
+      return fragment.status();
+    }
+    if (!*fragment) return std::optional<ByteBuffer>{};  // nothing queued
+    COOL_ASSIGN_OR_RETURN(std::optional<ByteBuffer> done,
+                          ConsumeFragmentLocked(*fragment));
+    if (done.has_value()) return done;
+  }
+}
+
+Result<std::optional<ByteBuffer>> DacapoComChannel::ConsumeFragmentLocked(
+    const dacapo::ReceivedMessage& fragment) {
+  const auto data = fragment.data();
+  if (data.empty()) {
+    return Status(ProtocolError("empty Da CaPo fragment"));
+  }
+  const std::uint8_t flags = data.front();
+  if (flags > kMoreFragments) {
+    return Status(ProtocolError("bad fragment header"));
+  }
+  rx_partial_.Append(data.subspan(1));
+  if (flags == kMoreFragments) {
+    rx_partial_active_ = true;
+    return std::optional<ByteBuffer>{};
+  }
+  rx_partial_active_ = false;
+  ByteBuffer out = std::move(rx_partial_);
+  rx_partial_ = ByteBuffer();
+  return std::optional<ByteBuffer>{std::move(out)};
+}
+
+bool DacapoComChannel::RegisterRx(const sim::WaitSet& set,
+                                  std::uint64_t token) {
+  session_->WatchRx(set, token);
+  return true;
 }
 
 void DacapoComChannel::Close() { session_->Close(); }
@@ -188,6 +223,20 @@ Result<std::unique_ptr<ComChannel>> DacapoComManager::AcceptChannel() {
                         acceptor_.Accept(dacapo::AppAModule::DeliveryMode::kQueue));
   return std::unique_ptr<ComChannel>(std::make_unique<DacapoComChannel>(
       std::move(session), estimate_, qos::QoSSpec{}));
+}
+
+Result<std::unique_ptr<ComChannel>> DacapoComManager::TryAcceptChannel() {
+  COOL_ASSIGN_OR_RETURN(
+      std::unique_ptr<dacapo::Session> session,
+      acceptor_.TryAccept(dacapo::AppAModule::DeliveryMode::kQueue));
+  if (session == nullptr) return std::unique_ptr<ComChannel>();
+  return std::unique_ptr<ComChannel>(std::make_unique<DacapoComChannel>(
+      std::move(session), estimate_, qos::QoSSpec{}));
+}
+
+bool DacapoComManager::RegisterAccept(const sim::WaitSet& set,
+                                      std::uint64_t token) {
+  return acceptor_.WatchAccept(set, token);
 }
 
 }  // namespace cool::transport

@@ -41,6 +41,8 @@ class DacapoComChannel : public ComChannel {
   Status SendMessageV(
       std::span<const std::span<const std::uint8_t>> parts) override;
   Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
+  Result<std::optional<ByteBuffer>> TryReceiveMessage() override;
+  bool RegisterRx(const sim::WaitSet& set, std::uint64_t token) override;
   void Close() override;
 
   Status SetQoSParameter(const qos::QoSSpec& spec) override;
@@ -55,12 +57,21 @@ class DacapoComChannel : public ComChannel {
   static qos::Capability CapabilityFor(const dacapo::NetworkEstimate& est);
 
  private:
+  // Folds one received fragment into the reassembly state; returns the
+  // completed message when the fragment was the last one.
+  Result<std::optional<ByteBuffer>> ConsumeFragmentLocked(
+      const dacapo::ReceivedMessage& fragment) COOL_REQUIRES(rx_mu_);
+
   std::unique_ptr<dacapo::Session> session_;
   dacapo::NetworkEstimate estimate_;
   mutable Mutex qos_mu_;
   qos::QoSSpec current_qos_ COOL_GUARDED_BY(qos_mu_);
   Mutex tx_mu_;  // keeps fragments of one message contiguous
   Mutex rx_mu_;
+  // Cross-call reassembly state: a non-blocking receive may return with a
+  // message half-assembled; the next call (blocking or not) continues it.
+  ByteBuffer rx_partial_ COOL_GUARDED_BY(rx_mu_);
+  bool rx_partial_active_ COOL_GUARDED_BY(rx_mu_) = false;
 };
 
 class DacapoComManager : public ComManager {
@@ -82,6 +93,8 @@ class DacapoComManager : public ComManager {
   Result<std::unique_ptr<ComChannel>> OpenChannel(
       const sim::Address& remote, const qos::QoSSpec& qos) override;
   Result<std::unique_ptr<ComChannel>> AcceptChannel() override;
+  Result<std::unique_ptr<ComChannel>> TryAcceptChannel() override;
+  bool RegisterAccept(const sim::WaitSet& set, std::uint64_t token) override;
   void Close() override { acceptor_.Close(); }
 
   const sim::Address& address() const noexcept { return acceptor_.address(); }

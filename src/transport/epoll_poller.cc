@@ -1,0 +1,93 @@
+#include "transport/epoll_poller.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cool::transport {
+
+namespace {
+// Token 0 is reserved for the shutdown eventfd.
+constexpr std::uint64_t kWakeToken = 0;
+}  // namespace
+
+EpollPoller::EpollPoller(ReadyFn on_ready) : on_ready_(std::move(on_ready)) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return;
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  ::epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return;
+  }
+  thread_ = Thread([this](std::stop_token stop) { Loop(stop); });
+}
+
+EpollPoller::~EpollPoller() {
+  if (!valid()) return;
+  thread_.request_stop();
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  thread_.join();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EpollPoller::Watch(int fd, std::uint64_t token) {
+  if (!valid()) return UnavailableError("epoll poller failed to initialise");
+  if (token == kWakeToken) return InvalidArgumentError("token 0 is reserved");
+  ::epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return InternalError(std::string("epoll_ctl(ADD): ") +
+                         std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EpollPoller::Unwatch(int fd) {
+  if (!valid()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EpollPoller::Loop(std::stop_token stop) {
+  std::array<::epoll_event, 64> events;
+  while (!stop.stop_requested()) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      COOL_LOG(kError, "reactor") << "epoll_wait: " << std::strerror(errno);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t token = events[static_cast<std::size_t>(i)].data.u64;
+      if (token == kWakeToken) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      on_ready_(token);
+    }
+  }
+}
+
+}  // namespace cool::transport

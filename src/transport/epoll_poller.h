@@ -1,0 +1,46 @@
+// Kernel-fd readiness forwarder: the epoll-backed equivalent of the sim
+// WaitSet for real sockets/pipes. One thread blocks in epoll_wait and
+// forwards each ready token to a callback (the Reactor turns that into a
+// Schedule() onto the token's owning worker). Registration is
+// edge-triggered, so consumers must drain until EAGAIN before re-arming —
+// the same drain contract the sim Try* paths follow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread.h"
+
+namespace cool::transport {
+
+class EpollPoller {
+ public:
+  using ReadyFn = std::function<void(std::uint64_t token)>;
+
+  // `on_ready` is invoked on the poller thread; it must not block.
+  explicit EpollPoller(ReadyFn on_ready);
+  ~EpollPoller();
+
+  EpollPoller(const EpollPoller&) = delete;
+  EpollPoller& operator=(const EpollPoller&) = delete;
+
+  // True when epoll/eventfd setup succeeded and the poller thread runs.
+  bool valid() const noexcept { return epoll_fd_ >= 0; }
+
+  // Watches `fd` for read readiness / hangup (edge-triggered); events are
+  // reported as `on_ready(token)`. The fd stays owned by the caller.
+  Status Watch(int fd, std::uint64_t token);
+  void Unwatch(int fd);
+
+ private:
+  void Loop(std::stop_token stop);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: interrupts epoll_wait for shutdown
+  ReadyFn on_ready_;
+  Thread thread_;
+};
+
+}  // namespace cool::transport

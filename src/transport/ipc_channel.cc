@@ -54,11 +54,36 @@ Result<ByteBuffer> IpcComChannel::ReceiveMessage(Duration timeout) {
   for (;;) {
     auto dgram = port_->RecvFor(timeout);
     if (!dgram.has_value()) {
+      // A closed-and-drained port used to read as a timeout here, which
+      // left pollers (the GIOP demux reader) spinning through their full
+      // quantum after Close(); report the close as terminal instead.
+      if (port_->depleted()) {
+        return Status(UnavailableError("IPC channel closed"));
+      }
       return Status(DeadlineExceededError("IPC receive timed out"));
     }
     if (dgram->from != peer_) continue;  // stray datagram: not our peer
     return ByteBuffer(std::move(dgram->payload));
   }
+}
+
+Result<std::optional<ByteBuffer>> IpcComChannel::TryReceiveMessage() {
+  for (;;) {
+    std::optional<sim::Datagram> dgram = port_->TryRecv();
+    if (!dgram.has_value()) {
+      if (port_->depleted()) {
+        return Status(UnavailableError("IPC channel closed"));
+      }
+      return std::optional<ByteBuffer>{};
+    }
+    if (dgram->from != peer_) continue;  // stray datagram: not our peer
+    return std::optional<ByteBuffer>{ByteBuffer(std::move(dgram->payload))};
+  }
+}
+
+bool IpcComChannel::RegisterRx(const sim::WaitSet& set, std::uint64_t token) {
+  port_->WatchRecv(set, token);
+  return true;
 }
 
 void IpcComChannel::Close() { port_->Close(); }
@@ -116,6 +141,39 @@ Result<std::unique_ptr<ComChannel>> IpcComManager::AcceptChannel() {
     return std::unique_ptr<ComChannel>(
         std::make_unique<IpcComChannel>(std::move(port), peer));
   }
+}
+
+Result<std::unique_ptr<ComChannel>> IpcComManager::TryAcceptChannel() {
+  if (hello_port_ == nullptr) {
+    return Status(FailedPreconditionError("manager is not listening"));
+  }
+  for (;;) {
+    std::optional<sim::Datagram> dgram = hello_port_->TryRecv();
+    if (!dgram.has_value()) {
+      if (hello_port_->depleted()) {
+        return Status(UnavailableError("IPC manager closed"));
+      }
+      return std::unique_ptr<ComChannel>();
+    }
+    auto decoded = DecodeHello(dgram->payload);
+    if (!decoded.ok() || decoded->first != kHello) continue;
+
+    const std::uint16_t channel_port = AllocIpcPort();
+    COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::DatagramPort> port,
+                          net_->OpenPort({addr_.host, channel_port}));
+    const sim::Address peer{dgram->from.host, decoded->second};
+    COOL_RETURN_IF_ERROR(
+        port->SendTo(peer, EncodeHello(kHelloAck, channel_port)));
+    return std::unique_ptr<ComChannel>(
+        std::make_unique<IpcComChannel>(std::move(port), peer));
+  }
+}
+
+bool IpcComManager::RegisterAccept(const sim::WaitSet& set,
+                                   std::uint64_t token) {
+  if (hello_port_ == nullptr) return false;
+  hello_port_->WatchRecv(set, token);
+  return true;
 }
 
 void IpcComManager::Close() {

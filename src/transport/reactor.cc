@@ -1,0 +1,134 @@
+#include "transport/reactor.h"
+
+#include <array>
+#include <utility>
+
+namespace cool::transport {
+
+Reactor::Reactor(unsigned workers) {
+  const unsigned n = workers == 0 ? HardwareConcurrency() : workers;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& w : workers_) {
+    Worker* worker = w.get();
+    worker->thread =
+        Thread([this, worker](std::stop_token stop) { WorkerLoop(*worker, stop); });
+    worker->thread_id = worker->thread.get_id();
+  }
+}
+
+Reactor::~Reactor() {
+  for (auto& w : workers_) w->thread.request_stop();
+  for (auto& w : workers_) w->waitset.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // epoll_'s destructor stops and joins the forwarder thread.
+}
+
+Reactor& Reactor::Default() {
+  // Leaky singleton: channels may signal their watchables during static
+  // destruction, after a function-local Reactor would already be gone.
+  static Reactor* shared = new Reactor();  // NEW_ALLOWLIST: leaky singleton
+  return *shared;
+}
+
+void Reactor::WorkerLoop(Worker& w, std::stop_token stop) {
+  std::array<sim::WaitSet::ReadyEvent, 16> events;
+  while (!stop.stop_requested()) {
+    const std::size_t n = w.waitset.Wait(events, seconds(60));
+    if (stop.stop_requested()) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].token;
+      std::shared_ptr<Registration> reg;
+      {
+        MutexLock lock(w.mu);
+        const auto it = w.regs.find(id);
+        if (it == w.regs.end()) continue;  // removed after signalling
+        reg = it->second;
+        w.running_id = id;
+      }
+      dispatches_.fetch_add(1, std::memory_order_relaxed);
+      reg->cb();
+      DrainRemovalWaiters(w);
+    }
+  }
+}
+
+void Reactor::DrainRemovalWaiters(Worker& w) {
+  MutexLock lock(w.mu);
+  w.running_id = 0;
+  w.idle_cv.NotifyAll();
+}
+
+Result<std::uint64_t> Reactor::Add(const AttachFn& attach, Callback cb) {
+  const std::uint64_t id = AddManual(std::move(cb));
+  Worker& w = WorkerFor(id);
+  if (!attach(w.waitset, id)) {
+    Remove(id);
+    return Status(
+        UnsupportedError("readiness source cannot be watched"));
+  }
+  return id;
+}
+
+std::uint64_t Reactor::AddManual(Callback cb) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Worker& w = WorkerFor(id);
+  {
+    MutexLock lock(w.mu);
+    w.regs.emplace(id, std::make_shared<Registration>(std::move(cb)));
+  }
+  w.waitset.Add(id);
+  return id;
+}
+
+Result<std::uint64_t> Reactor::AddFd(int fd, Callback cb) {
+  EpollPoller* poller = EnsureEpoll();
+  if (poller == nullptr || !poller->valid()) {
+    return Status(UnavailableError("epoll poller unavailable"));
+  }
+  const std::uint64_t id = AddManual(std::move(cb));
+  const Status watched = poller->Watch(fd, id);
+  if (!watched.ok()) {
+    Remove(id);
+    return watched;
+  }
+  return id;
+}
+
+void Reactor::Schedule(std::uint64_t id) {
+  if (id == 0) return;
+  WorkerFor(id).waitset.Post(id);
+}
+
+void Reactor::Remove(std::uint64_t id) {
+  if (id == 0) return;
+  Worker& w = WorkerFor(id);
+  w.waitset.Remove(id);
+  MutexLock lock(w.mu);
+  w.regs.erase(id);
+  if (ThisThreadId() == w.thread_id) return;  // self-removal from callback
+  while (w.running_id == id) w.idle_cv.Wait(w.mu);
+}
+
+void Reactor::RemoveFd(int fd, std::uint64_t id) {
+  {
+    MutexLock lock(epoll_mu_);
+    if (epoll_ != nullptr) epoll_->Unwatch(fd);
+  }
+  Remove(id);
+}
+
+EpollPoller* Reactor::EnsureEpoll() {
+  MutexLock lock(epoll_mu_);
+  if (epoll_ == nullptr) {
+    epoll_ = std::make_unique<EpollPoller>(
+        [this](std::uint64_t token) { Schedule(token); });
+  }
+  return epoll_.get();
+}
+
+}  // namespace cool::transport

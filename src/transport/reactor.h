@@ -1,0 +1,119 @@
+// Event-driven connection engine (ROADMAP open item 2). The Reactor owns N
+// run-to-completion worker loops, each blocked on its own sim::WaitSet;
+// every ComChannel read, GIOP demux completion and server accept registers
+// as a non-blocking state machine that the owning worker invokes whenever
+// its source signals readiness. This replaces the thread-per-channel model
+// (one reader thread per client binding, one accept/serve thread per server
+// connection) with a flat, connection-count-independent thread pool.
+//
+// Dispatch contract:
+//  * A registration's callback runs on exactly one worker (id % workers)
+//    and never concurrently with itself — per-channel state needs no locks
+//    against the reactor, only against other application threads.
+//  * Callbacks must not block: they drain their source via the transport
+//    Try* paths until it reports "nothing more", then return. Heavy work
+//    (GIOP dispatch) is handed to the giop::DispatchPool, never run inline.
+//  * Remove(id) is a barrier: it returns only once a concurrently running
+//    callback for `id` has finished — except when called from inside that
+//    callback itself, which unregisters without waiting (self-removal on
+//    channel error is the common teardown path).
+//
+// Real file descriptors join the same machinery through AddFd(): a lazy
+// EpollPoller thread turns edge-triggered kernel readiness into Schedule()
+// posts, so sim sources and kernel fds feed identical worker loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread.h"
+#include "sim/waitset.h"
+#include "transport/epoll_poller.h"
+
+namespace cool::transport {
+
+class Reactor {
+ public:
+  using Callback = std::function<void()>;
+  // Binds a readiness source to the chosen worker's wait set under the
+  // assigned token (e.g. via sim::Watchable::Watch); returns false when the
+  // source cannot be watched.
+  using AttachFn = std::function<bool(const sim::WaitSet&, std::uint64_t)>;
+
+  // 0 = one worker per hardware thread.
+  explicit Reactor(unsigned workers = 0);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Process-wide instance shared by ORBs/clients that do not bring their
+  // own (intentionally leaked: channels may still signal it during static
+  // destruction).
+  static Reactor& Default();
+
+  // Registers a source + callback. The callback starts firing as soon as
+  // `attach` returns (an immediate probe harvests pre-registration state).
+  Result<std::uint64_t> Add(const AttachFn& attach, Callback cb);
+
+  // Registration without a source: fires only via Schedule(id).
+  std::uint64_t AddManual(Callback cb);
+
+  // Registers a kernel fd (edge-triggered epoll). The fd stays owned by
+  // the caller; unregister with RemoveFd before closing it.
+  Result<std::uint64_t> AddFd(int fd, Callback cb);
+
+  // Queues one callback invocation for `id` on its owning worker.
+  void Schedule(std::uint64_t id);
+
+  // Unregisters `id`; barrier semantics (see file comment).
+  void Remove(std::uint64_t id);
+  void RemoveFd(int fd, std::uint64_t id);
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  std::uint64_t dispatches() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Registration {
+    explicit Registration(Callback f) : cb(std::move(f)) {}
+    const Callback cb;
+  };
+
+  struct Worker {
+    Mutex mu;
+    CondVar idle_cv;
+    sim::WaitSet waitset;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Registration>> regs
+        COOL_GUARDED_BY(mu);
+    std::uint64_t running_id COOL_GUARDED_BY(mu) = 0;
+    ThreadId thread_id;  // written once in the ctor, then read-only
+    Thread thread;
+  };
+
+  void WorkerLoop(Worker& w, std::stop_token stop);
+  // Clears the running marker and releases Remove() barrier waiters.
+  void DrainRemovalWaiters(Worker& w);
+  Worker& WorkerFor(std::uint64_t id) noexcept {
+    return *workers_[id % workers_.size()];
+  }
+  EpollPoller* EnsureEpoll();
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  Mutex epoll_mu_;
+  std::unique_ptr<EpollPoller> epoll_ COOL_GUARDED_BY(epoll_mu_);
+};
+
+}  // namespace cool::transport

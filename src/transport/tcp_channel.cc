@@ -79,7 +79,7 @@ Status TcpComChannel::SendMessageV(
 }
 
 Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
-  const TimePoint deadline = Now() + timeout;
+  const TimePoint deadline = DeadlineFor(timeout);
   MutexLock lock(rx_mu_);
   for (;;) {
     // Deliberately not COOL_ASSIGN_OR_RETURN: moving the optional out of
@@ -98,6 +98,29 @@ Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
     COOL_ASSIGN_OR_RETURN(std::size_t n, socket_->RecvFor(chunk, remaining));
     rx_buffer_.Append({chunk, n});
   }
+}
+
+Result<std::optional<ByteBuffer>> TcpComChannel::TryReceiveMessage() {
+  MutexLock lock(rx_mu_);
+  for (;;) {
+    Result<std::optional<ByteBuffer>> next = rx_buffer_.NextMessage();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return next;
+    std::uint8_t chunk[16 * 1024];
+    Result<std::size_t> n = socket_->TryRecv(chunk);
+    if (!n.ok()) {
+      // Closed-and-drained: a partially reassembled message can never
+      // complete, so surface the close even with residual bytes buffered.
+      return n.status();
+    }
+    if (*n == 0) return std::optional<ByteBuffer>{};  // nothing deliverable
+    rx_buffer_.Append({chunk, *n});
+  }
+}
+
+bool TcpComChannel::RegisterRx(const sim::WaitSet& set, std::uint64_t token) {
+  socket_->WatchRecv(set, token);
+  return true;
 }
 
 void TcpComChannel::Close() { socket_->Close(); }
@@ -129,6 +152,24 @@ Result<std::unique_ptr<ComChannel>> TcpComManager::AcceptChannel() {
                         listener_->Accept());
   return std::unique_ptr<ComChannel>(
       std::make_unique<TcpComChannel>(std::move(socket)));
+}
+
+Result<std::unique_ptr<ComChannel>> TcpComManager::TryAcceptChannel() {
+  if (listener_ == nullptr) {
+    return Status(FailedPreconditionError("manager is not listening"));
+  }
+  COOL_ASSIGN_OR_RETURN(std::unique_ptr<sim::StreamSocket> socket,
+                        listener_->TryAccept());
+  if (socket == nullptr) return std::unique_ptr<ComChannel>();
+  return std::unique_ptr<ComChannel>(
+      std::make_unique<TcpComChannel>(std::move(socket)));
+}
+
+bool TcpComManager::RegisterAccept(const sim::WaitSet& set,
+                                   std::uint64_t token) {
+  if (listener_ == nullptr) return false;
+  listener_->WatchAccept(set, token);
+  return true;
 }
 
 void TcpComManager::Close() {

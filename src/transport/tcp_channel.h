@@ -51,6 +51,8 @@ class TcpComChannel : public ComChannel {
   Status SendMessageV(
       std::span<const std::span<const std::uint8_t>> parts) override;
   Result<ByteBuffer> ReceiveMessage(Duration timeout) override;
+  Result<std::optional<ByteBuffer>> TryReceiveMessage() override;
+  bool RegisterRx(const sim::WaitSet& set, std::uint64_t token) override;
   void Close() override;
 
  private:
@@ -73,6 +75,8 @@ class TcpComManager : public ComManager {
   Result<std::unique_ptr<ComChannel>> OpenChannel(
       const sim::Address& remote, const qos::QoSSpec& qos) override;
   Result<std::unique_ptr<ComChannel>> AcceptChannel() override;
+  Result<std::unique_ptr<ComChannel>> TryAcceptChannel() override;
+  bool RegisterAccept(const sim::WaitSet& set, std::uint64_t token) override;
   void Close() override;
 
   const sim::Address& address() const noexcept { return addr_; }

@@ -42,6 +42,39 @@ TEST(ClockTest, PreciseSleepLongDurationNeverUndershoots) {
   EXPECT_GE(sw.Elapsed(), target);
 }
 
+TEST(ClockTest, DeadlineForOrdinaryTimeoutIsNowPlusTimeout) {
+  const TimePoint before = Now();
+  const TimePoint deadline = DeadlineFor(milliseconds(100));
+  const TimePoint after = Now();
+  EXPECT_GE(deadline, before + milliseconds(100));
+  EXPECT_LE(deadline, after + milliseconds(100));
+}
+
+// Regression: `Now() + Duration::max()` wraps negative, turning "wait
+// forever" into "already expired". The saturating helper must pin huge
+// timeouts to TimePoint::max() instead.
+TEST(ClockTest, DeadlineForSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(DeadlineFor(Duration::max()), TimePoint::max());
+  // Near-max values that would still overflow must saturate too.
+  EXPECT_EQ(DeadlineFor(Duration::max() - milliseconds(1)),
+            TimePoint::max());
+}
+
+TEST(ClockTest, DeadlineFromSaturatesAtAnyBase) {
+  const TimePoint base = Now();
+  EXPECT_EQ(DeadlineFrom(base, Duration::max()), TimePoint::max());
+  EXPECT_EQ(DeadlineFrom(base, milliseconds(5)), base + milliseconds(5));
+  EXPECT_EQ(DeadlineFrom(TimePoint::max() - milliseconds(1), seconds(1)),
+            TimePoint::max());
+}
+
+TEST(ClockTest, DeadlineForZeroAndNegativeTimeouts) {
+  const TimePoint before = Now();
+  EXPECT_GE(DeadlineFor(Duration::zero()), before);
+  // Negative timeouts mean "already expired", never saturation.
+  EXPECT_LT(DeadlineFor(milliseconds(-10)), Now());
+}
+
 TEST(ClockTest, StopwatchResets) {
   Stopwatch sw;
   PreciseSleep(milliseconds(10));

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/thread.h"
+#include "transport/reactor.h"
 #include "transport/tcp_channel.h"
 
 namespace cool::giop {
@@ -302,6 +305,62 @@ TEST(GiopEngineTest, RequestIdsIncrease) {
   }
   server_thread.join();
   EXPECT_EQ(client.last_request_id(), 3u);
+}
+
+// Regression: the demux reader used to sit out a full poll quantum in
+// ReceiveMessage after the channel was closed, so client destruction
+// stalled for up to reader_poll. A close must interrupt the wait and the
+// destructor must join the reader promptly.
+TEST(GiopEngineTest, CloseInterruptsIdleReaderImmediately) {
+  Rig rig;
+  GiopClient::Options copts;
+  copts.reader_poll = seconds(30);  // a leaked quantum would hang the test
+  std::optional<GiopClient> client(std::in_place, rig.client_channel.get(),
+                                   copts);
+  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  auto server_thread = rig.Serve(server, 1);
+
+  // One round trip spins up the reader thread, which then goes idle.
+  cdr::Encoder args = client->MakeArgsEncoder();
+  args.PutLong(1);
+  ASSERT_TRUE(client->Invoke(Key("obj"), "op", args.buffer().view(), {}).ok());
+  server_thread.join();
+
+  Stopwatch timer;
+  rig.client_channel->Close();
+  client.reset();  // joins the reader
+  EXPECT_LT(timer.Elapsed(), seconds(5));
+}
+
+// The reactor-demux client: replies arrive via a reactor callback instead
+// of a dedicated reader thread, and teardown barriers the registration out.
+TEST(GiopEngineTest, ReactorDemuxInvokeAndTeardown) {
+  Rig rig;
+  transport::Reactor reactor(2);
+  GiopClient::Options copts;
+  copts.reactor = &reactor;
+  std::optional<GiopClient> client(std::in_place, rig.client_channel.get(),
+                                   copts);
+  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+
+  auto server_thread = rig.Serve(server, 2);
+  for (int i = 0; i < 2; ++i) {
+    cdr::Encoder args = client->MakeArgsEncoder();
+    args.PutLong(41);
+    auto reply =
+        client->Invoke(Key("obj"), "ping", args.buffer().view(), {});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->header.reply_status, ReplyStatus::kNoException);
+    cdr::Decoder dec = reply->MakeResultsDecoder();
+    EXPECT_EQ(*dec.GetString(), "ping");
+    EXPECT_EQ(*dec.GetLong(), 42);
+  }
+  server_thread.join();
+
+  Stopwatch timer;
+  rig.client_channel->Close();
+  client.reset();  // Remove() barrier, no thread to join
+  EXPECT_LT(timer.Elapsed(), seconds(5));
 }
 
 }  // namespace
