@@ -1,0 +1,35 @@
+// Fallback driver for toolchains without libFuzzer (-fsanitize=fuzzer is
+// Clang-only; the default build here is GCC). Replays the files given on
+// the command line — typically the checked-in corpus — through the same
+// LLVMFuzzerTestOneInput entry point the real fuzzer uses, so the harness
+// stays buildable and runnable everywhere. libFuzzer flags (-runs=...,
+// -max_len=...) are accepted and ignored.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // ignore libFuzzer-style flags
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "standalone fuzzer: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "standalone fuzzer: replayed %d input(s)\n", replayed);
+  return 0;
+}

@@ -40,6 +40,21 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      pool, and the documented blocking fallbacks). A connection must cost
      a reactor registration, not a thread — additions go through
      Reactor::Add or get an allowlist entry with a justification.
+  11. No raw std::condition_variable and no this_thread::sleep_for /
+     sleep_until in reactor- or dispatch-callback territory (src/transport,
+     src/giop): reactor callbacks and pool upcalls run to completion on
+     shared workers, so a sleep or an unannotated wait there stalls every
+     connection pinned to that worker. Timed waits go through
+     cool::CondVar::WaitUntil; deliberate blocking sites are marked with
+     deadlock::ScopedBlockingAllowed and reviewed.
+  12. Lock-rank cross-check: the LockRank enum (src/common/lock_rank.h),
+     the machine-readable table (scripts/lock_order.yaml), and the actual
+     Mutex/SharedMutex member declarations in src/ must agree. Every named
+     mutex must be constructed with {LockRank::kX, "ns::Class::member"},
+     appear in the yaml with the same rank, and any COOL_ACQUIRED_BEFORE /
+     COOL_ACQUIRED_AFTER annotation must be consistent with the ranks
+     (an acquired_after(x) lock may not out-rank x). The runtime detector
+     (COOL_DEADLOCK_DETECTOR=ON) enforces the same order dynamically.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -90,7 +105,12 @@ NEW_ALLOWLIST = {
     "src/stream/stream_adapter.cc": ["new FlowConnection("],  # same pattern
     "src/common/buffer_pool.cc": ["new BufferPool()"],  # leaky singleton
     "src/transport/reactor.cc": ["new Reactor()"],  # leaky singleton
+    "src/common/deadlock.cc": ["new State()"],  # leaky singleton (detector)
 }
+
+# Whole files exempt from rule 6: the benchmark allocation hook *defines*
+# the global operator new/delete overloads it counts with.
+NEW_DELETE_EXEMPT_FILES = {"bench/alloc_hook.cc"}
 
 NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_]")
 DELETE_RE = re.compile(r"\bdelete\b\s+[A-Za-z_*(]|\bdelete\[\]")
@@ -193,13 +213,23 @@ def check_raw_sync(path: Path, clean: str, findings: list[str]) -> None:
             )
 
 
+# Rule 2 covers bench/ and examples/ too; tests keep latitude for
+# byte-level assertions. Justified exceptions only.
+RAW_BYTES_ALLOWLIST = {
+    # Paper-faithful char*-API example: casts a std::string payload to the
+    # byte span the transport takes; no aliasing beyond char <-> uint8_t.
+    "examples/adaptive_protocol.cpp": ["msg.data()"],
+}
+
+
 def check_raw_bytes(path: Path, clean: str, findings: list[str]) -> None:
     r = rel(path)
-    if r.startswith(("src/common/", "src/cdr/")) or not r.startswith("src/"):
+    if r.startswith(("src/common/", "src/cdr/", "tests/")):
         return
+    allow = RAW_BYTES_ALLOWLIST.get(r, [])
     for lineno, line in enumerate(clean.splitlines(), 1):
         m = RAW_BYTES.search(line)
-        if m:
+        if m and not any(a in line for a in allow):
             findings.append(
                 f"{r}:{lineno}: {m.group(1)} outside src/common/ and "
                 f"src/cdr/ — raw byte reinterpretation is confined to the "
@@ -407,7 +437,8 @@ def check_layering(findings: list[str]) -> None:
 
 def check_new_delete(path: Path, clean: str, findings: list[str]) -> None:
     r = rel(path)
-    if not r.startswith("src/"):
+    # src/ plus bench/ and examples/ — tests keep latitude for fixtures.
+    if r.startswith("tests/") or r in NEW_DELETE_EXEMPT_FILES:
         return
     allow = NEW_ALLOWLIST.get(r, [])
     for lineno, line in enumerate(clean.splitlines(), 1):
@@ -560,6 +591,221 @@ def check_reactor_owns_io(path: Path, clean: str,
                 )
 
 
+# --- rule 11: no sleeps or raw condvars in reactor/dispatch territory --------
+# Reactor callbacks and dispatch-pool upcalls run to completion on shared
+# workers; a sleep there stalls every connection pinned to the worker. Raw
+# condition variables additionally dodge the deadlock detector's hooks.
+# (Rule 1 already bans std::condition_variable repo-wide outside common/;
+# this rule makes the reactor dirs explicit and adds the sleep ban.)
+
+SLEEP_RE = re.compile(
+    r"std::this_thread::sleep_(for|until)\s*\(|"
+    r"(?<!std::this_thread::)\bsleep_(for|until)\s*\(|"
+    r"\bcondition_variable\b"
+)
+
+
+def check_no_sleep_in_reactor_dirs(path: Path, clean: str,
+                                   findings: list[str]) -> None:
+    r = rel(path)
+    if not r.startswith(REACTOR_DIRS):
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = SLEEP_RE.search(line)
+        if m:
+            findings.append(
+                f"{r}:{lineno}: {m.group(0).strip('(').strip()} in reactor-"
+                f"owned territory — callbacks and upcalls run to completion "
+                f"on shared workers; use CondVar::WaitUntil with a deadline "
+                f"or restructure around the reactor (rule 11, DESIGN.md §11)"
+            )
+
+
+# --- rule 12: lock-rank cross-check ------------------------------------------
+# Three artifacts must agree: the LockRank enum (src/common/lock_rank.h),
+# the machine-readable table (scripts/lock_order.yaml), and the Mutex /
+# SharedMutex member declarations across src/. The runtime detector
+# (COOL_DEADLOCK_DETECTOR=ON) enforces the same order dynamically; this
+# pass catches drift at review time without a detector build.
+
+LOCK_ORDER_YAML = REPO / "scripts" / "lock_order.yaml"
+LOCK_RANK_H = SRC / "common" / "lock_rank.h"
+
+# Files that define (rather than use) the lock machinery.
+LOCK_RANK_EXEMPT = {
+    "src/common/mutex.h",
+    "src/common/lock_rank.h",
+    "src/common/deadlock.h",
+    "src/common/deadlock.cc",
+    "src/common/graph_cycles.h",
+    "src/common/graph_cycles.cc",
+}
+
+# A named mutex member declaration, optionally annotated and optionally
+# rank-constructed, possibly spanning lines:
+#   [mutable] Mutex name [COOL_ACQUIRED_*(...)] [{LockRank::kX, "ns::C::m"}];
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:Mutex|SharedMutex)\s+(\w+)\s*"
+    r"((?:COOL_ACQUIRED_(?:BEFORE|AFTER)\s*\([^)]*\)\s*)*)"
+    r"(?:\{\s*LockRank::(k\w+)\s*,\s*\"([^\"]+)\"\s*\})?\s*;"
+)
+
+ENUM_RANK_RE = re.compile(r"\b(k\w+)\s*=\s*(-?\d+)")
+
+YAML_RANK_RE = re.compile(r"^\s{2}(k\w+):\s*(-?\d+)\s*$")
+YAML_ROW_RE = re.compile(
+    r"^\s*-\s*\{\s*file:\s*(\S+?),\s*name:\s*\"([^\"]+)\",\s*"
+    r"rank:\s*(k\w+)\s*\}\s*$"
+)
+
+
+def parse_lock_order_yaml() -> tuple[dict[str, int], list[tuple[str, str, str]]]:
+    """Minimal parser for the constrained lock_order.yaml format."""
+    ranks: dict[str, int] = {}
+    rows: list[tuple[str, str, str]] = []
+    section = None
+    for line in LOCK_ORDER_YAML.read_text().splitlines():
+        bare = line.split("#", 1)[0].rstrip()
+        if not bare:
+            continue
+        if bare == "ranks:":
+            section = "ranks"
+            continue
+        if bare == "mutexes:":
+            section = "mutexes"
+            continue
+        if section == "ranks":
+            m = YAML_RANK_RE.match(bare)
+            if m:
+                ranks[m.group(1)] = int(m.group(2))
+        elif section == "mutexes":
+            m = YAML_ROW_RE.match(bare)
+            if m:
+                rows.append((m.group(1), m.group(2), m.group(3)))
+    return ranks, rows
+
+
+def check_lock_ranks(findings: list[str]) -> None:
+    if not LOCK_ORDER_YAML.exists():
+        findings.append("scripts/lock_order.yaml: missing (rule 12)")
+        return
+    if not LOCK_RANK_H.exists():
+        findings.append("src/common/lock_rank.h: missing (rule 12)")
+        return
+
+    # Enum <-> yaml rank tables must match exactly.
+    enum_text = strip_comments(LOCK_RANK_H.read_text())
+    enum_ranks = {m.group(1): int(m.group(2))
+                  for m in ENUM_RANK_RE.finditer(enum_text)}
+    yaml_ranks, yaml_rows = parse_lock_order_yaml()
+    for name, value in sorted(enum_ranks.items()):
+        if name not in yaml_ranks:
+            findings.append(
+                f"scripts/lock_order.yaml: rank {name} (= {value}) is in "
+                f"lock_rank.h but missing from the yaml ranks table (rule 12)"
+            )
+        elif yaml_ranks[name] != value:
+            findings.append(
+                f"scripts/lock_order.yaml: rank {name} is {yaml_ranks[name]} "
+                f"in the yaml but {value} in lock_rank.h (rule 12)"
+            )
+    for name in sorted(set(yaml_ranks) - set(enum_ranks)):
+        findings.append(
+            f"scripts/lock_order.yaml: rank {name} is not in the LockRank "
+            f"enum (rule 12)"
+        )
+
+    # Collect every mutex member declaration in src/.
+    declared: dict[str, tuple[str, str]] = {}  # qualified name -> (file, rank)
+    by_file_member: dict[tuple[str, str], str] = {}  # (file, member) -> rank
+    annotations: list[tuple[str, int, str, str, str, str]] = []
+    for path in sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc")):
+        r = rel(path)
+        if r in LOCK_RANK_EXEMPT:
+            continue
+        # Keep string literals: the lock *name* is one.
+        text = strip_comments(path.read_text())
+        for m in MUTEX_DECL_RE.finditer(text):
+            member, anno, rank, qual = m.groups()
+            lineno = text.count("\n", 0, m.start()) + 1
+            if rank is None or qual is None:
+                findings.append(
+                    f"{r}:{lineno}: mutex {member} has no "
+                    f"{{LockRank::kX, \"ns::Class::member\"}} initializer — "
+                    f"every named lock in src/ carries an explicit rank "
+                    f"(rule 12; pick from scripts/lock_order.yaml)"
+                )
+                continue
+            if rank not in enum_ranks:
+                findings.append(
+                    f"{r}:{lineno}: mutex {member} uses unknown rank {rank} "
+                    f"(rule 12)"
+                )
+                continue
+            declared[qual] = (r, rank)
+            by_file_member[(r, member)] = rank
+            for am in re.finditer(
+                r"COOL_ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)", anno or ""
+            ):
+                for arg in am.group(2).split(","):
+                    arg = arg.strip()
+                    if arg:
+                        annotations.append(
+                            (r, lineno, member, rank, am.group(1), arg)
+                        )
+
+    # Declarations <-> yaml rows must match one-for-one.
+    yaml_by_name = {name: (file, rank) for file, name, rank in yaml_rows}
+    for qual, (file, rank) in sorted(declared.items()):
+        if qual not in yaml_by_name:
+            findings.append(
+                f"{file}: lock \"{qual}\" (rank {rank}) is declared in code "
+                f"but missing from scripts/lock_order.yaml (rule 12)"
+            )
+            continue
+        yfile, yrank = yaml_by_name[qual]
+        if yrank != rank:
+            findings.append(
+                f"{file}: lock \"{qual}\" is rank {rank} in code but "
+                f"{yrank} in scripts/lock_order.yaml (rule 12)"
+            )
+        if yfile != file:
+            findings.append(
+                f"scripts/lock_order.yaml: lock \"{qual}\" points at "
+                f"{yfile} but is declared in {file} (rule 12)"
+            )
+    for name in sorted(set(yaml_by_name) - set(declared)):
+        findings.append(
+            f"scripts/lock_order.yaml: stale row \"{name}\" — no matching "
+            f"declaration in src/ (rule 12)"
+        )
+
+    # COOL_ACQUIRED_BEFORE/AFTER must agree with the ranks. Resolve the
+    # argument against the same file first, then a unique global basename.
+    basename_ranks: dict[str, set[str]] = {}
+    for (file, member), rank in by_file_member.items():
+        basename_ranks.setdefault(member, set()).add(rank)
+    for file, lineno, member, rank, direction, arg in annotations:
+        arg_member = arg.split(".")[-1].split("->")[-1]
+        other = by_file_member.get((file, arg_member))
+        if other is None:
+            # The annotated-against lock may live in another header (e.g. a
+            # base class); only use the global basename if unambiguous.
+            candidates = basename_ranks.get(arg_member, set())
+            if len(candidates) != 1:
+                continue
+            other = next(iter(candidates))
+        rv, ov = enum_ranks[rank], enum_ranks[other]
+        ok = rv <= ov if direction == "AFTER" else rv >= ov
+        if not ok:
+            findings.append(
+                f"{file}:{lineno}: {member} (rank {rank} = {rv}) is "
+                f"COOL_ACQUIRED_{direction}({arg}) but {arg_member} has rank "
+                f"{other} = {ov} — annotation contradicts the declared "
+                f"hierarchy (rule 12, scripts/lock_order.yaml)"
+            )
+
+
 def main() -> int:
     findings: list[str] = []
     for path in code_files():
@@ -572,8 +818,10 @@ def main() -> int:
         check_new_delete(path, clean, findings)
         check_no_buffer_copies(path, clean, findings)
         check_reactor_owns_io(path, clean, findings)
+        check_no_sleep_in_reactor_dirs(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)
+    check_lock_ranks(findings)
 
     if findings:
         print(f"check_invariants: {len(findings)} violation(s)")

@@ -57,16 +57,12 @@ class Decoder {
 
   Result<corba::Float> GetFloat() {
     COOL_ASSIGN_OR_RETURN(corba::ULong bits, GetULong());
-    corba::Float v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
+    return std::bit_cast<corba::Float>(bits);
   }
 
   Result<corba::Double> GetDouble() {
     COOL_ASSIGN_OR_RETURN(corba::ULongLong bits, GetULongLong());
-    corba::Double v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
+    return std::bit_cast<corba::Double>(bits);
   }
 
   Result<corba::String> GetString() {
@@ -140,20 +136,21 @@ class Decoder {
   Result<T> GetIntegral() {
     COOL_RETURN_IF_ERROR(Align(sizeof(T)));
     if (remaining() < sizeof(T)) return Underrun("integral");
-    std::make_unsigned_t<T> u = 0;
+    // Accumulate in a full-width register: narrow |= would promote the
+    // shifted byte to int and narrow back on assignment for 16-bit types.
+    std::uint64_t u = 0;
     if (order_ == ByteOrder::kLittleEndian) {
       for (std::size_t i = 0; i < sizeof(T); ++i) {
-        u |= static_cast<std::make_unsigned_t<T>>(data_[pos_ + i]) << (8 * i);
+        u |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
       }
     } else {
       for (std::size_t i = 0; i < sizeof(T); ++i) {
-        u |= static_cast<std::make_unsigned_t<T>>(
-                 data_[pos_ + sizeof(T) - 1 - i])
+        u |= static_cast<std::uint64_t>(data_[pos_ + sizeof(T) - 1 - i])
              << (8 * i);
       }
     }
     pos_ += sizeof(T);
-    return std::bit_cast<T>(u);
+    return std::bit_cast<T>(static_cast<std::make_unsigned_t<T>>(u));
   }
 
   Status Underrun(const char* what) const {

@@ -61,14 +61,10 @@ class Encoder {
   void PutULongLong(corba::ULongLong v) { PutIntegral(v); }
 
   void PutFloat(corba::Float v) {
-    corba::ULong bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    PutIntegral(bits);
+    PutIntegral(std::bit_cast<corba::ULong>(v));
   }
   void PutDouble(corba::Double v) {
-    corba::ULongLong bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    PutIntegral(bits);
+    PutIntegral(std::bit_cast<corba::ULongLong>(v));
   }
 
   // CDR string: ulong length including the terminating NUL, then the octets,

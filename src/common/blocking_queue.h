@@ -35,7 +35,13 @@ class BlockingQueue {
   // synchronized on (found by TSan).
   bool Push(T item) {
     MutexLock lock(mu_);
-    while (!closed_ && Full()) not_full_.Wait(mu_);
+    while (!closed_ && Full()) {
+      // Unbounded block: illegal inside reactor/dispatch upcalls (the
+      // CondVar guard would also catch it; this names the primitive).
+      COOL_DETECTOR_HOOK(
+          deadlock::AssertBlockingAllowed("BlockingQueue::Push"));
+      not_full_.Wait(mu_);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.NotifyOne();
@@ -55,7 +61,11 @@ class BlockingQueue {
   // nullopt means "closed, nothing more will ever arrive".
   std::optional<T> Pop() {
     MutexLock lock(mu_);
-    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+    while (!closed_ && items_.empty()) {
+      COOL_DETECTOR_HOOK(
+          deadlock::AssertBlockingAllowed("BlockingQueue::Pop"));
+      not_empty_.Wait(mu_);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -114,7 +124,7 @@ class BlockingQueue {
   }
 
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLeaf, "BlockingQueue::mu_"};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ COOL_GUARDED_BY(mu_);

@@ -64,7 +64,7 @@ class BufferPool {
   void Recycle(std::vector<std::uint8_t>&& storage);
 
   const Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLeaf, "BufferPool::mu_"};
   std::vector<std::vector<std::uint8_t>> free_ COOL_GUARDED_BY(mu_);
   std::uint64_t hits_ COOL_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ COOL_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,351 @@
+#include "common/deadlock.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>  // the detector's own lock must not be an instrumented cool::Mutex
+#include <sstream>
+#include <unordered_map>
+
+#include "common/graph_cycles.h"
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define COOL_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace cool::deadlock {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Context marker.
+
+thread_local Context tls_context = Context::kNone;
+thread_local int tls_blocking_allowed = 0;
+
+const char* ContextName(Context c) {
+  switch (c) {
+    case Context::kNone: return "none";
+    case Context::kReactorCallback: return "reactor callback";
+    case Context::kDispatchUpcall: return "dispatch-pool upcall";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Stack capture.
+
+constexpr int kMaxFrames = 24;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int n = 0;
+};
+
+void CaptureStack(Stack* s) {
+#if COOL_HAVE_BACKTRACE
+  s->n = backtrace(s->frames, kMaxFrames);
+#else
+  s->n = 0;
+#endif
+}
+
+void AppendStack(std::ostringstream& os, const Stack& s) {
+#if COOL_HAVE_BACKTRACE
+  if (s.n == 0) {
+    os << "    (no frames captured)\n";
+    return;
+  }
+  char** symbols = backtrace_symbols(s.frames, s.n);
+  for (int i = 0; i < s.n; ++i) {
+    os << "    #" << i << " ";
+    if (symbols != nullptr && symbols[i] != nullptr) {
+      os << symbols[i];
+    } else {
+      os << s.frames[i];
+    }
+    os << "\n";
+  }
+  std::free(symbols);  // malloc'd by backtrace_symbols; frees strings too
+#else
+  os << "    (backtrace unavailable on this platform)\n";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Held-lock stack (per thread).
+
+struct Held {
+  const void* mu = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  const char* name = nullptr;
+  Stack acquire_stack;
+};
+
+constexpr int kMaxHeld = 64;
+
+struct HeldStack {
+  Held held[kMaxHeld];
+  int n = 0;
+  int overflowed = 0;  // acquisitions dropped past kMaxHeld
+};
+
+thread_local HeldStack tls_held;
+
+// ---------------------------------------------------------------------------
+// Global graph + per-lock metadata.
+
+struct LockMeta {
+  const char* name = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  // Stack of the most recent acquisition of this lock made while other
+  // locks were held — the "prior ordering" side of a cycle report.
+  Stack last_hold_stack;
+  bool has_hold_stack = false;
+};
+
+struct State {
+  std::mutex mu;
+  GraphCycles graph;
+  std::unordered_map<const void*, LockMeta> meta;
+};
+
+State& GetState() {
+  static State* s = new State();  // leaked: locks outlive static teardown
+  return *s;
+}
+
+void DefaultReportHandler(const Report& report) {
+  std::fprintf(stderr, "%s", report.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+ReportHandler g_handler = &DefaultReportHandler;
+
+void Emit(Report::Kind kind, std::string message) {
+  Report report{kind, std::move(message)};
+  g_handler(report);
+}
+
+const char* NameOr(const char* name, const char* fallback) {
+  return name != nullptr ? name : fallback;
+}
+
+std::string DescribeLock(const void* mu, LockRank rank, const char* name) {
+  std::ostringstream os;
+  os << '"' << NameOr(name, "<unnamed>") << "\" (rank " << LockRankName(rank)
+     << ", " << mu << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Context CurrentContext() noexcept { return tls_context; }
+
+ScopedContext::ScopedContext(Context ctx) noexcept : prev_(tls_context) {
+  tls_context = ctx;
+}
+ScopedContext::~ScopedContext() { tls_context = prev_; }
+
+ScopedBlockingAllowed::ScopedBlockingAllowed() noexcept {
+  ++tls_blocking_allowed;
+}
+ScopedBlockingAllowed::~ScopedBlockingAllowed() { --tls_blocking_allowed; }
+
+bool BlockingAllowed() noexcept {
+  return tls_context == Context::kNone || tls_blocking_allowed > 0;
+}
+
+ReportHandler SetReportHandler(ReportHandler handler) noexcept {
+  ReportHandler prev = g_handler;
+  g_handler = handler != nullptr ? handler : &DefaultReportHandler;
+  return prev;
+}
+
+namespace {
+
+void PushHeld(const void* mu, LockRank rank, const char* name,
+              const Stack& stack) {
+  HeldStack& hs = tls_held;
+  if (hs.n >= kMaxHeld) {
+    ++hs.overflowed;
+    return;
+  }
+  Held& h = hs.held[hs.n++];
+  h.mu = mu;
+  h.rank = rank;
+  h.name = name;
+  h.acquire_stack = stack;
+}
+
+// Recursion + rank monotonicity checks against the current held stack.
+// Returns false if a report fired (the caller still proceeds: the default
+// handler aborts, a test handler wants execution to continue).
+void CheckHeldStack(const void* mu, LockRank rank, const char* name,
+                    const Stack& stack) {
+  HeldStack& hs = tls_held;
+  const Held* min_held = nullptr;
+  for (int i = 0; i < hs.n; ++i) {
+    const Held& h = hs.held[i];
+    if (h.mu == mu) {
+      std::ostringstream os;
+      os << "COOL DEADLOCK DETECTOR: recursive acquisition of "
+         << DescribeLock(mu, rank, name) << " — cool::Mutex is not "
+         << "recursive; this would deadlock\n  second acquisition:\n";
+      AppendStack(os, stack);
+      os << "  first acquisition:\n";
+      AppendStack(os, h.acquire_stack);
+      Emit(Report::Kind::kRecursiveLock, os.str());
+      return;
+    }
+    if (h.rank != LockRank::kUnranked &&
+        (min_held == nullptr || h.rank < min_held->rank)) {
+      min_held = &h;
+    }
+  }
+  if (rank != LockRank::kUnranked && min_held != nullptr &&
+      rank > min_held->rank) {
+    std::ostringstream os;
+    os << "COOL DEADLOCK DETECTOR: lock-rank violation — acquiring "
+       << DescribeLock(mu, rank, name) << "\n  while holding lower-ranked "
+       << DescribeLock(min_held->mu, min_held->rank, min_held->name)
+       << "\n  (outer locks must carry higher ranks; see "
+       << "common/lock_rank.h and scripts/lock_order.yaml)\n"
+       << "  this acquisition stack:\n";
+    AppendStack(os, stack);
+    os << "  stack that acquired the held lock:\n";
+    AppendStack(os, min_held->acquire_stack);
+    Emit(Report::Kind::kRankViolation, os.str());
+  }
+}
+
+// Records "held -> mu" edges in the global graph; reports a cycle when an
+// edge closes one.
+void RecordEdges(const void* mu, LockRank rank, const char* name,
+                 const Stack& stack) {
+  HeldStack& hs = tls_held;
+  if (hs.n == 0) return;
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  LockMeta& my_meta = st.meta[mu];
+  my_meta.name = name;
+  my_meta.rank = rank;
+  const GraphId my_id = st.graph.GetId(const_cast<void*>(
+      static_cast<const void*>(mu)));
+  for (int i = 0; i < hs.n; ++i) {
+    Held& h = hs.held[i];
+    const GraphId held_id = st.graph.GetId(const_cast<void*>(h.mu));
+    if (held_id == my_id) continue;  // recursive case already reported
+    if (st.graph.InsertEdge(held_id, my_id)) {
+      // Remember the stack under which this ordering was established: if
+      // the reverse order ever shows up, this is the "other side" of the
+      // cycle report.
+      LockMeta& held_meta = st.meta[h.mu];
+      held_meta.name = h.name;
+      held_meta.rank = h.rank;
+      held_meta.last_hold_stack = stack;
+      held_meta.has_hold_stack = true;
+      continue;
+    }
+    // Cycle: a path my_id ->* held_id already exists.
+    std::ostringstream os;
+    os << "COOL DEADLOCK DETECTOR: lock-order cycle (potential deadlock)\n"
+       << "  acquiring " << DescribeLock(mu, rank, name) << "\n"
+       << "  while holding " << DescribeLock(h.mu, h.rank, h.name) << "\n";
+    GraphId path[16];
+    const int len = st.graph.FindPath(held_id, my_id, 16, path);
+    if (len > 0) {
+      os << "  existing lock-order path: ";
+      for (int k = 0; k < len && k < 16; ++k) {
+        const void* p = st.graph.Ptr(path[k]);
+        const auto it = st.meta.find(p);
+        os << '"'
+           << NameOr(it != st.meta.end() ? it->second.name : nullptr,
+                     "<unnamed>")
+           << '"';
+        if (k + 1 < len && k + 1 < 16) os << " -> ";
+      }
+      os << "\n";
+    }
+    os << "  this acquisition stack (" << NameOr(h.name, "<unnamed>")
+       << " held while acquiring " << NameOr(name, "<unnamed>") << "):\n";
+    AppendStack(os, stack);
+    const auto it = st.meta.find(mu);
+    os << "  prior acquisition stack (" << NameOr(name, "<unnamed>")
+       << " held while acquiring along the existing path):\n";
+    if (it != st.meta.end() && it->second.has_hold_stack) {
+      AppendStack(os, it->second.last_hold_stack);
+    } else {
+      os << "    (not recorded)\n";
+    }
+    Emit(Report::Kind::kCycle, os.str());
+  }
+}
+
+}  // namespace
+
+void OnLockAcquire(const void* mu, LockRank rank, const char* name) {
+  Stack stack;
+  CaptureStack(&stack);
+  CheckHeldStack(mu, rank, name, stack);
+  RecordEdges(mu, rank, name, stack);
+  PushHeld(mu, rank, name, stack);
+}
+
+void OnLockTryAcquired(const void* mu, LockRank rank, const char* name) {
+  // A try-lock cannot block, so it adds no deadlock edge — but it joins
+  // the held stack: blocking acquires made under it record edges from it.
+  Stack stack;
+  CaptureStack(&stack);
+  PushHeld(mu, rank, name, stack);
+}
+
+void OnLockRelease(const void* mu) {
+  HeldStack& hs = tls_held;
+  if (hs.overflowed > 0) {
+    // The dropped acquisitions were necessarily more recent than anything
+    // on the stack; assume LIFO release and absorb one drop.
+    --hs.overflowed;
+    return;
+  }
+  for (int i = hs.n - 1; i >= 0; --i) {
+    if (hs.held[i].mu != mu) continue;
+    for (int j = i; j + 1 < hs.n; ++j) hs.held[j] = hs.held[j + 1];
+    --hs.n;
+    return;
+  }
+  // Not found: the lock predates the detector or was adopted; ignore.
+}
+
+void OnLockDestroy(const void* mu) {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.graph.RemoveNode(const_cast<void*>(mu));
+  st.meta.erase(mu);
+}
+
+void OnCondVarWaitBegin(const void* mu) { OnLockRelease(mu); }
+
+void OnCondVarWaitEnd(const void* mu, LockRank rank, const char* name) {
+  OnLockAcquire(mu, rank, name);
+}
+
+void AssertBlockingAllowed(const char* what) {
+  if (BlockingAllowed()) return;
+  Stack stack;
+  CaptureStack(&stack);
+  std::ostringstream os;
+  os << "COOL DEADLOCK DETECTOR: unbounded blocking wait (" << what
+     << ") inside a " << ContextName(tls_context)
+     << " — run-to-completion workers must never block; drain via Try* "
+     << "paths or hand the work to the dispatch pool (DESIGN.md §11)\n"
+     << "  blocking stack:\n";
+  AppendStack(os, stack);
+  Emit(Report::Kind::kBlockingInContext, os.str());
+}
+
+int HeldLockCount() noexcept { return tls_held.n; }
+
+}  // namespace cool::deadlock

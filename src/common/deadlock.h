@@ -1,0 +1,128 @@
+// Runtime deadlock-freedom toolkit (DESIGN.md §11):
+//
+//  1. Lock-order enforcement. With COOL_DEADLOCK_DETECTOR=ON, cool::Mutex
+//     and cool::SharedMutex call the On* hooks below around every acquire
+//     and release. Each thread keeps a stack of held locks; each acquire
+//     (a) checks rank monotonicity against common/lock_rank.h and
+//     (b) inserts "held -> acquiring" edges into one process-wide
+//     GraphCycles. A rank inversion or a cycle (a lock-order inversion
+//     that could deadlock under the right interleaving, even if this run
+//     never deadlocked) produces a fatal report carrying both acquisition
+//     stacks. Running the full test suite with the detector on turns it
+//     into a lock-order oracle.
+//
+//  2. Reactor-context blocking guard. Reactor callbacks and dispatch-pool
+//     upcalls run on shared run-to-completion workers: one unbounded wait
+//     stalls every connection pinned to that worker. Reactor::WorkerLoop
+//     and DispatchPool::WorkerLoop mark their upcall scope with
+//     ScopedContext; the blocking primitives (CondVar::Wait, BlockingQueue
+//     blocking push/pop, wire::RecvFrameFor, sim::WaitSet::Wait) call
+//     AssertBlockingAllowed, which reports when a non-timed blocking wait
+//     runs inside such a scope. Sites that block *by design* (bounded
+//     backpressure) annotate themselves with ScopedBlockingAllowed and a
+//     justification comment.
+//
+// The context markers are always compiled (a thread_local byte); the
+// hooks, checks and reports are active only when COOL_DEADLOCK_DETECTOR
+// is defined, so release builds pay nothing on the lock hot path.
+#pragma once
+
+#include <string>
+
+#include "common/lock_rank.h"
+
+namespace cool::deadlock {
+
+// ---------------------------------------------------------------------------
+// Execution-context marker (always available).
+
+enum class Context : unsigned char {
+  kNone = 0,
+  kReactorCallback = 1,  // inside Reactor worker running a registration
+  kDispatchUpcall = 2,   // inside a DispatchPool servant upcall
+};
+
+Context CurrentContext() noexcept;
+
+// RAII: marks the current thread as running in `ctx` (restores on exit).
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context ctx) noexcept;
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context prev_;
+};
+
+// RAII: the enclosed scope may block even in a restricted context. Reserved
+// for waits that are bounded by design (e.g. dispatch-queue backpressure);
+// every use carries a justification comment.
+class ScopedBlockingAllowed {
+ public:
+  ScopedBlockingAllowed() noexcept;
+  ~ScopedBlockingAllowed();
+
+  ScopedBlockingAllowed(const ScopedBlockingAllowed&) = delete;
+  ScopedBlockingAllowed& operator=(const ScopedBlockingAllowed&) = delete;
+};
+
+// True unless the thread is in a reactor/dispatch context without an
+// active ScopedBlockingAllowed.
+bool BlockingAllowed() noexcept;
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+struct Report {
+  enum class Kind {
+    kCycle,             // lock-order cycle (potential deadlock)
+    kRankViolation,     // acquired an outer-ranked lock under an inner one
+    kRecursiveLock,     // same mutex acquired twice on one thread
+    kBlockingInContext  // unbounded wait inside a reactor/dispatch upcall
+  };
+  Kind kind;
+  std::string message;  // full human-readable report (stacks included)
+};
+
+// Installed handler receives every detector report. The default prints to
+// stderr and aborts. Returns the previous handler; tests swap in a
+// capturing handler to assert on reports without dying.
+using ReportHandler = void (*)(const Report&);
+ReportHandler SetReportHandler(ReportHandler handler) noexcept;
+
+// ---------------------------------------------------------------------------
+// Detector hooks (called by cool::Mutex/CondVar when COOL_DEADLOCK_DETECTOR
+// is defined; no-ops otherwise so unit tests can poke them directly).
+
+// Pre-acquire: rank check + graph edges from every held lock, then pushes
+// the lock onto the thread's held stack.
+void OnLockAcquire(const void* mu, LockRank rank, const char* name);
+
+// Post-TryLock-success: pushes without inserting edges (a try-lock cannot
+// block, so it creates no deadlock edge — but later blocking acquires
+// under it do).
+void OnLockTryAcquired(const void* mu, LockRank rank, const char* name);
+
+// Pops the lock from the thread's held stack.
+void OnLockRelease(const void* mu);
+
+// Forgets the mutex entirely (graph node removal). Called from ~Mutex.
+void OnLockDestroy(const void* mu);
+
+// CondVar::Wait* releases and reacquires `mu` internally: bracket the wait
+// so the held stack matches reality while the thread sleeps.
+void OnCondVarWaitBegin(const void* mu);
+void OnCondVarWaitEnd(const void* mu, LockRank rank, const char* name);
+
+// Reports kBlockingInContext when an unbounded wait named `what` runs in a
+// restricted context (active only with COOL_DEADLOCK_DETECTOR).
+void AssertBlockingAllowed(const char* what);
+
+// Test support: number of locks the calling thread currently holds
+// according to the detector.
+int HeldLockCount() noexcept;
+
+}  // namespace cool::deadlock

@@ -1,0 +1,321 @@
+#include "common/graph_cycles.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace cool {
+namespace {
+
+// GraphId handle layout: low 32 bits = slot index, high 32 bits = version.
+// Version 0 is reserved so the zero handle is always invalid.
+constexpr std::uint64_t MakeHandle(std::uint32_t index, std::uint32_t version) {
+  return (static_cast<std::uint64_t>(version) << 32) | index;
+}
+constexpr std::uint32_t HandleIndex(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h & 0xffffffffu);
+}
+constexpr std::uint32_t HandleVersion(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h >> 32);
+}
+
+struct Node {
+  bool in_use = false;
+  bool visited = false;          // scratch for the DFS passes
+  std::uint32_t version = 1;     // bumped on free; never 0
+  std::int64_t rank = 0;         // topological order: edge a->b => rank[a] < rank[b]
+  void* ptr = nullptr;
+  void* info = nullptr;
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> in;
+};
+
+void EraseValue(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  auto it = std::find(v.begin(), v.end(), x);
+  if (it != v.end()) {
+    *it = v.back();
+    v.pop_back();
+  }
+}
+
+bool Contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+struct GraphCycles::Rep {
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> free_slots;
+  std::unordered_map<void*, std::uint32_t> index_of;
+  std::int64_t next_rank = 1;
+  std::int64_t edge_count = 0;
+
+  // Scratch buffers for InsertEdge's reordering passes (kept across calls
+  // to avoid churn; the detector serializes access anyway).
+  std::vector<std::uint32_t> delta_f;  // reachable from the new edge's head
+  std::vector<std::uint32_t> delta_b;  // reaching the new edge's tail
+  std::vector<std::uint32_t> stack;
+
+  // Resolves a handle to a live slot index, or rejects stale/invalid ids.
+  bool Resolve(GraphId id, std::uint32_t* index) const {
+    const std::uint32_t i = HandleIndex(id.handle);
+    if (i >= nodes.size()) return false;
+    const Node& n = nodes[i];
+    if (!n.in_use || n.version != HandleVersion(id.handle)) return false;
+    *index = i;
+    return true;
+  }
+
+  // DFS from `start` along out-edges, restricted to ranks <= `bound`.
+  // Returns true (and leaves visited marks set) unless `target` was hit, in
+  // which case marks are cleared and false is returned (cycle found).
+  // Visited nodes are appended to delta_f.
+  bool ForwardDfs(std::uint32_t start, std::uint32_t target,
+                  std::int64_t bound) {
+    delta_f.clear();
+    stack.clear();
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::uint32_t i = stack.back();
+      stack.pop_back();
+      Node& n = nodes[i];
+      if (n.visited) continue;
+      n.visited = true;
+      delta_f.push_back(i);
+      for (std::uint32_t succ : n.out) {
+        if (succ == target) {
+          for (std::uint32_t j : delta_f) nodes[j].visited = false;
+          return false;
+        }
+        if (!nodes[succ].visited && nodes[succ].rank <= bound) {
+          stack.push_back(succ);
+        }
+      }
+    }
+    return true;
+  }
+
+  // DFS from `start` along in-edges, restricted to ranks >= `bound`.
+  // Appends visited nodes to delta_b. Never sees delta_f nodes: every
+  // delta_f rank is <= bound-side by construction (ranks are disjoint
+  // because no path exists between the regions — ForwardDfs proved it).
+  void BackwardDfs(std::uint32_t start, std::int64_t bound) {
+    delta_b.clear();
+    stack.clear();
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::uint32_t i = stack.back();
+      stack.pop_back();
+      Node& n = nodes[i];
+      if (n.visited) continue;
+      n.visited = true;
+      delta_b.push_back(i);
+      for (std::uint32_t pred : n.in) {
+        if (!nodes[pred].visited && nodes[pred].rank >= bound) {
+          stack.push_back(pred);
+        }
+      }
+    }
+  }
+
+  // Pearce–Kelly reorder: the nodes of delta_b (which must all precede the
+  // new edge's tail) and delta_f (which must all follow its head) exchange
+  // ranks so that every delta_b rank sorts before every delta_f rank,
+  // preserving relative order inside each region.
+  void Reorder() {
+    SortByRank(delta_b);
+    SortByRank(delta_f);
+    // Gather the union of ranks, then deal them back: delta_b first.
+    std::vector<std::int64_t> ranks;
+    ranks.reserve(delta_b.size() + delta_f.size());
+    for (std::uint32_t i : delta_b) ranks.push_back(nodes[i].rank);
+    for (std::uint32_t i : delta_f) ranks.push_back(nodes[i].rank);
+    std::sort(ranks.begin(), ranks.end());
+    std::size_t k = 0;
+    for (std::uint32_t i : delta_b) {
+      nodes[i].rank = ranks[k++];
+      nodes[i].visited = false;
+    }
+    for (std::uint32_t i : delta_f) {
+      nodes[i].rank = ranks[k++];
+      nodes[i].visited = false;
+    }
+  }
+
+  void SortByRank(std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end(), [this](std::uint32_t a, std::uint32_t b) {
+      return nodes[a].rank < nodes[b].rank;
+    });
+  }
+};
+
+GraphCycles::GraphCycles() : rep_(std::make_unique<Rep>()) {}
+GraphCycles::~GraphCycles() = default;
+
+GraphId GraphCycles::GetId(void* ptr) {
+  auto it = rep_->index_of.find(ptr);
+  if (it != rep_->index_of.end()) {
+    const Node& n = rep_->nodes[it->second];
+    return GraphId{MakeHandle(it->second, n.version)};
+  }
+  std::uint32_t index = 0;
+  if (!rep_->free_slots.empty()) {
+    index = rep_->free_slots.back();
+    rep_->free_slots.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(rep_->nodes.size());
+    rep_->nodes.emplace_back();
+  }
+  Node& n = rep_->nodes[index];
+  n.in_use = true;
+  n.rank = rep_->next_rank++;
+  n.ptr = ptr;
+  n.info = nullptr;
+  rep_->index_of.emplace(ptr, index);
+  return GraphId{MakeHandle(index, n.version)};
+}
+
+void GraphCycles::RemoveNode(void* ptr) {
+  auto it = rep_->index_of.find(ptr);
+  if (it == rep_->index_of.end()) return;
+  const std::uint32_t index = it->second;
+  Node& n = rep_->nodes[index];
+  for (std::uint32_t succ : n.out) EraseValue(rep_->nodes[succ].in, index);
+  for (std::uint32_t pred : n.in) EraseValue(rep_->nodes[pred].out, index);
+  rep_->edge_count -= static_cast<std::int64_t>(n.out.size() + n.in.size());
+  n.out.clear();
+  n.in.clear();
+  n.in_use = false;
+  n.ptr = nullptr;
+  n.info = nullptr;
+  ++n.version;  // stale GraphIds stop resolving
+  rep_->index_of.erase(it);
+  rep_->free_slots.push_back(index);
+}
+
+void* GraphCycles::Ptr(GraphId id) const {
+  std::uint32_t index = 0;
+  return rep_->Resolve(id, &index) ? rep_->nodes[index].ptr : nullptr;
+}
+
+bool GraphCycles::InsertEdge(GraphId x, GraphId y) {
+  std::uint32_t xi = 0;
+  std::uint32_t yi = 0;
+  if (!rep_->Resolve(x, &xi) || !rep_->Resolve(y, &yi)) return false;
+  if (xi == yi) return false;  // self-edge: trivial cycle
+  Node& xn = rep_->nodes[xi];
+  Node& yn = rep_->nodes[yi];
+  if (Contains(xn.out, yi)) return true;  // already ordered this way
+  if (xn.rank < yn.rank) {
+    // Topological order already consistent; no reordering needed.
+    xn.out.push_back(yi);
+    yn.in.push_back(xi);
+    ++rep_->edge_count;
+    return true;
+  }
+  // The new edge contradicts the current order. Search the affected region
+  // forward from y; finding x there means a path y ->* x exists, so the
+  // edge x -> y would close a cycle.
+  if (!rep_->ForwardDfs(yi, xi, xn.rank)) return false;
+  rep_->BackwardDfs(xi, yn.rank);
+  rep_->Reorder();
+  rep_->nodes[xi].out.push_back(yi);
+  rep_->nodes[yi].in.push_back(xi);
+  ++rep_->edge_count;
+  return true;
+}
+
+void GraphCycles::RemoveEdge(GraphId x, GraphId y) {
+  std::uint32_t xi = 0;
+  std::uint32_t yi = 0;
+  if (!rep_->Resolve(x, &xi) || !rep_->Resolve(y, &yi)) return;
+  if (!Contains(rep_->nodes[xi].out, yi)) return;
+  EraseValue(rep_->nodes[xi].out, yi);
+  EraseValue(rep_->nodes[yi].in, xi);
+  --rep_->edge_count;
+}
+
+bool GraphCycles::HasEdge(GraphId x, GraphId y) const {
+  std::uint32_t xi = 0;
+  std::uint32_t yi = 0;
+  if (!rep_->Resolve(x, &xi) || !rep_->Resolve(y, &yi)) return false;
+  return Contains(rep_->nodes[xi].out, yi);
+}
+
+int GraphCycles::FindPath(GraphId x, GraphId y, int max_len,
+                          GraphId path[]) const {
+  std::uint32_t xi = 0;
+  std::uint32_t yi = 0;
+  if (!rep_->Resolve(x, &xi) || !rep_->Resolve(y, &yi)) return 0;
+  // Iterative DFS from y looking for x, tracking the path. Bounded by the
+  // node count; `via` remembers each visited node's predecessor.
+  std::unordered_map<std::uint32_t, std::uint32_t> via;
+  std::vector<std::uint32_t> stack{yi};
+  via.emplace(yi, yi);
+  bool found = (yi == xi);
+  while (!found && !stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    for (std::uint32_t succ : rep_->nodes[i].out) {
+      if (via.contains(succ)) continue;
+      via.emplace(succ, i);
+      if (succ == xi) {
+        found = true;
+        break;
+      }
+      stack.push_back(succ);
+    }
+  }
+  if (!found) return 0;
+  // Walk back x -> y, then reverse into y -> ... -> x order.
+  std::vector<std::uint32_t> rev;
+  for (std::uint32_t i = xi;; i = via[i]) {
+    rev.push_back(i);
+    if (i == yi) break;
+  }
+  const int n = static_cast<int>(rev.size());
+  for (int k = 0; k < n && k < max_len; ++k) {
+    const std::uint32_t i = rev[static_cast<std::size_t>(n - 1 - k)];
+    path[k] = GraphId{MakeHandle(i, rep_->nodes[i].version)};
+  }
+  return n;
+}
+
+void GraphCycles::SetNodeInfo(GraphId id, void* info) {
+  std::uint32_t index = 0;
+  if (rep_->Resolve(id, &index)) rep_->nodes[index].info = info;
+}
+
+void* GraphCycles::GetNodeInfo(GraphId id) const {
+  std::uint32_t index = 0;
+  return rep_->Resolve(id, &index) ? rep_->nodes[index].info : nullptr;
+}
+
+std::int64_t GraphCycles::num_nodes() const {
+  return static_cast<std::int64_t>(rep_->index_of.size());
+}
+
+std::int64_t GraphCycles::num_edges() const { return rep_->edge_count; }
+
+bool GraphCycles::CheckInvariants() const {
+  std::unordered_map<std::int64_t, std::uint32_t> rank_seen;
+  for (std::uint32_t i = 0; i < rep_->nodes.size(); ++i) {
+    const Node& n = rep_->nodes[i];
+    if (!n.in_use) continue;
+    if (n.visited) return false;  // scratch marks must not leak
+    if (!rank_seen.emplace(n.rank, i).second) return false;  // dup rank
+    for (std::uint32_t succ : n.out) {
+      if (!rep_->nodes[succ].in_use) return false;
+      if (n.rank >= rep_->nodes[succ].rank) return false;  // order broken
+      if (!Contains(rep_->nodes[succ].in, i)) return false;
+    }
+    for (std::uint32_t pred : n.in) {
+      if (!Contains(rep_->nodes[pred].out, i)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cool

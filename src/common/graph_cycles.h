@@ -1,0 +1,84 @@
+// Incremental cycle detection over a dynamic directed graph, after the
+// Pearce–Kelly algorithm (the same design as absl::Mutex's deadlock
+// detector): nodes carry a topological order that is repaired locally on
+// edge insertion, so InsertEdge() costs O(affected region) and detects the
+// edge that would close a cycle *before* it is recorded.
+//
+// The deadlock detector (common/deadlock.h) uses one process-wide graph
+// whose nodes are cool::Mutex addresses and whose edge a->b means "a was
+// held while b was acquired". A cycle in that graph is a lock-order
+// inversion — a potential deadlock — even if no execution has interleaved
+// the two orders yet. This class is the pure algorithm: single-threaded,
+// no locking, no knowledge of mutexes; callers serialize access.
+//
+// Node ids are versioned handles: RemoveNode() frees the slot for reuse and
+// bumps the version, so a stale GraphId held by a caller can never alias a
+// later node in the same slot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace cool {
+
+struct GraphId {
+  std::uint64_t handle = 0;
+
+  bool operator==(const GraphId&) const = default;
+};
+
+inline constexpr GraphId kInvalidGraphId{0};
+
+class GraphCycles {
+ public:
+  GraphCycles();
+  ~GraphCycles();
+
+  GraphCycles(const GraphCycles&) = delete;
+  GraphCycles& operator=(const GraphCycles&) = delete;
+
+  // Returns the node for `ptr`, creating it on first sight. `ptr` is an
+  // opaque identity key (the detector passes mutex addresses).
+  GraphId GetId(void* ptr);
+
+  // Removes the node keyed by `ptr` (if any) and every edge touching it.
+  // Its GraphId becomes stale: later calls with it are no-ops / false.
+  void RemoveNode(void* ptr);
+
+  // The identity key `id` was created with; nullptr for stale ids.
+  void* Ptr(GraphId id) const;
+
+  // Inserts the edge x -> y. Returns false iff the edge would create a
+  // cycle (the edge is NOT inserted in that case) or either id is stale.
+  // Self-edges report a cycle. Duplicate edges are fine (idempotent).
+  bool InsertEdge(GraphId x, GraphId y);
+
+  void RemoveEdge(GraphId x, GraphId y);
+
+  bool HasEdge(GraphId x, GraphId y) const;
+
+  // After InsertEdge(x, y) returned false: writes the nodes of a path
+  // y -> ... -> x (the pre-existing ordering that conflicts with the new
+  // edge) into `path`, up to max_len entries. Returns the path length
+  // (possibly > max_len if truncated), or 0 if none exists.
+  int FindPath(GraphId x, GraphId y, int max_len, GraphId path[]) const;
+
+  // Caller-attached note per node (the detector stores the acquisition
+  // stack of the most recent "held while acquiring another lock" event).
+  // Returns nullptr for stale ids.
+  void SetNodeInfo(GraphId id, void* info);
+  void* GetNodeInfo(GraphId id) const;
+
+  std::int64_t num_nodes() const;
+  std::int64_t num_edges() const;
+
+  // Self-check for tests: topological ranks consistent with every edge,
+  // no duplicate ranks among live nodes.
+  bool CheckInvariants() const;
+
+ private:
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace cool

@@ -6,11 +6,19 @@
 //
 // Rules of use (enforced by scripts/check_invariants.py):
 //  - raw std::mutex / std::condition_variable / std::shared_mutex only
-//    appear in this header;
+//    appear in this header (and in the deadlock detector's own guts);
 //  - shared state is annotated COOL_GUARDED_BY(mu_);
 //  - condition variables are waited on in explicit while-loops in the
 //    caller (the analysis cannot see through predicate lambdas) and
-//    notified with the mutex held (see BlockingQueue for why).
+//    notified with the mutex held (see BlockingQueue for why);
+//  - every named mutex in src/ declares its LockRank (common/lock_rank.h)
+//    and appears in scripts/lock_order.yaml.
+//
+// With COOL_DEADLOCK_DETECTOR=ON every acquire/release additionally feeds
+// the runtime lock-order detector (common/deadlock.h): rank monotonicity
+// is asserted, "held -> acquiring" edges go into a process-wide cycle
+// graph, and unbounded CondVar waits inside reactor/dispatch upcalls are
+// reported. Release builds compile all of that away.
 #pragma once
 
 #include <condition_variable>
@@ -18,48 +26,148 @@
 #include <shared_mutex>
 
 #include "common/clock.h"
+#include "common/deadlock.h"
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
+
+#ifdef COOL_DEADLOCK_DETECTOR
+#define COOL_DETECTOR_HOOK(expr) (expr)
+#else
+#define COOL_DETECTOR_HOOK(expr) ((void)0)
+#endif
 
 namespace cool {
 
 class CondVar;
 
-// Exclusive mutex (wraps std::mutex).
+// Exclusive mutex (wraps std::mutex). Named mutexes in src/ construct with
+// an explicit rank: `Mutex mu_{LockRank::kEngine, "giop::GiopClient::mu_"}`.
 class COOL_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name = nullptr) noexcept
+#ifdef COOL_DEADLOCK_DETECTOR
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+#ifdef COOL_DEADLOCK_DETECTOR
+  ~Mutex() { deadlock::OnLockDestroy(this); }
+#endif
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() COOL_ACQUIRE() { mu_.lock(); }
-  void Unlock() COOL_RELEASE() { mu_.unlock(); }
-  bool TryLock() COOL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() COOL_ACQUIRE() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockAcquire(this, rank(), name()));
+    mu_.lock();
+  }
+  void Unlock() COOL_RELEASE() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockRelease(this));
+    mu_.unlock();
+  }
+  bool TryLock() COOL_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) COOL_DETECTOR_HOOK(deadlock::OnLockTryAcquired(this, rank(), name()));
+    return ok;
+  }
 
   // Static-analysis assertion for code paths where the capability is held
   // but the analysis cannot prove it (e.g. via a scoped lock passed in).
   void AssertHeld() const COOL_ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const noexcept {
+#ifdef COOL_DEADLOCK_DETECTOR
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+  const char* name() const noexcept {
+#ifdef COOL_DEADLOCK_DETECTOR
+    return name_;
+#else
+    return nullptr;
+#endif
+  }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+#ifdef COOL_DEADLOCK_DETECTOR
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = nullptr;
+#endif
 };
 
-// Reader/writer mutex (wraps std::shared_mutex).
+// Reader/writer mutex (wraps std::shared_mutex). Shared and exclusive
+// acquisitions both feed the detector: ordering matters either way.
 class COOL_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name = nullptr) noexcept
+#ifdef COOL_DEADLOCK_DETECTOR
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+#ifdef COOL_DEADLOCK_DETECTOR
+  ~SharedMutex() { deadlock::OnLockDestroy(this); }
+#endif
+
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() COOL_ACQUIRE() { mu_.lock(); }
-  void Unlock() COOL_RELEASE() { mu_.unlock(); }
-  void LockShared() COOL_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() COOL_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() COOL_ACQUIRE() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockAcquire(this, rank(), name()));
+    mu_.lock();
+  }
+  void Unlock() COOL_RELEASE() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockRelease(this));
+    mu_.unlock();
+  }
+  void LockShared() COOL_ACQUIRE_SHARED() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockAcquire(this, rank(), name()));
+    mu_.lock_shared();
+  }
+  void UnlockShared() COOL_RELEASE_SHARED() {
+    COOL_DETECTOR_HOOK(deadlock::OnLockRelease(this));
+    mu_.unlock_shared();
+  }
 
   void AssertHeld() const COOL_ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const noexcept {
+#ifdef COOL_DEADLOCK_DETECTOR
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+  const char* name() const noexcept {
+#ifdef COOL_DEADLOCK_DETECTOR
+    return name_;
+#else
+    return nullptr;
+#endif
+  }
+
  private:
   std::shared_mutex mu_;
+#ifdef COOL_DEADLOCK_DETECTOR
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = nullptr;
+#endif
 };
 
 // RAII exclusive lock over Mutex.
@@ -113,6 +221,11 @@ class COOL_SCOPED_CAPABILITY ReaderMutexLock {
 //
 //   MutexLock lock(mu_);
 //   while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+//
+// The untimed Wait() is an *unbounded* block: inside a reactor callback or
+// dispatch-pool upcall it stalls a shared run-to-completion worker, so the
+// deadlock detector reports it there (WaitFor/WaitUntil stay legal; waits
+// that are bounded by design wrap in deadlock::ScopedBlockingAllowed).
 class CondVar {
  public:
   CondVar() = default;
@@ -120,17 +233,22 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) COOL_REQUIRES(mu) {
+    COOL_DETECTOR_HOOK(deadlock::AssertBlockingAllowed("CondVar::Wait"));
+    COOL_DETECTOR_HOOK(deadlock::OnCondVarWaitBegin(&mu));
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+    COOL_DETECTOR_HOOK(deadlock::OnCondVarWaitEnd(&mu, mu.rank(), mu.name()));
   }
 
   // Returns false iff the deadline passed (the mutex is reacquired either
   // way). Spurious wakeups return true; callers loop on their predicate.
   bool WaitUntil(Mutex& mu, TimePoint deadline) COOL_REQUIRES(mu) {
+    COOL_DETECTOR_HOOK(deadlock::OnCondVarWaitBegin(&mu));
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(lock, deadline);
     lock.release();
+    COOL_DETECTOR_HOOK(deadlock::OnCondVarWaitEnd(&mu, mu.rank(), mu.name()));
     return status == std::cv_status::no_timeout;
   }
 

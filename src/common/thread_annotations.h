@@ -48,6 +48,16 @@
 // On a function: caller must NOT hold the capability (deadlock guard).
 #define COOL_EXCLUDES(...) COOL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+// On a mutex member: declares lock-order relative to other mutexes — this
+// one is acquired before/after the listed ones. Documents the DESIGN.md
+// §11 hierarchy at the declaration site; the authoritative machine-checked
+// ranking is the LockRank argument (common/lock_rank.h) cross-checked
+// against scripts/lock_order.yaml, and the runtime detector enforces it.
+#define COOL_ACQUIRED_BEFORE(...) \
+  COOL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define COOL_ACQUIRED_AFTER(...) \
+  COOL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 // On a function: runtime assertion that the capability is held.
 #define COOL_ASSERT_CAPABILITY(x) \
   COOL_THREAD_ANNOTATION(assert_capability(x))

@@ -113,7 +113,7 @@ class MechanismRegistry {
     Factory factory;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLeaf, "dacapo::MechanismRegistry::mu_"};
   std::map<std::string, Entry> entries_ COOL_GUARDED_BY(mu_);
 };
 

@@ -248,7 +248,7 @@ class Mailbox {
 
  private:
   const std::size_t down_capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMailbox, "dacapo::Mailbox::mu_"};
   CondVar cv_;
   CondVar space_;
   std::deque<std::pair<Direction, ControlMsg>> control_ COOL_GUARDED_BY(mu_);

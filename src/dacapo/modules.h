@@ -332,7 +332,7 @@ class AppAModule : public Module {
 
  private:
   const DeliveryMode mode_;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{LockRank::kLeaf, "dacapo::AppAModule::stats_mu_"};
   Stats stats_ COOL_GUARDED_BY(stats_mu_);
   BlockingQueue<PacketPtr> rx_queue_;
   std::function<void()> rx_notify_;

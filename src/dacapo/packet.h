@@ -175,7 +175,7 @@ class PacketArena {
   void PutFreeBatch(std::vector<Packet*>& batch);
 
   const std::size_t payload_capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLeaf, "dacapo::PacketArena::mu_"};
   std::vector<std::unique_ptr<Packet>> all_;  // immutable after construction
   std::vector<Packet*> free_ COOL_GUARDED_BY(mu_);
 };
@@ -212,7 +212,7 @@ class PacketCache {
  private:
   PacketArena* const arena_;
   const std::size_t batch_size_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kLeaf, "dacapo::PacketCache::mu_"};
   std::vector<Packet*> local_ COOL_GUARDED_BY(mu_);
 };
 

@@ -76,7 +76,7 @@ class ResourceManager {
   void Release(std::uint64_t bandwidth_kbps, std::size_t memory_bytes);
 
   const Budget budget_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSession, "dacapo::ResourceManager::mu_"};
   std::uint64_t reserved_bandwidth_kbps_ COOL_GUARDED_BY(mu_) = 0;
   std::size_t connections_ COOL_GUARDED_BY(mu_) = 0;
   std::size_t reserved_memory_bytes_ COOL_GUARDED_BY(mu_) = 0;

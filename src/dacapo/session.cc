@@ -139,6 +139,11 @@ Status RecvExactBy(sim::StreamSocket& socket, std::span<std::uint8_t> out,
 
 Result<std::pair<std::uint8_t, std::vector<std::uint8_t>>> RecvFrameFor(
     sim::StreamSocket& socket, Duration timeout) {
+  // Handshake wait (seconds-scale timeout): never legal on a reactor
+  // worker or dispatch upcall — it would pin the worker for the whole
+  // handshake window of one connection.
+  COOL_DETECTOR_HOOK(
+      deadlock::AssertBlockingAllowed("dacapo::wire::RecvFrameFor"));
   const TimePoint deadline = DeadlineFor(timeout);
   std::uint8_t prefix[4];
   COOL_RETURN_IF_ERROR(RecvExactBy(socket, prefix, deadline));

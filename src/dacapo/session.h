@@ -209,13 +209,13 @@ class Session {
   const bool initiator_;
   ResourceManager::Reservation reservation_;
 
-  mutable SharedMutex plane_mu_;
+  mutable SharedMutex plane_mu_{LockRank::kSession, "dacapo::Session::plane_mu_"};
   DataPlane plane_ COOL_GUARDED_BY(plane_mu_);
 
   // Responses to our own signalling requests (RECONF_ACK/NAK frames).
   BlockingQueue<std::vector<std::uint8_t>> responses_;
 
-  mutable Mutex error_mu_;
+  mutable Mutex error_mu_{LockRank::kSession, "dacapo::Session::error_mu_"};
   Status error_ COOL_GUARDED_BY(error_mu_);
 
   Thread signalling_thread_;

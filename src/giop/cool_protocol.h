@@ -77,7 +77,7 @@ class CoolClient {
 
  private:
   transport::ComChannel* channel_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kEngine, "giop::CoolClient::mu_"};
   std::uint32_t next_id_ COOL_GUARDED_BY(mu_) = 1;
 };
 

@@ -49,7 +49,11 @@ bool DispatchPool::Submit(DispatchRunner* runner, std::uint64_t runner_id,
   MutexLock lock(mu_);
   while (!closed_ && queued_ >= queue_capacity_) {
     // Backpressure: stall the submitting receive path (and with it the
-    // connection) until a worker makes room.
+    // connection) until a worker makes room. Blocking here is the design
+    // — the submitting reactor callback is the flow-control valve, and
+    // pool workers never need the reactor, so no cycle — hence the
+    // explicit blocking-allowed scope for the deadlock detector.
+    deadlock::ScopedBlockingAllowed allow;
     job_space_.Wait(mu_);
   }
   if (closed_ || detached_.contains(runner_id)) return false;
@@ -128,7 +132,12 @@ void DispatchPool::WorkerLoop() {
   for (;;) {
     std::optional<Entry> entry = NextEntry();
     if (!entry.has_value()) return;
-    entry->runner->RunDispatchJob(entry->job);
+    {
+      // Servant upcalls share this fixed worker pool: an unbounded wait
+      // in one starves every queued dispatch, so the detector flags them.
+      deadlock::ScopedContext ctx(deadlock::Context::kDispatchUpcall);
+      entry->runner->RunDispatchJob(entry->job);
+    }
     jobs_run_.fetch_add(1, std::memory_order_relaxed);
     DrainRunnerWaiters(entry->runner_id);
   }

@@ -120,7 +120,7 @@ class DispatchPool {
   const std::size_t queue_capacity_;
   std::atomic<std::uint64_t> jobs_run_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDispatchPool, "giop::DispatchPool::mu_"};
   std::array<std::deque<Entry>, kDispatchClasses> queues_
       COOL_GUARDED_BY(mu_);
   std::size_t queued_ COOL_GUARDED_BY(mu_) = 0;

@@ -400,7 +400,10 @@ bool GiopServer::EnqueueJob(DispatchJob job, DispatchClass cls) {
   StartWorkersLocked();
   while (!pool_closed_ && queued_ >= options_.queue_capacity) {
     // Backpressure: stall the receive loop (and with it the connection)
-    // until a worker makes room.
+    // until a worker makes room. Blocking by design (the flow-control
+    // valve, mirroring DispatchPool::Submit) — annotate for the deadlock
+    // detector's reactor-context guard.
+    deadlock::ScopedBlockingAllowed allow;
     job_space_.Wait(pool_mu_);
   }
   if (pool_closed_) return false;
@@ -447,6 +450,10 @@ void GiopServer::WorkerLoop() {
   for (;;) {
     std::optional<DispatchJob> job = NextJob();
     if (!job.has_value()) return;
+    // Private-pool upcalls are run-to-completion just like the shared
+    // DispatchPool's: mark the scope so unbounded waits in servant code
+    // trip the reactor-context guard.
+    deadlock::ScopedContext ctx(deadlock::Context::kDispatchUpcall);
     RunDispatchJob(*job);
   }
 }

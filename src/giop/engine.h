@@ -217,8 +217,8 @@ class GiopClient {
   transport::ComChannel* channel_;
   Options options_;
 
-  Mutex send_mu_;
-  mutable Mutex mu_;
+  Mutex send_mu_{LockRank::kEngine, "giop::GiopClient::send_mu_"};
+  mutable Mutex mu_{LockRank::kEngine, "giop::GiopClient::mu_"};
   corba::ULong next_request_id_ COOL_GUARDED_BY(mu_) = 1;
   std::unordered_map<corba::ULong, std::shared_ptr<Slot>> pending_
       COOL_GUARDED_BY(mu_);
@@ -373,14 +373,14 @@ class GiopServer : public DispatchRunner {
   Options options_;
   Locator locator_;
 
-  Mutex send_mu_;
+  Mutex send_mu_{LockRank::kEngine, "giop::GiopServer::send_mu_"};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_cancelled_{0};
 
   // Identity under the shared DispatchPool (pool mode only).
   const std::uint64_t runner_id_ = DispatchPool::AllocRunnerId();
 
-  mutable Mutex pool_mu_;
+  mutable Mutex pool_mu_{LockRank::kDispatchPool, "giop::GiopServer::pool_mu_"};
   std::array<std::deque<DispatchJob>, kDispatchClasses> queues_
       COOL_GUARDED_BY(pool_mu_);
   std::size_t queued_ COOL_GUARDED_BY(pool_mu_) = 0;

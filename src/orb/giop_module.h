@@ -135,7 +135,7 @@ class Alt2Server {
   GiopServerAModule::Options options_;
   Thread accept_thread_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kOrb, "orb::Alt2Server::mu_"};
   std::vector<std::unique_ptr<dacapo::Session>> sessions_
       COOL_GUARDED_BY(mu_);
   std::uint64_t connections_ COOL_GUARDED_BY(mu_) = 0;

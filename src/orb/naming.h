@@ -41,7 +41,7 @@ class NamingServant : public Servant {
   std::vector<std::string> List() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kOrb, "orb::NamingServant::mu_"};
   std::map<std::string, std::string> bindings_ COOL_GUARDED_BY(mu_);
 };
 

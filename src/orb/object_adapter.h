@@ -67,7 +67,7 @@ class ObjectAdapter {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kAdapterShard, "orb::ObjectAdapter::Shard::mu"};
     std::map<corba::OctetSeq, std::shared_ptr<Servant>> servants
         COOL_GUARDED_BY(mu);
   };

@@ -1,5 +1,6 @@
 #include "orb/orb.h"
 
+#include "common/deadlock.h"
 #include "common/logging.h"
 
 namespace cool::orb {
@@ -213,6 +214,11 @@ void ORB::FinishConnection(const std::shared_ptr<Connection>& conn) {
   // Self-removal from inside the drain callback: unregisters without
   // waiting (idempotent against a concurrent Shutdown doing the same).
   reactor_->Remove(conn->rx_reg);
+  // Bounded by design: server->Close() barriers this connection's in-flight
+  // dispatch upcalls out of the shared pool (DetachRunner), a wait bounded
+  // by the servant runtime on independent worker threads; it runs once per
+  // connection close (DESIGN.md §11).
+  deadlock::ScopedBlockingAllowed teardown_barrier;
   conn->channel->Close();
   conn->server->Close();
 }

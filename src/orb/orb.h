@@ -144,7 +144,7 @@ class ORB {
   std::unique_ptr<transport::Reactor> reactor_;
   std::vector<std::uint64_t> accept_regs_;
 
-  mutable Mutex conn_mu_;
+  mutable Mutex conn_mu_{LockRank::kOrb, "orb::ORB::conn_mu_"};
   std::uint64_t next_conn_id_ COOL_GUARDED_BY(conn_mu_) = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_
       COOL_GUARDED_BY(conn_mu_);

@@ -135,13 +135,13 @@ class Stub {
   ObjectRef ref_;
   cdr::ByteOrder order_ = cdr::NativeOrder();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kOrb, "orb::Stub::mu_"};
   std::shared_ptr<Binding> binding_ COOL_GUARDED_BY(mu_);
   qos::QoSSpec qos_ COOL_GUARDED_BY(mu_);
   bool explicit_binding_ COOL_GUARDED_BY(mu_) = false;
   bool colocated_ COOL_GUARDED_BY(mu_) = false;
 
-  Mutex async_mu_;
+  Mutex async_mu_{LockRank::kOrb, "orb::Stub::async_mu_"};
   std::vector<Thread> async_threads_ COOL_GUARDED_BY(async_mu_);
 };
 

@@ -147,7 +147,7 @@ Capability Compose(const Capability& a, const Capability& b) {
     const corba::Long best_b = b.BestFor(type);
     // Latency and jitter add along a path; every other dimension is limited
     // by the weaker hop.
-    corba::Long combined;
+    corba::Long combined = 0;
     if (type == ParamType::kLatencyMicros || type == ParamType::kJitterMicros) {
       // Saturating add: either side may be "no bound".
       const corba::Long kMax = std::numeric_limits<corba::Long>::max();

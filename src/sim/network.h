@@ -96,7 +96,7 @@ class StreamPipe {
   const LinkProperties link_;
   const std::size_t window_bytes_;
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kSimNetwork, "sim::StreamPipe::mu_"};
   CondVar readable_;
   CondVar writable_;
   Watchable read_watch_;  // internally synchronised
@@ -110,7 +110,7 @@ class StreamPipe {
 // Shared accept queue: outlives the Listener wrapper so an in-flight
 // Connect never dereferences a destroyed listener.
 struct AcceptQueue {
-  Mutex mu;
+  Mutex mu{LockRank::kSimNetwork, "sim::AcceptQueue::mu"};
   CondVar cv;
   Watchable watch;  // internally synchronised
   std::deque<std::unique_ptr<StreamSocket>> pending COOL_GUARDED_BY(mu);
@@ -136,7 +136,7 @@ struct TimedDatagram {
 
 // Shared receive queue of a datagram port (same lifetime rationale).
 struct DatagramQueue {
-  mutable Mutex mu;
+  mutable Mutex mu{LockRank::kSimNetwork, "sim::DatagramQueue::mu"};
   CondVar cv;
   Watchable watch;  // internally synchronised
   std::priority_queue<TimedDatagram, std::vector<TimedDatagram>,
@@ -310,7 +310,7 @@ class DatagramPort {
   Address addr_;
   std::shared_ptr<internal::DatagramQueue> queue_;
 
-  Mutex tx_mu_;
+  Mutex tx_mu_{LockRank::kSimNetwork, "sim::DatagramPort::tx_mu_"};
   TimePoint link_free_at_ COOL_GUARDED_BY(tx_mu_){};
 };
 
@@ -354,7 +354,7 @@ class Network {
 
   const LinkProperties default_link_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSimNetwork, "sim::Network::mu_"};
   std::unordered_map<Address, std::shared_ptr<internal::AcceptQueue>,
                      AddressHash>
       listeners_ COOL_GUARDED_BY(mu_);

@@ -29,6 +29,10 @@ void WaitSet::Remove(Token token) {
 void WaitSet::Post(Token token) { core_->Post(token, TimePoint::min()); }
 
 std::size_t WaitSet::Wait(std::span<ReadyEvent> out, Duration timeout) {
+  // A nested wait-set wait inside a reactor callback or dispatch upcall
+  // parks a shared run-to-completion worker on a second readiness source —
+  // the calling worker's own wait set goes unserviced meanwhile.
+  COOL_DETECTOR_HOOK(deadlock::AssertBlockingAllowed("sim::WaitSet::Wait"));
   if (out.empty()) return 0;
   const TimePoint deadline = DeadlineFor(timeout);
   internal::WaitSetCore& core = *core_;

@@ -47,7 +47,7 @@ struct WaitSetCore {
     }
   };
 
-  Mutex mu;
+  Mutex mu{LockRank::kWaitSet, "sim::WaitSetCore::mu"};
   CondVar cv;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> entries
       COOL_GUARDED_BY(mu);
@@ -142,7 +142,7 @@ class Watchable {
  private:
   void SignalReadySlow(TimePoint when);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWaitSet, "sim::Watchable::mu_"};
   std::atomic<bool> armed_{false};  // mirrors core_ != nullptr
   std::shared_ptr<internal::WaitSetCore> core_ COOL_GUARDED_BY(mu_);
   WaitSet::Token token_ COOL_GUARDED_BY(mu_) = 0;

@@ -128,7 +128,7 @@ class StreamSink {
   Thread thread_;
   std::atomic<bool> running_{false};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStream, "stream::StreamSink::mu_"};
   std::uint64_t frames_received_ COOL_GUARDED_BY(mu_) = 0;
   std::uint64_t frames_lost_ COOL_GUARDED_BY(mu_) = 0;
   std::uint64_t frames_reordered_ COOL_GUARDED_BY(mu_) = 0;

@@ -57,7 +57,7 @@ class StreamService : public orb::Servant {
     FlowSpec spec;
     std::unique_ptr<dacapo::Acceptor> acceptor;
     Thread accept_thread;
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kStream, "stream::StreamService::Flow::mu"};
     std::unique_ptr<StreamSink> sink
         COOL_GUARDED_BY(mu);  // set once the peer connects
     dacapo::ResourceManager::Reservation reservation;
@@ -73,7 +73,7 @@ class StreamService : public orb::Servant {
   qos::Capability flow_capability_;
   dacapo::ResourceManager* resources_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStream, "stream::StreamService::mu_"};
   corba::ULong next_flow_id_ COOL_GUARDED_BY(mu_) = 1;
   std::map<corba::ULong, std::shared_ptr<Flow>> flows_ COOL_GUARDED_BY(mu_);
 };

@@ -127,9 +127,14 @@ class ComChannel {
   // Joins notify threads; call from derived destructors before members die.
   void DrainAsync();
 
+  // Protected (not private) so derived channels can declare their tx/rx
+  // locks COOL_ACQUIRED_AFTER these: Call() holds call_mu_ and Defer()
+  // holds async_mu_ across the virtual SendMessage/ReceiveMessage, which
+  // take the transport-level locks underneath.
+  Mutex call_mu_{LockRank::kChannel, "transport::ComChannel::call_mu_"};  // serializes two-way conversations
+  Mutex async_mu_{LockRank::kChannel, "transport::ComChannel::async_mu_"};
+
  private:
-  Mutex call_mu_;  // serializes two-way conversations
-  Mutex async_mu_;
   std::vector<Thread> notify_threads_ COOL_GUARDED_BY(async_mu_);
   std::unordered_set<std::uint64_t> cancelled_ COOL_GUARDED_BY(async_mu_);
   std::uint64_t next_deferred_id_ COOL_GUARDED_BY(async_mu_) = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadlock.h"
 #include "common/logging.h"
 #include "qos/mapping.h"
 
@@ -226,6 +227,11 @@ Result<std::unique_ptr<ComChannel>> DacapoComManager::AcceptChannel() {
 }
 
 Result<std::unique_ptr<ComChannel>> DacapoComManager::TryAcceptChannel() {
+  // Bounded by design: TryAccept only runs the setup handshake when a
+  // connection is already pending, the initiator sends CONFIG immediately
+  // after connecting, and every recv inside carries kHandshakeTimeout. A
+  // reactor accept callback may therefore ride it out (DESIGN.md §11).
+  deadlock::ScopedBlockingAllowed handshake_is_bounded;
   COOL_ASSIGN_OR_RETURN(
       std::unique_ptr<dacapo::Session> session,
       acceptor_.TryAccept(dacapo::AppAModule::DeliveryMode::kQueue));

@@ -64,10 +64,13 @@ class DacapoComChannel : public ComChannel {
 
   std::unique_ptr<dacapo::Session> session_;
   dacapo::NetworkEstimate estimate_;
-  mutable Mutex qos_mu_;
+  mutable Mutex qos_mu_{LockRank::kChannel, "transport::DacapoComChannel::qos_mu_"};
   qos::QoSSpec current_qos_ COOL_GUARDED_BY(qos_mu_);
-  Mutex tx_mu_;  // keeps fragments of one message contiguous
-  Mutex rx_mu_;
+  // tx keeps the fragments of one message contiguous on the session.
+  Mutex tx_mu_ COOL_ACQUIRED_AFTER(call_mu_, async_mu_) {
+      LockRank::kChannel, "transport::DacapoComChannel::tx_mu_"};
+  Mutex rx_mu_ COOL_ACQUIRED_AFTER(call_mu_) {
+      LockRank::kChannel, "transport::DacapoComChannel::rx_mu_"};
   // Cross-call reassembly state: a non-blocking receive may return with a
   // message half-assembled; the next call (blocking or not) continues it.
   ByteBuffer rx_partial_ COOL_GUARDED_BY(rx_mu_);

@@ -44,7 +44,7 @@ class InputCallbackDispatcher {
  private:
   void Run(std::stop_token stop);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChannel, "transport::InputCallbackDispatcher::mu_"};
   std::unordered_map<Id, Callback> callbacks_ COOL_GUARDED_BY(mu_);
   Id next_id_ COOL_GUARDED_BY(mu_) = 1;
   BlockingQueue<Id> triggers_;

@@ -51,7 +51,13 @@ void Reactor::WorkerLoop(Worker& w, std::stop_token stop) {
         w.running_id = id;
       }
       dispatches_.fetch_add(1, std::memory_order_relaxed);
-      reg->cb();
+      {
+        // Registered callbacks run to completion on this shared worker:
+        // mark the scope so unbounded blocking waits inside it are
+        // reported by the deadlock detector (DESIGN.md §11).
+        deadlock::ScopedContext ctx(deadlock::Context::kReactorCallback);
+        reg->cb();
+      }
       DrainRemovalWaiters(w);
     }
   }

@@ -90,7 +90,7 @@ class Reactor {
   };
 
   struct Worker {
-    Mutex mu;
+    Mutex mu{LockRank::kChannel, "transport::Reactor::Worker::mu"};
     CondVar idle_cv;
     sim::WaitSet waitset;
     std::unordered_map<std::uint64_t, std::shared_ptr<Registration>> regs
@@ -112,7 +112,7 @@ class Reactor {
   std::atomic<std::uint64_t> dispatches_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  Mutex epoll_mu_;
+  Mutex epoll_mu_{LockRank::kChannel, "transport::Reactor::epoll_mu_"};
   std::unique_ptr<EpollPoller> epoll_ COOL_GUARDED_BY(epoll_mu_);
 };
 

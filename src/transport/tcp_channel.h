@@ -57,8 +57,10 @@ class TcpComChannel : public ComChannel {
 
  private:
   std::unique_ptr<sim::StreamSocket> socket_;
-  Mutex tx_mu_;
-  Mutex rx_mu_;
+  Mutex tx_mu_ COOL_ACQUIRED_AFTER(call_mu_, async_mu_) {
+      LockRank::kChannel, "transport::TcpComChannel::tx_mu_"};
+  Mutex rx_mu_ COOL_ACQUIRED_AFTER(call_mu_) {
+      LockRank::kChannel, "transport::TcpComChannel::rx_mu_"};
   TcpBuffer rx_buffer_ COOL_GUARDED_BY(rx_mu_);
 };
 
