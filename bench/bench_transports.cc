@@ -173,9 +173,12 @@ ChannelPair Establish(transport::ComManager& client_mgr,
 
 // Runs the full measurement set over one established pair and records both
 // the human-readable row and the machine-readable entry. The msgs/s metric
-// is best-of-N: the benchmark machine is shared, and the max over short
-// windows estimates the least-interfered capability of each build — the
-// same estimator for every build keeps comparisons fair.
+// is median-of-N with the (max-min)/median spread recorded alongside: the
+// benchmark machine is shared, and the earlier best-of-N estimator let a
+// single lucky window move the trajectory rows by double digits run to
+// run. The median is robust to one interfered window in either direction,
+// and the spread column makes a noisy run visible instead of silently
+// feeding a distorted number into the cross-PR trajectory.
 bool MeasurePair(const char* name, ChannelPair& pair, int iterations,
                  Duration duration, int reps, cool::bench::Table& table,
                  std::vector<bench::BenchRecord>& records) {
@@ -183,21 +186,28 @@ bool MeasurePair(const char* name, ChannelPair& pair, int iterations,
   const auto rtt = MeasureRtt(*pair.client, *pair.server, iterations);
   const double mbps =
       MeasureMbps(*pair.client, *pair.server, 16 * 1024, duration);
-  double msgs = 0;
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    msgs = std::max(
-        msgs, MeasureMsgsPerSec(*pair.client, *pair.server, 256, duration));
+    runs.push_back(
+        MeasureMsgsPerSec(*pair.client, *pair.server, 256, duration));
   }
+  std::sort(runs.begin(), runs.end());
+  const double msgs = runs[runs.size() / 2];
+  const double spread =
+      msgs > 0 ? (runs.back() - runs.front()) / msgs * 100.0 : 0;
   table.AddRow({name, cool::bench::Fmt("%.1f", rtt.mean_us),
                 cool::bench::Fmt("%.1f", rtt.p95_us),
                 cool::bench::Fmt("%.1f", mbps),
-                cool::bench::Fmt("%.0f", msgs)});
+                cool::bench::Fmt("%.0f", msgs),
+                cool::bench::Fmt("%.1f%%", spread)});
   bench::BenchRecord rec;
   rec.name = name;
   rec.msgs_per_sec = msgs;
   rec.mbps = mbps;
   rec.p50_us = rtt.p50_us;
   rec.p99_us = rtt.p99_us;
+  rec.spread_pct = spread;
   records.push_back(std::move(rec));
   return true;
 }
@@ -207,12 +217,12 @@ bool MeasurePair(const char* name, ChannelPair& pair, int iterations,
 int main(int argc, char** argv) {
   const auto args = cool::bench::BenchArgs::Parse(argc, argv);
   const int iterations = args.smoke ? 40 : 150;
-  // Smoke reps raised from 2: best-of-N over short windows is the noise
-  // control on a shared machine, and N=2 left the trajectory rows jumping
-  // several percent run to run.
-  const int reps = args.smoke ? 4 : 5;
+  // Odd rep counts keep the median an actual sample rather than standing
+  // between two; the full-mode window is long enough (600 ms) that one
+  // scheduler hiccup can no longer dominate a measurement.
+  const int reps = args.smoke ? 3 : 5;
   const Duration duration =
-      args.smoke ? cool::milliseconds(120) : cool::milliseconds(300);
+      args.smoke ? cool::milliseconds(120) : cool::milliseconds(600);
 
   std::printf(
       "=== Ablation A4: transports under the generic transport layer ===\n"
@@ -227,7 +237,7 @@ int main(int argc, char** argv) {
 
   std::vector<cool::bench::BenchRecord> records;
   cool::bench::Table table({"transport", "rtt mean us", "rtt p95 us",
-                            "bulk Mbps", "msgs/s"});
+                            "bulk Mbps", "msgs/s", "spread"});
   {
     sim::Network net(TestbedLink());
     {

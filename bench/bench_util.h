@@ -75,6 +75,9 @@ struct BenchRecord {
   // Process thread count at steady state (bench_connection_scaling: the
   // flat-curve acceptance metric for the event-driven connection engine).
   double threads = -1;
+  // Run-to-run spread of the headline metric, (max - min) / median * 100,
+  // across the in-process repetitions. Rows with > ~10% deserve suspicion.
+  double spread_pct = -1;
 };
 
 // Writes records as a JSON array of objects. Overwrites `path`; the
@@ -100,6 +103,9 @@ inline bool WriteJson(const std::string& path,
       std::fprintf(f, ", \"allocs_per_op\": %.2f", r.allocs_per_op);
     }
     if (r.threads >= 0) std::fprintf(f, ", \"threads\": %.0f", r.threads);
+    if (r.spread_pct >= 0) {
+      std::fprintf(f, ", \"spread_pct\": %.1f", r.spread_pct);
+    }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

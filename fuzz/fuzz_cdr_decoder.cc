@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "cdr/decoder.h"
 #include "qos/qos.h"
@@ -48,5 +49,26 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   cool::cdr::Decoder str_dec(body, order);
   (void)str_dec.GetStringView();
   (void)str_dec.GetOctetSeqView();
+
+  // Pass 3: the bulk primitive-sequence decoders (memcpy/byteswap sweep),
+  // driven across every element width. Hostile counts must surface as
+  // clean protocol errors without over-allocation or out-of-bounds reads.
+  {
+    cool::cdr::Decoder seq_dec(body, order);
+    std::vector<std::int16_t> v16;
+    std::vector<std::int32_t> v32;
+    std::vector<std::uint64_t> v64;
+    std::vector<double> vd;
+    std::vector<std::uint8_t> v8;
+    for (std::size_t i = 0; i < 16 && !seq_dec.AtEnd(); ++i) {
+      switch (data[(i * 11 + 3) % size] % 5) {
+        case 0: (void)seq_dec.GetPrimitiveSeq(v16); break;
+        case 1: (void)seq_dec.GetPrimitiveSeq(v32); break;
+        case 2: (void)seq_dec.GetPrimitiveSeq(v64); break;
+        case 3: (void)seq_dec.GetPrimitiveSeq(vd); break;
+        case 4: (void)seq_dec.GetPrimitiveSeq(v8); break;
+      }
+    }
+  }
   return 0;
 }

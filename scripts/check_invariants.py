@@ -219,6 +219,11 @@ RAW_BYTES_ALLOWLIST = {
     # Paper-faithful char*-API example: casts a std::string payload to the
     # byte span the transport takes; no aliasing beyond char <-> uint8_t.
     "examples/adaptive_protocol.cpp": ["msg.data()"],
+    # Word-at-a-time / SIMD checksum+cipher kernels: memcpy is the
+    # alignment-safe unaligned load/store idiom, and the PCLMUL path casts
+    # byte pointers to __m128i* for _mm_loadu_si128 (an unaligned-load
+    # intrinsic, so the cast carries no alignment assumption).
+    "src/dacapo/checksum.cc": ["memcpy(", "reinterpret_cast"],
 }
 
 
@@ -621,6 +626,40 @@ def check_no_sleep_in_reactor_dirs(path: Path, clean: str,
             )
 
 
+# --- rule 13: the data path drives modules in bursts --------------------------
+# The burst engine (DESIGN.md §12) walks packet trains through
+# Module::ProcessBurst; the only per-packet HandleData loop lives in the
+# base-class shim (src/dacapo/module.h). A new HandleData call site in the
+# chain drivers or the channel seam quietly reintroduces
+# one-packet-at-a-time processing — one queue hop, wakeup and virtual call
+# per packet — which is exactly the overhead PR 8 removed.
+
+BURST_DRIVER_FILES = (
+    "src/dacapo/runtime.cc",
+    "src/dacapo/runtime.h",
+    "src/dacapo/session.cc",
+    "src/dacapo/session.h",
+    "src/transport/dacapo_channel.cc",
+)
+
+HANDLE_DATA_CALL_RE = re.compile(r"(?:->|\.)\s*HandleData\s*\(")
+
+
+def check_burst_data_path(path: Path, clean: str,
+                          findings: list[str]) -> None:
+    r = rel(path)
+    if r not in BURST_DRIVER_FILES:
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if HANDLE_DATA_CALL_RE.search(line):
+            findings.append(
+                f"{r}:{lineno}: per-packet HandleData call on the data path "
+                f"— hand the train to Module::ProcessBurst instead; the only "
+                f"per-packet loop is the base-class shim in module.h "
+                f"(rule 13, DESIGN.md §12)"
+            )
+
+
 # --- rule 12: lock-rank cross-check ------------------------------------------
 # Three artifacts must agree: the LockRank enum (src/common/lock_rank.h),
 # the machine-readable table (scripts/lock_order.yaml), and the Mutex /
@@ -819,6 +858,7 @@ def main() -> int:
         check_no_buffer_copies(path, clean, findings)
         check_reactor_owns_io(path, clean, findings)
         check_no_sleep_in_reactor_dirs(path, clean, findings)
+        check_burst_data_path(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)
     check_lock_ranks(findings)

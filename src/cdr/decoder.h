@@ -7,6 +7,7 @@
 #include <cstring>
 #include <span>
 #include <type_traits>
+#include <vector>
 
 #include "cdr/encoder.h"
 #include "cdr/types.h"
@@ -112,6 +113,36 @@ class Decoder {
     std::span<const corba::Octet> s = data_.subspan(pos_, len);
     pos_ += len;
     return s;
+  }
+
+  // Bulk sequence<primitive>: the decode mirror of Encoder::PutPrimitiveSeq.
+  // Validates count against the remaining octets *before* sizing `out`, so
+  // a hostile count cannot force a huge allocation; the payload then lands
+  // as one memcpy (native order) or an element-wise byteswap.
+  template <typename T>
+  Status GetPrimitiveSeq(std::vector<T>& out) {
+    static_assert(kPrimitiveSeqElement<T>);
+    COOL_ASSIGN_OR_RETURN(corba::ULong count, GetULong());
+    out.clear();
+    if (count == 0) return Status::Ok();
+    COOL_RETURN_IF_ERROR(Align(sizeof(T)));
+    if (remaining() / sizeof(T) < count) {
+      return Underrun("primitive sequence body");
+    }
+    out.resize(count);
+    auto* raw = reinterpret_cast<corba::Octet*>(out.data());
+    const corba::Octet* src = data_.data() + pos_;
+    if (sizeof(T) == 1 || order_ == NativeOrder()) {
+      std::memcpy(raw, src, count * sizeof(T));
+    } else {
+      for (std::size_t e = 0; e < count; ++e) {
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+          raw[e * sizeof(T) + i] = src[e * sizeof(T) + (sizeof(T) - 1 - i)];
+        }
+      }
+    }
+    pos_ += count * sizeof(T);
+    return Status::Ok();
   }
 
   Status GetRaw(std::span<corba::Octet> out) {

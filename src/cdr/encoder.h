@@ -25,6 +25,15 @@ inline ByteOrder NativeOrder() noexcept {
                                                     : ByteOrder::kBigEndian;
 }
 
+// Sequence element types eligible for bulk marshalling: fixed-size
+// arithmetic primitives whose CDR image is the naturally-aligned native
+// representation modulo byte order. bool is excluded (vector<bool> is a
+// bitset, and CDR booleans need 0/1 validation on decode).
+template <typename T>
+inline constexpr bool kPrimitiveSeqElement =
+    std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+    (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8);
+
 class Encoder {
  public:
   // `base_offset`: how many octets logically precede this encoder's output
@@ -80,6 +89,38 @@ class Encoder {
   void PutOctetSeq(std::span<const corba::Octet> s) {
     PutULong(static_cast<corba::ULong>(s.size()));
     buf_.Append(s);
+  }
+
+  // Bulk sequence<primitive>: ulong count, element alignment, then the
+  // payload. Consecutive same-size primitives stay naturally aligned, so
+  // when the target byte order is native the CDR image IS the array image
+  // — one memcpy instead of count individual PutIntegral calls. A foreign
+  // byte order swaps element-wise through a stack staging chunk, still
+  // appending in large runs.
+  template <typename T>
+  void PutPrimitiveSeq(std::span<const T> v) {
+    static_assert(kPrimitiveSeqElement<T>);
+    PutULong(static_cast<corba::ULong>(v.size()));
+    if (v.empty()) return;
+    Align(sizeof(T));
+    const auto* raw = reinterpret_cast<const corba::Octet*>(v.data());
+    if (sizeof(T) == 1 || order_ == NativeOrder()) {
+      buf_.Append(std::span<const corba::Octet>(raw, v.size() * sizeof(T)));
+      return;
+    }
+    corba::Octet chunk[512];
+    std::size_t fill = 0;
+    for (std::size_t e = 0; e < v.size(); ++e) {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        chunk[fill + i] = raw[e * sizeof(T) + (sizeof(T) - 1 - i)];
+      }
+      fill += sizeof(T);
+      if (fill == sizeof(chunk)) {
+        buf_.Append(std::span<const corba::Octet>(chunk, fill));
+        fill = 0;
+      }
+    }
+    if (fill != 0) buf_.Append(std::span<const corba::Octet>(chunk, fill));
   }
 
   // Raw bytes, no count, no alignment (e.g. the 4-octet GIOP magic).

@@ -8,6 +8,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
@@ -54,6 +55,34 @@ class BlockingQueue {
     if (closed_ || Full()) return false;
     items_.push_back(std::move(item));
     not_empty_.NotifyOne();
+    return true;
+  }
+
+  // Batched push: the whole train enters under one lock acquisition,
+  // blocking for room as needed. Returns false once the queue closed
+  // (remaining items dropped). `items` is emptied either way. Waiting
+  // consumers are woken with NotifyAll — the queue is multi-consumer, and
+  // a batch may satisfy several waiters (a single NotifyOne would strand
+  // the rest until the next push).
+  bool PushBatch(std::vector<T>& items) {
+    MutexLock lock(mu_);
+    bool pushed_any = false;
+    for (auto& item : items) {
+      while (!closed_ && Full()) {
+        COOL_DETECTOR_HOOK(
+            deadlock::AssertBlockingAllowed("BlockingQueue::PushBatch"));
+        if (pushed_any) not_empty_.NotifyAll();
+        not_full_.Wait(mu_);
+      }
+      if (closed_) {
+        items.clear();
+        return false;
+      }
+      items_.push_back(std::move(item));
+      pushed_any = true;
+    }
+    if (pushed_any) not_empty_.NotifyAll();
+    items.clear();
     return true;
   }
 

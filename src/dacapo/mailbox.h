@@ -10,13 +10,17 @@
 // chain-upward to the sending application. Up and control are unbounded
 // (their volume is bounded by the receive window of the transport).
 //
-// The mailbox is single-consumer (exactly one module thread pops it) and
+// The mailbox is single-consumer (exactly one engine thread pops it) and
 // multi-producer. Producers therefore wake the consumer with NotifyOne;
 // only Close broadcasts. The batch operations (PushDownBatch, PushUpBatch,
 // PopBatch) move whole trains of packets under a single lock acquisition,
 // so the per-packet mutex + wakeup cost of the Fig. 6 pointer-passing
-// design is amortized across the batch while every packet still crosses
-// the module boundary individually (Module::HandleData stays per-packet).
+// design is amortized across the batch.
+//
+// Since PR 8 one mailbox serves the whole chain (run-to-completion burst
+// engine, DESIGN.md §12): every item carries the chain position (`origin`)
+// of the module that handles it first, and the engine walks the train from
+// there through the rest of the chain without re-queueing.
 #pragma once
 
 #include <deque>
@@ -54,6 +58,9 @@ struct ControlMsg {
 struct DataItem {
   Direction dir = Direction::kDown;
   PacketPtr pkt;
+  // Chain position of the module that handles this item first (the burst
+  // engine starts its walk there).
+  std::size_t origin = 0;
 };
 
 class Mailbox {
@@ -63,6 +70,7 @@ class Mailbox {
     // Valid for the corresponding Kind only.
     ControlMsg control;
     Direction control_dir = Direction::kDown;
+    std::size_t control_origin = 0;
     DataItem data;
   };
 
@@ -72,28 +80,28 @@ class Mailbox {
   // Control: never blocks, never dropped. (All notifications below happen
   // under the mutex so a consumer may destroy the mailbox right after
   // observing the item — see BlockingQueue for the rationale.)
-  void PushControl(Direction dir, ControlMsg msg) {
+  void PushControl(Direction dir, ControlMsg msg, std::size_t origin = 0) {
     MutexLock lock(mu_);
     if (closed_) return;
-    control_.push_back({dir, std::move(msg)});
+    control_.push_back({dir, std::move(msg), origin});
     cv_.NotifyOne();
   }
 
   // Up data: never blocks (see file comment).
-  void PushUp(PacketPtr pkt) {
+  void PushUp(PacketPtr pkt, std::size_t origin = 0) {
     MutexLock lock(mu_);
     if (closed_) return;
-    up_.push_back(std::move(pkt));
+    up_.push_back({std::move(pkt), origin});
     cv_.NotifyOne();
   }
 
   // Batched up push: the whole train enters under one lock acquisition and
   // the consumer is woken once. `pkts` is emptied either way.
-  void PushUpBatch(std::vector<PacketPtr>& pkts) {
+  void PushUpBatch(std::vector<PacketPtr>& pkts, std::size_t origin = 0) {
     if (pkts.empty()) return;
     MutexLock lock(mu_);
     if (!closed_) {
-      for (auto& p : pkts) up_.push_back(std::move(p));
+      for (auto& p : pkts) up_.push_back({std::move(p), origin});
       cv_.NotifyOne();
     }
     pkts.clear();  // closed: packets return to the arena here
@@ -101,11 +109,11 @@ class Mailbox {
 
   // Down data: blocks while the down queue is full. Returns false when the
   // mailbox closed while waiting (packet is dropped).
-  bool PushDown(PacketPtr pkt) {
+  bool PushDown(PacketPtr pkt, std::size_t origin = 0) {
     MutexLock lock(mu_);
     while (!closed_ && down_.size() >= down_capacity_) space_.Wait(mu_);
     if (closed_) return false;
-    down_.push_back(std::move(pkt));
+    down_.push_back({std::move(pkt), origin});
     cv_.NotifyOne();
     return true;
   }
@@ -113,7 +121,7 @@ class Mailbox {
   // Batched down push: FIFO, blocking for space as needed, one lock
   // acquisition while the queue has room. Returns false once the mailbox
   // closed (remaining packets are dropped). `pkts` is emptied either way.
-  bool PushDownBatch(std::vector<PacketPtr>& pkts) {
+  bool PushDownBatch(std::vector<PacketPtr>& pkts, std::size_t origin = 0) {
     MutexLock lock(mu_);
     bool pushed_any = false;
     for (auto& p : pkts) {
@@ -127,7 +135,7 @@ class Mailbox {
         pkts.clear();
         return false;
       }
-      down_.push_back(std::move(p));
+      down_.push_back({std::move(p), origin});
       pushed_any = true;
     }
     if (pushed_any) cv_.NotifyOne();
@@ -145,22 +153,25 @@ class Mailbox {
       if (!control_.empty()) {
         PopResult r;
         r.kind = PopResult::Kind::kControl;
-        r.control_dir = control_.front().first;
-        r.control = std::move(control_.front().second);
+        r.control_dir = control_.front().dir;
+        r.control = std::move(control_.front().msg);
+        r.control_origin = control_.front().origin;
         control_.pop_front();
         return r;
       }
       if (!up_.empty()) {
         PopResult r;
         r.kind = PopResult::Kind::kData;
-        r.data = DataItem{Direction::kUp, std::move(up_.front())};
+        r.data = DataItem{Direction::kUp, std::move(up_.front().pkt),
+                          up_.front().origin};
         up_.pop_front();
         return r;
       }
       if (accept_down && !down_.empty()) {
         PopResult r;
         r.kind = PopResult::Kind::kData;
-        r.data = DataItem{Direction::kDown, std::move(down_.front())};
+        r.data = DataItem{Direction::kDown, std::move(down_.front().pkt),
+                          down_.front().origin};
         down_.pop_front();
         space_.NotifyOne();
         return r;
@@ -197,15 +208,17 @@ class Mailbox {
       while (out.size() < max_n && !control_.empty()) {
         PopResult r;
         r.kind = PopResult::Kind::kControl;
-        r.control_dir = control_.front().first;
-        r.control = std::move(control_.front().second);
+        r.control_dir = control_.front().dir;
+        r.control = std::move(control_.front().msg);
+        r.control_origin = control_.front().origin;
         control_.pop_front();
         out.push_back(std::move(r));
       }
       while (out.size() < max_n && !up_.empty()) {
         PopResult r;
         r.kind = PopResult::Kind::kData;
-        r.data = DataItem{Direction::kUp, std::move(up_.front())};
+        r.data = DataItem{Direction::kUp, std::move(up_.front().pkt),
+                          up_.front().origin};
         up_.pop_front();
         out.push_back(std::move(r));
       }
@@ -213,7 +226,8 @@ class Mailbox {
         while (out.size() < max_n && !down_.empty()) {
           PopResult r;
           r.kind = PopResult::Kind::kData;
-          r.data = DataItem{Direction::kDown, std::move(down_.front())};
+          r.data = DataItem{Direction::kDown, std::move(down_.front().pkt),
+                            down_.front().origin};
           down_.pop_front();
           space_.NotifyOne();
           out.push_back(std::move(r));
@@ -247,13 +261,23 @@ class Mailbox {
   }
 
  private:
+  struct ControlItem {
+    Direction dir;
+    ControlMsg msg;
+    std::size_t origin;
+  };
+  struct QueuedPacket {
+    PacketPtr pkt;
+    std::size_t origin;
+  };
+
   const std::size_t down_capacity_;
   mutable Mutex mu_{LockRank::kMailbox, "dacapo::Mailbox::mu_"};
   CondVar cv_;
   CondVar space_;
-  std::deque<std::pair<Direction, ControlMsg>> control_ COOL_GUARDED_BY(mu_);
-  std::deque<PacketPtr> up_ COOL_GUARDED_BY(mu_);
-  std::deque<PacketPtr> down_ COOL_GUARDED_BY(mu_);
+  std::deque<ControlItem> control_ COOL_GUARDED_BY(mu_);
+  std::deque<QueuedPacket> up_ COOL_GUARDED_BY(mu_);
+  std::deque<QueuedPacket> down_ COOL_GUARDED_BY(mu_);
   bool closed_ COOL_GUARDED_BY(mu_) = false;
 };
 

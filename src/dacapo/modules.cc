@@ -39,6 +39,18 @@ void ReportError(ModulePort& port, std::string_view who, std::string text) {
 
 }  // namespace
 
+// --- DummyModule ------------------------------------------------------------
+
+void DummyModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                               ModulePort& port) {
+  scratch_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scratch_.push_back(batch.Take(i));
+  }
+  batch.Compact();
+  ForwardBatchOnward(dir, scratch_, port);
+}
+
 // --- ChecksumModule ---------------------------------------------------------
 
 std::string_view ChecksumModule::name() const {
@@ -59,62 +71,82 @@ std::size_t ChecksumModule::TrailerSize() const noexcept {
   return 0;
 }
 
-void ChecksumModule::HandleData(Direction dir, PacketPtr pkt,
-                                ModulePort& port) {
-  if (dir == Direction::kDown) {
-    std::uint8_t trailer[4];
-    switch (algo_) {
-      case Algorithm::kParity:
-        trailer[0] = ParityByte(pkt->Data());
-        break;
-      case Algorithm::kCrc16: {
-        const std::uint16_t c = Crc16(pkt->Data());
-        trailer[0] = static_cast<std::uint8_t>(c);
-        trailer[1] = static_cast<std::uint8_t>(c >> 8);
-        break;
-      }
-      case Algorithm::kCrc32:
-        PutU32(trailer, Crc32(pkt->Data()));
-        break;
+bool ChecksumModule::AppendChecksum(Packet& pkt, ModulePort& port) {
+  std::uint8_t trailer[4];
+  switch (algo_) {
+    case Algorithm::kParity:
+      trailer[0] = ParityByte(pkt.Data());
+      break;
+    case Algorithm::kCrc16: {
+      const std::uint16_t c = Crc16(pkt.Data());
+      trailer[0] = static_cast<std::uint8_t>(c);
+      trailer[1] = static_cast<std::uint8_t>(c >> 8);
+      break;
     }
-    if (Status s = pkt->PushTrailer({trailer, TrailerSize()}); !s.ok()) {
-      ReportError(port, name(), s.ToString());
-      return;  // packet dropped
-    }
-    port.ForwardDown(std::move(pkt));
-    return;
+    case Algorithm::kCrc32:
+      PutU32(trailer, Crc32(pkt.Data()));
+      break;
   }
+  if (Status s = pkt.PushTrailer({trailer, TrailerSize()}); !s.ok()) {
+    ReportError(port, name(), s.ToString());
+    return false;  // packet dropped
+  }
+  return true;
+}
 
-  // Up: verify and strip.
-  const std::size_t n = TrailerSize();
-  auto trailer = pkt->PopTrailer(n);
+bool ChecksumModule::VerifyAndStrip(Packet& pkt, ModulePort& port) {
+  auto trailer = pkt.PopTrailer(TrailerSize());
   if (!trailer.ok()) {
     ++corrupted_dropped_;
-    return;  // truncated packet: drop
+    return false;  // truncated packet: drop
   }
   bool ok = false;
   switch (algo_) {
     case Algorithm::kParity:
-      ok = (*trailer)[0] == ParityByte(pkt->Data());
+      ok = (*trailer)[0] == ParityByte(pkt.Data());
       break;
     case Algorithm::kCrc16: {
       const std::uint16_t expect =
           static_cast<std::uint16_t>((*trailer)[0]) |
           static_cast<std::uint16_t>((*trailer)[1]) << 8;
-      ok = expect == Crc16(pkt->Data());
+      ok = expect == Crc16(pkt.Data());
       break;
     }
     case Algorithm::kCrc32:
-      ok = GetU32(trailer->data()) == Crc32(pkt->Data());
+      ok = GetU32(trailer->data()) == Crc32(pkt.Data());
       break;
   }
   if (!ok) {
     ++corrupted_dropped_;
     COOL_LOG(kDebug, "dacapo")
         << port.channel_name() << "/" << name() << ": checksum mismatch";
-    return;  // drop; an ARQ module above recovers
+    return false;  // drop; an ARQ module above recovers
   }
-  port.ForwardUp(std::move(pkt));
+  return true;
+}
+
+void ChecksumModule::HandleData(Direction dir, PacketPtr pkt,
+                                ModulePort& port) {
+  if (dir == Direction::kDown) {
+    if (AppendChecksum(*pkt, port)) port.ForwardDown(std::move(pkt));
+    return;
+  }
+  if (VerifyAndStrip(*pkt, port)) port.ForwardUp(std::move(pkt));
+}
+
+void ChecksumModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                                  ModulePort& port) {
+  // The CRC kernels are vectorized per packet (checksum.cc); the burst
+  // override amortizes dispatch and forwards survivors as one train.
+  scratch_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PacketPtr pkt = batch.Take(i);
+    const bool keep = dir == Direction::kDown ? AppendChecksum(*pkt, port)
+                                              : VerifyAndStrip(*pkt, port);
+    if (keep) scratch_.push_back(std::move(pkt));
+  }
+  batch.Compact();
+  ForwardBatchOnward(dir, scratch_, port);
 }
 
 std::string ChecksumModule::DescribeStats() const {
@@ -127,6 +159,18 @@ void XorCipherModule::HandleData(Direction dir, PacketPtr pkt,
                                  ModulePort& port) {
   XorCipher(pkt->Data(), key_);
   ForwardOnward(dir, std::move(pkt), port);
+}
+
+void XorCipherModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                                   ModulePort& port) {
+  scratch_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PacketPtr pkt = batch.Take(i);
+    XorCipher(pkt->Data(), key_);  // word-at-a-time kernel
+    scratch_.push_back(std::move(pkt));
+  }
+  batch.Compact();
+  ForwardBatchOnward(dir, scratch_, port);
 }
 
 // --- SequencerModule --------------------------------------------------------
@@ -163,13 +207,17 @@ void SequencerModule::HandleData(Direction dir, PacketPtr pkt,
   rx_buffer_.emplace(seq, std::move(pkt));
 }
 
-void SequencerModule::FlushInOrder(ModulePort& port) {
+void SequencerModule::CollectInOrder() {
   for (auto it = rx_buffer_.begin();
        it != rx_buffer_.end() && it->first == rx_expected_;) {
     release_scratch_.push_back(std::move(it->second));
     ++rx_expected_;
     it = rx_buffer_.erase(it);
   }
+}
+
+void SequencerModule::FlushInOrder(ModulePort& port) {
+  CollectInOrder();
   port.ForwardUpBatch(release_scratch_);  // whole release train, one push
   if (!rx_buffer_.empty()) oldest_buffered_at_ = Now();
 }
@@ -185,6 +233,54 @@ void SequencerModule::OnTick(ModulePort& port) {
   if (!rx_buffer_.empty() && Now() - oldest_buffered_at_ > gap_timeout_) {
     SkipGap(port);
   }
+}
+
+void SequencerModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                                   ModulePort& port) {
+  if (dir == Direction::kDown) {
+    // Stamp the whole train, then forward it as one burst.
+    tx_scratch_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PacketPtr pkt = batch.Take(i);
+      std::uint8_t header[4];
+      PutU32(header, tx_seq_++);
+      if (Status s = pkt->PushHeader(header); !s.ok()) {
+        ReportError(port, name(), s.ToString());
+        continue;  // packet dropped; sequence number burned
+      }
+      tx_scratch_.push_back(std::move(pkt));
+    }
+    batch.Compact();
+    port.ForwardDownBatch(tx_scratch_);
+    return;
+  }
+
+  // Up: classify the whole train, releasing one in-order run at the end
+  // instead of one ForwardUp per unblocked packet.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PacketPtr pkt = batch.Take(i);
+    auto header = pkt->PopHeader(4);
+    if (!header.ok()) continue;  // malformed: drop
+    const std::uint32_t seq = GetU32(header->data());
+    if (seq == rx_expected_) {
+      ++rx_expected_;
+      release_scratch_.push_back(std::move(pkt));
+      CollectInOrder();  // followers this packet unblocked
+      continue;
+    }
+    if (seq < rx_expected_) continue;  // stale duplicate: drop
+    ++reordered_;
+    if (rx_buffer_.empty()) oldest_buffered_at_ = Now();
+    if (rx_buffer_.size() >= max_buffer_) {
+      ++skipped_;
+      rx_expected_ = rx_buffer_.begin()->first;
+      CollectInOrder();
+    }
+    rx_buffer_.emplace(seq, std::move(pkt));
+  }
+  batch.Compact();
+  if (!release_scratch_.empty()) port.ForwardUpBatch(release_scratch_);
+  if (!rx_buffer_.empty()) oldest_buffered_at_ = Now();
 }
 
 std::string SequencerModule::DescribeStats() const {
@@ -347,6 +443,65 @@ void GoBackNModule::HandleData(Direction dir, PacketPtr pkt,
   }
 }
 
+void GoBackNModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                                 ModulePort& port) {
+  if (dir == Direction::kDown) {
+    // Stamp and transmit while the window has room; the unconsumed tail
+    // stays in the batch and the engine stalls it until ACKs open slots.
+    std::size_t i = 0;
+    for (; i < batch.size() && window_.size() < options_.window; ++i) {
+      PacketPtr pkt = batch.Take(i);
+      const std::uint32_t seq = tx_next_++;
+      std::uint8_t header[kArqHeaderSize];
+      header[0] = kArqData;
+      PutU32(header + 1, seq);
+      if (Status s = pkt->PushHeader(header); !s.ok()) {
+        ReportError(port, name(), s.ToString());
+        continue;
+      }
+      TransmitClone(*pkt, port);
+      window_.emplace(seq, std::move(pkt));
+      if (window_.size() == 1) last_progress_ = Now();
+    }
+    batch.Compact();
+    return;
+  }
+
+  // Up: process the whole train, then answer it with ONE cumulative ACK
+  // (it covers every in-order delivery and every out-of-order resync in
+  // the train — per-packet ACKs here were pure overhead).
+  bool saw_data = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PacketPtr pkt = batch.Take(i);
+    auto header = pkt->PopHeader(kArqHeaderSize);
+    if (!header.ok()) continue;
+    const std::uint8_t type = (*header)[0];
+    const std::uint32_t seq = GetU32(header->data() + 1);
+    if (type == kArqAck) {
+      bool progressed = false;
+      for (auto it = window_.begin();
+           it != window_.end() && it->first < seq;) {
+        it = window_.erase(it);
+        progressed = true;
+      }
+      if (progressed) {
+        last_progress_ = Now();
+        retry_round_ = 0;
+      }
+      continue;
+    }
+    if (type != kArqData) continue;
+    saw_data = true;
+    if (seq == rx_expected_) {
+      ++rx_expected_;
+      port.ForwardUp(std::move(pkt));
+    }
+    // Out of order: discard; the train-level ACK below resyncs the sender.
+  }
+  batch.Compact();
+  if (saw_data) SendAck(port);
+}
+
 void GoBackNModule::OnTick(ModulePort& port) {
   if (window_.empty()) return;
   if (Now() - last_progress_ < options_.rto) return;
@@ -406,6 +561,36 @@ void RateLimiterModule::HandleData(Direction dir, PacketPtr pkt,
 
 void RateLimiterModule::OnTick(ModulePort& port) { TryRelease(port); }
 
+void RateLimiterModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                                     ModulePort& port) {
+  if (dir == Direction::kUp) {
+    scratch_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      scratch_.push_back(batch.Take(i));
+    }
+    batch.Compact();
+    port.ForwardUpBatch(scratch_);
+    return;
+  }
+  // One clock read / refill per train instead of one per packet.
+  Refill();
+  scratch_.clear();
+  std::size_t i = 0;
+  for (; i < batch.size(); ++i) {
+    const auto need = static_cast<double>(batch[i]->size());
+    if (tokens_ < need) break;
+    tokens_ -= need;
+    scratch_.push_back(batch.Take(i));
+  }
+  if (i < batch.size()) {
+    // First unaffordable packet waits on the tick refill; the engine
+    // stalls the truncated tail behind it (ReadyForDown is now false).
+    held_ = batch.Take(i);
+  }
+  batch.Compact();
+  port.ForwardDownBatch(scratch_);
+}
+
 // --- FragmentModule ----------------------------------------------------------
 
 void FragmentModule::HandleData(Direction dir, PacketPtr pkt,
@@ -441,11 +626,13 @@ void FragmentModule::HandleData(Direction dir, PacketPtr pkt,
       if (!fragment.ok()) {
         // Arena backpressure: release what we already cut so downstream
         // can drain it, then wait for capacity rather than tearing the
-        // message in half.
+        // message in half. WaitArena (not a plain sleep) keeps up-traffic
+        // flowing while we wait — the window below us may need an ACK
+        // before it releases the very packets we are waiting for.
         port.ForwardDownBatch(train);
         while (!fragment.ok() &&
                fragment.status().code() == ErrorCode::kResourceExhausted) {
-          PreciseSleep(microseconds(100));
+          port.WaitArena(microseconds(100));
           fragment = port.arena().Make(data.subspan(offset, n));
         }
         if (!fragment.ok()) {
@@ -553,6 +740,46 @@ void AppAModule::HandleData(Direction dir, PacketPtr pkt, ModulePort& port) {
   }
   // kCountOnly: releasing the PacketPtr returns the buffer to the arena —
   // exactly the paper's measuring A-module behaviour.
+}
+
+void AppAModule::ProcessBurst(Direction dir, PacketBatch& batch,
+                              ModulePort& port) {
+  if (dir == Direction::kDown) {
+    scratch_.clear();
+    {
+      MutexLock lock(stats_mu_);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++stats_.packets_tx;
+        stats_.bytes_tx += batch[i]->size();
+        scratch_.push_back(batch.Take(i));
+      }
+    }
+    batch.Compact();
+    port.ForwardDownBatch(scratch_);
+    return;
+  }
+
+  {
+    MutexLock lock(stats_mu_);
+    const TimePoint now = Now();
+    if (stats_.first_rx == TimePoint{}) stats_.first_rx = now;
+    stats_.last_rx = now;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ++stats_.packets_rx;
+      stats_.bytes_rx += batch[i]->size();
+    }
+  }
+  if (mode_ == DeliveryMode::kQueue) {
+    scratch_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      scratch_.push_back(batch.Take(i));
+    }
+    batch.Compact();
+    rx_queue_.PushBatch(scratch_);  // one lock, whole train
+    if (rx_notify_) rx_notify_();
+    return;
+  }
+  batch.Clear();  // kCountOnly: buffers return to the arena
 }
 
 void AppAModule::OnStop(ModulePort& port) {

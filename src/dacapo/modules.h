@@ -36,6 +36,11 @@ class DummyModule : public Module {
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override {
     ForwardOnward(dir, std::move(pkt), port);
   }
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
+
+ private:
+  std::vector<PacketPtr> scratch_;  // burst staging
 };
 
 // ---------------------------------------------------------------------------
@@ -50,6 +55,8 @@ class ChecksumModule : public Module {
 
   std::string_view name() const override;
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
 
   std::uint64_t corrupted_dropped() const noexcept {
     return corrupted_dropped_.load(std::memory_order_relaxed);
@@ -58,9 +65,14 @@ class ChecksumModule : public Module {
 
  private:
   std::size_t TrailerSize() const noexcept;
+  // Returns false when the packet must be dropped (error already reported
+  // / counted).
+  bool AppendChecksum(Packet& pkt, ModulePort& port);
+  bool VerifyAndStrip(Packet& pkt, ModulePort& port);
 
   const Algorithm algo_;
   std::atomic<std::uint64_t> corrupted_dropped_{0};
+  std::vector<PacketPtr> scratch_;  // burst staging
 };
 
 // ---------------------------------------------------------------------------
@@ -72,9 +84,12 @@ class XorCipherModule : public Module {
 
   std::string_view name() const override { return "xor_cipher"; }
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
 
  private:
   const std::uint64_t key_;
+  std::vector<PacketPtr> scratch_;  // burst staging
 };
 
 // ---------------------------------------------------------------------------
@@ -90,6 +105,10 @@ class SequencerModule : public Module {
 
   std::string_view name() const override { return "sequencer"; }
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  // Burst: stamps a whole down-train before one downstream hop; releases a
+  // whole in-order up-run as one train.
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
   std::optional<Duration> TickInterval() const override {
     return gap_timeout_ / 2;
   }
@@ -104,6 +123,9 @@ class SequencerModule : public Module {
   std::string DescribeStats() const override;
 
  private:
+  // Moves the in-order run at the head of rx_buffer_ into release_scratch_
+  // (no forwarding — bursts release once per train).
+  void CollectInOrder();
   void FlushInOrder(ModulePort& port);
   void SkipGap(ModulePort& port);
 
@@ -113,7 +135,8 @@ class SequencerModule : public Module {
   std::uint32_t tx_seq_ = 0;
   std::uint32_t rx_expected_ = 0;
   std::map<std::uint32_t, PacketPtr> rx_buffer_;
-  std::vector<PacketPtr> release_scratch_;  // FlushInOrder batch staging
+  std::vector<PacketPtr> release_scratch_;  // in-order release staging
+  std::vector<PacketPtr> tx_scratch_;       // down-train staging
   TimePoint oldest_buffered_at_{};
   std::atomic<std::uint64_t> reordered_{0};
   std::atomic<std::uint64_t> skipped_{0};
@@ -182,6 +205,10 @@ class GoBackNModule : public Module {
 
   std::string_view name() const override { return "go_back_n"; }
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  // Burst: stamps/transmits while the window has room (truncating the
+  // rest), and answers a whole up-train with ONE cumulative ACK.
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
   bool ReadyForDown() const override {
     return window_.size() < options_.window;
   }
@@ -224,6 +251,10 @@ class RateLimiterModule : public Module {
 
   std::string_view name() const override { return "rate_limiter"; }
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  // Burst: one Refill per train; consumes while tokens last, holds the
+  // first unaffordable packet and truncates the rest.
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
   bool ReadyForDown() const override { return held_ == nullptr; }
   std::optional<Duration> TickInterval() const override {
     return milliseconds(1);
@@ -238,6 +269,7 @@ class RateLimiterModule : public Module {
   double tokens_;
   TimePoint last_refill_;
   PacketPtr held_;  // one packet waiting for tokens
+  std::vector<PacketPtr> scratch_;  // burst staging
 };
 
 // ---------------------------------------------------------------------------
@@ -304,6 +336,9 @@ class AppAModule : public Module {
 
   std::string_view name() const override { return "app_a"; }
   void HandleData(Direction dir, PacketPtr pkt, ModulePort& port) override;
+  // Burst: one stats-lock acquisition and one rx-queue push per train.
+  void ProcessBurst(Direction dir, PacketBatch& batch,
+                    ModulePort& port) override;
   void OnStop(ModulePort& port) override;
 
   // Application receive side (kQueue mode). Blocks up to `timeout`. The
@@ -336,6 +371,7 @@ class AppAModule : public Module {
   Stats stats_ COOL_GUARDED_BY(stats_mu_);
   BlockingQueue<PacketPtr> rx_queue_;
   std::function<void()> rx_notify_;
+  std::vector<PacketPtr> scratch_;  // burst staging
 };
 
 }  // namespace cool::dacapo

@@ -1,6 +1,6 @@
 #include "dacapo/runtime.h"
 
-#include <deque>
+#include <algorithm>
 
 #include "common/logging.h"
 
@@ -8,63 +8,77 @@ namespace cool::dacapo {
 
 ModuleChain::ModuleChain(std::string name,
                          std::vector<std::unique_ptr<Module>> modules,
-                         std::shared_ptr<PacketArena> arena)
-    : name_(std::move(name)), arena_(std::move(arena)) {
-  entries_.reserve(modules.size());
-  for (auto& m : modules) {
-    entries_.push_back(std::make_unique<Entry>(std::move(m)));
+                         std::shared_ptr<PacketArena> arena,
+                         std::size_t burst_size)
+    : name_(std::move(name)),
+      arena_(std::move(arena)),
+      modules_(std::move(modules)),
+      burst_size_(std::clamp<std::size_t>(burst_size, 1,
+                                          PacketBatch::kCapacity)) {
+  ports_.reserve(modules_.size());
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    ports_.push_back(std::make_unique<Port>(this, i));
   }
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    entries_[i]->port = std::make_unique<Port>(this, i);
-  }
+  stall_.resize(modules_.size());
+  last_tick_.resize(modules_.size());
+  walking_.assign(modules_.size(), 0);
+  popped_.reserve(burst_size_);
 }
 
 ModuleChain::~ModuleChain() { Stop(); }
 
 Status ModuleChain::Start() {
-  if (entries_.empty()) {
+  if (modules_.empty()) {
     return FailedPreconditionError("empty module chain");
   }
   if (started_.exchange(true)) {
     return FailedPreconditionError("chain already started");
   }
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    entries_[i]->thread = Thread(
-        [this, i](std::stop_token st) { RunModule(i, st); });
-  }
+  engine_ = Thread([this](std::stop_token st) { RunEngine(st); });
   return Status::Ok();
 }
 
 void ModuleChain::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
-  for (auto& e : entries_) e->mailbox.Close();
-  for (auto& e : entries_) {
-    e->thread.request_stop();
-    if (e->thread.joinable()) e->thread.join();
-  }
+  mailbox_.Close();
+  engine_.request_stop();
+  if (engine_.joinable()) engine_.join();
 }
 
 bool ModuleChain::InjectDown(PacketPtr pkt) {
-  if (entries_.empty() || stopped_.load()) return false;
-  return entries_.front()->mailbox.PushDown(std::move(pkt));
+  if (modules_.empty() || stopped_.load()) return false;
+  return mailbox_.PushDown(std::move(pkt), 0);
+}
+
+bool ModuleChain::InjectDownBatch(std::vector<PacketPtr>& pkts) {
+  if (modules_.empty() || stopped_.load()) {
+    pkts.clear();
+    return false;
+  }
+  return mailbox_.PushDownBatch(pkts, 0);
 }
 
 void ModuleChain::InjectUp(PacketPtr pkt) {
-  if (entries_.empty() || stopped_.load()) return;
-  entries_.back()->mailbox.PushUp(std::move(pkt));
+  if (modules_.empty() || stopped_.load()) return;
+  mailbox_.PushUp(std::move(pkt), modules_.size() - 1);
 }
 
 void ModuleChain::InjectControlUp(ControlMsg msg) {
-  if (entries_.empty() || stopped_.load()) return;
-  entries_.back()->mailbox.PushControl(Direction::kUp, std::move(msg));
+  if (modules_.empty() || stopped_.load()) return;
+  mailbox_.PushControl(Direction::kUp, std::move(msg), modules_.size() - 1);
+}
+
+void ModuleChain::InjectControlDown(ControlMsg msg) {
+  if (modules_.empty() || stopped_.load()) return;
+  mailbox_.PushControl(Direction::kDown, std::move(msg), 0);
 }
 
 std::vector<std::string> ModuleChain::DescribeModules() const {
   std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& e : entries_) {
-    std::string line(e->module->name());
-    const std::string stats = e->module->DescribeStats();
+  out.reserve(modules_.size());
+  for (const auto& m : modules_) {
+    std::string line(m->name());
+    const std::string stats = m->DescribeStats();
     if (!stats.empty()) {
       line += "{" + stats + "}";
     }
@@ -73,55 +87,56 @@ std::vector<std::string> ModuleChain::DescribeModules() const {
   return out;
 }
 
-void ModuleChain::InjectControlDown(ControlMsg msg) {
-  if (entries_.empty() || stopped_.load()) return;
-  entries_.front()->mailbox.PushControl(Direction::kDown, std::move(msg));
+void ModuleChain::DeliverUpSink(PacketPtr pkt) {
+  if (up_sink_) {
+    up_sink_(std::move(pkt));
+    return;
+  }
+  COOL_LOG(kWarn, "dacapo")
+      << name_ << ": packet forwarded past top module dropped";
 }
+
+// --- thread-safe Port (OnStart/OnStop captures, T receive thread) ----------
 
 void ModuleChain::Port::ForwardUp(PacketPtr pkt) {
   if (index_ == 0) {
-    if (chain_->up_sink_) {
-      chain_->up_sink_(std::move(pkt));
-    } else {
-      COOL_LOG(kWarn, "dacapo")
-          << chain_->name_ << ": packet forwarded past top module dropped";
-    }
+    chain_->DeliverUpSink(std::move(pkt));
     return;
   }
-  chain_->entries_[index_ - 1]->mailbox.PushUp(std::move(pkt));
+  chain_->mailbox_.PushUp(std::move(pkt), index_ - 1);
 }
 
 void ModuleChain::Port::ForwardDown(PacketPtr pkt) {
-  if (index_ + 1 >= chain_->entries_.size()) {
+  if (index_ + 1 >= chain_->modules_.size()) {
     COOL_LOG(kWarn, "dacapo")
         << chain_->name_ << ": packet forwarded past bottom module dropped";
     return;
   }
-  chain_->entries_[index_ + 1]->mailbox.PushDown(std::move(pkt));
+  chain_->mailbox_.PushDown(std::move(pkt), index_ + 1);
 }
 
 void ModuleChain::Port::ForwardUpBatch(std::vector<PacketPtr>& pkts) {
   if (pkts.empty()) return;
   if (index_ == 0) {
     // The up-sink is per-packet by contract; the batch saving was already
-    // realized on the mailbox hops below this point.
-    for (auto& p : pkts) ForwardUp(std::move(p));
+    // realized on the mailbox hop below this point.
+    for (auto& p : pkts) chain_->DeliverUpSink(std::move(p));
     pkts.clear();
     return;
   }
-  chain_->entries_[index_ - 1]->mailbox.PushUpBatch(pkts);
+  chain_->mailbox_.PushUpBatch(pkts, index_ - 1);
 }
 
 void ModuleChain::Port::ForwardDownBatch(std::vector<PacketPtr>& pkts) {
   if (pkts.empty()) return;
-  if (index_ + 1 >= chain_->entries_.size()) {
+  if (index_ + 1 >= chain_->modules_.size()) {
     COOL_LOG(kWarn, "dacapo")
         << chain_->name_ << ": " << pkts.size()
         << " packet(s) forwarded past bottom module dropped";
     pkts.clear();
     return;
   }
-  chain_->entries_[index_ + 1]->mailbox.PushDownBatch(pkts);
+  chain_->mailbox_.PushDownBatch(pkts, index_ + 1);
 }
 
 void ModuleChain::Port::ControlUp(ControlMsg msg) {
@@ -129,87 +144,312 @@ void ModuleChain::Port::ControlUp(ControlMsg msg) {
     if (chain_->control_sink_) chain_->control_sink_(std::move(msg));
     return;
   }
-  chain_->entries_[index_ - 1]->mailbox.PushControl(Direction::kUp,
-                                                    std::move(msg));
+  chain_->mailbox_.PushControl(Direction::kUp, std::move(msg), index_ - 1);
 }
 
 void ModuleChain::Port::ControlDown(ControlMsg msg) {
-  if (index_ + 1 >= chain_->entries_.size()) return;  // consumed at bottom
-  chain_->entries_[index_ + 1]->mailbox.PushControl(Direction::kDown,
-                                                    std::move(msg));
+  if (index_ + 1 >= chain_->modules_.size()) return;  // consumed at bottom
+  chain_->mailbox_.PushControl(Direction::kDown, std::move(msg), index_ + 1);
 }
 
-void ModuleChain::RunModule(std::size_t index, std::stop_token stop) {
-  Entry& e = *entries_[index];
-  Module& m = *e.module;
-  ModulePort& port = *e.port;
+// --- BurstPort (engine thread, synchronous run-to-completion) --------------
 
-  if (Status s = m.OnStart(port); !s.ok()) {
-    COOL_LOG(kError, "dacapo")
-        << name_ << "/" << m.name() << " failed to start: " << s;
-    ControlMsg err;
-    err.kind = ControlMsg::Kind::kError;
-    err.text = std::string(m.name()) + ": " + s.ToString();
-    port.ControlUp(std::move(err));
+void ModuleChain::BurstPort::ForwardUp(PacketPtr pkt) {
+  up_.push_back(std::move(pkt));
+  if (up_.size() >= chain_->burst_size_) FlushUp();
+}
+
+void ModuleChain::BurstPort::ForwardDown(PacketPtr pkt) {
+  down_.push_back(std::move(pkt));
+  if (down_.size() >= chain_->burst_size_) FlushDown();
+}
+
+void ModuleChain::BurstPort::ForwardUpBatch(std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (up_.empty()) {
+    up_.swap(pkts);
+  } else {
+    for (auto& p : pkts) up_.push_back(std::move(p));
+    pkts.clear();
+  }
+  FlushUp();
+}
+
+void ModuleChain::BurstPort::ForwardDownBatch(std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (down_.empty()) {
+    down_.swap(pkts);
+  } else {
+    for (auto& p : pkts) down_.push_back(std::move(p));
+    pkts.clear();
+  }
+  FlushDown();
+}
+
+void ModuleChain::BurstPort::ControlUp(ControlMsg msg) {
+  Flush();  // control may not overtake data already emitted through us
+  chain_->RouteControlUpFrom(index_, std::move(msg));
+}
+
+void ModuleChain::BurstPort::ControlDown(ControlMsg msg) {
+  Flush();
+  if (index_ + 1 >= chain_->modules_.size()) return;  // consumed at bottom
+  chain_->WalkControl(Direction::kDown, index_ + 1, std::move(msg));
+}
+
+void ModuleChain::BurstPort::WaitArena(Duration d) {
+  // Push out whatever this module already emitted (their buffers return to
+  // the arena once the bottom releases them), let the engine service
+  // up-traffic (ACKs opening windows below), then back off.
+  Flush();
+  chain_->PumpWhileWaiting();
+  PreciseSleep(d);
+}
+
+void ModuleChain::BurstPort::Flush() {
+  FlushDown();
+  FlushUp();
+}
+
+void ModuleChain::BurstPort::FlushDown() {
+  if (down_.empty()) return;
+  std::vector<PacketPtr> local;
+  local.swap(down_);
+  chain_->WalkDown(index_ + 1, local);
+}
+
+void ModuleChain::BurstPort::FlushUp() {
+  if (up_.empty()) return;
+  std::vector<PacketPtr> local;
+  local.swap(up_);
+  if (index_ == 0) {
+    for (auto& p : local) chain_->DeliverUpSink(std::move(p));
     return;
   }
+  chain_->WalkUp(index_ - 1, local);
+}
 
-  TimePoint last_tick = Now();
-  const Duration kDefaultWait = milliseconds(50);
+// --- engine ---------------------------------------------------------------
 
-  // Pop in batches (one mailbox lock per train), dispatch per packet. A
-  // batch may outlive the module's readiness for down-data: HandleData on
-  // the first down-packet can close an ARQ window, making ReadyForDown()
-  // false for the rest of the train. Such packets wait in `deferred` —
-  // still FIFO ahead of anything in the mailbox, because accept_down stays
-  // false until the stash drains. The extra in-flight down-data is bounded
-  // by kPopBatchMax.
-  constexpr std::size_t kPopBatchMax = 32;
-  std::vector<Mailbox::PopResult> batch;
-  batch.reserve(kPopBatchMax);
-  std::deque<PacketPtr> deferred;
-
-  while (!stop.stop_requested()) {
-    const Duration tick_interval =
-        m.TickInterval().value_or(kDefaultWait);
-    while (!deferred.empty() && m.ReadyForDown()) {
-      PacketPtr p = std::move(deferred.front());
-      deferred.pop_front();
-      m.HandleData(Direction::kDown, std::move(p), port);
+void ModuleChain::WalkDown(std::size_t index, std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (index >= modules_.size()) {
+    COOL_LOG(kWarn, "dacapo")
+        << name_ << ": " << pkts.size()
+        << " packet(s) forwarded past bottom module dropped";
+    pkts.clear();
+    return;
+  }
+  auto& stall = stall_[index];
+  if (!stall.empty() || walking_[index]) {
+    // FIFO: new down-traffic may not overtake packets already stalled at
+    // (or in flight through) this module.
+    for (auto& p : pkts) stall.push_back(std::move(p));
+    pkts.clear();
+    return;
+  }
+  Module& m = *modules_[index];
+  walking_[index] = 1;
+  std::size_t cursor = 0;
+  while (cursor < pkts.size() && m.ReadyForDown()) {
+    PacketBatch batch;
+    while (cursor < pkts.size() && batch.size() < burst_size_) {
+      batch.PushBack(std::move(pkts[cursor++]));
     }
-    const bool accept_down = deferred.empty() && m.ReadyForDown();
-    const auto st =
-        e.mailbox.PopBatch(accept_down, kPopBatchMax, tick_interval, batch);
-    if (st == Mailbox::BatchStatus::kClosed) {
-      m.OnStop(port);
-      return;
-    }
-    for (auto& r : batch) {
-      switch (r.kind) {
-        case Mailbox::PopResult::Kind::kControl:
-          m.HandleControl(r.control_dir, std::move(r.control), port);
-          break;
-        case Mailbox::PopResult::Kind::kData:
-          if (r.data.dir == Direction::kDown && !m.ReadyForDown()) {
-            deferred.push_back(std::move(r.data.pkt));
-          } else {
-            m.HandleData(r.data.dir, std::move(r.data.pkt), port);
-          }
-          break;
-        case Mailbox::PopResult::Kind::kTimeout:
-        case Mailbox::PopResult::Kind::kClosed:
-          break;  // PopBatch reports these via its status, not items
-      }
-    }
-    batch.clear();
-    // Timer service even under continuous traffic.
-    if (m.TickInterval().has_value() &&
-        Now() - last_tick >= *m.TickInterval()) {
-      m.OnTick(port);
-      last_tick = Now();
+    BurstPort port(this, index);
+    m.ProcessBurst(Direction::kDown, batch, port);
+    port.Flush();
+    if (!batch.empty()) {
+      // Truncated burst: the unconsumed tail stalls, FIFO ahead of
+      // everything that arrives later.
+      for (auto& p : batch) stall.push_back(std::move(p));
+      batch.Clear();
+      break;
     }
   }
-  m.OnStop(port);
+  walking_[index] = 0;
+  for (; cursor < pkts.size(); ++cursor) {
+    stall.push_back(std::move(pkts[cursor]));
+  }
+  pkts.clear();
+}
+
+void ModuleChain::WalkUp(std::size_t index, std::vector<PacketPtr>& pkts) {
+  if (pkts.empty()) return;
+  if (index >= modules_.size()) {
+    pkts.clear();
+    return;
+  }
+  Module& m = *modules_[index];
+  std::size_t cursor = 0;
+  while (cursor < pkts.size()) {
+    PacketBatch batch;
+    while (cursor < pkts.size() && batch.size() < burst_size_) {
+      batch.PushBack(std::move(pkts[cursor++]));
+    }
+    BurstPort port(this, index);
+    m.ProcessBurst(Direction::kUp, batch, port);
+    port.Flush();
+    if (!batch.empty()) {
+      // Up bursts must be consumed in full (no flow control upward).
+      COOL_LOG(kWarn, "dacapo")
+          << name_ << "/" << m.name() << ": " << batch.size()
+          << " unconsumed up packet(s) dropped";
+      batch.Clear();
+    }
+  }
+  pkts.clear();
+}
+
+void ModuleChain::WalkControl(Direction dir, std::size_t index,
+                              ControlMsg msg) {
+  if (index >= modules_.size()) return;
+  BurstPort port(this, index);
+  modules_[index]->HandleControl(dir, std::move(msg), port);
+  port.Flush();
+}
+
+void ModuleChain::RouteControlUpFrom(std::size_t index, ControlMsg msg) {
+  if (index == 0) {
+    if (control_sink_) control_sink_(std::move(msg));
+    return;
+  }
+  WalkControl(Direction::kUp, index - 1, std::move(msg));
+}
+
+void ModuleChain::DrainStalls() {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    auto& stall = stall_[i];
+    if (stall.empty() || walking_[i] || !modules_[i]->ReadyForDown()) {
+      continue;
+    }
+    std::vector<PacketPtr> run;
+    run.reserve(stall.size());
+    while (!stall.empty()) {
+      run.push_back(std::move(stall.front()));
+      stall.pop_front();
+    }
+    WalkDown(i, run);
+  }
+}
+
+bool ModuleChain::StallsEmpty() const {
+  for (const auto& s : stall_) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+void ModuleChain::ServiceTicks() {
+  const TimePoint now = Now();
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const auto interval = modules_[i]->TickInterval();
+    if (!interval.has_value()) continue;
+    if (now - last_tick_[i] < *interval) continue;
+    BurstPort port(this, i);
+    modules_[i]->OnTick(port);
+    port.Flush();
+    last_tick_[i] = Now();
+  }
+}
+
+Duration ModuleChain::PopWait() const {
+  Duration wait = milliseconds(50);
+  for (const auto& m : modules_) {
+    if (const auto interval = m->TickInterval();
+        interval.has_value() && *interval < wait) {
+      wait = *interval;
+    }
+  }
+  return wait;
+}
+
+void ModuleChain::DispatchPopped(std::vector<Mailbox::PopResult>& popped,
+                                 std::vector<PacketPtr>& run) {
+  std::size_t i = 0;
+  while (i < popped.size()) {
+    auto& r = popped[i];
+    if (r.kind == Mailbox::PopResult::Kind::kControl) {
+      WalkControl(r.control_dir, r.control_origin, std::move(r.control));
+      ++i;
+      continue;
+    }
+    if (r.kind != Mailbox::PopResult::Kind::kData) {
+      ++i;  // PopBatch reports timeout/closed via its status, not items
+      continue;
+    }
+    const Direction dir = r.data.dir;
+    const std::size_t origin = r.data.origin;
+    run.clear();
+    while (i < popped.size() &&
+           popped[i].kind == Mailbox::PopResult::Kind::kData &&
+           popped[i].data.dir == dir && popped[i].data.origin == origin) {
+      run.push_back(std::move(popped[i].data.pkt));
+      ++i;
+    }
+    if (dir == Direction::kDown) {
+      WalkDown(origin, run);
+    } else {
+      WalkUp(origin, run);
+    }
+  }
+}
+
+void ModuleChain::PumpWhileWaiting() {
+  // Service control and up-traffic only (never new down-data: the waiter
+  // is mid-burst on the down path), then re-feed any stalls that opened.
+  // Local scratch: the engine's popped_ may be mid-iteration above us.
+  std::vector<Mailbox::PopResult> popped;
+  const auto st = mailbox_.PopBatch(/*accept_down=*/false, burst_size_,
+                                    Duration{}, popped);
+  if (st == Mailbox::BatchStatus::kItems) {
+    std::vector<PacketPtr> run;
+    DispatchPopped(popped, run);
+  }
+  DrainStalls();
+}
+
+void ModuleChain::RunEngine(std::stop_token stop) {
+  std::size_t started_count = 0;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (Status s = modules_[i]->OnStart(*ports_[i]); !s.ok()) {
+      COOL_LOG(kError, "dacapo")
+          << name_ << "/" << modules_[i]->name() << " failed to start: " << s;
+      ControlMsg err;
+      err.kind = ControlMsg::Kind::kError;
+      err.text = std::string(modules_[i]->name()) + ": " + s.ToString();
+      RouteControlUpFrom(i, std::move(err));
+      // A chain with a hole in it cannot carry traffic: wind down what
+      // already started and refuse service (injection fails from here on).
+      mailbox_.Close();
+      for (std::size_t j = 0; j < started_count; ++j) {
+        modules_[j]->OnStop(*ports_[j]);
+      }
+      return;
+    }
+    ++started_count;
+    last_tick_[i] = Now();
+  }
+
+  std::vector<PacketPtr> run;
+  while (!stop.stop_requested()) {
+    DrainStalls();
+    // While anything is stalled the engine accepts no new down-data, so
+    // stalled packets stay FIFO ahead of the mailbox.
+    const bool accept_down = StallsEmpty();
+    const auto st =
+        mailbox_.PopBatch(accept_down, burst_size_, PopWait(), popped_);
+    if (st == Mailbox::BatchStatus::kClosed) break;
+    if (st == Mailbox::BatchStatus::kItems) {
+      DispatchPopped(popped_, run);
+    }
+    // Timer service even under continuous traffic.
+    ServiceTicks();
+  }
+
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    modules_[i]->OnStop(*ports_[i]);
+  }
 }
 
 }  // namespace cool::dacapo

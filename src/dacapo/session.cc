@@ -217,7 +217,7 @@ Result<Session::DataPlane> Session::BuildPlane(
   }
 
   plane.chain = std::make_unique<ModuleChain>(
-      "dacapo", std::move(modules), plane.arena);
+      "dacapo", std::move(modules), plane.arena, options.burst_size);
   plane.tx_cache = std::make_unique<PacketCache>(*plane.arena);
   plane.a_module = a_raw;
   if (owner != nullptr) {

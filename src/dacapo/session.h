@@ -45,6 +45,10 @@ struct ChannelOptions {
   AppAModule::DeliveryMode delivery = AppAModule::DeliveryMode::kQueue;
   std::size_t arena_packets = 512;
   std::size_t packet_capacity = 64 * 1024;
+  // Packet-train size of the data plane's burst engine: how many packets
+  // the engine walks through the chain per mailbox round-trip (clamped to
+  // [1, PacketBatch::kCapacity]). 1 degenerates to per-packet processing.
+  std::size_t burst_size = PacketBatch::kCapacity;
 
   // Custom layer-A module (paper Fig. 7 alternative (ii): "message
   // protocols are seen as ordinary Da CaPo modules"). When set, the chain
@@ -121,6 +125,57 @@ class Session {
       if (Now() >= deadline) return pkt.status();
       PreciseSleep(microseconds(200));
     }
+  }
+
+  // Zero-copy *train* send seam: allocates `count` packets, sized by
+  // `size(i)` and written by `fill(i, span)`, and injects them into the
+  // chain in bursts of up to the plane's burst size — one mailbox
+  // acquisition and one chain walk per burst instead of one per packet.
+  // Calls strictly alternate size(0), fill(0), size(1), fill(1), ... so
+  // the callbacks may share a sequential cursor. On arena backpressure the
+  // packets cut so far are released into the chain first (they are the
+  // traffic whose completion frees arena slots), then the wait begins.
+  template <typename SizeFn, typename Fill>
+  Status SendTrainWith(std::size_t count, SizeFn&& size, Fill&& fill) {
+    ReaderMutexLock lock(plane_mu_);
+    if (plane_.chain == nullptr || !plane_.chain->started()) {
+      return FailedPreconditionError("session has no active data plane");
+    }
+    const std::size_t burst = plane_.chain->burst_size();
+    std::vector<PacketPtr> train;
+    train.reserve(std::min(count, burst));
+    const TimePoint deadline = Now() + seconds(10);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t n = size(i);
+      if (n > options_.packet_capacity) {
+        return InvalidArgumentError("message exceeds channel packet capacity");
+      }
+      for (;;) {
+        auto pkt = plane_.tx_cache->Allocate();
+        if (pkt.ok()) {
+          auto out = (*pkt)->WritablePayload(n);
+          if (!out.ok()) return out.status();
+          if (Status s = fill(i, *out); !s.ok()) return s;
+          train.push_back(std::move(pkt).value());
+          break;
+        }
+        if (pkt.status().code() != ErrorCode::kResourceExhausted) {
+          return pkt.status();
+        }
+        if (!train.empty() && !plane_.chain->InjectDownBatch(train)) {
+          return UnavailableError("data plane closed");
+        }
+        if (Now() >= deadline) return pkt.status();
+        PreciseSleep(microseconds(200));
+      }
+      if (train.size() >= burst && !plane_.chain->InjectDownBatch(train)) {
+        return UnavailableError("data plane closed");
+      }
+    }
+    if (!train.empty() && !plane_.chain->InjectDownBatch(train)) {
+      return UnavailableError("data plane closed");
+    }
+    return Status::Ok();
   }
 
   // Receives one application message (kQueue delivery mode) without

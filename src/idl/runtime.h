@@ -3,6 +3,7 @@
 // Encode/Decode overloads generated next to them and found via ADL.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "cdr/decoder.h"
@@ -81,27 +82,38 @@ inline Status Decode(cdr::Decoder& d, corba::String& v) {
 }
 
 // --- sequences ----------------------------------------------------------------
+// Sequences of fixed-size primitives take the bulk CDR path (one memcpy or
+// byteswap sweep over the whole payload); everything else recurses
+// element-wise through the ADL-found Encode/Decode overloads.
 template <typename T>
 void Encode(cdr::Encoder& e, const std::vector<T>& v) {
-  e.PutULong(static_cast<corba::ULong>(v.size()));
-  for (const T& item : v) Encode(e, item);
+  if constexpr (cdr::kPrimitiveSeqElement<T>) {
+    e.PutPrimitiveSeq(std::span<const T>(v));
+  } else {
+    e.PutULong(static_cast<corba::ULong>(v.size()));
+    for (const T& item : v) Encode(e, item);
+  }
 }
 
 template <typename T>
 Status Decode(cdr::Decoder& d, std::vector<T>& v) {
-  corba::ULong count = 0;
-  COOL_ASSIGN_OR_RETURN(count, d.GetULong());
-  if (count > d.remaining()) {  // every element costs >= 1 octet
-    return ProtocolError("sequence count exceeds message size");
+  if constexpr (cdr::kPrimitiveSeqElement<T>) {
+    return d.GetPrimitiveSeq(v);
+  } else {
+    corba::ULong count = 0;
+    COOL_ASSIGN_OR_RETURN(count, d.GetULong());
+    if (count > d.remaining()) {  // every element costs >= 1 octet
+      return ProtocolError("sequence count exceeds message size");
+    }
+    v.clear();
+    v.reserve(count);
+    for (corba::ULong i = 0; i < count; ++i) {
+      T item{};
+      COOL_RETURN_IF_ERROR(Decode(d, item));
+      v.push_back(std::move(item));
+    }
+    return Status::Ok();
   }
-  v.clear();
-  v.reserve(count);
-  for (corba::ULong i = 0; i < count; ++i) {
-    T item{};
-    COOL_RETURN_IF_ERROR(Decode(d, item));
-    v.push_back(std::move(item));
-  }
-  return Status::Ok();
 }
 
 // --- user exceptions -----------------------------------------------------------

@@ -20,27 +20,35 @@ constexpr std::uint8_t kLastFragment = 0;
 }  // namespace
 
 Status DacapoComChannel::SendMessage(std::span<const std::uint8_t> message) {
-  // Direct single-span loop rather than delegating to SendMessageV: this
+  // Direct single-span paths rather than delegating to SendMessageV: this
   // is the hottest per-message path (every non-gathered send), and the
   // part-cursor bookkeeping costs a measurable fraction of a small-message
   // send on a fast link.
   const std::size_t max_payload = session_->packet_capacity() - 1;
+  const std::size_t fragments =
+      message.empty() ? 1 : (message.size() + max_payload - 1) / max_payload;
   MutexLock lock(tx_mu_);
-  std::size_t offset = 0;
-  do {
-    const std::size_t n = std::min(max_payload, message.size() - offset);
-    const std::uint8_t flags =
-        offset + n < message.size() ? kMoreFragments : kLastFragment;
-    const auto piece = message.subspan(offset, n);
-    COOL_RETURN_IF_ERROR(session_->SendWith(
-        n + 1, [flags, piece](std::span<std::uint8_t> out) {
-          out[0] = flags;
-          std::copy(piece.begin(), piece.end(), out.begin() + 1);
+  if (fragments == 1) {
+    return session_->SendWith(
+        message.size() + 1, [message](std::span<std::uint8_t> out) {
+          out[0] = kLastFragment;
+          std::copy(message.begin(), message.end(), out.begin() + 1);
           return Status::Ok();
-        }));
-    offset += n;
-  } while (offset < message.size());
-  return Status::Ok();
+        });
+  }
+  // Multi-fragment: the whole message enters the chain as packet trains —
+  // one mailbox round-trip per burst instead of one per fragment.
+  return session_->SendTrainWith(
+      fragments,
+      [&](std::size_t i) {
+        return std::min(max_payload, message.size() - i * max_payload) + 1;
+      },
+      [&](std::size_t i, std::span<std::uint8_t> out) {
+        const auto piece = message.subspan(i * max_payload, out.size() - 1);
+        out[0] = i + 1 < fragments ? kMoreFragments : kLastFragment;
+        std::copy(piece.begin(), piece.end(), out.begin() + 1);
+        return Status::Ok();
+      });
 }
 
 Status DacapoComChannel::SendMessageV(
@@ -49,38 +57,39 @@ Status DacapoComChannel::SendMessageV(
   std::size_t total = 0;
   for (const auto& part : parts) total += part.size();
 
+  const std::size_t fragments =
+      total == 0 ? 1 : (total + max_payload - 1) / max_payload;
   MutexLock lock(tx_mu_);
   // Cursor over the concatenation of `parts`: fragments are filled straight
   // into the arena packet, crossing part boundaries as needed — no joined
-  // staging vector, no per-fragment staging vector.
+  // staging vector, no per-fragment staging vector. SendTrainWith calls the
+  // callbacks strictly in order, so the cursor advances monotonically.
   std::size_t part_idx = 0;
   std::size_t part_off = 0;
   std::size_t sent = 0;
-  do {
-    const std::size_t n = std::min(max_payload, total - sent);
-    const std::uint8_t flags = sent + n < total ? kMoreFragments : kLastFragment;
-    COOL_RETURN_IF_ERROR(
-        session_->SendWith(n + 1, [&](std::span<std::uint8_t> out) {
-          out[0] = flags;
-          std::size_t filled = 0;
-          while (filled < n) {
-            while (part_off == parts[part_idx].size()) {
-              ++part_idx;
-              part_off = 0;
-            }
-            const auto piece = parts[part_idx].subspan(
-                part_off,
-                std::min(n - filled, parts[part_idx].size() - part_off));
-            std::copy(piece.begin(), piece.end(),
-                      out.begin() + 1 + static_cast<std::ptrdiff_t>(filled));
-            part_off += piece.size();
-            filled += piece.size();
+  return session_->SendTrainWith(
+      fragments,
+      [&](std::size_t) { return std::min(max_payload, total - sent) + 1; },
+      [&](std::size_t i, std::span<std::uint8_t> out) {
+        const std::size_t n = out.size() - 1;
+        out[0] = i + 1 < fragments ? kMoreFragments : kLastFragment;
+        std::size_t filled = 0;
+        while (filled < n) {
+          while (part_off == parts[part_idx].size()) {
+            ++part_idx;
+            part_off = 0;
           }
-          return Status::Ok();
-        }));
-    sent += n;
-  } while (sent < total);
-  return Status::Ok();
+          const auto piece = parts[part_idx].subspan(
+              part_off,
+              std::min(n - filled, parts[part_idx].size() - part_off));
+          std::copy(piece.begin(), piece.end(),
+                    out.begin() + 1 + static_cast<std::ptrdiff_t>(filled));
+          part_off += piece.size();
+          filled += piece.size();
+        }
+        sent += n;
+        return Status::Ok();
+      });
 }
 
 Result<ByteBuffer> DacapoComChannel::ReceiveMessage(Duration timeout) {

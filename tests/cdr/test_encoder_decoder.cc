@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "cdr/decoder.h"
 #include "cdr/encoder.h"
@@ -204,6 +206,103 @@ TEST(CdrErrorTest, OctetSeqLengthBeyondBufferFails) {
   enc.PutULong(1000);  // claims 1000 octets, provides none
   Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
   EXPECT_EQ(dec.GetOctetSeq().status().code(), ErrorCode::kProtocolError);
+}
+
+// --- bulk primitive sequences -----------------------------------------------
+
+// The bulk path (PutPrimitiveSeq/GetPrimitiveSeq) must produce exactly the
+// octets of an element-wise encode, in both byte orders, at every element
+// width — the memcpy/byteswap sweep is an optimization, not a format.
+template <typename T, typename PutOne>
+void ExpectBulkMatchesElementwise(std::span<const T> values, PutOne put_one) {
+  for (ByteOrder order : {ByteOrder::kLittleEndian, ByteOrder::kBigEndian}) {
+    // Base offset 1: the sequence count and elements must align against
+    // the message start, not the buffer start.
+    Encoder bulk(order, 1);
+    bulk.PutPrimitiveSeq(values);
+    Encoder ref(order, 1);
+    ref.PutULong(static_cast<corba::ULong>(values.size()));
+    for (const T& v : values) put_one(ref, v);
+    ASSERT_EQ(bulk.buffer().size(), ref.buffer().size());
+    EXPECT_TRUE(std::equal(bulk.buffer().view().begin(),
+                           bulk.buffer().view().end(),
+                           ref.buffer().view().begin()));
+
+    Decoder dec(bulk.buffer().view(), order, 1);
+    std::vector<T> back;
+    ASSERT_TRUE(dec.GetPrimitiveSeq(back).ok());
+    EXPECT_TRUE(dec.AtEnd());
+    ASSERT_EQ(back.size(), values.size());
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), values.begin()));
+  }
+}
+
+TEST(CdrBulkSeqTest, ShortSeqRoundTripsBothOrders) {
+  const std::int16_t v[] = {0, 1, -1, 0x1234, -0x1234, 0x7fff, -0x8000};
+  ExpectBulkMatchesElementwise<std::int16_t>(
+      v, [](Encoder& e, std::int16_t x) { e.PutShort(x); });
+}
+
+TEST(CdrBulkSeqTest, LongSeqRoundTripsBothOrders) {
+  const std::int32_t v[] = {0, 1, -1, 0x12345678, -0x12345678, 0x7fffffff};
+  ExpectBulkMatchesElementwise<std::int32_t>(
+      v, [](Encoder& e, std::int32_t x) { e.PutLong(x); });
+}
+
+TEST(CdrBulkSeqTest, ULongLongSeqRoundTripsBothOrders) {
+  const std::uint64_t v[] = {0, 1, 0x0102030405060708ull,
+                             0xffffffffffffffffull};
+  ExpectBulkMatchesElementwise<std::uint64_t>(
+      v, [](Encoder& e, std::uint64_t x) { e.PutULongLong(x); });
+}
+
+TEST(CdrBulkSeqTest, DoubleSeqRoundTripsBothOrders) {
+  const double v[] = {0.0, -1.5, 3.14159, std::numeric_limits<double>::max(),
+                      std::numeric_limits<double>::infinity()};
+  ExpectBulkMatchesElementwise<double>(
+      v, [](Encoder& e, double x) { e.PutDouble(x); });
+}
+
+TEST(CdrBulkSeqTest, OctetSeqTakesSingleByteFastPath) {
+  const std::uint8_t v[] = {1, 2, 3, 254, 255};
+  ExpectBulkMatchesElementwise<std::uint8_t>(
+      v, [](Encoder& e, std::uint8_t x) { e.PutOctet(x); });
+}
+
+TEST(CdrBulkSeqTest, EmptySeqEncodesCountOnly) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutPrimitiveSeq(std::span<const std::int32_t>{});
+  EXPECT_EQ(enc.buffer().size(), 4u);
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  std::vector<std::int32_t> back{42};
+  ASSERT_TRUE(dec.GetPrimitiveSeq(back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(CdrBulkSeqTest, LargeSwappedSeqCrossesStagingChunks) {
+  // > 512 octets of payload forces multiple staging-chunk flushes on the
+  // byteswap path.
+  std::vector<std::uint32_t> values(301);
+  Rng rng(7);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.NextU64());
+  const ByteOrder foreign = NativeOrder() == ByteOrder::kLittleEndian
+                                ? ByteOrder::kBigEndian
+                                : ByteOrder::kLittleEndian;
+  Encoder enc(foreign);
+  enc.PutPrimitiveSeq(std::span<const std::uint32_t>(values));
+  Decoder dec(enc.buffer().view(), foreign);
+  std::vector<std::uint32_t> back;
+  ASSERT_TRUE(dec.GetPrimitiveSeq(back).ok());
+  EXPECT_EQ(back, values);
+}
+
+TEST(CdrBulkSeqTest, HostileCountFailsCleanly) {
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.PutULong(0xfffffff0u);  // claims ~4G elements, provides none
+  Decoder dec(enc.buffer().view(), ByteOrder::kLittleEndian);
+  std::vector<std::uint64_t> back;
+  EXPECT_EQ(dec.GetPrimitiveSeq(back).code(), ErrorCode::kProtocolError);
+  EXPECT_TRUE(back.empty());
 }
 
 TEST(CdrErrorTest, CrossEndianMismatchStillDecodesNumbers) {
