@@ -1,0 +1,409 @@
+// Adversarial fairness benchmark for the hierarchical QoS scheduler
+// (common/qos_sched.h): drives the server dispatch pool and the Da CaPo
+// egress arbiter with hostile traffic mixes and records Jain's fairness
+// index plus per-class sojourn percentiles (p50/p99/p99.9).
+//
+// Scenarios:
+//   dispatch_equal          N identical flooding bindings, equal weights —
+//                           Jain over per-binding service counts (>= 0.9
+//                           is the acceptance floor; DRR should land ~1).
+//   dispatch_weighted       weights 4:2:1 — Jain over weight-normalized
+//                           shares (1.0 = shares track weights exactly).
+//   dispatch_flood_victim_* one paced, well-behaved high-QoS binding vs a
+//                           flooding binding in the SAME class, measured
+//                           under the hierarchical tree and the legacy
+//                           flat-priority scan in the same run. The
+//                           victim's p99 sojourn is the tentpole metric:
+//                           per-binding DRR isolates it from the flood,
+//                           the flat FIFO buries it behind the backlog.
+//   dispatch_rate_cap       a token-bucket-capped binding vs an uncapped
+//                           one — the cap must hold under pressure.
+//   egress_equal/weighted   the same fairness probes against the
+//                           EgressScheduler turnstile.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/thread.h"
+#include "giop/dispatch_pool.h"
+#include "qos/classify.h"
+#include "transport/qos_egress.h"
+
+namespace cool::bench {
+namespace {
+
+giop::DispatchJob MakeJob(corba::ULong id) {
+  giop::DispatchJob job;
+  job.header.request_id = id;
+  job.header.response_expected = false;
+  job.msg.buffer = ByteBuffer(std::vector<std::uint8_t>(giop::kHeaderSize));
+  job.args_offset = giop::kHeaderSize;
+  return job;
+}
+
+void SpinFor(Duration d) {
+  const TimePoint end = Now() + d;
+  while (Now() < end) {
+  }
+}
+
+// A binding: counts its completed upcalls and burns a fixed servant cost
+// per job so the workers, not the producers, are the bottleneck.
+class CountingRunner : public giop::DispatchRunner {
+ public:
+  explicit CountingRunner(Duration work) : work_(work) {}
+
+  void RunDispatchJob(const giop::DispatchJob&) override {
+    SpinFor(work_);
+    done_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  Duration work_;
+  std::atomic<std::uint64_t> done_{0};
+};
+
+// The flood victim: every submitted job carries its submit timestamp, the
+// upcall records offered-to-served latency.
+class LatencyRunner : public giop::DispatchRunner {
+ public:
+  LatencyRunner(Duration work, std::size_t max_jobs)
+      : work_(work), submit_at_(max_jobs), latency_us_(max_jobs) {}
+
+  corba::ULong NextId() {
+    const corba::ULong id = next_++;
+    submit_at_[id] = Now();
+    return id;
+  }
+
+  void RunDispatchJob(const giop::DispatchJob& job) override {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Now() - submit_at_[job.header.request_id])
+                        .count();
+    latency_us_[job.header.request_id] = static_cast<double>(us);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    SpinFor(work_);
+  }
+
+  std::vector<double> TakeLatencies() const {
+    return {latency_us_.begin(), latency_us_.begin() + served_.load()};
+  }
+
+ private:
+  Duration work_;
+  corba::ULong next_ = 0;
+  std::vector<TimePoint> submit_at_;
+  // Indexed by request id: distinct slots, so concurrent upcalls of
+  // different jobs never race.
+  std::vector<double> latency_us_;
+  std::atomic<std::size_t> served_{0};
+};
+
+struct FloodResult {
+  LatencyStats victim;
+  double victim_served = 0;
+};
+
+// One paced high-band victim against one flooding high-band aggressor,
+// under the given scheduler.
+FloodResult RunFloodScenario(giop::DispatchScheduler scheduler,
+                             Duration run_for) {
+  giop::DispatchPool::Options options;
+  options.workers = 1;  // sharp contention: one upcall lane
+  options.scheduler = scheduler;
+  giop::DispatchPool pool(options);
+
+  const Duration work = microseconds(20);
+  CountingRunner flooder(work);
+  const std::uint64_t flooder_id = giop::DispatchPool::AllocRunnerId();
+  LatencyRunner victim(work, 1 << 20);
+  const std::uint64_t victim_id = giop::DispatchPool::AllocRunnerId();
+
+  qos::SchedProfile high;
+  high.band = qos::SchedProfile::Band::kHigh;
+
+  std::atomic<bool> stop{false};
+  Thread flood_thread([&](std::stop_token) {
+    corba::ULong id = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!pool.Submit(&flooder, flooder_id, high, MakeJob(id++))) return;
+    }
+  });
+  Thread victim_thread([&](std::stop_token) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!pool.Submit(&victim, victim_id, high, MakeJob(victim.NextId()))) {
+        return;
+      }
+      std::this_thread::sleep_for(microseconds(500));
+    }
+  });
+
+  std::this_thread::sleep_for(run_for);
+  stop.store(true, std::memory_order_relaxed);
+  pool.Close();  // wakes backpressured Submits, drains, joins workers
+  flood_thread.join();
+  victim_thread.join();
+
+  FloodResult result;
+  std::vector<double> lat = victim.TakeLatencies();
+  result.victim_served = static_cast<double>(lat.size());
+  result.victim = Summarize(std::move(lat));
+  return result;
+}
+
+// `weights[i]` flooding bindings share the pool; returns per-binding
+// service counts.
+std::vector<double> RunShareScenario(const std::vector<std::uint32_t>& weights,
+                                     const std::vector<std::uint64_t>& rates,
+                                     Duration run_for,
+                                     LatencyStats* class_sojourn) {
+  giop::DispatchPool::Options options;
+  options.workers = 2;
+  // Each producer caps its own inflight below, keeping every flow's
+  // backlog standing without ever tripping the pool-wide backpressure
+  // gate — otherwise the Submit wakeup order, not the scheduler, would
+  // set the shares.
+  constexpr std::size_t kInflight = 1000;
+  options.queue_capacity = weights.size() * (kInflight + 64);
+  giop::DispatchPool pool(options);
+
+  const Duration work = microseconds(10);
+  std::vector<std::unique_ptr<CountingRunner>> runners;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    runners.push_back(std::make_unique<CountingRunner>(work));
+    ids.push_back(giop::DispatchPool::AllocRunnerId());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<Thread> producers;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    producers.emplace_back([&, i](std::stop_token) {
+      qos::SchedProfile profile;
+      profile.weight = weights[i];
+      profile.rate_bytes_per_sec = rates[i];
+      corba::ULong id = 0;
+      std::uint64_t submitted = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (submitted - runners[i]->done() >= kInflight) {
+          std::this_thread::sleep_for(microseconds(100));
+          continue;
+        }
+        if (!pool.Submit(runners[i].get(), ids[i], profile, MakeJob(id++))) {
+          return;
+        }
+        ++submitted;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(run_for);
+  stop.store(true, std::memory_order_relaxed);
+  // Harvest before Close(): the shutdown drain serves the backlog with
+  // shaping and AQM bypassed, which would credit capped/light flows for
+  // ~a full queue of free jobs and smear the steady-state percentiles.
+  std::vector<double> counts;
+  for (const auto& r : runners) {
+    counts.push_back(static_cast<double>(r->done()));
+  }
+  if (class_sojourn != nullptr) {
+    const auto stats = pool.StatsSnapshot();
+    const auto& normal = stats[1];  // Normal band (all profiles above)
+    class_sojourn->p50_us = static_cast<double>(normal.sojourn_p50_us);
+    class_sojourn->p99_us = static_cast<double>(normal.sojourn_p99_us);
+    class_sojourn->p999_us = static_cast<double>(normal.sojourn_p999_us);
+  }
+  pool.Close();
+  for (auto& t : producers) t.join();
+  return counts;
+}
+
+// Egress turnstile fairness: each binding contends for the link with the
+// given weight via `pipeline` concurrent senders (a binding with a single
+// in-flight send can never hold a backlog, and DRR weights only bite on
+// standing backlogs); returns per-binding grant counts.
+std::vector<double> RunEgressScenario(const std::vector<std::uint32_t>& weights,
+                                      std::size_t pipeline, Duration run_for) {
+  transport::EgressScheduler::Options options;
+  // A quantum well under the per-send cost (1000 + kMessageBaseCost), so
+  // grants-per-rotation track the weights instead of whole backlogs
+  // draining in one visit.
+  options.quantum_bytes = 256;
+  transport::EgressScheduler egress(options);
+  std::vector<std::uint64_t> ids;
+  for (const std::uint32_t w : weights) {
+    const std::uint64_t id = transport::EgressScheduler::AllocBindingId();
+    qos::SchedProfile profile;
+    profile.weight = w;
+    egress.RegisterBinding(id, profile);
+    ids.push_back(id);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::atomic<std::uint64_t>> grants(weights.size());
+  std::vector<Thread> senders;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t p = 0; p < pipeline; ++p) {
+      senders.emplace_back([&, i](std::stop_token) {
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (!egress.Acquire(ids[i], 1000)) return;
+          SpinFor(microseconds(3));  // the "transmit"
+          egress.Release();
+          grants[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  std::this_thread::sleep_for(run_for);
+  stop.store(true, std::memory_order_relaxed);
+  egress.Close();  // refuses parked tickets
+  for (auto& t : senders) t.join();
+
+  std::vector<double> counts;
+  for (const auto& g : grants) {
+    counts.push_back(static_cast<double>(g.load()));
+  }
+  return counts;
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const Duration run_for = args.smoke ? milliseconds(250) : milliseconds(1500);
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(run_for)
+          .count();
+
+  std::vector<BenchRecord> records;
+  Table table({"scenario", "jain", "p50us", "p99us", "p999us", "note"});
+
+  {  // --- equal-weight fairness across 8 flooding bindings ---
+    LatencyStats sojourn;
+    const std::vector<double> counts = RunShareScenario(
+        std::vector<std::uint32_t>(8, 1), std::vector<std::uint64_t>(8, 0),
+        run_for, &sojourn);
+    double total = 0;
+    for (double c : counts) total += c;
+    BenchRecord r;
+    r.name = "dispatch_equal";
+    r.jain = JainIndex(counts);
+    r.msgs_per_sec = total / secs;
+    r.p50_us = sojourn.p50_us;
+    r.p99_us = sojourn.p99_us;
+    r.p999_us = sojourn.p999_us;
+    records.push_back(r);
+    table.AddRow({r.name, Fmt("%.4f", r.jain), Fmt("%.0f", r.p50_us),
+                  Fmt("%.0f", r.p99_us), Fmt("%.0f", r.p999_us),
+                  Fmt("%.0f jobs/s", r.msgs_per_sec)});
+  }
+
+  {  // --- 4:2:1 weighted shares ---
+    const std::vector<std::uint32_t> weights{4, 2, 1};
+    const std::vector<double> counts = RunShareScenario(
+        weights, std::vector<std::uint64_t>(weights.size(), 0), run_for,
+        nullptr);
+    std::vector<double> normalized;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      normalized.push_back(counts[i] / static_cast<double>(weights[i]));
+    }
+    BenchRecord r;
+    r.name = "dispatch_weighted";
+    r.jain = JainIndex(normalized);
+    records.push_back(r);
+    table.AddRow({r.name, Fmt("%.4f", r.jain), "-", "-", "-",
+                  Fmt("%.2f:", counts[0] / counts[2]) +
+                      Fmt("%.2f:1 (want 4:2:1)", counts[1] / counts[2])});
+  }
+
+  double hier_p99 = 0;
+  double flat_p99 = 0;
+  {  // --- flood isolation, hierarchical vs flat in the same run ---
+    const FloodResult hier =
+        RunFloodScenario(giop::DispatchScheduler::kHierarchical, run_for);
+    const FloodResult flat =
+        RunFloodScenario(giop::DispatchScheduler::kFlatPriority, run_for);
+    hier_p99 = hier.victim.p99_us;
+    flat_p99 = flat.victim.p99_us;
+    BenchRecord rh;
+    rh.name = "dispatch_flood_victim_hier";
+    rh.p50_us = hier.victim.p50_us;
+    rh.p99_us = hier.victim.p99_us;
+    rh.p999_us = hier.victim.p999_us;
+    rh.msgs_per_sec = hier.victim_served / secs;
+    records.push_back(rh);
+    BenchRecord rf;
+    rf.name = "dispatch_flood_victim_flat";
+    rf.p50_us = flat.victim.p50_us;
+    rf.p99_us = flat.victim.p99_us;
+    rf.p999_us = flat.victim.p999_us;
+    rf.msgs_per_sec = flat.victim_served / secs;
+    records.push_back(rf);
+    table.AddRow({rh.name, "-", Fmt("%.0f", rh.p50_us), Fmt("%.0f", rh.p99_us),
+                  Fmt("%.0f", rh.p999_us), "victim vs same-class flood"});
+    table.AddRow({rf.name, "-", Fmt("%.0f", rf.p50_us), Fmt("%.0f", rf.p99_us),
+                  Fmt("%.0f", rf.p999_us),
+                  Fmt("flat/hier p99 = %.1fx", flat_p99 / hier_p99)});
+  }
+
+  {  // --- token-bucket rate cap holds under pressure ---
+    // Binding 0 capped at 1 MB/s of scheduling cost, binding 1 uncapped.
+    constexpr std::uint64_t kCap = 1'000'000;
+    const std::vector<double> counts =
+        RunShareScenario({1, 1}, {kCap, 0}, run_for, nullptr);
+    const double capped_bps =
+        counts[0] * static_cast<double>(giop::DispatchPool::kJobBaseCost +
+                                        giop::kHeaderSize) /
+        secs;
+    BenchRecord r;
+    r.name = "dispatch_rate_cap";
+    r.mbps = capped_bps * 8 / 1e6;
+    records.push_back(r);
+    table.AddRow({r.name, "-", "-", "-", "-",
+                  Fmt("capped flow %.2f Mbit/s", r.mbps) +
+                      Fmt(" (cap %.2f)", kCap * 8 / 1e6)});
+  }
+
+  {  // --- egress turnstile: equal and 4:2:1 ---
+    const std::vector<double> equal =
+        RunEgressScenario(std::vector<std::uint32_t>(4, 1), 1, run_for);
+    BenchRecord re;
+    re.name = "egress_equal";
+    re.jain = JainIndex(equal);
+    records.push_back(re);
+    table.AddRow({re.name, Fmt("%.4f", re.jain), "-", "-", "-", "4 bindings"});
+
+    const std::vector<std::uint32_t> weights{4, 2, 1};
+    const std::vector<double> shares = RunEgressScenario(weights, 4, run_for);
+    std::vector<double> normalized;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      normalized.push_back(shares[i] / static_cast<double>(weights[i]));
+    }
+    BenchRecord rw;
+    rw.name = "egress_weighted";
+    rw.jain = JainIndex(normalized);
+    records.push_back(rw);
+    table.AddRow({rw.name, Fmt("%.4f", rw.jain), "-", "-", "-",
+                  Fmt("%.2f:", shares[0] / shares[2]) +
+                      Fmt("%.2f:1 (want 4:2:1)", shares[1] / shares[2])});
+  }
+
+  std::printf("bench_qos_fairness (%s)\n", args.smoke ? "smoke" : "full");
+  table.Print();
+  std::printf("  flood victim p99: flat %.0fus / hier %.0fus = %.1fx\n",
+              flat_p99, hier_p99, flat_p99 / hier_p99);
+
+  if (!args.json_path.empty() && !WriteJson(args.json_path, records)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cool::bench
+
+int main(int argc, char** argv) { return cool::bench::Run(argc, argv); }

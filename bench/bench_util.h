@@ -19,6 +19,7 @@ struct LatencyStats {
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double min_us = 0;
   double max_us = 0;
 };
@@ -33,9 +34,26 @@ inline LatencyStats Summarize(std::vector<double> samples_us) {
   s.p50_us = samples_us[samples_us.size() / 2];
   s.p95_us = samples_us[samples_us.size() * 95 / 100];
   s.p99_us = samples_us[samples_us.size() * 99 / 100];
+  s.p999_us = samples_us[std::min(samples_us.size() - 1,
+                                  samples_us.size() * 999 / 1000)];
   s.min_us = samples_us.front();
   s.max_us = samples_us.back();
   return s;
+}
+
+// Jain's fairness index over per-flow throughputs (or any share metric):
+// (sum x)^2 / (n * sum x^2). 1.0 = perfectly equal shares; 1/n = one flow
+// took everything.
+inline double JainIndex(const std::vector<double>& shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double v : shares) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
 }
 
 // --- smoke/JSON harness ------------------------------------------------------
@@ -69,6 +87,10 @@ struct BenchRecord {
   double mbps = -1;
   double p50_us = -1;
   double p99_us = -1;
+  double p999_us = -1;
+  // Jain's fairness index of the per-flow shares a scenario produced
+  // (bench_qos_fairness's headline metric; 1.0 = perfectly fair).
+  double jain = -1;
   // Heap allocations per operation (bench/alloc_hook.h counter delta over
   // operations completed). Only meaningful in binaries linking alloc_hook.cc.
   double allocs_per_op = -1;
@@ -99,6 +121,8 @@ inline bool WriteJson(const std::string& path,
     if (r.mbps >= 0) std::fprintf(f, ", \"mbps\": %.2f", r.mbps);
     if (r.p50_us >= 0) std::fprintf(f, ", \"p50_us\": %.1f", r.p50_us);
     if (r.p99_us >= 0) std::fprintf(f, ", \"p99_us\": %.1f", r.p99_us);
+    if (r.p999_us >= 0) std::fprintf(f, ", \"p999_us\": %.1f", r.p999_us);
+    if (r.jain >= 0) std::fprintf(f, ", \"jain\": %.4f", r.jain);
     if (r.allocs_per_op >= 0) {
       std::fprintf(f, ", \"allocs_per_op\": %.2f", r.allocs_per_op);
     }

@@ -660,6 +660,43 @@ def check_burst_data_path(path: Path, clean: str,
             )
 
 
+# --- rule 14: all dispatch/egress work enters through the scheduler ----------
+# The hierarchical QoS scheduler (common/qos_sched.h, DESIGN.md §13) is
+# only fair if every job and every egress ticket passes through its
+# accounting: DispatchPool::Submit and EgressScheduler::Acquire. A direct
+# push onto the pool's queues (flat_queues_), a stray TrafficClassTree on
+# the data path, or a raw tree Enqueue outside the owning implementations
+# bypasses WFQ/DRR/CoDel and silently reintroduces
+# first-grabbed-lock-wins.
+
+SCHED_OWNER_FILES = {
+    "src/common/qos_sched.h",
+    "src/giop/dispatch_pool.h",
+    "src/giop/dispatch_pool.cc",
+    "src/transport/qos_egress.h",
+    "src/transport/qos_egress.cc",
+}
+
+SCHED_BYPASS_RE = re.compile(
+    r"\bflat_queues_\b|\bTrafficClassTree\s*<|\btree_\s*\.\s*Enqueue\s*\("
+)
+
+
+def check_scheduler_owns_queues(path: Path, clean: str,
+                                findings: list[str]) -> None:
+    r = rel(path)
+    if r in SCHED_OWNER_FILES or not r.startswith("src/"):
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if SCHED_BYPASS_RE.search(line):
+            findings.append(
+                f"{r}:{lineno}: dispatch/egress queue access outside the "
+                f"scheduler — route the work through DispatchPool::Submit / "
+                f"EgressScheduler::Acquire so WFQ/DRR/CoDel see it "
+                f"(rule 14, DESIGN.md §13)"
+            )
+
+
 # --- rule 12: lock-rank cross-check ------------------------------------------
 # Three artifacts must agree: the LockRank enum (src/common/lock_rank.h),
 # the machine-readable table (scripts/lock_order.yaml), and the Mutex /
@@ -859,6 +896,7 @@ def main() -> int:
         check_reactor_owns_io(path, clean, findings)
         check_no_sleep_in_reactor_dirs(path, clean, findings)
         check_burst_data_path(path, clean, findings)
+        check_scheduler_owns_queues(path, clean, findings)
     check_decoder_bounds(findings)
     check_layering(findings)
     check_lock_ranks(findings)

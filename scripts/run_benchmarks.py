@@ -38,6 +38,7 @@ BENCHES = [
     {"binary": "bench_marshal", "headline": "build request giop1.0"},
     {"binary": "bench_connection_scaling", "headline": "tcp conns 10"},
     {"binary": "bench_mechanisms", "headline": "crc32 dispatch 4k"},
+    {"binary": "bench_qos_fairness", "headline": "dispatch_equal"},
 ]
 
 # Rows whose allocs_per_op trajectory is tracked in the before/after delta
@@ -102,7 +103,8 @@ def merge_repeats(runs: list[list[dict]]) -> list[dict]:
     for name in order:
         samples = by_name[name]
         rec = dict(samples[0])
-        for key in ("msgs_per_sec", "mbps", "p50_us", "p99_us", "threads"):
+        for key in ("msgs_per_sec", "mbps", "p50_us", "p99_us", "p999_us",
+                    "jain", "threads"):
             vals = [s[key] for s in samples if key in s]
             if vals:
                 rec[key] = median(vals)
@@ -127,7 +129,7 @@ def main() -> int:
                              "(e.g. before/after; default: after)")
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_PR8.json",
+    parser.add_argument("--output", default="BENCH_PR9.json",
                         help="aggregated output path (merged, not clobbered)")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-binary timeout in seconds")

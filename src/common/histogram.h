@@ -1,0 +1,104 @@
+// Log-bucketed latency histogram: fixed 16 KiB footprint, constant-time
+// Add, mergeable, with percentile extraction (p50/p99/p99.9) bounded by
+// ~3% relative error above 32 and exact below. The scheduler's per-class
+// sojourn stats and the benchmarks both record through this type, so
+// "histograms, not mean-only rows" means one shared representation.
+//
+// Bucketing is HDR-style: values below 2^kSubBits land in exact unit
+// buckets; above that, each power-of-two octave splits into 2^kSubBits
+// sub-buckets, so the bucket width is always <= value / 2^kSubBits.
+// Percentiles report the bucket's *upper* edge (pessimistic for tails),
+// clamped to the exact observed maximum.
+//
+// Not internally synchronized: callers guard it with whatever lock guards
+// the stats it sits next to, the same contract as the counters around it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace cool {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 5;  // 32 sub-buckets per octave
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  // 64 octaves max; indices stay well inside this.
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  void Add(std::uint64_t value) {
+    counts_[IndexOf(value)]++;
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void Merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() { *this = Histogram(); }
+
+  // Value at or below which `p` percent (0 < p <= 100) of samples fall,
+  // reported as the containing bucket's upper edge. 0 when empty.
+  std::uint64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    auto rank = static_cast<std::uint64_t>(clamped / 100.0 *
+                                           static_cast<double>(count_));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        return std::clamp(BucketUpperEdge(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  static std::size_t IndexOf(std::uint64_t value) {
+    if (value < kSub) return static_cast<std::size_t>(value);
+    const unsigned msb = std::bit_width(value) - 1;  // >= kSubBits
+    const unsigned shift = msb - kSubBits;
+    const auto sub = static_cast<std::size_t>((value >> shift) & (kSub - 1));
+    // Octave `msb` starts at block (msb - kSubBits + 1); block 0 is the
+    // exact range [0, kSub).
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  static std::uint64_t BucketUpperEdge(std::size_t index) {
+    const std::size_t block = index >> kSubBits;
+    const std::uint64_t sub = index & (kSub - 1);
+    if (block == 0) return sub;  // exact buckets
+    const unsigned shift = static_cast<unsigned>(block - 1);
+    const std::uint64_t lower = (kSub + sub) << shift;
+    return lower + ((std::uint64_t{1} << shift) - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace cool

@@ -1,24 +1,32 @@
 // Shared servant-dispatch worker pool. One pool serves every GIOP
-// connection of an ORB: jobs are queued per QoS-derived priority class
-// (paper §4.2 — the extension's QoS semantics survive server-side
-// concurrency) and run on a fixed set of workers, so ten thousand idle
-// connections cost zero dispatch threads. Each GiopServer participates as
-// a DispatchRunner under a runner id; detaching a runner is a barrier that
-// removes its queued jobs and waits out its in-flight upcalls, making
-// connection teardown safe while the pool lives on.
+// connection of an ORB: jobs enter a hierarchical traffic-class tree
+// (common/qos_sched.h) — WFQ across the three QoS bands, deficit round
+// robin across the bindings inside each band, optional CoDel AQM on the
+// per-binding queues — and run on a fixed set of workers, so ten thousand
+// idle connections cost zero dispatch threads and a bursty tenant cannot
+// starve its neighbours (paper §4.2: the extension's QoS semantics survive
+// server-side concurrency). The legacy strict-priority three-deque scan
+// survives as DispatchScheduler::kFlatPriority, the in-run baseline for
+// bench_qos_fairness. Each GiopServer participates as a DispatchRunner
+// under a runner id; detaching a runner is a barrier that removes its
+// queued jobs and waits out its in-flight upcalls, making connection
+// teardown safe while the pool lives on.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/qos_sched.h"
 #include "common/thread.h"
 #include "giop/message.h"
+#include "qos/classify.h"
 
 namespace cool::giop {
 
@@ -35,12 +43,19 @@ inline constexpr std::size_t kDispatchClasses = 3;
 // Maps a Request's QoS parameters onto a DispatchClass: an explicit
 // kPriority parameter wins (0..84 low, 85..169 normal, 170..255 high);
 // otherwise a latency or jitter bound marks the request latency-sensitive
-// and promotes it to kHigh.
+// and promotes it to kHigh. The full classifier (band + weight + rate) is
+// qos::ClassifyForScheduling; this is its band projection.
 DispatchClass ClassifyQoS(
     const std::vector<qos::QoSParameter>& qos_params) noexcept;
 
 // Default worker-pool size: one upcall thread per hardware thread.
 std::size_t DefaultWorkerThreads() noexcept;
+
+// Which scheduler arbitrates queued dispatches.
+enum class DispatchScheduler {
+  kHierarchical,  // WFQ bands + per-binding DRR + optional CoDel
+  kFlatPriority,  // legacy strict-priority scan (baseline / A-B runs)
+};
 
 // One admitted Request on its way to a servant upcall. The ParsedMessage
 // owns the transport frame; the args decoder reads straight out of it.
@@ -64,12 +79,55 @@ class DispatchRunner {
  public:
   virtual ~DispatchRunner() = default;
   virtual void RunDispatchJob(const DispatchJob& job) = 0;
+  // A queued job the AQM shed before it ran (CoDel decided the queue's
+  // standing delay already broke the contract). Called outside the pool
+  // lock; the default swallows the job silently.
+  virtual void DropDispatchJob(const DispatchJob& job) { (void)job; }
+};
+
+// Per-class view of the pool's scheduler state (DescribeStats's
+// structured twin; the metrics seed for the adaptive control plane).
+struct DispatchClassStats {
+  std::string name;
+  std::size_t queued = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sojourn_p50_us = 0;
+  std::uint64_t sojourn_p99_us = 0;
+  std::uint64_t sojourn_p999_us = 0;
+  std::uint64_t sojourn_max_us = 0;
+  // Per-binding rows (hierarchical mode only; flat mode reports none).
+  std::vector<sched::FlowSnapshot> bindings;
 };
 
 class DispatchPool {
  public:
+  struct Options {
+    std::size_t workers = DefaultWorkerThreads();
+    std::size_t queue_capacity = 1024;
+    DispatchScheduler scheduler = DispatchScheduler::kHierarchical;
+    // WFQ weights of the High/Normal/Low bands. High outweighs Low 8:1 at
+    // saturation yet Low keeps 1/13 of the workers — the anti-starvation
+    // floor the flat scan never had.
+    std::array<std::uint32_t, kDispatchClasses> class_weights{8, 4, 1};
+    // DRR quantum among bindings, in job-cost units (see kJobBaseCost).
+    std::uint32_t quantum_bytes = 4096;
+    // CoDel AQM on the per-binding queues. Off by default: shedding a
+    // dispatch surfaces as a TRANSIENT system exception at the client,
+    // a policy the ORB owner opts into (README "qos_scheduler" knobs).
+    bool codel_enabled = false;
+    Duration codel_target = milliseconds(5);
+    Duration codel_interval = milliseconds(100);
+  };
+
+  // Scheduling cost of a job: a floor per dispatch (the upcall overhead)
+  // plus its argument bytes, so both job count and payload size weigh in.
+  static constexpr std::size_t kJobBaseCost = 512;
+
   explicit DispatchPool(std::size_t workers = DefaultWorkerThreads(),
                         std::size_t queue_capacity = 1024);
+  explicit DispatchPool(const Options& options);
   ~DispatchPool();
 
   DispatchPool(const DispatchPool&) = delete;
@@ -78,9 +136,13 @@ class DispatchPool {
   // Process-unique runner id for Submit/CancelQueued/DetachRunner.
   static std::uint64_t AllocRunnerId();
 
-  // Queues a job; blocks while the queue is at capacity (connection
-  // backpressure). Returns false once the pool is closed or the runner
-  // detached — the job is dropped.
+  // Queues a job under the runner's binding flow; blocks while the queue
+  // is at capacity (connection backpressure). Returns false once the pool
+  // is closed or the runner detached — the job is dropped.
+  bool Submit(DispatchRunner* runner, std::uint64_t runner_id,
+              const qos::SchedProfile& profile, DispatchJob job);
+  // Band-only convenience (tests, QoS-less callers): default weight, no
+  // rate cap.
   bool Submit(DispatchRunner* runner, std::uint64_t runner_id,
               DispatchClass cls, DispatchJob job);
 
@@ -93,6 +155,11 @@ class DispatchPool {
   // reference to the runner. Must not be called from a pool worker.
   void DetachRunner(std::uint64_t runner_id);
 
+  // Live reconfiguration (the adaptive-control-plane hook): band weight
+  // and AQM parameters apply from the next arbitration; queued jobs stay.
+  void SetClassWeight(DispatchClass cls, std::uint32_t weight);
+  void SetCodel(bool enabled, Duration target, Duration interval);
+
   // Drains queued jobs, joins the workers. Idempotent.
   void Close();
 
@@ -100,35 +167,71 @@ class DispatchPool {
   std::uint64_t jobs_run() const noexcept {
     return jobs_run_.load(std::memory_order_relaxed);
   }
+  std::uint64_t jobs_shed() const noexcept {
+    return jobs_shed_.load(std::memory_order_relaxed);
+  }
+
+  // Per-class counters + sojourn percentiles (High, Normal, Low order).
+  std::array<DispatchClassStats, kDispatchClasses> StatsSnapshot() const;
+  // Human-readable stats line per class, in the DescribeStats idiom of
+  // the Da CaPo modules.
+  std::string DescribeStats() const;
 
  private:
   struct Entry {
     DispatchRunner* runner = nullptr;
     std::uint64_t runner_id = 0;
     DispatchJob job;
+    TimePoint enqueued_at{};  // flat-mode sojourn (the tree keeps its own)
   };
 
+  using Tree = sched::TrafficClassTree<Entry>;
+
+  // One scheduler decision: at most one entry to run plus any entries the
+  // AQM shed while reaching it. Neither present <=> closed and drained.
+  struct Next {
+    std::optional<Entry> entry;
+    std::vector<Entry> dropped;
+    bool HasWork() const { return entry.has_value() || !dropped.empty(); }
+  };
+
+  void Start();
   void WorkerLoop();
-  // Pops the next job and marks its runner busy, atomically (the detach
-  // barrier depends on pop+mark being one step). nullopt once closed and
-  // drained.
-  std::optional<Entry> NextEntry();
+  // Pops the next decision and marks every popped runner busy, atomically
+  // (the detach barrier depends on pop+mark being one step).
+  Next NextDecision();
   // Marks the entry's runner idle again and wakes detach waiters.
   void DrainRunnerWaiters(std::uint64_t runner_id);
+  sched::ClassOptions BandOptions(DispatchClass cls) const;
 
-  const std::size_t worker_count_;
-  const std::size_t queue_capacity_;
+  std::size_t worker_count_ = 0;
+  Options options_;
   std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> jobs_shed_{0};
 
   mutable Mutex mu_{LockRank::kDispatchPool, "giop::DispatchPool::mu_"};
-  std::array<std::deque<Entry>, kDispatchClasses> queues_
+  // Hierarchical scheduler state: root -> {high, normal, low} leaf classes
+  // keyed by cls_id_, flows keyed by runner id (one flow per binding).
+  Tree tree_ COOL_GUARDED_BY(mu_){};
+  std::array<Tree::ClassId, kDispatchClasses> cls_id_ COOL_GUARDED_BY(mu_){};
+  // Flat-priority baseline state (DispatchScheduler::kFlatPriority only).
+  // Direct pushes onto flat_queues_ outside Submit bypass the scheduler
+  // and are banned by scripts/check_invariants.py rule 14.
+  std::array<std::deque<Entry>, kDispatchClasses> flat_queues_
       COOL_GUARDED_BY(mu_);
+  // Flat-mode per-class counters/sojourn (same surface as the tree's).
+  struct FlatStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    Histogram sojourn_us;
+  };
+  std::array<FlatStats, kDispatchClasses> flat_stats_ COOL_GUARDED_BY(mu_);
   std::size_t queued_ COOL_GUARDED_BY(mu_) = 0;
   bool closed_ COOL_GUARDED_BY(mu_) = false;
   CondVar job_ready_;
   CondVar job_space_;
   CondVar runner_idle_;
-  // runner id -> number of its jobs currently mid-upcall.
+  // runner id -> number of its jobs currently mid-upcall or mid-drop.
   std::unordered_map<std::uint64_t, std::size_t> running_
       COOL_GUARDED_BY(mu_);
   std::unordered_set<std::uint64_t> detached_ COOL_GUARDED_BY(mu_);

@@ -387,46 +387,20 @@ Status GiopServer::DispatchAndReply(const DispatchJob& job) {
   return SendSerializedV(head, result.body.view());
 }
 
-void GiopServer::StartWorkersLocked() {
-  if (!workers_.empty() || pool_closed_) return;
-  workers_.reserve(options_.worker_threads);
-  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-bool GiopServer::EnqueueJob(DispatchJob job, DispatchClass cls) {
+DispatchPool* GiopServer::EnsurePrivatePool() {
   MutexLock lock(pool_mu_);
-  StartWorkersLocked();
-  while (!pool_closed_ && queued_ >= options_.queue_capacity) {
-    // Backpressure: stall the receive loop (and with it the connection)
-    // until a worker makes room. Blocking by design (the flow-control
-    // valve, mirroring DispatchPool::Submit) — annotate for the deadlock
-    // detector's reactor-context guard.
-    deadlock::ScopedBlockingAllowed allow;
-    job_space_.Wait(pool_mu_);
+  if (pool_closed_) return nullptr;
+  if (private_pool_ == nullptr) {
+    DispatchPool::Options pool_options;
+    pool_options.workers = options_.worker_threads;
+    pool_options.queue_capacity = options_.queue_capacity;
+    pool_options.scheduler = options_.scheduler;
+    pool_options.codel_enabled = options_.codel_enabled;
+    pool_options.codel_target = options_.codel_target;
+    pool_options.codel_interval = options_.codel_interval;
+    private_pool_ = std::make_unique<DispatchPool>(pool_options);
   }
-  if (pool_closed_) return false;
-  queues_[static_cast<std::size_t>(cls)].push_back(std::move(job));
-  ++queued_;
-  job_ready_.NotifyOne();
-  return true;
-}
-
-std::optional<DispatchJob> GiopServer::NextJob() {
-  MutexLock lock(pool_mu_);
-  for (;;) {
-    for (auto& q : queues_) {  // highest priority class first
-      if (q.empty()) continue;
-      DispatchJob job = std::move(q.front());
-      q.pop_front();
-      --queued_;
-      job_space_.NotifyOne();
-      return job;
-    }
-    if (pool_closed_) return std::nullopt;  // closed + drained: exit
-    job_ready_.Wait(pool_mu_);
-  }
+  return private_pool_.get();
 }
 
 void GiopServer::RunDispatchJob(const DispatchJob& job) {
@@ -446,15 +420,29 @@ void GiopServer::RunDispatchJob(const DispatchJob& job) {
   }
 }
 
-void GiopServer::WorkerLoop() {
-  for (;;) {
-    std::optional<DispatchJob> job = NextJob();
-    if (!job.has_value()) return;
-    // Private-pool upcalls are run-to-completion just like the shared
-    // DispatchPool's: mark the scope so unbounded waits in servant code
-    // trip the reactor-context guard.
-    deadlock::ScopedContext ctx(deadlock::Context::kDispatchUpcall);
-    RunDispatchJob(*job);
+void GiopServer::DropDispatchJob(const DispatchJob& job) {
+  requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (!job.header.response_expected) return;
+  // CORBA TRANSIENT, COMPLETED_NO — the standard system-exception body
+  // (repo id, minor, completion status; see orb/exceptions.h), encoded
+  // here directly because the GIOP layer sits below the ORB's exception
+  // types. Minor code 1 = dispatch queue shed by AQM.
+  cdr::Encoder body = MakeBodyEncoder();
+  body.PutString("IDL:omg.org/CORBA/TRANSIENT:1.0");
+  body.PutULong(1);
+  body.PutULong(1);  // CompletionStatus::kNo
+  ReplyHeader reply;
+  reply.request_id = job.header.request_id;
+  reply.reply_status = ReplyStatus::kSystemException;
+  const ByteBuffer encoded = std::move(body).TakeBuffer();
+  const ByteBuffer head =
+      BuildReplyPreamble(job.msg.header.version, reply, encoded.size(),
+                         options_.order, BufferPool::Default().Lease());
+  const Status sent = SendSerializedV(head, encoded.view());
+  if (!sent.ok()) {
+    COOL_LOG(kWarn, "giop")
+        << "Shed-reply send failed for request " << job.header.request_id
+        << ": " << sent;
   }
 }
 
@@ -473,24 +461,23 @@ void GiopServer::RememberCancelLocked(corba::ULong id) {
 }
 
 void GiopServer::Close() {
+  DispatchPool* private_pool = nullptr;
   {
     MutexLock lock(pool_mu_);
     if (pool_closed_) return;
     pool_closed_ = true;
-    job_ready_.NotifyAll();
-    job_space_.NotifyAll();
+    private_pool = private_pool_.get();
   }
   if (options_.pool != nullptr) {
     // Shared pool: barrier out our queued and in-flight jobs; the pool
     // itself lives on for other connections.
     options_.pool->DetachRunner(runner_id_);
   }
-  // Private workers drain the queue (NextJob keeps popping after close)
-  // and exit; join outside the lock so in-flight upcalls can finish.
-  for (Thread& w : workers_) {
-    if (w.joinable()) w.join();
+  if (private_pool != nullptr) {
+    // Private pool: drain queued upcalls and join its workers. The object
+    // itself lives until the destructor (HandleCancel may still read it).
+    private_pool->Close();
   }
-  workers_.clear();
   MutexLock lock(pool_mu_);
   cancelled_.clear();
   cancelled_fifo_.clear();
@@ -518,44 +505,52 @@ Status GiopServer::HandleRequest(ParsedMessage msg) {
   job.header = *std::move(header);
   job.msg = std::move(msg);
 
-  if (options_.pool != nullptr) {
-    const DispatchClass cls = ClassifyQoS(job.header.qos_params);
-    if (!options_.pool->Submit(this, runner_id_, cls, std::move(job))) {
-      return Status(CancelledError("server dispatch pool is closed"));
-    }
-    return Status::Ok();
-  }
-  if (options_.worker_threads == 0) {
+  if (options_.pool == nullptr && options_.worker_threads == 0) {
     return DispatchAndReply(job);  // historical inline mode
   }
-  const DispatchClass cls = ClassifyQoS(job.header.qos_params);
-  if (!EnqueueJob(std::move(job), cls)) {
-    return Status(CancelledError("server worker pool is closed"));
+  // Shared or private pool: the request's QoS parameters become a full
+  // scheduling profile (band + weight + rate), the classify stage of the
+  // hierarchical scheduler. Submit runs outside pool_mu_ — it blocks for
+  // backpressure.
+  DispatchPool* pool = options_.pool;
+  if (pool == nullptr) {
+    pool = EnsurePrivatePool();
+    if (pool == nullptr) {
+      return Status(CancelledError("server worker pool is closed"));
+    }
+  }
+  const qos::SchedProfile profile =
+      qos::ClassifyForScheduling(job.header.qos_params);
+  if (!pool->Submit(this, runner_id_, profile, std::move(job))) {
+    return Status(CancelledError("server dispatch pool is closed"));
   }
   return Status::Ok();
 }
 
 Status GiopServer::HandleCancel(corba::ULong request_id) {
+  // Kill a queued-but-unstarted dispatch outright — shared pool first,
+  // then the private pool. CancelQueued takes the pool's own lock, so it
+  // must run outside pool_mu_ (kEngine ranks above kDispatchPool only in
+  // the Submit direction; keeping them unnested sidesteps the question).
   if (options_.pool != nullptr &&
       options_.pool->CancelQueued(runner_id_, request_id)) {
     requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
-  MutexLock lock(pool_mu_);
-  // Kill a queued-but-unstarted dispatch outright.
-  for (auto& q : queues_) {
-    for (auto it = q.begin(); it != q.end(); ++it) {
-      if (it->header.request_id != request_id) continue;
-      q.erase(it);
-      --queued_;
-      requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
-      job_space_.NotifyOne();
-      return Status::Ok();
-    }
+  DispatchPool* private_pool = nullptr;
+  {
+    MutexLock lock(pool_mu_);
+    private_pool = private_pool_.get();
+  }
+  if (private_pool != nullptr &&
+      private_pool->CancelQueued(runner_id_, request_id)) {
+    requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
   }
   // Not queued (not yet arrived, or already dispatched): remember the id
   // so a late Request is dropped. An upcall already running is not
   // interrupted, per GIOP's best-effort cancel semantics.
+  MutexLock lock(pool_mu_);
   RememberCancelLocked(request_id);
   return Status::Ok();
 }

@@ -277,6 +277,12 @@ class GiopServer : public DispatchRunner {
     std::size_t queue_capacity = 256;
     // Cap on remembered CancelRequest ids (FIFO-evicted beyond this).
     std::size_t cancelled_cap = 1024;
+    // Scheduler knobs of the private pool (pool == nullptr mode); the
+    // shared pool carries its own DispatchPool::Options.
+    DispatchScheduler scheduler = DispatchScheduler::kHierarchical;
+    bool codel_enabled = false;
+    Duration codel_target = milliseconds(5);
+    Duration codel_interval = milliseconds(100);
   };
 
   // What the upcall produced; body must be encoded with MakeBodyEncoder.
@@ -326,8 +332,12 @@ class GiopServer : public DispatchRunner {
   Status Serve();
 
   // DispatchRunner: runs one upcall (last-chance cancel check included).
-  // Called by the shared pool's workers; public only for that reason.
+  // Called by the pool's workers; public only for that reason.
   void RunDispatchJob(const DispatchJob& job) override;
+  // DispatchRunner: a queued dispatch the pool's AQM shed — answers a
+  // response-expecting Request with a TRANSIENT system exception so the
+  // client sees the overload instead of a stall.
+  void DropDispatchJob(const DispatchJob& job) override;
 
   // Stops the worker pool after draining queued dispatches. Idempotent;
   // called by the destructor. Not safe to call concurrently with itself.
@@ -346,6 +356,10 @@ class GiopServer : public DispatchRunner {
   std::uint64_t requests_cancelled() const {
     return requests_cancelled_.load(std::memory_order_relaxed);
   }
+  // Queued dispatches the scheduler's AQM shed before they ran.
+  std::uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status HandleRequest(ParsedMessage msg);
@@ -353,12 +367,10 @@ class GiopServer : public DispatchRunner {
   // Runs the upcall and sends the Reply (when one is expected).
   Status DispatchAndReply(const DispatchJob& job);
 
-  void StartWorkersLocked() COOL_REQUIRES(pool_mu_);
-  void WorkerLoop();
-  // Blocks while the queue is at capacity; false once the pool is closed.
-  bool EnqueueJob(DispatchJob job, DispatchClass cls);
-  // Highest-priority-first pop; nullopt once closed and drained.
-  std::optional<DispatchJob> NextJob();
+  // The private DispatchPool (pool == nullptr, worker_threads > 0),
+  // created lazily on the first pooled dispatch so idle servers cost no
+  // threads. Returns nullptr once closed.
+  DispatchPool* EnsurePrivatePool();
   bool TakeCancelledLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
   void RememberCancelLocked(corba::ULong id) COOL_REQUIRES(pool_mu_);
 
@@ -376,22 +388,22 @@ class GiopServer : public DispatchRunner {
   Mutex send_mu_{LockRank::kEngine, "giop::GiopServer::send_mu_"};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_cancelled_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
 
-  // Identity under the shared DispatchPool (pool mode only).
+  // Identity under the dispatch pool (shared or private).
   const std::uint64_t runner_id_ = DispatchPool::AllocRunnerId();
 
   mutable Mutex pool_mu_{LockRank::kDispatchPool, "giop::GiopServer::pool_mu_"};
-  std::array<std::deque<DispatchJob>, kDispatchClasses> queues_
-      COOL_GUARDED_BY(pool_mu_);
-  std::size_t queued_ COOL_GUARDED_BY(pool_mu_) = 0;
   bool pool_closed_ COOL_GUARDED_BY(pool_mu_) = false;
-  CondVar job_ready_;
-  CondVar job_space_;
+  // Private worker pool (pool == nullptr mode): the same hierarchical
+  // scheduler as the shared pool, just not shared — one code path, no
+  // duplicated queue logic. Created once under pool_mu_; the object stays
+  // alive until the destructor, so a pointer read under pool_mu_ may be
+  // used after release (Submit must not run under pool_mu_: it blocks for
+  // backpressure).
+  std::unique_ptr<DispatchPool> private_pool_ COOL_GUARDED_BY(pool_mu_);
   std::unordered_set<corba::ULong> cancelled_ COOL_GUARDED_BY(pool_mu_);
   std::deque<corba::ULong> cancelled_fifo_ COOL_GUARDED_BY(pool_mu_);
-  // Spawned lazily under pool_mu_; joined only by Close() after
-  // pool_closed_ is set, when no further spawn can happen.
-  std::vector<Thread> workers_;
 };
 
 }  // namespace cool::giop

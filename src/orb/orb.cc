@@ -48,8 +48,21 @@ Status ORB::Start() {
     return FailedPreconditionError("ORB already running");
   }
   if (options_.giop_worker_threads > 0) {
-    dispatch_pool_ =
-        std::make_unique<giop::DispatchPool>(options_.giop_worker_threads);
+    giop::DispatchPool::Options pool_options;
+    pool_options.workers = options_.giop_worker_threads;
+    pool_options.scheduler = options_.qos_scheduler;
+    pool_options.class_weights = options_.dispatch_class_weights;
+    pool_options.codel_enabled = options_.codel_enabled;
+    pool_options.codel_target = options_.codel_target;
+    pool_options.codel_interval = options_.codel_interval;
+    dispatch_pool_ = std::make_unique<giop::DispatchPool>(pool_options);
+  }
+  if (options_.qos_egress) {
+    transport::EgressScheduler::Options egress_options;
+    egress_options.codel_enabled = options_.codel_enabled;
+    egress_options.codel_target = options_.codel_target;
+    egress_options.codel_interval = options_.codel_interval;
+    egress_ = std::make_unique<transport::EgressScheduler>(egress_options);
   }
   reactor_ = std::make_unique<transport::Reactor>(options_.reactor_threads);
 
@@ -110,6 +123,7 @@ void ORB::Shutdown() {
     if (t.joinable()) t.join();
   }
   if (dispatch_pool_ != nullptr) dispatch_pool_->Close();
+  if (egress_ != nullptr) egress_->Close();
   running_ = false;
 }
 
@@ -145,6 +159,10 @@ void ORB::AdoptConnection(std::unique_ptr<transport::ComChannel> channel) {
 
   auto conn = std::make_shared<Connection>();
   conn->channel = std::move(channel);
+  if (egress_ != nullptr && conn->channel->protocol() == "dacapo") {
+    static_cast<transport::DacapoComChannel*>(conn->channel.get())
+        ->AttachEgress(egress_.get());
+  }
   conn->server = MakeServer(conn->channel.get());
 
   MutexLock lock(conn_mu_);
@@ -258,8 +276,16 @@ Result<std::unique_ptr<transport::ComChannel>> ORB::OpenChannel(
       return tcp_.OpenChannel(ref.endpoint, qos);
     case Protocol::kIpc:
       return ipc_.OpenChannel(ref.endpoint, qos);
-    case Protocol::kDacapo:
-      return dacapo_.OpenChannel(ref.endpoint, qos);
+    case Protocol::kDacapo: {
+      auto channel = dacapo_.OpenChannel(ref.endpoint, qos);
+      if (channel.ok() && egress_ != nullptr) {
+        // Client-side sends share the link's egress arbitration with the
+        // server-side replies and every other binding of this endsystem.
+        static_cast<transport::DacapoComChannel*>(channel->get())
+            ->AttachEgress(egress_.get());
+      }
+      return channel;
+    }
   }
   return Status(InternalError("unknown protocol"));
 }
@@ -271,6 +297,16 @@ bool ORB::IsLocal(const ObjectRef& ref) const {
 std::uint64_t ORB::connections_accepted() const {
   MutexLock lock(conn_mu_);
   return connections_accepted_;
+}
+
+std::string ORB::DescribeDispatchStats() const {
+  std::string out;
+  if (dispatch_pool_ != nullptr) out = dispatch_pool_->DescribeStats();
+  if (egress_ != nullptr) {
+    if (!out.empty()) out += "\n";
+    out += egress_->DescribeStats();
+  }
+  return out;
 }
 
 }  // namespace cool::orb

@@ -10,6 +10,7 @@
 //     TCP/IP | Chorus IPC | Da CaPo
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "orb/object_ref.h"
 #include "transport/dacapo_channel.h"
 #include "transport/ipc_channel.h"
+#include "transport/qos_egress.h"
 #include "transport/reactor.h"
 #include "transport/tcp_channel.h"
 
@@ -50,6 +52,25 @@ class ORB {
     // connection (0 = inline dispatch on the reactor worker — only for
     // tests that need strictly serial upcalls).
     std::size_t giop_worker_threads = giop::DefaultWorkerThreads();
+    // Which scheduler arbitrates the shared dispatch pool (README
+    // "qos_scheduler" knobs). kFlatPriority restores the legacy strict-
+    // priority scan — the in-run baseline for bench_qos_fairness.
+    giop::DispatchScheduler qos_scheduler =
+        giop::DispatchScheduler::kHierarchical;
+    // WFQ weights of the High/Normal/Low dispatch bands.
+    std::array<std::uint32_t, giop::kDispatchClasses> dispatch_class_weights{
+        8, 4, 1};
+    // CoDel AQM on the per-binding dispatch queues (and, with qos_egress,
+    // on the egress tickets). Shed dispatches surface as TRANSIENT at the
+    // client — an explicit policy opt-in.
+    bool codel_enabled = false;
+    Duration codel_target = milliseconds(5);
+    Duration codel_interval = milliseconds(100);
+    // Weighted-fair egress arbitration mounted on every Da CaPo channel
+    // this ORB accepts or opens (off = direct sends, the historical
+    // first-grabbed-lock-wins behaviour). Channels opened for clients
+    // borrow the ORB's scheduler, so the ORB must outlive them.
+    bool qos_egress = false;
     // Reactor worker loops carrying all connection I/O (reads, accepts,
     // demux); 0 = one per hardware thread. The thread count is flat in the
     // number of connections.
@@ -96,6 +117,12 @@ class ORB {
   // The connection engine (tests/metrics).
   transport::Reactor& reactor() noexcept { return *reactor_; }
   giop::DispatchPool* dispatch_pool() noexcept { return dispatch_pool_.get(); }
+  transport::EgressScheduler* egress_scheduler() noexcept {
+    return egress_.get();
+  }
+  // Per-class dispatch counters + sojourn percentiles, and (when mounted)
+  // the egress scheduler's bands — the ORB-wide QoS observability surface.
+  std::string DescribeDispatchStats() const;
 
  private:
   // One accepted server-side connection, reactor-driven: the channel's
@@ -139,7 +166,9 @@ class ORB {
   // Declared before the connection state: destroyed after it, so a
   // Connection destructor can still detach from the pool, and reactor
   // teardown (which drops registration closures, i.e. Connection refs)
-  // happens while the pool is alive.
+  // happens while the pool is alive. The egress scheduler likewise
+  // outlives every channel that attached to it.
+  std::unique_ptr<transport::EgressScheduler> egress_;
   std::unique_ptr<giop::DispatchPool> dispatch_pool_;
   std::unique_ptr<transport::Reactor> reactor_;
   std::vector<std::uint64_t> accept_regs_;

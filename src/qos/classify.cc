@@ -1,0 +1,71 @@
+#include "qos/classify.h"
+
+namespace cool::qos {
+
+namespace {
+
+std::uint32_t WeightForLatencyBound(corba::ULong micros) {
+  if (micros <= 1'000) return 8;
+  if (micros <= 10'000) return 4;
+  return 2;
+}
+
+}  // namespace
+
+SchedProfile ClassifyForScheduling(
+    const std::vector<QoSParameter>& params) noexcept {
+  SchedProfile profile;
+  bool saw_priority = false;
+  corba::ULong tightest_bound = 0;
+  bool have_bound = false;
+
+  for (const QoSParameter& p : params) {
+    switch (p.type()) {
+      case ParamType::kPriority:
+        // The first explicit priority decides band and weight (matching
+        // the historical first-parameter-wins classification).
+        if (saw_priority) break;
+        saw_priority = true;
+        if (p.request_value >= 170) {
+          profile.band = SchedProfile::Band::kHigh;
+          profile.weight = 1 + (p.request_value - 170) / 11;
+        } else if (p.request_value < 85) {
+          profile.band = SchedProfile::Band::kLow;
+          profile.weight = 1 + p.request_value / 11;
+        } else {
+          profile.band = SchedProfile::Band::kNormal;
+          profile.weight = 1 + (p.request_value - 85) / 11;
+        }
+        break;
+      case ParamType::kLatencyMicros:
+      case ParamType::kJitterMicros:
+        profile.latency_sensitive = true;
+        if (!have_bound || p.request_value < tightest_bound) {
+          tightest_bound = p.request_value;
+          have_bound = true;
+        }
+        break;
+      case ParamType::kThroughputKbps:
+        // Only a bounded maximum shapes: the contract's ceiling becomes a
+        // token-bucket rate (kbit/s -> bytes/s). The requested value is a
+        // floor and must never throttle.
+        if (p.max_value != kUnbounded && p.max_value > 0) {
+          profile.rate_bytes_per_sec =
+              static_cast<std::uint64_t>(p.max_value) * 1000u / 8u;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!saw_priority && profile.latency_sensitive) {
+    profile.band = SchedProfile::Band::kHigh;
+    profile.weight = WeightForLatencyBound(tightest_bound);
+  }
+  if (profile.weight == 0) profile.weight = 1;
+  if (profile.weight > 8) profile.weight = 8;
+  return profile;
+}
+
+}  // namespace cool::qos

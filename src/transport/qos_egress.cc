@@ -1,0 +1,199 @@
+#include "transport/qos_egress.h"
+
+#include <sstream>
+
+namespace cool::transport {
+
+namespace {
+constexpr std::array<const char*, 3> kBandNames{"high", "normal", "low"};
+// Fallback park period: catches shaped-flow ready times drifting and any
+// lost race between a grant and the wait (WaitUntil is timed, so parked
+// senders never hard-block a run-to-completion worker).
+constexpr Duration kParkTick = milliseconds(50);
+}  // namespace
+
+EgressScheduler::EgressScheduler(const Options& options) : options_(options) {
+  MutexLock lock(mu_);
+  for (std::size_t band = 0; band < cls_id_.size(); ++band) {
+    // Creation order is the WFQ tie-break order: High wins simultaneous
+    // activations (same convention as the dispatch pool).
+    cls_id_[band] = tree_.AddClass(Tree::kRoot, BandOptions(band));
+  }
+}
+
+EgressScheduler::~EgressScheduler() { Close(); }
+
+std::uint64_t EgressScheduler::AllocBindingId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+sched::ClassOptions EgressScheduler::BandOptions(std::size_t band) const {
+  sched::ClassOptions opts;
+  opts.name = kBandNames[band];
+  opts.weight = options_.class_weights[band];
+  opts.quantum_bytes = options_.quantum_bytes;
+  opts.codel.enabled = options_.codel_enabled;
+  opts.codel.target = options_.codel_target;
+  opts.codel.interval = options_.codel_interval;
+  return opts;
+}
+
+void EgressScheduler::RegisterBinding(std::uint64_t binding_id,
+                                      const qos::SchedProfile& profile) {
+  MutexLock lock(mu_);
+  profiles_[binding_id] = profile;
+  const auto band = static_cast<std::size_t>(profile.band);
+  sched::FlowProfile fp;
+  fp.weight = profile.weight;
+  fp.rate_bytes_per_sec = profile.rate_bytes_per_sec;
+  tree_.SetFlowProfile(cls_id_[band], binding_id, fp, Now());
+  // A re-registration that moved bands leaves idle flow state behind in
+  // the old band; forget it (queued tickets, if any, finish where queued).
+  for (std::size_t b = 0; b < cls_id_.size(); ++b) {
+    if (b != band) tree_.RemoveFlow(cls_id_[b], binding_id);
+  }
+}
+
+void EgressScheduler::UnregisterBinding(std::uint64_t binding_id) {
+  MutexLock lock(mu_);
+  profiles_.erase(binding_id);
+  tree_.RemoveIf([&](Tree::ClassId, std::uint64_t flow, Ticket* t) {
+    if (flow != binding_id) return false;
+    t->state = Ticket::State::kRefused;
+    t->cv.NotifyOne();
+    return true;
+  });
+  for (std::size_t band = 0; band < cls_id_.size(); ++band) {
+    tree_.RemoveFlow(cls_id_[band], binding_id);
+  }
+}
+
+bool EgressScheduler::Acquire(std::uint64_t binding_id, std::size_t bytes) {
+  MutexLock lock(mu_);
+  if (closed_) return false;
+  const TimePoint now = Now();
+  const auto it = profiles_.find(binding_id);
+  const qos::SchedProfile prof =
+      it != profiles_.end() ? it->second : qos::SchedProfile{};
+  if (!busy_ && tree_.empty() && prof.rate_bytes_per_sec == 0) {
+    // Uncontended fast path: nothing queued anywhere, take the link. Rate
+    // caps always go through the tree — shaping must hold even when the
+    // capped binding is alone on the link.
+    busy_ = true;
+    grants_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  Ticket ticket;
+  const auto band = static_cast<std::size_t>(prof.band);
+  sched::FlowProfile fp;
+  fp.weight = prof.weight;
+  fp.rate_bytes_per_sec = prof.rate_bytes_per_sec;
+  tree_.Enqueue(cls_id_[band], binding_id, fp, &ticket,
+                bytes + kMessageBaseCost, now);
+  if (!busy_) {
+    for (Ticket* t : ServeLocked(now)) t->cv.NotifyOne();
+  }
+  while (ticket.state == Ticket::State::kWaiting) {
+    const TimePoint wall = Now();
+    TimePoint deadline = wall + kParkTick;
+    if (const auto ready = tree_.NextReadyTime(wall);
+        ready.has_value() && *ready < deadline) {
+      deadline = *ready;
+    }
+    ticket.cv.WaitUntil(mu_, deadline);
+    if (ticket.state == Ticket::State::kWaiting && !busy_) {
+      for (Ticket* t : ServeLocked(Now())) t->cv.NotifyOne();
+    }
+  }
+  if (ticket.state == Ticket::State::kGranted) {
+    grants_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void EgressScheduler::Release() {
+  MutexLock lock(mu_);
+  busy_ = false;
+  if (!closed_) {
+    for (Ticket* t : ServeLocked(Now())) t->cv.NotifyOne();
+  }
+}
+
+std::vector<EgressScheduler::Ticket*> EgressScheduler::ServeLocked(
+    TimePoint now) {
+  std::vector<Ticket*> wake;
+  std::vector<Tree::Served> refused;
+  std::optional<Tree::Served> next = tree_.Dequeue(now, &refused);
+  for (Tree::Served& r : refused) {
+    // AQM shed the ticket: its sender wakes, sees kRefused and reports
+    // the send as unavailable — the flooding binding pays, not the link.
+    r.value->state = Ticket::State::kRefused;
+    wake.push_back(r.value);
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (next.has_value()) {
+    busy_ = true;
+    next->value->state = Ticket::State::kGranted;
+    wake.push_back(next->value);
+  }
+  return wake;
+}
+
+void EgressScheduler::SetClassWeight(qos::SchedProfile::Band band,
+                                     std::uint32_t weight) {
+  MutexLock lock(mu_);
+  const auto b = static_cast<std::size_t>(band);
+  options_.class_weights[b] = weight == 0 ? 1 : weight;
+  tree_.SetClassOptions(cls_id_[b], BandOptions(b), Now());
+}
+
+void EgressScheduler::SetCodel(bool enabled, Duration target,
+                               Duration interval) {
+  MutexLock lock(mu_);
+  options_.codel_enabled = enabled;
+  options_.codel_target = target;
+  options_.codel_interval = interval;
+  for (std::size_t b = 0; b < cls_id_.size(); ++b) {
+    tree_.SetClassOptions(cls_id_[b], BandOptions(b), Now());
+  }
+}
+
+void EgressScheduler::Close() {
+  MutexLock lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  tree_.RemoveIf([](Tree::ClassId, std::uint64_t, Ticket* t) {
+    t->state = Ticket::State::kRefused;
+    // Teardown wakeup; each ticket has its own CondVar, so this is the
+    // single-waiter NotifyOne case, not a broadcast.
+    t->cv.NotifyOne();
+    return true;
+  });
+}
+
+std::vector<sched::ClassSnapshot> EgressScheduler::StatsSnapshot() const {
+  MutexLock lock(mu_);
+  std::vector<sched::ClassSnapshot> all = tree_.Snapshot();
+  // Drop the synthetic root: callers see the bands in High/Normal/Low
+  // creation order.
+  return {all.begin() + 1, all.end()};
+}
+
+std::string EgressScheduler::DescribeStats() const {
+  std::ostringstream os;
+  os << "egress: grants=" << grants() << " sheds=" << sheds();
+  for (const sched::ClassSnapshot& s : StatsSnapshot()) {
+    os << "\n  class " << s.name << ": queued=" << s.queued
+       << " enq=" << s.enqueued << " deq=" << s.dequeued
+       << " shed=" << s.dropped << " wait_p50us=" << s.sojourn_p50_us
+       << " wait_p99us=" << s.sojourn_p99_us
+       << " wait_p999us=" << s.sojourn_p999_us
+       << " bindings=" << s.flows.size();
+  }
+  return os.str();
+}
+
+}  // namespace cool::transport

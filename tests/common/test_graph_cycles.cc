@@ -185,7 +185,9 @@ TEST(GraphCyclesTest, StressRandomEdgesAgainstModel) {
         }
       }
     }
-    if (iter % 100 == 99) ASSERT_TRUE(g.CheckInvariants()) << "iter " << iter;
+    if (iter % 100 == 99) {
+      ASSERT_TRUE(g.CheckInvariants()) << "iter " << iter;
+    }
   }
   EXPECT_GT(accepted, 0);
   EXPECT_TRUE(g.CheckInvariants());
@@ -212,7 +214,9 @@ TEST(GraphCyclesTest, StressChurnNodesAndEdges) {
         (void)g.InsertEdge(g.GetId(k[x]), g.GetId(k[y]));
         break;
     }
-    if (iter % 60 == 59) ASSERT_TRUE(g.CheckInvariants()) << "iter " << iter;
+    if (iter % 60 == 59) {
+      ASSERT_TRUE(g.CheckInvariants()) << "iter " << iter;
+    }
   }
   EXPECT_TRUE(g.CheckInvariants());
 }

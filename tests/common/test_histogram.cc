@@ -1,0 +1,116 @@
+// Shared log-bucketed histogram (common/histogram.h): exactness below the
+// sub-bucket threshold, bounded relative error above it, merge algebra.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cool {
+namespace {
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), Histogram::kSub);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), Histogram::kSub - 1);
+  // Values below 2^kSubBits land in unit buckets: percentiles are exact.
+  // Rank semantics: p50 of kSub samples is the kSub/2-th smallest (1-based),
+  // and value 0 occupies the first bucket, so the answer is kSub/2 - 1.
+  EXPECT_EQ(h.Percentile(50), Histogram::kSub / 2 - 1);
+  EXPECT_EQ(h.Percentile(100), Histogram::kSub - 1);
+}
+
+TEST(HistogramTest, SingleValueEveryPercentile) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(777);
+  EXPECT_EQ(h.Percentile(1), 777u);
+  EXPECT_EQ(h.Percentile(50), 777u);
+  EXPECT_EQ(h.Percentile(99.9), 777u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 777.0);
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  // Bucket width is <= value / 2^kSubBits, and percentiles report the
+  // bucket's upper edge: at most ~3.2% above the true value.
+  for (std::uint64_t v : {100u, 1000u, 54321u, 1u << 20, 987654321u}) {
+    Histogram h;
+    h.Add(v);
+    h.Add(v * 2);  // keep the clamp-to-max off the bucket under test
+    const std::uint64_t p = h.Percentile(50);
+    EXPECT_GE(p, v);
+    EXPECT_LE(p, v + v / Histogram::kSub + 1);
+  }
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange) {
+  Histogram h;
+  h.Add(1'000'000);
+  // One sample: every percentile is that sample, not its bucket edge.
+  EXPECT_EQ(h.Percentile(50), 1'000'000u);
+  EXPECT_EQ(h.Percentile(99.9), 1'000'000u);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Add(v * 17);
+  std::uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p" << p;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedAdds) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    (v % 2 == 0 ? a : b).Add(v * 3);
+    combined.Add(v * 3);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndReset) {
+  Histogram a;
+  Histogram b;
+  b.Add(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  a.Merge(Histogram{});  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, BucketEdgeCoversValue) {
+  for (std::uint64_t v : {0u, 1u, 31u, 32u, 33u, 1000u, 65535u, 65536u,
+                          123456789u}) {
+    const std::size_t idx = Histogram::IndexOf(v);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    EXPECT_GE(Histogram::BucketUpperEdge(idx), v) << v;
+  }
+}
+
+}  // namespace
+}  // namespace cool
