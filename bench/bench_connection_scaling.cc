@@ -1,14 +1,20 @@
 // Connection-scaling curve for the reactor-driven connection engine: ONE
-// server ORB accepting 1 -> 10k simulated client connections. Most
+// server ORB accepting 1 -> 100k simulated client connections. Most
 // connections are parked (accepted, registered with the reactor, idle);
 // a fixed active subset keeps invoking throughout, so the curve shows
-// whether idle connections cost server threads or active-path throughput.
-// With the old thread-per-channel engine the server thread count grew
-// linearly with connections; with the reactor it must stay flat — the
-// "threads" column is the acceptance number for that claim.
+// whether idle connections cost server threads, memory, or active-path
+// throughput. With the old thread-per-channel engine the server thread
+// count grew linearly with connections; with the reactor it must stay
+// flat — the "threads" column is the acceptance number for that claim,
+// and "B/conn" (RSS growth per parked connection) is the acceptance
+// number for the per-connection memory diet.
 #include <cstdio>
 #include <memory>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "bench_util.h"
 #include "common/thread.h"
@@ -64,12 +70,37 @@ int ProcessThreads() {
   return threads;
 }
 
+long ReadRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS:\t%ld", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// RSS with allocator caches returned to the kernel first, so successive
+// measurement runs in one process do not inherit each other's freed-arena
+// footprint and the delta reflects live per-connection state.
+long SampleRssKb() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  return ReadRssKb();
+}
+
 struct Sample {
-  double accept_ms = 0;     // opening + accepting all connections
-  double msgs_per_sec = 0;  // aggregate over the active subset
+  double accept_ms = 0;        // opening + accepting all connections
+  double accepts_per_sec = 0;  // conns / accept time
+  double msgs_per_sec = 0;     // aggregate over the active subset
   double p50_us = 0;
   double p99_us = 0;
-  int threads = -1;  // process thread count at steady state
+  int threads = -1;          // process thread count at steady state
+  double bytes_per_conn = -1;  // RSS growth per parked connection
+  double rss_mb = -1;          // absolute RSS with all connections parked
 };
 
 bool MeasureConns(std::size_t conns, Duration duration, Sample& out) {
@@ -80,7 +111,11 @@ bool MeasureConns(std::size_t conns, Duration duration, Sample& out) {
   if (!ref.ok() || !server.Start().ok()) return false;
 
   // Open every connection from one client manager, then wait for the
-  // server's reactor to have accepted and registered them all.
+  // server's reactor to have accepted and registered them all. The RSS
+  // delta across this window, divided by the connection count, is the
+  // marginal cost of one parked connection (client channel + both pipe
+  // ends + server-side Connection, measured identically across PRs).
+  const long rss_before_kb = SampleRssKb();
   transport::TcpComManager client_mgr(&net, sim::Address{"client", 7001});
   const Stopwatch setup;
   std::vector<std::unique_ptr<transport::ComChannel>> parked;
@@ -95,6 +130,14 @@ bool MeasureConns(std::size_t conns, Duration duration, Sample& out) {
     std::this_thread::sleep_for(milliseconds(1));
   }
   out.accept_ms = ToSeconds(setup.Elapsed()) * 1e3;
+  out.accepts_per_sec =
+      static_cast<double>(conns) / ToSeconds(setup.Elapsed());
+  const long rss_parked_kb = SampleRssKb();
+  if (rss_before_kb >= 0 && rss_parked_kb >= rss_before_kb) {
+    out.bytes_per_conn = static_cast<double>(rss_parked_kb - rss_before_kb) *
+                         1024.0 / static_cast<double>(conns);
+    out.rss_mb = static_cast<double>(rss_parked_kb) / 1024.0;
+  }
 
   // Fixed active subset: its size never varies with `conns`, so any
   // throughput droop at high connection counts is engine overhead, not a
@@ -163,21 +206,22 @@ bool MeasureConns(std::size_t conns, Duration duration, Sample& out) {
 
 int main(int argc, char** argv) {
   const auto args = cool::bench::BenchArgs::Parse(argc, argv);
-  const std::vector<std::size_t> counts =
+  std::vector<std::size_t> counts =
       args.smoke ? std::vector<std::size_t>{1, 10, 50}
-                 : std::vector<std::size_t>{1, 10, 100, 1000, 10000};
+                 : std::vector<std::size_t>{1, 10, 100, 1000, 10000, 100000};
+  if (args.conns > 0) counts = {args.conns};
   const Duration duration =
       args.smoke ? cool::milliseconds(100) : cool::milliseconds(250);
 
   std::printf(
       "=== Connection scaling: one server ORB, 1 -> %zu connections ===\n"
-      "parked connections idle on the reactor; 8 stay active; a flat\n"
-      "threads column is the event-driven engine's acceptance number%s\n\n",
+      "parked connections idle on the reactor; 8 stay active; flat threads\n"
+      "and flat B/conn are the connection engine's acceptance numbers%s\n\n",
       counts.back(), args.smoke ? " (smoke mode)" : "");
 
   std::vector<cool::bench::BenchRecord> records;
-  cool::bench::Table table(
-      {"conns", "accept ms", "msgs/s", "p50 us", "p99 us", "threads"});
+  cool::bench::Table table({"conns", "accept ms", "acc/s", "msgs/s", "p50 us",
+                            "p99 us", "threads", "rss MB", "B/conn"});
   std::size_t base_conns = 0;
   int threads_at_base = -1;
   int threads_at_max = -1;
@@ -197,16 +241,22 @@ int main(int argc, char** argv) {
     char name[32];
     std::snprintf(name, sizeof name, "tcp conns %zu", conns);
     table.AddRow({std::to_string(conns), cool::bench::Fmt("%.1f", s.accept_ms),
+                  cool::bench::Fmt("%.0f", s.accepts_per_sec),
                   cool::bench::Fmt("%.0f", s.msgs_per_sec),
                   cool::bench::Fmt("%.1f", s.p50_us),
                   cool::bench::Fmt("%.1f", s.p99_us),
-                  std::to_string(s.threads)});
+                  std::to_string(s.threads),
+                  cool::bench::Fmt("%.1f", s.rss_mb),
+                  cool::bench::Fmt("%.0f", s.bytes_per_conn)});
     cool::bench::BenchRecord rec;
     rec.name = name;
     rec.msgs_per_sec = s.msgs_per_sec;
     rec.p50_us = s.p50_us;
     rec.p99_us = s.p99_us;
     rec.threads = s.threads;
+    rec.bytes_per_conn = s.bytes_per_conn;
+    rec.rss_mb = s.rss_mb;
+    rec.accepts_per_sec = s.accepts_per_sec;
     records.push_back(std::move(rec));
   }
 

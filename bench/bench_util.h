@@ -61,9 +61,13 @@ inline double JainIndex(const std::vector<double>& shares) {
 // Common flags for benchmark binaries:
 //   --smoke        shrink durations/iterations so CI finishes in seconds
 //   --json <path>  append machine-readable results to <path>
+//   --conns <n>    restrict a connection-scaling bench to one point
 struct BenchArgs {
   bool smoke = false;
   std::string json_path;
+  // 0 = sweep the binary's default curve; otherwise measure only this
+  // connection count (bench_connection_scaling).
+  std::size_t conns = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -72,6 +76,9 @@ struct BenchArgs {
         args.smoke = true;
       } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+        args.conns = static_cast<std::size_t>(std::strtoull(
+            argv[++i], nullptr, 10));
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       }
@@ -100,6 +107,13 @@ struct BenchRecord {
   // Run-to-run spread of the headline metric, (max - min) / median * 100,
   // across the in-process repetitions. Rows with > ~10% deserve suspicion.
   double spread_pct = -1;
+  // Resident-set growth per connection (RSS delta / connections held) and
+  // the absolute RSS at steady state — bench_connection_scaling's memory
+  // acceptance metrics for the 100k-connection engine.
+  double bytes_per_conn = -1;
+  double rss_mb = -1;
+  // Accept-to-adopted throughput of the batched accept path.
+  double accepts_per_sec = -1;
 };
 
 // Writes records as a JSON array of objects. Overwrites `path`; the
@@ -129,6 +143,13 @@ inline bool WriteJson(const std::string& path,
     if (r.threads >= 0) std::fprintf(f, ", \"threads\": %.0f", r.threads);
     if (r.spread_pct >= 0) {
       std::fprintf(f, ", \"spread_pct\": %.1f", r.spread_pct);
+    }
+    if (r.bytes_per_conn >= 0) {
+      std::fprintf(f, ", \"bytes_per_conn\": %.0f", r.bytes_per_conn);
+    }
+    if (r.rss_mb >= 0) std::fprintf(f, ", \"rss_mb\": %.1f", r.rss_mb);
+    if (r.accepts_per_sec >= 0) {
+      std::fprintf(f, ", \"accepts_per_sec\": %.0f", r.accepts_per_sec);
     }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }

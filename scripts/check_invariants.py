@@ -55,6 +55,11 @@ DESIGN.md ("Concurrency model") over src/, tests/, bench/ and examples/:
      COOL_ACQUIRED_AFTER annotation must be consistent with the ranks
      (an acquired_after(x) lock may not out-rank x). The runtime detector
      (COOL_DEADLOCK_DETECTOR=ON) enforces the same order dynamically.
+  15. Per-connection memory diet (DESIGN.md §14): the connection-state
+     headers (src/orb/orb.h, src/transport/*_channel.h) may not grow new
+     std::unordered_map / std::deque members (eager per-instance heap) or
+     raw std::vector<std::uint8_t> buffers (bypass the BufferPool lease)
+     without a PER_CONN_WAIVER comment.
 
 Exit status 0 when clean; 1 with findings on stdout otherwise.
 """
@@ -697,6 +702,53 @@ def check_scheduler_owns_queues(path: Path, clean: str,
             )
 
 
+# --- rule 15: per-connection memory diet -------------------------------------
+# The 100k-connection engine budgets a few hundred bytes per parked
+# connection (DESIGN.md §14). A std::unordered_map or std::deque member in
+# the connection-state headers eagerly allocates buckets/nodes per instance
+# (libstdc++'s empty deque alone costs ~576 heap bytes), and a raw
+# std::vector<std::uint8_t> receive buffer bypasses the BufferPool lease
+# discipline. New members of these types in the files below need a
+# PER_CONN_WAIVER comment (same line or the line above) explaining why the
+# state is not per-connection or why the cost is accepted.
+
+PER_CONN_FILES = (
+    "src/orb/orb.h",
+    "src/transport/tcp_channel.h",
+    "src/transport/ipc_channel.h",
+    "src/transport/dacapo_channel.h",
+    "src/transport/com_channel.h",
+)
+
+PER_CONN_BANNED_RE = re.compile(
+    r"\bstd::(unordered_map|deque)\s*<|\bstd::vector<std::uint8_t>\s+\w+_?\s*[;{=]"
+)
+
+
+def check_per_conn_memory(findings: list[str]) -> None:
+    for r in PER_CONN_FILES:
+        path = REPO / r
+        if not path.exists():
+            continue
+        # Raw text, not the stripped view: the waiver lives in a comment.
+        lines = path.read_text().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if line.lstrip().startswith(("//", "#")):
+                continue
+            if not PER_CONN_BANNED_RE.search(line):
+                continue
+            context = lines[max(0, lineno - 4):lineno]
+            if any("PER_CONN_WAIVER" in c for c in context):
+                continue
+            findings.append(
+                f"{r}:{lineno}: per-connection container member — empty "
+                f"unordered_map/deque members eagerly allocate per instance "
+                f"and raw byte vectors bypass the BufferPool lease; use "
+                f"lazily-allocated pooled state, or add a PER_CONN_WAIVER "
+                f"comment with a justification (rule 15, DESIGN.md §14)"
+            )
+
+
 # --- rule 12: lock-rank cross-check ------------------------------------------
 # Three artifacts must agree: the LockRank enum (src/common/lock_rank.h),
 # the machine-readable table (scripts/lock_order.yaml), and the Mutex /
@@ -900,6 +952,7 @@ def main() -> int:
     check_decoder_bounds(findings)
     check_layering(findings)
     check_lock_ranks(findings)
+    check_per_conn_memory(findings)
 
     if findings:
         print(f"check_invariants: {len(findings)} violation(s)")

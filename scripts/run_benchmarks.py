@@ -104,7 +104,8 @@ def merge_repeats(runs: list[list[dict]]) -> list[dict]:
         samples = by_name[name]
         rec = dict(samples[0])
         for key in ("msgs_per_sec", "mbps", "p50_us", "p99_us", "p999_us",
-                    "jain", "threads"):
+                    "jain", "threads", "bytes_per_conn", "rss_mb",
+                    "accepts_per_sec"):
             vals = [s[key] for s in samples if key in s]
             if vals:
                 rec[key] = median(vals)
@@ -129,7 +130,7 @@ def main() -> int:
                              "(e.g. before/after; default: after)")
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_PR9.json",
+    parser.add_argument("--output", default="BENCH_PR10.json",
                         help="aggregated output path (merged, not clobbered)")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-binary timeout in seconds")

@@ -3,6 +3,7 @@
 // buffering (_TcpBuffer analogue) and Da CaPo packet payloads.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -130,6 +131,19 @@ class ByteBuffer {
   void Clear() noexcept {
     data_.clear();
     read_pos_ = 0;
+  }
+
+  // Drops the first `count` octets by shifting the remainder down — the
+  // reassembly buffers' compaction path (keeps a long-lived stream buffer
+  // from growing without bound). The read cursor tracks the shift.
+  void EraseFront(std::size_t count) {
+    if (count == 0) return;
+    if (count >= data_.size()) {
+      Clear();
+      return;
+    }
+    data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(count));
+    read_pos_ -= std::min(read_pos_, count);
   }
   void Reserve(std::size_t n) { data_.reserve(n); }
 

@@ -6,6 +6,11 @@
 
 #include <thread>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace cool {
 
 using Thread = std::jthread;
@@ -23,5 +28,21 @@ inline unsigned HardwareConcurrency() noexcept {
 using ThreadId = std::thread::id;
 
 inline ThreadId ThisThreadId() noexcept { return std::this_thread::get_id(); }
+
+// Best-effort BESS-style core pinning: binds the calling thread to CPU
+// `core % HardwareConcurrency()`. Returns false when the platform refuses
+// (restricted cpuset, non-Linux) — callers treat pinning as a performance
+// hint, never a correctness requirement.
+inline bool PinThisThreadToCore(unsigned core) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % HardwareConcurrency(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
 
 }  // namespace cool

@@ -186,7 +186,7 @@ void GiopClient::CompleteRequest(corba::ULong request_id, ParsedMessage msg) {
   MutexLock lock(mu_);
   auto it = pending_.find(request_id);
   if (it == pending_.end()) {
-    if (abandoned_.erase(request_id) != 0) {
+    if (abandoned_ != nullptr && abandoned_->ids.erase(request_id) != 0) {
       return;  // late reply for a cancelled/timed-out request: discard
     }
     COOL_LOG(kWarn, "giop")
@@ -212,19 +212,19 @@ void GiopClient::FailPending(const Status& status, bool terminal) {
     broken_ = status;
     // Nothing further can arrive on this connection: release the
     // abandoned-id memory (satellite: evict on connection close).
-    abandoned_.clear();
-    abandoned_fifo_.clear();
+    abandoned_.reset();
   }
 }
 
 void GiopClient::AbandonLocked(corba::ULong id) {
-  if (!abandoned_.insert(id).second) return;
-  abandoned_fifo_.push_back(id);
-  while (abandoned_fifo_.size() > options_.abandoned_cap) {
+  if (abandoned_ == nullptr) abandoned_ = std::make_unique<AbandonMemory>();
+  if (!abandoned_->ids.insert(id).second) return;
+  abandoned_->fifo.push_back(id);
+  while (abandoned_->fifo.size() > options_.abandoned_cap) {
     // FIFO cap; ids consumed out of band leave stale fifo entries, whose
     // eviction is then a no-op erase.
-    abandoned_.erase(abandoned_fifo_.front());
-    abandoned_fifo_.pop_front();
+    abandoned_->ids.erase(abandoned_->fifo.front());
+    abandoned_->fifo.pop_front();
   }
 }
 
@@ -290,7 +290,7 @@ Result<GiopClient::Reply> GiopClient::PollReply(corba::ULong request_id,
     MutexLock lock(mu_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) {
-      if (abandoned_.erase(request_id) != 0) {
+      if (abandoned_ != nullptr && abandoned_->ids.erase(request_id) != 0) {
         return Status(CancelledError("request was cancelled"));
       }
       if (!broken_.ok()) return broken_;
@@ -383,7 +383,7 @@ Status GiopServer::DispatchAndReply(const DispatchJob& job) {
   // buffer, result body sent as the gathered tail — no frame concatenation.
   const ByteBuffer head =
       BuildReplyPreamble(job.msg.header.version, reply, result.body.size(),
-                         options_.order, BufferPool::Default().Lease());
+                         options_->order, BufferPool::Default().Lease());
   return SendSerializedV(head, result.body.view());
 }
 
@@ -392,12 +392,12 @@ DispatchPool* GiopServer::EnsurePrivatePool() {
   if (pool_closed_) return nullptr;
   if (private_pool_ == nullptr) {
     DispatchPool::Options pool_options;
-    pool_options.workers = options_.worker_threads;
-    pool_options.queue_capacity = options_.queue_capacity;
-    pool_options.scheduler = options_.scheduler;
-    pool_options.codel_enabled = options_.codel_enabled;
-    pool_options.codel_target = options_.codel_target;
-    pool_options.codel_interval = options_.codel_interval;
+    pool_options.workers = options_->worker_threads;
+    pool_options.queue_capacity = options_->queue_capacity;
+    pool_options.scheduler = options_->scheduler;
+    pool_options.codel_enabled = options_->codel_enabled;
+    pool_options.codel_target = options_->codel_target;
+    pool_options.codel_interval = options_->codel_interval;
     private_pool_ = std::make_unique<DispatchPool>(pool_options);
   }
   return private_pool_.get();
@@ -437,7 +437,7 @@ void GiopServer::DropDispatchJob(const DispatchJob& job) {
   const ByteBuffer encoded = std::move(body).TakeBuffer();
   const ByteBuffer head =
       BuildReplyPreamble(job.msg.header.version, reply, encoded.size(),
-                         options_.order, BufferPool::Default().Lease());
+                         options_->order, BufferPool::Default().Lease());
   const Status sent = SendSerializedV(head, encoded.view());
   if (!sent.ok()) {
     COOL_LOG(kWarn, "giop")
@@ -447,16 +447,23 @@ void GiopServer::DropDispatchJob(const DispatchJob& job) {
 }
 
 bool GiopServer::TakeCancelledLocked(corba::ULong id) {
-  return cancelled_.erase(id) != 0;
+  if (cancel_memory_ == nullptr) return false;
+  return cancel_memory_->ids.erase(id) != 0;
 }
 
 void GiopServer::RememberCancelLocked(corba::ULong id) {
-  if (!cancelled_.insert(id).second) return;
-  cancelled_fifo_.push_back(id);
-  while (cancelled_fifo_.size() > options_.cancelled_cap) {
+  if (cancel_memory_ == nullptr) {
+    // Lazy: most connections never see a CancelRequest, so they never pay
+    // for the set/fifo pair (a default-constructed deque alone costs ~576
+    // heap bytes on libstdc++ — real money across 100k connections).
+    cancel_memory_ = std::make_unique<CancelMemory>();
+  }
+  if (!cancel_memory_->ids.insert(id).second) return;
+  cancel_memory_->fifo.push_back(id);
+  while (cancel_memory_->fifo.size() > options_->cancelled_cap) {
     // FIFO cap; consumed ids leave stale fifo entries (no-op erase).
-    cancelled_.erase(cancelled_fifo_.front());
-    cancelled_fifo_.pop_front();
+    cancel_memory_->ids.erase(cancel_memory_->fifo.front());
+    cancel_memory_->fifo.pop_front();
   }
 }
 
@@ -468,10 +475,10 @@ void GiopServer::Close() {
     pool_closed_ = true;
     private_pool = private_pool_.get();
   }
-  if (options_.pool != nullptr) {
+  if (options_->pool != nullptr) {
     // Shared pool: barrier out our queued and in-flight jobs; the pool
     // itself lives on for other connections.
-    options_.pool->DetachRunner(runner_id_);
+    options_->pool->DetachRunner(runner_id_);
   }
   if (private_pool != nullptr) {
     // Private pool: drain queued upcalls and join its workers. The object
@@ -479,15 +486,14 @@ void GiopServer::Close() {
     private_pool->Close();
   }
   MutexLock lock(pool_mu_);
-  cancelled_.clear();
-  cancelled_fifo_.clear();
+  cancel_memory_.reset();
 }
 
 Status GiopServer::HandleRequest(ParsedMessage msg) {
   cdr::Decoder dec = msg.MakeBodyDecoder();
   auto header = ParseRequestHeader(dec, msg.header.version);
   if (!header.ok()) {
-    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
+    (void)SendSerialized(BuildMessageError(kGiop10, options_->order));
     return header.status();
   }
 
@@ -505,14 +511,14 @@ Status GiopServer::HandleRequest(ParsedMessage msg) {
   job.header = *std::move(header);
   job.msg = std::move(msg);
 
-  if (options_.pool == nullptr && options_.worker_threads == 0) {
+  if (options_->pool == nullptr && options_->worker_threads == 0) {
     return DispatchAndReply(job);  // historical inline mode
   }
   // Shared or private pool: the request's QoS parameters become a full
   // scheduling profile (band + weight + rate), the classify stage of the
   // hierarchical scheduler. Submit runs outside pool_mu_ — it blocks for
   // backpressure.
-  DispatchPool* pool = options_.pool;
+  DispatchPool* pool = options_->pool;
   if (pool == nullptr) {
     pool = EnsurePrivatePool();
     if (pool == nullptr) {
@@ -532,8 +538,8 @@ Status GiopServer::HandleCancel(corba::ULong request_id) {
   // then the private pool. CancelQueued takes the pool's own lock, so it
   // must run outside pool_mu_ (kEngine ranks above kDispatchPool only in
   // the Submit direction; keeping them unnested sidesteps the question).
-  if (options_.pool != nullptr &&
-      options_.pool->CancelQueued(runner_id_, request_id)) {
+  if (options_->pool != nullptr &&
+      options_->pool->CancelQueued(runner_id_, request_id)) {
     requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
@@ -566,7 +572,7 @@ Status GiopServer::HandleFrame(ByteBuffer raw) {
   // transport's frame, which rides inside the job without copies.
   auto parsed = ParseMessage(std::move(raw));
   if (!parsed.ok()) {
-    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
+    (void)SendSerialized(BuildMessageError(kGiop10, options_->order));
     return parsed.status();
   }
   const MessageHeader& h = parsed->header;
@@ -575,11 +581,11 @@ Status GiopServer::HandleFrame(ByteBuffer raw) {
   // implementation rejects the 9.9 extension with MessageError.
   const bool version_ok =
       h.version == kGiop10 ||
-      (h.version == kGiopQos && options_.accept_qos_extension);
+      (h.version == kGiopQos && options_->accept_qos_extension);
   if (!version_ok) {
     COOL_LOG(kInfo, "giop") << "rejecting GIOP version "
                             << h.version.ToString();
-    (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
+    (void)SendSerialized(BuildMessageError(kGiop10, options_->order));
     return Status::Ok();  // connection survives, per GIOP
   }
 
@@ -602,7 +608,7 @@ Status GiopServer::HandleFrame(ByteBuffer raw) {
       reply.locate_status =
           here ? LocateStatus::kObjectHere : LocateStatus::kUnknownObject;
       return SendSerialized(
-          BuildLocateReply(h.version, reply, options_.order));
+          BuildLocateReply(h.version, reply, options_->order));
     }
     case MsgType::kCloseConnection:
       return CancelledError("peer closed connection");
@@ -610,7 +616,7 @@ Status GiopServer::HandleFrame(ByteBuffer raw) {
       return ProtocolError("peer reported MessageError");
     case MsgType::kReply:
     case MsgType::kLocateReply:
-      (void)SendSerialized(BuildMessageError(kGiop10, options_.order));
+      (void)SendSerialized(BuildMessageError(kGiop10, options_->order));
       return ProtocolError("client-role message received by server");
   }
   return InternalError("unreachable GIOP message type");

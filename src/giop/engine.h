@@ -222,8 +222,13 @@ class GiopClient {
   corba::ULong next_request_id_ COOL_GUARDED_BY(mu_) = 1;
   std::unordered_map<corba::ULong, std::shared_ptr<Slot>> pending_
       COOL_GUARDED_BY(mu_);
-  std::unordered_set<corba::ULong> abandoned_ COOL_GUARDED_BY(mu_);
-  std::deque<corba::ULong> abandoned_fifo_ COOL_GUARDED_BY(mu_);
+  // Abandoned-id memory, allocated on the first cancel/timeout (same
+  // rationale as GiopServer::CancelMemory: the empty deque is not free).
+  struct AbandonMemory {
+    std::unordered_set<corba::ULong> ids;
+    std::deque<corba::ULong> fifo;  // FIFO eviction order beyond the cap
+  };
+  std::unique_ptr<AbandonMemory> abandoned_ COOL_GUARDED_BY(mu_);
   // Terminal connection status; non-OK once the demux reader has exited.
   Status broken_ COOL_GUARDED_BY(mu_) = Status::Ok();
   bool reader_started_ COOL_GUARDED_BY(mu_) = false;
@@ -301,9 +306,17 @@ class GiopServer : public DispatchRunner {
 
   GiopServer(transport::ComChannel* channel, Dispatcher dispatcher,
              Options options)
+      : GiopServer(channel, std::move(dispatcher),
+                   std::make_shared<const Options>(std::move(options))) {}
+
+  // Shared-config constructor: an ORB builds ONE immutable Options block
+  // and every accepted connection's server references it, instead of each
+  // carrying a private copy — part of the per-connection memory diet.
+  GiopServer(transport::ComChannel* channel, Dispatcher dispatcher,
+             std::shared_ptr<const Options> options)
       : channel_(channel),
         dispatcher_(std::move(dispatcher)),
-        options_(options) {}
+        options_(std::move(options)) {}
   ~GiopServer();
 
   GiopServer(const GiopServer&) = delete;
@@ -345,7 +358,7 @@ class GiopServer : public DispatchRunner {
 
   // Reply-body encoder over a pooled buffer (see MakeArgsEncoder).
   cdr::Encoder MakeBodyEncoder() const {
-    return cdr::Encoder(options_.order, 0, BufferPool::Default().Lease());
+    return cdr::Encoder(options_->order, 0, BufferPool::Default().Lease());
   }
 
   std::uint64_t requests_served() const {
@@ -382,7 +395,8 @@ class GiopServer : public DispatchRunner {
 
   transport::ComChannel* channel_;
   Dispatcher dispatcher_;
-  Options options_;
+  // Immutable, typically shared across every connection of one ORB.
+  std::shared_ptr<const Options> options_;
   Locator locator_;
 
   Mutex send_mu_{LockRank::kEngine, "giop::GiopServer::send_mu_"};
@@ -402,8 +416,15 @@ class GiopServer : public DispatchRunner {
   // used after release (Submit must not run under pool_mu_: it blocks for
   // backpressure).
   std::unique_ptr<DispatchPool> private_pool_ COOL_GUARDED_BY(pool_mu_);
-  std::unordered_set<corba::ULong> cancelled_ COOL_GUARDED_BY(pool_mu_);
-  std::deque<corba::ULong> cancelled_fifo_ COOL_GUARDED_BY(pool_mu_);
+  // CancelRequest bookkeeping, allocated on the first cancel: cancels are
+  // rare, and a default-constructed std::deque eagerly allocates ~576
+  // bytes in libstdc++ — real money with one GiopServer per connection at
+  // 100k connections.
+  struct CancelMemory {
+    std::unordered_set<corba::ULong> ids;
+    std::deque<corba::ULong> fifo;  // FIFO eviction order beyond the cap
+  };
+  std::unique_ptr<CancelMemory> cancel_memory_ COOL_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace cool::giop

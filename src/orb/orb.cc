@@ -5,6 +5,12 @@
 
 namespace cool::orb {
 
+namespace {
+// Upper bound on channels adopted per accept-train (one reactor wakeup can
+// carry an arbitrary accept backlog; the cap bounds callback latency).
+constexpr std::size_t kAcceptTrain = 64;
+}  // namespace
+
 ORB::ORB(sim::Network* net, std::string host)
     : ORB(net, std::move(host), Options{}) {}
 
@@ -64,7 +70,22 @@ Status ORB::Start() {
     egress_options.codel_interval = options_.codel_interval;
     egress_ = std::make_unique<transport::EgressScheduler>(egress_options);
   }
-  reactor_ = std::make_unique<transport::Reactor>(options_.reactor_threads);
+  transport::Reactor::Options reactor_options;
+  reactor_options.workers = options_.reactor_threads;
+  reactor_options.pin_workers = options_.pin_reactor_workers;
+  reactor_ = std::make_unique<transport::Reactor>(reactor_options);
+
+  // One immutable server config for every connection this ORB will accept.
+  {
+    giop::GiopServer::Options server_options;
+    server_options.accept_qos_extension = options_.enable_qos_extension;
+    server_options.pool = dispatch_pool_.get();
+    // Upcalls run on the shared pool (or inline when it is disabled) —
+    // never on per-connection worker threads.
+    server_options.worker_threads = 0;
+    server_options_ = std::make_shared<const giop::GiopServer::Options>(
+        std::move(server_options));
+  }
 
   COOL_RETURN_IF_ERROR(tcp_.Listen());
   COOL_RETURN_IF_ERROR(ipc_.Listen());
@@ -95,21 +116,28 @@ void ORB::Shutdown() {
   tcp_.Close();
   ipc_.Close();
   dacapo_.Close();
-  // Barrier out the accept callbacks. conn_mu_ must not be held here:
-  // Remove() waits for a callback that may be blocked acquiring it.
+  // Barrier out the accept callbacks. No shard lock may be held here:
+  // Remove() waits for a callback that may be blocked acquiring one. Once
+  // these Removes return, no AdoptTrain is mid-flight, so the shard sweep
+  // below observes every adopted connection.
   if (reactor_ != nullptr) {
     for (const std::uint64_t id : accept_regs_) reactor_->Remove(id);
   }
   accept_regs_.clear();
 
-  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns;
+  std::vector<std::shared_ptr<Connection>> conns;
+  for (ConnShard& shard : conn_shards_) {
+    MutexLock lock(shard.mu);
+    for (auto& [id, conn] : shard.conns) conns.push_back(std::move(conn));
+    shard.conns.clear();
+  }
   std::unordered_map<std::uint64_t, Thread> threads;
   {
-    MutexLock lock(conn_mu_);
-    conns.swap(connections_);
+    MutexLock lock(legacy_mu_);
     threads.swap(connection_threads_);
+    finished_connections_.clear();
   }
-  for (auto& [id, conn] : conns) {
+  for (auto& conn : conns) {
     // Close first so a mid-callback drain (and any upcall mid-reply) fails
     // fast instead of blocking; then barrier out the drain callback; then
     // detach the server from the shared pool.
@@ -128,78 +156,99 @@ void ORB::Shutdown() {
 }
 
 void ORB::DrainAccept(transport::ComManager* manager) {
+  std::vector<std::unique_ptr<transport::ComChannel>> train;
   for (;;) {
     if (shutdown_.load()) return;
     auto channel = manager->TryAcceptChannel();
-    if (!channel.ok()) return;       // manager closed
-    if (*channel == nullptr) return;  // nothing pending right now
-    AdoptConnection(std::move(*channel));
+    if (!channel.ok()) break;        // manager closed
+    if (*channel == nullptr) break;  // nothing pending right now
+    train.push_back(std::move(*channel));
+    if (train.size() >= kAcceptTrain) {
+      AdoptTrain(std::move(train));
+      train.clear();
+    }
   }
+  if (!train.empty()) AdoptTrain(std::move(train));
 }
 
-void ORB::AdoptConnection(std::unique_ptr<transport::ComChannel> channel) {
-  // Reap legacy serve threads of connections that have since ended,
-  // outside the lock (join must not run under conn_mu_ — ServeConnection
-  // takes it last).
-  std::vector<Thread> reaped;
-  {
-    MutexLock lock(conn_mu_);
-    for (const std::uint64_t id : finished_connections_) {
-      const auto it = connection_threads_.find(id);
-      if (it != connection_threads_.end()) {
-        reaped.push_back(std::move(it->second));
-        connection_threads_.erase(it);
-      }
-    }
-    finished_connections_.clear();
-  }
-  for (auto& t : reaped) {
-    if (t.joinable()) t.join();
-  }
-
-  auto conn = std::make_shared<Connection>();
-  conn->channel = std::move(channel);
-  if (egress_ != nullptr && conn->channel->protocol() == "dacapo") {
-    static_cast<transport::DacapoComChannel*>(conn->channel.get())
-        ->AttachEgress(egress_.get());
-  }
-  conn->server = MakeServer(conn->channel.get());
-
-  MutexLock lock(conn_mu_);
+void ORB::AdoptTrain(
+    std::vector<std::unique_ptr<transport::ComChannel>> channels) {
+  if (channels.empty()) return;
+  ReapFinishedThreads();
   if (shutdown_.load()) {
-    conn->channel->Close();
-    conn->server->Close();
+    for (auto& channel : channels) channel->Close();
     return;
   }
-  ++connections_accepted_;
-  conn->id = next_conn_id_++;
 
-  // Registering under conn_mu_ is safe: workers hold no reactor lock while
-  // running callbacks, so a callback blocked on conn_mu_ cannot hold up
-  // Add(). The registration's closure keeps the Connection alive for as
-  // long as the reactor may still invoke it.
-  auto reg = reactor_->Add(
-      [raw = conn->channel.get()](const sim::WaitSet& set,
-                                  std::uint64_t token) {
-        return raw->RegisterRx(set, token);
-      },
-      [this, conn] { DrainConnection(conn); });
-  if (reg.ok()) {
-    conn->rx_reg = *reg;
-    connections_[conn->id] = conn;
-    return;
+  const std::size_t n = channels.size();
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(n);
+  std::vector<transport::Reactor::Callback> cbs;
+  cbs.reserve(n);
+  for (auto& channel : channels) {
+    auto conn = std::make_shared<Connection>();
+    conn->channel = std::move(channel);
+    if (egress_ != nullptr && conn->channel->protocol() == "dacapo") {
+      static_cast<transport::DacapoComChannel*>(conn->channel.get())
+          ->AttachEgress(egress_.get());
+    }
+    EmplaceServer(*conn);
+    cbs.push_back([this, conn] { DrainConnection(conn); });
+    conns.push_back(std::move(conn));
   }
-  // Transport without a non-blocking receive path: fall back to one
-  // blocking serve thread for this connection (legacy model).
-  connections_[conn->id] = conn;
-  const std::uint64_t id = conn->id;
-  connection_threads_.emplace(
-      id, Thread([this, id, c = std::move(conn)](std::stop_token) mutable {
-        ServeConnection(id, std::move(c));
-      }));
+
+  // Phase one: install the whole train's callbacks, one registration-map
+  // lock per worker. Nothing fires until the matching Attach below, so the
+  // per-connection bookkeeping (id, rx_reg, timers, shard entry) can be
+  // published without racing the first readiness callback.
+  const std::vector<std::uint64_t> ids = reactor_->AddBatch(std::move(cbs));
+  const TimePoint now = Now();
+  for (std::size_t i = 0; i < n; ++i) {
+    conns[i]->id = ids[i];
+    conns[i]->rx_reg = ids[i];
+    conns[i]->last_activity = now;
+    conns[i]->armed_deadline = now + options_.idle_timeout;
+  }
+  // Shard-grouped publish: the train's ids are contiguous, so walking in
+  // strides of kConnShards groups same-shard inserts under one lock each.
+  for (std::size_t s = 0; s < kConnShards && s < n; ++s) {
+    ConnShard& shard = ShardFor(ids[s]);
+    MutexLock lock(shard.mu);
+    for (std::size_t i = s; i < n; i += kConnShards) {
+      shard.conns[ids[i]] = conns[i];
+    }
+  }
+  connections_accepted_.fetch_add(n, std::memory_order_relaxed);
+
+  // Phase two: bind each readiness source and post the immediate probe.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::shared_ptr<Connection>& conn = conns[i];
+    const bool attached = reactor_->Attach(
+        ids[i], [raw = conn->channel.get()](const sim::WaitSet& set,
+                                            std::uint64_t token) {
+          return raw->RegisterRx(set, token);
+        });
+    if (attached) {
+      if (options_.idle_timeout > Duration::zero()) {
+        reactor_->ScheduleAt(ids[i], conn->armed_deadline);
+      }
+      continue;
+    }
+    // Transport without a non-blocking receive path: fall back to one
+    // blocking serve thread for this connection (legacy model). Attach
+    // already dropped the reactor registration.
+    conn->rx_reg = 0;
+    const std::uint64_t id = conn->id;
+    MutexLock lock(legacy_mu_);
+    connection_threads_.emplace(
+        id, Thread([this, id, c = conn](std::stop_token) mutable {
+          ServeConnection(id, std::move(c));
+        }));
+  }
 }
 
 void ORB::DrainConnection(const std::shared_ptr<Connection>& conn) {
+  bool activity = false;
   for (;;) {
     Result<std::optional<ByteBuffer>> raw = conn->channel->TryReceiveMessage();
     if (!raw.ok()) {
@@ -209,7 +258,8 @@ void ORB::DrainConnection(const std::shared_ptr<Connection>& conn) {
       FinishConnection(conn);
       return;
     }
-    if (!raw->has_value()) return;  // drained; re-armed for next readiness
+    if (!raw->has_value()) break;  // drained; re-armed for next readiness
+    activity = true;
     const Status handled = conn->server->HandleFrame(*std::move(*raw));
     if (handled.ok()) continue;
     if (handled.code() == ErrorCode::kProtocolError) {
@@ -222,12 +272,34 @@ void ORB::DrainConnection(const std::shared_ptr<Connection>& conn) {
     FinishConnection(conn);
     return;
   }
+  if (options_.idle_timeout <= Duration::zero()) return;
+
+  // Idle-timeout bookkeeping. Safe without locks: this callback is the
+  // only writer of these fields and never runs concurrently with itself
+  // (reactor run-to-completion contract).
+  const TimePoint now = Now();
+  if (activity) {
+    conn->last_activity = now;
+  } else if (now - conn->last_activity >= options_.idle_timeout) {
+    COOL_LOG(kDebug, "orb") << host_ << ": closing idle connection "
+                            << conn->id;
+    FinishConnection(conn);
+    return;
+  }
+  // Lazy re-arm: only once the armed deadline has passed does a new heap
+  // entry go in, so a busy connection keeps at most one pending timer
+  // instead of one per received frame.
+  if (now >= conn->armed_deadline) {
+    conn->armed_deadline = conn->last_activity + options_.idle_timeout;
+    reactor_->ScheduleAt(conn->id, conn->armed_deadline);
+  }
 }
 
 void ORB::FinishConnection(const std::shared_ptr<Connection>& conn) {
   {
-    MutexLock lock(conn_mu_);
-    connections_.erase(conn->id);
+    ConnShard& shard = ShardFor(conn->id);
+    MutexLock lock(shard.mu);
+    shard.conns.erase(conn->id);
   }
   // Self-removal from inside the drain callback: unregisters without
   // waiting (idempotent against a concurrent Shutdown doing the same).
@@ -241,32 +313,62 @@ void ORB::FinishConnection(const std::shared_ptr<Connection>& conn) {
   conn->server->Close();
 }
 
-std::unique_ptr<giop::GiopServer> ORB::MakeServer(
-    transport::ComChannel* channel) {
-  giop::GiopServer::Options server_options;
-  server_options.accept_qos_extension = options_.enable_qos_extension;
-  server_options.pool = dispatch_pool_.get();
-  // Upcalls run on the shared pool (or inline when it is disabled) —
-  // never on per-connection worker threads.
-  server_options.worker_threads = 0;
-  auto server = std::make_unique<giop::GiopServer>(
-      channel,
+void ORB::EmplaceServer(Connection& conn) {
+  conn.server.emplace(
+      conn.channel.get(),
       [this](const giop::RequestHeader& header, cdr::Decoder& args) {
         return adapter_.Dispatch(header, args, cdr::NativeOrder());
       },
-      server_options);
-  server->SetLocator(
+      server_options_);
+  conn.server->SetLocator(
       [this](const corba::OctetSeq& key) { return adapter_.Exists(key); });
-  return server;
 }
 
 void ORB::ServeConnection(std::uint64_t id, std::shared_ptr<Connection> conn) {
   const Status end = conn->server->Serve();
   COOL_LOG(kDebug, "orb") << host_ << ": connection ended: " << end;
 
-  MutexLock lock(conn_mu_);
-  connections_.erase(id);
+  {
+    ConnShard& shard = ShardFor(id);
+    MutexLock lock(shard.mu);
+    shard.conns.erase(id);
+  }
+  // Eager reap: join earlier finished loops before publishing our own id
+  // (never our own thread — it is not in the list yet), so dead threads
+  // never accumulate waiting for the next accept. At most the final loop
+  // lingers until adopt or shutdown joins it.
+  ReapFinishedThreads();
+  MutexLock lock(legacy_mu_);
   finished_connections_.push_back(id);
+}
+
+void ORB::ReapFinishedThreads() {
+  // Joins run outside the lock: a finishing loop's tail takes legacy_mu_
+  // to publish its id.
+  std::vector<Thread> reaped;
+  {
+    MutexLock lock(legacy_mu_);
+    for (const std::uint64_t id : finished_connections_) {
+      const auto it = connection_threads_.find(id);
+      if (it != connection_threads_.end()) {
+        reaped.push_back(std::move(it->second));
+        connection_threads_.erase(it);
+      }
+    }
+    finished_connections_.clear();
+  }
+  for (auto& t : reaped) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ORB::connections_live() const {
+  std::size_t total = 0;
+  for (const ConnShard& shard : conn_shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.conns.size();
+  }
+  return total;
 }
 
 Result<std::unique_ptr<transport::ComChannel>> ORB::OpenChannel(
@@ -292,11 +394,6 @@ Result<std::unique_ptr<transport::ComChannel>> ORB::OpenChannel(
 
 bool ORB::IsLocal(const ObjectRef& ref) const {
   return ref.endpoint.host == host_ && adapter_.Exists(ref.object_key);
-}
-
-std::uint64_t ORB::connections_accepted() const {
-  MutexLock lock(conn_mu_);
-  return connections_accepted_;
 }
 
 std::string ORB::DescribeDispatchStats() const {

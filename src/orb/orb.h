@@ -12,6 +12,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,6 +76,15 @@ class ORB {
     // demux); 0 = one per hardware thread. The thread count is flat in the
     // number of connections.
     unsigned reactor_threads = 0;
+    // BESS-style per-core placement of the reactor workers. Combined with
+    // the fixed connection -> worker mapping this keeps each connection's
+    // state on one cache domain (see transport::Reactor::Options).
+    bool pin_reactor_workers = false;
+    // Close accepted connections that carried no inbound traffic for this
+    // long (zero = never). Deadlines ride the reactor's lazily-cancelled
+    // timer heap, so 100k parked connections cost no scanning — each holds
+    // at most one pending heap entry.
+    Duration idle_timeout = Duration::zero();
   };
 
   ORB(sim::Network* net, std::string host);
@@ -112,7 +122,11 @@ class ORB {
   // ORB's adapter on this endsystem.
   bool IsLocal(const ObjectRef& ref) const;
 
-  std::uint64_t connections_accepted() const;
+  std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  // Currently open accepted connections, summed across the shards.
+  std::size_t connections_live() const;
 
   // The connection engine (tests/metrics).
   transport::Reactor& reactor() noexcept { return *reactor_; }
@@ -130,26 +144,61 @@ class ORB {
   // GiopServer, whose upcalls run on the shared dispatch pool. The
   // registration's closure holds the Connection alive, so teardown is
   // naturally deferred past any in-flight callback.
+  //
+  // Sized for 100k-connection servers: the server is embedded (optional,
+  // not unique_ptr — one allocation fewer per connection) and references
+  // the ORB's shared immutable Options block; the idle-timeout fields are
+  // only ever touched from this connection's own reactor callback, which
+  // never runs concurrently with itself, so they need no lock.
   struct Connection {
     std::uint64_t id = 0;
     std::unique_ptr<transport::ComChannel> channel;
-    std::unique_ptr<giop::GiopServer> server;
+    std::optional<giop::GiopServer> server;
     std::uint64_t rx_reg = 0;  // reactor registration (0 = legacy thread)
+    // Idle-timeout bookkeeping (reactor callback only, see above).
+    TimePoint last_activity{};
+    TimePoint armed_deadline{};
   };
 
-  // Reactor accept callback: drains pending channels off `manager`.
+  // The connection table is sharded so a 100k-connection churn storm does
+  // not serialize every adopt/finish on one mutex; a connection's shard is
+  // fixed by its id, and the batched adoption path takes each shard lock
+  // once per accept train.
+  static constexpr std::size_t kConnShards = 16;
+  struct ConnShard {
+    mutable Mutex mu{LockRank::kOrb, "orb::ORB::ConnShard::mu"};
+    // PER_CONN_WAIVER: per-ORB table of connections (one map per shard),
+    // not per-connection state.
+    std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns
+        COOL_GUARDED_BY(mu);
+  };
+
+  ConnShard& ShardFor(std::uint64_t id) const noexcept {
+    return conn_shards_[id % kConnShards];
+  }
+
+  // Reactor accept callback: drains pending channels off `manager` in
+  // trains of up to kAcceptTrain, amortizing reactor registration and
+  // shard locking over the whole burst.
   void DrainAccept(transport::ComManager* manager);
-  // Builds the Connection for an accepted channel and registers its
-  // receive path with the reactor (or a legacy serve thread when the
-  // transport has no non-blocking receive).
-  void AdoptConnection(std::unique_ptr<transport::ComChannel> channel);
+  // Adopts a train of accepted channels: builds the Connections, registers
+  // their receive callbacks in one batch (AddBatch/Attach), publishes them
+  // into the shards, and arms idle timers. Falls back to a legacy serve
+  // thread for transports without a non-blocking receive.
+  void AdoptTrain(
+      std::vector<std::unique_ptr<transport::ComChannel>> channels);
   // Reactor receive callback: drains frames; tears the connection down on
-  // a terminal status.
+  // a terminal status or an expired idle deadline.
   void DrainConnection(const std::shared_ptr<Connection>& conn);
   void FinishConnection(const std::shared_ptr<Connection>& conn);
-  std::unique_ptr<giop::GiopServer> MakeServer(transport::ComChannel* channel);
+  // Embeds the GIOP server (shared ORB config) into `conn`.
+  void EmplaceServer(Connection& conn);
   // Legacy path: blocking serve loop on a dedicated thread.
   void ServeConnection(std::uint64_t id, std::shared_ptr<Connection> conn);
+  // Joins legacy serve threads whose loops have ended. Runs on adopt and —
+  // eagerly — at the tail of every ServeConnection, so finished threads
+  // never pile up waiting for the next accept or shutdown.
+  void ReapFinishedThreads();
 
   sim::Network* net_;
   std::string host_;
@@ -173,17 +222,21 @@ class ORB {
   std::unique_ptr<transport::Reactor> reactor_;
   std::vector<std::uint64_t> accept_regs_;
 
-  mutable Mutex conn_mu_{LockRank::kOrb, "orb::ORB::conn_mu_"};
-  std::uint64_t next_conn_id_ COOL_GUARDED_BY(conn_mu_) = 1;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_
-      COOL_GUARDED_BY(conn_mu_);
-  // Legacy-path serve threads (transports without a non-blocking receive).
+  // One immutable GIOP server config shared by every accepted connection
+  // (the per-GiopServer Options copy used to cost ~100 bytes × N conns).
+  std::shared_ptr<const giop::GiopServer::Options> server_options_;
+
+  mutable std::array<ConnShard, kConnShards> conn_shards_;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  // Legacy-path serve threads (transports without a non-blocking receive)
+  // and the ids of loops that have since ended, awaiting a join.
+  mutable Mutex legacy_mu_{LockRank::kOrb, "orb::ORB::legacy_mu_"};
+  // PER_CONN_WAIVER: legacy-transport bookkeeping table, not a member of
+  // the per-connection struct.
   std::unordered_map<std::uint64_t, Thread> connection_threads_
-      COOL_GUARDED_BY(conn_mu_);
-  // Legacy connections whose serve loop ended; their threads are joined
-  // and reaped on the next accept (long-running servers stay bounded).
-  std::vector<std::uint64_t> finished_connections_ COOL_GUARDED_BY(conn_mu_);
-  std::uint64_t connections_accepted_ COOL_GUARDED_BY(conn_mu_) = 0;
+      COOL_GUARDED_BY(legacy_mu_);
+  std::vector<std::uint64_t> finished_connections_ COOL_GUARDED_BY(legacy_mu_);
 };
 
 }  // namespace cool::orb

@@ -57,8 +57,8 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
   if (out.empty()) return std::size_t{0};
   MutexLock lock(mu_);
   for (;;) {
-    if (!chunks_.empty()) {
-      const TimePoint ready = chunks_.front().ready;
+    if (HasChunkLocked()) {
+      const TimePoint ready = FrontChunkLocked().ready;
       if (ready <= Now()) break;
       if (deadline.has_value() && ready > *deadline) {
         if (Now() >= *deadline) {
@@ -87,9 +87,9 @@ Result<std::size_t> StreamPipe::Read(std::span<std::uint8_t> out,
 std::size_t StreamPipe::DrainReadyLocked(std::span<std::uint8_t> out)
     COOL_REQUIRES(mu_) {
   std::size_t copied = 0;
-  while (copied < out.size() && !chunks_.empty() &&
-         chunks_.front().ready <= Now()) {
-    Chunk& chunk = chunks_.front();
+  while (copied < out.size() && HasChunkLocked() &&
+         FrontChunkLocked().ready <= Now()) {
+    Chunk& chunk = FrontChunkLocked();
     const std::size_t take =
         std::min(out.size() - copied, chunk.data.size() - chunk.offset);
     std::copy_n(chunk.data.begin() + static_cast<std::ptrdiff_t>(chunk.offset),
@@ -102,7 +102,7 @@ std::size_t StreamPipe::DrainReadyLocked(std::span<std::uint8_t> out)
         chunk.data.clear();  // keep the capacity warm for the next write
         spare_.push_back(std::move(chunk.data));
       }
-      chunks_.pop_front();
+      PopChunkLocked();
     }
   }
   if (copied > 0) writable_.NotifyOne();
@@ -114,10 +114,10 @@ Result<std::size_t> StreamPipe::TryRead(std::span<std::uint8_t> out) {
   MutexLock lock(mu_);
   const std::size_t copied = DrainReadyLocked(out);
   if (copied > 0) return copied;
-  if (!chunks_.empty()) {
+  if (HasChunkLocked()) {
     // Head chunk still in flight: re-arm the watcher for its delivery time
     // so the pre-attach backlog is never silently stranded.
-    read_watch_.SignalReady(chunks_.front().ready);
+    read_watch_.SignalReady(FrontChunkLocked().ready);
     return std::size_t{0};
   }
   if (closed_) return Status(UnavailableError("stream closed by peer"));

@@ -92,6 +92,24 @@ class StreamPipe {
   // drained chunk's storage is reused by a later write instead of being
   // freed, so a steady request/reply exchange allocates nothing here).
   static constexpr std::size_t kMaxSpareChunks = 8;
+  // Consumed-prefix bound of the chunk FIFO before it compacts.
+  static constexpr std::size_t kCompactChunks = 32;
+
+  // FIFO accessors over chunks_/chunks_head_ (see below).
+  bool HasChunkLocked() const COOL_REQUIRES(mu_) {
+    return chunks_head_ < chunks_.size();
+  }
+  Chunk& FrontChunkLocked() COOL_REQUIRES(mu_) { return chunks_[chunks_head_]; }
+  void PopChunkLocked() COOL_REQUIRES(mu_) {
+    if (++chunks_head_ == chunks_.size()) {
+      chunks_.clear();
+      chunks_head_ = 0;
+    } else if (chunks_head_ >= kCompactChunks) {
+      chunks_.erase(chunks_.begin(),
+                    chunks_.begin() + static_cast<std::ptrdiff_t>(chunks_head_));
+      chunks_head_ = 0;
+    }
+  }
 
   const LinkProperties link_;
   const std::size_t window_bytes_;
@@ -100,7 +118,13 @@ class StreamPipe {
   CondVar readable_;
   CondVar writable_;
   Watchable read_watch_;  // internally synchronised
-  std::deque<Chunk> chunks_ COOL_GUARDED_BY(mu_);
+  // In-flight chunk FIFO as vector + head index rather than std::deque: a
+  // default-constructed deque eagerly allocates its map + first node
+  // (~576 bytes in libstdc++), which at 100k connections — two pipes each
+  // — dominated the idle per-connection footprint. An idle pipe holds no
+  // chunk heap at all.
+  std::vector<Chunk> chunks_ COOL_GUARDED_BY(mu_);
+  std::size_t chunks_head_ COOL_GUARDED_BY(mu_) = 0;
   std::vector<std::vector<std::uint8_t>> spare_ COOL_GUARDED_BY(mu_);
   std::size_t buffered_bytes_ COOL_GUARDED_BY(mu_) = 0;
   TimePoint link_free_at_ COOL_GUARDED_BY(mu_){};

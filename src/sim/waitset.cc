@@ -10,7 +10,10 @@ void WaitSetCore::Post(std::uint64_t token, TimePoint when) {
   MutexLock lock(mu);
   if (closed || tokens.find(token) == tokens.end()) return;
   entries.push(Entry{when, next_seq++, token});
-  cv.NotifyOne();  // under the lock: destruction-safe
+  if (!notify_pending) {
+    notify_pending = true;
+    cv.NotifyOne();  // under the lock: destruction-safe
+  }
 }
 
 }  // namespace internal
@@ -28,6 +31,8 @@ void WaitSet::Remove(Token token) {
 
 void WaitSet::Post(Token token) { core_->Post(token, TimePoint::min()); }
 
+void WaitSet::PostAt(Token token, TimePoint when) { core_->Post(token, when); }
+
 std::size_t WaitSet::Wait(std::span<ReadyEvent> out, Duration timeout) {
   // A nested wait-set wait inside a reactor callback or dispatch upcall
   // parks a shared run-to-completion worker on a second readiness source —
@@ -38,6 +43,11 @@ std::size_t WaitSet::Wait(std::span<ReadyEvent> out, Duration timeout) {
   internal::WaitSetCore& core = *core_;
   MutexLock lock(core.mu);
   for (;;) {
+    // The waiter is awake and about to scan: posts from here until the next
+    // WaitUntil need no notify (the scan below, or the pre-sleep re-check,
+    // will see their entries). This coalesces a burst of deliveries into
+    // one wakeup instead of one NotifyOne syscall each.
+    core.notify_pending = false;
     const TimePoint now = Now();
     std::size_t n = 0;
     while (!core.entries.empty() && core.entries.top().when <= now &&

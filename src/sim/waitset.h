@@ -54,6 +54,14 @@ struct WaitSetCore {
   std::unordered_set<std::uint64_t> tokens COOL_GUARDED_BY(mu);
   std::uint64_t next_seq COOL_GUARDED_BY(mu) = 0;
   bool closed COOL_GUARDED_BY(mu) = false;
+  // Readiness delivery coalesces per wakeup: while a notify is outstanding
+  // (or the single waiter is awake harvesting), further posts skip the
+  // NotifyOne. The waiter clears the flag each time it scans the heap, and
+  // the flag is only read/written under mu, so a post that lands while the
+  // waiter is between scan and sleep still finds the lock held and its
+  // entry is seen before the sleep. One waiter per core by design (each
+  // reactor worker owns its wait set).
+  bool notify_pending COOL_GUARDED_BY(mu) = false;
 
   // Queues a readiness entry for `token`, due at `when`. No-op for tokens
   // that are not (or no longer) registered, and after Close().
@@ -88,6 +96,14 @@ class WaitSet {
   // Posts an immediately-due readiness entry — the self-wakeup used for
   // cross-thread scheduling onto the waiting thread.
   void Post(Token token);
+
+  // Posts a readiness entry due at `when` — the timer primitive. Deadline
+  // bookkeeping (reactor timeouts, idle-connection deadlines) rides the
+  // same lazily-cancelled min-heap as delayed deliveries: scheduling and
+  // firing are O(log n), cancellation is Remove()'s lazy token discard,
+  // and nothing ever scans — 100k pending deadlines cost one heap entry
+  // each.
+  void PostAt(Token token, TimePoint when);
 
   // Blocks until at least one registered token has a due entry, the timeout
   // elapses, or Close(). Harvests up to out.size() distinct ready tokens

@@ -68,7 +68,10 @@ void EpollPoller::Unwatch(int fd) {
 }
 
 void EpollPoller::Loop(std::stop_token stop) {
-  std::array<::epoll_event, 64> events;
+  // Burst drain, mirroring the reactor workers' 64-event harvest: one
+  // epoll_wait syscall forwards up to a full train of kernel readiness
+  // events, so fd-heavy workloads pay the wakeup once per burst.
+  std::array<::epoll_event, 128> events;
   while (!stop.stop_requested()) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()), -1);

@@ -46,8 +46,20 @@ class Reactor {
   // source cannot be watched.
   using AttachFn = std::function<bool(const sim::WaitSet&, std::uint64_t)>;
 
+  struct Options {
+    // 0 = one worker per hardware thread.
+    unsigned workers = 0;
+    // BESS-style per-core placement: worker i is pinned to CPU i (mod the
+    // core count). Combined with the fixed id -> worker mapping this keeps
+    // a connection's callbacks — and therefore its channel state — on one
+    // cache domain. Best-effort: a refused affinity call (restricted
+    // cpuset) degrades to an unpinned worker, never an error.
+    bool pin_workers = false;
+  };
+
   // 0 = one worker per hardware thread.
   explicit Reactor(unsigned workers = 0);
+  explicit Reactor(const Options& options);
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -65,12 +77,30 @@ class Reactor {
   // Registration without a source: fires only via Schedule(id).
   std::uint64_t AddManual(Callback cb);
 
+  // Batched registration, phase one: allocates a contiguous id block and
+  // installs the callbacks, locking each worker's registration map once
+  // per train instead of once per connection. Nothing fires until the
+  // matching Attach() — the caller publishes its own bookkeeping for the
+  // returned ids in between (the accept-train adoption path).
+  std::vector<std::uint64_t> AddBatch(std::vector<Callback> cbs);
+
+  // Batched registration, phase two: binds the readiness source and posts
+  // the immediate probe, like Add(). On failure the registration is
+  // dropped and the caller falls back to its legacy path.
+  bool Attach(std::uint64_t id, const AttachFn& attach);
+
   // Registers a kernel fd (edge-triggered epoll). The fd stays owned by
   // the caller; unregister with RemoveFd before closing it.
   Result<std::uint64_t> AddFd(int fd, Callback cb);
 
   // Queues one callback invocation for `id` on its owning worker.
   void Schedule(std::uint64_t id);
+
+  // Queues a callback invocation for `id` due at `when` — the reactor's
+  // timer facility. Deadlines ride each worker's wait-set min-heap with
+  // lazy cancellation (Remove discards pending entries), so per-connection
+  // timeout bookkeeping is O(log n) and never scans.
+  void ScheduleAt(std::uint64_t id, TimePoint when);
 
   // Unregisters `id`; barrier semantics (see file comment).
   void Remove(std::uint64_t id);
@@ -79,6 +109,14 @@ class Reactor {
   unsigned workers() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
+  // The worker a registration's callbacks run on — fixed for the life of
+  // the id (connection -> worker affinity).
+  unsigned WorkerIndexFor(std::uint64_t id) const noexcept {
+    return static_cast<unsigned>(id % workers_.size());
+  }
+  // Index of the reactor worker the calling thread is, or -1 off-worker.
+  // Lets a callback assert it observes a stable worker identity.
+  static int CurrentWorkerIndex() noexcept;
   std::uint64_t dispatches() const noexcept {
     return dispatches_.load(std::memory_order_relaxed);
   }
@@ -96,7 +134,8 @@ class Reactor {
     std::unordered_map<std::uint64_t, std::shared_ptr<Registration>> regs
         COOL_GUARDED_BY(mu);
     std::uint64_t running_id COOL_GUARDED_BY(mu) = 0;
-    ThreadId thread_id;  // written once in the ctor, then read-only
+    ThreadId thread_id;   // written once in the ctor, then read-only
+    unsigned index = 0;   // position in workers_ (== the pinned core)
     Thread thread;
   };
 

@@ -5,12 +5,24 @@
 namespace cool::transport {
 
 void TcpBuffer::Append(std::span<const std::uint8_t> bytes) {
-  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  if (bytes.empty()) return;
+  if (data_.empty()) {
+    // Lazy lease: storage comes from the shared pool only while bytes are
+    // actually buffered (ReleaseIfDrained hands it back between bursts).
+    data_ = BufferPool::Default().Lease(bytes.size());
+  }
+  data_.Append(bytes);
 }
 
 void TcpBuffer::Compact() {
   if (consumed_ == 0) return;
-  data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  data_.EraseFront(consumed_);
+  consumed_ = 0;
+}
+
+void TcpBuffer::ReleaseIfDrained() {
+  if (data_.empty() || consumed_ != data_.size()) return;
+  data_ = ByteBuffer();  // pooled storage returns to the free list
   consumed_ = 0;
 }
 
@@ -94,6 +106,7 @@ Result<ByteBuffer> TcpComChannel::ReceiveMessage(Duration timeout) {
     if (remaining <= Duration::zero()) {
       return Status(DeadlineExceededError("receive timed out"));
     }
+    rx_buffer_.ReleaseIfDrained();  // idle across the blocking wait below
     std::uint8_t chunk[16 * 1024];
     COOL_ASSIGN_OR_RETURN(std::size_t n, socket_->RecvFor(chunk, remaining));
     rx_buffer_.Append({chunk, n});
@@ -113,7 +126,12 @@ Result<std::optional<ByteBuffer>> TcpComChannel::TryReceiveMessage() {
       // complete, so surface the close even with residual bytes buffered.
       return n.status();
     }
-    if (*n == 0) return std::optional<ByteBuffer>{};  // nothing deliverable
+    if (*n == 0) {
+      // Connection went idle: hand the reassembly storage back to the pool
+      // until the next burst (no-op while a partial message is pending).
+      rx_buffer_.ReleaseIfDrained();
+      return std::optional<ByteBuffer>{};  // nothing deliverable
+    }
     rx_buffer_.Append({chunk, *n});
   }
 }

@@ -17,7 +17,10 @@ namespace cool::transport {
 
 class TcpBuffer {
  public:
-  // Feeds raw stream octets into the reassembly buffer.
+  // Feeds raw stream octets into the reassembly buffer. The backing store
+  // is leased lazily from the shared BufferPool on the first octet — an
+  // idle connection holds no receive buffer at all (the per-connection
+  // memory diet for 100k-connection servers).
   void Append(std::span<const std::uint8_t> bytes);
 
   // Extracts the next complete message (in a pooled buffer, so the
@@ -26,14 +29,23 @@ class TcpBuffer {
   // length prefix.
   Result<std::optional<ByteBuffer>> NextMessage();
 
+  // Returns the pooled backing store once every buffered octet has been
+  // consumed. Called when the owning channel's drain loop goes idle — NOT
+  // after every message, so an active burst keeps its lease warm.
+  void ReleaseIfDrained();
+
   std::size_t buffered_bytes() const noexcept { return data_.size() - consumed_; }
+  // True when no backing store is held (tests for the lazy-lease contract).
+  bool idle() const noexcept { return data_.empty(); }
 
   static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
 
  private:
   void Compact();
 
-  std::vector<std::uint8_t> data_;
+  // Pool-homed reassembly storage (rule 15: no unpooled per-connection
+  // buffer members); empty <=> no heap held.
+  ByteBuffer data_;
   std::size_t consumed_ = 0;
 };
 

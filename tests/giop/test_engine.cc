@@ -74,7 +74,8 @@ struct Rig {
 TEST(GiopEngineTest, SynchronousInvoke) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
 
   cdr::Encoder args = client.MakeArgsEncoder();
@@ -94,7 +95,8 @@ TEST(GiopEngineTest, SynchronousInvoke) {
 TEST(GiopEngineTest, QosParamsReachTheServerInVersion99) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
 
   cdr::Encoder args = client.MakeArgsEncoder();
@@ -160,7 +162,7 @@ TEST(GiopEngineTest, ClientWithoutExtensionNeverSends99) {
         r.body = std::move(body).TakeBuffer();
         return r;
       },
-      {});
+      GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
 
   // QoS params supplied but extension off -> silently stripped (pure 1.0).
@@ -183,7 +185,7 @@ TEST(GiopEngineTest, OnewayDoesNotWaitForReply) {
         EXPECT_FALSE(header.response_expected);
         return GiopServer::DispatchResult{};
       },
-      {});
+      GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
   ASSERT_TRUE(client.InvokeOneway(Key("obj"), "notify", {}, {}).ok());
   server_thread.join();
@@ -194,7 +196,8 @@ TEST(GiopEngineTest, OnewayDoesNotWaitForReply) {
 TEST(GiopEngineTest, DeferredInvokeAndPoll) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
 
   cdr::Encoder args = client.MakeArgsEncoder();
@@ -213,7 +216,8 @@ TEST(GiopEngineTest, DeferredInvokeAndPoll) {
 TEST(GiopEngineTest, CancelledReplyIsDiscarded) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   // Server will handle the deferred request AND the cancel AND the next
   // invoke (cancel may arrive after the reply was already sent).
   auto server_thread = rig.Serve(server, 3);
@@ -241,7 +245,8 @@ TEST(GiopEngineTest, CancelledReplyIsDiscarded) {
 TEST(GiopEngineTest, LocateRequestUsesLocator) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   server.SetLocator(
       [](const corba::OctetSeq& key) { return key == Key("exists"); });
   auto server_thread = rig.Serve(server, 2);
@@ -258,7 +263,8 @@ TEST(GiopEngineTest, LocateRequestUsesLocator) {
 TEST(GiopEngineTest, CloseConnectionEndsServeLoop) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   cool::Thread server_thread([&] {
     EXPECT_EQ(server.Serve().code(), ErrorCode::kCancelled);
   });
@@ -269,7 +275,8 @@ TEST(GiopEngineTest, CloseConnectionEndsServeLoop) {
 TEST(GiopEngineTest, GarbageTriggersMessageErrorButConnectionSurvives) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 2);
 
   // Raw garbage straight into the channel.
@@ -295,7 +302,8 @@ TEST(GiopEngineTest, GarbageTriggersMessageErrorButConnectionSurvives) {
 TEST(GiopEngineTest, RequestIdsIncrease) {
   Rig rig;
   GiopClient client(rig.client_channel.get(), {});
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 3);
   for (int i = 0; i < 3; ++i) {
     cdr::Encoder args = client.MakeArgsEncoder();
@@ -317,7 +325,8 @@ TEST(GiopEngineTest, CloseInterruptsIdleReaderImmediately) {
   copts.reader_poll = seconds(30);  // a leaked quantum would hang the test
   std::optional<GiopClient> client(std::in_place, rig.client_channel.get(),
                                    copts);
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
   auto server_thread = rig.Serve(server, 1);
 
   // One round trip spins up the reader thread, which then goes idle.
@@ -341,7 +350,8 @@ TEST(GiopEngineTest, ReactorDemuxInvokeAndTeardown) {
   copts.reactor = &reactor;
   std::optional<GiopClient> client(std::in_place, rig.client_channel.get(),
                                    copts);
-  GiopServer server(rig.server_channel.get(), EchoDispatch, {});
+  GiopServer server(rig.server_channel.get(), EchoDispatch,
+                    GiopServer::Options{});
 
   auto server_thread = rig.Serve(server, 2);
   for (int i = 0; i < 2; ++i) {

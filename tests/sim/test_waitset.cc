@@ -79,6 +79,41 @@ TEST(WaitSetTest, FutureEntryWakesAtItsDueTime) {
   EXPECT_GE(Now(), due);
 }
 
+TEST(WaitSetTest, PostAtDeliversAtTheDeadline) {
+  WaitSet set;
+  ASSERT_TRUE(set.Add(9));
+  const TimePoint due = Now() + milliseconds(60);
+  set.PostAt(9, due);  // the reactor's timer primitive
+  std::array<WaitSet::ReadyEvent, 4> out{};
+  // Not yet due: a short wait must time out instead of delivering early.
+  EXPECT_EQ(set.Wait(out, milliseconds(5)), 0u);
+  ASSERT_EQ(set.Wait(out, seconds(5)), 1u);
+  EXPECT_EQ(out[0].token, 9u);
+  EXPECT_GE(Now(), due);
+}
+
+TEST(WaitSetTest, PostAtEntriesAreLazilyCancelledByRemove) {
+  WaitSet set;
+  ASSERT_TRUE(set.Add(6));
+  set.PostAt(6, Now() + milliseconds(10));
+  set.Remove(6);  // pending timer entry goes stale, never delivered
+  std::array<WaitSet::ReadyEvent, 4> out{};
+  EXPECT_EQ(set.Wait(out, milliseconds(60)), 0u);
+}
+
+TEST(WaitSetTest, CoalescedNotifiesLoseNoWakeups) {
+  // Post -> Wait -> Post -> Wait: the notify_pending coalescing flag must
+  // be reset by each Wait pass, or the second post's wakeup is swallowed.
+  WaitSet set;
+  ASSERT_TRUE(set.Add(12));
+  std::array<WaitSet::ReadyEvent, 4> out{};
+  for (int round = 0; round < 3; ++round) {
+    set.Post(12);
+    ASSERT_EQ(set.Wait(out, seconds(5)), 1u) << "round " << round;
+    EXPECT_EQ(out[0].token, 12u);
+  }
+}
+
 TEST(WaitSetTest, CrossThreadPostWakesBlockedWaiter) {
   WaitSet set;
   ASSERT_TRUE(set.Add(11));

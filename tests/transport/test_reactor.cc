@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -176,6 +177,102 @@ TEST(ReactorTest, KernelFdReadinessFeedsTheSameWorkers) {
   reactor.RemoveFd(fds[0], *reg);
   close(fds[0]);
   close(fds[1]);
+}
+
+TEST(ReactorTest, PinnedWorkersReportStableWorkerIndex) {
+  Reactor::Options options;
+  options.workers = 2;
+  options.pin_workers = true;  // best-effort; must not change dispatch
+  Reactor reactor(options);
+
+  // Off-worker threads are outside every reactor.
+  EXPECT_EQ(Reactor::CurrentWorkerIndex(), -1);
+
+  std::atomic<int> runs{0};
+  std::atomic<bool> stable{true};
+  std::atomic<int> seen_index{-1};
+  const std::uint64_t id = reactor.AddManual([&] {
+    const int index = Reactor::CurrentWorkerIndex();
+    int expected = -1;
+    if (!seen_index.compare_exchange_strong(expected, index) &&
+        expected != index) {
+      stable = false;  // callback migrated between workers
+    }
+    ++runs;
+  });
+  for (int i = 0; i < 32; ++i) {
+    reactor.Schedule(id);
+    std::this_thread::sleep_for(microseconds(200));
+  }
+  ASSERT_TRUE(WaitUntil([&] { return runs.load() >= 1; }));
+  EXPECT_TRUE(stable.load());
+  EXPECT_EQ(seen_index.load(),
+            static_cast<int>(reactor.WorkerIndexFor(id)));
+  reactor.Remove(id);
+}
+
+TEST(ReactorTest, AddBatchDefersFiringUntilAttach) {
+  Reactor reactor(2);
+  constexpr std::size_t kTrain = 5;
+  std::array<std::atomic<int>, kTrain> fired{};
+  std::vector<Reactor::Callback> cbs;
+  for (std::size_t i = 0; i < kTrain; ++i) {
+    cbs.push_back([&fired, i] { ++fired[i]; });
+  }
+  const std::vector<std::uint64_t> ids = reactor.AddBatch(std::move(cbs));
+  ASSERT_EQ(ids.size(), kTrain);
+
+  // Phase one installed the callbacks but no readiness source exists yet:
+  // a Schedule is dropped by the wait set, nothing may fire.
+  for (const std::uint64_t id : ids) reactor.Schedule(id);
+  std::this_thread::sleep_for(milliseconds(30));
+  for (const auto& f : fired) EXPECT_EQ(f.load(), 0);
+
+  // Phase two binds the sources; the attach probe fires each callback.
+  std::array<sim::Watchable, kTrain> sources;
+  for (std::size_t i = 0; i < kTrain; ++i) {
+    ASSERT_TRUE(reactor.Attach(
+        ids[i], [&sources, i](const sim::WaitSet& set, std::uint64_t token) {
+          sources[i].Watch(set, token);
+          return true;
+        }));
+  }
+  for (std::size_t i = 0; i < kTrain; ++i) {
+    EXPECT_TRUE(WaitUntil([&, i] { return fired[i].load() >= 1; }));
+  }
+  // And readiness keeps flowing afterwards, like a plain Add().
+  const int before = fired[2].load();
+  sources[2].SignalReady();
+  EXPECT_TRUE(WaitUntil([&] { return fired[2].load() > before; }));
+  for (const std::uint64_t id : ids) reactor.Remove(id);
+}
+
+TEST(ReactorTest, AttachFailureDropsTheBatchRegistration) {
+  Reactor reactor(1);
+  std::vector<Reactor::Callback> cbs;
+  std::atomic<int> fired{0};
+  cbs.push_back([&fired] { ++fired; });
+  const std::vector<std::uint64_t> ids = reactor.AddBatch(std::move(cbs));
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_FALSE(reactor.Attach(
+      ids[0], [](const sim::WaitSet&, std::uint64_t) { return false; }));
+  reactor.Schedule(ids[0]);
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(fired.load(), 0);
+  reactor.Remove(ids[0]);  // idempotent on the already-dropped id
+}
+
+TEST(ReactorTest, ScheduleAtFiresAtTheDeadlineNotBefore) {
+  Reactor reactor(1);
+  std::atomic<int> fired{0};
+  const std::uint64_t id = reactor.AddManual([&fired] { ++fired; });
+  const Stopwatch sw;
+  reactor.ScheduleAt(id, Now() + milliseconds(120));
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(fired.load(), 0);  // deadline still in the future
+  EXPECT_TRUE(WaitUntil([&] { return fired.load() >= 1; }));
+  EXPECT_GE(sw.Elapsed(), milliseconds(100));
+  reactor.Remove(id);
 }
 
 }  // namespace

@@ -91,6 +91,45 @@ TEST(TcpBufferTest, ImplausibleLengthRejected) {
   EXPECT_EQ(buf.NextMessage().status().code(), ErrorCode::kProtocolError);
 }
 
+TEST(TcpBufferTest, LazyLeaseAndReleaseWhenDrained) {
+  TcpBuffer buf;
+  // A fresh buffer holds no backing store: 100k parked connections must
+  // cost zero receive-buffer bytes.
+  EXPECT_TRUE(buf.idle());
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+  // ReleaseIfDrained on an idle buffer is a no-op, not a crash.
+  buf.ReleaseIfDrained();
+  EXPECT_TRUE(buf.idle());
+
+  // First octet leases the store...
+  const std::vector<std::uint8_t> wire = {3, 0, 0, 0, 'a', 'b', 'c'};
+  buf.Append({wire.data(), 4});
+  EXPECT_FALSE(buf.idle());
+  // ...and an unfinished message pins the lease through a drain attempt:
+  // the remaining prefix octets must survive for the next Append.
+  buf.ReleaseIfDrained();
+  EXPECT_FALSE(buf.idle());
+
+  buf.Append({wire.data() + 4, 3});
+  auto m = buf.NextMessage();
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->has_value());
+  EXPECT_EQ((*m)->size(), 3u);
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+
+  // Fully consumed: the drain hook returns the store to the pool and the
+  // connection is back to costing nothing.
+  buf.ReleaseIfDrained();
+  EXPECT_TRUE(buf.idle());
+
+  // The lease comes back transparently for the next burst.
+  buf.Append(wire);
+  m = buf.NextMessage();
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->has_value());
+  EXPECT_EQ((*m)->size(), 3u);
+}
+
 TEST(TcpChannelTest, MessageRoundTrip) {
   Rig rig;
   auto [client, server] = rig.Establish();
